@@ -1,0 +1,20 @@
+//! Criterion bench for the §5.1 barrier-layer overhead experiment (reduced
+//! scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::run_barrier_layer;
+
+fn barrier_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_layer_overhead");
+    group.sample_size(10);
+    group.bench_function("ordering_switch_batch10", |b| {
+        b.iter(|| run_barrier_layer(10, false, 60, 31).overhead_factor())
+    });
+    group.bench_function("reordering_switch_batch10", |b| {
+        b.iter(|| run_barrier_layer(10, true, 60, 31).overhead_factor())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, barrier_layer);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 1b experiment (reduced scale).
+//!
+//! Measures the wall-clock cost of simulating the consistent path migration
+//! with the baseline (buggy barriers) and with general probing, and asserts
+//! the headline result as a side effect: the baseline drops packets, probing
+//! does not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
+
+fn fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_broken_time");
+    group.sample_size(10);
+    group.bench_function("barriers_30flows", |b| {
+        b.iter(|| {
+            let r = run_end_to_end(EndToEndTechnique::Barriers, 30, 250, 42);
+            assert!(r.total_drops > 0);
+            r.flows.len()
+        })
+    });
+    group.bench_function("general_probing_30flows", |b| {
+        b.iter(|| {
+            let r = run_end_to_end(EndToEndTechnique::General, 30, 250, 42);
+            assert_eq!(r.total_drops, 0);
+            r.flows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

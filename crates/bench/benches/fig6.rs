@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 6 experiment (control-plane techniques,
+//! reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
+use simnet::SimTime;
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_controlplane");
+    group.sample_size(10);
+    for technique in [
+        EndToEndTechnique::Barriers,
+        EndToEndTechnique::Timeout(SimTime::from_millis(300)),
+        EndToEndTechnique::Adaptive(200.0),
+        EndToEndTechnique::Adaptive(250.0),
+    ] {
+        group.bench_function(technique.label(), move |b| {
+            b.iter(|| run_end_to_end(technique, 25, 250, 7).mean_update_ms)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 7 experiment (probing techniques, reduced
+//! scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_probing");
+    group.sample_size(10);
+    for technique in [
+        EndToEndTechnique::Sequential,
+        EndToEndTechnique::General,
+        EndToEndTechnique::NoWait,
+    ] {
+        group.bench_function(technique.label(), move |b| {
+            b.iter(|| {
+                let r = run_end_to_end(technique, 25, 250, 9);
+                // The probing techniques must be loss-free; "no wait" is only
+                // the timing lower bound and offers no consistency guarantee.
+                if !matches!(technique, EndToEndTechnique::NoWait) {
+                    assert_eq!(r.total_drops, 0);
+                }
+                r.mean_update_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 8 experiment (activation delay, reduced
+//! scale, no data-plane traffic for speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::{run_activation_delay, EndToEndTechnique};
+use simnet::SimTime;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_activation_delay");
+    group.sample_size(10);
+    for technique in [
+        EndToEndTechnique::Barriers,
+        EndToEndTechnique::Timeout(SimTime::from_millis(300)),
+        EndToEndTechnique::Adaptive(200.0),
+        EndToEndTechnique::Sequential,
+        EndToEndTechnique::General,
+    ] {
+        group.bench_function(technique.label(), move |b| {
+            b.iter(|| run_activation_delay(technique, 40, 40, 0, 13).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the building blocks: OpenFlow codec throughput,
+//! flow-table lookups, probe synthesis and the simulator event loop.  These
+//! are not paper figures; they document where the reproduction spends time
+//! and guard against performance regressions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ofswitch::FlowTable;
+use openflow::messages::FlowMod;
+use openflow::{Action, OfCodec, OfMatch, OfMessage, PacketHeader};
+use rum::probe::{synthesize_general_probe, KnownRule};
+use simnet::SimTime;
+use std::net::Ipv4Addr;
+
+fn codec_roundtrip(c: &mut Criterion) {
+    let msg = OfMessage::FlowMod {
+        xid: 7,
+        body: FlowMod::add(
+            OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 1)),
+            100,
+            vec![Action::SetNwTos(8), Action::output(3)],
+        ),
+    };
+    let bytes = msg.encode_to_vec().unwrap();
+    c.bench_function("openflow_flowmod_encode", |b| {
+        b.iter(|| black_box(&msg).encode_to_vec().unwrap().len())
+    });
+    c.bench_function("openflow_flowmod_decode", |b| {
+        b.iter(|| OfMessage::decode(black_box(&bytes)).unwrap().xid())
+    });
+    c.bench_function("openflow_stream_codec_64_messages", |b| {
+        let codec = OfCodec::new();
+        let batch: Vec<OfMessage> = (0..64u32)
+            .map(|i| OfMessage::BarrierRequest { xid: i })
+            .collect();
+        let wire = codec.encode_batch(&batch).unwrap();
+        b.iter(|| {
+            let mut codec = OfCodec::new();
+            codec.feed(black_box(&wire));
+            codec.drain_messages().unwrap().len()
+        })
+    });
+}
+
+fn flow_table_lookup(c: &mut Criterion) {
+    let mut table = FlowTable::new(0);
+    for i in 0..1000u32 {
+        let fm = FlowMod::add(
+            OfMatch::ipv4_pair(
+                Ipv4Addr::new(10, (i >> 8) as u8, (i & 0xff) as u8, 1),
+                Ipv4Addr::new(10, 128, (i & 0xff) as u8, 1),
+            ),
+            100,
+            vec![Action::output(2)],
+        )
+        .with_cookie(u64::from(i));
+        table.apply(&fm, SimTime::ZERO).unwrap();
+    }
+    let pkt = PacketHeader::ipv4_udp(
+        openflow::MacAddr::from_id(1),
+        openflow::MacAddr::from_id(2),
+        Ipv4Addr::new(10, 1, 200, 1),
+        Ipv4Addr::new(10, 128, 200, 1),
+        1,
+        2,
+    );
+    c.bench_function("flow_table_lookup_1000_rules", |b| {
+        b.iter(|| table.peek_lookup(black_box(&pkt), 1).map(|e| e.cookie))
+    });
+}
+
+fn probe_synthesis(c: &mut Criterion) {
+    let known: Vec<KnownRule> = (0..500u32)
+        .map(|i| KnownRule {
+            match_: OfMatch::ipv4_pair(
+                Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8),
+                Ipv4Addr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8),
+            ),
+            priority: 100,
+            actions: vec![Action::output(2)],
+        })
+        .collect();
+    let rule = known[250].clone();
+    c.bench_function("general_probe_synthesis_500_known_rules", |b| {
+        b.iter(|| synthesize_general_probe(black_box(&rule), black_box(&known), 0xf8, 77).unwrap())
+    });
+}
+
+criterion_group!(benches, codec_roundtrip, flow_table_lookup, probe_synthesis);
+criterion_main!(benches);

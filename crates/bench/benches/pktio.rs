@@ -1,0 +1,20 @@
+//! Criterion bench for the §5.2 PacketIn/PacketOut microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::run_pktio_rates;
+
+fn pktio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pktio_rates");
+    group.sample_size(10);
+    group.bench_function("all_microbenchmarks", |b| {
+        b.iter(|| {
+            let r = run_pktio_rates(55);
+            assert!(r.packet_out_per_sec > 1000.0);
+            r.packet_in_per_sec
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pktio);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Table 1 (usable update rate, reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_bench::experiments::run_update_rate;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_update_rate");
+    group.sample_size(10);
+    for (batch, window) in [(1usize, 20usize), (10, 50), (20, 100)] {
+        group.bench_function(format!("probe_every_{batch}_K{window}"), move |b| {
+            b.iter(|| run_update_rate(batch, window, 200, 21).normalized())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

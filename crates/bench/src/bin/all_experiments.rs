@@ -1,0 +1,80 @@
+//! Runs a reduced-scale version of every experiment in one go and prints a
+//! compact paper-vs-measured summary.  Useful for regenerating
+//! `EXPERIMENTS.md` quickly; the per-figure binaries run the full-scale
+//! versions.
+//!
+//! Usage: `all_experiments [n_flows]` (default 100).
+
+use rum_bench::experiments::{
+    run_activation_delay, run_barrier_layer, run_end_to_end, run_pktio_rates, run_update_rate,
+    EndToEndTechnique,
+};
+use rum_bench::report;
+use simnet::SimTime;
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    println!("=== RUM reproduction: all experiments (reduced scale: {n} flows/rules) ===\n");
+
+    println!("--- Figure 1b / 6 / 7: end-to-end path migration ---");
+    for t in EndToEndTechnique::all() {
+        let r = run_end_to_end(t, n, 250, 42);
+        println!("{}", report::end_to_end_summary(&r));
+    }
+
+    println!("\n--- Figure 8: activation delay (R=K={n}) ---");
+    for t in [
+        EndToEndTechnique::Barriers,
+        EndToEndTechnique::Timeout(SimTime::from_millis(300)),
+        EndToEndTechnique::Adaptive(200.0),
+        EndToEndTechnique::Adaptive(250.0),
+        EndToEndTechnique::Sequential,
+        EndToEndTechnique::General,
+    ] {
+        let samples = run_activation_delay(t, n as usize, n as usize, 0, 13);
+        let delays: Vec<f64> = samples.iter().map(|s| s.delay_ms).collect();
+        let negative = delays.iter().filter(|d| **d < 0.0).count();
+        println!(
+            "{:<22} negative={:<4} median={:>8.1} ms  p90={:>8.1} ms",
+            t.label(),
+            negative,
+            report::percentile(&delays, 0.5).unwrap_or(f64::NAN),
+            report::percentile(&delays, 0.9).unwrap_or(f64::NAN)
+        );
+    }
+
+    println!("\n--- Table 1: usable update rate (R={} reduced) ---", n * 4);
+    let probe_batches = [1usize, 5, 10, 20];
+    let windows = [20usize, 100];
+    let mut grid = Vec::new();
+    for &batch in &probe_batches {
+        let mut row = Vec::new();
+        for &k in &windows {
+            row.push(run_update_rate(batch, k, (n * 4) as usize, 21).normalized());
+        }
+        grid.push(row);
+    }
+    println!("{}", report::table1_grid(&probe_batches, &windows, &grid));
+
+    println!("--- Barrier layer overhead (R={n}) ---");
+    for reordering in [false, true] {
+        let r = run_barrier_layer(10, reordering, n as usize, 31);
+        println!(
+            "reordering={reordering:<5} with layer {:>9.1} ms, probing only {:>9.1} ms, overhead x{:.2}",
+            r.with_barrier_layer_ms, r.probing_only_ms, r.overhead_factor()
+        );
+    }
+
+    println!("\n--- PacketIn / PacketOut rates ---");
+    let r = run_pktio_rates(55);
+    println!(
+        "PacketOut {:.0}/s (paper 7006), PacketIn {:.0}/s (paper 5531), mod rate with PacketIns {:.0}%, with 5:1 PacketOuts {:.0}%",
+        r.packet_out_per_sec,
+        r.packet_in_per_sec,
+        r.mod_rate_with_packet_ins * 100.0,
+        r.mod_rate_with_packet_outs * 100.0
+    );
+}

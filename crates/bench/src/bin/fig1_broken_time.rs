@@ -1,0 +1,40 @@
+//! Figure 1b: CDF of per-flow broken time during a consistent path migration,
+//! with plain OpenFlow barriers versus working (RUM) acknowledgments.
+//!
+//! Usage: `fig1_broken_time [n_flows] [packets_per_sec]` (defaults: 300, 250).
+
+use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
+use rum_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_flows: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let rate: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(250);
+
+    println!("# Figure 1b — consistent update on a buggy switch, {n_flows} flows at {rate} pkt/s");
+    let barriers = run_end_to_end(EndToEndTechnique::Barriers, n_flows, rate, 42);
+    let general = run_end_to_end(EndToEndTechnique::General, n_flows, rate, 42);
+    let sequential = run_end_to_end(EndToEndTechnique::Sequential, n_flows, rate, 42);
+
+    for r in [&barriers, &general, &sequential] {
+        println!("{}", report::end_to_end_summary(r));
+    }
+    println!();
+    println!("## CDF (fraction of flows broken longer than x), barriers:");
+    print!("{}", report::broken_time_cdf(&barriers, 320.0, 20.0));
+    println!();
+    println!("## CDF, with working acks (general probing):");
+    print!("{}", report::broken_time_cdf(&general, 320.0, 20.0));
+    println!();
+    println!(
+        "paper: with OF barriers most flows lose packets for up to ~290 ms and 6000-7500 packets \
+         are lost in total; with working acknowledgments no packets are dropped."
+    );
+    println!(
+        "measured: barriers max_broken={:.0} ms drops={} | general max_broken={:.0} ms drops={}",
+        barriers.max_broken_ms(),
+        barriers.total_drops,
+        general.max_broken_ms(),
+        general.total_drops
+    );
+}

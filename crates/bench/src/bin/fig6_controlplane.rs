@@ -1,0 +1,39 @@
+//! Figure 6: flow update times when using control-plane-only techniques
+//! (barriers baseline, 300 ms timeout, adaptive 200, adaptive 250).
+//!
+//! Usage: `fig6_controlplane [n_flows]` (default 300).
+
+use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
+use rum_bench::report;
+use simnet::SimTime;
+
+fn main() {
+    let n_flows: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    println!("# Figure 6 — control-plane-only techniques, {n_flows} flows");
+    let techniques = [
+        EndToEndTechnique::Barriers,
+        EndToEndTechnique::Timeout(SimTime::from_millis(300)),
+        EndToEndTechnique::Adaptive(200.0),
+        EndToEndTechnique::Adaptive(250.0),
+    ];
+    let mut results = Vec::new();
+    for t in techniques {
+        let r = run_end_to_end(t, n_flows, 250, 7);
+        println!("{}", report::end_to_end_summary(&r));
+        results.push(r);
+    }
+    println!();
+    for r in &results {
+        println!("## per-flow update times, {}:", r.technique);
+        print!("{}", report::end_to_end_csv(r));
+        println!();
+    }
+    println!(
+        "paper: barriers are fastest but drop packets; the 300 ms timeout avoids drops but raises \
+         the mean flow update time from 592 ms to 815 ms; adaptive 200 stays safe while adaptive \
+         250 starts acknowledging too early as the table fills."
+    );
+}

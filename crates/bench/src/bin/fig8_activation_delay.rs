@@ -1,0 +1,46 @@
+//! Figure 8: per-rule delay between data-plane activation and the
+//! control-plane acknowledgment for every technique (R = 300, K = 300).
+//!
+//! Usage: `fig8_activation_delay [n_rules] [packets_per_sec]`
+//! (defaults: 300 rules, 250 pkt/s per rule).
+
+use rum_bench::experiments::{run_activation_delay, EndToEndTechnique};
+use rum_bench::report;
+use simnet::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_rules: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let rate: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(250);
+    println!("# Figure 8 — control-plane vs data-plane activation delay, R={n_rules}, K={n_rules}");
+    let techniques = [
+        EndToEndTechnique::Barriers,
+        EndToEndTechnique::Timeout(SimTime::from_millis(300)),
+        EndToEndTechnique::Adaptive(200.0),
+        EndToEndTechnique::Adaptive(250.0),
+        EndToEndTechnique::Sequential,
+        EndToEndTechnique::General,
+    ];
+    for t in techniques {
+        let samples = run_activation_delay(t, n_rules, n_rules, rate, 13);
+        let delays: Vec<f64> = samples.iter().map(|s| s.delay_ms).collect();
+        let negative = delays.iter().filter(|d| **d < 0.0).count();
+        println!(
+            "{:<22} samples={:<4} negative(incorrect)={:<4} p10={:>8.1} ms  median={:>8.1} ms  p90={:>8.1} ms",
+            t.label(),
+            delays.len(),
+            negative,
+            report::percentile(&delays, 0.10).unwrap_or(f64::NAN),
+            report::percentile(&delays, 0.50).unwrap_or(f64::NAN),
+            report::percentile(&delays, 0.90).unwrap_or(f64::NAN),
+        );
+        print!("{}", report::activation_csv(&t.label(), &samples));
+        println!();
+    }
+    println!(
+        "paper: barrier replies arrive up to 300 ms before the rule is applied (negative delay); \
+         the 300 ms timeout wastes ~230 ms at the median; adaptive is close to zero but can dip \
+         negative when the assumed rate is optimistic; both probing techniques never go negative \
+         and sit within 70 ms (sequential) / 30 ms (general) for 90% of modifications."
+    );
+}

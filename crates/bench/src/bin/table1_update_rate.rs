@@ -1,0 +1,40 @@
+//! Table 1: usable rule update rate with sequential probing, normalised to
+//! the barrier baseline, as a function of probing frequency and the number of
+//! allowed unconfirmed modifications K.
+//!
+//! Usage: `table1_update_rate [n_rules]` (default 4000, the paper's value;
+//! pass a smaller number for a quick run).
+
+use rum_bench::experiments::run_update_rate;
+use rum_bench::report;
+
+fn main() {
+    let n_rules: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let probe_batches = [1usize, 2, 5, 10, 20];
+    let windows = [20usize, 50, 100];
+    println!("# Table 1 — usable modification rate with sequential probing (R = {n_rules})");
+    let mut grid = Vec::new();
+    for &batch in &probe_batches {
+        let mut row = Vec::new();
+        for &k in &windows {
+            let result = run_update_rate(batch, k, n_rules, 21);
+            eprintln!(
+                "probe every {batch} mods, K={k}: probing {:.1} mods/s, baseline {:.1} mods/s, normalized {:.2}",
+                result.probing_rate,
+                result.baseline_rate,
+                result.normalized()
+            );
+            row.push(result.normalized());
+        }
+        grid.push(row);
+    }
+    println!("{}", report::table1_grid(&probe_batches, &windows, &grid));
+    println!(
+        "paper: 51% when probing after every update, rising to 93-98% when probing after 10-20 \
+         updates with K >= 50; small K limits the achievable rate because confirmations do not \
+         come back fast enough to keep the switch busy."
+    );
+}

@@ -1,0 +1,26 @@
+//! Experiment harness reproducing every table and figure of
+//! *"Providing Reliable FIB Update Acknowledgments in SDN"* (CoNEXT 2014).
+//!
+//! Each experiment in the paper maps to one runner function here and one
+//! binary under `src/bin/`; the Criterion benches under `benches/` re-run the
+//! same code with reduced parameters so `cargo bench` stays fast.
+//!
+//! | Paper artefact | Runner | Binary |
+//! |---|---|---|
+//! | Figure 1b (broken time CDF)        | [`experiments::run_end_to_end`]        | `fig1_broken_time` |
+//! | Figure 6 (control-plane techniques)| [`experiments::run_end_to_end`]        | `fig6_controlplane` |
+//! | Figure 7 (probing techniques)      | [`experiments::run_end_to_end`]        | `fig7_probing` |
+//! | Figure 8 (activation delay)        | [`experiments::run_activation_delay`]  | `fig8_activation_delay` |
+//! | Table 1 (usable update rate)       | [`experiments::run_update_rate`]       | `table1_update_rate` |
+//! | §5.1 barrier-layer overhead        | [`experiments::run_barrier_layer`]     | `barrier_layer_overhead` |
+//! | §5.2 PacketIn/PacketOut rates      | [`experiments::run_pktio_rates`]       | `pktio_rates` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    ActivationSample, EndToEndResult, EndToEndTechnique, PktIoResult, UpdateRateResult,
+};

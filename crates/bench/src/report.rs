@@ -1,0 +1,194 @@
+//! Plain-text / CSV report formatting shared by the experiment binaries.
+
+use crate::experiments::{ActivationSample, EndToEndResult, FlowRow};
+
+/// Formats the per-flow rows of an end-to-end run as CSV
+/// (`flow,last_old_ms,update_time_ms,broken_ms`).
+pub fn end_to_end_csv(result: &EndToEndResult) -> String {
+    let mut out = String::from("flow,last_old_ms,update_time_ms,broken_ms\n");
+    for FlowRow {
+        flow,
+        last_old_ms,
+        update_time_ms,
+        broken_ms,
+    } in &result.flows
+    {
+        out.push_str(&format!(
+            "{flow},{last_old_ms:.3},{update_time_ms:.3},{broken_ms:.3}\n"
+        ));
+    }
+    out
+}
+
+/// Formats the Figure 1b CDF: fraction of flows broken for longer than x ms.
+pub fn broken_time_cdf(result: &EndToEndResult, max_ms: f64, step_ms: f64) -> String {
+    let mut out = String::from("broken_ms,fraction_of_flows_broken_longer\n");
+    let mut x = 0.0;
+    while x <= max_ms + 1e-9 {
+        out.push_str(&format!(
+            "{x:.1},{:.4}\n",
+            result.fraction_broken_longer_than(x)
+        ));
+        x += step_ms;
+    }
+    out
+}
+
+/// Formats a one-line summary of an end-to-end run.
+pub fn end_to_end_summary(result: &EndToEndResult) -> String {
+    format!(
+        "{:<22} flows={:<4} migrated={:<4} drops={:<6} mean_update={:>8.1} ms  max_broken={:>7.1} ms  completion={}",
+        result.technique,
+        result.flows.len(),
+        result.migrated_flows,
+        result.total_drops,
+        result.mean_update_ms,
+        result.max_broken_ms(),
+        result
+            .controller_completion_ms
+            .map(|v| format!("{v:.1} ms"))
+            .unwrap_or_else(|| "incomplete".into()),
+    )
+}
+
+/// Formats activation-delay samples as CSV ordered by delay (the "flow rank"
+/// axis of Figure 8).
+pub fn activation_csv(label: &str, samples: &[ActivationSample]) -> String {
+    let mut sorted: Vec<f64> = samples.iter().map(|s| s.delay_ms).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out = format!("# technique: {label}\nrank,delay_ms\n");
+    for (rank, delay) in sorted.iter().enumerate() {
+        out.push_str(&format!("{rank},{delay:.3}\n"));
+    }
+    out
+}
+
+/// Percentile (0.0..=1.0) of a list of samples; returns `None` when empty.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
+/// Renders a Table-1-style grid: rows = probing frequency, columns = window.
+pub fn table1_grid(
+    probe_batches: &[usize],
+    windows: &[usize],
+    normalized: &[Vec<f64>],
+) -> String {
+    let mut out = String::from("probing frequency      ");
+    for k in windows {
+        out.push_str(&format!("K = {k:<7}"));
+    }
+    out.push('\n');
+    for (row, batch) in probe_batches.iter().enumerate() {
+        out.push_str(&format!("after {batch:<3} update(s)    "));
+        for col in 0..windows.len() {
+            out.push_str(&format!("{:>5.0}%    ", normalized[row][col] * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::EndToEndResult;
+
+    fn sample_result() -> EndToEndResult {
+        EndToEndResult {
+            technique: "test".into(),
+            flows: vec![
+                FlowRow {
+                    flow: 0,
+                    last_old_ms: 10.0,
+                    update_time_ms: 20.0,
+                    broken_ms: 10.0,
+                },
+                FlowRow {
+                    flow: 1,
+                    last_old_ms: 15.0,
+                    update_time_ms: 300.0,
+                    broken_ms: 285.0,
+                },
+            ],
+            total_drops: 42,
+            total_delivered: 1000,
+            migrated_flows: 2,
+            controller_completion_ms: Some(400.0),
+            mean_update_ms: 160.0,
+        }
+    }
+
+    #[test]
+    fn csv_contains_every_flow() {
+        let csv = end_to_end_csv(&sample_result());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,"));
+    }
+
+    #[test]
+    fn cdf_is_monotonically_non_increasing() {
+        let cdf = broken_time_cdf(&sample_result(), 300.0, 50.0);
+        let values: Vec<f64> = cdf
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] >= w[1]));
+        assert!((values[0] - 1.0).abs() < 1e-9, "all flows broken longer than 0 ms");
+    }
+
+    #[test]
+    fn summary_mentions_drops_and_technique() {
+        let s = end_to_end_summary(&sample_result());
+        assert!(s.contains("test"));
+        assert!(s.contains("drops=42"));
+    }
+
+    #[test]
+    fn activation_csv_is_sorted() {
+        let samples = vec![
+            ActivationSample {
+                cookie: 1,
+                delay_ms: 5.0,
+            },
+            ActivationSample {
+                cookie: 2,
+                delay_ms: -200.0,
+            },
+        ];
+        let csv = activation_csv("barriers", &samples);
+        let first_value: f64 = csv
+            .lines()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(first_value < 0.0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn table_grid_has_all_cells() {
+        let grid = table1_grid(&[1, 10], &[20, 100], &[vec![0.51, 0.51], vec![0.76, 0.94]]);
+        assert!(grid.contains("after 1"));
+        assert!(grid.contains("after 10"));
+        assert!(grid.contains("94%"));
+    }
+}

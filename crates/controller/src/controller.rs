@@ -1,0 +1,528 @@
+//! The controller simulation node.
+
+use crate::plan::UpdatePlan;
+use openflow::{OfMessage, Xid};
+use simnet::{Context, EventPayload, Node, NodeId, SimTime, TraceEvent};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// How the controller decides that a modification has been applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Fire-and-forget: every modification is considered confirmed the
+    /// moment it is sent.  No consistency guarantee — this is the "no wait"
+    /// lower bound of Figure 7.
+    NoWait,
+    /// Send an OpenFlow barrier after every `batch` modifications (or when
+    /// nothing else can be sent) and treat the corresponding reply as the
+    /// confirmation for everything sent before it.  This is what every
+    /// consistent-update system in the literature does; it is only correct
+    /// if barriers are honest (or made honest by RUM).
+    Barriers {
+        /// Modifications per barrier.
+        batch: usize,
+    },
+    /// Wait for RUM's fine-grained positive acknowledgment (an error message
+    /// with the reserved RUM code echoing the modification's xid).  This is
+    /// the "RUM-aware controller" mode from Section 2 of the paper.
+    RumAcks,
+}
+
+/// Timer token used to start the update.
+const TOKEN_START: u64 = 0;
+
+/// A controller that executes an [`UpdatePlan`] against a set of switch
+/// connections, respecting dependencies, a confirmation window, and the
+/// configured acknowledgment mode.
+pub struct Controller {
+    label: String,
+    plan: UpdatePlan,
+    connections: Vec<NodeId>,
+    ack_mode: AckMode,
+    /// Maximum number of sent-but-unconfirmed modifications (the paper's K).
+    window: usize,
+    control_latency: SimTime,
+    start_at: SimTime,
+
+    sent: HashSet<u64>,
+    confirmed: HashSet<u64>,
+    confirmation_times: HashMap<u64, SimTime>,
+    send_times: HashMap<u64, SimTime>,
+    failed: Vec<u64>,
+    /// Outstanding barriers: barrier xid -> cookies it will confirm.
+    barrier_covers: HashMap<Xid, Vec<u64>>,
+    /// Cookies sent since the last barrier (barrier mode only).
+    since_last_barrier: Vec<u64>,
+    next_barrier_xid: Xid,
+    packet_ins_received: u64,
+    completed_at: Option<SimTime>,
+    started: bool,
+}
+
+impl Controller {
+    /// Creates a controller executing `plan` with the given acknowledgment
+    /// mode and window, starting the update at `start_at`.
+    pub fn new(
+        label: impl Into<String>,
+        plan: UpdatePlan,
+        ack_mode: AckMode,
+        window: usize,
+        start_at: SimTime,
+    ) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        Controller {
+            label: label.into(),
+            plan,
+            connections: Vec::new(),
+            ack_mode,
+            window,
+            control_latency: SimTime::from_micros(200),
+            start_at,
+            sent: HashSet::new(),
+            confirmed: HashSet::new(),
+            confirmation_times: HashMap::new(),
+            send_times: HashMap::new(),
+            failed: Vec::new(),
+            barrier_covers: HashMap::new(),
+            since_last_barrier: Vec::new(),
+            next_barrier_xid: 0x4000_0000,
+            packet_ins_received: 0,
+            completed_at: None,
+            started: false,
+        }
+    }
+
+    /// Sets the nodes terminating each switch connection (index = the
+    /// `SwitchRef` used in the plan).  The node can be the switch itself or a
+    /// RUM proxy impersonating it.
+    pub fn set_connections(&mut self, connections: Vec<NodeId>) {
+        self.connections = connections;
+    }
+
+    /// Sets the one-way control-channel latency used for outgoing messages.
+    pub fn set_control_latency(&mut self, latency: SimTime) {
+        self.control_latency = latency;
+    }
+
+    /// The update plan.
+    pub fn plan(&self) -> &UpdatePlan {
+        &self.plan
+    }
+
+    /// Number of confirmed modifications.
+    pub fn confirmed_count(&self) -> usize {
+        self.confirmed.len()
+    }
+
+    /// Number of sent modifications.
+    pub fn sent_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Modifications rejected by the switch (error replies).
+    pub fn failed(&self) -> &[u64] {
+        &self.failed
+    }
+
+    /// True once every modification in the plan is confirmed.
+    pub fn is_complete(&self) -> bool {
+        self.confirmed.len() == self.plan.len()
+    }
+
+    /// When the last modification was confirmed, if the update finished.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    /// Confirmation time per modification id.
+    pub fn confirmation_times(&self) -> &HashMap<u64, SimTime> {
+        &self.confirmation_times
+    }
+
+    /// Send time per modification id.
+    pub fn send_times(&self) -> &HashMap<u64, SimTime> {
+        &self.send_times
+    }
+
+    /// PacketIn messages received (e.g. probes leaking to a non-RUM
+    /// controller, or data packets punted by a switch).
+    pub fn packet_ins_received(&self) -> u64 {
+        self.packet_ins_received
+    }
+
+    fn unconfirmed_in_flight(&self) -> usize {
+        self.sent.len() - self.sent.intersection(&self.confirmed).count()
+    }
+
+    fn dispatch_ready(&mut self, ctx: &mut Context<'_>) {
+        loop {
+            if self.unconfirmed_in_flight() >= self.window {
+                break;
+            }
+            let mut ready = self.plan.ready_ids(&self.confirmed, &self.sent);
+            if ready.is_empty() {
+                break;
+            }
+            ready.sort_unstable();
+            let budget = self.window - self.unconfirmed_in_flight();
+            let mut sent_this_round = 0usize;
+            for id in ready.into_iter().take(budget) {
+                self.send_mod(id, ctx);
+                sent_this_round += 1;
+                // In barrier mode, punctuate every `batch` modifications.
+                if let AckMode::Barriers { .. } = self.ack_mode {
+                    self.maybe_send_barrier(ctx, false);
+                }
+            }
+            if sent_this_round == 0 {
+                break;
+            }
+        }
+        // If we are in barrier mode and there are loose (uncovered) mods but
+        // nothing more to send, close them out with a barrier.
+        if let AckMode::Barriers { .. } = self.ack_mode {
+            if !self.since_last_barrier.is_empty()
+                && self.plan.ready_ids(&self.confirmed, &self.sent).is_empty()
+            {
+                self.maybe_send_barrier(ctx, true);
+            }
+        }
+    }
+
+    fn send_mod(&mut self, id: u64, ctx: &mut Context<'_>) {
+        let m = self.plan.get(id).expect("ready id exists").clone();
+        let target = self.connections[m.target];
+        let msg = OfMessage::FlowMod {
+            xid: id as Xid,
+            body: m.flow_mod.clone(),
+        };
+        ctx.send_control(target, msg, self.control_latency);
+        ctx.record(TraceEvent::FlowModSent {
+            cookie: id,
+            time: ctx.now(),
+        });
+        self.send_times.insert(id, ctx.now());
+        self.sent.insert(id);
+        match self.ack_mode {
+            AckMode::NoWait => self.mark_confirmed(id, ctx),
+            AckMode::Barriers { .. } => self.since_last_barrier.push(id),
+            AckMode::RumAcks => {}
+        }
+    }
+
+    fn maybe_send_barrier(&mut self, ctx: &mut Context<'_>, force: bool) {
+        let AckMode::Barriers { batch } = self.ack_mode else {
+            return;
+        };
+        if self.since_last_barrier.is_empty() {
+            return;
+        }
+        if !force && self.since_last_barrier.len() < batch {
+            return;
+        }
+        // Send one barrier per target that has uncovered modifications, so a
+        // multi-switch plan gets per-switch confirmation.
+        let mut per_target: HashMap<usize, Vec<u64>> = HashMap::new();
+        for id in std::mem::take(&mut self.since_last_barrier) {
+            let target = self.plan.get(id).expect("sent id exists").target;
+            per_target.entry(target).or_default().push(id);
+        }
+        for (target, cookies) in per_target {
+            let xid = self.next_barrier_xid;
+            self.next_barrier_xid += 1;
+            self.barrier_covers.insert(xid, cookies);
+            ctx.send_control(
+                self.connections[target],
+                OfMessage::BarrierRequest { xid },
+                self.control_latency,
+            );
+        }
+    }
+
+    fn mark_confirmed(&mut self, id: u64, ctx: &mut Context<'_>) {
+        if !self.confirmed.insert(id) {
+            return;
+        }
+        self.confirmation_times.insert(id, ctx.now());
+        ctx.record(TraceEvent::ControlPlaneConfirmed {
+            cookie: id,
+            time: ctx.now(),
+        });
+        if self.is_complete() && self.completed_at.is_none() {
+            self.completed_at = Some(ctx.now());
+            ctx.record(TraceEvent::Marker {
+                label: format!("{}: update complete", self.label),
+                time: ctx.now(),
+            });
+        }
+    }
+
+    fn handle_control(&mut self, from: NodeId, msg: OfMessage, ctx: &mut Context<'_>) {
+        match msg {
+            OfMessage::BarrierReply { xid } => {
+                if let Some(cookies) = self.barrier_covers.remove(&xid) {
+                    for id in cookies {
+                        self.mark_confirmed(id, ctx);
+                    }
+                    self.dispatch_ready(ctx);
+                }
+            }
+            OfMessage::Error { xid, ref body } => {
+                if let Some(acked) = msg.as_rum_ack() {
+                    let id = u64::from(acked);
+                    if self.sent.contains(&id) {
+                        self.mark_confirmed(id, ctx);
+                        self.dispatch_ready(ctx);
+                    }
+                } else {
+                    let id = u64::from(xid);
+                    if self.sent.contains(&id) && !self.failed.contains(&id) {
+                        self.failed.push(id);
+                        ctx.record(TraceEvent::Marker {
+                            label: format!(
+                                "{}: flow-mod {id} rejected (type {}, code {})",
+                                self.label, body.err_type, body.code
+                            ),
+                            time: ctx.now(),
+                        });
+                    }
+                }
+            }
+            OfMessage::PacketIn { .. } => {
+                self.packet_ins_received += 1;
+            }
+            OfMessage::EchoRequest { xid, data } => {
+                ctx.send_control(from, OfMessage::EchoReply { xid, data }, self.control_latency);
+            }
+            OfMessage::Hello { xid } => {
+                ctx.send_control(from, OfMessage::Hello { xid }, self.control_latency);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for Controller {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.start_at, TOKEN_START);
+    }
+
+    fn handle(&mut self, event: EventPayload, ctx: &mut Context<'_>) {
+        match event {
+            EventPayload::Timer { token: TOKEN_START } if !self.started => {
+                self.started = true;
+                assert!(
+                    !self.connections.is_empty() || self.plan.is_empty(),
+                    "controller {} has no switch connections configured",
+                    self.label
+                );
+                ctx.record(TraceEvent::Marker {
+                    label: format!("{}: update start", self.label),
+                    time: ctx.now(),
+                });
+                self.dispatch_ready(ctx);
+            }
+            EventPayload::Timer { .. } => {}
+            EventPayload::Control { from, message } => self.handle_control(from, message, ctx),
+            EventPayload::Packet { .. } => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofswitch::{OpenFlowSwitch, SwitchModel};
+    use openflow::messages::FlowMod;
+    use openflow::{Action, DatapathId, OfMatch};
+    use simnet::Simulator;
+    use std::net::Ipv4Addr;
+
+    fn small_plan(n: u64) -> UpdatePlan {
+        let mut plan = UpdatePlan::new();
+        for i in 0..n {
+            plan.add(
+                i + 1,
+                0,
+                FlowMod::add(
+                    OfMatch::ipv4_pair(
+                        Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8),
+                        Ipv4Addr::new(10, 1, 0, 1),
+                    ),
+                    100,
+                    vec![Action::output(2)],
+                ),
+            );
+        }
+        plan
+    }
+
+    fn run_with_switch(
+        plan: UpdatePlan,
+        ack_mode: AckMode,
+        window: usize,
+        model: SwitchModel,
+        until: SimTime,
+    ) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(3);
+        let controller = Controller::new("ctrl", plan, ack_mode, window, SimTime::from_millis(1));
+        let ctrl_id = sim.add_node(controller);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 4, model);
+        sw.connect_controller(ctrl_id);
+        let sw_id = sim.add_node(sw);
+        sim.node_mut::<Controller>(ctrl_id)
+            .unwrap()
+            .set_connections(vec![sw_id]);
+        sim.run_until(until);
+        (sim, ctrl_id, sw_id)
+    }
+
+    #[test]
+    fn no_wait_mode_sends_everything_immediately() {
+        let (sim, ctrl_id, sw_id) = run_with_switch(
+            small_plan(20),
+            AckMode::NoWait,
+            usize::MAX >> 1,
+            SwitchModel::faithful(),
+            SimTime::from_secs(1),
+        );
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert!(ctrl.is_complete());
+        assert_eq!(ctrl.sent_count(), 20);
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert_eq!(sw.flow_mods_processed(), 20);
+    }
+
+    #[test]
+    fn barrier_mode_confirms_all_mods_on_faithful_switch() {
+        let (sim, ctrl_id, sw_id) = run_with_switch(
+            small_plan(30),
+            AckMode::Barriers { batch: 10 },
+            10,
+            SwitchModel::faithful(),
+            SimTime::from_secs(5),
+        );
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert!(ctrl.is_complete(), "confirmed {}", ctrl.confirmed_count());
+        assert!(ctrl.completed_at().is_some());
+        // On a faithful switch, every confirmation must come after the
+        // corresponding data-plane activation.
+        let delays = sim.trace().activation_delays();
+        assert_eq!(delays.len(), 30);
+        assert!(delays.iter().all(|d| d.delay_millis() >= 0.0));
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert!(sw.barriers_processed() >= 3);
+    }
+
+    #[test]
+    fn barrier_mode_on_buggy_switch_confirms_too_early() {
+        let (sim, ctrl_id, _) = run_with_switch(
+            small_plan(30),
+            AckMode::Barriers { batch: 1 },
+            30,
+            SwitchModel::hp5406zl(),
+            SimTime::from_secs(10),
+        );
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert!(ctrl.is_complete());
+        // The whole point of the paper: with a buggy switch, barrier-based
+        // confirmations arrive before the data plane activation.
+        let delays = sim.trace().activation_delays();
+        assert_eq!(delays.len(), 30);
+        let negative = delays.iter().filter(|d| d.delay_millis() < 0.0).count();
+        assert!(
+            negative > 15,
+            "expected most confirmations to be premature, got {negative}/30"
+        );
+    }
+
+    #[test]
+    fn window_limits_outstanding_mods() {
+        let (sim, ctrl_id, _) = run_with_switch(
+            small_plan(50),
+            AckMode::RumAcks,
+            5,
+            SwitchModel::faithful(),
+            SimTime::from_secs(2),
+        );
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        // Nothing ever acks in RumAcks mode without a RUM layer, so exactly
+        // one window worth of modifications is in flight.
+        assert_eq!(ctrl.sent_count(), 5);
+        assert_eq!(ctrl.confirmed_count(), 0);
+        assert!(!ctrl.is_complete());
+    }
+
+    #[test]
+    fn dependencies_gate_sending() {
+        let mut plan = UpdatePlan::new();
+        plan.add(
+            1,
+            0,
+            FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 1)),
+                100,
+                vec![Action::output(2)],
+            ),
+        );
+        plan.add_with_deps(
+            2,
+            0,
+            FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 1, 0, 2)),
+                100,
+                vec![Action::output(2)],
+            ),
+            vec![1],
+        );
+        let (sim, ctrl_id, _) = run_with_switch(
+            plan,
+            AckMode::Barriers { batch: 1 },
+            10,
+            SwitchModel::faithful(),
+            SimTime::from_secs(2),
+        );
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert!(ctrl.is_complete());
+        let sent = ctrl.send_times();
+        let confirmed = ctrl.confirmation_times();
+        assert!(
+            sent[&2] >= confirmed[&1],
+            "mod 2 (sent {}) must wait for mod 1's confirmation ({})",
+            sent[&2],
+            confirmed[&1]
+        );
+    }
+
+    #[test]
+    fn rejected_mods_are_recorded_as_failed() {
+        let mut model = SwitchModel::faithful();
+        model.table_capacity = 5;
+        let (sim, ctrl_id, _) = run_with_switch(
+            small_plan(8),
+            AckMode::NoWait,
+            100,
+            model,
+            SimTime::from_secs(2),
+        );
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert_eq!(ctrl.failed().len(), 3, "three mods exceed the 5-entry table");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_is_rejected() {
+        Controller::new("c", UpdatePlan::new(), AckMode::NoWait, 0, SimTime::ZERO);
+    }
+}

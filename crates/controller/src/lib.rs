@@ -1,0 +1,29 @@
+//! A consistent-update SDN controller for the RUM reproduction.
+//!
+//! The paper assumes a controller in the style of Reitblatt et al.'s
+//! "Abstractions for Network Update": the new network state is decomposed
+//! into individual rule modifications with explicit ordering dependencies
+//! ("install X only after Y and Z are in place"), and the controller only
+//! releases a modification once the rules it depends on have been
+//! *acknowledged*.  The whole point of RUM is that those acknowledgments are
+//! worthless on real switches unless something (RUM) ties them to the data
+//! plane.
+//!
+//! * [`plan`] — dependency-ordered update plans.
+//! * [`controller`] — the [`controller::Controller`] simulation node, with
+//!   three acknowledgment modes (no-wait, barrier-based, RUM fine-grained
+//!   acks).
+//! * [`scenarios`] — builders for the paper's experimental setups: the
+//!   triangle path-migration testbed (Figures 1b, 6, 7) and the single-switch
+//!   bulk-update workload (Figure 8 and Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod plan;
+pub mod scenarios;
+
+pub use controller::{AckMode, Controller};
+pub use plan::{PlannedMod, UpdatePlan};
+pub use scenarios::{BulkUpdateScenario, TriangleScenario};

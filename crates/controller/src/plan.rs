@@ -1,0 +1,264 @@
+//! Dependency-ordered update plans.
+
+use openflow::messages::FlowMod;
+use std::collections::{HashMap, HashSet};
+
+/// Index of a switch connection from the controller's point of view.
+pub type SwitchRef = usize;
+
+/// One rule modification inside an update plan.
+#[derive(Debug, Clone)]
+pub struct PlannedMod {
+    /// Unique id of the modification; doubles as the flow-mod cookie and the
+    /// OpenFlow transaction id so acknowledgments can be correlated.
+    pub id: u64,
+    /// Which switch connection the modification goes to.
+    pub target: SwitchRef,
+    /// The flow modification itself.
+    pub flow_mod: FlowMod,
+    /// Ids of modifications that must be *confirmed* before this one may be
+    /// sent ("X after Y" in the paper's Figure 2).
+    pub deps: Vec<u64>,
+}
+
+/// A network update: a set of rule modifications with ordering dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct UpdatePlan {
+    mods: Vec<PlannedMod>,
+    by_id: HashMap<u64, usize>,
+}
+
+impl UpdatePlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        UpdatePlan::default()
+    }
+
+    /// Adds a modification with no dependencies; returns its id.
+    pub fn add(&mut self, id: u64, target: SwitchRef, flow_mod: FlowMod) -> u64 {
+        self.add_with_deps(id, target, flow_mod, Vec::new())
+    }
+
+    /// Adds a modification that may only be sent after `deps` are confirmed.
+    ///
+    /// Panics if the id is reused — duplicate cookies would make
+    /// acknowledgments ambiguous.
+    pub fn add_with_deps(
+        &mut self,
+        id: u64,
+        target: SwitchRef,
+        mut flow_mod: FlowMod,
+        deps: Vec<u64>,
+    ) -> u64 {
+        assert!(
+            !self.by_id.contains_key(&id),
+            "duplicate planned-mod id {id}"
+        );
+        flow_mod.cookie = id;
+        self.by_id.insert(id, self.mods.len());
+        self.mods.push(PlannedMod {
+            id,
+            target,
+            flow_mod,
+            deps,
+        });
+        id
+    }
+
+    /// Number of modifications in the plan.
+    pub fn len(&self) -> usize {
+        self.mods.len()
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mods.is_empty()
+    }
+
+    /// All modifications, in insertion order.
+    pub fn mods(&self) -> &[PlannedMod] {
+        &self.mods
+    }
+
+    /// Looks up a modification by id.
+    pub fn get(&self, id: u64) -> Option<&PlannedMod> {
+        self.by_id.get(&id).map(|&i| &self.mods[i])
+    }
+
+    /// The set of switch connections referenced by the plan.
+    pub fn targets(&self) -> HashSet<SwitchRef> {
+        self.mods.iter().map(|m| m.target).collect()
+    }
+
+    /// Validates the plan: every dependency must refer to a modification in
+    /// the plan and the dependency graph must be acyclic.  Returns the ids in
+    /// a valid topological order.
+    pub fn validate(&self) -> Result<Vec<u64>, PlanError> {
+        // Check dangling dependencies first.
+        for m in &self.mods {
+            for d in &m.deps {
+                if !self.by_id.contains_key(d) {
+                    return Err(PlanError::UnknownDependency { id: m.id, dep: *d });
+                }
+            }
+        }
+        // Kahn's algorithm for cycle detection / topological order.
+        let mut in_degree: HashMap<u64, usize> =
+            self.mods.iter().map(|m| (m.id, m.deps.len())).collect();
+        let mut dependents: HashMap<u64, Vec<u64>> = HashMap::new();
+        for m in &self.mods {
+            for d in &m.deps {
+                dependents.entry(*d).or_default().push(m.id);
+            }
+        }
+        let mut ready: Vec<u64> = self
+            .mods
+            .iter()
+            .filter(|m| m.deps.is_empty())
+            .map(|m| m.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.mods.len());
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            if let Some(deps) = dependents.get(&id) {
+                for &next in deps {
+                    let e = in_degree.get_mut(&next).expect("known id");
+                    *e -= 1;
+                    if *e == 0 {
+                        ready.push(next);
+                    }
+                }
+            }
+        }
+        if order.len() != self.mods.len() {
+            return Err(PlanError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Ids whose dependencies are all contained in `confirmed` and which are
+    /// not themselves in `confirmed` or `sent`.
+    pub fn ready_ids(&self, confirmed: &HashSet<u64>, sent: &HashSet<u64>) -> Vec<u64> {
+        self.mods
+            .iter()
+            .filter(|m| {
+                !sent.contains(&m.id)
+                    && !confirmed.contains(&m.id)
+                    && m.deps.iter().all(|d| confirmed.contains(d))
+            })
+            .map(|m| m.id)
+            .collect()
+    }
+}
+
+/// Errors found while validating a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// A modification depends on an id that is not part of the plan.
+    UnknownDependency {
+        /// The modification with the bad dependency.
+        id: u64,
+        /// The missing dependency id.
+        dep: u64,
+    },
+    /// The dependency graph contains a cycle.
+    Cycle,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownDependency { id, dep } => {
+                write!(f, "modification {id} depends on unknown modification {dep}")
+            }
+            PlanError::Cycle => write!(f, "the dependency graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::{Action, OfMatch};
+    use std::net::Ipv4Addr;
+
+    fn fm(i: u8) -> FlowMod {
+        FlowMod::add(
+            OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, i), Ipv4Addr::new(10, 1, 0, i)),
+            10,
+            vec![Action::output(1)],
+        )
+    }
+
+    #[test]
+    fn add_sets_cookie_to_id() {
+        let mut plan = UpdatePlan::new();
+        plan.add(42, 0, fm(1));
+        assert_eq!(plan.get(42).unwrap().flow_mod.cookie, 42);
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+        assert!(plan.get(43).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate planned-mod id")]
+    fn duplicate_ids_panic() {
+        let mut plan = UpdatePlan::new();
+        plan.add(1, 0, fm(1));
+        plan.add(1, 0, fm(2));
+    }
+
+    #[test]
+    fn validate_detects_unknown_dependency() {
+        let mut plan = UpdatePlan::new();
+        plan.add_with_deps(1, 0, fm(1), vec![99]);
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::UnknownDependency { id: 1, dep: 99 })
+        );
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let mut plan = UpdatePlan::new();
+        plan.add_with_deps(1, 0, fm(1), vec![2]);
+        plan.add_with_deps(2, 0, fm(2), vec![1]);
+        assert_eq!(plan.validate(), Err(PlanError::Cycle));
+        assert_eq!(PlanError::Cycle.to_string(), "the dependency graph contains a cycle");
+    }
+
+    #[test]
+    fn validate_returns_topological_order() {
+        let mut plan = UpdatePlan::new();
+        plan.add(1, 1, fm(1));
+        plan.add_with_deps(2, 0, fm(2), vec![1]);
+        plan.add_with_deps(3, 0, fm(3), vec![1, 2]);
+        let order = plan.validate().unwrap();
+        let pos = |id: u64| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+        assert_eq!(plan.targets(), [0usize, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn ready_ids_respects_dependencies_and_window_state() {
+        let mut plan = UpdatePlan::new();
+        plan.add(1, 1, fm(1));
+        plan.add_with_deps(2, 0, fm(2), vec![1]);
+        let confirmed = HashSet::new();
+        let sent = HashSet::new();
+        assert_eq!(plan.ready_ids(&confirmed, &sent), vec![1]);
+
+        let sent: HashSet<u64> = [1].into_iter().collect();
+        assert!(plan.ready_ids(&confirmed, &sent).is_empty());
+
+        let confirmed: HashSet<u64> = [1].into_iter().collect();
+        assert_eq!(plan.ready_ids(&confirmed, &sent), vec![2]);
+
+        let confirmed: HashSet<u64> = [1, 2].into_iter().collect();
+        let sent: HashSet<u64> = [1, 2].into_iter().collect();
+        assert!(plan.ready_ids(&confirmed, &sent).is_empty());
+    }
+}

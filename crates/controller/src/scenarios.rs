@@ -1,0 +1,520 @@
+//! Builders for the paper's experimental setups.
+//!
+//! Two scenarios cover every figure and table:
+//!
+//! * [`TriangleScenario`] — the end-to-end testbed of Figure 1a: hosts H1 and
+//!   H2, software switches S1 and S3, and the hardware switch S2.  300 flows
+//!   are pre-installed on the path S1→S3 and then migrated, consistently, to
+//!   S1→S2→S3 (Figures 1b, 6 and 7).
+//! * [`BulkUpdateScenario`] — the single-switch microbenchmark of Section
+//!   5.2: a switch that starts with one low-priority drop-all rule and
+//!   receives R rule installations with at most K outstanding, while traffic
+//!   matching each rule is continuously offered (Figure 8 and Table 1).
+
+use crate::plan::UpdatePlan;
+use ofswitch::{OpenFlowSwitch, SwitchModel};
+use openflow::messages::FlowMod;
+use openflow::{Action, DatapathId, MacAddr, OfMatch, PacketHeader};
+use simnet::traffic::{flow_header, FlowSpec, Host};
+use simnet::{FlowId, NodeId, SimTime, Simulator};
+
+/// Base id for rule installations at switch S2 (triangle scenario) or the
+/// device under test (bulk scenario).
+pub const COOKIE_NEW_RULE_BASE: u64 = 1_000;
+/// Base id for the path-flip modifications at switch S1 (triangle scenario).
+pub const COOKIE_FLIP_RULE_BASE: u64 = 100_000;
+/// Cookie used for pre-installed infrastructure rules (never part of a plan).
+pub const COOKIE_PREINSTALLED: u64 = 1;
+
+/// Priority of the per-flow forwarding rules.
+pub const FLOW_RULE_PRIORITY: u16 = 100;
+/// Priority of the catch-all drop rule every switch starts with.
+pub const DROP_ALL_PRIORITY: u16 = 0;
+
+/// Handles to the nodes and plan of a built triangle experiment.
+#[derive(Debug)]
+pub struct TriangleNet {
+    /// Traffic source host (H1).
+    pub h1: NodeId,
+    /// Traffic destination host (H2).
+    pub h2: NodeId,
+    /// Ingress software switch (S1).
+    pub s1: NodeId,
+    /// The switch under test (S2, the "hardware" switch).
+    pub s2: NodeId,
+    /// Egress software switch (S3).
+    pub s3: NodeId,
+    /// The consistent path-migration plan (S2 installs before S1 flips).
+    pub plan: UpdatePlan,
+    /// Per-flow packet headers, indexed by flow number.
+    pub flow_headers: Vec<PacketHeader>,
+}
+
+/// The triangle path-migration experiment (Figure 1a).
+#[derive(Debug, Clone)]
+pub struct TriangleScenario {
+    /// Number of flows to migrate (the paper uses 300).
+    pub n_flows: u32,
+    /// Per-flow packet rate (the paper uses 250 packets/s).
+    pub packets_per_sec: u64,
+    /// When hosts start sending.
+    pub traffic_start: SimTime,
+    /// When hosts stop sending.
+    pub traffic_stop: SimTime,
+    /// Behaviour model of S2 (the switch whose acknowledgments are suspect).
+    pub s2_model: SwitchModel,
+    /// Behaviour model of the software switches S1 and S3.
+    pub edge_model: SwitchModel,
+}
+
+impl Default for TriangleScenario {
+    fn default() -> Self {
+        TriangleScenario {
+            n_flows: 300,
+            packets_per_sec: 250,
+            traffic_start: SimTime::ZERO,
+            traffic_stop: SimTime::from_secs(4),
+            s2_model: SwitchModel::hp5406zl(),
+            edge_model: SwitchModel::faithful(),
+        }
+    }
+}
+
+/// Port map of the triangle topology (see Figure 1a).
+pub mod triangle_ports {
+    /// S1 port facing H1.
+    pub const S1_TO_H1: u16 = 1;
+    /// S1 port facing S3 (the old path).
+    pub const S1_TO_S3: u16 = 2;
+    /// S1 port facing S2 (the new path).
+    pub const S1_TO_S2: u16 = 3;
+    /// S2 port facing S1.
+    pub const S2_TO_S1: u16 = 1;
+    /// S2 port facing S3.
+    pub const S2_TO_S3: u16 = 2;
+    /// S3 port facing S1.
+    pub const S3_TO_S1: u16 = 1;
+    /// S3 port facing S2.
+    pub const S3_TO_S2: u16 = 2;
+    /// S3 port facing H2.
+    pub const S3_TO_H2: u16 = 3;
+}
+
+impl TriangleScenario {
+    /// MAC address used by H1.
+    pub fn h1_mac() -> MacAddr {
+        MacAddr::from_id(0x11)
+    }
+
+    /// MAC address used by H2.
+    pub fn h2_mac() -> MacAddr {
+        MacAddr::from_id(0x22)
+    }
+
+    /// The packet header of flow `i`.
+    pub fn header(&self, i: u32) -> PacketHeader {
+        flow_header(i, Self::h1_mac(), Self::h2_mac())
+    }
+
+    /// The cookie of the "install at S2" modification for flow `i`.
+    pub fn s2_install_cookie(i: u32) -> u64 {
+        COOKIE_NEW_RULE_BASE + u64::from(i)
+    }
+
+    /// The cookie of the "flip at S1" modification for flow `i`.
+    pub fn s1_flip_cookie(i: u32) -> u64 {
+        COOKIE_FLIP_RULE_BASE + u64::from(i)
+    }
+
+    /// Builds hosts, switches, links, pre-installed state, traffic and the
+    /// update plan inside `sim`.  The switches' controller connections are
+    /// left unset: the caller wires them either directly to a
+    /// [`crate::Controller`] or to RUM proxies.
+    ///
+    /// Switch references in the returned plan: 0 = S1, 1 = S2, 2 = S3.
+    pub fn build(&self, sim: &mut Simulator) -> TriangleNet {
+        use triangle_ports::*;
+
+        let mut h1 = Host::new("H1");
+        let mut h2 = Host::new("H2");
+        let mut flow_headers = Vec::with_capacity(self.n_flows as usize);
+        for i in 0..self.n_flows {
+            let header = self.header(i);
+            flow_headers.push(header);
+            h1.add_tx_flow(FlowSpec::constant_rate(
+                FlowId(u64::from(i)),
+                header,
+                1,
+                self.packets_per_sec,
+                self.traffic_start,
+                self.traffic_stop,
+            ));
+            h2.expect_flow(&header, FlowId(u64::from(i)));
+        }
+
+        let mut s1 = OpenFlowSwitch::new("S1", DatapathId::new(1), 3, self.edge_model.clone());
+        let mut s2 = OpenFlowSwitch::new("S2", DatapathId::new(2), 2, self.s2_model.clone());
+        let mut s3 = OpenFlowSwitch::new("S3", DatapathId::new(3), 3, self.edge_model.clone());
+
+        // Catch-all drop rules (the paper pre-installs a low-priority drop
+        // rule so misses do not flood the controller with PacketIns).
+        for sw in [&mut s1, &mut s2, &mut s3] {
+            sw.preinstall(
+                &FlowMod::add(OfMatch::wildcard_all(), DROP_ALL_PRIORITY, vec![])
+                    .with_cookie(COOKIE_PREINSTALLED),
+            );
+        }
+        // Initial paths: S1 forwards every flow towards S3; S3 delivers to H2.
+        for (i, header) in flow_headers.iter().enumerate() {
+            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
+            s1.preinstall(
+                &FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(S1_TO_S3)])
+                    .with_cookie(COOKIE_PREINSTALLED + 1 + i as u64),
+            );
+            s3.preinstall(
+                &FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(S3_TO_H2)])
+                    .with_cookie(COOKIE_PREINSTALLED + 10_000 + i as u64),
+            );
+        }
+
+        let h1_id = sim.add_node(h1);
+        let h2_id = sim.add_node(h2);
+        let s1_id = sim.add_node(s1);
+        let s2_id = sim.add_node(s2);
+        let s3_id = sim.add_node(s3);
+
+        let lat = SimTime::from_micros(50);
+        let topo = sim.topology_mut();
+        topo.add_link(h1_id, 1, s1_id, S1_TO_H1, lat);
+        topo.add_link(s1_id, S1_TO_S3, s3_id, S3_TO_S1, lat);
+        topo.add_link(s1_id, S1_TO_S2, s2_id, S2_TO_S1, lat);
+        topo.add_link(s2_id, S2_TO_S3, s3_id, S3_TO_S2, lat);
+        topo.add_link(s3_id, S3_TO_H2, h2_id, 1, lat);
+
+        // The consistent migration plan: for every flow, first install the
+        // forwarding rule at S2, then (and only then) flip S1 to the new
+        // next hop.
+        let mut plan = UpdatePlan::new();
+        for (i, header) in flow_headers.iter().enumerate() {
+            let i = i as u32;
+            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
+            let install = plan.add(
+                Self::s2_install_cookie(i),
+                1,
+                FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(S2_TO_S3)]),
+            );
+            plan.add_with_deps(
+                Self::s1_flip_cookie(i),
+                0,
+                FlowMod::modify_strict(m, FLOW_RULE_PRIORITY, vec![Action::output(S1_TO_S2)]),
+                vec![install],
+            );
+        }
+
+        TriangleNet {
+            h1: h1_id,
+            h2: h2_id,
+            s1: s1_id,
+            s2: s2_id,
+            s3: s3_id,
+            plan,
+            flow_headers,
+        }
+    }
+}
+
+/// Handles to the nodes and plan of a built bulk-update experiment.
+#[derive(Debug)]
+pub struct BulkNet {
+    /// Traffic source host.
+    pub h_src: NodeId,
+    /// Traffic destination host.
+    pub h_dst: NodeId,
+    /// Upstream helper switch (probe injection point, "switch A").
+    pub sw_a: NodeId,
+    /// The device under test ("switch B").
+    pub sw_b: NodeId,
+    /// Downstream helper switch (probe collection point, "switch C").
+    pub sw_c: NodeId,
+    /// The plan installing R rules at switch B.
+    pub plan: UpdatePlan,
+    /// Per-rule packet headers, indexed by rule number.
+    pub flow_headers: Vec<PacketHeader>,
+}
+
+/// The single-switch bulk-update microbenchmark (Section 5.2).
+#[derive(Debug, Clone)]
+pub struct BulkUpdateScenario {
+    /// Number of rule installations (the paper uses R = 300 or 4000).
+    pub n_rules: usize,
+    /// Per-rule offered traffic rate in packets/s (250 in the paper); 0
+    /// disables traffic, which speeds up rate-focused runs such as Table 1.
+    pub packets_per_sec: u64,
+    /// When traffic starts.
+    pub traffic_start: SimTime,
+    /// When traffic stops.
+    pub traffic_stop: SimTime,
+    /// Behaviour model of the device under test.
+    pub model: SwitchModel,
+    /// Behaviour model of the two helper switches.
+    pub edge_model: SwitchModel,
+}
+
+impl Default for BulkUpdateScenario {
+    fn default() -> Self {
+        BulkUpdateScenario {
+            n_rules: 300,
+            packets_per_sec: 250,
+            traffic_start: SimTime::ZERO,
+            traffic_stop: SimTime::from_secs(4),
+            model: SwitchModel::hp5406zl(),
+            edge_model: SwitchModel::faithful(),
+        }
+    }
+}
+
+/// Port map of the bulk-update chain H_src — A — B — C — H_dst.
+pub mod bulk_ports {
+    /// A's port facing the source host.
+    pub const A_TO_HOST: u16 = 1;
+    /// A's port facing B.
+    pub const A_TO_B: u16 = 2;
+    /// B's port facing A.
+    pub const B_TO_A: u16 = 1;
+    /// B's port facing C.
+    pub const B_TO_C: u16 = 2;
+    /// C's port facing B.
+    pub const C_TO_B: u16 = 1;
+    /// C's port facing the destination host.
+    pub const C_TO_HOST: u16 = 2;
+}
+
+impl BulkUpdateScenario {
+    /// MAC address of the source host.
+    pub fn src_mac() -> MacAddr {
+        MacAddr::from_id(0x31)
+    }
+
+    /// MAC address of the destination host.
+    pub fn dst_mac() -> MacAddr {
+        MacAddr::from_id(0x32)
+    }
+
+    /// The packet header matched by rule `i`.
+    pub fn header(&self, i: u32) -> PacketHeader {
+        flow_header(i, Self::src_mac(), Self::dst_mac())
+    }
+
+    /// The cookie of rule `i`.
+    pub fn rule_cookie(i: usize) -> u64 {
+        COOKIE_NEW_RULE_BASE + i as u64
+    }
+
+    /// Builds the chain topology, pre-installed state, traffic and plan.
+    ///
+    /// Switch references in the returned plan: 0 = the device under test (B).
+    pub fn build(&self, sim: &mut Simulator) -> BulkNet {
+        use bulk_ports::*;
+
+        let mut h_src = Host::new("Hsrc");
+        let mut h_dst = Host::new("Hdst");
+        let mut flow_headers = Vec::with_capacity(self.n_rules);
+        for i in 0..self.n_rules {
+            let header = self.header(i as u32);
+            flow_headers.push(header);
+            if self.packets_per_sec > 0 {
+                h_src.add_tx_flow(FlowSpec::constant_rate(
+                    FlowId(i as u64),
+                    header,
+                    1,
+                    self.packets_per_sec,
+                    self.traffic_start,
+                    self.traffic_stop,
+                ));
+                h_dst.expect_flow(&header, FlowId(i as u64));
+            }
+        }
+
+        let mut sw_a = OpenFlowSwitch::new("A", DatapathId::new(0xa), 2, self.edge_model.clone());
+        let mut sw_b = OpenFlowSwitch::new("B", DatapathId::new(0xb), 2, self.model.clone());
+        let mut sw_c = OpenFlowSwitch::new("C", DatapathId::new(0xc), 2, self.edge_model.clone());
+
+        // Helper switches forward everything towards the destination; the
+        // device under test starts with only the drop-all rule.
+        sw_a.preinstall(
+            &FlowMod::add(OfMatch::wildcard_all(), 10, vec![Action::output(A_TO_B)])
+                .with_cookie(COOKIE_PREINSTALLED),
+        );
+        sw_c.preinstall(
+            &FlowMod::add(OfMatch::wildcard_all(), 10, vec![Action::output(C_TO_HOST)])
+                .with_cookie(COOKIE_PREINSTALLED),
+        );
+        sw_b.preinstall(
+            &FlowMod::add(OfMatch::wildcard_all(), DROP_ALL_PRIORITY, vec![])
+                .with_cookie(COOKIE_PREINSTALLED),
+        );
+
+        let h_src_id = sim.add_node(h_src);
+        let h_dst_id = sim.add_node(h_dst);
+        let a_id = sim.add_node(sw_a);
+        let b_id = sim.add_node(sw_b);
+        let c_id = sim.add_node(sw_c);
+
+        let lat = SimTime::from_micros(50);
+        let topo = sim.topology_mut();
+        topo.add_link(h_src_id, 1, a_id, A_TO_HOST, lat);
+        topo.add_link(a_id, A_TO_B, b_id, B_TO_A, lat);
+        topo.add_link(b_id, B_TO_C, c_id, C_TO_B, lat);
+        topo.add_link(c_id, C_TO_HOST, h_dst_id, 1, lat);
+
+        let mut plan = UpdatePlan::new();
+        for (i, header) in flow_headers.iter().enumerate() {
+            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
+            plan.add(
+                Self::rule_cookie(i),
+                0,
+                FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(B_TO_C)]),
+            );
+        }
+
+        BulkNet {
+            h_src: h_src_id,
+            h_dst: h_dst_id,
+            sw_a: a_id,
+            sw_b: b_id,
+            sw_c: c_id,
+            plan,
+            flow_headers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{AckMode, Controller};
+
+    #[test]
+    fn triangle_scenario_builds_consistent_plan() {
+        let mut sim = Simulator::new(1);
+        let scenario = TriangleScenario {
+            n_flows: 10,
+            ..Default::default()
+        };
+        let net = scenario.build(&mut sim);
+        assert_eq!(net.plan.len(), 20, "one install + one flip per flow");
+        net.plan.validate().expect("plan must be acyclic");
+        // Every S1 flip depends on the matching S2 install.
+        for i in 0..10u32 {
+            let flip = net.plan.get(TriangleScenario::s1_flip_cookie(i)).unwrap();
+            assert_eq!(flip.deps, vec![TriangleScenario::s2_install_cookie(i)]);
+            assert_eq!(flip.target, 0);
+            let install = net.plan.get(TriangleScenario::s2_install_cookie(i)).unwrap();
+            assert_eq!(install.target, 1);
+        }
+        assert_eq!(sim.topology().link_count(), 5);
+        assert_eq!(net.flow_headers.len(), 10);
+    }
+
+    #[test]
+    fn triangle_traffic_flows_over_old_path_without_update() {
+        let mut sim = Simulator::new(2);
+        let scenario = TriangleScenario {
+            n_flows: 5,
+            packets_per_sec: 100,
+            traffic_stop: SimTime::from_millis(500),
+            ..Default::default()
+        };
+        let net = scenario.build(&mut sim);
+        sim.run_until(SimTime::from_secs(1));
+        // 5 flows * 100 pkt/s * 0.5 s
+        assert_eq!(sim.trace().delivered_packets(None), 250);
+        assert_eq!(sim.trace().dropped_packets(None), 0);
+        // All packets took the S1 -> S3 path.
+        for summary in sim.trace().flow_update_summaries().values() {
+            assert!(!summary.path_changed);
+        }
+        let s2 = sim.node_ref::<OpenFlowSwitch>(net.s2).unwrap();
+        assert_eq!(s2.data_packets_forwarded(), 0, "S2 carries no traffic before the update");
+    }
+
+    #[test]
+    fn triangle_with_faithful_s2_and_barriers_migrates_without_loss() {
+        let mut sim = Simulator::new(3);
+        let scenario = TriangleScenario {
+            n_flows: 20,
+            packets_per_sec: 250,
+            traffic_stop: SimTime::from_secs(2),
+            s2_model: SwitchModel::faithful(),
+            ..Default::default()
+        };
+        let net = scenario.build(&mut sim);
+        let controller = Controller::new(
+            "ctrl",
+            net.plan.clone(),
+            AckMode::Barriers { batch: 1 },
+            20,
+            SimTime::from_millis(100),
+        );
+        let ctrl_id = sim.add_node(controller);
+        sim.node_mut::<Controller>(ctrl_id)
+            .unwrap()
+            .set_connections(vec![net.s1, net.s2, net.s3]);
+        for sw in [net.s1, net.s2, net.s3] {
+            sim.node_mut::<OpenFlowSwitch>(sw)
+                .unwrap()
+                .connect_controller(ctrl_id);
+        }
+        sim.run_until(SimTime::from_secs(3));
+
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert!(ctrl.is_complete(), "confirmed {}", ctrl.confirmed_count());
+        // With an honest S2 the consistent update loses no packets and every
+        // flow ends up on the new S1 -> S2 -> S3 path.
+        assert_eq!(sim.trace().dropped_packets(None), 0);
+        let summaries = sim.trace().flow_update_summaries();
+        assert_eq!(summaries.len(), 20);
+        let migrated = summaries.values().filter(|s| s.path_changed).count();
+        assert_eq!(migrated, 20, "all flows must migrate to the new path");
+    }
+
+    #[test]
+    fn bulk_scenario_builds_chain_and_plan() {
+        let mut sim = Simulator::new(1);
+        let scenario = BulkUpdateScenario {
+            n_rules: 50,
+            packets_per_sec: 0,
+            ..Default::default()
+        };
+        let net = scenario.build(&mut sim);
+        assert_eq!(net.plan.len(), 50);
+        assert!(net.plan.mods().iter().all(|m| m.target == 0));
+        net.plan.validate().unwrap();
+        assert_eq!(sim.topology().link_count(), 4);
+        // Device under test starts with only the drop-all rule.
+        let b = sim.node_ref::<OpenFlowSwitch>(net.sw_b).unwrap();
+        assert_eq!(b.data_table().len(), 1);
+        let a = sim.node_ref::<OpenFlowSwitch>(net.sw_a).unwrap();
+        assert_eq!(a.data_table().len(), 1);
+    }
+
+    #[test]
+    fn bulk_traffic_is_dropped_until_rules_install() {
+        let mut sim = Simulator::new(4);
+        let scenario = BulkUpdateScenario {
+            n_rules: 5,
+            packets_per_sec: 100,
+            traffic_stop: SimTime::from_millis(300),
+            model: SwitchModel::faithful(),
+            ..Default::default()
+        };
+        let net = scenario.build(&mut sim);
+        // No controller: nothing ever installs the rules, so every packet is
+        // dropped at B by the drop-all rule.
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(sim.trace().delivered_packets(None), 0);
+        assert!(sim.trace().dropped_packets(None) > 0);
+        let b = sim.node_ref::<OpenFlowSwitch>(net.sw_b).unwrap();
+        assert_eq!(b.data_packets_forwarded(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Stream framing: splitting a TCP byte stream into OpenFlow messages.
+//!
+//! The RUM prototype (paper §4) is a TCP proxy that sits between switches
+//! and the controller.  [`OfCodec`] accumulates raw bytes from a socket and
+//! yields complete [`OfMessage`]s; it also serializes outgoing messages.  The
+//! codec is deliberately runtime-agnostic: the `rum-tcp` crate drives it from
+//! blocking std sockets, and tests drive it from in-memory buffers.
+
+use crate::error::{DecodeError, EncodeError};
+use crate::messages::{OfHeader, OfMessage, OFP_HEADER_LEN};
+use bytes::BytesMut;
+
+/// Maximum message size the codec will accept before declaring the stream
+/// corrupt.  OpenFlow lengths are 16-bit so this is the protocol limit.
+pub const MAX_MESSAGE_LEN: usize = u16::MAX as usize;
+
+/// An incremental decoder/encoder for an OpenFlow byte stream.
+#[derive(Debug, Default)]
+pub struct OfCodec {
+    buffer: BytesMut,
+}
+
+impl OfCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        OfCodec {
+            buffer: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Appends raw bytes received from the peer.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Attempts to decode the next complete message from the buffer.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.  A framing-level error
+    /// (bad version, bad length, unknown type) is returned as `Err` and the
+    /// offending frame is discarded so the stream can attempt to resync.
+    pub fn next_message(&mut self) -> Result<Option<OfMessage>, DecodeError> {
+        if self.buffer.len() < OFP_HEADER_LEN {
+            return Ok(None);
+        }
+        let header = OfHeader::peek(&self.buffer)?;
+        let declared = header.length as usize;
+        if declared < OFP_HEADER_LEN {
+            // Drop the stream contents: a length smaller than the header is
+            // unrecoverable desynchronisation.
+            self.buffer.clear();
+            return Err(DecodeError::BadLength {
+                what: "ofp_header.length",
+                len: declared,
+            });
+        }
+        if self.buffer.len() < declared {
+            return Ok(None);
+        }
+        let frame = self.buffer.split_to(declared);
+        OfMessage::decode(&frame).map(Some)
+    }
+
+    /// Decodes every complete message currently buffered.
+    pub fn drain_messages(&mut self) -> Result<Vec<OfMessage>, DecodeError> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.next_message()? {
+            out.push(msg);
+        }
+        Ok(out)
+    }
+
+    /// Serializes a message for transmission.
+    pub fn encode(&self, msg: &OfMessage) -> Result<Vec<u8>, EncodeError> {
+        msg.encode_to_vec()
+    }
+
+    /// Serializes a batch of messages into one contiguous buffer (useful to
+    /// issue a flow-mod burst followed by a barrier in a single write).
+    pub fn encode_batch(&self, msgs: &[OfMessage]) -> Result<Vec<u8>, EncodeError> {
+        let mut out = Vec::with_capacity(msgs.iter().map(OfMessage::wire_len).sum());
+        for m in msgs {
+            out.extend_from_slice(&m.encode_to_vec()?);
+        }
+        Ok(out)
+    }
+
+    /// Discards all buffered bytes (e.g. after a connection reset).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+/// Splits a contiguous byte slice containing whole messages into frames
+/// without copying the payloads. Convenience for tests and trace analysis.
+pub fn split_frames(mut data: &[u8]) -> Result<Vec<&[u8]>, DecodeError> {
+    let mut frames = Vec::new();
+    while !data.is_empty() {
+        let header = OfHeader::peek(data)?;
+        let len = header.length as usize;
+        if len < OFP_HEADER_LEN || len > data.len() {
+            return Err(DecodeError::BadLength {
+                what: "ofp_header.length",
+                len,
+            });
+        }
+        let (frame, rest) = data.split_at(len);
+        frames.push(frame);
+        data = rest;
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::Action;
+    use crate::flow_match::OfMatch;
+    use crate::messages::FlowMod;
+    use std::net::Ipv4Addr;
+
+    fn sample_messages() -> Vec<OfMessage> {
+        vec![
+            OfMessage::Hello { xid: 1 },
+            OfMessage::FlowMod {
+                xid: 2,
+                body: FlowMod::add(
+                    OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)),
+                    10,
+                    vec![Action::output(1)],
+                ),
+            },
+            OfMessage::BarrierRequest { xid: 3 },
+            OfMessage::EchoRequest {
+                xid: 4,
+                data: vec![0xab; 32],
+            },
+        ]
+    }
+
+    #[test]
+    fn feed_all_at_once() {
+        let msgs = sample_messages();
+        let mut codec = OfCodec::new();
+        let bytes = codec.encode_batch(&msgs).unwrap();
+        codec.feed(&bytes);
+        let decoded = codec.drain_messages().unwrap();
+        assert_eq!(decoded, msgs);
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn feed_byte_by_byte() {
+        let msgs = sample_messages();
+        let mut codec = OfCodec::new();
+        let bytes = codec.encode_batch(&msgs).unwrap();
+        let mut decoded = Vec::new();
+        for b in bytes {
+            codec.feed(&[b]);
+            while let Some(m) = codec.next_message().unwrap() {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn partial_message_returns_none() {
+        let mut codec = OfCodec::new();
+        let bytes = OfMessage::EchoRequest {
+            xid: 1,
+            data: vec![1, 2, 3, 4],
+        }
+        .encode_to_vec()
+        .unwrap();
+        codec.feed(&bytes[..6]);
+        assert!(codec.next_message().unwrap().is_none());
+        codec.feed(&bytes[6..]);
+        assert!(codec.next_message().unwrap().is_some());
+    }
+
+    #[test]
+    fn bad_length_clears_buffer() {
+        let mut codec = OfCodec::new();
+        // length field of 4 (< header size) is unrecoverable
+        codec.feed(&[0x01, 0x00, 0x00, 0x04, 0, 0, 0, 1]);
+        assert!(codec.next_message().is_err());
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn unknown_type_skips_frame_but_keeps_stream() {
+        let mut codec = OfCodec::new();
+        let mut bad = OfMessage::Hello { xid: 1 }.encode_to_vec().unwrap();
+        bad[1] = 77; // unknown type
+        let good = OfMessage::BarrierReply { xid: 2 }.encode_to_vec().unwrap();
+        codec.feed(&bad);
+        codec.feed(&good);
+        assert!(codec.next_message().is_err());
+        // The bad frame was consumed; the good one is still decodable.
+        let msg = codec.next_message().unwrap().unwrap();
+        assert_eq!(msg, OfMessage::BarrierReply { xid: 2 });
+    }
+
+    #[test]
+    fn reset_discards_buffered_bytes() {
+        let mut codec = OfCodec::new();
+        codec.feed(&[1, 2, 3]);
+        assert_eq!(codec.buffered(), 3);
+        codec.reset();
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn split_frames_works() {
+        let msgs = sample_messages();
+        let codec = OfCodec::new();
+        let bytes = codec.encode_batch(&msgs).unwrap();
+        let frames = split_frames(&bytes).unwrap();
+        assert_eq!(frames.len(), msgs.len());
+        for (frame, msg) in frames.iter().zip(&msgs) {
+            assert_eq!(&OfMessage::decode(frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn split_frames_rejects_truncation() {
+        let bytes = OfMessage::Hello { xid: 1 }.encode_to_vec().unwrap();
+        assert!(split_frames(&bytes[..5]).is_err());
+    }
+}

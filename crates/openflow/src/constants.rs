@@ -1,0 +1,267 @@
+//! Numeric constants from the OpenFlow 1.0 specification.
+//!
+//! Only the constants the rest of the workspace needs are defined, but they
+//! use the exact values and names (modulo Rust casing) of `openflow.h` from
+//! the v1.0.0 specification so the wire format is interoperable.
+
+/// OpenFlow 1.0 message type codes (`ofp_type`).
+pub mod msg_type {
+    /// OFPT_HELLO
+    pub const HELLO: u8 = 0;
+    /// OFPT_ERROR
+    pub const ERROR: u8 = 1;
+    /// OFPT_ECHO_REQUEST
+    pub const ECHO_REQUEST: u8 = 2;
+    /// OFPT_ECHO_REPLY
+    pub const ECHO_REPLY: u8 = 3;
+    /// OFPT_VENDOR
+    pub const VENDOR: u8 = 4;
+    /// OFPT_FEATURES_REQUEST
+    pub const FEATURES_REQUEST: u8 = 5;
+    /// OFPT_FEATURES_REPLY
+    pub const FEATURES_REPLY: u8 = 6;
+    /// OFPT_GET_CONFIG_REQUEST
+    pub const GET_CONFIG_REQUEST: u8 = 7;
+    /// OFPT_GET_CONFIG_REPLY
+    pub const GET_CONFIG_REPLY: u8 = 8;
+    /// OFPT_SET_CONFIG
+    pub const SET_CONFIG: u8 = 9;
+    /// OFPT_PACKET_IN
+    pub const PACKET_IN: u8 = 10;
+    /// OFPT_FLOW_REMOVED
+    pub const FLOW_REMOVED: u8 = 11;
+    /// OFPT_PORT_STATUS
+    pub const PORT_STATUS: u8 = 12;
+    /// OFPT_PACKET_OUT
+    pub const PACKET_OUT: u8 = 13;
+    /// OFPT_FLOW_MOD
+    pub const FLOW_MOD: u8 = 14;
+    /// OFPT_PORT_MOD
+    pub const PORT_MOD: u8 = 15;
+    /// OFPT_STATS_REQUEST
+    pub const STATS_REQUEST: u8 = 16;
+    /// OFPT_STATS_REPLY
+    pub const STATS_REPLY: u8 = 17;
+    /// OFPT_BARRIER_REQUEST
+    pub const BARRIER_REQUEST: u8 = 18;
+    /// OFPT_BARRIER_REPLY
+    pub const BARRIER_REPLY: u8 = 19;
+    /// OFPT_QUEUE_GET_CONFIG_REQUEST
+    pub const QUEUE_GET_CONFIG_REQUEST: u8 = 20;
+    /// OFPT_QUEUE_GET_CONFIG_REPLY
+    pub const QUEUE_GET_CONFIG_REPLY: u8 = 21;
+}
+
+/// Reserved port numbers (`ofp_port`).
+pub mod port {
+    /// Maximum number of physical switch ports.
+    pub const MAX: u16 = 0xff00;
+    /// Send the packet out the input port (OFPP_IN_PORT).
+    pub const IN_PORT: u16 = 0xfff8;
+    /// Perform actions in the flow table (OFPP_TABLE); PacketOut only.
+    pub const TABLE: u16 = 0xfff9;
+    /// Process with normal L2/L3 switching (OFPP_NORMAL).
+    pub const NORMAL: u16 = 0xfffa;
+    /// All physical ports except input port and those disabled by STP.
+    pub const FLOOD: u16 = 0xfffb;
+    /// All physical ports except input port (OFPP_ALL).
+    pub const ALL: u16 = 0xfffc;
+    /// Send to controller (OFPP_CONTROLLER).
+    pub const CONTROLLER: u16 = 0xfffd;
+    /// Local openflow "port" (OFPP_LOCAL).
+    pub const LOCAL: u16 = 0xfffe;
+    /// Not associated with a physical port (OFPP_NONE).
+    pub const NONE: u16 = 0xffff;
+}
+
+/// `ofp_flow_mod_command` values.
+pub mod flow_mod_command {
+    /// New flow (OFPFC_ADD).
+    pub const ADD: u16 = 0;
+    /// Modify all matching flows (OFPFC_MODIFY).
+    pub const MODIFY: u16 = 1;
+    /// Modify entry strictly matching wildcards (OFPFC_MODIFY_STRICT).
+    pub const MODIFY_STRICT: u16 = 2;
+    /// Delete all matching flows (OFPFC_DELETE).
+    pub const DELETE: u16 = 3;
+    /// Strictly match wildcards and priority (OFPFC_DELETE_STRICT).
+    pub const DELETE_STRICT: u16 = 4;
+}
+
+/// `ofp_flow_mod_flags` values.
+pub mod flow_mod_flags {
+    /// Send flow removed message when flow expires or is deleted.
+    pub const SEND_FLOW_REM: u16 = 1 << 0;
+    /// Check for overlapping entries first.
+    pub const CHECK_OVERLAP: u16 = 1 << 1;
+    /// Remark this is for emergency.
+    pub const EMERG: u16 = 1 << 2;
+}
+
+/// `ofp_packet_in_reason` values.
+pub mod packet_in_reason {
+    /// No matching flow (OFPR_NO_MATCH).
+    pub const NO_MATCH: u8 = 0;
+    /// Action explicitly output to controller (OFPR_ACTION).
+    pub const ACTION: u8 = 1;
+}
+
+/// `ofp_flow_removed_reason` values.
+pub mod flow_removed_reason {
+    /// Flow idle time exceeded idle_timeout.
+    pub const IDLE_TIMEOUT: u8 = 0;
+    /// Time exceeded hard_timeout.
+    pub const HARD_TIMEOUT: u8 = 1;
+    /// Evicted by a DELETE flow mod.
+    pub const DELETE: u8 = 2;
+}
+
+/// `ofp_port_reason` values for PortStatus.
+pub mod port_reason {
+    /// The port was added.
+    pub const ADD: u8 = 0;
+    /// The port was removed.
+    pub const DELETE: u8 = 1;
+    /// Some attribute of the port has changed.
+    pub const MODIFY: u8 = 2;
+}
+
+/// `ofp_error_type` values.
+pub mod error_type {
+    /// Hello protocol failed.
+    pub const HELLO_FAILED: u16 = 0;
+    /// Request was not understood.
+    pub const BAD_REQUEST: u16 = 1;
+    /// Error in action description.
+    pub const BAD_ACTION: u16 = 2;
+    /// Problem modifying flow entry.
+    pub const FLOW_MOD_FAILED: u16 = 3;
+    /// Port mod request failed.
+    pub const PORT_MOD_FAILED: u16 = 4;
+    /// Queue operation failed.
+    pub const QUEUE_OP_FAILED: u16 = 5;
+    /// Non-standard error type reused by RUM for positive acknowledgments.
+    ///
+    /// The paper (Section 4) notes: *"We reuse an error message with a newly
+    /// defined (unused) error code for positive acknowledgments."*  0xr(um) =
+    /// 0xafff keeps clear of every code assigned by the specification.
+    pub const RUM_ACK: u16 = 0xafff;
+}
+
+/// `ofp_flow_mod_failed_code` values.
+pub mod flow_mod_failed_code {
+    /// Flow not added because of full tables.
+    pub const ALL_TABLES_FULL: u16 = 0;
+    /// Attempted to add overlapping flow with CHECK_OVERLAP set.
+    pub const OVERLAP: u16 = 1;
+    /// Permissions error.
+    pub const EPERM: u16 = 2;
+    /// Flow not added because of non-zero idle/hard timeout on emergency flow.
+    pub const BAD_EMERG_TIMEOUT: u16 = 3;
+    /// Unknown command.
+    pub const BAD_COMMAND: u16 = 4;
+    /// Unsupported action list.
+    pub const UNSUPPORTED: u16 = 5;
+}
+
+/// `ofp_stats_types` values.
+pub mod stats_type {
+    /// Description of the OpenFlow switch.
+    pub const DESC: u16 = 0;
+    /// Individual flow statistics.
+    pub const FLOW: u16 = 1;
+    /// Aggregate flow statistics.
+    pub const AGGREGATE: u16 = 2;
+    /// Flow table statistics.
+    pub const TABLE: u16 = 3;
+    /// Physical port statistics.
+    pub const PORT: u16 = 4;
+    /// Queue statistics.
+    pub const QUEUE: u16 = 5;
+    /// Vendor extension.
+    pub const VENDOR: u16 = 0xffff;
+}
+
+/// `ofp_action_type` values.
+pub mod action_type {
+    /// Output to switch port.
+    pub const OUTPUT: u16 = 0;
+    /// Set the 802.1q VLAN id.
+    pub const SET_VLAN_VID: u16 = 1;
+    /// Set the 802.1q priority.
+    pub const SET_VLAN_PCP: u16 = 2;
+    /// Strip the 802.1q header.
+    pub const STRIP_VLAN: u16 = 3;
+    /// Ethernet source address.
+    pub const SET_DL_SRC: u16 = 4;
+    /// Ethernet destination address.
+    pub const SET_DL_DST: u16 = 5;
+    /// IP source address.
+    pub const SET_NW_SRC: u16 = 6;
+    /// IP destination address.
+    pub const SET_NW_DST: u16 = 7;
+    /// IP ToS (DSCP field, 6 bits).
+    pub const SET_NW_TOS: u16 = 8;
+    /// TCP/UDP source port.
+    pub const SET_TP_SRC: u16 = 9;
+    /// TCP/UDP destination port.
+    pub const SET_TP_DST: u16 = 10;
+    /// Output to queue.
+    pub const ENQUEUE: u16 = 11;
+    /// Vendor-specific action.
+    pub const VENDOR: u16 = 0xffff;
+}
+
+/// Special buffer id meaning "packet is not buffered at the switch".
+pub const NO_BUFFER: u32 = 0xffff_ffff;
+
+/// Ethertype of IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// Ethertype of ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+/// Ethertype of a 802.1Q VLAN tag.
+pub const ETHERTYPE_VLAN: u16 = 0x8100;
+
+/// IP protocol number for ICMP.
+pub const IPPROTO_ICMP: u8 = 1;
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Value meaning "no VLAN tag present" in `dl_vlan` (OFP_VLAN_NONE).
+pub const OFP_VLAN_NONE: u16 = 0xffff;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_type_values_match_spec() {
+        assert_eq!(msg_type::HELLO, 0);
+        assert_eq!(msg_type::FLOW_MOD, 14);
+        assert_eq!(msg_type::BARRIER_REQUEST, 18);
+        assert_eq!(msg_type::BARRIER_REPLY, 19);
+        assert_eq!(msg_type::QUEUE_GET_CONFIG_REPLY, 21);
+    }
+
+    #[test]
+    fn port_constants_match_spec() {
+        assert_eq!(port::CONTROLLER, 0xfffd);
+        assert_eq!(port::FLOOD, 0xfffb);
+        assert_eq!(port::NONE, 0xffff);
+    }
+
+    #[test]
+    fn rum_ack_code_is_outside_spec_range() {
+        assert!(error_type::RUM_ACK > error_type::QUEUE_OP_FAILED);
+    }
+
+    #[test]
+    fn action_types_match_spec() {
+        assert_eq!(action_type::OUTPUT, 0);
+        assert_eq!(action_type::SET_NW_TOS, 8);
+        assert_eq!(action_type::ENQUEUE, 11);
+        assert_eq!(action_type::VENDOR, 0xffff);
+    }
+}

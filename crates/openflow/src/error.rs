@@ -1,0 +1,137 @@
+//! Error types for encoding and decoding OpenFlow messages.
+
+use std::fmt;
+
+/// An error raised while decoding bytes into an OpenFlow structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// The message declared an OpenFlow version other than 1.0.
+    BadVersion(u8),
+    /// The message type byte is not a known OpenFlow 1.0 type.
+    UnknownMessageType(u8),
+    /// An action header declared an unknown action type.
+    UnknownActionType(u16),
+    /// A stats request/reply declared an unknown stats type.
+    UnknownStatsType(u16),
+    /// A flow-mod command value outside the specification.
+    UnknownFlowModCommand(u16),
+    /// A length field is inconsistent (e.g. shorter than the fixed header).
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length value.
+        len: usize,
+    },
+    /// A payload failed structural validation.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            DecodeError::BadVersion(v) => write!(f, "unsupported OpenFlow version 0x{v:02x}"),
+            DecodeError::UnknownMessageType(t) => write!(f, "unknown OpenFlow message type {t}"),
+            DecodeError::UnknownActionType(t) => write!(f, "unknown OpenFlow action type {t}"),
+            DecodeError::UnknownStatsType(t) => write!(f, "unknown OpenFlow stats type {t}"),
+            DecodeError::UnknownFlowModCommand(c) => write!(f, "unknown flow-mod command {c}"),
+            DecodeError::BadLength { what, len } => {
+                write!(f, "inconsistent length {len} while decoding {what}")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An error raised while encoding an OpenFlow structure to bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The message is too large to express in the 16-bit length field.
+    TooLarge(usize),
+    /// A string field exceeds its fixed wire width.
+    StringTooLong {
+        /// Which field.
+        field: &'static str,
+        /// Maximum width in bytes.
+        max: usize,
+        /// Actual length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooLarge(len) => {
+                write!(f, "message of {len} bytes exceeds the 16-bit length field")
+            }
+            EncodeError::StringTooLong { field, max, len } => {
+                write!(f, "string field {field} of {len} bytes exceeds {max} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_truncated() {
+        let e = DecodeError::Truncated {
+            what: "ofp_match",
+            needed: 40,
+            available: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ofp_match"));
+        assert!(s.contains("40"));
+        assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn display_bad_version() {
+        assert_eq!(
+            DecodeError::BadVersion(4).to_string(),
+            "unsupported OpenFlow version 0x04"
+        );
+    }
+
+    #[test]
+    fn display_encode_errors() {
+        assert!(EncodeError::TooLarge(70000).to_string().contains("70000"));
+        let e = EncodeError::StringTooLong {
+            field: "name",
+            max: 16,
+            len: 20,
+        };
+        assert!(e.to_string().contains("name"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DecodeError>();
+        assert_err::<EncodeError>();
+    }
+}

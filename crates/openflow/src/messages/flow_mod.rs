@@ -1,0 +1,385 @@
+//! The `OFPT_FLOW_MOD` message and flow-removed notification.
+
+use crate::actions::Action;
+use crate::constants::{flow_mod_command, flow_mod_flags};
+use crate::error::DecodeError;
+use crate::flow_match::OfMatch;
+use crate::types::{BufferId, PortNo};
+use bytes::{Buf, BufMut};
+
+/// The command carried by a flow modification message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowModCommand {
+    /// Add a new flow entry.
+    Add,
+    /// Modify the actions of all matching entries (loose match).
+    Modify,
+    /// Modify the actions of the entry strictly matching wildcards/priority.
+    ModifyStrict,
+    /// Delete all matching entries (loose match).
+    Delete,
+    /// Delete the entry strictly matching wildcards and priority.
+    DeleteStrict,
+}
+
+impl FlowModCommand {
+    /// Wire value of the command.
+    pub fn to_wire(self) -> u16 {
+        match self {
+            FlowModCommand::Add => flow_mod_command::ADD,
+            FlowModCommand::Modify => flow_mod_command::MODIFY,
+            FlowModCommand::ModifyStrict => flow_mod_command::MODIFY_STRICT,
+            FlowModCommand::Delete => flow_mod_command::DELETE,
+            FlowModCommand::DeleteStrict => flow_mod_command::DELETE_STRICT,
+        }
+    }
+
+    /// Parses the wire value of the command.
+    pub fn from_wire(raw: u16) -> Result<Self, DecodeError> {
+        Ok(match raw {
+            flow_mod_command::ADD => FlowModCommand::Add,
+            flow_mod_command::MODIFY => FlowModCommand::Modify,
+            flow_mod_command::MODIFY_STRICT => FlowModCommand::ModifyStrict,
+            flow_mod_command::DELETE => FlowModCommand::Delete,
+            flow_mod_command::DELETE_STRICT => FlowModCommand::DeleteStrict,
+            other => return Err(DecodeError::UnknownFlowModCommand(other)),
+        })
+    }
+
+    /// True for the two delete commands.
+    pub fn is_delete(self) -> bool {
+        matches!(self, FlowModCommand::Delete | FlowModCommand::DeleteStrict)
+    }
+}
+
+/// An `OFPT_FLOW_MOD` message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMod {
+    /// Fields to match.
+    pub match_: OfMatch,
+    /// Opaque controller-issued identifier.
+    pub cookie: u64,
+    /// The modification command.
+    pub command: FlowModCommand,
+    /// Idle time before discarding (seconds); 0 = never.
+    pub idle_timeout: u16,
+    /// Max time before discarding (seconds); 0 = never.
+    pub hard_timeout: u16,
+    /// Priority level of the flow entry (higher wins).
+    pub priority: u16,
+    /// Buffered packet to apply to, or `NO_BUFFER`.
+    pub buffer_id: BufferId,
+    /// For DELETE commands, require matching entries to include this output
+    /// port; `OFPP_NONE` means no restriction.
+    pub out_port: PortNo,
+    /// Bitmap of `flow_mod_flags`.
+    pub flags: u16,
+    /// Action list applied to matching packets.
+    pub actions: Vec<Action>,
+}
+
+/// Wire size of the fixed part of a flow-mod body (without OF header).
+pub const FLOW_MOD_FIXED_LEN: usize = 40 + 8 + 2 + 2 + 2 + 2 + 4 + 2 + 2;
+
+impl FlowMod {
+    /// Creates an ADD flow-mod with the given match, priority and actions.
+    pub fn add(match_: OfMatch, priority: u16, actions: Vec<Action>) -> Self {
+        FlowMod {
+            match_,
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority,
+            buffer_id: crate::constants::NO_BUFFER,
+            out_port: crate::constants::port::NONE,
+            flags: 0,
+            actions,
+        }
+    }
+
+    /// Creates a strict-delete flow-mod for the given match and priority.
+    pub fn delete_strict(match_: OfMatch, priority: u16) -> Self {
+        FlowMod {
+            command: FlowModCommand::DeleteStrict,
+            ..FlowMod::add(match_, priority, Vec::new())
+        }
+    }
+
+    /// Creates a loose-delete flow-mod for the given match.
+    pub fn delete(match_: OfMatch) -> Self {
+        FlowMod {
+            command: FlowModCommand::Delete,
+            ..FlowMod::add(match_, 0, Vec::new())
+        }
+    }
+
+    /// Creates a strict-modify flow-mod replacing the actions of the entry
+    /// identified by `match_` and `priority`.
+    pub fn modify_strict(match_: OfMatch, priority: u16, actions: Vec<Action>) -> Self {
+        FlowMod {
+            command: FlowModCommand::ModifyStrict,
+            ..FlowMod::add(match_, priority, actions)
+        }
+    }
+
+    /// Builder-style: sets the cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Builder-style: sets the CHECK_OVERLAP flag.
+    pub fn with_check_overlap(mut self) -> Self {
+        self.flags |= flow_mod_flags::CHECK_OVERLAP;
+        self
+    }
+
+    /// Builder-style: sets the SEND_FLOW_REM flag.
+    pub fn with_send_flow_removed(mut self) -> Self {
+        self.flags |= flow_mod_flags::SEND_FLOW_REM;
+        self
+    }
+
+    /// Builder-style: sets the idle timeout.
+    pub fn with_idle_timeout(mut self, secs: u16) -> Self {
+        self.idle_timeout = secs;
+        self
+    }
+
+    /// Builder-style: sets the hard timeout.
+    pub fn with_hard_timeout(mut self, secs: u16) -> Self {
+        self.hard_timeout = secs;
+        self
+    }
+
+    /// Body length on the wire (without the OpenFlow header).
+    pub fn body_len(&self) -> usize {
+        FLOW_MOD_FIXED_LEN + Action::list_len(&self.actions)
+    }
+
+    /// Encodes the body (everything after the OpenFlow header).
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        self.match_.encode(buf);
+        buf.put_u64(self.cookie);
+        buf.put_u16(self.command.to_wire());
+        buf.put_u16(self.idle_timeout);
+        buf.put_u16(self.hard_timeout);
+        buf.put_u16(self.priority);
+        buf.put_u32(self.buffer_id);
+        buf.put_u16(self.out_port);
+        buf.put_u16(self.flags);
+        Action::encode_list(&self.actions, buf);
+    }
+
+    /// Decodes the body; `body_len` is the total body length from the header.
+    pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        if body_len < FLOW_MOD_FIXED_LEN {
+            return Err(DecodeError::BadLength {
+                what: "flow_mod",
+                len: body_len,
+            });
+        }
+        let match_ = OfMatch::decode(buf)?;
+        if buf.remaining() < FLOW_MOD_FIXED_LEN - 40 {
+            return Err(DecodeError::Truncated {
+                what: "flow_mod fixed fields",
+                needed: FLOW_MOD_FIXED_LEN - 40,
+                available: buf.remaining(),
+            });
+        }
+        let cookie = buf.get_u64();
+        let command = FlowModCommand::from_wire(buf.get_u16())?;
+        let idle_timeout = buf.get_u16();
+        let hard_timeout = buf.get_u16();
+        let priority = buf.get_u16();
+        let buffer_id = buf.get_u32();
+        let out_port = buf.get_u16();
+        let flags = buf.get_u16();
+        let actions = Action::decode_list(buf, body_len - FLOW_MOD_FIXED_LEN)?;
+        Ok(FlowMod {
+            match_,
+            cookie,
+            command,
+            idle_timeout,
+            hard_timeout,
+            priority,
+            buffer_id,
+            out_port,
+            flags,
+            actions,
+        })
+    }
+}
+
+/// An `OFPT_FLOW_REMOVED` message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRemoved {
+    /// Match of the removed entry.
+    pub match_: OfMatch,
+    /// Cookie of the removed entry.
+    pub cookie: u64,
+    /// Priority of the removed entry.
+    pub priority: u16,
+    /// One of `flow_removed_reason`.
+    pub reason: u8,
+    /// Time the flow was alive, seconds part.
+    pub duration_sec: u32,
+    /// Time the flow was alive, nanoseconds part.
+    pub duration_nsec: u32,
+    /// Idle timeout of the removed entry.
+    pub idle_timeout: u16,
+    /// Packets matched by the entry.
+    pub packet_count: u64,
+    /// Bytes matched by the entry.
+    pub byte_count: u64,
+}
+
+/// Wire size of a flow-removed body.
+pub const FLOW_REMOVED_LEN: usize = 40 + 8 + 2 + 1 + 1 + 4 + 4 + 2 + 2 + 8 + 8;
+
+impl FlowRemoved {
+    /// Body length on the wire.
+    pub fn body_len(&self) -> usize {
+        FLOW_REMOVED_LEN
+    }
+
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        self.match_.encode(buf);
+        buf.put_u64(self.cookie);
+        buf.put_u16(self.priority);
+        buf.put_u8(self.reason);
+        buf.put_u8(0);
+        buf.put_u32(self.duration_sec);
+        buf.put_u32(self.duration_nsec);
+        buf.put_u16(self.idle_timeout);
+        buf.put_slice(&[0, 0]);
+        buf.put_u64(self.packet_count);
+        buf.put_u64(self.byte_count);
+    }
+
+    /// Decodes the body.
+    pub fn decode_body<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        let match_ = OfMatch::decode(buf)?;
+        if buf.remaining() < FLOW_REMOVED_LEN - 40 {
+            return Err(DecodeError::Truncated {
+                what: "flow_removed",
+                needed: FLOW_REMOVED_LEN - 40,
+                available: buf.remaining(),
+            });
+        }
+        let cookie = buf.get_u64();
+        let priority = buf.get_u16();
+        let reason = buf.get_u8();
+        buf.advance(1);
+        let duration_sec = buf.get_u32();
+        let duration_nsec = buf.get_u32();
+        let idle_timeout = buf.get_u16();
+        buf.advance(2);
+        let packet_count = buf.get_u64();
+        let byte_count = buf.get_u64();
+        Ok(FlowRemoved {
+            match_,
+            cookie,
+            priority,
+            reason,
+            duration_sec,
+            duration_nsec,
+            idle_timeout,
+            packet_count,
+            byte_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use std::net::Ipv4Addr;
+
+    fn sample_flow_mod() -> FlowMod {
+        FlowMod::add(
+            OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)),
+            100,
+            vec![Action::SetNwTos(0x20), Action::output(3)],
+        )
+        .with_cookie(0xdead_beef)
+        .with_idle_timeout(30)
+        .with_check_overlap()
+    }
+
+    #[test]
+    fn command_round_trip() {
+        for cmd in [
+            FlowModCommand::Add,
+            FlowModCommand::Modify,
+            FlowModCommand::ModifyStrict,
+            FlowModCommand::Delete,
+            FlowModCommand::DeleteStrict,
+        ] {
+            assert_eq!(FlowModCommand::from_wire(cmd.to_wire()).unwrap(), cmd);
+        }
+        assert!(FlowModCommand::from_wire(99).is_err());
+        assert!(FlowModCommand::Delete.is_delete());
+        assert!(!FlowModCommand::Add.is_delete());
+    }
+
+    #[test]
+    fn flow_mod_round_trip() {
+        let fm = sample_flow_mod();
+        let mut buf = BytesMut::new();
+        fm.encode_body(&mut buf);
+        assert_eq!(buf.len(), fm.body_len());
+        let decoded = FlowMod::decode_body(&mut buf.freeze(), fm.body_len()).unwrap();
+        assert_eq!(decoded, fm);
+    }
+
+    #[test]
+    fn flow_mod_without_actions_round_trip() {
+        let fm = FlowMod::delete_strict(OfMatch::wildcard_all(), 5);
+        let mut buf = BytesMut::new();
+        fm.encode_body(&mut buf);
+        assert_eq!(buf.len(), FLOW_MOD_FIXED_LEN);
+        let decoded = FlowMod::decode_body(&mut buf.freeze(), FLOW_MOD_FIXED_LEN).unwrap();
+        assert_eq!(decoded, fm);
+    }
+
+    #[test]
+    fn flow_mod_too_short_rejected() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[0u8; 20]);
+        assert!(FlowMod::decode_body(&mut buf.freeze(), 20).is_err());
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let fm = sample_flow_mod();
+        assert_eq!(fm.flags & flow_mod_flags::CHECK_OVERLAP, flow_mod_flags::CHECK_OVERLAP);
+        assert_eq!(fm.idle_timeout, 30);
+        let fm = fm.with_send_flow_removed().with_hard_timeout(60);
+        assert_eq!(fm.flags & flow_mod_flags::SEND_FLOW_REM, flow_mod_flags::SEND_FLOW_REM);
+        assert_eq!(fm.hard_timeout, 60);
+    }
+
+    #[test]
+    fn flow_removed_round_trip() {
+        let fr = FlowRemoved {
+            match_: OfMatch::ipv4_pair(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8)),
+            cookie: 77,
+            priority: 10,
+            reason: crate::constants::flow_removed_reason::DELETE,
+            duration_sec: 12,
+            duration_nsec: 500,
+            idle_timeout: 0,
+            packet_count: 1000,
+            byte_count: 64000,
+        };
+        let mut buf = BytesMut::new();
+        fr.encode_body(&mut buf);
+        assert_eq!(buf.len(), FLOW_REMOVED_LEN);
+        let decoded = FlowRemoved::decode_body(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, fr);
+    }
+}

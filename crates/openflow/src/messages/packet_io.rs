@@ -1,0 +1,401 @@
+//! `PacketIn`, `PacketOut` and `PortStatus` messages.
+//!
+//! Data-plane probing (the core of RUM) is driven entirely by these two
+//! messages: RUM injects probe packets with `PacketOut` and learns that a
+//! rule is active when the probe comes back in a `PacketIn`.
+
+use crate::actions::Action;
+use crate::error::DecodeError;
+use crate::types::{BufferId, PortNo};
+use bytes::{Buf, BufMut};
+
+/// An `OFPT_PACKET_IN` message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketIn {
+    /// ID assigned by the switch if the packet is buffered there.
+    pub buffer_id: BufferId,
+    /// Full length of the frame (the included data may be shorter).
+    pub total_len: u16,
+    /// Port on which the frame was received.
+    pub in_port: PortNo,
+    /// Reason the packet was sent (see `packet_in_reason`).
+    pub reason: u8,
+    /// The (possibly truncated) frame bytes.
+    pub data: Vec<u8>,
+}
+
+/// Fixed part of a packet-in body.
+pub const PACKET_IN_FIXED_LEN: usize = 4 + 2 + 2 + 1 + 1;
+
+impl PacketIn {
+    /// Builds an unbuffered PacketIn carrying the full frame.
+    pub fn unbuffered(in_port: PortNo, reason: u8, data: Vec<u8>) -> Self {
+        PacketIn {
+            buffer_id: crate::constants::NO_BUFFER,
+            total_len: data.len() as u16,
+            in_port,
+            reason,
+            data,
+        }
+    }
+
+    /// Body length on the wire.
+    pub fn body_len(&self) -> usize {
+        PACKET_IN_FIXED_LEN + self.data.len()
+    }
+
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.buffer_id);
+        buf.put_u16(self.total_len);
+        buf.put_u16(self.in_port);
+        buf.put_u8(self.reason);
+        buf.put_u8(0);
+        buf.put_slice(&self.data);
+    }
+
+    /// Decodes the body given its total length.
+    pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        if body_len < PACKET_IN_FIXED_LEN || buf.remaining() < body_len {
+            return Err(DecodeError::Truncated {
+                what: "packet_in",
+                needed: PACKET_IN_FIXED_LEN.max(body_len),
+                available: buf.remaining(),
+            });
+        }
+        let buffer_id = buf.get_u32();
+        let total_len = buf.get_u16();
+        let in_port = buf.get_u16();
+        let reason = buf.get_u8();
+        buf.advance(1);
+        let mut data = vec![0u8; body_len - PACKET_IN_FIXED_LEN];
+        buf.copy_to_slice(&mut data);
+        Ok(PacketIn {
+            buffer_id,
+            total_len,
+            in_port,
+            reason,
+            data,
+        })
+    }
+}
+
+/// An `OFPT_PACKET_OUT` message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketOut {
+    /// Buffered packet to release, or `NO_BUFFER` when `data` carries the
+    /// frame.
+    pub buffer_id: BufferId,
+    /// Ingress port the actions should assume (`OFPP_NONE` if none).
+    pub in_port: PortNo,
+    /// Actions to apply to the frame.
+    pub actions: Vec<Action>,
+    /// The frame to send when `buffer_id` is `NO_BUFFER`.
+    pub data: Vec<u8>,
+}
+
+/// Fixed part of a packet-out body.
+pub const PACKET_OUT_FIXED_LEN: usize = 4 + 2 + 2;
+
+impl PacketOut {
+    /// Builds a PacketOut that injects `data` and applies `actions`.
+    pub fn inject(actions: Vec<Action>, data: Vec<u8>) -> Self {
+        PacketOut {
+            buffer_id: crate::constants::NO_BUFFER,
+            in_port: crate::constants::port::NONE,
+            actions,
+            data,
+        }
+    }
+
+    /// Builds a PacketOut that sends `data` out of a single `port`.
+    pub fn single_port(port: PortNo, data: Vec<u8>) -> Self {
+        PacketOut::inject(vec![Action::output(port)], data)
+    }
+
+    /// Builds a PacketOut that pushes `data` through the switch flow table
+    /// (`OFPP_TABLE`), the mode sequential probing uses so the probe exercises
+    /// the freshly installed rule.
+    pub fn via_table(data: Vec<u8>) -> Self {
+        PacketOut::inject(
+            vec![Action::output(crate::constants::port::TABLE)],
+            data,
+        )
+    }
+
+    /// Body length on the wire.
+    pub fn body_len(&self) -> usize {
+        PACKET_OUT_FIXED_LEN + Action::list_len(&self.actions) + self.data.len()
+    }
+
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.buffer_id);
+        buf.put_u16(self.in_port);
+        buf.put_u16(Action::list_len(&self.actions) as u16);
+        Action::encode_list(&self.actions, buf);
+        buf.put_slice(&self.data);
+    }
+
+    /// Decodes the body given its total length.
+    pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        if body_len < PACKET_OUT_FIXED_LEN || buf.remaining() < body_len {
+            return Err(DecodeError::Truncated {
+                what: "packet_out",
+                needed: PACKET_OUT_FIXED_LEN.max(body_len),
+                available: buf.remaining(),
+            });
+        }
+        let buffer_id = buf.get_u32();
+        let in_port = buf.get_u16();
+        let actions_len = buf.get_u16() as usize;
+        if PACKET_OUT_FIXED_LEN + actions_len > body_len {
+            return Err(DecodeError::BadLength {
+                what: "packet_out actions",
+                len: actions_len,
+            });
+        }
+        let actions = Action::decode_list(buf, actions_len)?;
+        let mut data = vec![0u8; body_len - PACKET_OUT_FIXED_LEN - actions_len];
+        buf.copy_to_slice(&mut data);
+        Ok(PacketOut {
+            buffer_id,
+            in_port,
+            actions,
+            data,
+        })
+    }
+}
+
+/// Description of a physical switch port (`ofp_phy_port`, 48 bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhyPort {
+    /// Port number.
+    pub port_no: PortNo,
+    /// MAC address of the port.
+    pub hw_addr: crate::types::MacAddr,
+    /// Human readable name (up to 15 bytes + NUL).
+    pub name: String,
+    /// Bitmap of OFPPC_* flags.
+    pub config: u32,
+    /// Bitmap of OFPPS_* flags.
+    pub state: u32,
+    /// Current features.
+    pub curr: u32,
+    /// Advertised features.
+    pub advertised: u32,
+    /// Supported features.
+    pub supported: u32,
+    /// Features advertised by peer.
+    pub peer: u32,
+}
+
+/// Wire size of a `ofp_phy_port`.
+pub const PHY_PORT_LEN: usize = 48;
+
+impl PhyPort {
+    /// A minimal port description used by the simulated switches.
+    pub fn simple(port_no: PortNo, hw_addr: crate::types::MacAddr, name: &str) -> Self {
+        PhyPort {
+            port_no,
+            hw_addr,
+            name: name.chars().take(15).collect(),
+            config: 0,
+            state: 0,
+            curr: 0,
+            advertised: 0,
+            supported: 0,
+            peer: 0,
+        }
+    }
+
+    /// Encodes the port description.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.port_no);
+        buf.put_slice(&self.hw_addr.octets());
+        let mut name_bytes = [0u8; 16];
+        let raw = self.name.as_bytes();
+        let n = raw.len().min(15);
+        name_bytes[..n].copy_from_slice(&raw[..n]);
+        buf.put_slice(&name_bytes);
+        buf.put_u32(self.config);
+        buf.put_u32(self.state);
+        buf.put_u32(self.curr);
+        buf.put_u32(self.advertised);
+        buf.put_u32(self.supported);
+        buf.put_u32(self.peer);
+    }
+
+    /// Decodes a port description.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < PHY_PORT_LEN {
+            return Err(DecodeError::Truncated {
+                what: "ofp_phy_port",
+                needed: PHY_PORT_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let port_no = buf.get_u16();
+        let mut mac = [0u8; 6];
+        buf.copy_to_slice(&mut mac);
+        let mut name_bytes = [0u8; 16];
+        buf.copy_to_slice(&mut name_bytes);
+        let name_end = name_bytes.iter().position(|&b| b == 0).unwrap_or(16);
+        let name = String::from_utf8_lossy(&name_bytes[..name_end]).into_owned();
+        let config = buf.get_u32();
+        let state = buf.get_u32();
+        let curr = buf.get_u32();
+        let advertised = buf.get_u32();
+        let supported = buf.get_u32();
+        let peer = buf.get_u32();
+        Ok(PhyPort {
+            port_no,
+            hw_addr: crate::types::MacAddr(mac),
+            name,
+            config,
+            state,
+            curr,
+            advertised,
+            supported,
+            peer,
+        })
+    }
+}
+
+/// An `OFPT_PORT_STATUS` message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortStatus {
+    /// One of `port_reason`.
+    pub reason: u8,
+    /// Description of the affected port.
+    pub desc: PhyPort,
+}
+
+/// Wire size of a port-status body.
+pub const PORT_STATUS_LEN: usize = 8 + PHY_PORT_LEN;
+
+impl PortStatus {
+    /// Body length on the wire.
+    pub fn body_len(&self) -> usize {
+        PORT_STATUS_LEN
+    }
+
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.reason);
+        buf.put_slice(&[0u8; 7]);
+        self.desc.encode(buf);
+    }
+
+    /// Decodes the body.
+    pub fn decode_body<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < PORT_STATUS_LEN {
+            return Err(DecodeError::Truncated {
+                what: "port_status",
+                needed: PORT_STATUS_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let reason = buf.get_u8();
+        buf.advance(7);
+        let desc = PhyPort::decode(buf)?;
+        Ok(PortStatus { reason, desc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::packet_in_reason;
+    use crate::packet::PacketHeader;
+    use crate::types::MacAddr;
+    use bytes::BytesMut;
+
+    #[test]
+    fn packet_in_round_trip() {
+        let frame = PacketHeader::default().to_bytes();
+        let pi = PacketIn::unbuffered(7, packet_in_reason::ACTION, frame.clone());
+        let mut buf = BytesMut::new();
+        pi.encode_body(&mut buf);
+        assert_eq!(buf.len(), pi.body_len());
+        let decoded = PacketIn::decode_body(&mut buf.freeze(), pi.body_len()).unwrap();
+        assert_eq!(decoded, pi);
+        assert_eq!(decoded.data, frame);
+    }
+
+    #[test]
+    fn packet_in_empty_data() {
+        let pi = PacketIn::unbuffered(1, packet_in_reason::NO_MATCH, Vec::new());
+        let mut buf = BytesMut::new();
+        pi.encode_body(&mut buf);
+        let decoded = PacketIn::decode_body(&mut buf.freeze(), pi.body_len()).unwrap();
+        assert!(decoded.data.is_empty());
+    }
+
+    #[test]
+    fn packet_out_round_trip() {
+        let frame = PacketHeader::default().to_bytes();
+        let po = PacketOut::inject(
+            vec![Action::SetNwTos(4), Action::output(2)],
+            frame.clone(),
+        );
+        let mut buf = BytesMut::new();
+        po.encode_body(&mut buf);
+        assert_eq!(buf.len(), po.body_len());
+        let decoded = PacketOut::decode_body(&mut buf.freeze(), po.body_len()).unwrap();
+        assert_eq!(decoded, po);
+    }
+
+    #[test]
+    fn packet_out_via_table_uses_table_port() {
+        let po = PacketOut::via_table(vec![1, 2, 3]);
+        assert_eq!(
+            Action::output_ports(&po.actions),
+            vec![crate::constants::port::TABLE]
+        );
+    }
+
+    #[test]
+    fn packet_out_bad_action_len_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(crate::constants::NO_BUFFER);
+        buf.put_u16(0);
+        buf.put_u16(64); // declares more action bytes than the body holds
+        buf.put_slice(&[0u8; 4]);
+        let len = buf.len();
+        assert!(PacketOut::decode_body(&mut buf.freeze(), len).is_err());
+    }
+
+    #[test]
+    fn phy_port_round_trip() {
+        let p = PhyPort::simple(3, MacAddr::from_id(9), "eth3");
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), PHY_PORT_LEN);
+        let decoded = PhyPort::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn phy_port_name_truncated_to_15() {
+        let p = PhyPort::simple(1, MacAddr::ZERO, "a-very-long-interface-name");
+        assert!(p.name.len() <= 15);
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        let decoded = PhyPort::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded.name, p.name);
+    }
+
+    #[test]
+    fn port_status_round_trip() {
+        let ps = PortStatus {
+            reason: crate::constants::port_reason::MODIFY,
+            desc: PhyPort::simple(2, MacAddr::from_id(5), "eth2"),
+        };
+        let mut buf = BytesMut::new();
+        ps.encode_body(&mut buf);
+        assert_eq!(buf.len(), ps.body_len());
+        let decoded = PortStatus::decode_body(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, ps);
+    }
+}

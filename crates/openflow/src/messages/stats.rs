@@ -1,0 +1,812 @@
+//! `OFPT_STATS_REQUEST` / `OFPT_STATS_REPLY` messages.
+//!
+//! The paper's §3.1 discusses (and rejects) using statistics requests as an
+//! acknowledgment channel; the switch model still answers them so that
+//! controllers relying on flow statistics keep working through the RUM proxy.
+
+use crate::actions::Action;
+use crate::constants::stats_type;
+use crate::error::DecodeError;
+use crate::flow_match::OfMatch;
+use crate::types::PortNo;
+use bytes::{Buf, BufMut};
+
+/// Fixed-size string field helper: encodes `s` NUL-padded to `width`.
+fn put_fixed_str<B: BufMut>(buf: &mut B, s: &str, width: usize) {
+    let raw = s.as_bytes();
+    let n = raw.len().min(width - 1);
+    buf.put_slice(&raw[..n]);
+    for _ in n..width {
+        buf.put_u8(0);
+    }
+}
+
+/// Fixed-size string field helper: decodes a NUL-terminated string of `width`
+/// bytes.
+fn get_fixed_str<B: Buf>(buf: &mut B, width: usize) -> String {
+    let mut bytes = vec![0u8; width];
+    buf.copy_to_slice(&mut bytes);
+    let end = bytes.iter().position(|&b| b == 0).unwrap_or(width);
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
+}
+
+/// A statistics request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsRequest {
+    /// Switch description.
+    Desc,
+    /// Individual flow statistics.
+    Flow {
+        /// Flows to match.
+        match_: OfMatch,
+        /// Table to read (0xff = all).
+        table_id: u8,
+        /// Restrict to flows outputting to this port (`OFPP_NONE` = all).
+        out_port: PortNo,
+    },
+    /// Aggregate flow statistics.
+    Aggregate {
+        /// Flows to match.
+        match_: OfMatch,
+        /// Table to read (0xff = all).
+        table_id: u8,
+        /// Restrict to flows outputting to this port (`OFPP_NONE` = all).
+        out_port: PortNo,
+    },
+    /// Flow table statistics.
+    Table,
+    /// Port statistics.
+    Port {
+        /// Port to read (`OFPP_NONE` = all ports).
+        port_no: PortNo,
+    },
+    /// A vendor or unsupported stats request carried opaquely.
+    Other {
+        /// Raw stats type.
+        stats_type: u16,
+        /// Raw body.
+        body: Vec<u8>,
+    },
+}
+
+impl StatsRequest {
+    /// The stats type code of this request.
+    pub fn stats_type(&self) -> u16 {
+        match self {
+            StatsRequest::Desc => stats_type::DESC,
+            StatsRequest::Flow { .. } => stats_type::FLOW,
+            StatsRequest::Aggregate { .. } => stats_type::AGGREGATE,
+            StatsRequest::Table => stats_type::TABLE,
+            StatsRequest::Port { .. } => stats_type::PORT,
+            StatsRequest::Other { stats_type, .. } => *stats_type,
+        }
+    }
+
+    /// Body length on the wire (including the 4-byte stats header).
+    pub fn body_len(&self) -> usize {
+        4 + match self {
+            StatsRequest::Desc | StatsRequest::Table => 0,
+            StatsRequest::Flow { .. } | StatsRequest::Aggregate { .. } => 44,
+            StatsRequest::Port { .. } => 8,
+            StatsRequest::Other { body, .. } => body.len(),
+        }
+    }
+
+    /// Encodes the body (stats header + type-specific part).
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.stats_type());
+        buf.put_u16(0); // flags
+        match self {
+            StatsRequest::Desc | StatsRequest::Table => {}
+            StatsRequest::Flow {
+                match_,
+                table_id,
+                out_port,
+            }
+            | StatsRequest::Aggregate {
+                match_,
+                table_id,
+                out_port,
+            } => {
+                match_.encode(buf);
+                buf.put_u8(*table_id);
+                buf.put_u8(0);
+                buf.put_u16(*out_port);
+            }
+            StatsRequest::Port { port_no } => {
+                buf.put_u16(*port_no);
+                buf.put_slice(&[0u8; 6]);
+            }
+            StatsRequest::Other { body, .. } => buf.put_slice(body),
+        }
+    }
+
+    /// Decodes a stats request body of `body_len` bytes.
+    pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        if body_len < 4 || buf.remaining() < body_len {
+            return Err(DecodeError::Truncated {
+                what: "stats_request",
+                needed: 4.max(body_len),
+                available: buf.remaining(),
+            });
+        }
+        let ty = buf.get_u16();
+        let _flags = buf.get_u16();
+        let rest = body_len - 4;
+        Ok(match ty {
+            stats_type::DESC => {
+                buf.advance(rest);
+                StatsRequest::Desc
+            }
+            stats_type::TABLE => {
+                buf.advance(rest);
+                StatsRequest::Table
+            }
+            stats_type::FLOW | stats_type::AGGREGATE => {
+                if rest < 44 {
+                    return Err(DecodeError::BadLength {
+                        what: "flow stats request",
+                        len: rest,
+                    });
+                }
+                let match_ = OfMatch::decode(buf)?;
+                let table_id = buf.get_u8();
+                buf.advance(1);
+                let out_port = buf.get_u16();
+                buf.advance(rest - 44);
+                if ty == stats_type::FLOW {
+                    StatsRequest::Flow {
+                        match_,
+                        table_id,
+                        out_port,
+                    }
+                } else {
+                    StatsRequest::Aggregate {
+                        match_,
+                        table_id,
+                        out_port,
+                    }
+                }
+            }
+            stats_type::PORT => {
+                if rest < 8 {
+                    return Err(DecodeError::BadLength {
+                        what: "port stats request",
+                        len: rest,
+                    });
+                }
+                let port_no = buf.get_u16();
+                buf.advance(rest - 2);
+                StatsRequest::Port { port_no }
+            }
+            other => {
+                let mut body = vec![0u8; rest];
+                buf.copy_to_slice(&mut body);
+                StatsRequest::Other {
+                    stats_type: other,
+                    body,
+                }
+            }
+        })
+    }
+}
+
+/// One flow entry in a flow-stats reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStatsEntry {
+    /// Table the flow lives in.
+    pub table_id: u8,
+    /// Match of the flow.
+    pub match_: OfMatch,
+    /// Seconds the flow has been alive.
+    pub duration_sec: u32,
+    /// Nanosecond remainder of the duration.
+    pub duration_nsec: u32,
+    /// Priority of the flow.
+    pub priority: u16,
+    /// Idle timeout.
+    pub idle_timeout: u16,
+    /// Hard timeout.
+    pub hard_timeout: u16,
+    /// Cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Actions of the flow.
+    pub actions: Vec<Action>,
+}
+
+/// Fixed part of a flow-stats entry.
+pub const FLOW_STATS_ENTRY_FIXED_LEN: usize = 2 + 1 + 1 + 40 + 4 + 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8;
+
+impl FlowStatsEntry {
+    /// Wire length of this entry.
+    pub fn wire_len(&self) -> usize {
+        FLOW_STATS_ENTRY_FIXED_LEN + Action::list_len(&self.actions)
+    }
+
+    /// Encodes the entry.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.wire_len() as u16);
+        buf.put_u8(self.table_id);
+        buf.put_u8(0);
+        self.match_.encode(buf);
+        buf.put_u32(self.duration_sec);
+        buf.put_u32(self.duration_nsec);
+        buf.put_u16(self.priority);
+        buf.put_u16(self.idle_timeout);
+        buf.put_u16(self.hard_timeout);
+        buf.put_slice(&[0u8; 6]);
+        buf.put_u64(self.cookie);
+        buf.put_u64(self.packet_count);
+        buf.put_u64(self.byte_count);
+        Action::encode_list(&self.actions, buf);
+    }
+
+    /// Decodes one entry.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < FLOW_STATS_ENTRY_FIXED_LEN {
+            return Err(DecodeError::Truncated {
+                what: "flow stats entry",
+                needed: FLOW_STATS_ENTRY_FIXED_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let length = buf.get_u16() as usize;
+        if length < FLOW_STATS_ENTRY_FIXED_LEN {
+            return Err(DecodeError::BadLength {
+                what: "flow stats entry",
+                len: length,
+            });
+        }
+        let table_id = buf.get_u8();
+        buf.advance(1);
+        let match_ = OfMatch::decode(buf)?;
+        let duration_sec = buf.get_u32();
+        let duration_nsec = buf.get_u32();
+        let priority = buf.get_u16();
+        let idle_timeout = buf.get_u16();
+        let hard_timeout = buf.get_u16();
+        buf.advance(6);
+        let cookie = buf.get_u64();
+        let packet_count = buf.get_u64();
+        let byte_count = buf.get_u64();
+        let actions = Action::decode_list(buf, length - FLOW_STATS_ENTRY_FIXED_LEN)?;
+        Ok(FlowStatsEntry {
+            table_id,
+            match_,
+            duration_sec,
+            duration_nsec,
+            priority,
+            idle_timeout,
+            hard_timeout,
+            cookie,
+            packet_count,
+            byte_count,
+            actions,
+        })
+    }
+}
+
+/// Per-port statistics in a port-stats reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStatsEntry {
+    /// Port number.
+    pub port_no: PortNo,
+    /// Received packets.
+    pub rx_packets: u64,
+    /// Transmitted packets.
+    pub tx_packets: u64,
+    /// Received bytes.
+    pub rx_bytes: u64,
+    /// Transmitted bytes.
+    pub tx_bytes: u64,
+    /// Packets dropped on receive.
+    pub rx_dropped: u64,
+    /// Packets dropped on transmit.
+    pub tx_dropped: u64,
+    /// Receive errors.
+    pub rx_errors: u64,
+    /// Transmit errors.
+    pub tx_errors: u64,
+}
+
+/// Wire size of a port-stats entry.
+pub const PORT_STATS_ENTRY_LEN: usize = 104;
+
+impl PortStatsEntry {
+    /// Encodes the entry.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.port_no);
+        buf.put_slice(&[0u8; 6]);
+        buf.put_u64(self.rx_packets);
+        buf.put_u64(self.tx_packets);
+        buf.put_u64(self.rx_bytes);
+        buf.put_u64(self.tx_bytes);
+        buf.put_u64(self.rx_dropped);
+        buf.put_u64(self.tx_dropped);
+        buf.put_u64(self.rx_errors);
+        buf.put_u64(self.tx_errors);
+        // rx_frame_err, rx_over_err, rx_crc_err, collisions — unused by the model.
+        buf.put_slice(&[0u8; 32]);
+    }
+
+    /// Decodes one entry.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < PORT_STATS_ENTRY_LEN {
+            return Err(DecodeError::Truncated {
+                what: "port stats entry",
+                needed: PORT_STATS_ENTRY_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let port_no = buf.get_u16();
+        buf.advance(6);
+        let rx_packets = buf.get_u64();
+        let tx_packets = buf.get_u64();
+        let rx_bytes = buf.get_u64();
+        let tx_bytes = buf.get_u64();
+        let rx_dropped = buf.get_u64();
+        let tx_dropped = buf.get_u64();
+        let rx_errors = buf.get_u64();
+        let tx_errors = buf.get_u64();
+        buf.advance(32);
+        Ok(PortStatsEntry {
+            port_no,
+            rx_packets,
+            tx_packets,
+            rx_bytes,
+            tx_bytes,
+            rx_dropped,
+            tx_dropped,
+            rx_errors,
+            tx_errors,
+        })
+    }
+}
+
+/// Per-table statistics in a table-stats reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStatsEntry {
+    /// Table id.
+    pub table_id: u8,
+    /// Human-readable table name.
+    pub name: String,
+    /// Wildcards supported by the table.
+    pub wildcards: u32,
+    /// Maximum entries.
+    pub max_entries: u32,
+    /// Active entries.
+    pub active_count: u32,
+    /// Packets looked up.
+    pub lookup_count: u64,
+    /// Packets that hit.
+    pub matched_count: u64,
+}
+
+/// Wire size of a table-stats entry.
+pub const TABLE_STATS_ENTRY_LEN: usize = 1 + 3 + 32 + 4 + 4 + 4 + 8 + 8;
+
+impl TableStatsEntry {
+    /// Encodes the entry.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.table_id);
+        buf.put_slice(&[0u8; 3]);
+        put_fixed_str(buf, &self.name, 32);
+        buf.put_u32(self.wildcards);
+        buf.put_u32(self.max_entries);
+        buf.put_u32(self.active_count);
+        buf.put_u64(self.lookup_count);
+        buf.put_u64(self.matched_count);
+    }
+
+    /// Decodes one entry.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < TABLE_STATS_ENTRY_LEN {
+            return Err(DecodeError::Truncated {
+                what: "table stats entry",
+                needed: TABLE_STATS_ENTRY_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let table_id = buf.get_u8();
+        buf.advance(3);
+        let name = get_fixed_str(buf, 32);
+        let wildcards = buf.get_u32();
+        let max_entries = buf.get_u32();
+        let active_count = buf.get_u32();
+        let lookup_count = buf.get_u64();
+        let matched_count = buf.get_u64();
+        Ok(TableStatsEntry {
+            table_id,
+            name,
+            wildcards,
+            max_entries,
+            active_count,
+            lookup_count,
+            matched_count,
+        })
+    }
+}
+
+/// A statistics reply body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsReply {
+    /// Switch description strings.
+    Desc {
+        /// Manufacturer description.
+        mfr_desc: String,
+        /// Hardware description.
+        hw_desc: String,
+        /// Software description.
+        sw_desc: String,
+        /// Serial number.
+        serial_num: String,
+        /// Datapath description.
+        dp_desc: String,
+    },
+    /// Individual flow statistics.
+    Flow(Vec<FlowStatsEntry>),
+    /// Aggregate flow statistics.
+    Aggregate {
+        /// Total packets.
+        packet_count: u64,
+        /// Total bytes.
+        byte_count: u64,
+        /// Number of flows.
+        flow_count: u32,
+    },
+    /// Per-table statistics.
+    Table(Vec<TableStatsEntry>),
+    /// Per-port statistics.
+    Port(Vec<PortStatsEntry>),
+    /// A vendor or unsupported stats reply carried opaquely.
+    Other {
+        /// Raw stats type.
+        stats_type: u16,
+        /// Raw body.
+        body: Vec<u8>,
+    },
+}
+
+impl StatsReply {
+    /// The stats type code of this reply.
+    pub fn stats_type(&self) -> u16 {
+        match self {
+            StatsReply::Desc { .. } => stats_type::DESC,
+            StatsReply::Flow(_) => stats_type::FLOW,
+            StatsReply::Aggregate { .. } => stats_type::AGGREGATE,
+            StatsReply::Table(_) => stats_type::TABLE,
+            StatsReply::Port(_) => stats_type::PORT,
+            StatsReply::Other { stats_type, .. } => *stats_type,
+        }
+    }
+
+    /// Body length on the wire (including the 4-byte stats header).
+    pub fn body_len(&self) -> usize {
+        4 + match self {
+            StatsReply::Desc { .. } => 256 * 4 + 32,
+            StatsReply::Flow(entries) => entries.iter().map(FlowStatsEntry::wire_len).sum(),
+            StatsReply::Aggregate { .. } => 24,
+            StatsReply::Table(entries) => entries.len() * TABLE_STATS_ENTRY_LEN,
+            StatsReply::Port(entries) => entries.len() * PORT_STATS_ENTRY_LEN,
+            StatsReply::Other { body, .. } => body.len(),
+        }
+    }
+
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.stats_type());
+        buf.put_u16(0); // flags (no OFPSF_REPLY_MORE support needed here)
+        match self {
+            StatsReply::Desc {
+                mfr_desc,
+                hw_desc,
+                sw_desc,
+                serial_num,
+                dp_desc,
+            } => {
+                put_fixed_str(buf, mfr_desc, 256);
+                put_fixed_str(buf, hw_desc, 256);
+                put_fixed_str(buf, sw_desc, 256);
+                put_fixed_str(buf, serial_num, 32);
+                put_fixed_str(buf, dp_desc, 256);
+            }
+            StatsReply::Flow(entries) => {
+                for e in entries {
+                    e.encode(buf);
+                }
+            }
+            StatsReply::Aggregate {
+                packet_count,
+                byte_count,
+                flow_count,
+            } => {
+                buf.put_u64(*packet_count);
+                buf.put_u64(*byte_count);
+                buf.put_u32(*flow_count);
+                buf.put_slice(&[0u8; 4]);
+            }
+            StatsReply::Table(entries) => {
+                for e in entries {
+                    e.encode(buf);
+                }
+            }
+            StatsReply::Port(entries) => {
+                for e in entries {
+                    e.encode(buf);
+                }
+            }
+            StatsReply::Other { body, .. } => buf.put_slice(body),
+        }
+    }
+
+    /// Decodes a stats reply body of `body_len` bytes.
+    pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        if body_len < 4 || buf.remaining() < body_len {
+            return Err(DecodeError::Truncated {
+                what: "stats_reply",
+                needed: 4.max(body_len),
+                available: buf.remaining(),
+            });
+        }
+        let ty = buf.get_u16();
+        let _flags = buf.get_u16();
+        let rest = body_len - 4;
+        Ok(match ty {
+            stats_type::DESC => {
+                if rest < 256 * 4 + 32 {
+                    return Err(DecodeError::BadLength {
+                        what: "desc stats reply",
+                        len: rest,
+                    });
+                }
+                let mfr_desc = get_fixed_str(buf, 256);
+                let hw_desc = get_fixed_str(buf, 256);
+                let sw_desc = get_fixed_str(buf, 256);
+                let serial_num = get_fixed_str(buf, 32);
+                let dp_desc = get_fixed_str(buf, 256);
+                buf.advance(rest - (256 * 4 + 32));
+                StatsReply::Desc {
+                    mfr_desc,
+                    hw_desc,
+                    sw_desc,
+                    serial_num,
+                    dp_desc,
+                }
+            }
+            stats_type::FLOW => {
+                let mut remaining = rest;
+                let mut entries = Vec::new();
+                while remaining >= FLOW_STATS_ENTRY_FIXED_LEN {
+                    let entry = FlowStatsEntry::decode(buf)?;
+                    remaining -= entry.wire_len();
+                    entries.push(entry);
+                }
+                if remaining != 0 {
+                    return Err(DecodeError::BadLength {
+                        what: "flow stats reply",
+                        len: rest,
+                    });
+                }
+                StatsReply::Flow(entries)
+            }
+            stats_type::AGGREGATE => {
+                if rest < 24 {
+                    return Err(DecodeError::BadLength {
+                        what: "aggregate stats reply",
+                        len: rest,
+                    });
+                }
+                let packet_count = buf.get_u64();
+                let byte_count = buf.get_u64();
+                let flow_count = buf.get_u32();
+                buf.advance(rest - 20);
+                StatsReply::Aggregate {
+                    packet_count,
+                    byte_count,
+                    flow_count,
+                }
+            }
+            stats_type::TABLE => {
+                if rest % TABLE_STATS_ENTRY_LEN != 0 {
+                    return Err(DecodeError::BadLength {
+                        what: "table stats reply",
+                        len: rest,
+                    });
+                }
+                let mut entries = Vec::new();
+                for _ in 0..rest / TABLE_STATS_ENTRY_LEN {
+                    entries.push(TableStatsEntry::decode(buf)?);
+                }
+                StatsReply::Table(entries)
+            }
+            stats_type::PORT => {
+                if rest % PORT_STATS_ENTRY_LEN != 0 {
+                    return Err(DecodeError::BadLength {
+                        what: "port stats reply",
+                        len: rest,
+                    });
+                }
+                let mut entries = Vec::new();
+                for _ in 0..rest / PORT_STATS_ENTRY_LEN {
+                    entries.push(PortStatsEntry::decode(buf)?);
+                }
+                StatsReply::Port(entries)
+            }
+            other => {
+                let mut body = vec![0u8; rest];
+                buf.copy_to_slice(&mut body);
+                StatsReply::Other {
+                    stats_type: other,
+                    body,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn desc_request_round_trip() {
+        let req = StatsRequest::Desc;
+        let mut buf = BytesMut::new();
+        req.encode_body(&mut buf);
+        assert_eq!(buf.len(), req.body_len());
+        let decoded = StatsRequest::decode_body(&mut buf.freeze(), req.body_len()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn flow_request_round_trip() {
+        let req = StatsRequest::Flow {
+            match_: OfMatch::ipv4_pair(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)),
+            table_id: 0xff,
+            out_port: crate::constants::port::NONE,
+        };
+        let mut buf = BytesMut::new();
+        req.encode_body(&mut buf);
+        let decoded = StatsRequest::decode_body(&mut buf.freeze(), req.body_len()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn aggregate_request_round_trip() {
+        let req = StatsRequest::Aggregate {
+            match_: OfMatch::wildcard_all(),
+            table_id: 0,
+            out_port: 3,
+        };
+        let mut buf = BytesMut::new();
+        req.encode_body(&mut buf);
+        let decoded = StatsRequest::decode_body(&mut buf.freeze(), req.body_len()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn port_request_round_trip() {
+        let req = StatsRequest::Port { port_no: 5 };
+        let mut buf = BytesMut::new();
+        req.encode_body(&mut buf);
+        let decoded = StatsRequest::decode_body(&mut buf.freeze(), req.body_len()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn unknown_request_type_is_preserved() {
+        let req = StatsRequest::Other {
+            stats_type: 0x1234,
+            body: vec![1, 2, 3],
+        };
+        let mut buf = BytesMut::new();
+        req.encode_body(&mut buf);
+        let decoded = StatsRequest::decode_body(&mut buf.freeze(), req.body_len()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn desc_reply_round_trip() {
+        let reply = StatsReply::Desc {
+            mfr_desc: "RUM reproduction".into(),
+            hw_desc: "simulated HP 5406zl".into(),
+            sw_desc: "ofswitch".into(),
+            serial_num: "0001".into(),
+            dp_desc: "triangle S2".into(),
+        };
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        assert_eq!(buf.len(), reply.body_len());
+        let decoded = StatsReply::decode_body(&mut buf.freeze(), reply.body_len()).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn flow_reply_round_trip() {
+        let entry = FlowStatsEntry {
+            table_id: 0,
+            match_: OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)),
+            duration_sec: 5,
+            duration_nsec: 100,
+            priority: 10,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 42,
+            packet_count: 100,
+            byte_count: 6400,
+            actions: vec![Action::output(2)],
+        };
+        let reply = StatsReply::Flow(vec![entry.clone(), entry]);
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        assert_eq!(buf.len(), reply.body_len());
+        let decoded = StatsReply::decode_body(&mut buf.freeze(), reply.body_len()).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn aggregate_reply_round_trip() {
+        let reply = StatsReply::Aggregate {
+            packet_count: 10,
+            byte_count: 640,
+            flow_count: 3,
+        };
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        let decoded = StatsReply::decode_body(&mut buf.freeze(), reply.body_len()).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn table_reply_round_trip() {
+        let reply = StatsReply::Table(vec![TableStatsEntry {
+            table_id: 0,
+            name: "main".into(),
+            wildcards: crate::wildcards::Wildcards::ALL,
+            max_entries: 1500,
+            active_count: 300,
+            lookup_count: 123456,
+            matched_count: 120000,
+        }]);
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        let decoded = StatsReply::decode_body(&mut buf.freeze(), reply.body_len()).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn port_reply_round_trip() {
+        let reply = StatsReply::Port(vec![
+            PortStatsEntry {
+                port_no: 1,
+                rx_packets: 10,
+                tx_packets: 20,
+                rx_bytes: 640,
+                tx_bytes: 1280,
+                ..Default::default()
+            },
+            PortStatsEntry {
+                port_no: 2,
+                ..Default::default()
+            },
+        ]);
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        let decoded = StatsReply::decode_body(&mut buf.freeze(), reply.body_len()).unwrap();
+        assert_eq!(decoded, reply);
+    }
+
+    #[test]
+    fn truncated_stats_rejected() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[0, 1]);
+        assert!(StatsRequest::decode_body(&mut buf.clone().freeze(), 2).is_err());
+        assert!(StatsReply::decode_body(&mut buf.freeze(), 2).is_err());
+    }
+}

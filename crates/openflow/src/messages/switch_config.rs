@@ -1,0 +1,271 @@
+//! Switch handshake and configuration messages: features, config, port mod.
+
+use crate::error::DecodeError;
+use crate::messages::packet_io::{PhyPort, PHY_PORT_LEN};
+use crate::types::{DatapathId, MacAddr, PortNo};
+use bytes::{Buf, BufMut};
+
+/// An `OFPT_FEATURES_REPLY` message body (`ofp_switch_features`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeaturesReply {
+    /// Datapath unique id (lower 48 bits are the MAC address).
+    pub datapath_id: DatapathId,
+    /// Max packets the switch can buffer for the controller.
+    pub n_buffers: u32,
+    /// Number of flow tables.
+    pub n_tables: u8,
+    /// Bitmap of supported capabilities (OFPC_*).
+    pub capabilities: u32,
+    /// Bitmap of supported actions.
+    pub actions: u32,
+    /// Port descriptions.
+    pub ports: Vec<PhyPort>,
+}
+
+/// Fixed part of a features-reply body.
+pub const FEATURES_REPLY_FIXED_LEN: usize = 8 + 4 + 1 + 3 + 4 + 4;
+
+impl FeaturesReply {
+    /// Builds a features reply for a simulated switch with `n_ports`
+    /// consecutively numbered ports starting at 1.
+    pub fn simulated(datapath_id: DatapathId, n_ports: u16) -> Self {
+        let ports = (1..=n_ports)
+            .map(|p| {
+                PhyPort::simple(
+                    p,
+                    MacAddr::from_id(datapath_id.raw() << 8 | u64::from(p)),
+                    &format!("sim{p}"),
+                )
+            })
+            .collect();
+        FeaturesReply {
+            datapath_id,
+            n_buffers: 256,
+            n_tables: 1,
+            capabilities: 0x0000_0087, // FLOW_STATS | TABLE_STATS | PORT_STATS | ARP_MATCH_IP
+            actions: 0x0000_0fff,      // all OF 1.0 standard actions
+            ports,
+        }
+    }
+
+    /// Body length on the wire.
+    pub fn body_len(&self) -> usize {
+        FEATURES_REPLY_FIXED_LEN + self.ports.len() * PHY_PORT_LEN
+    }
+
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u64(self.datapath_id.raw());
+        buf.put_u32(self.n_buffers);
+        buf.put_u8(self.n_tables);
+        buf.put_slice(&[0, 0, 0]);
+        buf.put_u32(self.capabilities);
+        buf.put_u32(self.actions);
+        for p in &self.ports {
+            p.encode(buf);
+        }
+    }
+
+    /// Decodes the body given its total length.
+    pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        if body_len < FEATURES_REPLY_FIXED_LEN || buf.remaining() < body_len {
+            return Err(DecodeError::Truncated {
+                what: "features_reply",
+                needed: FEATURES_REPLY_FIXED_LEN.max(body_len),
+                available: buf.remaining(),
+            });
+        }
+        let datapath_id = DatapathId::new(buf.get_u64());
+        let n_buffers = buf.get_u32();
+        let n_tables = buf.get_u8();
+        buf.advance(3);
+        let capabilities = buf.get_u32();
+        let actions = buf.get_u32();
+        let ports_len = body_len - FEATURES_REPLY_FIXED_LEN;
+        if ports_len % PHY_PORT_LEN != 0 {
+            return Err(DecodeError::BadLength {
+                what: "features_reply ports",
+                len: ports_len,
+            });
+        }
+        let mut ports = Vec::with_capacity(ports_len / PHY_PORT_LEN);
+        for _ in 0..ports_len / PHY_PORT_LEN {
+            ports.push(PhyPort::decode(buf)?);
+        }
+        Ok(FeaturesReply {
+            datapath_id,
+            n_buffers,
+            n_tables,
+            capabilities,
+            actions,
+            ports,
+        })
+    }
+}
+
+/// An `OFPT_GET_CONFIG_REPLY` / `OFPT_SET_CONFIG` body (`ofp_switch_config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchConfig {
+    /// Bitmap of OFPC_FRAG_* flags.
+    pub flags: u16,
+    /// Max bytes of packet sent to the controller on a table miss.
+    pub miss_send_len: u16,
+}
+
+/// Wire size of a switch-config body.
+pub const SWITCH_CONFIG_LEN: usize = 4;
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            flags: 0,
+            miss_send_len: 128,
+        }
+    }
+}
+
+impl SwitchConfig {
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.flags);
+        buf.put_u16(self.miss_send_len);
+    }
+
+    /// Decodes the body.
+    pub fn decode_body<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < SWITCH_CONFIG_LEN {
+            return Err(DecodeError::Truncated {
+                what: "switch_config",
+                needed: SWITCH_CONFIG_LEN,
+                available: buf.remaining(),
+            });
+        }
+        Ok(SwitchConfig {
+            flags: buf.get_u16(),
+            miss_send_len: buf.get_u16(),
+        })
+    }
+}
+
+/// An `OFPT_PORT_MOD` message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMod {
+    /// Port to modify.
+    pub port_no: PortNo,
+    /// MAC address of the port (sanity check).
+    pub hw_addr: MacAddr,
+    /// New config bits.
+    pub config: u32,
+    /// Mask of config bits to change.
+    pub mask: u32,
+    /// Features to advertise (0 = unchanged).
+    pub advertise: u32,
+}
+
+/// Wire size of a port-mod body.
+pub const PORT_MOD_LEN: usize = 2 + 6 + 4 + 4 + 4 + 4;
+
+impl PortMod {
+    /// Encodes the body.
+    pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.port_no);
+        buf.put_slice(&self.hw_addr.octets());
+        buf.put_u32(self.config);
+        buf.put_u32(self.mask);
+        buf.put_u32(self.advertise);
+        buf.put_slice(&[0u8; 4]);
+    }
+
+    /// Decodes the body.
+    pub fn decode_body<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        if buf.remaining() < PORT_MOD_LEN {
+            return Err(DecodeError::Truncated {
+                what: "port_mod",
+                needed: PORT_MOD_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let port_no = buf.get_u16();
+        let mut mac = [0u8; 6];
+        buf.copy_to_slice(&mut mac);
+        let config = buf.get_u32();
+        let mask = buf.get_u32();
+        let advertise = buf.get_u32();
+        buf.advance(4);
+        Ok(PortMod {
+            port_no,
+            hw_addr: MacAddr(mac),
+            config,
+            mask,
+            advertise,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn features_reply_round_trip() {
+        let fr = FeaturesReply::simulated(DatapathId::new(0x42), 4);
+        assert_eq!(fr.ports.len(), 4);
+        let mut buf = BytesMut::new();
+        fr.encode_body(&mut buf);
+        assert_eq!(buf.len(), fr.body_len());
+        let decoded = FeaturesReply::decode_body(&mut buf.freeze(), fr.body_len()).unwrap();
+        assert_eq!(decoded, fr);
+    }
+
+    #[test]
+    fn features_reply_no_ports() {
+        let mut fr = FeaturesReply::simulated(DatapathId::new(1), 0);
+        fr.ports.clear();
+        let mut buf = BytesMut::new();
+        fr.encode_body(&mut buf);
+        let decoded = FeaturesReply::decode_body(&mut buf.freeze(), fr.body_len()).unwrap();
+        assert!(decoded.ports.is_empty());
+    }
+
+    #[test]
+    fn features_reply_bad_port_len() {
+        let fr = FeaturesReply::simulated(DatapathId::new(1), 1);
+        let mut buf = BytesMut::new();
+        fr.encode_body(&mut buf);
+        // Chop a few bytes off the port list so it is no longer a multiple of 48.
+        let bad_len = fr.body_len() - 3;
+        let mut bytes = buf.freeze();
+        assert!(FeaturesReply::decode_body(&mut bytes, bad_len).is_err());
+    }
+
+    #[test]
+    fn switch_config_round_trip() {
+        let sc = SwitchConfig {
+            flags: 1,
+            miss_send_len: 0xffff,
+        };
+        let mut buf = BytesMut::new();
+        sc.encode_body(&mut buf);
+        assert_eq!(buf.len(), SWITCH_CONFIG_LEN);
+        let decoded = SwitchConfig::decode_body(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, sc);
+        assert_eq!(SwitchConfig::default().miss_send_len, 128);
+    }
+
+    #[test]
+    fn port_mod_round_trip() {
+        let pm = PortMod {
+            port_no: 7,
+            hw_addr: MacAddr::from_id(3),
+            config: 0x1,
+            mask: 0x1,
+            advertise: 0,
+        };
+        let mut buf = BytesMut::new();
+        pm.encode_body(&mut buf);
+        assert_eq!(buf.len(), PORT_MOD_LEN);
+        let decoded = PortMod::decode_body(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, pm);
+    }
+}

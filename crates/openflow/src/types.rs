@@ -1,0 +1,201 @@
+//! Small value types shared across the OpenFlow stack.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds a MAC address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// A deterministic, locally administered unicast address derived from an
+    /// integer id.  Used by the simulator to assign host/switch addresses.
+    pub fn from_id(id: u64) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 sets the locally-administered bit and keeps the unicast bit
+        // clear, so generated addresses can never collide with real OUIs.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+/// A switch datapath identifier (64 bits).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DatapathId(pub u64);
+
+impl DatapathId {
+    /// Builds a datapath id from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        DatapathId(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DatapathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DatapathId(0x{:016x})", self.0)
+    }
+}
+
+impl fmt::Display for DatapathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+impl From<u64> for DatapathId {
+    fn from(raw: u64) -> Self {
+        DatapathId(raw)
+    }
+}
+
+/// An OpenFlow transaction identifier.
+pub type Xid = u32;
+
+/// An OpenFlow switch port number (16 bits in OF 1.0).
+pub type PortNo = u16;
+
+/// A switch packet-buffer identifier.
+pub type BufferId = u32;
+
+/// Converts an [`Ipv4Addr`] to its u32 big-endian representation.
+pub fn ipv4_to_u32(addr: Ipv4Addr) -> u32 {
+    u32::from_be_bytes(addr.octets())
+}
+
+/// Converts a u32 (big-endian semantics) to an [`Ipv4Addr`].
+pub fn u32_to_ipv4(raw: u32) -> Ipv4Addr {
+    Ipv4Addr::from(raw.to_be_bytes())
+}
+
+/// A monotonically increasing generator for OpenFlow transaction ids.
+///
+/// The RUM proxy must mint xids for the messages it originates (probe
+/// `PacketOut`s, barrier requests it injects) without colliding with xids
+/// used by the controller, so the generator starts from a configurable
+/// offset high in the 32-bit space.
+#[derive(Debug, Clone)]
+pub struct XidGenerator {
+    next: u32,
+}
+
+impl XidGenerator {
+    /// Creates a generator starting at `start`.
+    pub fn new(start: u32) -> Self {
+        XidGenerator { next: start }
+    }
+
+    /// Returns the next transaction id, wrapping on overflow.
+    pub fn next_xid(&mut self) -> Xid {
+        let xid = self.next;
+        self.next = self.next.wrapping_add(1);
+        xid
+    }
+}
+
+impl Default for XidGenerator {
+    fn default() -> Self {
+        // High region reserved for proxy-originated messages.
+        XidGenerator::new(0x8000_0000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_from_id() {
+        let m = MacAddr::from_id(0x0102_0304_0506);
+        assert_eq!(m.to_string(), "02:02:03:04:05:06");
+        assert!(!m.is_multicast());
+        assert!(!m.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn mac_from_id_is_deterministic_and_distinct() {
+        assert_eq!(MacAddr::from_id(7), MacAddr::from_id(7));
+        assert_ne!(MacAddr::from_id(7), MacAddr::from_id(8));
+    }
+
+    #[test]
+    fn datapath_id_display() {
+        let d = DatapathId::new(0xab);
+        assert_eq!(d.to_string(), "0x00000000000000ab");
+        assert_eq!(d.raw(), 0xab);
+    }
+
+    #[test]
+    fn ipv4_u32_round_trip() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        assert_eq!(u32_to_ipv4(ipv4_to_u32(a)), a);
+        assert_eq!(ipv4_to_u32(Ipv4Addr::new(0, 0, 0, 1)), 1);
+        assert_eq!(ipv4_to_u32(Ipv4Addr::new(192, 168, 1, 1)), 0xc0a8_0101);
+    }
+
+    #[test]
+    fn xid_generator_increments_and_wraps() {
+        let mut gen = XidGenerator::new(u32::MAX - 1);
+        assert_eq!(gen.next_xid(), u32::MAX - 1);
+        assert_eq!(gen.next_xid(), u32::MAX);
+        assert_eq!(gen.next_xid(), 0);
+    }
+
+    #[test]
+    fn default_xid_generator_starts_in_proxy_range() {
+        let mut gen = XidGenerator::default();
+        assert!(gen.next_xid() >= 0x8000_0000);
+    }
+}

@@ -1,0 +1,224 @@
+//! The OpenFlow 1.0 `ofp_flow_wildcards` bitfield.
+//!
+//! OpenFlow 1.0 wildcards are mostly single bits ("this field is ignored"),
+//! except the IP source/destination addresses which carry a 6-bit count of
+//! wildcarded low-order bits, i.e. a CIDR prefix length encoded backwards:
+//! `0` means match all 32 bits, `32` (or more) means the field is fully
+//! wildcarded.
+
+/// Wildcard flags of an OpenFlow 1.0 match structure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wildcards(pub u32);
+
+impl Wildcards {
+    /// Switch input port.
+    pub const IN_PORT: u32 = 1 << 0;
+    /// VLAN id.
+    pub const DL_VLAN: u32 = 1 << 1;
+    /// Ethernet source address.
+    pub const DL_SRC: u32 = 1 << 2;
+    /// Ethernet destination address.
+    pub const DL_DST: u32 = 1 << 3;
+    /// Ethernet frame type.
+    pub const DL_TYPE: u32 = 1 << 4;
+    /// IP protocol.
+    pub const NW_PROTO: u32 = 1 << 5;
+    /// TCP/UDP source port.
+    pub const TP_SRC: u32 = 1 << 6;
+    /// TCP/UDP destination port.
+    pub const TP_DST: u32 = 1 << 7;
+    /// VLAN priority.
+    pub const DL_VLAN_PCP: u32 = 1 << 20;
+    /// IP ToS (DSCP field).
+    pub const NW_TOS: u32 = 1 << 21;
+
+    /// Bit offset of the IP source wildcard-bit-count field.
+    pub const NW_SRC_SHIFT: u32 = 8;
+    /// Bit offset of the IP destination wildcard-bit-count field.
+    pub const NW_DST_SHIFT: u32 = 14;
+    /// Mask (pre-shift) of the 6-bit wildcard counts.
+    pub const NW_BITS_MASK: u32 = 0x3f;
+    /// IP source fully wildcarded.
+    pub const NW_SRC_ALL: u32 = 32 << Self::NW_SRC_SHIFT;
+    /// IP destination fully wildcarded.
+    pub const NW_DST_ALL: u32 = 32 << Self::NW_DST_SHIFT;
+
+    /// Every field wildcarded (`OFPFW_ALL`).
+    pub const ALL: u32 = 0x003f_ffff;
+
+    /// A wildcard set matching every packet.
+    pub fn all() -> Self {
+        Wildcards(Self::ALL)
+    }
+
+    /// A wildcard set matching only fully specified packets (exact match).
+    pub fn none() -> Self {
+        Wildcards(0)
+    }
+
+    /// Constructs from the raw wire value, keeping only defined bits.
+    pub fn from_raw(raw: u32) -> Self {
+        Wildcards(raw & Self::ALL)
+    }
+
+    /// Returns the raw wire value.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+
+    /// Tests whether a single-bit wildcard flag is set.
+    pub fn is_wildcarded(&self, flag: u32) -> bool {
+        self.0 & flag != 0
+    }
+
+    /// Sets or clears a single-bit wildcard flag, returning the new value.
+    pub fn with(self, flag: u32, wildcarded: bool) -> Self {
+        if wildcarded {
+            Wildcards(self.0 | flag)
+        } else {
+            Wildcards(self.0 & !flag)
+        }
+    }
+
+    /// Number of wildcarded low-order bits of the IP source address,
+    /// saturated to 32.
+    pub fn nw_src_bits(&self) -> u32 {
+        ((self.0 >> Self::NW_SRC_SHIFT) & Self::NW_BITS_MASK).min(32)
+    }
+
+    /// Number of wildcarded low-order bits of the IP destination address,
+    /// saturated to 32.
+    pub fn nw_dst_bits(&self) -> u32 {
+        ((self.0 >> Self::NW_DST_SHIFT) & Self::NW_BITS_MASK).min(32)
+    }
+
+    /// Returns a copy with the IP source wildcard bit count set to `bits`
+    /// (clamped to 0..=32; 0 = exact match, 32 = fully wildcarded).
+    pub fn with_nw_src_bits(self, bits: u32) -> Self {
+        let bits = bits.min(32);
+        let cleared = self.0 & !(Self::NW_BITS_MASK << Self::NW_SRC_SHIFT);
+        Wildcards(cleared | (bits << Self::NW_SRC_SHIFT))
+    }
+
+    /// Returns a copy with the IP destination wildcard bit count set to
+    /// `bits` (clamped to 0..=32).
+    pub fn with_nw_dst_bits(self, bits: u32) -> Self {
+        let bits = bits.min(32);
+        let cleared = self.0 & !(Self::NW_BITS_MASK << Self::NW_DST_SHIFT);
+        Wildcards(cleared | (bits << Self::NW_DST_SHIFT))
+    }
+
+    /// The 32-bit mask of IP source bits that participate in matching.
+    pub fn nw_src_mask(&self) -> u32 {
+        prefix_mask(self.nw_src_bits())
+    }
+
+    /// The 32-bit mask of IP destination bits that participate in matching.
+    pub fn nw_dst_mask(&self) -> u32 {
+        prefix_mask(self.nw_dst_bits())
+    }
+
+    /// True if every field is wildcarded.
+    pub fn matches_everything(&self) -> bool {
+        const SINGLE_BITS: u32 = Wildcards::IN_PORT
+            | Wildcards::DL_VLAN
+            | Wildcards::DL_SRC
+            | Wildcards::DL_DST
+            | Wildcards::DL_TYPE
+            | Wildcards::NW_PROTO
+            | Wildcards::TP_SRC
+            | Wildcards::TP_DST
+            | Wildcards::DL_VLAN_PCP
+            | Wildcards::NW_TOS;
+        (self.0 & SINGLE_BITS) == SINGLE_BITS
+            && self.nw_src_bits() == 32
+            && self.nw_dst_bits() == 32
+    }
+}
+
+impl Default for Wildcards {
+    fn default() -> Self {
+        Wildcards::all()
+    }
+}
+
+impl std::fmt::Debug for Wildcards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Wildcards(0x{:06x})", self.0)
+    }
+}
+
+/// Computes the network mask that keeps the high `32 - wildcarded_bits` bits.
+fn prefix_mask(wildcarded_bits: u32) -> u32 {
+    if wildcarded_bits >= 32 {
+        0
+    } else {
+        u32::MAX << wildcarded_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_matches_everything() {
+        assert!(Wildcards::all().matches_everything());
+        assert!(!Wildcards::none().matches_everything());
+    }
+
+    #[test]
+    fn single_bit_flags() {
+        let w = Wildcards::none().with(Wildcards::IN_PORT, true);
+        assert!(w.is_wildcarded(Wildcards::IN_PORT));
+        assert!(!w.is_wildcarded(Wildcards::DL_SRC));
+        let w = w.with(Wildcards::IN_PORT, false);
+        assert!(!w.is_wildcarded(Wildcards::IN_PORT));
+    }
+
+    #[test]
+    fn nw_bits_round_trip() {
+        let w = Wildcards::none().with_nw_src_bits(8).with_nw_dst_bits(24);
+        assert_eq!(w.nw_src_bits(), 8);
+        assert_eq!(w.nw_dst_bits(), 24);
+        assert_eq!(w.nw_src_mask(), 0xffff_ff00);
+        assert_eq!(w.nw_dst_mask(), 0xff00_0000);
+    }
+
+    #[test]
+    fn nw_bits_saturate_at_32() {
+        // The spec allows values > 32; they all mean "wildcard everything".
+        let raw = 45 << Wildcards::NW_SRC_SHIFT;
+        let w = Wildcards::from_raw(raw);
+        assert_eq!(w.nw_src_bits(), 32);
+        assert_eq!(w.nw_src_mask(), 0);
+    }
+
+    #[test]
+    fn with_nw_bits_clamps() {
+        let w = Wildcards::none().with_nw_src_bits(100);
+        assert_eq!(w.nw_src_bits(), 32);
+    }
+
+    #[test]
+    fn from_raw_masks_undefined_bits() {
+        let w = Wildcards::from_raw(u32::MAX);
+        assert_eq!(w.raw(), Wildcards::ALL);
+    }
+
+    #[test]
+    fn prefix_mask_values() {
+        assert_eq!(prefix_mask(0), u32::MAX);
+        assert_eq!(prefix_mask(1), 0xffff_fffe);
+        assert_eq!(prefix_mask(16), 0xffff_0000);
+        assert_eq!(prefix_mask(31), 0x8000_0000);
+        assert_eq!(prefix_mask(32), 0);
+    }
+
+    #[test]
+    fn exact_match_masks_are_full() {
+        let w = Wildcards::none();
+        assert_eq!(w.nw_src_mask(), u32::MAX);
+        assert_eq!(w.nw_dst_mask(), u32::MAX);
+    }
+}

@@ -1,0 +1,35 @@
+//! TCP proxy deployment of RUM — the paper's prototype form (§4).
+//!
+//! *"We implement a RUM prototype that works as a TCP proxy between the
+//! switches and the controller.  The switches connect to the proxy as if it
+//! was a controller, and the proxy then connects to a real controller using
+//! multiple connections, impersonating the switches."*
+//!
+//! This crate provides that deployment shape on real sockets, built from the
+//! same OpenFlow codec as the rest of the workspace:
+//!
+//! * [`relay::MessageRelay`] — the per-connection message-level policy.  The
+//!   shipped policy is the control-plane "delayed barrier acknowledgment"
+//!   technique (§3.1): barrier replies from the switch are withheld for a
+//!   configurable bound so the controller never hears "done" before the
+//!   switch's data plane has had time to catch up.  The data-plane probing
+//!   techniques need visibility into neighbouring switches and are exercised
+//!   in the simulator (`rum::proxy`); the TCP layer is deliberately
+//!   policy-pluggable so they can be slotted in against a real testbed.
+//! * [`proxy::RumTcpProxy`] — the listener/relay machinery: one upstream
+//!   controller connection per accepted switch, one thread per direction,
+//!   [`openflow::OfCodec`] framing on both sides.
+//!
+//! The crate is self-contained and synchronous (std networking + threads):
+//! the proxy handles a handful of switch connections, each with modest
+//! message rates, so per-connection threads are the simplest correct design —
+//! the same choice the POX prototype made.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proxy;
+pub mod relay;
+
+pub use proxy::{ProxyConfig, ProxyHandle, RumTcpProxy};
+pub use relay::{DelayedBarrierRelay, MessageRelay, PassthroughRelay, RelayVerdict};

@@ -1,0 +1,354 @@
+//! The TCP listener / relay machinery.
+
+use crate::relay::{MessageRelay, RelayVerdict};
+use openflow::{OfCodec, OfMessage};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`RumTcpProxy`].
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Address the proxy listens on for switch connections.
+    pub listen_addr: SocketAddr,
+    /// Address of the real controller the proxy connects onward to.
+    pub controller_addr: SocketAddr,
+}
+
+/// Counters shared across all connections of one proxy instance.
+#[derive(Debug, Default)]
+pub struct ProxyCounters {
+    /// Switch connections accepted.
+    pub connections: AtomicU64,
+    /// Messages relayed controller → switch.
+    pub to_switch: AtomicU64,
+    /// Messages relayed switch → controller.
+    pub to_controller: AtomicU64,
+    /// Messages held back by the relay policy before forwarding.
+    pub delayed: AtomicU64,
+    /// Messages swallowed by the relay policy.
+    pub dropped: AtomicU64,
+}
+
+/// A handle to a running proxy; dropping it does not stop the proxy, call
+/// [`ProxyHandle::shutdown`] for a clean stop.
+pub struct ProxyHandle {
+    /// The address the proxy actually listens on (useful with port 0).
+    pub local_addr: SocketAddr,
+    counters: Arc<ProxyCounters>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ProxyHandle {
+    /// Shared relay counters.
+    pub fn counters(&self) -> &ProxyCounters {
+        &self.counters
+    }
+
+    /// Asks the accept loop to stop and waits for it to finish.  Established
+    /// relay threads terminate when their sockets close.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throw-away connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The RUM TCP proxy: accepts switch connections and relays them to the
+/// controller through a [`MessageRelay`] policy.
+pub struct RumTcpProxy<F> {
+    config: ProxyConfig,
+    relay_factory: F,
+}
+
+impl<F, R> RumTcpProxy<F>
+where
+    F: Fn() -> R + Send + Sync + 'static,
+    R: MessageRelay + 'static,
+{
+    /// Creates a proxy; `relay_factory` builds one relay policy instance per
+    /// accepted switch connection.
+    pub fn new(config: ProxyConfig, relay_factory: F) -> Self {
+        RumTcpProxy {
+            config,
+            relay_factory,
+        }
+    }
+
+    /// Binds the listener and starts accepting connections on a background
+    /// thread.
+    pub fn start(self) -> std::io::Result<ProxyHandle> {
+        let listener = TcpListener::bind(self.config.listen_addr)?;
+        let local_addr = listener.local_addr()?;
+        let counters = Arc::new(ProxyCounters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let controller_addr = self.config.controller_addr;
+        let relay_factory = Arc::new(self.relay_factory);
+
+        let accept_counters = Arc::clone(&counters);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(switch_stream) = incoming else { continue };
+                let Ok(controller_stream) = TcpStream::connect(controller_addr) else {
+                    // Controller unavailable: drop the switch connection so it
+                    // retries, like any proxy would.
+                    continue;
+                };
+                accept_counters.connections.fetch_add(1, Ordering::SeqCst);
+                let relay = Arc::new(Mutex::new((relay_factory)()));
+                spawn_relay_pair(
+                    switch_stream,
+                    controller_stream,
+                    relay,
+                    Arc::clone(&accept_counters),
+                );
+            }
+        });
+
+        Ok(ProxyHandle {
+            local_addr,
+            counters,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Spawns the two relay threads for one switch/controller connection pair.
+fn spawn_relay_pair<R: MessageRelay + 'static>(
+    switch_stream: TcpStream,
+    controller_stream: TcpStream,
+    relay: Arc<Mutex<R>>,
+    counters: Arc<ProxyCounters>,
+) {
+    let switch_reader = switch_stream.try_clone().expect("clone switch stream");
+    let controller_writer = controller_stream
+        .try_clone()
+        .expect("clone controller stream");
+    let controller_reader = controller_stream;
+    let switch_writer = switch_stream;
+
+    // switch -> controller
+    {
+        let relay = Arc::clone(&relay);
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || {
+            relay_direction(switch_reader, controller_writer, counters, move |msg, c| {
+                let verdict = relay.lock().on_switch_to_controller(msg);
+                c.to_controller.fetch_add(1, Ordering::SeqCst);
+                verdict
+            });
+        });
+    }
+    // controller -> switch
+    {
+        std::thread::spawn(move || {
+            relay_direction(controller_reader, switch_writer, counters, move |msg, c| {
+                let verdict = relay.lock().on_controller_to_switch(msg);
+                c.to_switch.fetch_add(1, Ordering::SeqCst);
+                verdict
+            });
+        });
+    }
+}
+
+/// Pumps one direction: reads OpenFlow messages from `reader`, consults the
+/// policy, and writes to `writer`.
+fn relay_direction(
+    mut reader: TcpStream,
+    mut writer: TcpStream,
+    counters: Arc<ProxyCounters>,
+    mut policy: impl FnMut(&OfMessage, &ProxyCounters) -> RelayVerdict,
+) {
+    let _ = reader.set_nodelay(true);
+    let _ = writer.set_nodelay(true);
+    let mut codec = OfCodec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        codec.feed(&buf[..n]);
+        loop {
+            let msg = match codec.next_message() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(_) => return, // framing error: give up on this connection
+            };
+            let verdict = policy(&msg, &counters);
+            let outgoing: Vec<OfMessage> = match verdict {
+                RelayVerdict::Forward => vec![msg],
+                RelayVerdict::Delay(d) => {
+                    counters.delayed.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(d);
+                    vec![msg]
+                }
+                RelayVerdict::Drop => {
+                    counters.dropped.fetch_add(1, Ordering::SeqCst);
+                    vec![]
+                }
+                RelayVerdict::ForwardAnd(extra) => {
+                    let mut v = vec![msg];
+                    v.extend(extra);
+                    v
+                }
+            };
+            for m in outgoing {
+                let Ok(bytes) = m.encode_to_vec() else { continue };
+                if writer.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: waits until `predicate` becomes true or `timeout` elapses.
+pub fn wait_for(mut predicate: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < timeout {
+        if predicate() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    predicate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relay::DelayedBarrierRelay;
+    use openflow::messages::FlowMod;
+    use openflow::OfMatch;
+    use std::time::Instant;
+
+    /// A minimal in-process "switch": connects to the proxy, answers every
+    /// barrier request immediately (the buggy behaviour) and every echo.
+    fn spawn_fake_switch(proxy_addr: SocketAddr) -> JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(proxy_addr).expect("connect to proxy");
+            let mut codec = OfCodec::new();
+            let mut buf = [0u8; 2048];
+            let mut handled = 0u64;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            loop {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                codec.feed(&buf[..n]);
+                while let Ok(Some(msg)) = codec.next_message() {
+                    handled += 1;
+                    let reply = match msg {
+                        OfMessage::BarrierRequest { xid } => {
+                            Some(OfMessage::BarrierReply { xid })
+                        }
+                        OfMessage::EchoRequest { xid, data } => {
+                            Some(OfMessage::EchoReply { xid, data })
+                        }
+                        OfMessage::Hello { xid } => Some(OfMessage::Hello { xid }),
+                        _ => None,
+                    };
+                    if let Some(r) = reply {
+                        stream.write_all(&r.encode_to_vec().unwrap()).unwrap();
+                    }
+                }
+            }
+            handled
+        })
+    }
+
+    #[test]
+    fn proxy_relays_and_delays_barrier_replies() {
+        // "Controller": a plain listener the proxy connects to.
+        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller_addr = controller_listener.local_addr().unwrap();
+
+        let delay = Duration::from_millis(120);
+        let proxy = RumTcpProxy::new(
+            ProxyConfig {
+                listen_addr: "127.0.0.1:0".parse().unwrap(),
+                controller_addr,
+            },
+            move || DelayedBarrierRelay::new(delay),
+        );
+        let handle = proxy.start().expect("proxy starts");
+
+        // The "switch" connects to the proxy; the proxy then connects to us.
+        let switch = spawn_fake_switch(handle.local_addr);
+        let (mut ctrl_stream, _) = controller_listener.accept().expect("proxy dialled us");
+        ctrl_stream
+            .set_read_timeout(Some(Duration::from_secs(3)))
+            .unwrap();
+
+        // Controller sends hello + flow-mod + barrier request.
+        let messages = vec![
+            OfMessage::Hello { xid: 1 },
+            OfMessage::FlowMod {
+                xid: 2,
+                body: FlowMod::add(
+                    OfMatch::wildcard_all(),
+                    1,
+                    vec![openflow::Action::output(1)],
+                ),
+            },
+            OfMessage::BarrierRequest { xid: 3 },
+        ];
+        let start = Instant::now();
+        for m in &messages {
+            ctrl_stream.write_all(&m.encode_to_vec().unwrap()).unwrap();
+        }
+
+        // Read until the barrier reply arrives.
+        let mut codec = OfCodec::new();
+        let mut buf = [0u8; 2048];
+        let mut got_barrier_at = None;
+        while got_barrier_at.is_none() {
+            let n = match ctrl_stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            codec.feed(&buf[..n]);
+            while let Ok(Some(msg)) = codec.next_message() {
+                if matches!(msg, OfMessage::BarrierReply { xid: 3 }) {
+                    got_barrier_at = Some(start.elapsed());
+                }
+            }
+        }
+        let elapsed = got_barrier_at.expect("barrier reply must arrive");
+        assert!(
+            elapsed >= delay,
+            "barrier reply arrived after {elapsed:?}, before the configured {delay:?} hold-down"
+        );
+        assert!(handle.counters().to_switch.load(Ordering::SeqCst) >= 3);
+        assert!(handle.counters().to_controller.load(Ordering::SeqCst) >= 1);
+        assert_eq!(handle.counters().delayed.load(Ordering::SeqCst), 1);
+        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 1);
+
+        drop(ctrl_stream);
+        handle.shutdown();
+        let _ = switch.join();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        assert!(!wait_for(|| false, Duration::from_millis(30)));
+        assert!(wait_for(|| true, Duration::from_millis(30)));
+    }
+}

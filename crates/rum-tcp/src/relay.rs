@@ -1,0 +1,143 @@
+//! Message-level relay policies for the TCP proxy.
+
+use openflow::OfMessage;
+use std::time::Duration;
+
+/// What to do with a message that crossed the proxy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelayVerdict {
+    /// Forward the message immediately.
+    Forward,
+    /// Forward the message after the given delay.
+    Delay(Duration),
+    /// Swallow the message (it is proxy-internal).
+    Drop,
+    /// Forward this message and then also send the additional messages to the
+    /// same destination.
+    ForwardAnd(Vec<OfMessage>),
+}
+
+/// A per-switch-connection relay policy.
+///
+/// The proxy calls these hooks from the relay threads; implementations must
+/// be `Send` because each direction runs on its own thread.
+pub trait MessageRelay: Send {
+    /// A message travelling controller → switch.
+    fn on_controller_to_switch(&mut self, msg: &OfMessage) -> RelayVerdict;
+    /// A message travelling switch → controller.
+    fn on_switch_to_controller(&mut self, msg: &OfMessage) -> RelayVerdict;
+    /// A human-readable policy name (for logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Forwards everything untouched (a transparent TCP proxy).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassthroughRelay;
+
+impl MessageRelay for PassthroughRelay {
+    fn on_controller_to_switch(&mut self, _msg: &OfMessage) -> RelayVerdict {
+        RelayVerdict::Forward
+    }
+    fn on_switch_to_controller(&mut self, _msg: &OfMessage) -> RelayVerdict {
+        RelayVerdict::Forward
+    }
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+/// The "delaying barrier acknowledgments" technique (paper §3.1): barrier
+/// replies from the switch are held for a fixed, pre-measured bound before
+/// being released to the controller, so the acknowledgment can no longer
+/// precede the data plane by more than measurement error.
+#[derive(Debug, Clone)]
+pub struct DelayedBarrierRelay {
+    delay: Duration,
+    /// Statistics: barrier replies delayed so far.
+    pub delayed_replies: u64,
+    /// Statistics: flow modifications observed so far.
+    pub flow_mods_seen: u64,
+}
+
+impl DelayedBarrierRelay {
+    /// Creates the policy with the given post-reply delay (the paper uses
+    /// 300 ms for the HP 5406zl).
+    pub fn new(delay: Duration) -> Self {
+        DelayedBarrierRelay {
+            delay,
+            delayed_replies: 0,
+            flow_mods_seen: 0,
+        }
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+}
+
+impl MessageRelay for DelayedBarrierRelay {
+    fn on_controller_to_switch(&mut self, msg: &OfMessage) -> RelayVerdict {
+        if matches!(msg, OfMessage::FlowMod { .. }) {
+            self.flow_mods_seen += 1;
+        }
+        RelayVerdict::Forward
+    }
+
+    fn on_switch_to_controller(&mut self, msg: &OfMessage) -> RelayVerdict {
+        match msg {
+            OfMessage::BarrierReply { .. } => {
+                self.delayed_replies += 1;
+                RelayVerdict::Delay(self.delay)
+            }
+            _ => RelayVerdict::Forward,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "delayed-barriers"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_forwards_everything() {
+        let mut relay = PassthroughRelay;
+        assert_eq!(
+            relay.on_controller_to_switch(&OfMessage::Hello { xid: 1 }),
+            RelayVerdict::Forward
+        );
+        assert_eq!(
+            relay.on_switch_to_controller(&OfMessage::BarrierReply { xid: 1 }),
+            RelayVerdict::Forward
+        );
+        assert_eq!(relay.name(), "passthrough");
+    }
+
+    #[test]
+    fn delayed_barrier_relay_holds_only_barrier_replies() {
+        let mut relay = DelayedBarrierRelay::new(Duration::from_millis(300));
+        assert_eq!(relay.delay(), Duration::from_millis(300));
+        assert_eq!(
+            relay.on_switch_to_controller(&OfMessage::EchoReply {
+                xid: 1,
+                data: vec![]
+            }),
+            RelayVerdict::Forward
+        );
+        assert_eq!(
+            relay.on_switch_to_controller(&OfMessage::BarrierReply { xid: 2 }),
+            RelayVerdict::Delay(Duration::from_millis(300))
+        );
+        assert_eq!(relay.delayed_replies, 1);
+        relay.on_controller_to_switch(&OfMessage::FlowMod {
+            xid: 3,
+            body: openflow::messages::FlowMod::delete(openflow::OfMatch::wildcard_all()),
+        });
+        assert_eq!(relay.flow_mods_seen, 1);
+        assert_eq!(relay.name(), "delayed-barriers");
+    }
+}

@@ -1,0 +1,181 @@
+//! Welsh–Powell greedy vertex colouring.
+//!
+//! The general-probing technique needs a per-switch header value such that
+//! *adjacent* switches never share a value (otherwise the probed switch's own
+//! probe-catch rule would swallow the probe before it reaches the neighbour).
+//! Using one globally unique value per switch wastes scarce header values
+//! (the paper's prototype only has 64 ToS codepoints), so Section 3.2.2
+//! suggests solving a vertex-colouring instance instead.  Welsh–Powell is the
+//! classic greedy heuristic: order vertices by decreasing degree and give
+//! each the smallest colour not used by its neighbours.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An undirected graph over `usize` vertex ids.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adjacency: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a vertex (no-op if it already exists).
+    pub fn add_vertex(&mut self, v: usize) {
+        self.adjacency.entry(v).or_default();
+    }
+
+    /// Adds an undirected edge (vertices are created as needed).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b {
+            self.add_vertex(a);
+            return;
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The degree of a vertex (0 if absent).
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency.get(&v).map_or(0, BTreeSet::len)
+    }
+
+    /// The neighbours of a vertex.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adjacency.get(&v).into_iter().flatten().copied()
+    }
+
+    /// Colours the graph with the Welsh–Powell heuristic, returning a colour
+    /// (0-based) per vertex.  Adjacent vertices are guaranteed different
+    /// colours; the number of colours is at most `max_degree + 1`.
+    pub fn welsh_powell_coloring(&self) -> BTreeMap<usize, usize> {
+        let mut order: Vec<usize> = self.adjacency.keys().copied().collect();
+        // Sort by decreasing degree, ties by vertex id for determinism.
+        order.sort_by_key(|v| (usize::MAX - self.degree(*v), *v));
+        let mut colors: BTreeMap<usize, usize> = BTreeMap::new();
+        for &v in &order {
+            let used: BTreeSet<usize> = self
+                .neighbors(v)
+                .filter_map(|n| colors.get(&n).copied())
+                .collect();
+            let mut color = 0;
+            while used.contains(&color) {
+                color += 1;
+            }
+            colors.insert(v, color);
+        }
+        colors
+    }
+
+    /// Convenience: builds a graph from an adjacency list.
+    pub fn from_edges(edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new();
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Verifies that a colouring is proper (no edge joins equal colours).
+    pub fn is_proper_coloring(&self, colors: &BTreeMap<usize, usize>) -> bool {
+        self.adjacency.iter().all(|(v, neighbors)| {
+            neighbors
+                .iter()
+                .all(|n| colors.get(v).is_some() && colors.get(v) != colors.get(n))
+        })
+    }
+}
+
+/// Assigns a distinct-from-neighbours probe value to each switch given the
+/// links between monitored switches.  Returns colour indices; the caller maps
+/// them to actual header values.
+pub fn assign_probe_colors(links: &[(usize, usize)], n_switches: usize) -> Vec<usize> {
+    let mut g = Graph::from_edges(links);
+    for v in 0..n_switches {
+        g.add_vertex(v);
+    }
+    let colors = g.welsh_powell_coloring();
+    (0..n_switches).map(|v| colors[&v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = Graph::new();
+        assert!(g.welsh_powell_coloring().is_empty());
+        let mut g = Graph::new();
+        g.add_vertex(3);
+        let c = g.welsh_powell_coloring();
+        assert_eq!(c[&3], 0);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn self_loop_is_ignored() {
+        let mut g = Graph::new();
+        g.add_edge(1, 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let colors = g.welsh_powell_coloring();
+        assert!(g.is_proper_coloring(&colors));
+        let distinct: BTreeSet<usize> = colors.values().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn path_needs_two_colors() {
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let colors = g.welsh_powell_coloring();
+        assert!(g.is_proper_coloring(&colors));
+        let max = colors.values().max().copied().unwrap();
+        assert_eq!(max, 1, "a path is 2-colourable");
+    }
+
+    #[test]
+    fn star_needs_two_colors() {
+        let g = Graph::from_edges(&[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let colors = g.welsh_powell_coloring();
+        assert!(g.is_proper_coloring(&colors));
+        assert_eq!(colors.values().max().copied().unwrap(), 1);
+    }
+
+    #[test]
+    fn coloring_never_exceeds_max_degree_plus_one() {
+        // A random-ish denser graph.
+        let edges: Vec<(usize, usize)> = (0..20)
+            .flat_map(|i| ((i + 1)..20).filter(move |j| (i * j) % 3 == 0).map(move |j| (i, j)))
+            .collect();
+        let g = Graph::from_edges(&edges);
+        let colors = g.welsh_powell_coloring();
+        assert!(g.is_proper_coloring(&colors));
+        let max_degree = (0..20).map(|v| g.degree(v)).max().unwrap();
+        assert!(colors.values().max().unwrap() <= &max_degree);
+    }
+
+    #[test]
+    fn assign_probe_colors_covers_isolated_switches() {
+        let colors = assign_probe_colors(&[(0, 1), (1, 2)], 5);
+        assert_eq!(colors.len(), 5);
+        assert_ne!(colors[0], colors[1]);
+        assert_ne!(colors[1], colors[2]);
+        // Switches 3 and 4 have no links; any colour is fine.
+        assert_eq!(colors[3], 0);
+        assert_eq!(colors[4], 0);
+    }
+}

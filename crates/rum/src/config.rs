@@ -1,0 +1,298 @@
+//! Configuration of the RUM layer.
+
+use crate::coloring::assign_probe_colors;
+use openflow::PortNo;
+use simnet::{NodeId, SimTime};
+use std::collections::HashMap;
+
+/// The reserved "pre-probe" DSCP value carried by freshly injected sequential
+/// probes (paper §3.2.1: `H1 == preprobe`).  Expressed as a full ToS byte.
+pub const PREPROBE_TOS: u8 = 0xFC;
+
+/// First ToS byte used for per-switch probe-catch values; switch colours map
+/// to `CATCH_TOS_BASE - 4 * colour` so they never collide with the pre-probe
+/// value and stay within the 64 DSCP codepoints.
+pub const CATCH_TOS_BASE: u8 = 0xF8;
+
+/// Priority of the probe-catch rule RUM installs on every switch.
+pub const CATCH_RULE_PRIORITY: u16 = 65_535;
+/// Priority of the versioned sequential-probing rule.
+pub const PROBE_RULE_PRIORITY: u16 = 65_534;
+
+/// Which acknowledgment technique a RUM instance runs, with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechniqueConfig {
+    /// Trust the switch's barrier replies (the unreliable baseline).
+    BarrierBaseline,
+    /// Confirm a fixed delay after the switch's barrier reply.
+    StaticTimeout {
+        /// The delay added after each barrier reply.
+        delay: SimTime,
+    },
+    /// Estimate data-plane activation from an assumed modification rate.
+    AdaptiveDelay {
+        /// Assumed switch modification rate (rules per second).
+        assumed_rate: f64,
+        /// Assumed worst-case control-to-data-plane synchronisation lag.
+        assumed_sync_lag: SimTime,
+    },
+    /// Versioned probe rule confirming whole batches (requires the switch not
+    /// to reorder modifications across barriers).
+    SequentialProbing {
+        /// Real modifications per probe-rule version bump.
+        batch_size: usize,
+        /// How often probes are injected while confirmations are outstanding.
+        probe_interval: SimTime,
+    },
+    /// Per-rule probe packets; works even on reordering switches.
+    GeneralProbing {
+        /// How often outstanding rules are (re-)probed.
+        probe_interval: SimTime,
+        /// At most this many oldest unconfirmed rules are probed per round
+        /// (the paper probes "up to 30 oldest flow modifications at once").
+        max_outstanding: usize,
+        /// Confirmation delay used when no distinguishing probe exists.
+        fallback_delay: SimTime,
+    },
+}
+
+impl TechniqueConfig {
+    /// The paper's default parameters for each technique.
+    pub fn default_sequential() -> Self {
+        TechniqueConfig::SequentialProbing {
+            batch_size: 10,
+            probe_interval: SimTime::from_millis(10),
+        }
+    }
+
+    /// The paper's default parameters for general probing.
+    pub fn default_general() -> Self {
+        TechniqueConfig::GeneralProbing {
+            probe_interval: SimTime::from_millis(10),
+            max_outstanding: 30,
+            fallback_delay: SimTime::from_millis(300),
+        }
+    }
+
+    /// A short name used in experiment reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TechniqueConfig::BarrierBaseline => "barriers",
+            TechniqueConfig::StaticTimeout { .. } => "timeout",
+            TechniqueConfig::AdaptiveDelay { .. } => "adaptive",
+            TechniqueConfig::SequentialProbing { .. } => "sequential",
+            TechniqueConfig::GeneralProbing { .. } => "general",
+        }
+    }
+
+    /// True for the data-plane probing techniques.
+    pub fn is_probing(&self) -> bool {
+        matches!(
+            self,
+            TechniqueConfig::SequentialProbing { .. } | TechniqueConfig::GeneralProbing { .. }
+        )
+    }
+}
+
+/// What RUM knows about one monitored switch's place in the topology.
+///
+/// This is configuration a network operator derives from the topology (or
+/// RUM could learn via LLDP); the probing techniques need it to pick probe
+/// injection points and to know which neighbour will catch a probe forwarded
+/// out of a given port.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchPortMap {
+    /// The simulation node of the switch itself.
+    pub switch_node: Option<NodeId>,
+    /// For each local port: the index (within the RUM deployment) of the
+    /// monitored switch reachable through that port.
+    pub port_to_switch: HashMap<PortNo, usize>,
+    /// A neighbour to inject probes through: `(neighbour switch index, the
+    /// port on that neighbour that leads to this switch)`.
+    pub inject_via: Option<(usize, PortNo)>,
+}
+
+impl SwitchPortMap {
+    /// The neighbouring monitored switch reached through `port`, if any.
+    pub fn next_hop(&self, port: PortNo) -> Option<usize> {
+        self.port_to_switch.get(&port).copied()
+    }
+}
+
+/// The plan for which header field carries probe identifiers and which values
+/// are reserved for RUM (paper §3.2.2 "Reducing the number of switch-specific
+/// values").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFieldPlan {
+    /// The ToS byte of freshly injected (pre-probe) packets.
+    pub preprobe_tos: u8,
+    /// Per-switch probe-catch ToS byte (index = switch index).
+    pub catch_tos: Vec<u8>,
+}
+
+impl ProbeFieldPlan {
+    /// Assigns catch values using vertex colouring over the monitored-switch
+    /// adjacency so that adjacent switches always differ, then maps colours to
+    /// DSCP codepoints.
+    pub fn from_links(links: &[(usize, usize)], n_switches: usize) -> Self {
+        let colors = assign_probe_colors(links, n_switches);
+        let catch_tos = colors
+            .iter()
+            .map(|&c| {
+                let v = CATCH_TOS_BASE as i32 - 4 * c as i32;
+                assert!(v > 0, "ran out of DSCP codepoints for probe colours");
+                v as u8
+            })
+            .collect();
+        ProbeFieldPlan {
+            preprobe_tos: PREPROBE_TOS,
+            catch_tos,
+        }
+    }
+
+    /// Assigns a globally unique value per switch (no colouring), as the
+    /// simple variant of the paper does.
+    pub fn unique_per_switch(n_switches: usize) -> Self {
+        Self::from_links(
+            &(0..n_switches)
+                .flat_map(|a| (a + 1..n_switches).map(move |b| (a, b)))
+                .collect::<Vec<_>>(),
+            n_switches,
+        )
+    }
+
+    /// The catch value of switch `idx`.
+    pub fn catch_tos(&self, idx: usize) -> u8 {
+        self.catch_tos[idx]
+    }
+
+    /// True if `tos` is one of the values reserved by RUM (pre-probe or any
+    /// catch value), i.e. a packet carrying it is a probe, not user traffic.
+    pub fn is_probe_tos(&self, tos: u8) -> bool {
+        tos & 0xfc == self.preprobe_tos & 0xfc
+            || self.catch_tos.iter().any(|&c| c & 0xfc == tos & 0xfc)
+    }
+
+    /// The switch whose catch value is `tos`, if any.
+    pub fn switch_for_catch_tos(&self, tos: u8) -> Option<usize> {
+        self.catch_tos.iter().position(|&c| c & 0xfc == tos & 0xfc)
+    }
+}
+
+/// Configuration of a whole RUM deployment (one instance monitoring a set of
+/// switches on behalf of one controller).
+#[derive(Debug, Clone)]
+pub struct RumConfig {
+    /// The acknowledgment technique to run.
+    pub technique: TechniqueConfig,
+    /// Send fine-grained per-rule acknowledgments (reserved error code) to
+    /// the controller, for RUM-aware controllers.
+    pub fine_grained_acks: bool,
+    /// Provide reliable barriers: hold `BarrierReply` until every earlier
+    /// modification is confirmed.
+    pub reliable_barriers: bool,
+    /// Buffer controller commands that follow an unconfirmed barrier and
+    /// release them only after the barrier is acknowledged (needed for
+    /// switches that reorder across barriers).
+    pub buffer_across_barriers: bool,
+    /// One-way latency RUM adds on each hop of the control channel.
+    pub control_latency: SimTime,
+    /// Per-switch topology knowledge (index = switch index).
+    pub port_maps: Vec<SwitchPortMap>,
+    /// Header-field plan for probing.
+    pub probe_plan: ProbeFieldPlan,
+}
+
+impl RumConfig {
+    /// A configuration monitoring `n_switches` switches with the given
+    /// technique and sensible defaults everywhere else.  Port maps default to
+    /// empty and must be filled in for the probing techniques.
+    pub fn new(technique: TechniqueConfig, n_switches: usize) -> Self {
+        RumConfig {
+            technique,
+            fine_grained_acks: true,
+            reliable_barriers: true,
+            buffer_across_barriers: false,
+            control_latency: SimTime::from_micros(100),
+            port_maps: vec![SwitchPortMap::default(); n_switches],
+            probe_plan: ProbeFieldPlan::unique_per_switch(n_switches),
+        }
+    }
+
+    /// Number of monitored switches.
+    pub fn n_switches(&self) -> usize {
+        self.port_maps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_labels_and_defaults() {
+        assert_eq!(TechniqueConfig::BarrierBaseline.label(), "barriers");
+        assert_eq!(TechniqueConfig::default_sequential().label(), "sequential");
+        assert_eq!(TechniqueConfig::default_general().label(), "general");
+        assert!(TechniqueConfig::default_general().is_probing());
+        assert!(!TechniqueConfig::BarrierBaseline.is_probing());
+        match TechniqueConfig::default_sequential() {
+            TechniqueConfig::SequentialProbing { batch_size, .. } => assert_eq!(batch_size, 10),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn probe_plan_assigns_distinct_values_to_adjacent_switches() {
+        // Triangle: all three adjacent.
+        let plan = ProbeFieldPlan::from_links(&[(0, 1), (1, 2), (0, 2)], 3);
+        assert_ne!(plan.catch_tos(0), plan.catch_tos(1));
+        assert_ne!(plan.catch_tos(1), plan.catch_tos(2));
+        assert_ne!(plan.catch_tos(0), plan.catch_tos(2));
+        for i in 0..3 {
+            assert_ne!(plan.catch_tos(i) & 0xfc, PREPROBE_TOS & 0xfc);
+            assert!(plan.is_probe_tos(plan.catch_tos(i)));
+            assert_eq!(plan.switch_for_catch_tos(plan.catch_tos(i)), Some(i));
+        }
+        assert!(plan.is_probe_tos(PREPROBE_TOS));
+        assert!(!plan.is_probe_tos(0x00));
+        assert_eq!(plan.switch_for_catch_tos(0x04), None);
+    }
+
+    #[test]
+    fn probe_plan_reuses_colors_on_a_path() {
+        // A path of 5 switches is 2-colourable, so only 2 catch values are
+        // needed even though there are 5 switches.
+        let plan = ProbeFieldPlan::from_links(&[(0, 1), (1, 2), (2, 3), (3, 4)], 5);
+        let distinct: std::collections::BTreeSet<u8> = plan.catch_tos.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+        // Adjacent still differ.
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            assert_ne!(plan.catch_tos(a), plan.catch_tos(b));
+        }
+    }
+
+    #[test]
+    fn unique_per_switch_gives_all_distinct() {
+        let plan = ProbeFieldPlan::unique_per_switch(4);
+        let distinct: std::collections::BTreeSet<u8> = plan.catch_tos.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn port_map_next_hop() {
+        let mut m = SwitchPortMap::default();
+        m.port_to_switch.insert(2, 1);
+        assert_eq!(m.next_hop(2), Some(1));
+        assert_eq!(m.next_hop(3), None);
+    }
+
+    #[test]
+    fn rum_config_defaults() {
+        let cfg = RumConfig::new(TechniqueConfig::BarrierBaseline, 3);
+        assert_eq!(cfg.n_switches(), 3);
+        assert!(cfg.fine_grained_acks);
+        assert!(cfg.reliable_barriers);
+        assert!(!cfg.buffer_across_barriers);
+    }
+}

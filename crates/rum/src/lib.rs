@@ -1,0 +1,44 @@
+//! RUM — Rule Update Monitoring.
+//!
+//! This crate is the reproduction of the paper's contribution: a transparent
+//! layer between an SDN controller and its OpenFlow switches that only
+//! acknowledges a rule modification once the rule is demonstrably active in
+//! the switch's *data plane*.  The controller can keep using standard
+//! OpenFlow barriers (RUM makes them honest) or opt into fine-grained
+//! per-rule acknowledgments (an error message with a reserved code, as in the
+//! paper's prototype).
+//!
+//! The acknowledgment techniques of Section 3 are all implemented:
+//!
+//! | Technique | Module | Paper section |
+//! |---|---|---|
+//! | Barriers (baseline)        | [`technique::BarrierBaseline`]   | §3.1 |
+//! | Static timeout             | [`technique::StaticTimeout`]     | §3.1 |
+//! | Adaptive delay             | [`technique::AdaptiveDelay`]     | §3.1 |
+//! | Sequential probing         | [`sequential::SequentialProbing`]| §3.2.1 |
+//! | General probing            | [`general::GeneralProbing`]      | §3.2.2 |
+//!
+//! plus the reliable-barrier layer of Section 2 ([`proxy`]), probe-packet
+//! synthesis with overlap analysis ([`probe`]), and the Welsh–Powell vertex
+//! colouring used to assign per-switch probe values ([`coloring`]).
+//!
+//! Deployment forms:
+//! * [`proxy::RumProxy`] — a per-switch proxy node for the discrete-event
+//!   simulator (all experiments run this way).
+//! * the `rum-tcp` crate — a real TCP proxy built on the same message-level
+//!   logic, mirroring the paper's POX prototype.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod config;
+pub mod general;
+pub mod probe;
+pub mod proxy;
+pub mod sequential;
+pub mod technique;
+
+pub use config::{ProbeFieldPlan, RumConfig, SwitchPortMap, TechniqueConfig};
+pub use proxy::{RumLayer, RumProxy};
+pub use technique::{AckTechnique, TechniqueOutput};

@@ -1,0 +1,492 @@
+//! Sequential probing (paper §3.2.1).
+//!
+//! Works on switches that answer barriers too early but do **not** reorder
+//! modifications: if the versioned probe rule installed *after* a batch of
+//! real modifications is observed to be active (a probe packet comes back
+//! stamped with its version), every modification in the batch must be active
+//! as well.
+//!
+//! Implementation notes, following the paper's refinements:
+//! * one probe rule per switch, re-versioned in place (`modify_strict`)
+//!   instead of installing and deleting a rule per batch;
+//! * the version rides in the VLAN id of the probe packet, the probe marker
+//!   in the ToS byte, so a single probe rule serves the whole experiment;
+//! * versions are recycled modulo 4094 (the prototype's ToS-only variant had
+//!   to recycle after 64 — VLAN ids push that out but the wrap-around logic
+//!   is the same);
+//! * probes are injected through a neighbouring switch (`PacketOut` on the
+//!   neighbour's connection) so the probing rule is exercised by the
+//!   *hardware* path, not the switch-local software path.
+
+use crate::config::{ProbeFieldPlan, SwitchPortMap};
+use crate::probe::{sequential_probe_packet, sequential_probe_rule};
+use crate::technique::{AckTechnique, TechniqueOutput};
+use openflow::messages::{FlowMod, PacketOut};
+use openflow::{Action, OfMessage, PacketHeader, PortNo, Xid};
+use simnet::SimTime;
+use std::collections::VecDeque;
+
+/// Timer token used for the periodic probing tick.
+const TOKEN_TICK: u64 = 1;
+
+/// Largest VLAN id usable as a probe version before wrapping.
+const MAX_VERSION: u16 = 4094;
+
+/// A batch of real modifications covered by one probe-rule version.
+#[derive(Debug, Clone)]
+struct Batch {
+    version: u16,
+    cookies: Vec<u64>,
+}
+
+/// The sequential-probing acknowledgment technique for one monitored switch.
+#[derive(Debug)]
+pub struct SequentialProbing {
+    /// Index of the monitored switch within the RUM deployment.
+    switch_index: usize,
+    /// Real modifications per probe-rule version bump.
+    batch_size: usize,
+    /// Interval between probe injections while confirmations are pending.
+    probe_interval: SimTime,
+    /// Probe field plan (pre-probe marker + per-switch catch values).
+    plan: ProbeFieldPlan,
+    /// Topology knowledge for this switch.
+    ports: SwitchPortMap,
+    /// Port of this switch leading to the neighbour that will catch probes.
+    catch_port: PortNo,
+    /// Index of the neighbour switch that catches probes.
+    catch_switch: usize,
+
+    /// Modifications not yet covered by a probe-rule version.
+    unversioned: Vec<u64>,
+    /// Batches whose probe has not yet come back, oldest first.
+    outstanding: VecDeque<Batch>,
+    current_version: u16,
+    probe_rule_installed: bool,
+    next_xid: Xid,
+    unconfirmed: usize,
+    ticking: bool,
+    /// Statistics: probe rules installed / modified.
+    pub probe_rule_updates: u64,
+    /// Statistics: probe packets injected.
+    pub probes_injected: u64,
+    /// Statistics: probe packets received back.
+    pub probes_received: u64,
+}
+
+impl SequentialProbing {
+    /// Creates the technique.
+    ///
+    /// `catch_port` is the monitored switch's port towards the neighbouring
+    /// switch `catch_switch`, which must hold a probe-catch rule (RUM installs
+    /// those at start-up on every switch).
+    pub fn new(
+        switch_index: usize,
+        batch_size: usize,
+        probe_interval: SimTime,
+        plan: ProbeFieldPlan,
+        ports: SwitchPortMap,
+        xid_base: Xid,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        let (catch_port, catch_switch) = ports
+            .port_to_switch
+            .iter()
+            .map(|(p, s)| (*p, *s))
+            .min()
+            .expect("sequential probing needs at least one monitored neighbour");
+        SequentialProbing {
+            switch_index,
+            batch_size,
+            probe_interval,
+            plan,
+            ports,
+            catch_port,
+            catch_switch,
+            unversioned: Vec::new(),
+            outstanding: VecDeque::new(),
+            current_version: 0,
+            probe_rule_installed: false,
+            next_xid: xid_base,
+            unconfirmed: 0,
+            ticking: false,
+            probe_rule_updates: 0,
+            probes_injected: 0,
+            probes_received: 0,
+        }
+    }
+
+    fn fresh_xid(&mut self) -> Xid {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    fn bump_version(&mut self, out: &mut Vec<TechniqueOutput>) {
+        if self.unversioned.is_empty() {
+            return;
+        }
+        self.current_version = if self.current_version >= MAX_VERSION {
+            1
+        } else {
+            self.current_version + 1
+        };
+        let cookies = std::mem::take(&mut self.unversioned);
+        self.outstanding.push_back(Batch {
+            version: self.current_version,
+            cookies,
+        });
+        let xid = self.fresh_xid();
+        let catch_tos = self.plan.catch_tos(self.catch_switch);
+        let mut fm = sequential_probe_rule(
+            self.plan.preprobe_tos,
+            catch_tos,
+            self.catch_port,
+            self.current_version,
+            u64::from(xid),
+            !self.probe_rule_installed,
+        );
+        fm.cookie = u64::from(xid);
+        self.probe_rule_installed = true;
+        self.probe_rule_updates += 1;
+        out.push(TechniqueOutput::ToSwitch(OfMessage::FlowMod {
+            xid,
+            body: fm,
+        }));
+    }
+
+    fn inject_probe(&mut self, out: &mut Vec<TechniqueOutput>) {
+        let Some((via_switch, via_port)) = self.ports.inject_via else {
+            return;
+        };
+        let packet = sequential_probe_packet(self.plan.preprobe_tos);
+        let po = PacketOut::inject(vec![Action::output(via_port)], packet.to_bytes());
+        let xid = self.fresh_xid();
+        self.probes_injected += 1;
+        out.push(TechniqueOutput::InjectVia {
+            switch: via_switch,
+            msg: OfMessage::PacketOut { xid, body: po },
+        });
+    }
+
+    fn ensure_ticking(&mut self, out: &mut Vec<TechniqueOutput>) {
+        if !self.ticking {
+            self.ticking = true;
+            out.push(TechniqueOutput::SetTimer {
+                delay: self.probe_interval,
+                token: TOKEN_TICK,
+            });
+        }
+    }
+}
+
+impl AckTechnique for SequentialProbing {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn start(&mut self, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+        // The probe-catch rules on every switch are installed by the RUM
+        // layer itself (they are shared across techniques); nothing to do
+        // here until the first modification arrives.
+        self.ensure_ticking(out);
+    }
+
+    fn on_flow_mod(
+        &mut self,
+        cookie: u64,
+        _fm: &FlowMod,
+        _now: SimTime,
+        out: &mut Vec<TechniqueOutput>,
+    ) {
+        self.unversioned.push(cookie);
+        self.unconfirmed += 1;
+        if self.unversioned.len() >= self.batch_size {
+            self.bump_version(out);
+        }
+        self.ensure_ticking(out);
+    }
+
+    fn on_probe_packet(
+        &mut self,
+        header: &PacketHeader,
+        _now: SimTime,
+        out: &mut Vec<TechniqueOutput>,
+    ) {
+        // Ownership check: the probe must carry the catch value of the switch
+        // we forward probes to, and a version we actually issued.
+        if header.nw_tos & 0xfc != self.plan.catch_tos(self.catch_switch) & 0xfc {
+            return;
+        }
+        let version = header.dl_vlan;
+        if !self.outstanding.iter().any(|b| b.version == version) {
+            return;
+        }
+        self.probes_received += 1;
+        // The probe rule with `version` is active, therefore every batch up
+        // to and including that version is active as well (the switch does
+        // not reorder).
+        while let Some(front) = self.outstanding.front() {
+            let done = front.version;
+            if version_is_at_least(version, done) {
+                let batch = self.outstanding.pop_front().expect("front exists");
+                for c in batch.cookies {
+                    self.unconfirmed = self.unconfirmed.saturating_sub(1);
+                    out.push(TechniqueOutput::Confirm(c));
+                }
+                if done == version {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+        if token != TOKEN_TICK {
+            return;
+        }
+        // Flush a partial batch if nothing else is outstanding, so the tail
+        // of an update is not stranded.
+        if !self.unversioned.is_empty() && self.outstanding.is_empty() {
+            self.bump_version(out);
+        }
+        if !self.outstanding.is_empty() {
+            self.inject_probe(out);
+        }
+        // Keep ticking while there is anything to confirm.
+        if self.unconfirmed > 0 {
+            out.push(TechniqueOutput::SetTimer {
+                delay: self.probe_interval,
+                token: TOKEN_TICK,
+            });
+        } else {
+            self.ticking = false;
+        }
+    }
+
+    fn unconfirmed(&self) -> usize {
+        self.unconfirmed
+    }
+}
+
+/// Version comparison tolerant of the wrap-around at [`MAX_VERSION`].
+fn version_is_at_least(observed: u16, candidate: u16) -> bool {
+    if observed >= candidate {
+        observed - candidate < MAX_VERSION / 2
+    } else {
+        // Wrapped: e.g. observed = 3, candidate = 4090.
+        candidate - observed > MAX_VERSION / 2
+    }
+}
+
+/// Index of the monitored switch this technique was built for (used by the
+/// proxy for bookkeeping and by tests).
+impl SequentialProbing {
+    /// The monitored switch's index.
+    pub fn switch_index(&self) -> usize {
+        self.switch_index
+    }
+
+    /// The current probe-rule version.
+    pub fn current_version(&self) -> u16 {
+        self.current_version
+    }
+
+    /// Number of batches awaiting a probe.
+    pub fn outstanding_batches(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::OfMatch;
+    use std::net::Ipv4Addr;
+
+    fn ports() -> SwitchPortMap {
+        let mut m = SwitchPortMap {
+            switch_node: None,
+            port_to_switch: Default::default(),
+            inject_via: Some((0, 2)),
+        };
+        m.port_to_switch.insert(2, 2); // port 2 leads to monitored switch 2
+        m
+    }
+
+    fn plan() -> ProbeFieldPlan {
+        ProbeFieldPlan::unique_per_switch(3)
+    }
+
+    fn fm(i: u8) -> FlowMod {
+        FlowMod::add(
+            OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, i), Ipv4Addr::new(10, 1, 0, i)),
+            100,
+            vec![Action::output(2)],
+        )
+    }
+
+    fn new_technique(batch: usize) -> SequentialProbing {
+        SequentialProbing::new(
+            1,
+            batch,
+            SimTime::from_millis(10),
+            plan(),
+            ports(),
+            0xA000_0000,
+        )
+    }
+
+    fn probe_header(version: u16) -> PacketHeader {
+        let mut h = sequential_probe_packet(plan().preprobe_tos);
+        h.nw_tos = plan().catch_tos(2);
+        h.dl_vlan = version;
+        h
+    }
+
+    #[test]
+    fn batch_completion_triggers_version_bump() {
+        let mut t = new_technique(3);
+        let mut out = Vec::new();
+        t.start(SimTime::ZERO, &mut out);
+        for i in 0..2u64 {
+            let mut out = Vec::new();
+            t.on_flow_mod(i, &fm(i as u8), SimTime::ZERO, &mut out);
+            assert!(
+                !out.iter().any(|o| matches!(o, TechniqueOutput::ToSwitch(_))),
+                "no version bump before the batch is full"
+            );
+        }
+        let mut out = Vec::new();
+        t.on_flow_mod(2, &fm(2), SimTime::ZERO, &mut out);
+        let bumps: Vec<_> = out
+            .iter()
+            .filter(|o| matches!(o, TechniqueOutput::ToSwitch(OfMessage::FlowMod { .. })))
+            .collect();
+        assert_eq!(bumps.len(), 1, "batch of 3 triggers one probe-rule update");
+        assert_eq!(t.current_version(), 1);
+        assert_eq!(t.outstanding_batches(), 1);
+        assert_eq!(t.unconfirmed(), 3);
+    }
+
+    #[test]
+    fn probe_return_confirms_whole_batch() {
+        let mut t = new_technique(2);
+        let mut out = Vec::new();
+        t.on_flow_mod(10, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(11, &fm(2), SimTime::ZERO, &mut out);
+        assert_eq!(t.current_version(), 1);
+
+        let mut out = Vec::new();
+        t.on_probe_packet(&probe_header(1), SimTime::from_millis(5), &mut out);
+        let confirmed: Vec<u64> = out
+            .iter()
+            .filter_map(|o| match o {
+                TechniqueOutput::Confirm(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(confirmed, vec![10, 11]);
+        assert_eq!(t.unconfirmed(), 0);
+        assert_eq!(t.probes_received, 1);
+    }
+
+    #[test]
+    fn later_version_confirms_earlier_batches_too() {
+        let mut t = new_technique(1);
+        let mut out = Vec::new();
+        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(2, &fm(2), SimTime::ZERO, &mut out);
+        t.on_flow_mod(3, &fm(3), SimTime::ZERO, &mut out);
+        assert_eq!(t.outstanding_batches(), 3);
+
+        // Only the probe for version 3 comes back (earlier probes lost).
+        let mut out = Vec::new();
+        t.on_probe_packet(&probe_header(3), SimTime::from_millis(5), &mut out);
+        let confirmed: Vec<u64> = out
+            .iter()
+            .filter_map(|o| match o {
+                TechniqueOutput::Confirm(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(confirmed, vec![1, 2, 3]);
+        assert_eq!(t.outstanding_batches(), 0);
+    }
+
+    #[test]
+    fn foreign_probes_are_ignored() {
+        let mut t = new_technique(1);
+        let mut out = Vec::new();
+        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
+        // Wrong ToS (someone else's catch value).
+        let mut h = probe_header(1);
+        h.nw_tos = plan().catch_tos(0);
+        let mut out = Vec::new();
+        t.on_probe_packet(&h, SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        // Right ToS but unknown version.
+        let mut out = Vec::new();
+        t.on_probe_packet(&probe_header(99), SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.unconfirmed(), 1);
+    }
+
+    #[test]
+    fn tick_flushes_partial_batch_and_injects_probe() {
+        let mut t = new_technique(10);
+        let mut out = Vec::new();
+        t.start(SimTime::ZERO, &mut out);
+        let mut out = Vec::new();
+        t.on_flow_mod(5, &fm(5), SimTime::ZERO, &mut out);
+        assert_eq!(t.current_version(), 0, "partial batch not yet versioned");
+
+        let mut out = Vec::new();
+        t.on_timer(TOKEN_TICK, SimTime::from_millis(10), &mut out);
+        assert_eq!(t.current_version(), 1, "tick flushes the partial batch");
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, TechniqueOutput::InjectVia { switch: 0, .. })),
+            "a probe is injected via the configured neighbour"
+        );
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, TechniqueOutput::SetTimer { .. })),
+            "ticking continues while work is pending"
+        );
+        assert_eq!(t.probes_injected, 1);
+    }
+
+    #[test]
+    fn ticking_stops_when_everything_is_confirmed() {
+        let mut t = new_technique(1);
+        let mut out = Vec::new();
+        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
+        let mut out = Vec::new();
+        t.on_probe_packet(&probe_header(1), SimTime::ZERO, &mut out);
+        let mut out = Vec::new();
+        t.on_timer(TOKEN_TICK, SimTime::from_millis(10), &mut out);
+        assert!(
+            !out.iter().any(|o| matches!(o, TechniqueOutput::SetTimer { .. })),
+            "no more timers once everything is confirmed"
+        );
+    }
+
+    #[test]
+    fn version_wraparound_comparison() {
+        assert!(version_is_at_least(5, 3));
+        assert!(version_is_at_least(3, 3));
+        assert!(!version_is_at_least(3, 5));
+        // Wrapped cases.
+        assert!(version_is_at_least(2, 4090));
+        assert!(!version_is_at_least(4090, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_size_rejected() {
+        new_technique(0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The event queue driving the simulation.
+
+use crate::node::NodeId;
+use crate::packet::SimPacket;
+use crate::time::SimTime;
+use openflow::{OfMessage, PortNo};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The payload of an event delivered to a node.
+#[derive(Debug, Clone)]
+pub enum EventPayload {
+    /// A data-plane packet arriving on one of the node's ports.
+    Packet {
+        /// The packet.
+        packet: SimPacket,
+        /// The port it arrives on.
+        in_port: PortNo,
+    },
+    /// An OpenFlow control-plane message from another node (controller,
+    /// proxy or switch, depending on who is talking to whom).
+    Control {
+        /// The sending node.
+        from: NodeId,
+        /// The message.
+        message: OfMessage,
+    },
+    /// A timer armed earlier by the node itself.
+    Timer {
+        /// The token passed when the timer was armed.
+        token: u64,
+    },
+}
+
+impl EventPayload {
+    /// A short label for traces and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EventPayload::Packet { .. } => "packet",
+            EventPayload::Control { .. } => "control",
+            EventPayload::Timer { .. } => "timer",
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Tie-break sequence number (insertion order).
+    pub seq: u64,
+    /// Destination node.
+    pub target: NodeId,
+    /// Payload.
+    pub payload: EventPayload,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery to `target` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, target: NodeId, payload: EventPayload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The delivery time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), NodeId(0), EventPayload::Timer { token: 5 });
+        q.schedule(SimTime::from_millis(1), NodeId(0), EventPayload::Timer { token: 1 });
+        q.schedule(SimTime::from_millis(3), NodeId(0), EventPayload::Timer { token: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Timer { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for token in 0..10 {
+            q.schedule(t, NodeId(0), EventPayload::Timer { token });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Timer { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(2), NodeId(1), EventPayload::Timer { token: 0 });
+        q.schedule(SimTime::from_micros(1), NodeId(1), EventPayload::Timer { token: 0 });
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    fn payload_kind_labels() {
+        assert_eq!(EventPayload::Timer { token: 0 }.kind(), "timer");
+        let pkt = EventPayload::Packet {
+            packet: SimPacket::new(openflow::PacketHeader::default(), 0, SimTime::ZERO, NodeId(0)),
+            in_port: 1,
+        };
+        assert_eq!(pkt.kind(), "packet");
+        let ctl = EventPayload::Control {
+            from: NodeId(0),
+            message: OfMessage::Hello { xid: 0 },
+        };
+        assert_eq!(ctl.kind(), "control");
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`Node`] trait and node identifiers.
+
+use crate::engine::Context;
+use crate::event::EventPayload;
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node inside a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated component: host, switch, proxy or controller.
+///
+/// Nodes communicate exclusively through the [`Context`]: data-plane packets
+/// travel over topology links, control-plane messages travel over direct
+/// node-to-node channels, and timers deliver wake-ups back to the node that
+/// armed them.
+pub trait Node: Any {
+    /// A human-readable name used in traces.
+    fn name(&self) -> String;
+
+    /// Called once before the first event is processed, with the simulation
+    /// clock at zero.  Nodes typically arm their first timers here.
+    fn start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Handles a single event addressed to this node.
+    fn handle(&mut self, event: EventPayload, ctx: &mut Context<'_>);
+
+    /// Downcasting support so experiments can interrogate node state after a
+    /// run (e.g. read the controller's recorded acknowledgment times).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Data-plane topology: point-to-point links between node ports.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use openflow::PortNo;
+use std::collections::HashMap;
+
+/// One endpoint of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// The node.
+    pub node: NodeId,
+    /// The port on that node.
+    pub port: PortNo,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(node: NodeId, port: PortNo) -> Self {
+        Endpoint { node, port }
+    }
+}
+
+/// A bidirectional link with a propagation latency.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// One end.
+    pub a: Endpoint,
+    /// The other end.
+    pub b: Endpoint,
+    /// One-way propagation latency.
+    pub latency: SimTime,
+}
+
+/// The set of data-plane links in an experiment.
+///
+/// The topology is immutable while the simulation runs; nodes query it via
+/// the [`crate::Context`] to learn where a packet sent out of a port ends up.
+#[derive(Debug, Default)]
+pub struct Topology {
+    links: Vec<Link>,
+    by_endpoint: HashMap<Endpoint, usize>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Connects `(a, port_a)` to `(b, port_b)` with the given one-way
+    /// latency.  Panics if either endpoint is already connected — silently
+    /// rewiring a port is almost always an experiment bug.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        port_a: PortNo,
+        b: NodeId,
+        port_b: PortNo,
+        latency: SimTime,
+    ) {
+        let ea = Endpoint::new(a, port_a);
+        let eb = Endpoint::new(b, port_b);
+        assert!(
+            !self.by_endpoint.contains_key(&ea),
+            "endpoint {a}:{port_a} already wired"
+        );
+        assert!(
+            !self.by_endpoint.contains_key(&eb),
+            "endpoint {b}:{port_b} already wired"
+        );
+        let idx = self.links.len();
+        self.links.push(Link {
+            a: ea,
+            b: eb,
+            latency,
+        });
+        self.by_endpoint.insert(ea, idx);
+        self.by_endpoint.insert(eb, idx);
+    }
+
+    /// Where does traffic leaving `node` through `port` arrive?
+    /// Returns the peer endpoint and the link latency.
+    pub fn peer_of(&self, node: NodeId, port: PortNo) -> Option<(Endpoint, SimTime)> {
+        let ep = Endpoint::new(node, port);
+        let link = &self.links[*self.by_endpoint.get(&ep)?];
+        let peer = if link.a == ep { link.b } else { link.a };
+        Some((peer, link.latency))
+    }
+
+    /// All wired ports of a node, sorted.
+    pub fn ports_of(&self, node: NodeId) -> Vec<PortNo> {
+        let mut ports: Vec<PortNo> = self
+            .by_endpoint
+            .keys()
+            .filter(|e| e.node == node)
+            .map(|e| e.port)
+            .collect();
+        ports.sort_unstable();
+        ports
+    }
+
+    /// All neighbours of a node with the local port leading to each.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(PortNo, NodeId)> {
+        let mut out: Vec<(PortNo, NodeId)> = self
+            .ports_of(node)
+            .into_iter()
+            .filter_map(|p| self.peer_of(node, p).map(|(peer, _)| (p, peer.node)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The local port on `from` that leads directly to `to`, if any.
+    pub fn port_towards(&self, from: NodeId, to: NodeId) -> Option<PortNo> {
+        self.neighbors(from)
+            .into_iter()
+            .find(|(_, n)| *n == to)
+            .map(|(p, _)| p)
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over all links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// The adjacency list over nodes (ignoring ports), useful for graph
+    /// algorithms such as the vertex colouring RUM uses to assign per-switch
+    /// probe values.
+    pub fn adjacency(&self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for link in &self.links {
+            adj.entry(link.a.node).or_default().push(link.b.node);
+            adj.entry(link.b.node).or_default().push(link.a.node);
+        }
+        for neighbors in adj.values_mut() {
+            neighbors.sort_unstable();
+            neighbors.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_lookup_both_directions() {
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), 1, NodeId(1), 2, SimTime::from_micros(50));
+        let (peer, lat) = t.peer_of(NodeId(0), 1).unwrap();
+        assert_eq!(peer, Endpoint::new(NodeId(1), 2));
+        assert_eq!(lat, SimTime::from_micros(50));
+        let (peer, _) = t.peer_of(NodeId(1), 2).unwrap();
+        assert_eq!(peer, Endpoint::new(NodeId(0), 1));
+        assert!(t.peer_of(NodeId(0), 9).is_none());
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_panics() {
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), 1, NodeId(1), 1, SimTime::ZERO);
+        t.add_link(NodeId(0), 1, NodeId(2), 1, SimTime::ZERO);
+    }
+
+    #[test]
+    fn triangle_adjacency() {
+        // The paper's Figure 1a triangle: S1 - S2 - S3 - S1.
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), 1, NodeId(1), 1, SimTime::from_micros(10));
+        t.add_link(NodeId(1), 2, NodeId(2), 1, SimTime::from_micros(10));
+        t.add_link(NodeId(2), 2, NodeId(0), 2, SimTime::from_micros(10));
+        let adj = t.adjacency();
+        assert_eq!(adj[&NodeId(0)], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(adj[&NodeId(1)], vec![NodeId(0), NodeId(2)]);
+        assert_eq!(adj[&NodeId(2)], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(t.ports_of(NodeId(0)), vec![1, 2]);
+        assert_eq!(t.port_towards(NodeId(0), NodeId(2)), Some(2));
+        assert_eq!(t.port_towards(NodeId(0), NodeId(0)), None);
+        assert_eq!(t.neighbors(NodeId(1)), vec![(1, NodeId(0)), (2, NodeId(2))]);
+    }
+}

@@ -1,0 +1,512 @@
+//! OpenFlow 1.0 flow-table semantics.
+
+use openflow::constants::{flow_mod_failed_code, flow_mod_flags, port as of_port};
+use openflow::messages::{FlowMod, FlowModCommand};
+use openflow::{Action, OfMatch, PacketHeader, PortNo};
+use simnet::SimTime;
+
+/// A single installed flow entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEntry {
+    /// Fields to match.
+    pub match_: OfMatch,
+    /// Priority (higher wins; only meaningful for wildcarded entries).
+    pub priority: u16,
+    /// Actions applied to matching packets (empty list = drop).
+    pub actions: Vec<Action>,
+    /// Controller-assigned cookie.
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// When the entry was installed.
+    pub installed_at: SimTime,
+    /// Packets matched so far.
+    pub packet_count: u64,
+    /// Bytes matched so far.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    /// Builds an entry from a flow-mod ADD.
+    pub fn from_flow_mod(fm: &FlowMod, now: SimTime) -> Self {
+        FlowEntry {
+            match_: fm.match_,
+            priority: fm.priority,
+            actions: fm.actions.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            installed_at: now,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// True if the entry's action list forwards to `port` (used by the
+    /// `out_port` filter of DELETE commands).
+    pub fn outputs_to(&self, port: PortNo) -> bool {
+        Action::output_ports(&self.actions).contains(&port)
+    }
+}
+
+/// What a flow-mod did to the table — the switch uses this to know which
+/// cookies became active or inactive, and what to report to the trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowModOutcome {
+    /// Cookies of entries that were added or whose actions changed.
+    pub activated: Vec<u64>,
+    /// Cookies of entries that were removed.
+    pub removed: Vec<u64>,
+}
+
+/// Errors returned when a flow-mod cannot be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTableError {
+    /// The table is full.
+    TableFull,
+    /// CHECK_OVERLAP was set and an overlapping entry of the same priority
+    /// exists.
+    Overlap,
+}
+
+impl FlowTableError {
+    /// The OpenFlow error code for this failure.
+    pub fn error_code(&self) -> u16 {
+        match self {
+            FlowTableError::TableFull => flow_mod_failed_code::ALL_TABLES_FULL,
+            FlowTableError::Overlap => flow_mod_failed_code::OVERLAP,
+        }
+    }
+}
+
+/// An OpenFlow 1.0 flow table.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    max_entries: usize,
+    /// Lookups performed (for table stats).
+    pub lookup_count: u64,
+    /// Lookups that matched (for table stats).
+    pub matched_count: u64,
+}
+
+impl FlowTable {
+    /// Creates a table bounded at `max_entries` rules (0 = unbounded).
+    pub fn new(max_entries: usize) -> Self {
+        FlowTable {
+            entries: Vec::new(),
+            max_entries,
+            lookup_count: 0,
+            matched_count: 0,
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Iterates over the installed entries.
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Finds the entry exactly matching `match_` and `priority` (strict
+    /// semantics).
+    pub fn find_strict(&self, match_: &OfMatch, priority: u16) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.priority == priority && e.match_ == *match_)
+    }
+
+    /// Looks up the highest-priority entry matching a packet.  Ties are
+    /// broken by installation order (first installed wins), which mirrors
+    /// what the paper's hardware switch does ("takes the rule installation
+    /// order to define the rule importance").
+    pub fn lookup(&mut self, pkt: &PacketHeader, in_port: PortNo) -> Option<&FlowEntry> {
+        self.lookup_count += 1;
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.match_.matches(pkt, in_port) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if e.priority > self.entries[b].priority => best = Some(i),
+                _ => {}
+            }
+        }
+        if best.is_some() {
+            self.matched_count += 1;
+        }
+        best.map(move |i| &self.entries[i])
+    }
+
+    /// Same as [`FlowTable::lookup`] but does not update statistics and does
+    /// not require `&mut self` — used for read-only probing/analysis.
+    pub fn peek_lookup(&self, pkt: &PacketHeader, in_port: PortNo) -> Option<&FlowEntry> {
+        let mut best: Option<&FlowEntry> = None;
+        for e in &self.entries {
+            if !e.match_.matches(pkt, in_port) {
+                continue;
+            }
+            match best {
+                None => best = Some(e),
+                Some(b) if e.priority > b.priority => best = Some(e),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Credits a matched packet to an entry (counters).
+    pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == priority && e.match_ == *match_)
+        {
+            e.packet_count += 1;
+            e.byte_count += bytes as u64;
+        }
+    }
+
+    /// Applies a flow-mod, returning which cookies were activated/removed.
+    pub fn apply(
+        &mut self,
+        fm: &FlowMod,
+        now: SimTime,
+    ) -> Result<FlowModOutcome, FlowTableError> {
+        match fm.command {
+            FlowModCommand::Add => self.apply_add(fm, now),
+            FlowModCommand::Modify => self.apply_modify(fm, now, false),
+            FlowModCommand::ModifyStrict => self.apply_modify(fm, now, true),
+            FlowModCommand::Delete => Ok(self.apply_delete(fm, false)),
+            FlowModCommand::DeleteStrict => Ok(self.apply_delete(fm, true)),
+        }
+    }
+
+    fn apply_add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+        if fm.flags & flow_mod_flags::CHECK_OVERLAP != 0 {
+            let overlapping = self
+                .entries
+                .iter()
+                .any(|e| e.priority == fm.priority && e.match_.overlaps(&fm.match_));
+            if overlapping {
+                return Err(FlowTableError::Overlap);
+            }
+        }
+        // Per the spec, an ADD with an identical match and priority replaces
+        // the existing entry (counters reset).
+        let mut outcome = FlowModOutcome::default();
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.priority == fm.priority && e.match_ == fm.match_)
+        {
+            let old = self.entries.remove(pos);
+            if old.cookie != fm.cookie {
+                outcome.removed.push(old.cookie);
+            }
+        } else if self.max_entries != 0 && self.entries.len() >= self.max_entries {
+            return Err(FlowTableError::TableFull);
+        }
+        outcome.activated.push(fm.cookie);
+        self.entries.push(FlowEntry::from_flow_mod(fm, now));
+        Ok(outcome)
+    }
+
+    fn apply_modify(
+        &mut self,
+        fm: &FlowMod,
+        now: SimTime,
+        strict: bool,
+    ) -> Result<FlowModOutcome, FlowTableError> {
+        let mut outcome = FlowModOutcome::default();
+        let mut any = false;
+        for e in self.entries.iter_mut() {
+            let selected = if strict {
+                e.priority == fm.priority && e.match_ == fm.match_
+            } else {
+                fm.match_.covers(&e.match_)
+            };
+            if selected {
+                e.actions = fm.actions.clone();
+                // MODIFY does not reset counters or timeouts, per spec.
+                outcome.activated.push(fm.cookie);
+                any = true;
+            }
+        }
+        if !any {
+            // A modify that matches nothing behaves like an ADD.
+            return self.apply_add(fm, now);
+        }
+        Ok(outcome)
+    }
+
+    fn apply_delete(&mut self, fm: &FlowMod, strict: bool) -> FlowModOutcome {
+        let mut outcome = FlowModOutcome::default();
+        let out_port_filter = fm.out_port;
+        self.entries.retain(|e| {
+            let selected = if strict {
+                e.priority == fm.priority && e.match_ == fm.match_
+            } else {
+                fm.match_.covers(&e.match_)
+            };
+            let port_ok =
+                out_port_filter == of_port::NONE || e.outputs_to(out_port_filter);
+            if selected && port_ok {
+                outcome.removed.push(e.cookie);
+                false
+            } else {
+                true
+            }
+        });
+        outcome
+    }
+
+    /// Removes entries whose hard timeout expired; returns their cookies.
+    pub fn expire(&mut self, now: SimTime) -> Vec<u64> {
+        let mut expired = Vec::new();
+        self.entries.retain(|e| {
+            if e.hard_timeout != 0
+                && now >= e.installed_at + SimTime::from_secs(u64::from(e.hard_timeout))
+            {
+                expired.push(e.cookie);
+                false
+            } else {
+                true
+            }
+        });
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn pair(a: u8, b: u8) -> OfMatch {
+        OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, a), Ipv4Addr::new(10, 0, 0, b))
+    }
+
+    fn pkt(a: u8, b: u8) -> PacketHeader {
+        PacketHeader::ipv4_udp(
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, a),
+            Ipv4Addr::new(10, 0, 0, b),
+            1,
+            2,
+        )
+    }
+
+    fn add(m: OfMatch, prio: u16, port: PortNo, cookie: u64) -> FlowMod {
+        FlowMod::add(m, prio, vec![Action::output(port)]).with_cookie(cookie)
+    }
+
+    #[test]
+    fn add_and_lookup_by_priority() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(OfMatch::wildcard_all(), 1, 9, 100), SimTime::ZERO)
+            .unwrap();
+        t.apply(&add(pair(1, 2), 10, 3, 200), SimTime::ZERO).unwrap();
+        let hit = t.lookup(&pkt(1, 2), 1).unwrap();
+        assert_eq!(hit.cookie, 200);
+        let miss_to_default = t.lookup(&pkt(3, 4), 1).unwrap();
+        assert_eq!(miss_to_default.cookie, 100);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup_count, 2);
+        assert_eq!(t.matched_count, 2);
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 10, 3, 1), SimTime::ZERO).unwrap();
+        assert!(t.lookup(&pkt(9, 9), 1).is_none());
+        assert_eq!(t.matched_count, 0);
+    }
+
+    #[test]
+    fn tie_break_by_installation_order() {
+        let mut t = FlowTable::new(0);
+        // Two rules with the same priority both matching the packet; the
+        // first installed must win (installation order defines importance).
+        t.apply(&add(pair(1, 2), 5, 1, 111), SimTime::ZERO).unwrap();
+        t.apply(
+            &add(OfMatch::wildcard_all().with_tp_dst(2), 5, 2, 222),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(t.lookup(&pkt(1, 2), 1).unwrap().cookie, 111);
+    }
+
+    #[test]
+    fn add_identical_match_replaces() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        let outcome = t
+            .apply(&add(pair(1, 2), 5, 2, 2), SimTime::from_millis(1))
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(outcome.activated, vec![2]);
+        assert_eq!(outcome.removed, vec![1]);
+        assert_eq!(t.lookup(&pkt(1, 2), 1).unwrap().cookie, 2);
+    }
+
+    #[test]
+    fn check_overlap_rejects_same_priority_overlap() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        let overlapping = FlowMod::add(
+            OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 24),
+            5,
+            vec![Action::output(4)],
+        )
+        .with_check_overlap();
+        assert_eq!(
+            t.apply(&overlapping, SimTime::ZERO),
+            Err(FlowTableError::Overlap)
+        );
+        // Different priority is fine even with CHECK_OVERLAP.
+        let different_prio = FlowMod::add(
+            OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 24),
+            6,
+            vec![Action::output(4)],
+        )
+        .with_check_overlap();
+        assert!(t.apply(&different_prio, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn table_full_error() {
+        let mut t = FlowTable::new(2);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 5, 1, 2), SimTime::ZERO).unwrap();
+        assert_eq!(
+            t.apply(&add(pair(1, 4), 5, 1, 3), SimTime::ZERO),
+            Err(FlowTableError::TableFull)
+        );
+        assert_eq!(FlowTableError::TableFull.error_code(), 0);
+        assert_eq!(FlowTableError::Overlap.error_code(), 1);
+    }
+
+    #[test]
+    fn strict_modify_changes_only_exact_entry() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 5, 1, 2), SimTime::ZERO).unwrap();
+        let m = FlowMod::modify_strict(pair(1, 2), 5, vec![Action::output(7)]).with_cookie(99);
+        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        assert_eq!(outcome.activated, vec![99]);
+        assert_eq!(t.lookup(&pkt(1, 2), 1).unwrap().actions, vec![Action::output(7)]);
+        assert_eq!(t.lookup(&pkt(1, 3), 1).unwrap().actions, vec![Action::output(1)]);
+    }
+
+    #[test]
+    fn loose_modify_uses_covers_semantics() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(3, 4), 5, 1, 2), SimTime::ZERO).unwrap();
+        // A fully wildcarded modify covers every entry.
+        let m = FlowMod {
+            command: FlowModCommand::Modify,
+            ..FlowMod::add(OfMatch::wildcard_all(), 0, vec![Action::output(9)])
+        }
+        .with_cookie(50);
+        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        assert_eq!(outcome.activated.len(), 2);
+        assert!(t.entries().all(|e| e.actions == vec![Action::output(9)]));
+    }
+
+    #[test]
+    fn modify_with_no_match_behaves_like_add() {
+        let mut t = FlowTable::new(0);
+        let m = FlowMod::modify_strict(pair(8, 9), 5, vec![Action::output(2)]).with_cookie(7);
+        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        assert_eq!(outcome.activated, vec![7]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn strict_delete_removes_exact_entry_only() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 6, 1, 2), SimTime::ZERO).unwrap();
+        let outcome = t
+            .apply(&FlowMod::delete_strict(pair(1, 2), 5), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(outcome.removed, vec![1]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn loose_delete_removes_covered_entries() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 7, 1, 2), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(2, 3), 7, 1, 3), SimTime::ZERO).unwrap();
+        let del = FlowMod::delete(
+            OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 1), 32),
+        );
+        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        assert_eq!(outcome.removed, vec![1, 2]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_with_out_port_filter() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 5, 2, 2), SimTime::ZERO).unwrap();
+        let mut del = FlowMod::delete(OfMatch::wildcard_all());
+        del.out_port = 2;
+        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        assert_eq!(outcome.removed, vec![2]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn counters_account_packets() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.account(&pair(1, 2), 5, 100);
+        t.account(&pair(1, 2), 5, 50);
+        let e = t.find_strict(&pair(1, 2), 5).unwrap();
+        assert_eq!(e.packet_count, 2);
+        assert_eq!(e.byte_count, 150);
+    }
+
+    #[test]
+    fn hard_timeout_expiry() {
+        let mut t = FlowTable::new(0);
+        let fm = add(pair(1, 2), 5, 1, 1).with_hard_timeout(1);
+        t.apply(&fm, SimTime::from_secs(10)).unwrap();
+        assert!(t.expire(SimTime::from_secs(10)).is_empty());
+        let expired = t.expire(SimTime::from_secs(11));
+        assert_eq!(expired, vec![1]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn peek_lookup_matches_lookup_without_counting() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 42), SimTime::ZERO).unwrap();
+        assert_eq!(t.peek_lookup(&pkt(1, 2), 1).unwrap().cookie, 42);
+        assert_eq!(t.lookup_count, 0);
+    }
+}

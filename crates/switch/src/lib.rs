@@ -1,0 +1,30 @@
+//! A software OpenFlow 1.0 switch with configurable control/data-plane
+//! behaviour models.
+//!
+//! The paper's central observation is that real switches (their HP 5406zl in
+//! particular) acknowledge rule modifications on the control plane long
+//! before the rules are actually active in the data plane, and that some
+//! switches additionally reorder modifications across barriers.  This crate
+//! reproduces that behaviour as a simulated switch:
+//!
+//! * [`flow_table`] — OpenFlow 1.0 flow-table semantics (priorities, strict
+//!   vs. loose modify/delete, overlap checking, counters).
+//! * [`model`] — the switch behaviour model: control-plane processing rate
+//!   (occupancy dependent), periodic data-plane synchronisation, barrier
+//!   modes (faithful, early-reply, reordering), and PacketIn/PacketOut rate
+//!   limits — all calibrated to the characteristics published for the
+//!   HP 5406zl in the paper and its companion technical report.
+//! * [`switch`] — the [`switch::OpenFlowSwitch`] simulation node that speaks
+//!   OpenFlow on its control channel and forwards data-plane packets using
+//!   the (lagging) data-plane table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow_table;
+pub mod model;
+pub mod switch;
+
+pub use flow_table::{FlowEntry, FlowModOutcome, FlowTable};
+pub use model::{BarrierMode, SwitchModel};
+pub use switch::OpenFlowSwitch;

@@ -1,0 +1,1127 @@
+//! The simulated OpenFlow switch node.
+//!
+//! [`OpenFlowSwitch`] keeps two flow tables: the *control-plane* table (what
+//! the switch CPU has accepted) and the *data-plane* table (what actually
+//! forwards packets).  Flow modifications move from the first to the second
+//! only at periodic synchronisation points, exactly the behaviour that makes
+//! barrier replies unreliable on the paper's hardware switch.
+
+use crate::flow_table::{FlowTable, FlowTableError};
+use crate::model::{BarrierMode, SwitchModel};
+use openflow::constants::{error_type, packet_in_reason, port as of_port};
+use openflow::messages::{
+    ErrorMsg, FeaturesReply, FlowMod, PacketIn, PacketOut, StatsReply, StatsRequest,
+    SwitchConfig,
+};
+use openflow::{Action, DatapathId, OfMessage, PacketHeader, PortNo};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::{Context, EventPayload, Node, NodeId, SimPacket, SimTime, TraceEvent};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Timer token: periodic data-plane synchronisation tick.
+const TOKEN_SYNC_TICK: u64 = 0;
+/// Timer token: a batch selected at a sync tick becomes active.
+const TOKEN_SYNC_APPLY: u64 = 1;
+/// Timer token: execute queued PacketOut messages.
+const TOKEN_PACKET_OUT: u64 = 2;
+
+/// A flow modification accepted by the control plane, waiting for the data
+/// plane to pick it up.
+#[derive(Debug, Clone)]
+struct PendingOp {
+    seq: u64,
+    ready_at: SimTime,
+    flow_mod: FlowMod,
+}
+
+/// A barrier whose reply is withheld until the data plane catches up
+/// (faithful mode only).
+#[derive(Debug, Clone, Copy)]
+struct PendingBarrier {
+    xid: u32,
+    threshold_seq: u64,
+    earliest_reply: SimTime,
+}
+
+/// A simulated OpenFlow 1.0 switch.
+pub struct OpenFlowSwitch {
+    label: String,
+    dpid: DatapathId,
+    n_ports: u16,
+    model: SwitchModel,
+    controller: Option<NodeId>,
+
+    control_table: FlowTable,
+    data_table: FlowTable,
+
+    pending_dataplane: Vec<PendingOp>,
+    in_flight: VecDeque<(SimTime, Vec<PendingOp>)>,
+    pending_barriers: Vec<PendingBarrier>,
+    pending_packet_outs: VecDeque<(SimTime, PacketOut)>,
+
+    next_op_seq: u64,
+    busy_until: SimTime,
+    packet_out_available_at: SimTime,
+    packet_in_available_at: SimTime,
+    config: SwitchConfig,
+
+    flow_mods_processed: u64,
+    barriers_processed: u64,
+    packet_ins_sent: u64,
+    packet_ins_suppressed: u64,
+    packet_outs_processed: u64,
+    data_packets_forwarded: u64,
+    data_packets_dropped: u64,
+    started_at_dpid_offset: bool,
+}
+
+impl OpenFlowSwitch {
+    /// Creates a switch with `n_ports` data ports and the given behaviour
+    /// model.
+    pub fn new(
+        label: impl Into<String>,
+        dpid: DatapathId,
+        n_ports: u16,
+        model: SwitchModel,
+    ) -> Self {
+        let capacity = model.table_capacity;
+        OpenFlowSwitch {
+            label: label.into(),
+            dpid,
+            n_ports,
+            model,
+            controller: None,
+            control_table: FlowTable::new(capacity),
+            data_table: FlowTable::new(capacity),
+            pending_dataplane: Vec::new(),
+            in_flight: VecDeque::new(),
+            pending_barriers: Vec::new(),
+            pending_packet_outs: VecDeque::new(),
+            next_op_seq: 0,
+            busy_until: SimTime::ZERO,
+            packet_out_available_at: SimTime::ZERO,
+            packet_in_available_at: SimTime::ZERO,
+            config: SwitchConfig::default(),
+            flow_mods_processed: 0,
+            barriers_processed: 0,
+            packet_ins_sent: 0,
+            packet_ins_suppressed: 0,
+            packet_outs_processed: 0,
+            data_packets_forwarded: 0,
+            data_packets_dropped: 0,
+            started_at_dpid_offset: false,
+        }
+    }
+
+    /// Points the switch's OpenFlow connection at a node (the controller or
+    /// a RUM proxy impersonating it).
+    pub fn connect_controller(&mut self, node: NodeId) {
+        self.controller = Some(node);
+    }
+
+    /// Installs a rule directly into both tables, bypassing the control
+    /// channel and all timing models.  Used to pre-install state before an
+    /// experiment starts, like the paper pre-installs the initial paths.
+    pub fn preinstall(&mut self, fm: &FlowMod) {
+        let _ = self.control_table.apply(fm, SimTime::ZERO);
+        let _ = self.data_table.apply(fm, SimTime::ZERO);
+    }
+
+    /// The switch's datapath id.
+    pub fn dpid(&self) -> DatapathId {
+        self.dpid
+    }
+
+    /// The behaviour model.
+    pub fn model(&self) -> &SwitchModel {
+        &self.model
+    }
+
+    /// The control-plane view of the flow table.
+    pub fn control_table(&self) -> &FlowTable {
+        &self.control_table
+    }
+
+    /// The data-plane view of the flow table.
+    pub fn data_table(&self) -> &FlowTable {
+        &self.data_table
+    }
+
+    /// Number of accepted modifications not yet visible in the data plane.
+    pub fn dataplane_backlog(&self) -> usize {
+        self.pending_dataplane.len() + self.in_flight.iter().map(|(_, v)| v.len()).sum::<usize>()
+    }
+
+    /// Flow modifications processed so far.
+    pub fn flow_mods_processed(&self) -> u64 {
+        self.flow_mods_processed
+    }
+
+    /// Barrier requests processed so far.
+    pub fn barriers_processed(&self) -> u64 {
+        self.barriers_processed
+    }
+
+    /// PacketIn messages emitted so far.
+    pub fn packet_ins_sent(&self) -> u64 {
+        self.packet_ins_sent
+    }
+
+    /// PacketIn messages suppressed by the rate limiter.
+    pub fn packet_ins_suppressed(&self) -> u64 {
+        self.packet_ins_suppressed
+    }
+
+    /// PacketOut messages executed so far.
+    pub fn packet_outs_processed(&self) -> u64 {
+        self.packet_outs_processed
+    }
+
+    /// Data-plane packets forwarded so far.
+    pub fn data_packets_forwarded(&self) -> u64 {
+        self.data_packets_forwarded
+    }
+
+    /// Data-plane packets dropped so far.
+    pub fn data_packets_dropped(&self) -> u64 {
+        self.data_packets_dropped
+    }
+
+    /// The time at which the control-plane CPU becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    fn send_to_controller(&self, ctx: &mut Context<'_>, msg: OfMessage, extra_delay: SimTime) {
+        if let Some(ctrl) = self.controller {
+            ctx.send_control(ctrl, msg, self.model.control_latency + extra_delay);
+        }
+    }
+
+    /// Reserves control-plane CPU time and returns the completion instant.
+    fn consume_cpu(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + cost;
+        self.busy_until
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane message handling
+    // ------------------------------------------------------------------
+
+    fn handle_control(&mut self, from: NodeId, msg: OfMessage, ctx: &mut Context<'_>) {
+        if self.controller.is_none() {
+            // Adopt whoever speaks to us first as our controller connection.
+            self.controller = Some(from);
+        }
+        match msg {
+            OfMessage::Hello { xid } => {
+                self.send_to_controller(ctx, OfMessage::Hello { xid }, SimTime::ZERO);
+            }
+            OfMessage::EchoRequest { xid, data } => {
+                self.send_to_controller(ctx, OfMessage::EchoReply { xid, data }, SimTime::ZERO);
+            }
+            OfMessage::FeaturesRequest { xid } => {
+                let body = FeaturesReply::simulated(self.dpid, self.n_ports);
+                self.send_to_controller(ctx, OfMessage::FeaturesReply { xid, body }, SimTime::ZERO);
+            }
+            OfMessage::GetConfigRequest { xid } => {
+                self.send_to_controller(
+                    ctx,
+                    OfMessage::GetConfigReply {
+                        xid,
+                        config: self.config,
+                    },
+                    SimTime::ZERO,
+                );
+            }
+            OfMessage::SetConfig { config, .. } => {
+                self.config = config;
+            }
+            OfMessage::FlowMod { xid, body } => self.handle_flow_mod(xid, body, ctx),
+            OfMessage::BarrierRequest { xid } => self.handle_barrier(xid, ctx),
+            OfMessage::PacketOut { body, .. } => self.handle_packet_out(body, ctx),
+            OfMessage::StatsRequest { xid, body } => self.handle_stats(xid, body, ctx),
+            OfMessage::EchoReply { .. }
+            | OfMessage::Vendor { .. }
+            | OfMessage::PortMod { .. }
+            | OfMessage::QueueGetConfig { .. }
+            | OfMessage::Error { .. } => {
+                // Accepted and ignored by the simulated switch.
+            }
+            other => {
+                // Controller-bound messages arriving at a switch indicate a
+                // mis-wired experiment; reply with a BAD_REQUEST error.
+                let err = OfMessage::Error {
+                    xid: other.xid(),
+                    body: ErrorMsg {
+                        err_type: error_type::BAD_REQUEST,
+                        code: 0,
+                        data: Vec::new(),
+                    },
+                };
+                self.send_to_controller(ctx, err, SimTime::ZERO);
+            }
+        }
+    }
+
+    fn handle_flow_mod(&mut self, xid: u32, fm: FlowMod, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let occupancy = self.control_table.len();
+        let done_at = self.consume_cpu(now, self.model.mod_processing_time(occupancy));
+        self.flow_mods_processed += 1;
+
+        match self.control_table.apply(&fm, now) {
+            Ok(_) => {
+                let seq = self.next_op_seq;
+                self.next_op_seq += 1;
+                self.pending_dataplane.push(PendingOp {
+                    seq,
+                    ready_at: done_at,
+                    flow_mod: fm,
+                });
+            }
+            Err(err) => {
+                let reply = OfMessage::Error {
+                    xid,
+                    body: ErrorMsg {
+                        err_type: error_type::FLOW_MOD_FAILED,
+                        code: flow_table_error_code(err),
+                        data: Vec::new(),
+                    },
+                };
+                let delay = done_at.saturating_sub(now);
+                self.send_to_controller(ctx, reply, delay);
+            }
+        }
+    }
+
+    fn handle_barrier(&mut self, xid: u32, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        self.barriers_processed += 1;
+        // Processing the barrier itself is cheap but still serialised behind
+        // earlier control-plane work.
+        let control_done = self.consume_cpu(now, SimTime::from_micros(50));
+        match self.model.barrier_mode {
+            BarrierMode::EarlyReply | BarrierMode::EarlyReplyReordering => {
+                // The buggy behaviour: reply once the *control plane* has
+                // digested earlier commands, regardless of the data plane.
+                let delay = control_done.saturating_sub(now);
+                self.send_to_controller(ctx, OfMessage::BarrierReply { xid }, delay);
+            }
+            BarrierMode::Faithful => {
+                let threshold = self.next_op_seq;
+                self.pending_barriers.push(PendingBarrier {
+                    xid,
+                    threshold_seq: threshold,
+                    earliest_reply: control_done,
+                });
+                // If nothing is outstanding the reply can go out right away.
+                self.flush_satisfied_barriers(ctx);
+            }
+        }
+    }
+
+    fn handle_packet_out(&mut self, po: PacketOut, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        // PacketOut processing consumes control-plane CPU (slowing rule
+        // installation slightly) and is rate limited.
+        self.consume_cpu(now, self.model.packet_out_time);
+        let exec_at = self.packet_out_available_at.max(now);
+        self.packet_out_available_at = exec_at + self.model.packet_out_interval;
+        self.pending_packet_outs.push_back((exec_at, po));
+        let delay = exec_at.saturating_sub(now);
+        ctx.set_timer(delay, TOKEN_PACKET_OUT);
+    }
+
+    fn execute_packet_out(&mut self, po: PacketOut, ctx: &mut Context<'_>) {
+        self.packet_outs_processed += 1;
+        let Ok(header) = PacketHeader::from_bytes(&po.data) else {
+            return;
+        };
+        let packet = SimPacket::new(header, u64::from(po.buffer_id), ctx.now(), ctx.self_id())
+            .into_injected();
+        let (rewritten, outputs) = Action::apply_list(&po.actions, &header);
+        for port in outputs {
+            match port {
+                of_port::TABLE => {
+                    let in_port = if po.in_port == of_port::NONE {
+                        0
+                    } else {
+                        po.in_port
+                    };
+                    let mut p = packet.clone();
+                    p.header = rewritten;
+                    self.forward_via_table(p, in_port, ctx);
+                }
+                of_port::CONTROLLER => {
+                    self.emit_packet_in(&rewritten, po.in_port, packet_in_reason::ACTION, ctx);
+                }
+                _ => {
+                    let mut p = packet.clone();
+                    p.header = rewritten;
+                    ctx.send_packet(port, p.with_hop(ctx.self_id()));
+                }
+            }
+        }
+    }
+
+    fn handle_stats(&mut self, xid: u32, req: StatsRequest, ctx: &mut Context<'_>) {
+        let reply = match req {
+            StatsRequest::Desc => StatsReply::Desc {
+                mfr_desc: "RUM reproduction".into(),
+                hw_desc: format!("simulated switch ({:?})", self.model.barrier_mode),
+                sw_desc: "ofswitch".into(),
+                serial_num: format!("{}", self.dpid),
+                dp_desc: self.label.clone(),
+            },
+            StatsRequest::Flow { match_, .. } => {
+                let entries = self
+                    .control_table
+                    .entries()
+                    .filter(|e| match_.covers(&e.match_))
+                    .map(|e| openflow::messages::FlowStatsEntry {
+                        table_id: 0,
+                        match_: e.match_,
+                        duration_sec: 0,
+                        duration_nsec: 0,
+                        priority: e.priority,
+                        idle_timeout: e.idle_timeout,
+                        hard_timeout: e.hard_timeout,
+                        cookie: e.cookie,
+                        packet_count: e.packet_count,
+                        byte_count: e.byte_count,
+                        actions: e.actions.clone(),
+                    })
+                    .collect();
+                StatsReply::Flow(entries)
+            }
+            StatsRequest::Aggregate { match_, .. } => {
+                let mut packet_count = 0;
+                let mut byte_count = 0;
+                let mut flow_count = 0;
+                for e in self.control_table.entries() {
+                    if match_.covers(&e.match_) {
+                        packet_count += e.packet_count;
+                        byte_count += e.byte_count;
+                        flow_count += 1;
+                    }
+                }
+                StatsReply::Aggregate {
+                    packet_count,
+                    byte_count,
+                    flow_count,
+                }
+            }
+            StatsRequest::Table => StatsReply::Table(vec![openflow::messages::TableStatsEntry {
+                table_id: 0,
+                name: "main".into(),
+                wildcards: openflow::Wildcards::ALL,
+                max_entries: if self.model.table_capacity == 0 {
+                    65535
+                } else {
+                    self.model.table_capacity as u32
+                },
+                active_count: self.control_table.len() as u32,
+                lookup_count: self.data_table.lookup_count,
+                matched_count: self.data_table.matched_count,
+            }]),
+            StatsRequest::Port { .. } => StatsReply::Port(
+                (1..=self.n_ports)
+                    .map(|p| openflow::messages::PortStatsEntry {
+                        port_no: p,
+                        tx_packets: self.data_packets_forwarded,
+                        rx_packets: self.data_packets_forwarded,
+                        ..Default::default()
+                    })
+                    .collect(),
+            ),
+            StatsRequest::Other { stats_type, .. } => StatsReply::Other {
+                stats_type,
+                body: Vec::new(),
+            },
+        };
+        self.send_to_controller(ctx, OfMessage::StatsReply { xid, body: reply }, SimTime::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Data-plane synchronisation
+    // ------------------------------------------------------------------
+
+    fn sync_tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        // Select accepted operations that the control plane finished
+        // digesting by now.
+        let mut ready: Vec<PendingOp> = Vec::new();
+        let mut remaining: Vec<PendingOp> = Vec::new();
+        for op in self.pending_dataplane.drain(..) {
+            if op.ready_at <= now {
+                ready.push(op);
+            } else {
+                remaining.push(op);
+            }
+        }
+        self.pending_dataplane = remaining;
+
+        if self.model.barrier_mode == BarrierMode::EarlyReplyReordering {
+            // The reordering switch may defer a random subset of ready
+            // operations to a later synchronisation and applies the rest in
+            // an arbitrary order — modifications can overtake each other
+            // across barriers.
+            let mut kept = Vec::new();
+            let mut deferred = Vec::new();
+            for op in ready {
+                if ctx.rng().gen_bool(0.7) {
+                    kept.push(op);
+                } else {
+                    deferred.push(op);
+                }
+            }
+            kept.shuffle(ctx.rng());
+            self.pending_dataplane.extend(deferred);
+            ready = kept;
+        } else {
+            ready.sort_by_key(|op| op.seq);
+        }
+
+        if self.model.dataplane_sync_batch != 0 && ready.len() > self.model.dataplane_sync_batch {
+            let overflow = ready.split_off(self.model.dataplane_sync_batch);
+            self.pending_dataplane.extend(overflow);
+        }
+
+        if !ready.is_empty() {
+            let apply_at = now + self.model.dataplane_sync_latency;
+            self.in_flight.push_back((apply_at, ready));
+            ctx.set_timer(self.model.dataplane_sync_latency, TOKEN_SYNC_APPLY);
+        }
+
+        ctx.set_timer(self.model.dataplane_sync_period, TOKEN_SYNC_TICK);
+    }
+
+    fn apply_in_flight(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        while let Some((apply_at, _)) = self.in_flight.front() {
+            if *apply_at > now {
+                break;
+            }
+            let (_, ops) = self.in_flight.pop_front().expect("front exists");
+            for op in ops {
+                match self.data_table.apply(&op.flow_mod, now) {
+                    Ok(outcome) => {
+                        for cookie in outcome.activated {
+                            ctx.record(TraceEvent::DataPlaneActivated {
+                                switch: ctx.self_id(),
+                                cookie,
+                                time: now,
+                            });
+                        }
+                        for cookie in outcome.removed {
+                            ctx.record(TraceEvent::DataPlaneDeactivated {
+                                switch: ctx.self_id(),
+                                cookie,
+                                time: now,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        // The control plane already accepted the mod; a data
+                        // plane failure here would be a capacity mismatch.
+                        // Nothing sensible to report beyond dropping it.
+                    }
+                }
+            }
+        }
+        self.flush_satisfied_barriers(ctx);
+    }
+
+    fn flush_satisfied_barriers(&mut self, ctx: &mut Context<'_>) {
+        if self.pending_barriers.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let min_outstanding = self
+            .pending_dataplane
+            .iter()
+            .map(|op| op.seq)
+            .chain(
+                self.in_flight
+                    .iter()
+                    .flat_map(|(_, ops)| ops.iter().map(|op| op.seq)),
+            )
+            .min();
+        let mut still_pending = Vec::new();
+        let barriers = std::mem::take(&mut self.pending_barriers);
+        let mut replies = Vec::new();
+        for b in barriers {
+            let satisfied = match min_outstanding {
+                None => true,
+                Some(min_seq) => min_seq >= b.threshold_seq,
+            };
+            if satisfied {
+                let delay = b.earliest_reply.saturating_sub(now);
+                replies.push((b.xid, delay));
+            } else {
+                still_pending.push(b);
+            }
+        }
+        self.pending_barriers = still_pending;
+        for (xid, delay) in replies {
+            self.send_to_controller(ctx, OfMessage::BarrierReply { xid }, delay);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data-plane forwarding
+    // ------------------------------------------------------------------
+
+    fn emit_packet_in(
+        &mut self,
+        header: &PacketHeader,
+        in_port: PortNo,
+        reason: u8,
+        ctx: &mut Context<'_>,
+    ) {
+        let now = ctx.now();
+        // The PacketIn path is rate limited; when the limiter is saturated
+        // the switch silently drops the notification (observed behaviour
+        // under overload).
+        let backlog = self.packet_in_available_at.saturating_sub(now);
+        if backlog > self.model.packet_in_interval * 64 {
+            self.packet_ins_suppressed += 1;
+            return;
+        }
+        let emit_at = self.packet_in_available_at.max(now);
+        self.packet_in_available_at = emit_at + self.model.packet_in_interval;
+        self.consume_cpu(now, self.model.packet_in_time);
+        self.packet_ins_sent += 1;
+        let data = header.to_bytes();
+        let body = PacketIn {
+            buffer_id: openflow::constants::NO_BUFFER,
+            total_len: data.len() as u16,
+            in_port,
+            reason,
+            data,
+        };
+        let msg = OfMessage::PacketIn { xid: 0, body };
+        self.send_to_controller(ctx, msg, emit_at.saturating_sub(now));
+    }
+
+    fn forward_via_table(&mut self, packet: SimPacket, in_port: PortNo, ctx: &mut Context<'_>) {
+        let lookup = self
+            .data_table
+            .lookup(&packet.header, in_port)
+            .map(|e| (e.match_, e.priority, e.actions.clone()));
+        match lookup {
+            None => {
+                self.data_packets_dropped += 1;
+                if !packet.injected {
+                    ctx.record(TraceEvent::PacketDropped {
+                        node: ctx.self_id(),
+                        flow: None,
+                        packet_id: packet.id,
+                        time: ctx.now(),
+                    });
+                }
+                if self.config.miss_send_len > 0 {
+                    self.emit_packet_in(&packet.header, in_port, packet_in_reason::NO_MATCH, ctx);
+                }
+            }
+            Some((match_, priority, actions)) => {
+                self.data_table.account(&match_, priority, packet.size);
+                if actions.is_empty() {
+                    // An empty action list is an explicit drop rule.
+                    self.data_packets_dropped += 1;
+                    if !packet.injected {
+                        ctx.record(TraceEvent::PacketDropped {
+                            node: ctx.self_id(),
+                            flow: None,
+                            packet_id: packet.id,
+                            time: ctx.now(),
+                        });
+                    }
+                    return;
+                }
+                let (rewritten, outputs) = Action::apply_list(&actions, &packet.header);
+                let forwarded = packet.forwarded(ctx.self_id(), rewritten);
+                let mut sent_any = false;
+                for port in outputs {
+                    match port {
+                        of_port::CONTROLLER => {
+                            self.emit_packet_in(
+                                &rewritten,
+                                in_port,
+                                packet_in_reason::ACTION,
+                                ctx,
+                            );
+                            sent_any = true;
+                        }
+                        of_port::IN_PORT => {
+                            sent_any |= ctx.send_packet(in_port, forwarded.clone());
+                        }
+                        of_port::FLOOD | of_port::ALL => {
+                            for p in ctx.topology().ports_of(ctx.self_id()) {
+                                if p != in_port {
+                                    sent_any |= ctx.send_packet(p, forwarded.clone());
+                                }
+                            }
+                        }
+                        of_port::TABLE | of_port::NORMAL | of_port::LOCAL | of_port::NONE => {}
+                        physical => {
+                            sent_any |= ctx.send_packet(physical, forwarded.clone());
+                        }
+                    }
+                }
+                if sent_any {
+                    self.data_packets_forwarded += 1;
+                } else {
+                    self.data_packets_dropped += 1;
+                    if !packet.injected {
+                        ctx.record(TraceEvent::PacketDropped {
+                            node: ctx.self_id(),
+                            flow: None,
+                            packet_id: packet.id,
+                            time: ctx.now(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn flow_table_error_code(err: FlowTableError) -> u16 {
+    err.error_code()
+}
+
+impl Node for OpenFlowSwitch {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn start(&mut self, ctx: &mut Context<'_>) {
+        // Kick off the periodic data-plane synchronisation.
+        ctx.set_timer(self.model.dataplane_sync_period, TOKEN_SYNC_TICK);
+        self.started_at_dpid_offset = true;
+    }
+
+    fn handle(&mut self, event: EventPayload, ctx: &mut Context<'_>) {
+        match event {
+            EventPayload::Control { from, message } => self.handle_control(from, message, ctx),
+            EventPayload::Packet { packet, in_port } => {
+                self.forward_via_table(packet, in_port, ctx)
+            }
+            EventPayload::Timer { token } => match token {
+                TOKEN_SYNC_TICK => self.sync_tick(ctx),
+                TOKEN_SYNC_APPLY => self.apply_in_flight(ctx),
+                TOKEN_PACKET_OUT => {
+                    let now = ctx.now();
+                    while let Some((exec_at, _)) = self.pending_packet_outs.front() {
+                        if *exec_at > now {
+                            break;
+                        }
+                        let (_, po) = self.pending_packet_outs.pop_front().expect("front");
+                        self.execute_packet_out(po, ctx);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::OfMatch;
+    use simnet::traffic::{FlowSpec, Host};
+    use simnet::{FlowId, Simulator};
+    use std::any::Any;
+    use std::net::Ipv4Addr;
+
+    /// A stub controller that records everything the switch sends and can be
+    /// pre-loaded with messages to transmit at given times.
+    pub struct StubController {
+        to_send: Vec<(SimTime, NodeId, OfMessage)>,
+        pub received: Vec<(SimTime, OfMessage)>,
+    }
+
+    impl StubController {
+        pub fn new(to_send: Vec<(SimTime, NodeId, OfMessage)>) -> Self {
+            StubController {
+                to_send,
+                received: Vec::new(),
+            }
+        }
+        pub fn barrier_reply_times(&self) -> Vec<SimTime> {
+            self.received
+                .iter()
+                .filter(|(_, m)| matches!(m, OfMessage::BarrierReply { .. }))
+                .map(|(t, _)| *t)
+                .collect()
+        }
+    }
+
+    impl Node for StubController {
+        fn name(&self) -> String {
+            "stub-controller".into()
+        }
+        fn start(&mut self, ctx: &mut Context<'_>) {
+            for (t, to, msg) in self.to_send.drain(..) {
+                // Relay through a timer so sends happen at the right time.
+                // Simpler: send now with the extra latency baked in.
+                ctx.send_control(to, msg, t);
+            }
+        }
+        fn handle(&mut self, event: EventPayload, ctx: &mut Context<'_>) {
+            if let EventPayload::Control { message, .. } = event {
+                self.received.push((ctx.now(), message));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn flow_mod(i: u8, port: PortNo, cookie: u64) -> OfMessage {
+        OfMessage::FlowMod {
+            xid: cookie as u32,
+            body: FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, i), Ipv4Addr::new(10, 1, 0, i)),
+                100,
+                vec![Action::output(port)],
+            )
+            .with_cookie(cookie),
+        }
+    }
+
+    #[test]
+    fn handshake_messages_are_answered() {
+        let mut sim = Simulator::new(1);
+        let sw_id = NodeId(1);
+        let ctrl = StubController::new(vec![
+            (SimTime::from_millis(1), sw_id, OfMessage::Hello { xid: 1 }),
+            (
+                SimTime::from_millis(2),
+                sw_id,
+                OfMessage::FeaturesRequest { xid: 2 },
+            ),
+            (
+                SimTime::from_millis(3),
+                sw_id,
+                OfMessage::EchoRequest {
+                    xid: 3,
+                    data: vec![1, 2],
+                },
+            ),
+            (
+                SimTime::from_millis(4),
+                sw_id,
+                OfMessage::GetConfigRequest { xid: 4 },
+            ),
+            (
+                SimTime::from_millis(5),
+                sw_id,
+                OfMessage::StatsRequest {
+                    xid: 5,
+                    body: StatsRequest::Desc,
+                },
+            ),
+        ]);
+        let ctrl_id = sim.add_node(ctrl);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 4, SwitchModel::faithful());
+        sw.connect_controller(ctrl_id);
+        let added = sim.add_node(sw);
+        assert_eq!(added, sw_id);
+        sim.run_until(SimTime::from_millis(100));
+        let ctrl = sim.node_ref::<StubController>(ctrl_id).unwrap();
+        let names: Vec<&str> = ctrl.received.iter().map(|(_, m)| m.name()).collect();
+        assert!(names.contains(&"Hello"));
+        assert!(names.contains(&"FeaturesReply"));
+        assert!(names.contains(&"EchoReply"));
+        assert!(names.contains(&"GetConfigReply"));
+        assert!(names.contains(&"StatsReply"));
+    }
+
+    #[test]
+    fn faithful_switch_barrier_waits_for_data_plane() {
+        let mut sim = Simulator::new(1);
+        let sw_id = NodeId(1);
+        let ctrl = StubController::new(vec![
+            (SimTime::from_millis(1), sw_id, flow_mod(1, 2, 11)),
+            (
+                SimTime::from_millis(1),
+                sw_id,
+                OfMessage::BarrierRequest { xid: 99 },
+            ),
+        ]);
+        let ctrl_id = sim.add_node(ctrl);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 4, SwitchModel::faithful());
+        sw.connect_controller(ctrl_id);
+        sim.add_node(sw);
+        sim.run_until(SimTime::from_secs(2));
+
+        let activations = sim.trace().data_plane_activation_times();
+        let dp_time = activations[&11];
+        let ctrl = sim.node_ref::<StubController>(ctrl_id).unwrap();
+        let reply_time = ctrl.barrier_reply_times()[0];
+        assert!(
+            reply_time >= dp_time,
+            "faithful barrier reply ({reply_time}) must not precede data-plane activation ({dp_time})"
+        );
+    }
+
+    #[test]
+    fn hp_switch_barrier_replies_before_data_plane() {
+        let mut sim = Simulator::new(1);
+        let sw_id = NodeId(1);
+        let ctrl = StubController::new(vec![
+            (SimTime::from_millis(1), sw_id, flow_mod(1, 2, 11)),
+            (
+                SimTime::from_millis(1),
+                sw_id,
+                OfMessage::BarrierRequest { xid: 99 },
+            ),
+        ]);
+        let ctrl_id = sim.add_node(ctrl);
+        let mut sw = OpenFlowSwitch::new("s2", DatapathId::new(2), 4, SwitchModel::hp5406zl());
+        sw.connect_controller(ctrl_id);
+        sim.add_node(sw);
+        sim.run_until(SimTime::from_secs(2));
+
+        let activations = sim.trace().data_plane_activation_times();
+        let dp_time = activations[&11];
+        let ctrl = sim.node_ref::<StubController>(ctrl_id).unwrap();
+        let reply_time = ctrl.barrier_reply_times()[0];
+        assert!(
+            reply_time < dp_time,
+            "the buggy switch must acknowledge the barrier ({reply_time}) before the data plane activates ({dp_time})"
+        );
+        // The gap should be in the published 100-300 ms band.
+        let gap = dp_time - reply_time;
+        assert!(gap >= SimTime::from_millis(50), "gap was {gap}");
+        assert!(gap <= SimTime::from_millis(310), "gap was {gap}");
+    }
+
+    #[test]
+    fn data_plane_lags_but_eventually_converges() {
+        let mut sim = Simulator::new(1);
+        let sw_id = NodeId(1);
+        let msgs: Vec<(SimTime, NodeId, OfMessage)> = (0..50u64)
+            .map(|i| (SimTime::from_millis(1), sw_id, flow_mod(i as u8, 2, 100 + i)))
+            .collect();
+        let ctrl_id = sim.add_node(StubController::new(msgs));
+        let mut sw = OpenFlowSwitch::new("s2", DatapathId::new(2), 4, SwitchModel::hp5406zl());
+        sw.connect_controller(ctrl_id);
+        let sw_node = sim.add_node(sw);
+        sim.run_until(SimTime::from_millis(150));
+        {
+            let sw = sim.node_ref::<OpenFlowSwitch>(sw_node).unwrap();
+            assert_eq!(sw.control_table().len(), 50, "control plane accepted all mods");
+            assert!(
+                sw.data_table().len() < 50,
+                "data plane must lag the control plane shortly after the burst"
+            );
+        }
+        sim.run_until(SimTime::from_secs(3));
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_node).unwrap();
+        assert_eq!(sw.data_table().len(), 50, "data plane eventually catches up");
+        assert_eq!(sw.flow_mods_processed(), 50);
+        assert_eq!(sw.dataplane_backlog(), 0);
+    }
+
+    #[test]
+    fn packets_forward_through_installed_rules_and_drop_otherwise() {
+        let mut sim = Simulator::new(1);
+        // h1 -- s1 -- h2
+        let mut h1 = Host::new("h1");
+        let mut h2 = Host::new("h2");
+        let header = simnet::traffic::flow_header(
+            0,
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+        );
+        h1.add_tx_flow(FlowSpec::constant_rate(
+            FlowId(0),
+            header,
+            1,
+            250,
+            SimTime::ZERO,
+            SimTime::from_millis(400),
+        ));
+        h2.expect_flow(&header, FlowId(0));
+        let h1_id = sim.add_node(h1);
+        let h2_id = sim.add_node(h2);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 4, SwitchModel::faithful());
+        // Pre-install: traffic from h1 (port 1) forwarded out port 2 to h2.
+        sw.preinstall(
+            &FlowMod::add(
+                OfMatch::ipv4_pair(header.nw_src, header.nw_dst),
+                10,
+                vec![Action::output(2)],
+            )
+            .with_cookie(1),
+        );
+        let sw_id = sim.add_node(sw);
+        sim.topology_mut()
+            .add_link(h1_id, 1, sw_id, 1, SimTime::from_micros(50));
+        sim.topology_mut()
+            .add_link(sw_id, 2, h2_id, 1, SimTime::from_micros(50));
+        sim.run_until(SimTime::from_millis(600));
+        let delivered = sim.trace().delivered_packets(Some(FlowId(0)));
+        assert_eq!(delivered, 100, "250 pkt/s for 400 ms");
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert_eq!(sw.data_packets_forwarded(), 100);
+        assert_eq!(sw.data_packets_dropped(), 0);
+    }
+
+    #[test]
+    fn unmatched_packets_are_dropped_and_counted() {
+        let mut sim = Simulator::new(1);
+        let mut h1 = Host::new("h1");
+        let header = simnet::traffic::flow_header(
+            7,
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+        );
+        h1.add_tx_flow(FlowSpec::constant_rate(
+            FlowId(7),
+            header,
+            1,
+            100,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        ));
+        let h1_id = sim.add_node(h1);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 2, SwitchModel::faithful());
+        // No controller connected and miss_send_len left at default: the
+        // switch still counts the miss as a drop.
+        sw.connect_controller(NodeId(0)); // point back at the host; it ignores control traffic
+        let sw_id = sim.add_node(sw);
+        sim.topology_mut()
+            .add_link(h1_id, 1, sw_id, 1, SimTime::from_micros(50));
+        sim.run_until(SimTime::from_millis(300));
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert_eq!(sw.data_packets_dropped(), 10);
+        assert_eq!(sim.trace().dropped_packets(None), 10);
+    }
+
+    #[test]
+    fn drop_rule_drops_without_packet_in() {
+        let mut sim = Simulator::new(1);
+        let mut h1 = Host::new("h1");
+        let header = simnet::traffic::flow_header(
+            3,
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+        );
+        h1.add_tx_flow(FlowSpec::constant_rate(
+            FlowId(3),
+            header,
+            1,
+            100,
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        ));
+        let h1_id = sim.add_node(h1);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 2, SwitchModel::faithful());
+        sw.preinstall(&FlowMod::add(OfMatch::wildcard_all(), 0, vec![]).with_cookie(1));
+        sw.connect_controller(NodeId(0));
+        let sw_id = sim.add_node(sw);
+        sim.topology_mut()
+            .add_link(h1_id, 1, sw_id, 1, SimTime::from_micros(50));
+        sim.run_until(SimTime::from_millis(200));
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert_eq!(sw.data_packets_dropped(), 5);
+        assert_eq!(sw.packet_ins_sent(), 0, "drop rule must not create PacketIns");
+    }
+
+    #[test]
+    fn packet_out_injects_into_data_plane() {
+        let mut sim = Simulator::new(1);
+        let mut h2 = Host::new("h2");
+        let header = simnet::traffic::flow_header(
+            0,
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+        );
+        h2.expect_flow(&header, FlowId(0));
+        let h2_id = sim.add_node(h2);
+
+        // The switch will be node 2; the controller (node 1) sends it a
+        // PacketOut that outputs the frame directly on port 2, plus one that
+        // goes through the flow table (OFPP_TABLE).
+        let sw_id = NodeId(2);
+        let direct = OfMessage::PacketOut {
+            xid: 1,
+            body: PacketOut::single_port(2, header.to_bytes()),
+        };
+        let via_table = OfMessage::PacketOut {
+            xid: 2,
+            body: PacketOut::via_table(header.to_bytes()),
+        };
+        let ctrl_id = sim.add_node(StubController::new(vec![
+            (SimTime::from_millis(1), sw_id, direct),
+            (SimTime::from_millis(2), sw_id, via_table),
+        ]));
+
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 2, SwitchModel::faithful());
+        sw.preinstall(
+            &FlowMod::add(
+                OfMatch::ipv4_pair(header.nw_src, header.nw_dst),
+                10,
+                vec![Action::output(2)],
+            )
+            .with_cookie(5),
+        );
+        sw.connect_controller(ctrl_id);
+        let added = sim.add_node(sw);
+        assert_eq!(added, sw_id);
+        sim.topology_mut()
+            .add_link(sw_id, 2, h2_id, 1, SimTime::from_micros(50));
+        sim.run_until(SimTime::from_millis(100));
+
+        assert_eq!(
+            sim.trace().delivered_packets(Some(FlowId(0))),
+            2,
+            "both the direct and the via-table PacketOut reach the host"
+        );
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert_eq!(sw.packet_outs_processed(), 2);
+    }
+
+    #[test]
+    fn table_full_produces_error_message() {
+        let mut sim = Simulator::new(1);
+        let sw_id = NodeId(1);
+        let mut model = SwitchModel::faithful();
+        model.table_capacity = 1;
+        let ctrl_id = sim.add_node(StubController::new(vec![
+            (SimTime::from_millis(1), sw_id, flow_mod(1, 2, 1)),
+            (SimTime::from_millis(2), sw_id, flow_mod(2, 2, 2)),
+        ]));
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 4, model);
+        sw.connect_controller(ctrl_id);
+        sim.add_node(sw);
+        sim.run_until(SimTime::from_secs(1));
+        let ctrl = sim.node_ref::<StubController>(ctrl_id).unwrap();
+        let errors: Vec<&OfMessage> = ctrl
+            .received
+            .iter()
+            .map(|(_, m)| m)
+            .filter(|m| matches!(m, OfMessage::Error { .. }))
+            .collect();
+        assert_eq!(errors.len(), 1);
+    }
+}

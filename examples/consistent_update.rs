@@ -1,0 +1,119 @@
+//! The paper's end-to-end experiment at full scale: 300 flows migrated from
+//! S1→S3 to S1→S2→S3 while 250 packets/s per flow are in flight, comparing
+//! every acknowledgment technique (Figures 1b, 6 and 7 in one run).
+//!
+//! Run with `cargo run --release --example consistent_update [n_flows]`.
+
+use rum_repro::prelude::*;
+use rum_repro::rum::proxy::deploy;
+
+#[derive(Clone, Copy)]
+struct Outcome {
+    drops: usize,
+    mean_update_ms: f64,
+    max_broken_ms: f64,
+}
+
+fn run(technique: Option<TechniqueConfig>, n_flows: u32, seed: u64) -> Outcome {
+    let mut sim = Simulator::new(seed);
+    let scenario = TriangleScenario {
+        n_flows,
+        packets_per_sec: 250,
+        traffic_stop: SimTime::from_secs(6),
+        ..Default::default()
+    };
+    let net = scenario.build(&mut sim);
+    let switches = [net.s1, net.s2, net.s3];
+    let update_start = SimTime::from_millis(500);
+    let ack_mode = if technique.is_some() {
+        AckMode::RumAcks
+    } else {
+        AckMode::NoWait
+    };
+    let controller = Controller::new("ctrl", net.plan.clone(), ack_mode, 10_000, update_start);
+    let ctrl_id = sim.add_node(controller);
+    match technique {
+        Some(tech) => {
+            let config = RumConfig::new(tech, switches.len());
+            let (proxies, _) = deploy(&mut sim, config, ctrl_id, &switches);
+            sim.node_mut::<Controller>(ctrl_id)
+                .unwrap()
+                .set_connections(proxies.clone());
+            for (i, sw) in switches.iter().enumerate() {
+                sim.node_mut::<OpenFlowSwitch>(*sw)
+                    .unwrap()
+                    .connect_controller(proxies[i]);
+            }
+        }
+        None => {
+            sim.node_mut::<Controller>(ctrl_id)
+                .unwrap()
+                .set_connections(switches.to_vec());
+            for sw in switches {
+                sim.node_mut::<OpenFlowSwitch>(sw)
+                    .unwrap()
+                    .connect_controller(ctrl_id);
+            }
+        }
+    }
+    sim.run_until(SimTime::from_secs(7));
+
+    let summaries = sim.trace().flow_update_summaries();
+    let update_times: Vec<f64> = summaries
+        .values()
+        .filter_map(|s| s.first_new_path)
+        .map(|t| t.as_millis_f64() - update_start.as_millis_f64())
+        .collect();
+    let mean_update_ms = if update_times.is_empty() {
+        f64::NAN
+    } else {
+        update_times.iter().sum::<f64>() / update_times.len() as f64
+    };
+    let max_broken_ms = summaries
+        .values()
+        .map(|s| s.broken_time().as_millis_f64())
+        .fold(0.0, f64::max);
+    Outcome {
+        drops: sim.trace().dropped_packets(None),
+        mean_update_ms,
+        max_broken_ms,
+    }
+}
+
+fn main() {
+    let n_flows: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    println!("Consistent path migration of {n_flows} flows over a buggy switch\n");
+    println!(
+        "{:<28} {:>8} {:>18} {:>16}",
+        "technique", "drops", "mean update [ms]", "max broken [ms]"
+    );
+    let cases: Vec<(&str, Option<TechniqueConfig>)> = vec![
+        ("no wait (inconsistent)", None),
+        ("barriers (baseline)", Some(TechniqueConfig::BarrierBaseline)),
+        (
+            "timeout 300 ms",
+            Some(TechniqueConfig::StaticTimeout {
+                delay: SimTime::from_millis(300),
+            }),
+        ),
+        (
+            "adaptive 200 mods/s",
+            Some(TechniqueConfig::AdaptiveDelay {
+                assumed_rate: 200.0,
+                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
+            }),
+        ),
+        ("sequential probing", Some(TechniqueConfig::default_sequential())),
+        ("general probing", Some(TechniqueConfig::default_general())),
+    ];
+    for (label, technique) in cases {
+        let o = run(technique, n_flows, 42);
+        println!(
+            "{label:<28} {:>8} {:>18.1} {:>16.1}",
+            o.drops, o.mean_update_ms, o.max_broken_ms
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Quickstart: migrate 50 flows across the paper's triangle topology with a
+//! buggy switch, once with plain barriers and once with RUM's general
+//! probing, and compare the damage.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rum_repro::prelude::*;
+use rum_repro::rum::proxy::deploy;
+
+fn run(technique: Option<TechniqueConfig>) -> (usize, usize) {
+    let mut sim = Simulator::new(1);
+    // The Figure 1a testbed: H1 - S1 - {S2,S3} - H2, with S2 modelled after
+    // the paper's HP 5406zl (early barrier replies, lagging data plane).
+    let scenario = TriangleScenario {
+        n_flows: 50,
+        packets_per_sec: 250,
+        traffic_stop: SimTime::from_secs(5),
+        ..Default::default()
+    };
+    let net = scenario.build(&mut sim);
+    let switches = [net.s1, net.s2, net.s3];
+
+    // The controller executes the consistent migration plan and waits for
+    // per-rule acknowledgments before releasing dependent modifications.
+    let controller = Controller::new(
+        "controller",
+        net.plan.clone(),
+        AckMode::RumAcks,
+        1_000,
+        SimTime::from_millis(500),
+    );
+    let ctrl_id = sim.add_node(controller);
+
+    match technique {
+        Some(tech) => {
+            // Interpose RUM between the controller and every switch.
+            let config = RumConfig::new(tech, switches.len());
+            let (proxies, _layer) = deploy(&mut sim, config, ctrl_id, &switches);
+            sim.node_mut::<Controller>(ctrl_id)
+                .unwrap()
+                .set_connections(proxies.clone());
+            for (i, sw) in switches.iter().enumerate() {
+                sim.node_mut::<OpenFlowSwitch>(*sw)
+                    .unwrap()
+                    .connect_controller(proxies[i]);
+            }
+        }
+        None => {
+            sim.node_mut::<Controller>(ctrl_id)
+                .unwrap()
+                .set_connections(switches.to_vec());
+            for sw in switches {
+                sim.node_mut::<OpenFlowSwitch>(sw)
+                    .unwrap()
+                    .connect_controller(ctrl_id);
+            }
+        }
+    }
+
+    sim.run_until(SimTime::from_secs(6));
+    let drops = sim.trace().dropped_packets(None);
+    let migrated = sim
+        .trace()
+        .flow_update_summaries()
+        .values()
+        .filter(|s| s.path_changed)
+        .count();
+    (drops, migrated)
+}
+
+fn main() {
+    println!("RUM quickstart: consistent path migration over a buggy switch\n");
+
+    // Without RUM the controller trusts the switch's (early) barrier replies:
+    // here we emulate that with RUM's baseline technique, which simply
+    // forwards the switch's view.
+    let (drops, migrated) = run(Some(TechniqueConfig::BarrierBaseline));
+    println!("barriers (baseline):   {migrated} flows migrated, {drops} packets dropped");
+
+    let (drops, migrated) = run(Some(TechniqueConfig::default_general()));
+    println!("RUM general probing:   {migrated} flows migrated, {drops} packets dropped");
+
+    let (drops, migrated) = run(Some(TechniqueConfig::default_sequential()));
+    println!("RUM sequential probing: {migrated} flows migrated, {drops} packets dropped");
+
+    println!(
+        "\nThe baseline loses packets because switch S1 is re-pointed at S2 before S2's data \
+         plane actually forwards the flows; RUM only acknowledges a rule once a probe has seen \
+         it working, so the consistent update behaves as the theory promises."
+    );
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the RUM reproduction workspace.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! integration tests (`tests/`); the functionality lives in the member
+//! crates, re-exported here for convenience:
+//!
+//! * [`openflow`] — OpenFlow 1.0 protocol model and wire codec.
+//! * [`simnet`] — deterministic discrete-event network simulator.
+//! * [`ofswitch`] — software OpenFlow switch with buggy-barrier behaviour
+//!   models.
+//! * [`controller`] — consistent-update controller and experiment scenarios.
+//! * [`rum`] — the RUM layer itself (acknowledgment techniques, probing,
+//!   reliable barriers).
+//! * [`rum_tcp`] — the TCP proxy deployment of RUM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use controller;
+pub use ofswitch;
+pub use openflow;
+pub use rum;
+pub use rum_tcp;
+pub use simnet;
+
+/// A convenience prelude for examples and quick experiments.
+pub mod prelude {
+    pub use controller::{AckMode, Controller, UpdatePlan};
+    pub use controller::scenarios::{BulkUpdateScenario, TriangleScenario};
+    pub use ofswitch::{BarrierMode, OpenFlowSwitch, SwitchModel};
+    pub use openflow::{Action, OfMatch, OfMessage, PacketHeader};
+    pub use rum::config::{RumConfig, TechniqueConfig};
+    pub use rum::proxy::deploy;
+    pub use simnet::{SimTime, Simulator};
+}

@@ -1,0 +1,170 @@
+//! Workspace-level integration tests: the whole stack (controller → RUM →
+//! switches → hosts) exercised together, checking the paper's headline
+//! claims at reduced scale.
+
+use controller::scenarios::TriangleScenario;
+use controller::{AckMode, Controller};
+use ofswitch::{OpenFlowSwitch, SwitchModel};
+use rum::config::{RumConfig, TechniqueConfig};
+use rum::proxy::deploy;
+use simnet::{SimTime, Simulator};
+
+struct Run {
+    drops: usize,
+    migrated: usize,
+    delivered: usize,
+    complete: bool,
+    negative_acks: usize,
+    events: u64,
+}
+
+fn run_triangle(technique: TechniqueConfig, n_flows: u32, s2_model: SwitchModel, seed: u64) -> Run {
+    let mut sim = Simulator::new(seed);
+    let scenario = TriangleScenario {
+        n_flows,
+        packets_per_sec: 250,
+        traffic_stop: SimTime::from_secs(5),
+        s2_model,
+        ..Default::default()
+    };
+    let net = scenario.build(&mut sim);
+    let switches = [net.s1, net.s2, net.s3];
+    let controller = Controller::new(
+        "ctrl",
+        net.plan.clone(),
+        AckMode::RumAcks,
+        10_000,
+        SimTime::from_millis(500),
+    );
+    let ctrl_id = sim.add_node(controller);
+    let config = RumConfig::new(technique, switches.len());
+    let (proxies, _layer) = deploy(&mut sim, config, ctrl_id, &switches);
+    sim.node_mut::<Controller>(ctrl_id)
+        .unwrap()
+        .set_connections(proxies.clone());
+    for (i, sw) in switches.iter().enumerate() {
+        sim.node_mut::<OpenFlowSwitch>(*sw)
+            .unwrap()
+            .connect_controller(proxies[i]);
+    }
+    sim.run_until(SimTime::from_secs(6));
+
+    let summaries = sim.trace().flow_update_summaries();
+    let negative_acks = sim
+        .trace()
+        .activation_delays()
+        .iter()
+        .filter(|d| d.delay_millis() < 0.0)
+        .count();
+    Run {
+        drops: sim.trace().dropped_packets(None),
+        migrated: summaries.values().filter(|s| s.path_changed).count(),
+        delivered: sim.trace().delivered_packets(None),
+        complete: sim.node_ref::<Controller>(ctrl_id).unwrap().is_complete(),
+        negative_acks,
+        events: sim.events_processed(),
+    }
+}
+
+#[test]
+fn buggy_switch_with_barrier_baseline_loses_packets() {
+    let run = run_triangle(TechniqueConfig::BarrierBaseline, 25, SwitchModel::hp5406zl(), 1);
+    assert!(run.complete, "update must finish");
+    assert_eq!(run.migrated, 25, "every flow must end up on the new path");
+    assert!(run.drops > 0, "premature acks must cause packet loss");
+    assert!(run.negative_acks > 0, "acks must precede the data plane");
+}
+
+#[test]
+fn general_probing_migrates_without_loss_even_on_reordering_switch() {
+    let run = run_triangle(
+        TechniqueConfig::default_general(),
+        25,
+        SwitchModel::reordering(),
+        2,
+    );
+    assert!(run.complete, "update must finish");
+    assert_eq!(run.migrated, 25);
+    assert_eq!(run.drops, 0, "general probing must never lose user packets");
+    assert_eq!(run.negative_acks, 0, "no ack may precede the data plane");
+    assert!(run.delivered > 0);
+}
+
+#[test]
+fn sequential_probing_migrates_without_loss_on_early_reply_switch() {
+    let run = run_triangle(
+        TechniqueConfig::default_sequential(),
+        25,
+        SwitchModel::hp5406zl(),
+        3,
+    );
+    assert!(run.complete);
+    assert_eq!(run.migrated, 25);
+    assert_eq!(run.drops, 0);
+    assert_eq!(run.negative_acks, 0);
+}
+
+#[test]
+fn static_timeout_is_safe_on_the_calibrated_switch() {
+    let run = run_triangle(
+        TechniqueConfig::StaticTimeout {
+            delay: SimTime::from_millis(300),
+        },
+        20,
+        SwitchModel::hp5406zl(),
+        4,
+    );
+    assert!(run.complete);
+    assert_eq!(run.drops, 0);
+    assert_eq!(run.negative_acks, 0);
+}
+
+#[test]
+fn optimistic_adaptive_model_can_misfire() {
+    // The paper's "adaptive 250" curve: assuming the switch is faster than it
+    // really is makes some acknowledgments premature once the table fills.
+    let optimistic = run_triangle(
+        TechniqueConfig::AdaptiveDelay {
+            assumed_rate: 250.0,
+            assumed_sync_lag: SimTime::from_millis(150),
+        },
+        60,
+        SwitchModel::hp5406zl(),
+        5,
+    );
+    assert!(optimistic.complete);
+    assert!(
+        optimistic.negative_acks > 0,
+        "an optimistic model must eventually acknowledge too early"
+    );
+
+    let conservative = run_triangle(
+        TechniqueConfig::AdaptiveDelay {
+            assumed_rate: 200.0,
+            assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
+        },
+        60,
+        SwitchModel::hp5406zl(),
+        5,
+    );
+    assert!(conservative.complete);
+    assert_eq!(conservative.negative_acks, 0);
+    assert_eq!(conservative.drops, 0);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let a = run_triangle(TechniqueConfig::default_general(), 10, SwitchModel::hp5406zl(), 9);
+    let b = run_triangle(TechniqueConfig::default_general(), 10, SwitchModel::hp5406zl(), 9);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.drops, b.drops);
+    assert_eq!(a.delivered, b.delivered);
+}
+
+#[test]
+fn honest_switch_needs_no_rum_to_be_safe() {
+    let run = run_triangle(TechniqueConfig::BarrierBaseline, 15, SwitchModel::faithful(), 6);
+    assert!(run.complete);
+    assert_eq!(run.drops, 0, "a specification-compliant switch never breaks the update");
+    assert_eq!(run.negative_acks, 0);
+}

@@ -1,0 +1,243 @@
+//! Property-based tests over the core data structures and invariants.
+
+use openflow::messages::{FlowMod, FlowModCommand};
+use openflow::{Action, MacAddr, OfMatch, OfMessage, PacketHeader, Wildcards};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_packet_header() -> impl Strategy<Value = PacketHeader> {
+    (
+        arb_mac(),
+        arb_mac(),
+        arb_ipv4(),
+        arb_ipv4(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        prop::sample::select(vec![6u8, 17u8]),
+        prop::option::of(0u16..4095),
+    )
+        .prop_map(
+            |(dl_src, dl_dst, nw_src, nw_dst, tp_src, tp_dst, tos, proto, vlan)| {
+                let mut h = PacketHeader::ipv4_udp(dl_src, dl_dst, nw_src, nw_dst, tp_src, tp_dst);
+                h.nw_proto = proto;
+                h.nw_tos = tos;
+                if let Some(v) = vlan {
+                    h.dl_vlan = v;
+                    h.dl_vlan_pcp = (v % 8) as u8;
+                }
+                h
+            },
+        )
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(p, m)| Action::Output { port: p, max_len: m }),
+        (0u16..4096).prop_map(Action::SetVlanVid),
+        (0u8..8).prop_map(Action::SetVlanPcp),
+        Just(Action::StripVlan),
+        arb_mac().prop_map(Action::SetDlSrc),
+        arb_mac().prop_map(Action::SetDlDst),
+        any::<u32>().prop_map(Action::SetNwSrc),
+        any::<u32>().prop_map(Action::SetNwDst),
+        any::<u8>().prop_map(Action::SetNwTos),
+        any::<u16>().prop_map(Action::SetTpSrc),
+        any::<u16>().prop_map(Action::SetTpDst),
+        (any::<u16>(), any::<u32>()).prop_map(|(p, q)| Action::Enqueue { port: p, queue_id: q }),
+    ]
+}
+
+/// An arbitrary match built the way controllers build them: from a concrete
+/// packet plus a random subset of wildcarded fields.
+fn arb_match() -> impl Strategy<Value = OfMatch> {
+    (arb_packet_header(), any::<u16>(), any::<u32>(), 0u32..=32, 0u32..=32).prop_map(
+        |(pkt, in_port, wild_bits, src_bits, dst_bits)| {
+            let mut m = OfMatch::exact_from_packet(&pkt, in_port);
+            let mut w = m.wildcards;
+            for (bit, flag) in [
+                Wildcards::IN_PORT,
+                Wildcards::DL_VLAN,
+                Wildcards::DL_SRC,
+                Wildcards::DL_DST,
+                Wildcards::DL_TYPE,
+                Wildcards::NW_PROTO,
+                Wildcards::TP_SRC,
+                Wildcards::TP_DST,
+                Wildcards::DL_VLAN_PCP,
+                Wildcards::NW_TOS,
+            ]
+            .iter()
+            .enumerate()
+            {
+                w = w.with(*flag, wild_bits & (1 << bit) != 0);
+            }
+            w = w.with_nw_src_bits(src_bits).with_nw_dst_bits(dst_bits);
+            m.wildcards = w;
+            m
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Ethernet/IP serialisation round-trips for every header we generate.
+    #[test]
+    fn packet_header_bytes_round_trip(h in arb_packet_header()) {
+        let parsed = PacketHeader::from_bytes(&h.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    /// OpenFlow match encode/decode round-trips.
+    #[test]
+    fn of_match_wire_round_trip(m in arb_match()) {
+        let mut buf = bytes::BytesMut::new();
+        m.encode(&mut buf);
+        let decoded = OfMatch::decode(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(decoded, m);
+    }
+
+    /// Flow-mod messages round-trip through the full message codec.
+    #[test]
+    fn flow_mod_message_round_trip(
+        m in arb_match(),
+        actions in prop::collection::vec(arb_action(), 0..5),
+        priority in any::<u16>(),
+        xid in any::<u32>(),
+        cookie in any::<u64>(),
+        cmd in prop::sample::select(vec![
+            FlowModCommand::Add,
+            FlowModCommand::Modify,
+            FlowModCommand::ModifyStrict,
+            FlowModCommand::Delete,
+            FlowModCommand::DeleteStrict,
+        ]),
+    ) {
+        let mut body = FlowMod::add(m, priority, actions).with_cookie(cookie);
+        body.command = cmd;
+        let msg = OfMessage::FlowMod { xid, body };
+        let bytes = msg.encode_to_vec().unwrap();
+        prop_assert_eq!(OfMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    /// PacketIn / PacketOut / barrier messages survive the stream codec even
+    /// when delivered byte by byte.
+    #[test]
+    fn stream_codec_survives_arbitrary_fragmentation(
+        headers in prop::collection::vec(arb_packet_header(), 1..4),
+        split in 1usize..7,
+    ) {
+        let codec = openflow::OfCodec::new();
+        let msgs: Vec<OfMessage> = headers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, h)| {
+                vec![
+                    OfMessage::PacketOut {
+                        xid: i as u32,
+                        body: openflow::messages::PacketOut::single_port(1, h.to_bytes()),
+                    },
+                    OfMessage::BarrierRequest { xid: 1000 + i as u32 },
+                ]
+            })
+            .collect();
+        let wire = codec.encode_batch(&msgs).unwrap();
+        let mut rx = openflow::OfCodec::new();
+        let mut decoded = Vec::new();
+        for chunk in wire.chunks(split) {
+            rx.feed(chunk);
+            while let Some(m) = rx.next_message().unwrap() {
+                decoded.push(m);
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// `example_packet` always produces a packet that matches its own rule.
+    #[test]
+    fn example_packet_matches_rule(m in arb_match()) {
+        let (pkt, port) = m.example_packet(&PacketHeader::default());
+        prop_assert!(m.matches(&pkt, port));
+    }
+
+    /// If a rule covers another, then any packet matching the covered rule's
+    /// example also matches the covering rule, and the two rules overlap.
+    #[test]
+    fn covers_implies_overlap_and_match(a in arb_match(), b in arb_match()) {
+        if a.covers(&b) {
+            prop_assert!(a.overlaps(&b), "covers must imply overlaps");
+            let (pkt, port) = b.example_packet(&PacketHeader::default());
+            prop_assert!(a.matches(&pkt, port), "covering rule must match the covered example");
+        }
+        // Overlap is symmetric.
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        // Every match covers and overlaps itself.
+        prop_assert!(a.covers(&a));
+        prop_assert!(a.overlaps(&a));
+    }
+
+    /// Applying actions is deterministic and output ports are preserved.
+    #[test]
+    fn action_application_is_deterministic(
+        h in arb_packet_header(),
+        actions in prop::collection::vec(arb_action(), 0..6),
+    ) {
+        let (a1, p1) = Action::apply_list(&actions, &h);
+        let (a2, p2) = Action::apply_list(&actions, &h);
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(p1, Action::output_ports(&actions));
+    }
+}
+
+/// A property over the RUM probe synthesiser: whenever a probe is produced,
+/// it matches the probed rule and no higher-priority known rule.
+mod probe_properties {
+    use super::*;
+    use rum::probe::{synthesize_general_probe, KnownRule};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn synthesized_probe_hits_exactly_the_probed_rule(
+            src in arb_ipv4(),
+            dst in arb_ipv4(),
+            others in prop::collection::vec((arb_ipv4(), arb_ipv4(), 1u16..200), 0..10),
+        ) {
+            let probed = KnownRule {
+                match_: OfMatch::ipv4_pair(src, dst),
+                priority: 100,
+                actions: vec![Action::output(2)],
+            };
+            let mut table: Vec<KnownRule> = vec![
+                KnownRule { match_: OfMatch::wildcard_all(), priority: 0, actions: vec![] },
+                probed.clone(),
+            ];
+            table.extend(others.into_iter().map(|(s, d, prio)| KnownRule {
+                match_: OfMatch::ipv4_pair(s, d),
+                priority: prio,
+                actions: vec![Action::output(3)],
+            }));
+            if let Ok(probe) = synthesize_general_probe(&probed, &table, 0xf8, 77) {
+                prop_assert!(probed.match_.matches(&probe.packet, 0));
+                for k in &table {
+                    if k.priority > probed.priority {
+                        prop_assert!(
+                            !k.match_.matches(&probe.packet, 0),
+                            "probe hijacked by a higher-priority rule"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
