@@ -46,7 +46,10 @@ fn main() {
         );
     }
 
-    println!("\n--- Table 1: usable update rate (R={} reduced) ---", n * 4);
+    println!(
+        "\n--- Table 1: usable update rate (R={} reduced) ---",
+        n * 4
+    );
     let probe_batches = [1usize, 5, 10, 20];
     let windows = [20usize, 100];
     let mut grid = Vec::new();

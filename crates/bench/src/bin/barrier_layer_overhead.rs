@@ -12,7 +12,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
     println!("# Barrier layer overhead (R = {n_rules})");
-    for (reordering, label) in [(false, "ordering-preserving switch"), (true, "reordering switch")] {
+    for (reordering, label) in [
+        (false, "ordering-preserving switch"),
+        (true, "reordering switch"),
+    ] {
         for barrier_every in [10usize, 1] {
             let r = run_barrier_layer(barrier_every, reordering, n_rules, 31);
             println!(

@@ -7,9 +7,18 @@ use rum_bench::experiments::run_pktio_rates;
 fn main() {
     println!("# PacketIn / PacketOut microbenchmarks");
     let r = run_pktio_rates(55);
-    println!("PacketOut rate:            {:>8.0} messages/s   (paper: 7006/s)", r.packet_out_per_sec);
-    println!("PacketIn rate:             {:>8.0} messages/s   (paper: 5531/s)", r.packet_in_per_sec);
-    println!("Modification rate alone:   {:>8.1} rules/s", r.mod_rate_alone);
+    println!(
+        "PacketOut rate:            {:>8.0} messages/s   (paper: 7006/s)",
+        r.packet_out_per_sec
+    );
+    println!(
+        "PacketIn rate:             {:>8.0} messages/s   (paper: 5531/s)",
+        r.packet_in_per_sec
+    );
+    println!(
+        "Modification rate alone:   {:>8.1} rules/s",
+        r.mod_rate_alone
+    );
     println!(
         "... with concurrent PacketIn-like load:  {:>5.1}%   (paper: >96%)",
         r.mod_rate_with_packet_ins * 100.0

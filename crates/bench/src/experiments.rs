@@ -5,13 +5,10 @@ use controller::{AckMode, Controller};
 use ofswitch::{OpenFlowSwitch, SwitchModel};
 use openflow::messages::{FlowMod, PacketOut};
 use openflow::{Action, DatapathId, OfMatch, OfMessage};
-use rum::config::{RumConfig, TechniqueConfig};
-use rum::proxy::{deploy, RumLayer};
+use rum::{deploy, RumBuilder, RumHandle, TechniqueConfig};
 use simnet::{Context, EventPayload, FlowId, Node, NodeId, SimTime, Simulator};
 use std::any::Any;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
 
 /// When the controller starts pushing the update in end-to-end experiments.
 pub const UPDATE_START: SimTime = SimTime::from_millis(500);
@@ -51,10 +48,12 @@ impl EndToEndTechnique {
         match self {
             EndToEndTechnique::NoWait => None,
             EndToEndTechnique::Barriers => Some(TechniqueConfig::BarrierBaseline),
-            EndToEndTechnique::Timeout(d) => Some(TechniqueConfig::StaticTimeout { delay: *d }),
+            EndToEndTechnique::Timeout(d) => {
+                Some(TechniqueConfig::StaticTimeout { delay: (*d).into() })
+            }
             EndToEndTechnique::Adaptive(rate) => Some(TechniqueConfig::AdaptiveDelay {
                 assumed_rate: *rate,
-                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
+                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag().into(),
             }),
             EndToEndTechnique::Sequential => Some(TechniqueConfig::default_sequential()),
             EndToEndTechnique::General => Some(TechniqueConfig::default_general()),
@@ -131,25 +130,22 @@ impl EndToEndResult {
 }
 
 /// Wires a controller + (optionally) RUM into an already-built scenario.
-/// Returns the controller node and the RUM layer handle (if any).
+/// Returns the controller node and the RUM deployment handle (if any).
 fn wire_control_plane(
     sim: &mut Simulator,
     plan: controller::UpdatePlan,
     switches: &[NodeId],
     plan_targets: &[usize],
-    technique: Option<TechniqueConfig>,
+    rum: Option<RumBuilder>,
     ack_mode: AckMode,
     window: usize,
-    buffer_across_barriers: bool,
-    fine_grained_acks: bool,
-) -> (NodeId, Option<Rc<RefCell<RumLayer>>>) {
+) -> (NodeId, Option<RumHandle>) {
     let ctrl = Controller::new("ctrl", plan, ack_mode, window, UPDATE_START);
     let ctrl_id = sim.add_node(ctrl);
-    match technique {
+    match rum {
         None => {
             // Direct connections: controller talks straight to the switches.
-            let connections: Vec<NodeId> =
-                plan_targets.iter().map(|&t| switches[t]).collect();
+            let connections: Vec<NodeId> = plan_targets.iter().map(|&t| switches[t]).collect();
             sim.node_mut::<Controller>(ctrl_id)
                 .unwrap()
                 .set_connections(connections);
@@ -160,13 +156,9 @@ fn wire_control_plane(
             }
             (ctrl_id, None)
         }
-        Some(tech) => {
-            let mut config = RumConfig::new(tech, switches.len());
-            config.buffer_across_barriers = buffer_across_barriers;
-            config.fine_grained_acks = fine_grained_acks;
-            let (proxies, layer) = deploy(sim, config, ctrl_id, switches);
-            let connections: Vec<NodeId> =
-                plan_targets.iter().map(|&t| proxies[t]).collect();
+        Some(builder) => {
+            let (proxies, handle) = deploy(sim, builder, ctrl_id, switches);
+            let connections: Vec<NodeId> = plan_targets.iter().map(|&t| proxies[t]).collect();
             sim.node_mut::<Controller>(ctrl_id)
                 .unwrap()
                 .set_connections(connections);
@@ -175,7 +167,7 @@ fn wire_control_plane(
                     .unwrap()
                     .connect_controller(proxies[idx]);
             }
-            (ctrl_id, Some(layer))
+            (ctrl_id, Some(handle))
         }
     }
 }
@@ -201,16 +193,17 @@ pub fn run_end_to_end(
         EndToEndTechnique::NoWait => AckMode::NoWait,
         _ => AckMode::RumAcks,
     };
+    let rum = technique
+        .rum_technique()
+        .map(|t| RumBuilder::new(switches.len()).technique(t));
     let (ctrl_id, _layer) = wire_control_plane(
         &mut sim,
         net.plan.clone(),
         &switches,
         &[0, 1, 2],
-        technique.rum_technique(),
+        rum,
         ack_mode,
         usize::MAX >> 1,
-        false,
-        true,
     );
     sim.run_until(traffic_stop + SimTime::from_secs(1));
 
@@ -219,7 +212,10 @@ pub fn run_end_to_end(
     let mut flows: Vec<FlowRow> = summaries
         .values()
         .map(|s| {
-            let last_old = s.last_old_path.map(|t| t.as_millis_f64() - start_ms).unwrap_or(0.0);
+            let last_old = s
+                .last_old_path
+                .map(|t| t.as_millis_f64() - start_ms)
+                .unwrap_or(0.0);
             let update = s
                 .first_new_path
                 .map(|t| t.as_millis_f64() - start_ms)
@@ -287,16 +283,17 @@ pub fn run_activation_delay(
         EndToEndTechnique::NoWait => AckMode::NoWait,
         _ => AckMode::RumAcks,
     };
+    let rum = technique
+        .rum_technique()
+        .map(|t| RumBuilder::new(switches.len()).technique(t));
     let (_ctrl_id, _layer) = wire_control_plane(
         &mut sim,
         net.plan.clone(),
         &switches,
         &[1],
-        technique.rum_technique(),
+        rum,
         ack_mode,
         window,
-        false,
-        true,
     );
     sim.run_until(SimTime::from_secs(30));
 
@@ -349,23 +346,26 @@ fn bulk_completion_rate(
     };
     let net = scenario.build(&mut sim);
     let switches = [net.sw_a, net.sw_b, net.sw_c];
+    let rum = technique.map(|t| RumBuilder::new(switches.len()).technique(t));
     let (ctrl_id, _layer) = wire_control_plane(
         &mut sim,
         net.plan.clone(),
         &switches,
         &[1],
-        technique,
+        rum,
         AckMode::RumAcks,
         window,
-        false,
-        true,
     );
     // Generously sized horizon: 4000 rules at ~50 rules/s worst case.
     sim.run_until(SimTime::from_secs(120));
     let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
-    let completed = ctrl
-        .completed_at()
-        .unwrap_or_else(|| panic!("update did not finish: {}/{}", ctrl.confirmed_count(), n_rules));
+    let completed = ctrl.completed_at().unwrap_or_else(|| {
+        panic!(
+            "update did not finish: {}/{}",
+            ctrl.confirmed_count(),
+            n_rules
+        )
+    });
     let duration = completed - UPDATE_START;
     n_rules as f64 / duration.as_secs_f64()
 }
@@ -382,7 +382,7 @@ pub fn run_update_rate(
     let probing_rate = bulk_completion_rate(
         Some(TechniqueConfig::SequentialProbing {
             batch_size: probe_every,
-            probe_interval: SimTime::from_millis(10),
+            probe_interval: std::time::Duration::from_millis(10),
         }),
         n_rules,
         window,
@@ -458,16 +458,18 @@ pub fn run_barrier_layer(
         } else {
             (AckMode::RumAcks, n_rules.max(1), false, true)
         };
+        let builder = RumBuilder::new(switches.len())
+            .technique(technique)
+            .buffer_across_barriers(buffering)
+            .fine_grained_acks(fine_acks);
         let (ctrl_id, _layer) = wire_control_plane(
             &mut sim,
             net.plan.clone(),
             &switches,
             &[1],
-            Some(technique),
+            Some(builder),
             ack_mode,
             window,
-            buffering,
-            fine_acks,
         );
         sim.run_until(SimTime::from_secs(180));
         let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
@@ -595,17 +597,15 @@ fn measure_mod_rate(n_mods: u32, extra: impl Fn(u32) -> Vec<OfMessage>, seed: u6
     let mut sim = Simulator::new(seed);
     let sw_id = NodeId(1);
     let mut script: Vec<(SimTime, NodeId, OfMessage)> = Vec::new();
-    let mut xid = 1_000_000u32;
     for i in 0..n_mods {
         script.push((SimTime::from_millis(1), sw_id, flow_mod_msg(i, 2)));
         for msg in extra(i) {
             script.push((SimTime::from_millis(1), sw_id, msg));
         }
-        xid += 1;
         script.push((
             SimTime::from_millis(1),
             sw_id,
-            OfMessage::BarrierRequest { xid },
+            OfMessage::BarrierRequest { xid: 1_000_001 + i },
         ));
     }
     let ctrl_id = sim.add_node(BlastController::new(script));
@@ -756,9 +756,16 @@ mod tests {
         assert!(broken.max_broken_ms() > 50.0);
 
         let fixed = run_end_to_end(EndToEndTechnique::General, 30, 250, 1);
-        assert_eq!(fixed.total_drops, 0, "general probing must not drop packets");
+        assert_eq!(
+            fixed.total_drops, 0,
+            "general probing must not drop packets"
+        );
         assert_eq!(fixed.migrated_flows, 30);
-        assert!(fixed.max_broken_ms() <= 8.0, "max broken {}", fixed.max_broken_ms());
+        assert!(
+            fixed.max_broken_ms() <= 8.0,
+            "max broken {}",
+            fixed.max_broken_ms()
+        );
     }
 
     #[test]
@@ -784,7 +791,10 @@ mod tests {
         let barriers = run_activation_delay(EndToEndTechnique::Barriers, 30, 30, 0, 3);
         assert_eq!(barriers.len(), 30);
         let negative = barriers.iter().filter(|s| s.delay_ms < 0.0).count();
-        assert!(negative > 15, "baseline should be mostly premature, got {negative}");
+        assert!(
+            negative > 15,
+            "baseline should be mostly premature, got {negative}"
+        );
 
         let general = run_activation_delay(EndToEndTechnique::General, 30, 30, 0, 3);
         assert_eq!(general.len(), 30);
@@ -808,8 +818,16 @@ mod tests {
     #[test]
     fn pktio_rates_are_near_model_limits() {
         let r = run_pktio_rates(5);
-        assert!((r.packet_out_per_sec - 7006.0).abs() < 500.0, "{}", r.packet_out_per_sec);
-        assert!((r.packet_in_per_sec - 5531.0).abs() < 500.0, "{}", r.packet_in_per_sec);
+        assert!(
+            (r.packet_out_per_sec - 7006.0).abs() < 500.0,
+            "{}",
+            r.packet_out_per_sec
+        );
+        assert!(
+            (r.packet_in_per_sec - 5531.0).abs() < 500.0,
+            "{}",
+            r.packet_in_per_sec
+        );
         assert!(r.mod_rate_alone > 100.0);
         assert!(r.mod_rate_with_packet_ins > 0.9);
         assert!(r.mod_rate_with_packet_outs > 0.75 && r.mod_rate_with_packet_outs <= 1.0);

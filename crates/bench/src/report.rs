@@ -75,11 +75,7 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
 }
 
 /// Renders a Table-1-style grid: rows = probing frequency, columns = window.
-pub fn table1_grid(
-    probe_batches: &[usize],
-    windows: &[usize],
-    normalized: &[Vec<f64>],
-) -> String {
+pub fn table1_grid(probe_batches: &[usize], windows: &[usize], normalized: &[Vec<f64>]) -> String {
     let mut out = String::from("probing frequency      ");
     for k in windows {
         out.push_str(&format!("K = {k:<7}"));
@@ -87,8 +83,8 @@ pub fn table1_grid(
     out.push('\n');
     for (row, batch) in probe_batches.iter().enumerate() {
         out.push_str(&format!("after {batch:<3} update(s)    "));
-        for col in 0..windows.len() {
-            out.push_str(&format!("{:>5.0}%    ", normalized[row][col] * 100.0));
+        for value in normalized[row].iter().take(windows.len()) {
+            out.push_str(&format!("{:>5.0}%    ", value * 100.0));
         }
         out.push('\n');
     }
@@ -141,7 +137,10 @@ mod tests {
             .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
             .collect();
         assert!(values.windows(2).all(|w| w[0] >= w[1]));
-        assert!((values[0] - 1.0).abs() < 1e-9, "all flows broken longer than 0 ms");
+        assert!(
+            (values[0] - 1.0).abs() < 1e-9,
+            "all flows broken longer than 0 ms"
+        );
     }
 
     #[test]

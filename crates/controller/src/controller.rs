@@ -292,7 +292,11 @@ impl Controller {
                 self.packet_ins_received += 1;
             }
             OfMessage::EchoRequest { xid, data } => {
-                ctx.send_control(from, OfMessage::EchoReply { xid, data }, self.control_latency);
+                ctx.send_control(
+                    from,
+                    OfMessage::EchoReply { xid, data },
+                    self.control_latency,
+                );
             }
             OfMessage::Hello { xid } => {
                 ctx.send_control(from, OfMessage::Hello { xid }, self.control_latency);
@@ -517,7 +521,11 @@ mod tests {
             SimTime::from_secs(2),
         );
         let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
-        assert_eq!(ctrl.failed().len(), 3, "three mods exceed the 5-entry table");
+        assert_eq!(
+            ctrl.failed().len(),
+            3,
+            "three mods exceed the 5-entry table"
+        );
     }
 
     #[test]

@@ -226,7 +226,10 @@ mod tests {
         plan.add_with_deps(1, 0, fm(1), vec![2]);
         plan.add_with_deps(2, 0, fm(2), vec![1]);
         assert_eq!(plan.validate(), Err(PlanError::Cycle));
-        assert_eq!(PlanError::Cycle.to_string(), "the dependency graph contains a cycle");
+        assert_eq!(
+            PlanError::Cycle.to_string(),
+            "the dependency graph contains a cycle"
+        );
     }
 
     #[test]

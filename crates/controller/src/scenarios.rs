@@ -409,7 +409,10 @@ mod tests {
             let flip = net.plan.get(TriangleScenario::s1_flip_cookie(i)).unwrap();
             assert_eq!(flip.deps, vec![TriangleScenario::s2_install_cookie(i)]);
             assert_eq!(flip.target, 0);
-            let install = net.plan.get(TriangleScenario::s2_install_cookie(i)).unwrap();
+            let install = net
+                .plan
+                .get(TriangleScenario::s2_install_cookie(i))
+                .unwrap();
             assert_eq!(install.target, 1);
         }
         assert_eq!(sim.topology().link_count(), 5);
@@ -435,7 +438,11 @@ mod tests {
             assert!(!summary.path_changed);
         }
         let s2 = sim.node_ref::<OpenFlowSwitch>(net.s2).unwrap();
-        assert_eq!(s2.data_packets_forwarded(), 0, "S2 carries no traffic before the update");
+        assert_eq!(
+            s2.data_packets_forwarded(),
+            0,
+            "S2 carries no traffic before the update"
+        );
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl Action {
             Action::Enqueue { .. } => 16,
             Action::Vendor { body, .. } => {
                 let unpadded = 8 + body.len();
-                (unpadded + 7) / 8 * 8
+                unpadded.div_ceil(8) * 8
             }
         }
     }
@@ -193,7 +193,7 @@ impl Action {
         }
         let ty = buf.get_u16();
         let len = buf.get_u16() as usize;
-        if len < 8 || len % 8 != 0 {
+        if len < 8 || !len.is_multiple_of(8) {
             return Err(DecodeError::BadLength {
                 what: "action",
                 len,

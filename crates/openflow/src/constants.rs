@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn rum_ack_code_is_outside_spec_range() {
-        assert!(error_type::RUM_ACK > error_type::QUEUE_OP_FAILED);
+        const { assert!(error_type::RUM_ACK > error_type::QUEUE_OP_FAILED) };
     }
 
     #[test]

@@ -243,12 +243,7 @@ impl OfMatch {
     /// packets might be hijacked by other entries, and by the flow table for
     /// `CHECK_OVERLAP` semantics.
     pub fn overlaps(&self, other: &OfMatch) -> bool {
-        fn field_compatible<T: PartialEq>(
-            a_wild: bool,
-            a_val: T,
-            b_wild: bool,
-            b_val: T,
-        ) -> bool {
+        fn field_compatible<T: PartialEq>(a_wild: bool, a_val: T, b_wild: bool, b_val: T) -> bool {
             a_wild || b_wild || a_val == b_val
         }
 
@@ -418,7 +413,8 @@ impl OfMatch {
 
     /// True when this is an exact match (no wildcarded fields).
     pub fn is_exact(&self) -> bool {
-        self.wildcards.raw() & !(Wildcards::NW_BITS_MASK << Wildcards::NW_SRC_SHIFT)
+        self.wildcards.raw()
+            & !(Wildcards::NW_BITS_MASK << Wildcards::NW_SRC_SHIFT)
             & !(Wildcards::NW_BITS_MASK << Wildcards::NW_DST_SHIFT)
             == 0
             && self.wildcards.nw_src_bits() == 0
@@ -661,9 +657,8 @@ mod tests {
         let prefix = OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 24);
         assert!(all.covers(&pair));
         assert!(!pair.covers(&all));
-        assert!(prefix.covers(
-            &OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 32)
-        ));
+        assert!(prefix
+            .covers(&OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 32)));
         assert!(pair.covers(&pair));
         // A /24 on a *different* network does not cover.
         let other_prefix =

@@ -356,10 +356,16 @@ mod tests {
     #[test]
     fn builders_set_flags() {
         let fm = sample_flow_mod();
-        assert_eq!(fm.flags & flow_mod_flags::CHECK_OVERLAP, flow_mod_flags::CHECK_OVERLAP);
+        assert_eq!(
+            fm.flags & flow_mod_flags::CHECK_OVERLAP,
+            flow_mod_flags::CHECK_OVERLAP
+        );
         assert_eq!(fm.idle_timeout, 30);
         let fm = fm.with_send_flow_removed().with_hard_timeout(60);
-        assert_eq!(fm.flags & flow_mod_flags::SEND_FLOW_REM, flow_mod_flags::SEND_FLOW_REM);
+        assert_eq!(
+            fm.flags & flow_mod_flags::SEND_FLOW_REM,
+            flow_mod_flags::SEND_FLOW_REM
+        );
         assert_eq!(fm.hard_timeout, 60);
     }
 

@@ -12,9 +12,7 @@ pub mod switch_config;
 
 pub use flow_mod::{FlowMod, FlowModCommand, FlowRemoved};
 pub use packet_io::{PacketIn, PacketOut, PhyPort, PortStatus};
-pub use stats::{
-    FlowStatsEntry, PortStatsEntry, StatsReply, StatsRequest, TableStatsEntry,
-};
+pub use stats::{FlowStatsEntry, PortStatsEntry, StatsReply, StatsRequest, TableStatsEntry};
 pub use switch_config::{FeaturesReply, PortMod, SwitchConfig};
 
 use crate::constants::msg_type;

@@ -117,10 +117,7 @@ impl PacketOut {
     /// (`OFPP_TABLE`), the mode sequential probing uses so the probe exercises
     /// the freshly installed rule.
     pub fn via_table(data: Vec<u8>) -> Self {
-        PacketOut::inject(
-            vec![Action::output(crate::constants::port::TABLE)],
-            data,
-        )
+        PacketOut::inject(vec![Action::output(crate::constants::port::TABLE)], data)
     }
 
     /// Body length on the wire.
@@ -335,10 +332,7 @@ mod tests {
     #[test]
     fn packet_out_round_trip() {
         let frame = PacketHeader::default().to_bytes();
-        let po = PacketOut::inject(
-            vec![Action::SetNwTos(4), Action::output(2)],
-            frame.clone(),
-        );
+        let po = PacketOut::inject(vec![Action::SetNwTos(4), Action::output(2)], frame.clone());
         let mut buf = BytesMut::new();
         po.encode_body(&mut buf);
         assert_eq!(buf.len(), po.body_len());

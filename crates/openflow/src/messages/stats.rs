@@ -611,7 +611,7 @@ impl StatsReply {
                 }
             }
             stats_type::TABLE => {
-                if rest % TABLE_STATS_ENTRY_LEN != 0 {
+                if !rest.is_multiple_of(TABLE_STATS_ENTRY_LEN) {
                     return Err(DecodeError::BadLength {
                         what: "table stats reply",
                         len: rest,
@@ -624,7 +624,7 @@ impl StatsReply {
                 StatsReply::Table(entries)
             }
             stats_type::PORT => {
-                if rest % PORT_STATS_ENTRY_LEN != 0 {
+                if !rest.is_multiple_of(PORT_STATS_ENTRY_LEN) {
                     return Err(DecodeError::BadLength {
                         what: "port stats reply",
                         len: rest,

@@ -82,7 +82,7 @@ impl FeaturesReply {
         let capabilities = buf.get_u32();
         let actions = buf.get_u32();
         let ports_len = body_len - FEATURES_REPLY_FIXED_LEN;
-        if ports_len % PHY_PORT_LEN != 0 {
+        if !ports_len.is_multiple_of(PHY_PORT_LEN) {
             return Err(DecodeError::BadLength {
                 what: "features_reply ports",
                 len: ports_len,

@@ -263,17 +263,13 @@ impl PacketHeader {
             header.nw_dst = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
             let l4 = &ip[ihl..];
             match header.nw_proto {
-                IPPROTO_TCP | IPPROTO_UDP => {
-                    if l4.len() >= 4 {
-                        header.tp_src = u16::from_be_bytes([l4[0], l4[1]]);
-                        header.tp_dst = u16::from_be_bytes([l4[2], l4[3]]);
-                    }
+                IPPROTO_TCP | IPPROTO_UDP if l4.len() >= 4 => {
+                    header.tp_src = u16::from_be_bytes([l4[0], l4[1]]);
+                    header.tp_dst = u16::from_be_bytes([l4[2], l4[3]]);
                 }
-                IPPROTO_ICMP => {
-                    if l4.len() >= 2 {
-                        header.tp_src = l4[0] as u16;
-                        header.tp_dst = l4[1] as u16;
-                    }
+                IPPROTO_ICMP if l4.len() >= 2 => {
+                    header.tp_src = l4[0] as u16;
+                    header.tp_dst = l4[1] as u16;
                 }
                 _ => {}
             }

@@ -5,20 +5,25 @@
 //! was a controller, and the proxy then connects to a real controller using
 //! multiple connections, impersonating the switches."*
 //!
-//! This crate provides that deployment shape on real sockets, built from the
-//! same OpenFlow codec as the rest of the workspace:
+//! This crate is a thin **driver** for the deployment-agnostic
+//! [`rum::RumEngine`]: the same sans-IO core that powers the simulator
+//! experiments runs here over real sockets.  The crate splits cleanly in
+//! two:
 //!
-//! * [`relay::MessageRelay`] — the per-connection message-level policy.  The
-//!   shipped policy is the control-plane "delayed barrier acknowledgment"
-//!   technique (§3.1): barrier replies from the switch are withheld for a
-//!   configurable bound so the controller never hears "done" before the
-//!   switch's data plane has had time to catch up.  The data-plane probing
-//!   techniques need visibility into neighbouring switches and are exercised
-//!   in the simulator (`rum::proxy`); the TCP layer is deliberately
-//!   policy-pluggable so they can be slotted in against a real testbed.
-//! * [`proxy::RumTcpProxy`] — the listener/relay machinery: one upstream
-//!   controller connection per accepted switch, one thread per direction,
-//!   [`openflow::OfCodec`] framing on both sides.
+//! * [`relay::EngineRelay`] — the sans-IO adapter: takes decoded OpenFlow
+//!   messages plus wall-clock time, returns endpoint-tagged messages, timer
+//!   requests and confirmations.  Fully unit-testable without sockets.
+//! * [`proxy::RumTcpProxy`] — the socket machinery: listener, one upstream
+//!   controller connection per accepted switch, reader/writer threads with
+//!   [`openflow::OfCodec`] framing, and a timer thread feeding engine
+//!   timeouts back in.
+//!
+//! Every acknowledgment technique the engine supports (barriers, static
+//! timeout, adaptive delay, sequential and general probing) is therefore
+//! available over TCP by construction — select one with
+//! [`rum::RumBuilder::technique`].  The probing techniques additionally need
+//! port maps describing the physical testbed (see
+//! [`rum::RumBuilder::port_map`]).
 //!
 //! The crate is self-contained and synchronous (std networking + threads):
 //! the proxy handles a handful of switch connections, each with modest
@@ -31,5 +36,5 @@
 pub mod proxy;
 pub mod relay;
 
-pub use proxy::{ProxyConfig, ProxyHandle, RumTcpProxy};
-pub use relay::{DelayedBarrierRelay, MessageRelay, PassthroughRelay, RelayVerdict};
+pub use proxy::{wait_for, ProxyConfig, ProxyCounters, ProxyHandle, RumTcpProxy};
+pub use relay::{Endpoint, EngineRelay, RelayEffects};

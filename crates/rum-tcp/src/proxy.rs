@@ -1,14 +1,33 @@
-//! The TCP listener / relay machinery.
+//! The socket half of the TCP deployment: listener, per-connection reader
+//! and writer threads, and a timer thread — all funnelling into the shared
+//! sans-IO [`EngineRelay`].
+//!
+//! Wiring (per accepted switch, mirroring the paper's proxy chain):
+//!
+//! ```text
+//! switch ──reader──▶ EngineRelay ──▶ outbox ──writer──▶ controller
+//! switch ◀──writer── (one shared   ◀── outbox ◀──reader── controller
+//!                     RumEngine)
+//!            timer thread ──▶ TimerFired inputs
+//! ```
+//!
+//! Reader threads decode OpenFlow frames and feed the relay; every effect the
+//! engine returns is routed to the right connection's outbox.  Messages for a
+//! switch that has not connected yet (e.g. probe-catch rules emitted at
+//! start-up) are buffered and flushed on accept.
 
-use crate::relay::{MessageRelay, RelayVerdict};
+use crate::relay::{Endpoint, EngineRelay, RelayEffects};
 use openflow::{OfCodec, OfMessage};
-use parking_lot::Mutex;
+use rum::{ProxyStats, RumBuilder, SwitchId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`RumTcpProxy`].
 #[derive(Debug, Clone)]
@@ -19,19 +38,137 @@ pub struct ProxyConfig {
     pub controller_addr: SocketAddr,
 }
 
-/// Counters shared across all connections of one proxy instance.
+/// Transport-level counters shared across all connections of one proxy
+/// instance.  Message-level statistics live in the engine — see
+/// [`ProxyHandle::stats`].
 #[derive(Debug, Default)]
 pub struct ProxyCounters {
-    /// Switch connections accepted.
+    /// Switch connections accepted (and mapped to a [`SwitchId`]).
     pub connections: AtomicU64,
-    /// Messages relayed controller → switch.
+    /// Messages written towards switches.
     pub to_switch: AtomicU64,
-    /// Messages relayed switch → controller.
+    /// Messages written towards the controller.
     pub to_controller: AtomicU64,
-    /// Messages held back by the relay policy before forwarding.
-    pub delayed: AtomicU64,
-    /// Messages swallowed by the relay policy.
-    pub dropped: AtomicU64,
+    /// Engine timers fired.
+    pub timers_fired: AtomicU64,
+}
+
+/// Where messages for one endpoint go: buffered until the connection exists,
+/// then straight into its writer thread's queue.
+enum Route {
+    Pending(Vec<OfMessage>),
+    Connected(Sender<OfMessage>),
+}
+
+impl Route {
+    fn send(&mut self, msg: OfMessage) {
+        match self {
+            Route::Pending(q) => q.push(msg),
+            Route::Connected(tx) => {
+                // A closed channel means the connection died; the engine's
+                // timers will cope, exactly as with a lossy control channel.
+                let _ = tx.send(msg);
+            }
+        }
+    }
+
+    fn connect(&mut self, tx: Sender<OfMessage>) {
+        if let Route::Pending(q) = std::mem::replace(self, Route::Connected(tx.clone())) {
+            for msg in q {
+                let _ = tx.send(msg);
+            }
+        }
+    }
+}
+
+struct SwitchRoutes {
+    to_switch: Route,
+    to_controller: Route,
+}
+
+struct RelayState {
+    relay: EngineRelay,
+    routes: Vec<SwitchRoutes>,
+    /// Which switch slots currently have a live connection pair.
+    attached: Vec<bool>,
+}
+
+/// A pending engine timer.
+type TimerEntry = Reverse<(Instant, u64)>;
+
+struct TimerQueue {
+    heap: Mutex<BinaryHeap<TimerEntry>>,
+    cv: Condvar,
+}
+
+struct Inner {
+    state: Mutex<RelayState>,
+    timers: TimerQueue,
+    counters: ProxyCounters,
+    stop: AtomicBool,
+}
+
+impl Inner {
+    /// Feeds the relay under the lock and executes the returned effects.
+    fn apply(self: &Arc<Self>, f: impl FnOnce(&mut EngineRelay) -> RelayEffects) {
+        let fx = {
+            let mut st = self.state.lock().unwrap();
+            let fx = f(&mut st.relay);
+            for (endpoint, message) in &fx.messages {
+                match endpoint {
+                    Endpoint::Switch(sw) => {
+                        self.counters.to_switch.fetch_add(1, Ordering::SeqCst);
+                        st.routes[sw.index()].to_switch.send(message.clone());
+                    }
+                    Endpoint::Controller(sw) => {
+                        self.counters.to_controller.fetch_add(1, Ordering::SeqCst);
+                        st.routes[sw.index()].to_controller.send(message.clone());
+                    }
+                }
+            }
+            fx
+        };
+        if !fx.timers.is_empty() {
+            let mut heap = self.timers.heap.lock().unwrap();
+            let now = Instant::now();
+            for (delay, token) in fx.timers {
+                heap.push(Reverse((now + delay, token.raw())));
+            }
+            self.timers.cv.notify_one();
+        }
+    }
+
+    fn timer_loop(self: Arc<Self>) {
+        let mut heap = self.timers.heap.lock().unwrap();
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match heap.peek().copied() {
+                None => {
+                    let (h, _) = self
+                        .timers
+                        .cv
+                        .wait_timeout(heap, Duration::from_millis(100))
+                        .unwrap();
+                    heap = h;
+                }
+                Some(Reverse((deadline, token))) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        heap.pop();
+                        drop(heap);
+                        self.counters.timers_fired.fetch_add(1, Ordering::SeqCst);
+                        self.apply(|r| r.on_timer(rum::TimerToken::from_raw(token)));
+                        heap = self.timers.heap.lock().unwrap();
+                    } else {
+                        let (h, _) = self.timers.cv.wait_timeout(heap, deadline - now).unwrap();
+                        heap = h;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A handle to a running proxy; dropping it does not stop the proxy, call
@@ -39,178 +176,244 @@ pub struct ProxyCounters {
 pub struct ProxyHandle {
     /// The address the proxy actually listens on (useful with port 0).
     pub local_addr: SocketAddr,
-    counters: Arc<ProxyCounters>,
-    stop: Arc<AtomicBool>,
+    inner: Arc<Inner>,
     accept_thread: Option<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
 }
 
 impl ProxyHandle {
-    /// Shared relay counters.
+    /// Transport-level counters.
     pub fn counters(&self) -> &ProxyCounters {
-        &self.counters
+        &self.inner.counters
     }
 
-    /// Asks the accept loop to stop and waits for it to finish.  Established
-    /// relay threads terminate when their sockets close.
+    /// Engine statistics for one monitored switch — the same unified
+    /// [`ProxyStats`] surface the simulator deployment reports.
+    pub fn stats(&self, switch: SwitchId) -> ProxyStats {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .relay
+            .engine()
+            .stats(switch)
+    }
+
+    /// Number of switch slots the proxy was built for.
+    pub fn n_switches(&self) -> usize {
+        self.inner.state.lock().unwrap().relay.engine().n_switches()
+    }
+
+    /// Asks the accept and timer loops to stop and waits for them.
+    /// Established relay threads terminate when their sockets close.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.timers.cv.notify_all();
         // Unblock the accept loop with a throw-away connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-    }
-}
-
-/// The RUM TCP proxy: accepts switch connections and relays them to the
-/// controller through a [`MessageRelay`] policy.
-pub struct RumTcpProxy<F> {
-    config: ProxyConfig,
-    relay_factory: F,
-}
-
-impl<F, R> RumTcpProxy<F>
-where
-    F: Fn() -> R + Send + Sync + 'static,
-    R: MessageRelay + 'static,
-{
-    /// Creates a proxy; `relay_factory` builds one relay policy instance per
-    /// accepted switch connection.
-    pub fn new(config: ProxyConfig, relay_factory: F) -> Self {
-        RumTcpProxy {
-            config,
-            relay_factory,
+        if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
         }
     }
+}
 
-    /// Binds the listener and starts accepting connections on a background
-    /// thread.
+/// The RUM TCP proxy: accepts switch connections, connects onward to the
+/// real controller impersonating each switch, and drives every byte through
+/// the shared sans-IO [`rum::RumEngine`].
+///
+/// Accepted connections are assigned [`SwitchId`]s in accept order; the
+/// engine must be built for the number of switches expected to connect, and
+/// surplus connections are refused.
+pub struct RumTcpProxy {
+    config: ProxyConfig,
+    builder: RumBuilder,
+}
+
+impl RumTcpProxy {
+    /// Creates a proxy running the engine described by `builder`.
+    pub fn new(config: ProxyConfig, builder: RumBuilder) -> Self {
+        RumTcpProxy { config, builder }
+    }
+
+    /// Binds the listener, starts the engine and begins accepting
+    /// connections on background threads.
     pub fn start(self) -> std::io::Result<ProxyHandle> {
         let listener = TcpListener::bind(self.config.listen_addr)?;
         let local_addr = listener.local_addr()?;
-        let counters = Arc::new(ProxyCounters::default());
-        let stop = Arc::new(AtomicBool::new(false));
-        let controller_addr = self.config.controller_addr;
-        let relay_factory = Arc::new(self.relay_factory);
+        let engine = self.builder.build();
+        let n_switches = engine.n_switches();
+        let routes = (0..n_switches)
+            .map(|_| SwitchRoutes {
+                to_switch: Route::Pending(Vec::new()),
+                to_controller: Route::Pending(Vec::new()),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            state: Mutex::new(RelayState {
+                relay: EngineRelay::new(engine),
+                routes,
+                attached: vec![false; n_switches],
+            }),
+            timers: TimerQueue {
+                heap: Mutex::new(BinaryHeap::new()),
+                cv: Condvar::new(),
+            },
+            counters: ProxyCounters::default(),
+            stop: AtomicBool::new(false),
+        });
 
-        let accept_counters = Arc::clone(&counters);
-        let accept_stop = Arc::clone(&stop);
+        // Start-up effects (probe-catch rules, initial technique timers) are
+        // buffered per switch and flushed when that switch connects.
+        inner.apply(|r| r.start());
+
+        let timer_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || inner.timer_loop())
+        };
+
+        let accept_inner = Arc::clone(&inner);
+        let controller_addr = self.config.controller_addr;
         let accept_thread = std::thread::spawn(move || {
             for incoming in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
+                if accept_inner.stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(switch_stream) = incoming else { continue };
-                let Ok(controller_stream) = TcpStream::connect(controller_addr) else {
-                    // Controller unavailable: drop the switch connection so it
-                    // retries, like any proxy would.
+                let Ok(switch_stream) = incoming else {
                     continue;
                 };
-                accept_counters.connections.fetch_add(1, Ordering::SeqCst);
-                let relay = Arc::new(Mutex::new((relay_factory)()));
-                spawn_relay_pair(
+                // Claim the lowest free switch slot; a switch that
+                // disconnected frees its slot for the reconnect.
+                let slot = {
+                    let mut st = accept_inner.state.lock().unwrap();
+                    match st.attached.iter().position(|a| !a) {
+                        Some(i) => {
+                            st.attached[i] = true;
+                            i
+                        }
+                        // More switches than the engine was built for.
+                        None => continue,
+                    }
+                };
+                let Ok(controller_stream) = TcpStream::connect(controller_addr) else {
+                    // Controller unavailable: free the slot and drop the
+                    // switch connection so it retries, like any proxy would.
+                    accept_inner.state.lock().unwrap().attached[slot] = false;
+                    continue;
+                };
+                accept_inner
+                    .counters
+                    .connections
+                    .fetch_add(1, Ordering::SeqCst);
+                attach_connection(
+                    &accept_inner,
+                    SwitchId::new(slot),
                     switch_stream,
                     controller_stream,
-                    relay,
-                    Arc::clone(&accept_counters),
                 );
             }
         });
 
         Ok(ProxyHandle {
             local_addr,
-            counters,
-            stop,
+            inner,
             accept_thread: Some(accept_thread),
+            timer_thread: Some(timer_thread),
         })
     }
 }
 
-/// Spawns the two relay threads for one switch/controller connection pair.
-fn spawn_relay_pair<R: MessageRelay + 'static>(
+/// Wires one switch/controller connection pair into the relay: two writer
+/// threads draining outboxes, two reader threads feeding the engine.
+fn attach_connection(
+    inner: &Arc<Inner>,
+    switch: SwitchId,
     switch_stream: TcpStream,
     controller_stream: TcpStream,
-    relay: Arc<Mutex<R>>,
-    counters: Arc<ProxyCounters>,
 ) {
+    let _ = switch_stream.set_nodelay(true);
+    let _ = controller_stream.set_nodelay(true);
     let switch_reader = switch_stream.try_clone().expect("clone switch stream");
-    let controller_writer = controller_stream
+    let controller_reader = controller_stream
         .try_clone()
         .expect("clone controller stream");
-    let controller_reader = controller_stream;
-    let switch_writer = switch_stream;
 
-    // switch -> controller
+    let (switch_tx, switch_rx) = channel::<OfMessage>();
+    let (controller_tx, controller_rx) = channel::<OfMessage>();
     {
-        let relay = Arc::clone(&relay);
-        let counters = Arc::clone(&counters);
+        let mut st = inner.state.lock().unwrap();
+        st.routes[switch.index()].to_switch.connect(switch_tx);
+        st.routes[switch.index()]
+            .to_controller
+            .connect(controller_tx);
+    }
+
+    std::thread::spawn(move || writer_loop(switch_rx, switch_stream));
+    std::thread::spawn(move || writer_loop(controller_rx, controller_stream));
+    {
+        let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            relay_direction(switch_reader, controller_writer, counters, move |msg, c| {
-                let verdict = relay.lock().on_switch_to_controller(msg);
-                c.to_controller.fetch_add(1, Ordering::SeqCst);
-                verdict
+            reader_loop(switch_reader, |msg| {
+                inner.apply(|r| r.on_switch_message(switch, msg));
             });
+            detach_connection(&inner, switch);
         });
     }
-    // controller -> switch
     {
+        let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            relay_direction(controller_reader, switch_writer, counters, move |msg, c| {
-                let verdict = relay.lock().on_controller_to_switch(msg);
-                c.to_switch.fetch_add(1, Ordering::SeqCst);
-                verdict
+            reader_loop(controller_reader, |msg| {
+                inner.apply(|r| r.on_controller_message(switch, msg));
             });
+            detach_connection(&inner, switch);
         });
     }
 }
 
-/// Pumps one direction: reads OpenFlow messages from `reader`, consults the
-/// policy, and writes to `writer`.
-fn relay_direction(
-    mut reader: TcpStream,
-    mut writer: TcpStream,
-    counters: Arc<ProxyCounters>,
-    mut policy: impl FnMut(&OfMessage, &ProxyCounters) -> RelayVerdict,
-) {
-    let _ = reader.set_nodelay(true);
-    let _ = writer.set_nodelay(true);
+/// Tears down one switch's connection pair: resets the routes (dropping the
+/// writer channels, which ends the writer threads and closes both sockets)
+/// and frees the slot so the switch can reconnect.  Idempotent — whichever
+/// reader exits first wins.  Engine state (pending barriers, unconfirmed
+/// rules) survives the reconnect.
+fn detach_connection(inner: &Arc<Inner>, switch: SwitchId) {
+    let mut st = inner.state.lock().unwrap();
+    if !st.attached[switch.index()] {
+        return;
+    }
+    st.attached[switch.index()] = false;
+    st.routes[switch.index()].to_switch = Route::Pending(Vec::new());
+    st.routes[switch.index()].to_controller = Route::Pending(Vec::new());
+}
+
+/// Drains an outbox into a socket until either side goes away.
+fn writer_loop(rx: Receiver<OfMessage>, mut stream: TcpStream) {
+    for msg in rx {
+        let Ok(bytes) = msg.encode_to_vec() else {
+            continue;
+        };
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads OpenFlow frames off a socket and hands them to `sink`.
+fn reader_loop(mut stream: TcpStream, mut sink: impl FnMut(OfMessage)) {
     let mut codec = OfCodec::new();
     let mut buf = [0u8; 4096];
     loop {
-        let n = match reader.read(&mut buf) {
-            Ok(0) | Err(_) => break,
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
         codec.feed(&buf[..n]);
         loop {
-            let msg = match codec.next_message() {
-                Ok(Some(m)) => m,
+            match codec.next_message() {
+                Ok(Some(msg)) => sink(msg),
                 Ok(None) => break,
                 Err(_) => return, // framing error: give up on this connection
-            };
-            let verdict = policy(&msg, &counters);
-            let outgoing: Vec<OfMessage> = match verdict {
-                RelayVerdict::Forward => vec![msg],
-                RelayVerdict::Delay(d) => {
-                    counters.delayed.fetch_add(1, Ordering::SeqCst);
-                    std::thread::sleep(d);
-                    vec![msg]
-                }
-                RelayVerdict::Drop => {
-                    counters.dropped.fetch_add(1, Ordering::SeqCst);
-                    vec![]
-                }
-                RelayVerdict::ForwardAnd(extra) => {
-                    let mut v = vec![msg];
-                    v.extend(extra);
-                    v
-                }
-            };
-            for m in outgoing {
-                let Ok(bytes) = m.encode_to_vec() else { continue };
-                if writer.write_all(&bytes).is_err() {
-                    return;
-                }
             }
         }
     }
@@ -231,9 +434,9 @@ pub fn wait_for(mut predicate: impl FnMut() -> bool, timeout: Duration) -> bool 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::relay::DelayedBarrierRelay;
     use openflow::messages::FlowMod;
     use openflow::OfMatch;
+    use rum::TechniqueConfig;
     use std::time::Instant;
 
     /// A minimal in-process "switch": connects to the proxy, answers every
@@ -256,9 +459,7 @@ mod tests {
                 while let Ok(Some(msg)) = codec.next_message() {
                     handled += 1;
                     let reply = match msg {
-                        OfMessage::BarrierRequest { xid } => {
-                            Some(OfMessage::BarrierReply { xid })
-                        }
+                        OfMessage::BarrierRequest { xid } => Some(OfMessage::BarrierReply { xid }),
                         OfMessage::EchoRequest { xid, data } => {
                             Some(OfMessage::EchoReply { xid, data })
                         }
@@ -274,8 +475,12 @@ mod tests {
         })
     }
 
+    /// The engine-driven proxy makes barriers honest over real sockets: the
+    /// controller's barrier reply is withheld until the hold-down timer has
+    /// confirmed the preceding flow-mod, even though the fake switch answers
+    /// barriers instantly.
     #[test]
-    fn proxy_relays_and_delays_barrier_replies() {
+    fn proxy_holds_barrier_reply_until_engine_confirms() {
         // "Controller": a plain listener the proxy connects to.
         let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let controller_addr = controller_listener.local_addr().unwrap();
@@ -286,9 +491,12 @@ mod tests {
                 listen_addr: "127.0.0.1:0".parse().unwrap(),
                 controller_addr,
             },
-            move || DelayedBarrierRelay::new(delay),
+            RumBuilder::new(1)
+                .technique(TechniqueConfig::StaticTimeout { delay })
+                .fine_grained_acks(false),
         );
         let handle = proxy.start().expect("proxy starts");
+        assert_eq!(handle.n_switches(), 1);
 
         // The "switch" connects to the proxy; the proxy then connects to us.
         let switch = spawn_fake_switch(handle.local_addr);
@@ -336,14 +544,84 @@ mod tests {
             elapsed >= delay,
             "barrier reply arrived after {elapsed:?}, before the configured {delay:?} hold-down"
         );
+
+        // The unified stats surface reports the same run.
+        let sw = SwitchId::new(0);
+        let stats = handle.stats(sw);
+        assert_eq!(stats.controller_flow_mods, 1);
+        assert_eq!(stats.controller_barriers, 1);
+        assert_eq!(stats.barrier_replies_released, 1);
+        assert_eq!(stats.unconfirmed, 0);
         assert!(handle.counters().to_switch.load(Ordering::SeqCst) >= 3);
         assert!(handle.counters().to_controller.load(Ordering::SeqCst) >= 1);
-        assert_eq!(handle.counters().delayed.load(Ordering::SeqCst), 1);
+        assert!(handle.counters().timers_fired.load(Ordering::SeqCst) >= 1);
         assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 1);
 
         drop(ctrl_stream);
         handle.shutdown();
         let _ = switch.join();
+    }
+
+    #[test]
+    fn surplus_connections_are_refused() {
+        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller_addr = controller_listener.local_addr().unwrap();
+        let proxy = RumTcpProxy::new(
+            ProxyConfig {
+                listen_addr: "127.0.0.1:0".parse().unwrap(),
+                controller_addr,
+            },
+            RumBuilder::new(1).technique(TechniqueConfig::BarrierBaseline),
+        );
+        let handle = proxy.start().unwrap();
+        let _first = TcpStream::connect(handle.local_addr).unwrap();
+        assert!(wait_for(
+            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2),
+        ));
+        // A second switch has no engine slot: accepted at TCP level but
+        // never attached.
+        let _second = TcpStream::connect(handle.local_addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 1);
+        handle.shutdown();
+    }
+
+    /// A switch that loses its TCP connection frees its slot; the reconnect
+    /// is attached to the same [`SwitchId`] instead of being refused.
+    #[test]
+    fn reconnect_reuses_the_freed_slot() {
+        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller_addr = controller_listener.local_addr().unwrap();
+        let proxy = RumTcpProxy::new(
+            ProxyConfig {
+                listen_addr: "127.0.0.1:0".parse().unwrap(),
+                controller_addr,
+            },
+            RumBuilder::new(1).technique(TechniqueConfig::BarrierBaseline),
+        );
+        let handle = proxy.start().unwrap();
+        let first = TcpStream::connect(handle.local_addr).unwrap();
+        assert!(wait_for(
+            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2),
+        ));
+        drop(first);
+        // Detachment is asynchronous (the reader thread must observe EOF);
+        // keep re-dialling until the freed slot is claimed again.
+        let mut second = None;
+        assert!(wait_for(
+            || {
+                if handle.counters().connections.load(Ordering::SeqCst) >= 2 {
+                    return true;
+                }
+                second = TcpStream::connect(handle.local_addr).ok();
+                false
+            },
+            Duration::from_secs(3),
+        ));
+        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 2);
+        handle.shutdown();
     }
 
     #[test]

@@ -1,143 +1,217 @@
-//! Message-level relay policies for the TCP proxy.
+//! The sans-IO half of the TCP deployment: [`EngineRelay`] adapts the
+//! deployment-agnostic [`RumEngine`] to the shape a socket proxy needs.
+//!
+//! The relay owns the engine and a wall-clock epoch.  Socket threads hand it
+//! decoded messages; it returns [`RelayEffects`] — plain data describing
+//! which endpoint each outgoing message belongs to, which timers to schedule
+//! and which rules were confirmed.  No sockets or threads appear here, which
+//! is what makes the whole message-level policy of the TCP proxy unit
+//! testable without opening a single connection (see the tests below).
 
 use openflow::OfMessage;
-use std::time::Duration;
+use rum::{Effect, Input, RumEngine, SwitchId, TimerToken};
+use std::time::{Duration, Instant};
 
-/// What to do with a message that crossed the proxy.
-#[derive(Debug, Clone, PartialEq)]
-pub enum RelayVerdict {
-    /// Forward the message immediately.
-    Forward,
-    /// Forward the message after the given delay.
-    Delay(Duration),
-    /// Swallow the message (it is proxy-internal).
-    Drop,
-    /// Forward this message and then also send the additional messages to the
-    /// same destination.
-    ForwardAnd(Vec<OfMessage>),
+/// One side of one proxied connection pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The controller-facing connection impersonating this switch.
+    Controller(SwitchId),
+    /// The connection to this switch.
+    Switch(SwitchId),
 }
 
-/// A per-switch-connection relay policy.
-///
-/// The proxy calls these hooks from the relay threads; implementations must
-/// be `Send` because each direction runs on its own thread.
-pub trait MessageRelay: Send {
-    /// A message travelling controller → switch.
-    fn on_controller_to_switch(&mut self, msg: &OfMessage) -> RelayVerdict;
-    /// A message travelling switch → controller.
-    fn on_switch_to_controller(&mut self, msg: &OfMessage) -> RelayVerdict;
-    /// A human-readable policy name (for logs).
-    fn name(&self) -> &'static str;
+/// What the socket layer must do after feeding the relay one event.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RelayEffects {
+    /// Messages to write, in order, each tagged with its destination.
+    pub messages: Vec<(Endpoint, OfMessage)>,
+    /// Timers to schedule: feed [`EngineRelay::on_timer`] after each delay.
+    pub timers: Vec<(Duration, TimerToken)>,
+    /// Rules confirmed active in the data plane (observational).
+    pub confirmed: Vec<(SwitchId, u64)>,
 }
 
-/// Forwards everything untouched (a transparent TCP proxy).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct PassthroughRelay;
-
-impl MessageRelay for PassthroughRelay {
-    fn on_controller_to_switch(&mut self, _msg: &OfMessage) -> RelayVerdict {
-        RelayVerdict::Forward
-    }
-    fn on_switch_to_controller(&mut self, _msg: &OfMessage) -> RelayVerdict {
-        RelayVerdict::Forward
-    }
-    fn name(&self) -> &'static str {
-        "passthrough"
+impl RelayEffects {
+    /// True when nothing needs doing.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty() && self.timers.is_empty() && self.confirmed.is_empty()
     }
 }
 
-/// The "delaying barrier acknowledgments" technique (paper §3.1): barrier
-/// replies from the switch are held for a fixed, pre-measured bound before
-/// being released to the controller, so the acknowledgment can no longer
-/// precede the data plane by more than measurement error.
-#[derive(Debug, Clone)]
-pub struct DelayedBarrierRelay {
-    delay: Duration,
-    /// Statistics: barrier replies delayed so far.
-    pub delayed_replies: u64,
-    /// Statistics: flow modifications observed so far.
-    pub flow_mods_seen: u64,
+/// Drives a [`RumEngine`] from wall-clock time and decoded socket messages.
+pub struct EngineRelay {
+    engine: RumEngine,
+    epoch: Instant,
 }
 
-impl DelayedBarrierRelay {
-    /// Creates the policy with the given post-reply delay (the paper uses
-    /// 300 ms for the HP 5406zl).
-    pub fn new(delay: Duration) -> Self {
-        DelayedBarrierRelay {
-            delay,
-            delayed_replies: 0,
-            flow_mods_seen: 0,
+impl EngineRelay {
+    /// Wraps an engine; `now` is measured from this call.
+    pub fn new(engine: RumEngine) -> Self {
+        EngineRelay {
+            engine,
+            epoch: Instant::now(),
         }
     }
 
-    /// The configured delay.
-    pub fn delay(&self) -> Duration {
-        self.delay
+    /// Read access to the engine (stats, configuration).
+    pub fn engine(&self) -> &RumEngine {
+        &self.engine
+    }
+
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Starts the engine (catch rules, initial timers).  Idempotent.
+    pub fn start(&mut self) -> RelayEffects {
+        let now = self.now();
+        let effects = self.engine.start(now);
+        translate(effects)
+    }
+
+    /// The controller sent `message` on `switch`'s impersonated connection.
+    pub fn on_controller_message(&mut self, switch: SwitchId, message: OfMessage) -> RelayEffects {
+        let now = self.now();
+        translate(
+            self.engine
+                .handle(now, Input::FromController { switch, message }),
+        )
+    }
+
+    /// Switch `switch` sent `message` towards the controller.
+    pub fn on_switch_message(&mut self, switch: SwitchId, message: OfMessage) -> RelayEffects {
+        let now = self.now();
+        translate(
+            self.engine
+                .handle(now, Input::FromSwitch { switch, message }),
+        )
+    }
+
+    /// A timer scheduled from an earlier [`RelayEffects`] expired.
+    pub fn on_timer(&mut self, token: TimerToken) -> RelayEffects {
+        let now = self.now();
+        translate(self.engine.handle(now, Input::TimerFired { token }))
+    }
+
+    /// Periodic liveness tick (optional; timers carry all hard deadlines).
+    pub fn on_tick(&mut self) -> RelayEffects {
+        let now = self.now();
+        translate(self.engine.handle(now, Input::Tick))
     }
 }
 
-impl MessageRelay for DelayedBarrierRelay {
-    fn on_controller_to_switch(&mut self, msg: &OfMessage) -> RelayVerdict {
-        if matches!(msg, OfMessage::FlowMod { .. }) {
-            self.flow_mods_seen += 1;
-        }
-        RelayVerdict::Forward
-    }
-
-    fn on_switch_to_controller(&mut self, msg: &OfMessage) -> RelayVerdict {
-        match msg {
-            OfMessage::BarrierReply { .. } => {
-                self.delayed_replies += 1;
-                RelayVerdict::Delay(self.delay)
+fn translate(effects: Vec<Effect>) -> RelayEffects {
+    let mut out = RelayEffects::default();
+    for effect in effects {
+        match effect {
+            Effect::ToController { via, message } => {
+                out.messages.push((Endpoint::Controller(via), message));
             }
-            _ => RelayVerdict::Forward,
+            Effect::ToSwitch { switch, message } | Effect::InjectVia { switch, message } => {
+                out.messages.push((Endpoint::Switch(switch), message));
+            }
+            Effect::ArmTimer { delay, token } => out.timers.push((delay, token)),
+            Effect::Confirmed { switch, cookie } => out.confirmed.push((switch, cookie)),
         }
     }
-
-    fn name(&self) -> &'static str {
-        "delayed-barriers"
-    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openflow::messages::FlowMod;
+    use openflow::{Action, OfMatch};
+    use rum::{RumBuilder, TechniqueConfig};
+    use std::net::Ipv4Addr;
 
+    fn relay(delay_ms: u64) -> EngineRelay {
+        EngineRelay::new(
+            RumBuilder::new(1)
+                .technique(TechniqueConfig::StaticTimeout {
+                    delay: Duration::from_millis(delay_ms),
+                })
+                .fine_grained_acks(false)
+                .build(),
+        )
+    }
+
+    fn flow_mod(xid: u32) -> OfMessage {
+        OfMessage::FlowMod {
+            xid,
+            body: FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 1)),
+                100,
+                vec![Action::output(2)],
+            ),
+        }
+    }
+
+    /// The full "delayed barrier acknowledgment" flow of the old bespoke TCP
+    /// relay, now expressed purely through the shared engine — no sockets.
     #[test]
-    fn passthrough_forwards_everything() {
-        let mut relay = PassthroughRelay;
-        assert_eq!(
-            relay.on_controller_to_switch(&OfMessage::Hello { xid: 1 }),
-            RelayVerdict::Forward
-        );
-        assert_eq!(
-            relay.on_switch_to_controller(&OfMessage::BarrierReply { xid: 1 }),
-            RelayVerdict::Forward
-        );
-        assert_eq!(relay.name(), "passthrough");
+    fn delayed_barrier_flow_without_sockets() {
+        let sw = SwitchId::new(0);
+        let mut r = relay(300);
+        assert!(r.start().is_empty());
+
+        // Controller: flow-mod. Forwarded + proxy barrier appended.
+        let fx = r.on_controller_message(sw, flow_mod(5));
+        assert!(fx
+            .messages
+            .iter()
+            .all(|(ep, _)| *ep == Endpoint::Switch(sw)));
+        let proxy_barrier = fx
+            .messages
+            .iter()
+            .find_map(|(_, m)| match m {
+                OfMessage::BarrierRequest { xid } => Some(*xid),
+                _ => None,
+            })
+            .expect("proxy barrier");
+
+        // Controller: its own barrier. Forwarded to the switch, reply held.
+        let fx = r.on_controller_message(sw, OfMessage::BarrierRequest { xid: 9 });
+        assert_eq!(fx.messages.len(), 1);
+        assert!(fx.confirmed.is_empty());
+
+        // Switch answers both barriers immediately (the buggy behaviour);
+        // the engine arms the hold-down timer instead of confirming.
+        let fx = r.on_switch_message(sw, OfMessage::BarrierReply { xid: proxy_barrier });
+        let (delay, token) = fx.timers[0];
+        assert_eq!(delay, Duration::from_millis(300));
+        let fx = r.on_switch_message(sw, OfMessage::BarrierReply { xid: 9 });
+        assert!(fx.is_empty(), "controller barrier must still be held");
+
+        // Timer expiry confirms the rule and releases the held barrier.
+        let fx = r.on_timer(token);
+        assert_eq!(fx.confirmed, vec![(sw, 5)]);
+        assert!(fx
+            .messages
+            .contains(&(Endpoint::Controller(sw), OfMessage::BarrierReply { xid: 9 })));
+        assert_eq!(r.engine().stats(sw).barrier_replies_released, 1);
+        assert!(r.on_tick().is_empty());
     }
 
     #[test]
-    fn delayed_barrier_relay_holds_only_barrier_replies() {
-        let mut relay = DelayedBarrierRelay::new(Duration::from_millis(300));
-        assert_eq!(relay.delay(), Duration::from_millis(300));
-        assert_eq!(
-            relay.on_switch_to_controller(&OfMessage::EchoReply {
+    fn non_barrier_traffic_passes_straight_through() {
+        let sw = SwitchId::new(0);
+        let mut r = relay(300);
+        r.start();
+        let fx = r.on_switch_message(
+            sw,
+            OfMessage::EchoReply {
                 xid: 1,
-                data: vec![]
-            }),
-            RelayVerdict::Forward
+                data: vec![],
+            },
         );
+        assert_eq!(fx.messages.len(), 1);
+        assert_eq!(fx.messages[0].0, Endpoint::Controller(sw));
+        let fx = r.on_controller_message(sw, OfMessage::Hello { xid: 2 });
         assert_eq!(
-            relay.on_switch_to_controller(&OfMessage::BarrierReply { xid: 2 }),
-            RelayVerdict::Delay(Duration::from_millis(300))
+            fx.messages,
+            vec![(Endpoint::Switch(sw), OfMessage::Hello { xid: 2 })]
         );
-        assert_eq!(relay.delayed_replies, 1);
-        relay.on_controller_to_switch(&OfMessage::FlowMod {
-            xid: 3,
-            body: openflow::messages::FlowMod::delete(openflow::OfMatch::wildcard_all()),
-        });
-        assert_eq!(relay.flow_mods_seen, 1);
-        assert_eq!(relay.name(), "delayed-barriers");
     }
 }

@@ -159,7 +159,11 @@ mod tests {
     fn coloring_never_exceeds_max_degree_plus_one() {
         // A random-ish denser graph.
         let edges: Vec<(usize, usize)> = (0..20)
-            .flat_map(|i| ((i + 1)..20).filter(move |j| (i * j) % 3 == 0).map(move |j| (i, j)))
+            .flat_map(|i| {
+                ((i + 1)..20)
+                    .filter(move |j| (i * j) % 3 == 0)
+                    .map(move |j| (i, j))
+            })
             .collect();
         let g = Graph::from_edges(&edges);
         let colors = g.welsh_powell_coloring();

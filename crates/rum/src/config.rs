@@ -1,9 +1,27 @@
-//! Configuration of the RUM layer.
+//! Configuration of the RUM layer, and the [`RumBuilder`] fluent API that
+//! produces it.
+//!
+//! Deployments construct an engine like this:
+//!
+//! ```
+//! use rum::{RumBuilder, TechniqueConfig};
+//! use std::time::Duration;
+//!
+//! let engine = RumBuilder::new(3)
+//!     .technique(TechniqueConfig::default_sequential())
+//!     .reliable_barriers(true)
+//!     .fine_grained_acks(true)
+//!     .control_latency(Duration::from_micros(100))
+//!     .probe_links(&[(0, 1), (1, 2)])
+//!     .build_config();
+//! assert_eq!(engine.n_switches(), 3);
+//! ```
 
 use crate::coloring::assign_probe_colors;
+use crate::engine::{RumEngine, SwitchId};
 use openflow::PortNo;
-use simnet::{NodeId, SimTime};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// The reserved "pre-probe" DSCP value carried by freshly injected sequential
 /// probes (paper §3.2.1: `H1 == preprobe`).  Expressed as a full ToS byte.
@@ -27,14 +45,14 @@ pub enum TechniqueConfig {
     /// Confirm a fixed delay after the switch's barrier reply.
     StaticTimeout {
         /// The delay added after each barrier reply.
-        delay: SimTime,
+        delay: Duration,
     },
     /// Estimate data-plane activation from an assumed modification rate.
     AdaptiveDelay {
         /// Assumed switch modification rate (rules per second).
         assumed_rate: f64,
         /// Assumed worst-case control-to-data-plane synchronisation lag.
-        assumed_sync_lag: SimTime,
+        assumed_sync_lag: Duration,
     },
     /// Versioned probe rule confirming whole batches (requires the switch not
     /// to reorder modifications across barriers).
@@ -42,17 +60,17 @@ pub enum TechniqueConfig {
         /// Real modifications per probe-rule version bump.
         batch_size: usize,
         /// How often probes are injected while confirmations are outstanding.
-        probe_interval: SimTime,
+        probe_interval: Duration,
     },
     /// Per-rule probe packets; works even on reordering switches.
     GeneralProbing {
         /// How often outstanding rules are (re-)probed.
-        probe_interval: SimTime,
+        probe_interval: Duration,
         /// At most this many oldest unconfirmed rules are probed per round
         /// (the paper probes "up to 30 oldest flow modifications at once").
         max_outstanding: usize,
         /// Confirmation delay used when no distinguishing probe exists.
-        fallback_delay: SimTime,
+        fallback_delay: Duration,
     },
 }
 
@@ -61,16 +79,16 @@ impl TechniqueConfig {
     pub fn default_sequential() -> Self {
         TechniqueConfig::SequentialProbing {
             batch_size: 10,
-            probe_interval: SimTime::from_millis(10),
+            probe_interval: Duration::from_millis(10),
         }
     }
 
     /// The paper's default parameters for general probing.
     pub fn default_general() -> Self {
         TechniqueConfig::GeneralProbing {
-            probe_interval: SimTime::from_millis(10),
+            probe_interval: Duration::from_millis(10),
             max_outstanding: 30,
-            fallback_delay: SimTime::from_millis(300),
+            fallback_delay: Duration::from_millis(300),
         }
     }
 
@@ -99,23 +117,27 @@ impl TechniqueConfig {
 /// This is configuration a network operator derives from the topology (or
 /// RUM could learn via LLDP); the probing techniques need it to pick probe
 /// injection points and to know which neighbour will catch a probe forwarded
-/// out of a given port.
+/// out of a given port.  Deliberately deployment-agnostic: switches are
+/// identified by [`SwitchId`], never by simulator nodes or sockets.
 #[derive(Debug, Clone, Default)]
 pub struct SwitchPortMap {
-    /// The simulation node of the switch itself.
-    pub switch_node: Option<NodeId>,
-    /// For each local port: the index (within the RUM deployment) of the
-    /// monitored switch reachable through that port.
-    pub port_to_switch: HashMap<PortNo, usize>,
-    /// A neighbour to inject probes through: `(neighbour switch index, the
-    /// port on that neighbour that leads to this switch)`.
-    pub inject_via: Option<(usize, PortNo)>,
+    /// For each local port: the monitored switch reachable through that port.
+    pub port_to_switch: HashMap<PortNo, SwitchId>,
+    /// A neighbour to inject probes through: `(neighbour switch, the port on
+    /// that neighbour that leads to this switch)`.
+    pub inject_via: Option<(SwitchId, PortNo)>,
 }
 
 impl SwitchPortMap {
     /// The neighbouring monitored switch reached through `port`, if any.
-    pub fn next_hop(&self, port: PortNo) -> Option<usize> {
+    pub fn next_hop(&self, port: PortNo) -> Option<SwitchId> {
         self.port_to_switch.get(&port).copied()
+    }
+
+    /// True when no topology knowledge has been configured at all (the
+    /// simulator driver fills such slots in from its topology).
+    pub fn is_unspecified(&self) -> bool {
+        self.port_to_switch.is_empty() && self.inject_via.is_none()
     }
 }
 
@@ -161,9 +183,9 @@ impl ProbeFieldPlan {
         )
     }
 
-    /// The catch value of switch `idx`.
-    pub fn catch_tos(&self, idx: usize) -> u8 {
-        self.catch_tos[idx]
+    /// The catch value of `switch`.
+    pub fn catch_tos(&self, switch: SwitchId) -> u8 {
+        self.catch_tos[switch.index()]
     }
 
     /// True if `tos` is one of the values reserved by RUM (pre-probe or any
@@ -174,13 +196,16 @@ impl ProbeFieldPlan {
     }
 
     /// The switch whose catch value is `tos`, if any.
-    pub fn switch_for_catch_tos(&self, tos: u8) -> Option<usize> {
-        self.catch_tos.iter().position(|&c| c & 0xfc == tos & 0xfc)
+    pub fn switch_for_catch_tos(&self, tos: u8) -> Option<SwitchId> {
+        self.catch_tos
+            .iter()
+            .position(|&c| c & 0xfc == tos & 0xfc)
+            .map(SwitchId::new)
     }
 }
 
 /// Configuration of a whole RUM deployment (one instance monitoring a set of
-/// switches on behalf of one controller).
+/// switches on behalf of one controller).  Built through [`RumBuilder`].
 #[derive(Debug, Clone)]
 pub struct RumConfig {
     /// The acknowledgment technique to run.
@@ -195,8 +220,13 @@ pub struct RumConfig {
     /// release them only after the barrier is acknowledged (needed for
     /// switches that reorder across barriers).
     pub buffer_across_barriers: bool,
-    /// One-way latency RUM adds on each hop of the control channel.
-    pub control_latency: SimTime,
+    /// One-way latency RUM adds on each hop of the control channel (used by
+    /// drivers that model latency, e.g. the simulator; ignored by real
+    /// sockets).
+    pub control_latency: Duration,
+    /// Record every confirmation (switch, cookie) in order, for post-run
+    /// inspection.  Disable in long-running deployments to keep memory flat.
+    pub record_confirmations: bool,
     /// Per-switch topology knowledge (index = switch index).
     pub port_maps: Vec<SwitchPortMap>,
     /// Header-field plan for probing.
@@ -204,24 +234,132 @@ pub struct RumConfig {
 }
 
 impl RumConfig {
-    /// A configuration monitoring `n_switches` switches with the given
-    /// technique and sensible defaults everywhere else.  Port maps default to
-    /// empty and must be filled in for the probing techniques.
-    pub fn new(technique: TechniqueConfig, n_switches: usize) -> Self {
-        RumConfig {
-            technique,
-            fine_grained_acks: true,
-            reliable_barriers: true,
-            buffer_across_barriers: false,
-            control_latency: SimTime::from_micros(100),
-            port_maps: vec![SwitchPortMap::default(); n_switches],
-            probe_plan: ProbeFieldPlan::unique_per_switch(n_switches),
-        }
-    }
-
     /// Number of monitored switches.
     pub fn n_switches(&self) -> usize {
         self.port_maps.len()
+    }
+
+    /// Starts a fluent builder for `n_switches` monitored switches.
+    pub fn builder(n_switches: usize) -> RumBuilder {
+        RumBuilder::new(n_switches)
+    }
+}
+
+/// Fluent construction of a RUM deployment configuration (and engine).
+///
+/// Defaults match the paper's deployment: fine-grained acks on, reliable
+/// barriers on, no cross-barrier buffering, 100 µs control-channel latency,
+/// one unique probe-catch value per switch, and empty port maps (the
+/// simulator driver derives them from its topology; other deployments set
+/// them explicitly via [`RumBuilder::port_map`]).
+#[derive(Debug, Clone)]
+pub struct RumBuilder {
+    config: RumConfig,
+}
+
+impl RumBuilder {
+    /// A builder for a deployment monitoring `n_switches` switches.
+    pub fn new(n_switches: usize) -> Self {
+        RumBuilder {
+            config: RumConfig {
+                technique: TechniqueConfig::BarrierBaseline,
+                fine_grained_acks: true,
+                reliable_barriers: true,
+                buffer_across_barriers: false,
+                control_latency: Duration::from_micros(100),
+                record_confirmations: true,
+                port_maps: vec![SwitchPortMap::default(); n_switches],
+                probe_plan: ProbeFieldPlan::unique_per_switch(n_switches),
+            },
+        }
+    }
+
+    /// Selects the acknowledgment technique (default: barrier baseline).
+    pub fn technique(mut self, technique: TechniqueConfig) -> Self {
+        self.config.technique = technique;
+        self
+    }
+
+    /// Whether to send fine-grained per-rule acknowledgments.
+    pub fn fine_grained_acks(mut self, on: bool) -> Self {
+        self.config.fine_grained_acks = on;
+        self
+    }
+
+    /// Whether to hold barrier replies until covered rules are confirmed.
+    pub fn reliable_barriers(mut self, on: bool) -> Self {
+        self.config.reliable_barriers = on;
+        self
+    }
+
+    /// Whether to buffer commands that follow an unconfirmed barrier.
+    pub fn buffer_across_barriers(mut self, on: bool) -> Self {
+        self.config.buffer_across_barriers = on;
+        self
+    }
+
+    /// One-way control-channel latency for latency-modelling drivers.
+    pub fn control_latency(mut self, latency: Duration) -> Self {
+        self.config.control_latency = latency;
+        self
+    }
+
+    /// Whether to keep the in-order confirmation log
+    /// ([`RumEngine::confirmed_order`]).  On by default; turn it off for
+    /// long-running deployments where the log would grow without bound.
+    pub fn record_confirmations(mut self, on: bool) -> Self {
+        self.config.record_confirmations = on;
+        self
+    }
+
+    /// Sets the topology knowledge for one switch.
+    pub fn port_map(mut self, switch: SwitchId, map: SwitchPortMap) -> Self {
+        self.config.port_maps[switch.index()] = map;
+        self
+    }
+
+    /// Replaces all port maps at once (must match the switch count).
+    pub fn port_maps(mut self, maps: Vec<SwitchPortMap>) -> Self {
+        assert_eq!(
+            maps.len(),
+            self.config.port_maps.len(),
+            "one port map per monitored switch"
+        );
+        self.config.port_maps = maps;
+        self
+    }
+
+    /// Uses an explicit probe-field plan.
+    pub fn probe_plan(mut self, plan: ProbeFieldPlan) -> Self {
+        assert_eq!(
+            plan.catch_tos.len(),
+            self.config.port_maps.len(),
+            "one catch value per monitored switch"
+        );
+        self.config.probe_plan = plan;
+        self
+    }
+
+    /// Derives the probe-field plan from the monitored-switch adjacency via
+    /// vertex colouring (adjacent switches get distinct catch values).
+    pub fn probe_links(self, links: &[(usize, usize)]) -> Self {
+        let n = self.config.port_maps.len();
+        self.probe_plan(ProbeFieldPlan::from_links(links, n))
+    }
+
+    /// Finishes the configuration.
+    pub fn build_config(self) -> RumConfig {
+        self.config
+    }
+
+    /// Builds a ready-to-drive [`RumEngine`].
+    ///
+    /// # Panics
+    ///
+    /// See [`RumEngine::new`]: sequential probing requires each port map to
+    /// name at least one monitored neighbour.
+    pub fn build(self) -> RumEngine {
+        RumEngine::new(self.config)
     }
 }
 
@@ -246,13 +384,17 @@ mod tests {
     fn probe_plan_assigns_distinct_values_to_adjacent_switches() {
         // Triangle: all three adjacent.
         let plan = ProbeFieldPlan::from_links(&[(0, 1), (1, 2), (0, 2)], 3);
-        assert_ne!(plan.catch_tos(0), plan.catch_tos(1));
-        assert_ne!(plan.catch_tos(1), plan.catch_tos(2));
-        assert_ne!(plan.catch_tos(0), plan.catch_tos(2));
+        let sw = |i| SwitchId::new(i);
+        assert_ne!(plan.catch_tos(sw(0)), plan.catch_tos(sw(1)));
+        assert_ne!(plan.catch_tos(sw(1)), plan.catch_tos(sw(2)));
+        assert_ne!(plan.catch_tos(sw(0)), plan.catch_tos(sw(2)));
         for i in 0..3 {
-            assert_ne!(plan.catch_tos(i) & 0xfc, PREPROBE_TOS & 0xfc);
-            assert!(plan.is_probe_tos(plan.catch_tos(i)));
-            assert_eq!(plan.switch_for_catch_tos(plan.catch_tos(i)), Some(i));
+            assert_ne!(plan.catch_tos(sw(i)) & 0xfc, PREPROBE_TOS & 0xfc);
+            assert!(plan.is_probe_tos(plan.catch_tos(sw(i))));
+            assert_eq!(
+                plan.switch_for_catch_tos(plan.catch_tos(sw(i))),
+                Some(sw(i))
+            );
         }
         assert!(plan.is_probe_tos(PREPROBE_TOS));
         assert!(!plan.is_probe_tos(0x00));
@@ -268,7 +410,10 @@ mod tests {
         assert_eq!(distinct.len(), 2);
         // Adjacent still differ.
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
-            assert_ne!(plan.catch_tos(a), plan.catch_tos(b));
+            assert_ne!(
+                plan.catch_tos(SwitchId::new(a)),
+                plan.catch_tos(SwitchId::new(b))
+            );
         }
     }
 
@@ -282,17 +427,49 @@ mod tests {
     #[test]
     fn port_map_next_hop() {
         let mut m = SwitchPortMap::default();
-        m.port_to_switch.insert(2, 1);
-        assert_eq!(m.next_hop(2), Some(1));
+        assert!(m.is_unspecified());
+        m.port_to_switch.insert(2, SwitchId::new(1));
+        assert!(!m.is_unspecified());
+        assert_eq!(m.next_hop(2), Some(SwitchId::new(1)));
         assert_eq!(m.next_hop(3), None);
     }
 
     #[test]
-    fn rum_config_defaults() {
-        let cfg = RumConfig::new(TechniqueConfig::BarrierBaseline, 3);
+    fn builder_defaults_and_overrides() {
+        let cfg = RumBuilder::new(3)
+            .technique(TechniqueConfig::default_sequential())
+            .buffer_across_barriers(true)
+            .fine_grained_acks(false)
+            .control_latency(Duration::from_micros(250))
+            .build_config();
         assert_eq!(cfg.n_switches(), 3);
-        assert!(cfg.fine_grained_acks);
+        assert!(!cfg.fine_grained_acks);
         assert!(cfg.reliable_barriers);
-        assert!(!cfg.buffer_across_barriers);
+        assert!(cfg.buffer_across_barriers);
+        assert_eq!(cfg.control_latency, Duration::from_micros(250));
+        assert_eq!(cfg.technique.label(), "sequential");
+        assert_eq!(RumConfig::builder(2).build_config().n_switches(), 2);
+    }
+
+    #[test]
+    fn builder_probe_links_colour_the_plan() {
+        let cfg = RumBuilder::new(3)
+            .probe_links(&[(0, 1), (1, 2)])
+            .build_config();
+        // A path is 2-colourable: ends share a value, middle differs.
+        assert_eq!(
+            cfg.probe_plan.catch_tos(SwitchId::new(0)),
+            cfg.probe_plan.catch_tos(SwitchId::new(2))
+        );
+        assert_ne!(
+            cfg.probe_plan.catch_tos(SwitchId::new(0)),
+            cfg.probe_plan.catch_tos(SwitchId::new(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one port map per monitored switch")]
+    fn builder_rejects_wrong_port_map_count() {
+        RumBuilder::new(3).port_maps(vec![SwitchPortMap::default(); 2]);
     }
 }

@@ -1,0 +1,1163 @@
+//! The sans-IO RUM engine: one deployment-agnostic acknowledgment core.
+//!
+//! [`RumEngine`] is a pure state machine.  It performs no I/O, owns no
+//! sockets, simulator handles or clocks; a *driver* feeds it typed [`Input`]s
+//! (decoded OpenFlow messages from either side, timer expiries, clock ticks)
+//! together with the current time, and executes the typed [`Effect`]s it
+//! returns (messages to send, timers to arm, confirmations to observe).
+//!
+//! Two drivers ship with the workspace and run the **same** engine:
+//!
+//! * [`crate::proxy::RumProxy`] — a node for the deterministic discrete-event
+//!   simulator (`simnet`); all paper experiments run this way.
+//! * `rum-tcp` — a real TCP proxy chain on std sockets, mirroring the paper's
+//!   POX prototype.
+//!
+//! Time is expressed as [`core::time::Duration`] since an arbitrary driver
+//! epoch (simulation start, proxy start-up, ...).  The engine only compares
+//! and adds times, so any monotonic origin works.
+//!
+//! ```
+//! use rum::{Effect, Input, RumBuilder, TechniqueConfig};
+//! use std::time::Duration;
+//!
+//! let mut engine = RumBuilder::new(1)
+//!     .technique(TechniqueConfig::BarrierBaseline)
+//!     .build();
+//! let effects = engine.start(Duration::ZERO);
+//! assert!(effects.is_empty()); // the baseline installs nothing up front
+//! ```
+
+use crate::config::{RumConfig, TechniqueConfig};
+use crate::general::GeneralProbing;
+use crate::probe::catch_rule;
+use crate::sequential::SequentialProbing;
+use crate::technique::{AckTechnique, TechniqueOutput};
+use crate::technique::{AdaptiveDelay, BarrierBaseline, StaticTimeout};
+use openflow::{OfMessage, PacketHeader, Xid};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+/// Transaction ids at or above this value belong to RUM, not the controller.
+///
+/// Controller messages carrying such an xid are rejected (see
+/// [`ProxyStats::rejected_xids`]) instead of being silently misattributed to
+/// RUM's own machinery.
+pub const PROXY_XID_BASE: Xid = 0x8000_0000;
+
+/// Identifies one monitored switch within a RUM deployment.
+///
+/// Deployments are free to map these to whatever they like (simulator node
+/// ids, TCP connections, datapath ids); inside the engine a `SwitchId` is
+/// just a dense index `0..n_switches`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(usize);
+
+impl SwitchId {
+    /// The `index`-th monitored switch.
+    pub const fn new(index: usize) -> Self {
+        SwitchId(index)
+    }
+
+    /// The dense index within the deployment.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+
+/// An opaque handle to a timer the engine asked its driver to arm.
+///
+/// Drivers must hand the token back unmodified in [`Input::TimerFired`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+impl TimerToken {
+    /// The raw value, for drivers that need to serialise tokens (e.g. into a
+    /// simulator timer slot).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a token from [`TimerToken::raw`].
+    pub const fn from_raw(raw: u64) -> Self {
+        TimerToken(raw)
+    }
+}
+
+/// Everything a driver can feed into the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// The controller sent `message` on the connection impersonating
+    /// `switch`.
+    FromController {
+        /// The switch whose connection carried the message.
+        switch: SwitchId,
+        /// The decoded message.
+        message: OfMessage,
+    },
+    /// Switch `switch` sent `message` towards the controller.
+    FromSwitch {
+        /// The switch that sent the message.
+        switch: SwitchId,
+        /// The decoded message.
+        message: OfMessage,
+    },
+    /// A timer previously requested via [`Effect::ArmTimer`] expired.
+    TimerFired {
+        /// The token from the arming effect.
+        token: TimerToken,
+    },
+    /// The clock advanced with nothing else to report.  Drivers without
+    /// fine-grained timer callbacks may tick periodically; the engine uses
+    /// ticks to re-examine deferred work (e.g. barrier releases).
+    Tick,
+}
+
+/// Everything the engine can ask a driver to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Send `message` to the controller on the connection impersonating
+    /// `via`.
+    ToController {
+        /// The switch identity whose connection carries the message.
+        via: SwitchId,
+        /// The message to send.
+        message: OfMessage,
+    },
+    /// Send `message` to switch `switch`.
+    ToSwitch {
+        /// The destination switch.
+        switch: SwitchId,
+        /// The message to send.
+        message: OfMessage,
+    },
+    /// Send a probe-carrying message (a `PacketOut`) to neighbour `switch`
+    /// so the probe enters the data plane there.
+    InjectVia {
+        /// The neighbouring switch used as injection point.
+        switch: SwitchId,
+        /// The message to send (on `switch`'s connection).
+        message: OfMessage,
+    },
+    /// Arm a timer: feed [`Input::TimerFired`] with `token` back after
+    /// `delay`.
+    ArmTimer {
+        /// How long to wait.
+        delay: Duration,
+        /// Token identifying the timer.
+        token: TimerToken,
+    },
+    /// The modification with this cookie on `switch` is now confirmed active
+    /// in the data plane.  Purely observational — the matching
+    /// acknowledgment messages (fine-grained ack, barrier release) are
+    /// emitted as separate [`Effect::ToController`] effects.
+    Confirmed {
+        /// The switch the rule was installed on.
+        switch: SwitchId,
+        /// The confirmed modification's cookie.
+        cookie: u64,
+    },
+}
+
+/// Per-switch statistics exposed by the engine — the unified report surface
+/// for every deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Flow modifications received from the controller and forwarded.
+    pub controller_flow_mods: u64,
+    /// Barrier requests received from the controller.
+    pub controller_barriers: u64,
+    /// Flow modifications RUM originated itself (probe rules).
+    pub proxy_flow_mods: u64,
+    /// Probe packets injected (PacketOut messages).
+    pub probes_injected: u64,
+    /// Probe packets captured and consumed.
+    pub probes_consumed: u64,
+    /// Fine-grained acknowledgments sent to the controller.
+    pub acks_sent: u64,
+    /// Barrier replies released to the controller.
+    pub barrier_replies_released: u64,
+    /// Modifications currently awaiting confirmation.
+    pub unconfirmed: u64,
+    /// Controller messages rejected because their xid collided with RUM's
+    /// reserved range (≥ [`PROXY_XID_BASE`]).
+    pub rejected_xids: u64,
+}
+
+/// A controller barrier whose reply is being withheld.
+#[derive(Debug)]
+struct PendingBarrier {
+    xid: Xid,
+    required: HashSet<u64>,
+    switch_replied: bool,
+}
+
+/// Per-monitored-switch engine state.
+///
+/// Memory stays bounded by the amount of *outstanding* work: resolved
+/// cookies are removed from every pending barrier's `required` set instead
+/// of accumulating in ever-growing "confirmed" sets, so a long-running
+/// deployment (the TCP proxy) does not leak per-modification state.
+struct SwitchState {
+    technique: Box<dyn AckTechnique>,
+    unconfirmed: HashSet<u64>,
+    pending_barriers: Vec<PendingBarrier>,
+    buffered: VecDeque<OfMessage>,
+    stats: ProxyStats,
+}
+
+impl SwitchState {
+    fn new(technique: Box<dyn AckTechnique>) -> Self {
+        SwitchState {
+            technique,
+            unconfirmed: HashSet::new(),
+            pending_barriers: Vec::new(),
+            buffered: VecDeque::new(),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// A cookie is resolved (confirmed or failed): no pending barrier needs
+    /// to wait for it any longer.
+    fn resolve_cookie(&mut self, cookie: u64) {
+        for b in &mut self.pending_barriers {
+            b.required.remove(&cookie);
+        }
+    }
+}
+
+/// The deployment-agnostic RUM core: techniques, reliable barriers,
+/// fine-grained acks and probe bookkeeping behind a pure
+/// input → effects interface.
+///
+/// Construct one through [`crate::RumBuilder`].
+pub struct RumEngine {
+    config: RumConfig,
+    switches: Vec<SwitchState>,
+    next_xid: Xid,
+    started: bool,
+    confirm_log: Vec<(SwitchId, u64)>,
+}
+
+impl RumEngine {
+    /// Creates an engine from a finished configuration.  Prefer
+    /// [`crate::RumBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Sequential probing requires every switch's
+    /// [`crate::SwitchPortMap`] to name at least one monitored neighbour;
+    /// constructing an engine without one panics here (the simulator
+    /// [`crate::deploy`] derives the maps from its topology, other
+    /// deployments must set them via [`crate::RumBuilder::port_map`]).
+    pub fn new(config: RumConfig) -> Self {
+        let switches = (0..config.n_switches())
+            .map(|i| SwitchState::new(build_technique(&config, SwitchId::new(i))))
+            .collect();
+        RumEngine {
+            config,
+            switches,
+            next_xid: PROXY_XID_BASE + 0x0100_0000,
+            started: false,
+            confirm_log: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RumConfig {
+        &self.config
+    }
+
+    /// Number of monitored switches.
+    pub fn n_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// All switch ids, in order.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.switches.len()).map(SwitchId::new)
+    }
+
+    /// Statistics for one monitored switch.
+    pub fn stats(&self, switch: SwitchId) -> ProxyStats {
+        let s = &self.switches[switch.index()];
+        ProxyStats {
+            unconfirmed: s.unconfirmed.len() as u64,
+            ..s.stats
+        }
+    }
+
+    /// The technique name running for `switch`.
+    pub fn technique_name(&self, switch: SwitchId) -> &'static str {
+        self.switches[switch.index()].technique.name()
+    }
+
+    /// Every confirmation the engine has emitted, in order.  Empty when
+    /// recording is disabled ([`crate::RumBuilder::record_confirmations`]).
+    pub fn confirmed_order(&self) -> &[(SwitchId, u64)] {
+        &self.confirm_log
+    }
+
+    /// Starts the engine: installs probe-catch rules (for probing
+    /// techniques) and lets every technique arm its initial timers.
+    /// Idempotent — a second call returns no effects.
+    pub fn start(&mut self, now: Duration) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.started {
+            return effects;
+        }
+        self.started = true;
+        for i in 0..self.switches.len() {
+            let switch = SwitchId::new(i);
+            // Install the probe-catch rule on every switch when any probing
+            // technique is active (general probing needs catch rules on
+            // neighbours of the probed switch, so install everywhere).
+            if self.config.technique.is_probing() {
+                let xid = self.fresh_xid();
+                let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
+                self.switches[i].stats.proxy_flow_mods += 1;
+                effects.push(Effect::ToSwitch {
+                    switch,
+                    message: OfMessage::FlowMod { xid, body: fm },
+                });
+            }
+            let mut out = Vec::new();
+            self.switches[i].technique.start(now, &mut out);
+            self.apply_outputs(switch, out, now, &mut effects);
+        }
+        effects
+    }
+
+    /// Feeds one input into the engine and returns the effects the driver
+    /// must execute, in order.
+    pub fn handle(&mut self, now: Duration, input: Input) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        match input {
+            Input::FromController { switch, message } => {
+                self.on_controller_msg(switch, message, now, &mut effects);
+            }
+            Input::FromSwitch { switch, message } => {
+                self.on_switch_msg(switch, message, now, &mut effects);
+            }
+            Input::TimerFired { token } => {
+                self.on_timer(token, now, &mut effects);
+            }
+            Input::Tick => {
+                // Nothing is time-deferred outside timers today; re-examine
+                // barrier releases so drivers may tick instead of tracking
+                // fine-grained timers for liveness.
+                for i in 0..self.switches.len() {
+                    self.try_release_barriers(SwitchId::new(i), now, &mut effects);
+                }
+            }
+        }
+        effects
+    }
+
+    fn fresh_xid(&mut self) -> Xid {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    // ------------------------------------------------------------------
+    // Controller-side messages
+    // ------------------------------------------------------------------
+
+    fn on_controller_msg(
+        &mut self,
+        switch: SwitchId,
+        msg: OfMessage,
+        now: Duration,
+        effects: &mut Vec<Effect>,
+    ) {
+        // xids at or above PROXY_XID_BASE are reserved for RUM's own
+        // messages; a controller using them would have its replies swallowed
+        // or misattributed.  Reject loudly instead.
+        if msg.xid() >= PROXY_XID_BASE {
+            self.switches[switch.index()].stats.rejected_xids += 1;
+            effects.push(Effect::ToController {
+                via: switch,
+                message: OfMessage::Error {
+                    xid: msg.xid(),
+                    body: openflow::messages::ErrorMsg {
+                        err_type: openflow::constants::error_type::BAD_REQUEST,
+                        code: 0,
+                        data: b"RUM: xid >= 0x80000000 is reserved by the proxy".to_vec(),
+                    },
+                },
+            });
+            return;
+        }
+        if self.config.buffer_across_barriers
+            && !self.switches[switch.index()].pending_barriers.is_empty()
+            && !is_liveness_msg(&msg)
+        {
+            // Ordered commands after an unconfirmed barrier are held back so
+            // a reordering switch cannot let later commands overtake it.
+            // Liveness traffic (hello, echo) has no ordering relationship
+            // with rule modifications and passes straight through — holding
+            // an echo behind a slow barrier would trip keepalive timers on
+            // real switches.
+            self.switches[switch.index()].buffered.push_back(msg);
+            return;
+        }
+        self.process_controller_msg(switch, msg, now, effects);
+    }
+
+    fn process_controller_msg(
+        &mut self,
+        switch: SwitchId,
+        msg: OfMessage,
+        now: Duration,
+        effects: &mut Vec<Effect>,
+    ) {
+        let i = switch.index();
+        match msg {
+            OfMessage::FlowMod { xid, ref body } => {
+                let id = u64::from(xid);
+                self.switches[i].stats.controller_flow_mods += 1;
+                self.switches[i].unconfirmed.insert(id);
+                effects.push(Effect::ToSwitch {
+                    switch,
+                    message: msg.clone(),
+                });
+                let mut out = Vec::new();
+                self.switches[i]
+                    .technique
+                    .on_flow_mod(id, body, now, &mut out);
+                self.apply_outputs(switch, out, now, effects);
+            }
+            OfMessage::BarrierRequest { xid } => {
+                self.switches[i].stats.controller_barriers += 1;
+                if self.config.reliable_barriers {
+                    let required = self.switches[i].unconfirmed.clone();
+                    self.switches[i].pending_barriers.push(PendingBarrier {
+                        xid,
+                        required,
+                        switch_replied: false,
+                    });
+                    // Still forward the barrier so the switch's own ordering
+                    // machinery (such as it is) stays engaged.
+                    effects.push(Effect::ToSwitch {
+                        switch,
+                        message: OfMessage::BarrierRequest { xid },
+                    });
+                    self.try_release_barriers(switch, now, effects);
+                } else {
+                    effects.push(Effect::ToSwitch {
+                        switch,
+                        message: OfMessage::BarrierRequest { xid },
+                    });
+                }
+            }
+            other => {
+                effects.push(Effect::ToSwitch {
+                    switch,
+                    message: other,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Switch-side messages
+    // ------------------------------------------------------------------
+
+    fn on_switch_msg(
+        &mut self,
+        switch: SwitchId,
+        msg: OfMessage,
+        now: Duration,
+        effects: &mut Vec<Effect>,
+    ) {
+        let i = switch.index();
+        match msg {
+            OfMessage::BarrierReply { xid } => {
+                if xid >= PROXY_XID_BASE {
+                    let mut out = Vec::new();
+                    self.switches[i]
+                        .technique
+                        .on_switch_barrier_reply(xid, now, &mut out);
+                    self.apply_outputs(switch, out, now, effects);
+                } else if self.config.reliable_barriers {
+                    if let Some(b) = self.switches[i]
+                        .pending_barriers
+                        .iter_mut()
+                        .find(|b| b.xid == xid)
+                    {
+                        b.switch_replied = true;
+                    }
+                    self.try_release_barriers(switch, now, effects);
+                } else {
+                    effects.push(Effect::ToController {
+                        via: switch,
+                        message: OfMessage::BarrierReply { xid },
+                    });
+                }
+            }
+            OfMessage::PacketIn { ref body, .. } => {
+                match PacketHeader::from_bytes(&body.data) {
+                    Ok(header) if self.config.probe_plan.is_probe_tos(header.nw_tos) => {
+                        self.switches[i].stats.probes_consumed += 1;
+                        // Probes may belong to any monitored switch's
+                        // technique; each technique ignores probes that are
+                        // not its own.
+                        for s in 0..self.switches.len() {
+                            let mut out = Vec::new();
+                            self.switches[s]
+                                .technique
+                                .on_probe_packet(&header, now, &mut out);
+                            self.apply_outputs(SwitchId::new(s), out, now, effects);
+                        }
+                    }
+                    _ => effects.push(Effect::ToController {
+                        via: switch,
+                        message: msg,
+                    }),
+                }
+            }
+            OfMessage::Error { xid, .. } => {
+                if xid >= PROXY_XID_BASE {
+                    // One of RUM's own rules failed; nothing sensible to tell
+                    // the controller.  The technique will fall back on
+                    // timeouts (probes simply never return).
+                } else {
+                    // A controller modification failed: the rule will never
+                    // appear in the data plane, so treat it as resolved for
+                    // barrier purposes and pass the error through.
+                    let id = u64::from(xid);
+                    if self.switches[i].unconfirmed.remove(&id) {
+                        self.switches[i].resolve_cookie(id);
+                    }
+                    effects.push(Effect::ToController {
+                        via: switch,
+                        message: msg,
+                    });
+                    self.try_release_barriers(switch, now, effects);
+                }
+            }
+            other => effects.push(Effect::ToController {
+                via: switch,
+                message: other,
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// The token encodes which switch's technique armed the timer.
+    fn on_timer(&mut self, token: TimerToken, now: Duration, effects: &mut Vec<Effect>) {
+        let raw = token.raw();
+        let switch = (raw >> 48) as usize;
+        let tech_token = raw & 0x0000_FFFF_FFFF_FFFF;
+        if switch >= self.switches.len() {
+            return;
+        }
+        let mut out = Vec::new();
+        self.switches[switch]
+            .technique
+            .on_timer(tech_token, now, &mut out);
+        self.apply_outputs(SwitchId::new(switch), out, now, effects);
+    }
+
+    // ------------------------------------------------------------------
+    // Technique output handling
+    // ------------------------------------------------------------------
+
+    fn apply_outputs(
+        &mut self,
+        switch: SwitchId,
+        outputs: Vec<TechniqueOutput>,
+        now: Duration,
+        effects: &mut Vec<Effect>,
+    ) {
+        let i = switch.index();
+        for output in outputs {
+            match output {
+                TechniqueOutput::Confirm(cookie) => self.confirm(switch, cookie, now, effects),
+                TechniqueOutput::ToSwitch(message) => {
+                    if matches!(message, OfMessage::FlowMod { .. }) {
+                        self.switches[i].stats.proxy_flow_mods += 1;
+                    }
+                    effects.push(Effect::ToSwitch { switch, message });
+                }
+                TechniqueOutput::InjectVia { switch: via, msg } => {
+                    self.switches[i].stats.probes_injected += 1;
+                    effects.push(Effect::InjectVia {
+                        switch: via,
+                        message: msg,
+                    });
+                }
+                TechniqueOutput::SetTimer { delay, token } => {
+                    let encoded = ((i as u64) << 48) | token;
+                    effects.push(Effect::ArmTimer {
+                        delay,
+                        token: TimerToken::from_raw(encoded),
+                    });
+                }
+            }
+        }
+    }
+
+    fn confirm(&mut self, switch: SwitchId, cookie: u64, now: Duration, effects: &mut Vec<Effect>) {
+        let i = switch.index();
+        let state = &mut self.switches[i];
+        if !state.unconfirmed.remove(&cookie) {
+            return;
+        }
+        state.resolve_cookie(cookie);
+        if self.config.record_confirmations {
+            self.confirm_log.push((switch, cookie));
+        }
+        effects.push(Effect::Confirmed { switch, cookie });
+        if self.config.fine_grained_acks {
+            let state = &mut self.switches[i];
+            state.stats.acks_sent += 1;
+            effects.push(Effect::ToController {
+                via: switch,
+                message: OfMessage::rum_ack(cookie as Xid),
+            });
+        }
+        self.try_release_barriers(switch, now, effects);
+    }
+
+    fn try_release_barriers(&mut self, switch: SwitchId, now: Duration, effects: &mut Vec<Effect>) {
+        let i = switch.index();
+        loop {
+            let state = &mut self.switches[i];
+            let Some(front) = state.pending_barriers.first() else {
+                break;
+            };
+            if !(front.switch_replied && front.required.is_empty()) {
+                break;
+            }
+            let barrier = state.pending_barriers.remove(0);
+            state.stats.barrier_replies_released += 1;
+            effects.push(Effect::ToController {
+                via: switch,
+                message: OfMessage::BarrierReply { xid: barrier.xid },
+            });
+            // Release buffered commands until the next barrier becomes
+            // pending (or the buffer drains).
+            if self.config.buffer_across_barriers {
+                while self.switches[i].pending_barriers.is_empty() {
+                    let Some(msg) = self.switches[i].buffered.pop_front() else {
+                        break;
+                    };
+                    self.process_controller_msg(switch, msg, now, effects);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RumEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RumEngine")
+            .field("technique", &self.config.technique.label())
+            .field("n_switches", &self.switches.len())
+            .field("started", &self.started)
+            .field("confirmed", &self.confirm_log.len())
+            .finish()
+    }
+}
+
+/// Messages with no ordering relationship to rule modifications; they are
+/// never held back by the cross-barrier buffer.
+fn is_liveness_msg(msg: &OfMessage) -> bool {
+    matches!(
+        msg,
+        OfMessage::Hello { .. } | OfMessage::EchoRequest { .. } | OfMessage::EchoReply { .. }
+    )
+}
+
+fn build_technique(config: &RumConfig, switch: SwitchId) -> Box<dyn AckTechnique> {
+    let xid_base = PROXY_XID_BASE + (switch.index() as u32 + 1) * 0x0001_0000;
+    match &config.technique {
+        TechniqueConfig::BarrierBaseline => Box::new(BarrierBaseline::new(xid_base)),
+        TechniqueConfig::StaticTimeout { delay } => Box::new(StaticTimeout::new(*delay, xid_base)),
+        TechniqueConfig::AdaptiveDelay {
+            assumed_rate,
+            assumed_sync_lag,
+        } => Box::new(AdaptiveDelay::new(*assumed_rate, *assumed_sync_lag)),
+        TechniqueConfig::SequentialProbing {
+            batch_size,
+            probe_interval,
+        } => Box::new(SequentialProbing::new(
+            switch,
+            *batch_size,
+            *probe_interval,
+            config.probe_plan.clone(),
+            config.port_maps[switch.index()].clone(),
+            xid_base,
+        )),
+        TechniqueConfig::GeneralProbing {
+            probe_interval,
+            max_outstanding,
+            fallback_delay,
+        } => {
+            let mut t = GeneralProbing::new(
+                switch,
+                *probe_interval,
+                *max_outstanding,
+                *fallback_delay,
+                config.probe_plan.clone(),
+                config.port_maps[switch.index()].clone(),
+                xid_base,
+            );
+            // Every experiment pre-installs a low-priority drop-all rule;
+            // seed the table model so probe synthesis sees it.
+            t.seed_known_rule(openflow::OfMatch::wildcard_all(), 0, vec![]);
+            Box::new(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RumBuilder;
+    use openflow::messages::FlowMod;
+    use openflow::{Action, OfMatch};
+    use std::net::Ipv4Addr;
+
+    fn engine(technique: TechniqueConfig) -> RumEngine {
+        RumBuilder::new(1).technique(technique).build()
+    }
+
+    fn flow_mod(xid: Xid) -> OfMessage {
+        OfMessage::FlowMod {
+            xid,
+            body: FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 1)),
+                100,
+                vec![Action::output(2)],
+            ),
+        }
+    }
+
+    #[test]
+    fn baseline_flow_mod_round_trip_confirms() {
+        let mut e = engine(TechniqueConfig::BarrierBaseline);
+        let sw = SwitchId::new(0);
+        assert!(e.start(Duration::ZERO).is_empty());
+
+        let effects = e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(42),
+            },
+        );
+        // Forwarded flow-mod + a proxy barrier.
+        let barrier_xid = effects
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::BarrierRequest { xid },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .expect("proxy barrier injected");
+        assert!(barrier_xid >= PROXY_XID_BASE);
+        assert!(matches!(
+            effects[0],
+            Effect::ToSwitch {
+                message: OfMessage::FlowMod { xid: 42, .. },
+                ..
+            }
+        ));
+        assert_eq!(e.stats(sw).unconfirmed, 1);
+
+        let effects = e.handle(
+            Duration::from_millis(1),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: barrier_xid },
+            },
+        );
+        assert!(effects.contains(&Effect::Confirmed {
+            switch: sw,
+            cookie: 42
+        }));
+        assert!(effects.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController { message, .. } if message.as_rum_ack() == Some(42)
+        )));
+        assert_eq!(e.stats(sw).unconfirmed, 0);
+        assert_eq!(e.stats(sw).acks_sent, 1);
+        assert_eq!(e.confirmed_order(), &[(sw, 42)]);
+    }
+
+    #[test]
+    fn static_timeout_defers_until_timer() {
+        let mut e = engine(TechniqueConfig::StaticTimeout {
+            delay: Duration::from_millis(300),
+        });
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        let effects = e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(7),
+            },
+        );
+        let barrier_xid = effects
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::BarrierRequest { xid },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .unwrap();
+        let effects = e.handle(
+            Duration::from_millis(5),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: barrier_xid },
+            },
+        );
+        let (delay, token) = effects
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ArmTimer { delay, token } => Some((*delay, *token)),
+                _ => None,
+            })
+            .expect("timer armed");
+        assert_eq!(delay, Duration::from_millis(300));
+        assert!(!effects
+            .iter()
+            .any(|eff| matches!(eff, Effect::Confirmed { .. })));
+
+        let effects = e.handle(Duration::from_millis(305), Input::TimerFired { token });
+        assert!(effects.contains(&Effect::Confirmed {
+            switch: sw,
+            cookie: 7
+        }));
+    }
+
+    #[test]
+    fn reserved_xid_from_controller_is_rejected() {
+        let mut e = engine(TechniqueConfig::BarrierBaseline);
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        let effects = e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(PROXY_XID_BASE + 5),
+            },
+        );
+        // Not forwarded, answered with an error instead.
+        assert!(!effects
+            .iter()
+            .any(|eff| matches!(eff, Effect::ToSwitch { .. })));
+        let err = effects
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ToController {
+                    message: OfMessage::Error { xid, body },
+                    ..
+                } => Some((*xid, body.err_type)),
+                _ => None,
+            })
+            .expect("rejection error sent");
+        assert_eq!(err.0, PROXY_XID_BASE + 5);
+        assert_eq!(err.1, openflow::constants::error_type::BAD_REQUEST);
+        assert_eq!(e.stats(sw).rejected_xids, 1);
+        assert_eq!(e.stats(sw).controller_flow_mods, 0);
+        assert_eq!(e.stats(sw).unconfirmed, 0);
+    }
+
+    #[test]
+    fn reliable_barrier_is_held_until_confirmation() {
+        let mut e = engine(TechniqueConfig::StaticTimeout {
+            delay: Duration::from_millis(100),
+        });
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        let effects = e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(9),
+            },
+        );
+        let proxy_barrier = effects
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::BarrierRequest { xid },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .unwrap();
+        // Controller barrier arrives; reply must be withheld.
+        let effects = e.handle(
+            Duration::from_millis(1),
+            Input::FromController {
+                switch: sw,
+                message: OfMessage::BarrierRequest { xid: 77 },
+            },
+        );
+        assert!(!effects.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController {
+                message: OfMessage::BarrierReply { .. },
+                ..
+            }
+        )));
+        // Switch replies to both barriers; still no release (timer pending).
+        e.handle(
+            Duration::from_millis(2),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: proxy_barrier },
+            },
+        );
+        let effects = e.handle(
+            Duration::from_millis(2),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: 77 },
+            },
+        );
+        assert!(!effects.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController {
+                message: OfMessage::BarrierReply { .. },
+                ..
+            }
+        )));
+        // The timeout fires -> cookie 9 confirms -> barrier 77 releases.
+        let token = TimerToken::from_raw(0); // switch 0, technique token 0
+        let effects = e.handle(Duration::from_millis(102), Input::TimerFired { token });
+        assert!(effects.contains(&Effect::Confirmed {
+            switch: sw,
+            cookie: 9
+        }));
+        assert!(effects.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController {
+                message: OfMessage::BarrierReply { xid: 77 },
+                ..
+            }
+        )));
+        assert_eq!(e.stats(sw).barrier_replies_released, 1);
+    }
+
+    #[test]
+    fn buffered_commands_replay_with_current_time_not_zero() {
+        // Adaptive delay is the time-sensitive technique: if a buffered
+        // flow-mod were replayed with now = 0 after a barrier release, its
+        // confirmation timer would stretch to the absolute elapsed time.
+        let mut e = RumBuilder::new(1)
+            .technique(TechniqueConfig::AdaptiveDelay {
+                assumed_rate: 100.0, // 10 ms per modification
+                assumed_sync_lag: Duration::ZERO,
+            })
+            .buffer_across_barriers(true)
+            .build();
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(5),
+            },
+        );
+        e.handle(
+            Duration::from_millis(1),
+            Input::FromController {
+                switch: sw,
+                message: OfMessage::BarrierRequest { xid: 50 },
+            },
+        );
+        // Arrives behind the pending barrier: buffered.
+        let fx = e.handle(
+            Duration::from_millis(2),
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(6),
+            },
+        );
+        assert!(fx.is_empty(), "flow-mod behind a barrier must be buffered");
+        e.handle(
+            Duration::from_millis(3),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: 50 },
+            },
+        );
+        // Cookie 5's adaptive timer fires at t = 10 ms; the barrier releases
+        // and the buffered flow-mod 6 replays *at t = 10 ms*: its adaptive
+        // estimate is 10 ms out (virtual clock 20 ms minus now), not 20 ms
+        // (which would mean it was replayed with now = 0).
+        let fx = e.handle(
+            Duration::from_millis(10),
+            Input::TimerFired {
+                token: TimerToken::from_raw(0),
+            },
+        );
+        assert!(fx.contains(&Effect::Confirmed {
+            switch: sw,
+            cookie: 5
+        }));
+        let replay_delay = fx
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ArmTimer { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("replayed flow-mod arms its adaptive timer");
+        assert_eq!(replay_delay, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn liveness_traffic_bypasses_the_barrier_buffer() {
+        let mut e = RumBuilder::new(1)
+            .technique(TechniqueConfig::StaticTimeout {
+                delay: Duration::from_secs(1),
+            })
+            .buffer_across_barriers(true)
+            .build();
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(1),
+            },
+        );
+        e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: OfMessage::BarrierRequest { xid: 9 },
+            },
+        );
+        // An echo behind the pending barrier must pass straight through —
+        // holding it would trip the switch's keepalive.
+        let fx = e.handle(
+            Duration::from_millis(1),
+            Input::FromController {
+                switch: sw,
+                message: OfMessage::EchoRequest {
+                    xid: 2,
+                    data: vec![1],
+                },
+            },
+        );
+        assert_eq!(
+            fx,
+            vec![Effect::ToSwitch {
+                switch: sw,
+                message: OfMessage::EchoRequest {
+                    xid: 2,
+                    data: vec![1],
+                },
+            }]
+        );
+        // A flow-mod is still buffered.
+        let fx = e.handle(
+            Duration::from_millis(2),
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(3),
+            },
+        );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn tick_and_double_start_are_harmless() {
+        let mut e = engine(TechniqueConfig::BarrierBaseline);
+        e.start(Duration::ZERO);
+        assert!(e.start(Duration::from_millis(1)).is_empty());
+        assert!(e.handle(Duration::from_millis(2), Input::Tick).is_empty());
+        assert_eq!(e.technique_name(SwitchId::new(0)), "barriers");
+        assert_eq!(e.n_switches(), 1);
+        assert_eq!(format!("{}", SwitchId::new(3)), "sw3");
+    }
+
+    #[test]
+    fn switch_error_resolves_barrier_and_passes_through() {
+        let mut e = engine(TechniqueConfig::StaticTimeout {
+            delay: Duration::from_secs(10),
+        });
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(13),
+            },
+        );
+        e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: OfMessage::BarrierRequest { xid: 50 },
+            },
+        );
+        e.handle(
+            Duration::from_millis(1),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: 50 },
+            },
+        );
+        // The switch reports the flow-mod failed: error passes through and
+        // the held barrier releases without waiting for the (hopeless)
+        // confirmation.
+        let effects = e.handle(
+            Duration::from_millis(2),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::Error {
+                    xid: 13,
+                    body: openflow::messages::ErrorMsg {
+                        err_type: openflow::constants::error_type::FLOW_MOD_FAILED,
+                        code: 0,
+                        data: vec![],
+                    },
+                },
+            },
+        );
+        assert!(effects.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController {
+                message: OfMessage::Error { xid: 13, .. },
+                ..
+            }
+        )));
+        assert!(effects.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController {
+                message: OfMessage::BarrierReply { xid: 50 },
+                ..
+            }
+        )));
+        assert!(!effects
+            .iter()
+            .any(|eff| matches!(eff, Effect::Confirmed { .. })));
+    }
+}

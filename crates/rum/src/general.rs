@@ -11,12 +11,13 @@
 //! the paper prescribes.
 
 use crate::config::{ProbeFieldPlan, SwitchPortMap};
+use crate::engine::SwitchId;
 use crate::probe::{synthesize_general_probe, GeneralProbe, KnownRule, ProbeSynthesisError};
 use crate::technique::{AckTechnique, TechniqueOutput};
 use openflow::messages::{FlowMod, FlowModCommand, PacketOut};
 use openflow::{Action, OfMessage, PacketHeader, Xid};
-use simnet::SimTime;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Timer token for the periodic probing tick.
 const TOKEN_TICK: u64 = 1;
@@ -35,10 +36,10 @@ struct PendingRule {
 /// The general-probing acknowledgment technique for one monitored switch.
 #[derive(Debug)]
 pub struct GeneralProbing {
-    switch_index: usize,
-    probe_interval: SimTime,
+    switch_index: SwitchId,
+    probe_interval: Duration,
     max_outstanding: usize,
-    fallback_delay: SimTime,
+    fallback_delay: Duration,
     plan: ProbeFieldPlan,
     ports: SwitchPortMap,
 
@@ -68,17 +69,17 @@ pub struct GeneralProbing {
 impl GeneralProbing {
     /// Creates the technique.
     pub fn new(
-        switch_index: usize,
-        probe_interval: SimTime,
+        switch_index: SwitchId,
+        probe_interval: Duration,
         max_outstanding: usize,
-        fallback_delay: SimTime,
+        fallback_delay: Duration,
         plan: ProbeFieldPlan,
         ports: SwitchPortMap,
         xid_base: Xid,
     ) -> Self {
         assert!(max_outstanding > 0, "max_outstanding must be at least 1");
         // Each monitored switch gets its own 4096-wide band of probe ids.
-        let probe_id_base = 1 + (switch_index as u16 % 15) * 4096;
+        let probe_id_base = 1 + (switch_index.index() as u16 % 15) * 4096;
         GeneralProbing {
             switch_index,
             probe_interval,
@@ -100,8 +101,8 @@ impl GeneralProbing {
         }
     }
 
-    /// The monitored switch's index.
-    pub fn switch_index(&self) -> usize {
+    /// The monitored switch.
+    pub fn switch_index(&self) -> SwitchId {
         self.switch_index
     }
 
@@ -113,7 +114,12 @@ impl GeneralProbing {
     /// Seeds RUM's model of the switch table with rules known to be installed
     /// before the update starts (e.g. the pre-installed drop-all rule and
     /// RUM's own catch rules).
-    pub fn seed_known_rule(&mut self, match_: openflow::OfMatch, priority: u16, actions: Vec<Action>) {
+    pub fn seed_known_rule(
+        &mut self,
+        match_: openflow::OfMatch,
+        priority: u16,
+        actions: Vec<Action>,
+    ) {
         self.known_rules.push(KnownRule {
             match_,
             priority,
@@ -188,7 +194,12 @@ impl GeneralProbing {
         }
     }
 
-    fn arm_fallback(&mut self, cookie: u64, reason: ProbeSynthesisError, out: &mut Vec<TechniqueOutput>) {
+    fn arm_fallback(
+        &mut self,
+        cookie: u64,
+        reason: ProbeSynthesisError,
+        out: &mut Vec<TechniqueOutput>,
+    ) {
         self.fallback_pending.insert(cookie, reason);
         out.push(TechniqueOutput::SetTimer {
             delay: self.fallback_delay,
@@ -220,7 +231,7 @@ impl AckTechnique for GeneralProbing {
         "general"
     }
 
-    fn start(&mut self, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+    fn start(&mut self, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         self.ensure_ticking(out);
     }
 
@@ -228,7 +239,7 @@ impl AckTechnique for GeneralProbing {
         &mut self,
         cookie: u64,
         fm: &FlowMod,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         self.unconfirmed += 1;
@@ -249,8 +260,8 @@ impl AckTechnique for GeneralProbing {
         };
         // Determine which neighbour will catch the probe: the switch behind
         // the rule's output port.
-        let catch_switch = crate::probe::first_physical_output(&fm.actions)
-            .and_then(|p| self.ports.next_hop(p));
+        let catch_switch =
+            crate::probe::first_physical_output(&fm.actions).and_then(|p| self.ports.next_hop(p));
         let result = match catch_switch {
             Some(next) => synthesize_general_probe(
                 &rule,
@@ -285,7 +296,7 @@ impl AckTechnique for GeneralProbing {
     fn on_probe_packet(
         &mut self,
         header: &PacketHeader,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         // Attribute the probe to a pending rule by probe id (or full header
@@ -307,7 +318,7 @@ impl AckTechnique for GeneralProbing {
         out.push(TechniqueOutput::Confirm(pending.cookie));
     }
 
-    fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+    fn on_timer(&mut self, token: u64, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         if token >= TOKEN_FALLBACK_BASE {
             let cookie = token - TOKEN_FALLBACK_BASE;
             if self.fallback_pending.remove(&cookie).is_some() {
@@ -348,11 +359,10 @@ mod tests {
 
     fn ports() -> SwitchPortMap {
         let mut m = SwitchPortMap {
-            switch_node: None,
             port_to_switch: Default::default(),
-            inject_via: Some((0, 2)),
+            inject_via: Some((SwitchId::new(0), 2)),
         };
-        m.port_to_switch.insert(2, 2);
+        m.port_to_switch.insert(2, SwitchId::new(2));
         m
     }
 
@@ -362,10 +372,10 @@ mod tests {
 
     fn new_technique() -> GeneralProbing {
         let mut t = GeneralProbing::new(
-            1,
-            SimTime::from_millis(10),
+            SwitchId::new(1),
+            Duration::from_millis(10),
             30,
-            SimTime::from_millis(300),
+            Duration::from_millis(300),
             plan(),
             ports(),
             0xB000_0000,
@@ -396,25 +406,28 @@ mod tests {
     fn forwarding_rule_gets_probed_and_confirmed() {
         let mut t = new_technique();
         let mut out = Vec::new();
-        t.on_flow_mod(42, &forwarding_mod(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(42, &forwarding_mod(1), Duration::ZERO, &mut out);
         // A probe is injected immediately via the configured neighbour.
         let probe_msg = out.iter().find_map(|o| match o {
             TechniqueOutput::InjectVia { switch, msg } => Some((*switch, msg.clone())),
             _ => None,
         });
         let (via, msg) = probe_msg.expect("probe injected");
-        assert_eq!(via, 0);
+        assert_eq!(via, SwitchId::new(0));
         let OfMessage::PacketOut { body, .. } = msg else {
             panic!("expected a PacketOut")
         };
         let probe_header = PacketHeader::from_bytes(&body.data).unwrap();
         assert_eq!(probe_header.nw_src, Ipv4Addr::new(10, 0, 0, 1));
-        assert_eq!(probe_header.nw_tos & 0xfc, plan().catch_tos(2) & 0xfc);
+        assert_eq!(
+            probe_header.nw_tos & 0xfc,
+            plan().catch_tos(SwitchId::new(2)) & 0xfc
+        );
         assert_eq!(t.unconfirmed(), 1);
 
         // The probe comes back (as rewritten by the rule — here unchanged).
         let mut out = Vec::new();
-        t.on_probe_packet(&probe_header, SimTime::from_millis(2), &mut out);
+        t.on_probe_packet(&probe_header, Duration::from_millis(2), &mut out);
         assert_eq!(confirms(&out), vec![42]);
         assert_eq!(t.unconfirmed(), 0);
         assert_eq!(t.probes_received, 1);
@@ -424,12 +437,14 @@ mod tests {
     fn unrelated_probe_is_ignored() {
         let mut t = new_technique();
         let mut out = Vec::new();
-        t.on_flow_mod(42, &forwarding_mod(1), SimTime::ZERO, &mut out);
-        let mut foreign = PacketHeader::default();
-        foreign.nw_tos = plan().catch_tos(2);
-        foreign.tp_src = 9999;
+        t.on_flow_mod(42, &forwarding_mod(1), Duration::ZERO, &mut out);
+        let foreign = PacketHeader {
+            nw_tos: plan().catch_tos(SwitchId::new(2)),
+            tp_src: 9999,
+            ..Default::default()
+        };
         let mut out = Vec::new();
-        t.on_probe_packet(&foreign, SimTime::ZERO, &mut out);
+        t.on_probe_packet(&foreign, Duration::ZERO, &mut out);
         assert!(out.is_empty());
         assert_eq!(t.unconfirmed(), 1);
     }
@@ -443,20 +458,20 @@ mod tests {
             vec![],
         );
         let mut out = Vec::new();
-        t.on_flow_mod(7, &drop_rule, SimTime::ZERO, &mut out);
+        t.on_flow_mod(7, &drop_rule, Duration::ZERO, &mut out);
         assert_eq!(t.fallback_pending(), 1);
         let token = out
             .iter()
             .find_map(|o| match o {
                 TechniqueOutput::SetTimer { token, delay } if *token >= TOKEN_FALLBACK_BASE => {
-                    assert_eq!(*delay, SimTime::from_millis(300));
+                    assert_eq!(*delay, Duration::from_millis(300));
                     Some(*token)
                 }
                 _ => None,
             })
             .expect("fallback timer armed");
         let mut out = Vec::new();
-        t.on_timer(token, SimTime::from_millis(300), &mut out);
+        t.on_timer(token, Duration::from_millis(300), &mut out);
         assert_eq!(confirms(&out), vec![7]);
         assert_eq!(t.fallback_confirmations, 1);
         assert_eq!(t.unconfirmed(), 0);
@@ -466,15 +481,15 @@ mod tests {
     fn deletion_falls_back_and_updates_table_model() {
         let mut t = new_technique();
         let mut out = Vec::new();
-        t.on_flow_mod(1, &forwarding_mod(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(1, &forwarding_mod(1), Duration::ZERO, &mut out);
         let del = FlowMod::delete_strict(forwarding_mod(1).match_, 100);
         let mut out = Vec::new();
-        t.on_flow_mod(2, &del, SimTime::ZERO, &mut out);
+        t.on_flow_mod(2, &del, Duration::ZERO, &mut out);
         assert_eq!(t.fallback_pending(), 1);
         // The deleted rule is gone from the model, so re-adding it later
         // synthesises a probe without tripping the "identical fallback" check.
         let mut out = Vec::new();
-        t.on_flow_mod(3, &forwarding_mod(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(3, &forwarding_mod(1), Duration::ZERO, &mut out);
         assert!(out
             .iter()
             .any(|o| matches!(o, TechniqueOutput::InjectVia { .. })));
@@ -483,10 +498,10 @@ mod tests {
     #[test]
     fn tick_reprobes_oldest_rules_up_to_cap() {
         let mut t = GeneralProbing::new(
-            1,
-            SimTime::from_millis(10),
+            SwitchId::new(1),
+            Duration::from_millis(10),
             2, // cap at 2 outstanding probes per round
-            SimTime::from_millis(300),
+            Duration::from_millis(300),
             plan(),
             ports(),
             0xB000_0000,
@@ -494,11 +509,11 @@ mod tests {
         t.seed_known_rule(OfMatch::wildcard_all(), 0, vec![]);
         let mut out = Vec::new();
         for i in 0..5u8 {
-            t.on_flow_mod(u64::from(i), &forwarding_mod(i), SimTime::ZERO, &mut out);
+            t.on_flow_mod(u64::from(i), &forwarding_mod(i), Duration::ZERO, &mut out);
         }
         let injected_before = t.probes_injected;
         let mut out = Vec::new();
-        t.on_timer(TOKEN_TICK, SimTime::from_millis(10), &mut out);
+        t.on_timer(TOKEN_TICK, Duration::from_millis(10), &mut out);
         let injections = out
             .iter()
             .filter(|o| matches!(o, TechniqueOutput::InjectVia { .. }))
@@ -517,7 +532,7 @@ mod tests {
             vec![Action::output(7)],
         );
         let mut out = Vec::new();
-        t.on_flow_mod(9, &fm, SimTime::ZERO, &mut out);
+        t.on_flow_mod(9, &fm, Duration::ZERO, &mut out);
         assert_eq!(t.fallback_pending(), 1);
     }
 
@@ -530,7 +545,11 @@ mod tests {
             vec![Action::output(2)],
         );
         let mut out = Vec::new();
-        t.on_flow_mod(4, &forwarding_mod(4), SimTime::ZERO, &mut out);
-        assert_eq!(t.fallback_pending(), 1, "indistinguishable rules cannot be probed");
+        t.on_flow_mod(4, &forwarding_mod(4), Duration::ZERO, &mut out);
+        assert_eq!(
+            t.fallback_pending(),
+            1,
+            "indistinguishable rules cannot be probed"
+        );
     }
 }

@@ -8,6 +8,22 @@
 //! per-rule acknowledgments (an error message with a reserved code, as in the
 //! paper's prototype).
 //!
+//! # Architecture: one sans-IO core, many drivers
+//!
+//! All message-level logic lives in the [`engine::RumEngine`], a pure state
+//! machine with no I/O: drivers feed it typed [`engine::Input`]s and execute
+//! the typed [`engine::Effect`]s it returns.  Deployments are thin drivers:
+//!
+//! * [`proxy::RumProxy`] / [`proxy::deploy`] — nodes for the discrete-event
+//!   simulator (all experiments run this way).
+//! * the `rum-tcp` crate — a real TCP proxy chain on std sockets, mirroring
+//!   the paper's POX prototype, driving the *same* engine.
+//!
+//! Engines are configured through the fluent [`RumBuilder`]; switches are
+//! identified by the deployment-agnostic [`SwitchId`] newtype.
+//!
+//! # Techniques
+//!
 //! The acknowledgment techniques of Section 3 are all implemented:
 //!
 //! | Technique | Module | Paper section |
@@ -18,27 +34,27 @@
 //! | Sequential probing         | [`sequential::SequentialProbing`]| §3.2.1 |
 //! | General probing            | [`general::GeneralProbing`]      | §3.2.2 |
 //!
-//! plus the reliable-barrier layer of Section 2 ([`proxy`]), probe-packet
-//! synthesis with overlap analysis ([`probe`]), and the Welsh–Powell vertex
-//! colouring used to assign per-switch probe values ([`coloring`]).
+//! plus the reliable-barrier layer of Section 2 (inside the engine),
+//! probe-packet synthesis with overlap analysis ([`probe`]), and the
+//! Welsh–Powell vertex colouring used to assign per-switch probe values
+//! ([`coloring`]).
 //!
-//! Deployment forms:
-//! * [`proxy::RumProxy`] — a per-switch proxy node for the discrete-event
-//!   simulator (all experiments run this way).
-//! * the `rum-tcp` crate — a real TCP proxy built on the same message-level
-//!   logic, mirroring the paper's POX prototype.
+//! The [`technique::AckTechnique`] trait is the internal extension point for
+//! new techniques; deployments never interact with it directly — they only
+//! see the engine's input/effect interface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coloring;
 pub mod config;
+pub mod engine;
 pub mod general;
 pub mod probe;
 pub mod proxy;
 pub mod sequential;
 pub mod technique;
 
-pub use config::{ProbeFieldPlan, RumConfig, SwitchPortMap, TechniqueConfig};
-pub use proxy::{RumLayer, RumProxy};
-pub use technique::{AckTechnique, TechniqueOutput};
+pub use config::{ProbeFieldPlan, RumBuilder, RumConfig, SwitchPortMap, TechniqueConfig};
+pub use engine::{Effect, Input, ProxyStats, RumEngine, SwitchId, TimerToken, PROXY_XID_BASE};
+pub use proxy::{deploy, RumHandle, RumProxy};

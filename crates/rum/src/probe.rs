@@ -264,6 +264,7 @@ pub fn synthesize_general_probe(
 mod tests {
     use super::*;
     use crate::config::{ProbeFieldPlan, PREPROBE_TOS};
+    use crate::engine::SwitchId;
 
     fn known(match_: OfMatch, priority: u16, actions: Vec<Action>) -> KnownRule {
         KnownRule {
@@ -289,10 +290,12 @@ mod tests {
     #[test]
     fn catch_rule_matches_only_its_tos() {
         let plan = ProbeFieldPlan::unique_per_switch(2);
-        let rule = catch_rule(plan.catch_tos(0), 1);
+        let rule = catch_rule(plan.catch_tos(SwitchId::new(0)), 1);
         assert_eq!(rule.priority, CATCH_RULE_PRIORITY);
-        let mut pkt = PacketHeader::default();
-        pkt.nw_tos = plan.catch_tos(0);
+        let mut pkt = PacketHeader {
+            nw_tos: plan.catch_tos(SwitchId::new(0)),
+            ..Default::default()
+        };
         assert!(rule.match_.matches(&pkt, 1));
         pkt.nw_tos = 0;
         assert!(!rule.match_.matches(&pkt, 1));
@@ -320,13 +323,13 @@ mod tests {
     #[test]
     fn general_probe_for_simple_forwarding_rule() {
         let plan = ProbeFieldPlan::unique_per_switch(3);
-        let catch = plan.catch_tos(2);
+        let catch = plan.catch_tos(SwitchId::new(2));
         let rule = known(
             OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 5), Ipv4Addr::new(10, 1, 0, 5)),
             100,
             vec![Action::output(2)],
         );
-        let mut table = base_table(plan.catch_tos(1));
+        let mut table = base_table(plan.catch_tos(SwitchId::new(1)));
         table.push(rule.clone());
         let probe = synthesize_general_probe(&rule, &table, catch, 777).unwrap();
         assert_eq!(probe.out_port, 2);
@@ -342,7 +345,8 @@ mod tests {
     #[test]
     fn general_probe_rejects_drop_rules() {
         let rule = known(OfMatch::wildcard_all(), 10, vec![]);
-        let err = synthesize_general_probe(&rule, &[rule.clone()], 0xf8, 1).unwrap_err();
+        let err =
+            synthesize_general_probe(&rule, std::slice::from_ref(&rule), 0xf8, 1).unwrap_err();
         assert_eq!(err, ProbeSynthesisError::NoForwardingOutput);
         assert!(err.to_string().contains("no forwarding output"));
     }
@@ -355,7 +359,7 @@ mod tests {
             vec![Action::output(1)],
         );
         assert_eq!(
-            synthesize_general_probe(&rule, &[rule.clone()], 0xf8, 1),
+            synthesize_general_probe(&rule, std::slice::from_ref(&rule), 0xf8, 1),
             Err(ProbeSynthesisError::MatchesOnProbeField)
         );
     }
@@ -368,7 +372,7 @@ mod tests {
             vec![Action::SetNwTos(0x04), Action::output(1)],
         );
         assert_eq!(
-            synthesize_general_probe(&rule, &[rule.clone()], 0xf8, 1),
+            synthesize_general_probe(&rule, std::slice::from_ref(&rule), 0xf8, 1),
             Err(ProbeSynthesisError::RewritesProbeField)
         );
     }
@@ -390,7 +394,7 @@ mod tests {
         );
         let table = vec![rule.clone(), lower];
         assert_eq!(
-            synthesize_general_probe(&rule, &table, plan.catch_tos(1), 1),
+            synthesize_general_probe(&rule, &table, plan.catch_tos(SwitchId::new(1)), 1),
             Err(ProbeSynthesisError::IndistinguishableFromFallback)
         );
     }
@@ -411,7 +415,8 @@ mod tests {
             vec![Action::output(3)],
         );
         let table = vec![rule.clone(), lower];
-        let probe = synthesize_general_probe(&rule, &table, plan.catch_tos(1), 1).unwrap();
+        let probe =
+            synthesize_general_probe(&rule, &table, plan.catch_tos(SwitchId::new(1)), 1).unwrap();
         assert_eq!(probe.out_port, 2);
     }
 
@@ -431,8 +436,13 @@ mod tests {
             200,
             vec![Action::output(9)],
         );
-        let table = vec![rule.clone(), hijacker, known(OfMatch::wildcard_all(), 0, vec![])];
-        let probe = synthesize_general_probe(&rule, &table, plan.catch_tos(1), 5).unwrap();
+        let table = vec![
+            rule.clone(),
+            hijacker,
+            known(OfMatch::wildcard_all(), 0, vec![]),
+        ];
+        let probe =
+            synthesize_general_probe(&rule, &table, plan.catch_tos(SwitchId::new(1)), 5).unwrap();
         // The chosen probe must not be the hijacked source address.
         assert_ne!(probe.packet.nw_src, PROBE_SRC_IP);
         assert!(rule.match_.matches(&probe.packet, 0));
@@ -454,7 +464,7 @@ mod tests {
         );
         let table = vec![rule.clone(), cover];
         assert_eq!(
-            synthesize_general_probe(&rule, &table, plan.catch_tos(1), 5),
+            synthesize_general_probe(&rule, &table, plan.catch_tos(SwitchId::new(1)), 5),
             Err(ProbeSynthesisError::CoveredByHigherPriority)
         );
     }

@@ -1,460 +1,134 @@
-//! The RUM proxy layer: message interception, reliable barriers, and the glue
-//! between acknowledgment techniques and the rest of the system.
+//! The simulator driver for the sans-IO [`RumEngine`]: per-switch proxy
+//! nodes, topology-derived port maps, and one-call deployment.
 //!
 //! The paper's prototype is a chain of TCP proxies: every switch connects to
 //! RUM believing it is the controller, and RUM connects onward to the real
 //! controller impersonating the switches.  In the simulator the same
 //! structure appears as one [`RumProxy`] node per monitored switch, all
-//! sharing a single [`RumLayer`] state (RUM is one logical process), exactly
-//! like the prototype's proxy chain shares one POX process.
+//! sharing a single [`RumEngine`] (RUM is one logical process), exactly like
+//! the prototype's proxy chain shares one POX process.
+//!
+//! All message-level logic lives in the engine; this module only translates
+//! simulator events into [`Input`]s and executes the returned [`Effect`]s
+//! through the simulator [`Context`].  The `rum-tcp` crate does the same over
+//! real sockets.
 
-use crate::config::{RumConfig, SwitchPortMap, TechniqueConfig};
-use crate::general::GeneralProbing;
-use crate::probe::catch_rule;
-use crate::sequential::SequentialProbing;
-use crate::technique::{AckTechnique, TechniqueOutput};
-use crate::technique::{AdaptiveDelay, BarrierBaseline, StaticTimeout};
-use openflow::{OfMessage, PacketHeader, Xid};
-use simnet::{Context, EventPayload, Node, NodeId, Topology};
+use crate::config::{RumBuilder, SwitchPortMap};
+use crate::engine::{Effect, Input, ProxyStats, RumEngine, SwitchId, TimerToken};
+use simnet::{Context, EventPayload, Node, NodeId, SimTime, Topology};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 
-/// Transaction ids at or above this value belong to RUM, not the controller.
-pub const PROXY_XID_BASE: Xid = 0x8000_0000;
-
-/// A controller barrier whose reply is being withheld.
-#[derive(Debug)]
-struct PendingBarrier {
-    xid: Xid,
-    required: HashSet<u64>,
-    switch_replied: bool,
-}
-
-/// Per-monitored-switch proxy state.
-struct SwitchState {
-    technique: Box<dyn AckTechnique>,
-    unconfirmed: HashSet<u64>,
-    confirmed: HashSet<u64>,
-    failed: HashSet<u64>,
-    pending_barriers: Vec<PendingBarrier>,
-    buffered: VecDeque<OfMessage>,
-    // Statistics.
-    controller_flow_mods: u64,
-    controller_barriers: u64,
-    proxy_flow_mods: u64,
-    probes_injected: u64,
-    probes_consumed: u64,
-    acks_sent: u64,
-    barrier_replies_released: u64,
-}
-
-impl SwitchState {
-    fn new(technique: Box<dyn AckTechnique>) -> Self {
-        SwitchState {
-            technique,
-            unconfirmed: HashSet::new(),
-            confirmed: HashSet::new(),
-            failed: HashSet::new(),
-            pending_barriers: Vec::new(),
-            buffered: VecDeque::new(),
-            controller_flow_mods: 0,
-            controller_barriers: 0,
-            proxy_flow_mods: 0,
-            probes_injected: 0,
-            probes_consumed: 0,
-            acks_sent: 0,
-            barrier_replies_released: 0,
-        }
-    }
-}
-
-/// Per-switch statistics exposed to experiments.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ProxyStats {
-    /// Flow modifications received from the controller and forwarded.
-    pub controller_flow_mods: u64,
-    /// Barrier requests received from the controller.
-    pub controller_barriers: u64,
-    /// Flow modifications RUM originated itself (probe rules).
-    pub proxy_flow_mods: u64,
-    /// Probe packets injected (PacketOut messages).
-    pub probes_injected: u64,
-    /// Probe packets captured and consumed.
-    pub probes_consumed: u64,
-    /// Fine-grained acknowledgments sent to the controller.
-    pub acks_sent: u64,
-    /// Barrier replies released to the controller.
-    pub barrier_replies_released: u64,
-    /// Modifications currently awaiting confirmation.
-    pub unconfirmed: u64,
-}
-
-/// The shared state of one RUM deployment.
-pub struct RumLayer {
-    config: RumConfig,
+/// The shared state of one simulated RUM deployment: the engine plus the
+/// routing the driver needs to execute effects.
+struct SimRum {
+    engine: RumEngine,
     controller: NodeId,
     switch_nodes: Vec<NodeId>,
-    switches: Vec<SwitchState>,
-    next_xid: Xid,
+    control_latency: SimTime,
 }
 
-impl RumLayer {
-    /// Creates the layer for the given controller and monitored switches.
-    pub fn new(config: RumConfig, controller: NodeId, switch_nodes: Vec<NodeId>) -> Self {
-        assert_eq!(
-            config.n_switches(),
-            switch_nodes.len(),
-            "config must describe exactly the monitored switches"
-        );
-        let switches = (0..switch_nodes.len())
-            .map(|i| SwitchState::new(build_technique(&config, i)))
-            .collect();
-        RumLayer {
-            config,
-            controller,
-            switch_nodes,
-            switches,
-            next_xid: PROXY_XID_BASE + 0x0100_0000,
-        }
+impl SimRum {
+    /// Feeds one input and executes the effects through `ctx`.
+    fn drive(&mut self, input: Input, ctx: &mut Context<'_>) {
+        let effects = self.engine.handle(ctx.now().into(), input);
+        self.execute(effects, ctx);
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &RumConfig {
-        &self.config
-    }
-
-    /// Statistics for the `i`-th monitored switch.
-    pub fn stats(&self, i: usize) -> ProxyStats {
-        let s = &self.switches[i];
-        ProxyStats {
-            controller_flow_mods: s.controller_flow_mods,
-            controller_barriers: s.controller_barriers,
-            proxy_flow_mods: s.proxy_flow_mods,
-            probes_injected: s.probes_injected,
-            probes_consumed: s.probes_consumed,
-            acks_sent: s.acks_sent,
-            barrier_replies_released: s.barrier_replies_released,
-            unconfirmed: s.unconfirmed.len() as u64,
-        }
-    }
-
-    /// The technique name running for switch `i`.
-    pub fn technique_name(&self, i: usize) -> &'static str {
-        self.switches[i].technique.name()
-    }
-
-    fn fresh_xid(&mut self) -> Xid {
-        let x = self.next_xid;
-        self.next_xid = self.next_xid.wrapping_add(1);
-        x
-    }
-
-    fn send_to_switch(&self, i: usize, msg: OfMessage, ctx: &mut Context<'_>) {
-        ctx.send_control(self.switch_nodes[i], msg, self.config.control_latency);
-    }
-
-    fn send_to_controller(&self, msg: OfMessage, ctx: &mut Context<'_>) {
-        ctx.send_control(self.controller, msg, self.config.control_latency);
-    }
-
-    // ------------------------------------------------------------------
-    // Startup
-    // ------------------------------------------------------------------
-
-    /// Called by each per-switch proxy node when the simulation starts.
-    pub fn start_switch(&mut self, i: usize, ctx: &mut Context<'_>) {
-        // Install the probe-catch rule on every switch when any probing
-        // technique is active (general probing needs catch rules on
-        // neighbours of the probed switch, so install everywhere).
-        if self.config.technique.is_probing() {
-            let xid = self.fresh_xid();
-            let fm = catch_rule(self.config.probe_plan.catch_tos(i), u64::from(xid));
-            self.switches[i].proxy_flow_mods += 1;
-            self.send_to_switch(i, OfMessage::FlowMod { xid, body: fm }, ctx);
-        }
-        let mut out = Vec::new();
-        self.switches[i].technique.start(ctx.now(), &mut out);
-        self.apply_outputs(i, out, ctx);
-    }
-
-    // ------------------------------------------------------------------
-    // Controller-side messages
-    // ------------------------------------------------------------------
-
-    /// Handles a message the controller sent on switch `i`'s connection.
-    pub fn on_controller_msg(&mut self, i: usize, msg: OfMessage, ctx: &mut Context<'_>) {
-        if self.config.buffer_across_barriers && !self.switches[i].pending_barriers.is_empty() {
-            // Everything after an unconfirmed barrier is held back so a
-            // reordering switch cannot let later commands overtake it.
-            self.switches[i].buffered.push_back(msg);
-            return;
-        }
-        self.process_controller_msg(i, msg, ctx);
-    }
-
-    fn process_controller_msg(&mut self, i: usize, msg: OfMessage, ctx: &mut Context<'_>) {
-        match msg {
-            OfMessage::FlowMod { xid, ref body } => {
-                let id = u64::from(xid);
-                self.switches[i].controller_flow_mods += 1;
-                self.switches[i].unconfirmed.insert(id);
-                self.send_to_switch(i, msg.clone(), ctx);
-                let mut out = Vec::new();
-                self.switches[i]
-                    .technique
-                    .on_flow_mod(id, body, ctx.now(), &mut out);
-                self.apply_outputs(i, out, ctx);
-            }
-            OfMessage::BarrierRequest { xid } => {
-                self.switches[i].controller_barriers += 1;
-                if self.config.reliable_barriers {
-                    let required = self.switches[i].unconfirmed.clone();
-                    self.switches[i].pending_barriers.push(PendingBarrier {
-                        xid,
-                        required,
-                        switch_replied: false,
-                    });
-                    // Still forward the barrier so the switch's own ordering
-                    // machinery (such as it is) stays engaged.
-                    self.send_to_switch(i, OfMessage::BarrierRequest { xid }, ctx);
-                    self.try_release_barriers(i, ctx);
-                } else {
-                    self.send_to_switch(i, OfMessage::BarrierRequest { xid }, ctx);
+    fn execute(&mut self, effects: Vec<Effect>, ctx: &mut Context<'_>) {
+        for effect in effects {
+            match effect {
+                Effect::ToController { message, .. } => {
+                    ctx.send_control(self.controller, message, self.control_latency);
                 }
-            }
-            other => {
-                self.send_to_switch(i, other, ctx);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Switch-side messages
-    // ------------------------------------------------------------------
-
-    /// Handles a message switch `i` sent towards the controller.
-    pub fn on_switch_msg(&mut self, i: usize, msg: OfMessage, ctx: &mut Context<'_>) {
-        match msg {
-            OfMessage::BarrierReply { xid } => {
-                if xid >= PROXY_XID_BASE {
-                    let mut out = Vec::new();
-                    self.switches[i]
-                        .technique
-                        .on_switch_barrier_reply(xid, ctx.now(), &mut out);
-                    self.apply_outputs(i, out, ctx);
-                } else if self.config.reliable_barriers {
-                    if let Some(b) = self.switches[i]
-                        .pending_barriers
-                        .iter_mut()
-                        .find(|b| b.xid == xid)
-                    {
-                        b.switch_replied = true;
-                    }
-                    self.try_release_barriers(i, ctx);
-                } else {
-                    self.send_to_controller(OfMessage::BarrierReply { xid }, ctx);
+                Effect::ToSwitch { switch, message } | Effect::InjectVia { switch, message } => {
+                    ctx.send_control(
+                        self.switch_nodes[switch.index()],
+                        message,
+                        self.control_latency,
+                    );
                 }
-            }
-            OfMessage::PacketIn { ref body, .. } => {
-                match PacketHeader::from_bytes(&body.data) {
-                    Ok(header) if self.config.probe_plan.is_probe_tos(header.nw_tos) => {
-                        self.switches[i].probes_consumed += 1;
-                        // Probes may belong to any monitored switch's
-                        // technique; each technique ignores probes that are
-                        // not its own.
-                        for s in 0..self.switches.len() {
-                            let mut out = Vec::new();
-                            self.switches[s]
-                                .technique
-                                .on_probe_packet(&header, ctx.now(), &mut out);
-                            self.apply_outputs(s, out, ctx);
-                        }
-                    }
-                    _ => self.send_to_controller(msg, ctx),
+                Effect::ArmTimer { delay, token } => {
+                    ctx.set_timer(delay.into(), token.raw());
                 }
-            }
-            OfMessage::Error { xid, .. } => {
-                if xid >= PROXY_XID_BASE {
-                    // One of RUM's own rules failed; nothing sensible to tell
-                    // the controller.  The technique will fall back on
-                    // timeouts (probes simply never return).
-                } else {
-                    // A controller modification failed: the rule will never
-                    // appear in the data plane, so treat it as resolved for
-                    // barrier purposes and pass the error through.
-                    let id = u64::from(xid);
-                    if self.switches[i].unconfirmed.remove(&id) {
-                        self.switches[i].failed.insert(id);
-                    }
-                    self.send_to_controller(msg, ctx);
-                    self.try_release_barriers(i, ctx);
-                }
-            }
-            other => self.send_to_controller(other, ctx),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Timers
-    // ------------------------------------------------------------------
-
-    /// Handles a timer fired on any proxy node.  The token encodes which
-    /// switch's technique armed it.
-    pub fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
-        let switch = (token >> 48) as usize;
-        let tech_token = token & 0x0000_FFFF_FFFF_FFFF;
-        if switch >= self.switches.len() {
-            return;
-        }
-        let mut out = Vec::new();
-        self.switches[switch]
-            .technique
-            .on_timer(tech_token, ctx.now(), &mut out);
-        self.apply_outputs(switch, out, ctx);
-    }
-
-    // ------------------------------------------------------------------
-    // Technique output handling
-    // ------------------------------------------------------------------
-
-    fn apply_outputs(&mut self, i: usize, outputs: Vec<TechniqueOutput>, ctx: &mut Context<'_>) {
-        for output in outputs {
-            match output {
-                TechniqueOutput::Confirm(cookie) => self.confirm(i, cookie, ctx),
-                TechniqueOutput::ToSwitch(msg) => {
-                    if matches!(msg, OfMessage::FlowMod { .. }) {
-                        self.switches[i].proxy_flow_mods += 1;
-                    }
-                    self.send_to_switch(i, msg, ctx);
-                }
-                TechniqueOutput::InjectVia { switch, msg } => {
-                    self.switches[i].probes_injected += 1;
-                    self.send_to_switch(switch, msg, ctx);
-                }
-                TechniqueOutput::SetTimer { delay, token } => {
-                    let encoded = ((i as u64) << 48) | token;
-                    ctx.set_timer(delay, encoded);
-                }
-            }
-        }
-    }
-
-    fn confirm(&mut self, i: usize, cookie: u64, ctx: &mut Context<'_>) {
-        let state = &mut self.switches[i];
-        if !state.unconfirmed.remove(&cookie) {
-            return;
-        }
-        state.confirmed.insert(cookie);
-        if self.config.fine_grained_acks {
-            state.acks_sent += 1;
-            let ack = OfMessage::rum_ack(cookie as Xid);
-            self.send_to_controller(ack, ctx);
-        }
-        self.try_release_barriers(i, ctx);
-    }
-
-    fn try_release_barriers(&mut self, i: usize, ctx: &mut Context<'_>) {
-        loop {
-            let state = &mut self.switches[i];
-            let Some(front) = state.pending_barriers.first() else {
-                break;
-            };
-            let resolved = |id: &u64| state.confirmed.contains(id) || state.failed.contains(id);
-            let ready = front.switch_replied && front.required.iter().all(resolved);
-            if !ready {
-                break;
-            }
-            let barrier = state.pending_barriers.remove(0);
-            state.barrier_replies_released += 1;
-            self.send_to_controller(OfMessage::BarrierReply { xid: barrier.xid }, ctx);
-            // Release buffered commands until the next barrier becomes
-            // pending (or the buffer drains).
-            if self.config.buffer_across_barriers {
-                while self.switches[i].pending_barriers.is_empty() {
-                    let Some(msg) = self.switches[i].buffered.pop_front() else {
-                        break;
-                    };
-                    self.process_controller_msg(i, msg, ctx);
+                Effect::Confirmed { .. } => {
+                    // Observational; the controller learns through the ack /
+                    // barrier messages emitted alongside.
                 }
             }
         }
     }
 }
 
-fn build_technique(config: &RumConfig, i: usize) -> Box<dyn AckTechnique> {
-    let xid_base = PROXY_XID_BASE + (i as u32 + 1) * 0x0001_0000;
-    match &config.technique {
-        TechniqueConfig::BarrierBaseline => Box::new(BarrierBaseline::new(xid_base)),
-        TechniqueConfig::StaticTimeout { delay } => Box::new(StaticTimeout::new(*delay, xid_base)),
-        TechniqueConfig::AdaptiveDelay {
-            assumed_rate,
-            assumed_sync_lag,
-        } => Box::new(AdaptiveDelay::new(*assumed_rate, *assumed_sync_lag)),
-        TechniqueConfig::SequentialProbing {
-            batch_size,
-            probe_interval,
-        } => Box::new(SequentialProbing::new(
-            i,
-            *batch_size,
-            *probe_interval,
-            config.probe_plan.clone(),
-            config.port_maps[i].clone(),
-            xid_base,
-        )),
-        TechniqueConfig::GeneralProbing {
-            probe_interval,
-            max_outstanding,
-            fallback_delay,
-        } => {
-            let mut t = GeneralProbing::new(
-                i,
-                *probe_interval,
-                *max_outstanding,
-                *fallback_delay,
-                config.probe_plan.clone(),
-                config.port_maps[i].clone(),
-                xid_base,
-            );
-            // Every experiment pre-installs a low-priority drop-all rule;
-            // seed the table model so probe synthesis sees it.
-            t.seed_known_rule(openflow::OfMatch::wildcard_all(), 0, vec![]);
-            Box::new(t)
+/// A handle to a deployed RUM layer, for post-run inspection.
+#[derive(Clone)]
+pub struct RumHandle {
+    shared: Rc<RefCell<SimRum>>,
+}
+
+impl RumHandle {
+    /// Statistics for one monitored switch.
+    pub fn stats(&self, switch: SwitchId) -> ProxyStats {
+        self.shared.borrow().engine.stats(switch)
+    }
+
+    /// The technique name running for `switch`.
+    pub fn technique_name(&self, switch: SwitchId) -> &'static str {
+        self.shared.borrow().engine.technique_name(switch)
+    }
+
+    /// Number of monitored switches.
+    pub fn n_switches(&self) -> usize {
+        self.shared.borrow().engine.n_switches()
+    }
+
+    /// Every confirmation the engine emitted, in order.
+    pub fn confirmed_order(&self) -> Vec<(SwitchId, u64)> {
+        self.shared.borrow().engine.confirmed_order().to_vec()
+    }
+
+    /// Total statistics summed over all monitored switches.
+    pub fn total_stats(&self) -> ProxyStats {
+        let shared = self.shared.borrow();
+        let mut total = ProxyStats::default();
+        for switch in shared.engine.switch_ids() {
+            let s = shared.engine.stats(switch);
+            total.controller_flow_mods += s.controller_flow_mods;
+            total.controller_barriers += s.controller_barriers;
+            total.proxy_flow_mods += s.proxy_flow_mods;
+            total.probes_injected += s.probes_injected;
+            total.probes_consumed += s.probes_consumed;
+            total.acks_sent += s.acks_sent;
+            total.barrier_replies_released += s.barrier_replies_released;
+            total.unconfirmed += s.unconfirmed;
+            total.rejected_xids += s.rejected_xids;
         }
+        total
     }
 }
 
 /// A per-switch proxy node: the switch's OpenFlow peer on one side, one of
-/// the controller's "switches" on the other.
+/// the controller's "switches" on the other.  A thin driver — every decision
+/// is made by the shared [`RumEngine`].
 pub struct RumProxy {
-    shared: Rc<RefCell<RumLayer>>,
-    switch_index: usize,
+    shared: Rc<RefCell<SimRum>>,
+    switch: SwitchId,
     controller: NodeId,
-    switch_node: NodeId,
     label: String,
 }
 
 impl RumProxy {
-    /// Creates a proxy front-end for switch `switch_index`.
-    pub fn new(
-        shared: Rc<RefCell<RumLayer>>,
-        switch_index: usize,
-        controller: NodeId,
-        switch_node: NodeId,
-    ) -> Self {
-        RumProxy {
-            shared,
-            switch_index,
-            controller,
-            switch_node,
-            label: format!("rum-proxy-{switch_index}"),
+    /// The RUM deployment handle (for inspection after a run).
+    pub fn handle(&self) -> RumHandle {
+        RumHandle {
+            shared: Rc::clone(&self.shared),
         }
     }
 
-    /// The shared RUM layer (for inspection after a run).
-    pub fn layer(&self) -> Rc<RefCell<RumLayer>> {
-        Rc::clone(&self.shared)
+    /// The switch identity this proxy front-ends.
+    pub fn switch(&self) -> SwitchId {
+        self.switch
     }
 }
 
@@ -464,31 +138,41 @@ impl Node for RumProxy {
     }
 
     fn start(&mut self, ctx: &mut Context<'_>) {
-        self.shared.borrow_mut().start_switch(self.switch_index, ctx);
+        // The engine starts exactly once; whichever proxy node starts first
+        // kicks it off and executes the start-up effects (catch rules,
+        // initial technique timers) for every switch.
+        let mut shared = self.shared.borrow_mut();
+        let effects = shared.engine.start(ctx.now().into());
+        shared.execute(effects, ctx);
     }
 
     fn handle(&mut self, event: EventPayload, ctx: &mut Context<'_>) {
+        let mut shared = self.shared.borrow_mut();
         match event {
             EventPayload::Control { from, message } => {
-                if from == self.controller {
-                    self.shared
-                        .borrow_mut()
-                        .on_controller_msg(self.switch_index, message, ctx);
-                } else if from == self.switch_node {
-                    self.shared
-                        .borrow_mut()
-                        .on_switch_msg(self.switch_index, message, ctx);
+                let input = if from == self.controller {
+                    Input::FromController {
+                        switch: self.switch,
+                        message,
+                    }
                 } else {
-                    // A message from an unrelated node (e.g. a switch we only
-                    // inject probes through): treat it as switch-side traffic
-                    // so probe PacketIns are still captured.
-                    self.shared
-                        .borrow_mut()
-                        .on_switch_msg(self.switch_index, message, ctx);
-                }
+                    // From our switch — or from an unrelated node (e.g. a
+                    // switch we only inject probes through): treat it as
+                    // switch-side traffic so probe PacketIns are captured.
+                    Input::FromSwitch {
+                        switch: self.switch,
+                        message,
+                    }
+                };
+                shared.drive(input, ctx);
             }
             EventPayload::Timer { token } => {
-                self.shared.borrow_mut().on_timer(token, ctx);
+                shared.drive(
+                    Input::TimerFired {
+                        token: TimerToken::from_raw(token),
+                    },
+                    ctx,
+                );
             }
             EventPayload::Packet { .. } => {
                 // The proxy sits on the control path only.
@@ -508,14 +192,11 @@ impl Node for RumProxy {
 /// local port leads to which other monitored switch, and through which
 /// neighbour probes can be injected.
 pub fn derive_port_maps(topology: &Topology, switches: &[NodeId]) -> Vec<SwitchPortMap> {
-    let index_of = |node: NodeId| switches.iter().position(|&s| s == node);
+    let index_of = |node: NodeId| switches.iter().position(|&s| s == node).map(SwitchId::new);
     switches
         .iter()
         .map(|&sw| {
-            let mut map = SwitchPortMap {
-                switch_node: Some(sw),
-                ..Default::default()
-            };
+            let mut map = SwitchPortMap::default();
             for (port, peer) in topology.neighbors(sw) {
                 if let Some(peer_idx) = index_of(peer) {
                     map.port_to_switch.insert(port, peer_idx);
@@ -534,53 +215,74 @@ pub fn derive_port_maps(topology: &Topology, switches: &[NodeId]) -> Vec<SwitchP
 
 /// Deploys a RUM layer into a simulation: creates one proxy node per switch
 /// and returns their node ids (index-aligned with `switches`) plus a handle
-/// to the shared layer for post-run inspection.
+/// for post-run inspection.
 ///
-/// After calling this, point the controller's connections at the returned
-/// proxy ids and each switch's controller connection at its proxy.
+/// Port maps the builder left unspecified are derived from the simulator
+/// topology.  After calling this, point the controller's connections at the
+/// returned proxy ids and each switch's controller connection at its proxy.
 pub fn deploy(
     sim: &mut simnet::Simulator,
-    mut config: RumConfig,
+    builder: RumBuilder,
     controller: NodeId,
     switches: &[NodeId],
-) -> (Vec<NodeId>, Rc<RefCell<RumLayer>>) {
+) -> (Vec<NodeId>, RumHandle) {
+    let mut config = builder.build_config();
+    assert_eq!(
+        config.n_switches(),
+        switches.len(),
+        "the builder must be sized for exactly the monitored switches"
+    );
     // Fill in any port maps the caller left empty.
     let derived = derive_port_maps(sim.topology(), switches);
     for (slot, derived_map) in config.port_maps.iter_mut().zip(derived) {
-        if slot.switch_node.is_none() {
+        if slot.is_unspecified() {
             *slot = derived_map;
         }
     }
-    let layer = Rc::new(RefCell::new(RumLayer::new(
-        config,
+    let control_latency: SimTime = config.control_latency.into();
+    let shared = Rc::new(RefCell::new(SimRum {
+        engine: RumEngine::new(config),
         controller,
-        switches.to_vec(),
-    )));
+        switch_nodes: switches.to_vec(),
+        control_latency,
+    }));
+    let handle = RumHandle {
+        shared: Rc::clone(&shared),
+    };
     let proxies = switches
         .iter()
         .enumerate()
-        .map(|(i, &sw)| sim.add_node(RumProxy::new(Rc::clone(&layer), i, controller, sw)))
+        .map(|(i, _)| {
+            sim.add_node(RumProxy {
+                shared: Rc::clone(&shared),
+                switch: SwitchId::new(i),
+                controller,
+                label: format!("rum-proxy-{i}"),
+            })
+        })
         .collect();
-    (proxies, layer)
+    (proxies, handle)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use controller::{AckMode, Controller};
+    use crate::config::TechniqueConfig;
     use controller::scenarios::BulkUpdateScenario;
+    use controller::{AckMode, Controller};
     use ofswitch::{OpenFlowSwitch, SwitchModel};
-    use simnet::{SimTime, Simulator};
+    use simnet::Simulator;
+    use std::time::Duration;
 
     /// Runs the bulk-update scenario through RUM with the given technique and
-    /// returns (simulator, controller id, rum layer).
+    /// returns (simulator, controller id, rum handle).
     fn run_bulk(
         technique: TechniqueConfig,
         n_rules: usize,
         window: usize,
         model: SwitchModel,
         until: SimTime,
-    ) -> (Simulator, NodeId, Rc<RefCell<RumLayer>>) {
+    ) -> (Simulator, NodeId, RumHandle) {
         let mut sim = Simulator::new(11);
         let scenario = BulkUpdateScenario {
             n_rules,
@@ -602,8 +304,8 @@ mod tests {
         // via A and caught at C.  The controller only talks to B (plan
         // target 0 = B), so its single connection points at B's proxy.
         let switches = [net.sw_a, net.sw_b, net.sw_c];
-        let config = RumConfig::new(technique, switches.len());
-        let (proxies, layer) = deploy(&mut sim, config, ctrl_id, &switches);
+        let builder = RumBuilder::new(switches.len()).technique(technique);
+        let (proxies, handle) = deploy(&mut sim, builder, ctrl_id, &switches);
         sim.node_mut::<Controller>(ctrl_id)
             .unwrap()
             .set_connections(vec![proxies[1]]);
@@ -613,7 +315,7 @@ mod tests {
                 .connect_controller(proxies[idx]);
         }
         sim.run_until(until);
-        (sim, ctrl_id, layer)
+        (sim, ctrl_id, handle)
     }
 
     fn assert_never_early(sim: &Simulator, expected: usize) {
@@ -649,7 +351,7 @@ mod tests {
     fn static_timeout_is_never_early_on_buggy_switch() {
         let (sim, ctrl_id, _) = run_bulk(
             TechniqueConfig::StaticTimeout {
-                delay: SimTime::from_millis(300),
+                delay: Duration::from_millis(300),
             },
             30,
             30,
@@ -663,7 +365,7 @@ mod tests {
 
     #[test]
     fn sequential_probing_is_never_early_and_uses_probes() {
-        let (sim, ctrl_id, layer) = run_bulk(
+        let (sim, ctrl_id, handle) = run_bulk(
             TechniqueConfig::default_sequential(),
             40,
             40,
@@ -677,20 +379,18 @@ mod tests {
             ctrl.confirmed_count()
         );
         assert_never_early(&sim, 40);
-        let layer = layer.borrow();
-        let stats = layer.stats(1);
+        let stats = handle.stats(SwitchId::new(1));
         assert!(stats.proxy_flow_mods > 0, "probe rule must be installed");
         assert!(stats.probes_injected > 0);
         // Probes are caught at a neighbouring switch, so the consumption is
         // attributed to whichever proxy received the PacketIn.
-        let consumed: u64 = (0..3).map(|i| layer.stats(i).probes_consumed).sum();
-        assert!(consumed > 0);
+        assert!(handle.total_stats().probes_consumed > 0);
         assert!(stats.acks_sent >= 40);
     }
 
     #[test]
     fn general_probing_is_never_early_even_on_reordering_switch() {
-        let (sim, ctrl_id, layer) = run_bulk(
+        let (sim, ctrl_id, handle) = run_bulk(
             TechniqueConfig::default_general(),
             40,
             40,
@@ -707,11 +407,15 @@ mod tests {
         // Only the controller's own rules have confirmations (probe rules are
         // proxy-internal); none may be negative.
         assert!(delays.iter().all(|d| d.delay_millis() >= -1e-9));
-        let layer = layer.borrow();
-        let stats = layer.stats(1);
+        let stats = handle.stats(SwitchId::new(1));
         assert!(stats.probes_injected > 0);
-        let consumed: u64 = (0..3).map(|i| layer.stats(i).probes_consumed).sum();
-        assert!(consumed > 0);
+        assert!(handle.total_stats().probes_consumed > 0);
+        // Every confirmation in the engine log belongs to switch B.
+        assert!(handle
+            .confirmed_order()
+            .iter()
+            .all(|(sw, _)| *sw == SwitchId::new(1)));
+        assert_eq!(handle.confirmed_order().len(), 40);
     }
 
     #[test]
@@ -764,9 +468,10 @@ mod tests {
         );
         let ctrl_id = sim.add_node(ctrl);
         let switches = [net.sw_a, net.sw_b, net.sw_c];
-        let mut config = RumConfig::new(TechniqueConfig::default_sequential(), switches.len());
-        config.fine_grained_acks = false;
-        let (proxies, _layer) = deploy(&mut sim, config, ctrl_id, &switches);
+        let builder = RumBuilder::new(switches.len())
+            .technique(TechniqueConfig::default_sequential())
+            .fine_grained_acks(false);
+        let (proxies, _handle) = deploy(&mut sim, builder, ctrl_id, &switches);
         sim.node_mut::<Controller>(ctrl_id)
             .unwrap()
             .set_connections(vec![proxies[1]]);
@@ -802,11 +507,11 @@ mod tests {
         let maps = derive_port_maps(sim.topology(), &switches);
         assert_eq!(maps.len(), 3);
         // B (index 1) reaches A through port 1 and C through port 2.
-        assert_eq!(maps[1].next_hop(1), Some(0));
-        assert_eq!(maps[1].next_hop(2), Some(2));
+        assert_eq!(maps[1].next_hop(1), Some(SwitchId::new(0)));
+        assert_eq!(maps[1].next_hop(2), Some(SwitchId::new(2)));
         // B's probes can be injected via A (which reaches B through port 2).
-        assert_eq!(maps[1].inject_via, Some((0, 2)));
+        assert_eq!(maps[1].inject_via, Some((SwitchId::new(0), 2)));
         // A has only one monitored neighbour: B.
-        assert_eq!(maps[0].next_hop(2), Some(1));
+        assert_eq!(maps[0].next_hop(2), Some(SwitchId::new(1)));
     }
 }

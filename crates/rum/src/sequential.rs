@@ -19,12 +19,13 @@
 //!   *hardware* path, not the switch-local software path.
 
 use crate::config::{ProbeFieldPlan, SwitchPortMap};
+use crate::engine::SwitchId;
 use crate::probe::{sequential_probe_packet, sequential_probe_rule};
 use crate::technique::{AckTechnique, TechniqueOutput};
 use openflow::messages::{FlowMod, PacketOut};
 use openflow::{Action, OfMessage, PacketHeader, PortNo, Xid};
-use simnet::SimTime;
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// Timer token used for the periodic probing tick.
 const TOKEN_TICK: u64 = 1;
@@ -42,20 +43,20 @@ struct Batch {
 /// The sequential-probing acknowledgment technique for one monitored switch.
 #[derive(Debug)]
 pub struct SequentialProbing {
-    /// Index of the monitored switch within the RUM deployment.
-    switch_index: usize,
+    /// The monitored switch within the RUM deployment.
+    switch_index: SwitchId,
     /// Real modifications per probe-rule version bump.
     batch_size: usize,
     /// Interval between probe injections while confirmations are pending.
-    probe_interval: SimTime,
+    probe_interval: Duration,
     /// Probe field plan (pre-probe marker + per-switch catch values).
     plan: ProbeFieldPlan,
     /// Topology knowledge for this switch.
     ports: SwitchPortMap,
     /// Port of this switch leading to the neighbour that will catch probes.
     catch_port: PortNo,
-    /// Index of the neighbour switch that catches probes.
-    catch_switch: usize,
+    /// The neighbour switch that catches probes.
+    catch_switch: SwitchId,
 
     /// Modifications not yet covered by a probe-rule version.
     unversioned: Vec<u64>,
@@ -81,9 +82,9 @@ impl SequentialProbing {
     /// switch `catch_switch`, which must hold a probe-catch rule (RUM installs
     /// those at start-up on every switch).
     pub fn new(
-        switch_index: usize,
+        switch_index: SwitchId,
         batch_size: usize,
-        probe_interval: SimTime,
+        probe_interval: Duration,
         plan: ProbeFieldPlan,
         ports: SwitchPortMap,
         xid_base: Xid,
@@ -185,7 +186,7 @@ impl AckTechnique for SequentialProbing {
         "sequential"
     }
 
-    fn start(&mut self, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+    fn start(&mut self, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         // The probe-catch rules on every switch are installed by the RUM
         // layer itself (they are shared across techniques); nothing to do
         // here until the first modification arrives.
@@ -196,7 +197,7 @@ impl AckTechnique for SequentialProbing {
         &mut self,
         cookie: u64,
         _fm: &FlowMod,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         self.unversioned.push(cookie);
@@ -210,7 +211,7 @@ impl AckTechnique for SequentialProbing {
     fn on_probe_packet(
         &mut self,
         header: &PacketHeader,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         // Ownership check: the probe must carry the catch value of the switch
@@ -243,7 +244,7 @@ impl AckTechnique for SequentialProbing {
         }
     }
 
-    fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+    fn on_timer(&mut self, token: u64, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         if token != TOKEN_TICK {
             return;
         }
@@ -281,11 +282,11 @@ fn version_is_at_least(observed: u16, candidate: u16) -> bool {
     }
 }
 
-/// Index of the monitored switch this technique was built for (used by the
-/// proxy for bookkeeping and by tests).
+/// The monitored switch this technique was built for (used by the engine for
+/// bookkeeping and by tests).
 impl SequentialProbing {
-    /// The monitored switch's index.
-    pub fn switch_index(&self) -> usize {
+    /// The monitored switch.
+    pub fn switch_index(&self) -> SwitchId {
         self.switch_index
     }
 
@@ -308,11 +309,11 @@ mod tests {
 
     fn ports() -> SwitchPortMap {
         let mut m = SwitchPortMap {
-            switch_node: None,
             port_to_switch: Default::default(),
-            inject_via: Some((0, 2)),
+            inject_via: Some((SwitchId::new(0), 2)),
         };
-        m.port_to_switch.insert(2, 2); // port 2 leads to monitored switch 2
+        // Port 2 leads to monitored switch 2.
+        m.port_to_switch.insert(2, SwitchId::new(2));
         m
     }
 
@@ -330,9 +331,9 @@ mod tests {
 
     fn new_technique(batch: usize) -> SequentialProbing {
         SequentialProbing::new(
-            1,
+            SwitchId::new(1),
             batch,
-            SimTime::from_millis(10),
+            Duration::from_millis(10),
             plan(),
             ports(),
             0xA000_0000,
@@ -341,7 +342,7 @@ mod tests {
 
     fn probe_header(version: u16) -> PacketHeader {
         let mut h = sequential_probe_packet(plan().preprobe_tos);
-        h.nw_tos = plan().catch_tos(2);
+        h.nw_tos = plan().catch_tos(SwitchId::new(2));
         h.dl_vlan = version;
         h
     }
@@ -350,17 +351,18 @@ mod tests {
     fn batch_completion_triggers_version_bump() {
         let mut t = new_technique(3);
         let mut out = Vec::new();
-        t.start(SimTime::ZERO, &mut out);
+        t.start(Duration::ZERO, &mut out);
         for i in 0..2u64 {
             let mut out = Vec::new();
-            t.on_flow_mod(i, &fm(i as u8), SimTime::ZERO, &mut out);
+            t.on_flow_mod(i, &fm(i as u8), Duration::ZERO, &mut out);
             assert!(
-                !out.iter().any(|o| matches!(o, TechniqueOutput::ToSwitch(_))),
+                !out.iter()
+                    .any(|o| matches!(o, TechniqueOutput::ToSwitch(_))),
                 "no version bump before the batch is full"
             );
         }
         let mut out = Vec::new();
-        t.on_flow_mod(2, &fm(2), SimTime::ZERO, &mut out);
+        t.on_flow_mod(2, &fm(2), Duration::ZERO, &mut out);
         let bumps: Vec<_> = out
             .iter()
             .filter(|o| matches!(o, TechniqueOutput::ToSwitch(OfMessage::FlowMod { .. })))
@@ -375,12 +377,12 @@ mod tests {
     fn probe_return_confirms_whole_batch() {
         let mut t = new_technique(2);
         let mut out = Vec::new();
-        t.on_flow_mod(10, &fm(1), SimTime::ZERO, &mut out);
-        t.on_flow_mod(11, &fm(2), SimTime::ZERO, &mut out);
+        t.on_flow_mod(10, &fm(1), Duration::ZERO, &mut out);
+        t.on_flow_mod(11, &fm(2), Duration::ZERO, &mut out);
         assert_eq!(t.current_version(), 1);
 
         let mut out = Vec::new();
-        t.on_probe_packet(&probe_header(1), SimTime::from_millis(5), &mut out);
+        t.on_probe_packet(&probe_header(1), Duration::from_millis(5), &mut out);
         let confirmed: Vec<u64> = out
             .iter()
             .filter_map(|o| match o {
@@ -397,14 +399,14 @@ mod tests {
     fn later_version_confirms_earlier_batches_too() {
         let mut t = new_technique(1);
         let mut out = Vec::new();
-        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
-        t.on_flow_mod(2, &fm(2), SimTime::ZERO, &mut out);
-        t.on_flow_mod(3, &fm(3), SimTime::ZERO, &mut out);
+        t.on_flow_mod(1, &fm(1), Duration::ZERO, &mut out);
+        t.on_flow_mod(2, &fm(2), Duration::ZERO, &mut out);
+        t.on_flow_mod(3, &fm(3), Duration::ZERO, &mut out);
         assert_eq!(t.outstanding_batches(), 3);
 
         // Only the probe for version 3 comes back (earlier probes lost).
         let mut out = Vec::new();
-        t.on_probe_packet(&probe_header(3), SimTime::from_millis(5), &mut out);
+        t.on_probe_packet(&probe_header(3), Duration::from_millis(5), &mut out);
         let confirmed: Vec<u64> = out
             .iter()
             .filter_map(|o| match o {
@@ -420,16 +422,16 @@ mod tests {
     fn foreign_probes_are_ignored() {
         let mut t = new_technique(1);
         let mut out = Vec::new();
-        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(1, &fm(1), Duration::ZERO, &mut out);
         // Wrong ToS (someone else's catch value).
         let mut h = probe_header(1);
-        h.nw_tos = plan().catch_tos(0);
+        h.nw_tos = plan().catch_tos(SwitchId::new(0));
         let mut out = Vec::new();
-        t.on_probe_packet(&h, SimTime::ZERO, &mut out);
+        t.on_probe_packet(&h, Duration::ZERO, &mut out);
         assert!(out.is_empty());
         // Right ToS but unknown version.
         let mut out = Vec::new();
-        t.on_probe_packet(&probe_header(99), SimTime::ZERO, &mut out);
+        t.on_probe_packet(&probe_header(99), Duration::ZERO, &mut out);
         assert!(out.is_empty());
         assert_eq!(t.unconfirmed(), 1);
     }
@@ -438,17 +440,17 @@ mod tests {
     fn tick_flushes_partial_batch_and_injects_probe() {
         let mut t = new_technique(10);
         let mut out = Vec::new();
-        t.start(SimTime::ZERO, &mut out);
+        t.start(Duration::ZERO, &mut out);
         let mut out = Vec::new();
-        t.on_flow_mod(5, &fm(5), SimTime::ZERO, &mut out);
+        t.on_flow_mod(5, &fm(5), Duration::ZERO, &mut out);
         assert_eq!(t.current_version(), 0, "partial batch not yet versioned");
 
         let mut out = Vec::new();
-        t.on_timer(TOKEN_TICK, SimTime::from_millis(10), &mut out);
+        t.on_timer(TOKEN_TICK, Duration::from_millis(10), &mut out);
         assert_eq!(t.current_version(), 1, "tick flushes the partial batch");
         assert!(
             out.iter()
-                .any(|o| matches!(o, TechniqueOutput::InjectVia { switch: 0, .. })),
+                .any(|o| matches!(o, TechniqueOutput::InjectVia { switch, .. } if *switch == SwitchId::new(0))),
             "a probe is injected via the configured neighbour"
         );
         assert!(
@@ -463,13 +465,14 @@ mod tests {
     fn ticking_stops_when_everything_is_confirmed() {
         let mut t = new_technique(1);
         let mut out = Vec::new();
-        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(1, &fm(1), Duration::ZERO, &mut out);
         let mut out = Vec::new();
-        t.on_probe_packet(&probe_header(1), SimTime::ZERO, &mut out);
+        t.on_probe_packet(&probe_header(1), Duration::ZERO, &mut out);
         let mut out = Vec::new();
-        t.on_timer(TOKEN_TICK, SimTime::from_millis(10), &mut out);
+        t.on_timer(TOKEN_TICK, Duration::from_millis(10), &mut out);
         assert!(
-            !out.iter().any(|o| matches!(o, TechniqueOutput::SetTimer { .. })),
+            !out.iter()
+                .any(|o| matches!(o, TechniqueOutput::SetTimer { .. })),
             "no more timers once everything is confirmed"
         );
     }

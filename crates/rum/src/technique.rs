@@ -7,10 +7,11 @@
 //! emits [`TechniqueOutput`]s: most importantly `Confirm(cookie)`, the claim
 //! that the rule with that cookie is now active in the data plane.
 
+use crate::engine::SwitchId;
 use openflow::messages::FlowMod;
 use openflow::{OfMessage, PacketHeader, Xid};
-use simnet::SimTime;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Something a technique wants the RUM proxy to do.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,8 +24,8 @@ pub enum TechniqueOutput {
     /// Send a proxy-originated message (typically a probe `PacketOut`) on the
     /// connection of another monitored switch.
     InjectVia {
-        /// Index of the switch whose connection carries the message.
-        switch: usize,
+        /// The switch whose connection carries the message.
+        switch: SwitchId,
         /// The message.
         msg: OfMessage,
     },
@@ -32,20 +33,20 @@ pub enum TechniqueOutput {
     /// same token after `delay`.
     SetTimer {
         /// Delay until the timer fires.
-        delay: SimTime,
+        delay: Duration,
         /// Token passed back on expiry.
         token: u64,
     },
 }
 
 /// A data-plane acknowledgment technique for one monitored switch.
-pub trait AckTechnique {
+pub trait AckTechnique: Send {
     /// Short name used in reports ("barriers", "timeout", ...).
     fn name(&self) -> &'static str;
 
     /// Called once when the proxy starts; setup rules (probe-catch, probe
     /// rules) are emitted here.
-    fn start(&mut self, _now: SimTime, _out: &mut Vec<TechniqueOutput>) {}
+    fn start(&mut self, _now: Duration, _out: &mut Vec<TechniqueOutput>) {}
 
     /// The controller sent a flow modification (already forwarded to the
     /// switch by the proxy).
@@ -53,7 +54,7 @@ pub trait AckTechnique {
         &mut self,
         cookie: u64,
         fm: &FlowMod,
-        now: SimTime,
+        now: Duration,
         out: &mut Vec<TechniqueOutput>,
     );
 
@@ -61,7 +62,7 @@ pub trait AckTechnique {
     fn on_switch_barrier_reply(
         &mut self,
         _xid: Xid,
-        _now: SimTime,
+        _now: Duration,
         _out: &mut Vec<TechniqueOutput>,
     ) {
     }
@@ -71,13 +72,13 @@ pub trait AckTechnique {
     fn on_probe_packet(
         &mut self,
         _header: &PacketHeader,
-        _now: SimTime,
+        _now: Duration,
         _out: &mut Vec<TechniqueOutput>,
     ) {
     }
 
     /// A timer armed by this technique fired.
-    fn on_timer(&mut self, _token: u64, _now: SimTime, _out: &mut Vec<TechniqueOutput>) {}
+    fn on_timer(&mut self, _token: u64, _now: Duration, _out: &mut Vec<TechniqueOutput>) {}
 
     /// Number of modifications seen but not yet confirmed.
     fn unconfirmed(&self) -> usize;
@@ -124,7 +125,7 @@ impl AckTechnique for BarrierBaseline {
         &mut self,
         cookie: u64,
         _fm: &FlowMod,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         let xid = self.fresh_xid();
@@ -136,7 +137,7 @@ impl AckTechnique for BarrierBaseline {
     fn on_switch_barrier_reply(
         &mut self,
         xid: Xid,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         if let Some(cookies) = self.covers.remove(&xid) {
@@ -156,7 +157,7 @@ impl AckTechnique for BarrierBaseline {
 /// after the barrier reply before confirming.
 #[derive(Debug)]
 pub struct StaticTimeout {
-    delay: SimTime,
+    delay: Duration,
     next_xid: Xid,
     next_token: u64,
     barrier_covers: HashMap<Xid, Vec<u64>>,
@@ -166,7 +167,7 @@ pub struct StaticTimeout {
 
 impl StaticTimeout {
     /// Creates the technique with the given post-barrier delay.
-    pub fn new(delay: SimTime, xid_base: Xid) -> Self {
+    pub fn new(delay: Duration, xid_base: Xid) -> Self {
         StaticTimeout {
             delay,
             next_xid: xid_base,
@@ -187,7 +188,7 @@ impl AckTechnique for StaticTimeout {
         &mut self,
         cookie: u64,
         _fm: &FlowMod,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         let xid = self.next_xid;
@@ -200,7 +201,7 @@ impl AckTechnique for StaticTimeout {
     fn on_switch_barrier_reply(
         &mut self,
         xid: Xid,
-        _now: SimTime,
+        _now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         if let Some(cookies) = self.barrier_covers.remove(&xid) {
@@ -214,7 +215,7 @@ impl AckTechnique for StaticTimeout {
         }
     }
 
-    fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+    fn on_timer(&mut self, token: u64, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         if let Some(cookies) = self.timer_covers.remove(&token) {
             for c in cookies {
                 self.unconfirmed = self.unconfirmed.saturating_sub(1);
@@ -235,9 +236,9 @@ impl AckTechnique for StaticTimeout {
 /// early, which is exactly what Figure 6/8 show for "adaptive 250".
 #[derive(Debug)]
 pub struct AdaptiveDelay {
-    assumed_per_mod: SimTime,
-    assumed_sync_lag: SimTime,
-    virtual_done: SimTime,
+    assumed_per_mod: Duration,
+    assumed_sync_lag: Duration,
+    virtual_done: Duration,
     next_token: u64,
     timer_covers: HashMap<u64, u64>,
     unconfirmed: usize,
@@ -247,12 +248,12 @@ impl AdaptiveDelay {
     /// Creates the technique assuming the switch applies `assumed_rate`
     /// modifications per second and lags the control plane by
     /// `assumed_sync_lag`.
-    pub fn new(assumed_rate: f64, assumed_sync_lag: SimTime) -> Self {
+    pub fn new(assumed_rate: f64, assumed_sync_lag: Duration) -> Self {
         assert!(assumed_rate > 0.0, "assumed rate must be positive");
         AdaptiveDelay {
-            assumed_per_mod: SimTime::from_secs_f64(1.0 / assumed_rate),
+            assumed_per_mod: Duration::from_secs_f64(1.0 / assumed_rate),
             assumed_sync_lag,
-            virtual_done: SimTime::ZERO,
+            virtual_done: Duration::ZERO,
             next_token: 0,
             timer_covers: HashMap::new(),
             unconfirmed: 0,
@@ -260,7 +261,7 @@ impl AdaptiveDelay {
     }
 
     /// The per-modification processing time the model assumes.
-    pub fn assumed_per_mod(&self) -> SimTime {
+    pub fn assumed_per_mod(&self) -> Duration {
         self.assumed_per_mod
     }
 }
@@ -274,7 +275,7 @@ impl AckTechnique for AdaptiveDelay {
         &mut self,
         cookie: u64,
         _fm: &FlowMod,
-        now: SimTime,
+        now: Duration,
         out: &mut Vec<TechniqueOutput>,
     ) {
         // The switch works through modifications serially at the assumed
@@ -292,7 +293,7 @@ impl AckTechnique for AdaptiveDelay {
         });
     }
 
-    fn on_timer(&mut self, token: u64, _now: SimTime, out: &mut Vec<TechniqueOutput>) {
+    fn on_timer(&mut self, token: u64, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         if let Some(cookie) = self.timer_covers.remove(&token) {
             self.unconfirmed = self.unconfirmed.saturating_sub(1);
             out.push(TechniqueOutput::Confirm(cookie));
@@ -340,43 +341,46 @@ mod tests {
     fn baseline_confirms_on_barrier_reply() {
         let mut t = BarrierBaseline::new(0x9000_0000);
         let mut out = Vec::new();
-        t.on_flow_mod(42, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(42, &fm(1), Duration::ZERO, &mut out);
         let xids = barrier_xids(&out);
         assert_eq!(xids.len(), 1);
         assert_eq!(t.unconfirmed(), 1);
         assert!(confirms(&out).is_empty());
 
         let mut out = Vec::new();
-        t.on_switch_barrier_reply(xids[0], SimTime::from_millis(1), &mut out);
+        t.on_switch_barrier_reply(xids[0], Duration::from_millis(1), &mut out);
         assert_eq!(confirms(&out), vec![42]);
         assert_eq!(t.unconfirmed(), 0);
 
         // A reply to an unknown barrier does nothing.
         let mut out = Vec::new();
-        t.on_switch_barrier_reply(12345, SimTime::from_millis(2), &mut out);
+        t.on_switch_barrier_reply(12345, Duration::from_millis(2), &mut out);
         assert!(out.is_empty());
         assert_eq!(t.name(), "barriers");
     }
 
     #[test]
     fn static_timeout_defers_confirmation() {
-        let mut t = StaticTimeout::new(SimTime::from_millis(300), 0x9100_0000);
+        let mut t = StaticTimeout::new(Duration::from_millis(300), 0x9100_0000);
         let mut out = Vec::new();
-        t.on_flow_mod(7, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(7, &fm(1), Duration::ZERO, &mut out);
         let xids = barrier_xids(&out);
 
         let mut out = Vec::new();
-        t.on_switch_barrier_reply(xids[0], SimTime::from_millis(10), &mut out);
-        assert!(confirms(&out).is_empty(), "confirmation must wait for the timer");
+        t.on_switch_barrier_reply(xids[0], Duration::from_millis(10), &mut out);
+        assert!(
+            confirms(&out).is_empty(),
+            "confirmation must wait for the timer"
+        );
         let timer = out.iter().find_map(|o| match o {
             TechniqueOutput::SetTimer { delay, token } => Some((*delay, *token)),
             _ => None,
         });
         let (delay, token) = timer.expect("a timer must be armed");
-        assert_eq!(delay, SimTime::from_millis(300));
+        assert_eq!(delay, Duration::from_millis(300));
 
         let mut out = Vec::new();
-        t.on_timer(token, SimTime::from_millis(310), &mut out);
+        t.on_timer(token, Duration::from_millis(310), &mut out);
         assert_eq!(confirms(&out), vec![7]);
         assert_eq!(t.unconfirmed(), 0);
         assert_eq!(t.name(), "timeout");
@@ -385,13 +389,13 @@ mod tests {
     #[test]
     fn adaptive_accumulates_virtual_time() {
         // 200 mods/s assumed -> 5 ms per mod; lag 100 ms.
-        let mut t = AdaptiveDelay::new(200.0, SimTime::from_millis(100));
-        assert_eq!(t.assumed_per_mod(), SimTime::from_millis(5));
+        let mut t = AdaptiveDelay::new(200.0, Duration::from_millis(100));
+        assert_eq!(t.assumed_per_mod(), Duration::from_millis(5));
         let mut delays = Vec::new();
         for i in 0..3u64 {
             let mut out = Vec::new();
             // All issued at t = 0 (burst).
-            t.on_flow_mod(i, &fm(i as u8), SimTime::ZERO, &mut out);
+            t.on_flow_mod(i, &fm(i as u8), Duration::ZERO, &mut out);
             let d = out
                 .iter()
                 .find_map(|o| match o {
@@ -402,13 +406,13 @@ mod tests {
             delays.push(d);
         }
         // Confirmation estimates must be 5 ms apart: 105, 110, 115 ms.
-        assert_eq!(delays[0], SimTime::from_millis(105));
-        assert_eq!(delays[1], SimTime::from_millis(110));
-        assert_eq!(delays[2], SimTime::from_millis(115));
+        assert_eq!(delays[0], Duration::from_millis(105));
+        assert_eq!(delays[1], Duration::from_millis(110));
+        assert_eq!(delays[2], Duration::from_millis(115));
         assert_eq!(t.unconfirmed(), 3);
 
         let mut out = Vec::new();
-        t.on_timer(0, SimTime::from_millis(105), &mut out);
+        t.on_timer(0, Duration::from_millis(105), &mut out);
         assert_eq!(confirms(&out), vec![0]);
         assert_eq!(t.unconfirmed(), 2);
         assert_eq!(t.name(), "adaptive");
@@ -416,13 +420,13 @@ mod tests {
 
     #[test]
     fn adaptive_virtual_time_tracks_idle_gaps() {
-        let mut t = AdaptiveDelay::new(100.0, SimTime::ZERO);
+        let mut t = AdaptiveDelay::new(100.0, Duration::ZERO);
         let mut out = Vec::new();
-        t.on_flow_mod(1, &fm(1), SimTime::ZERO, &mut out);
+        t.on_flow_mod(1, &fm(1), Duration::ZERO, &mut out);
         // Long idle gap: the next mod's estimate restarts from `now`, not
         // from the stale virtual clock.
         let mut out = Vec::new();
-        t.on_flow_mod(2, &fm(2), SimTime::from_secs(10), &mut out);
+        t.on_flow_mod(2, &fm(2), Duration::from_secs(10), &mut out);
         let d = out
             .iter()
             .find_map(|o| match o {
@@ -430,12 +434,12 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(d, SimTime::from_millis(10));
+        assert_eq!(d, Duration::from_millis(10));
     }
 
     #[test]
     #[should_panic(expected = "assumed rate must be positive")]
     fn adaptive_rejects_zero_rate() {
-        AdaptiveDelay::new(0.0, SimTime::ZERO);
+        AdaptiveDelay::new(0.0, Duration::ZERO);
     }
 }

@@ -1,0 +1,164 @@
+//! A self-contained stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the small deterministic subset it needs: a seedable generator
+//! ([`rngs::SmallRng`], xoshiro256** seeded via SplitMix64), the [`Rng`]
+//! accessor trait, and [`seq::SliceRandom`] for Fisher–Yates shuffles.  The
+//! streams are *not* bit-compatible with the real crate — only determinism
+//! per seed matters to the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Construction of seeded generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value accessors (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 random bits give a uniform f64 in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be non-zero");
+        // Multiply-shift rejection-free mapping (Lemire); the tiny modulo
+        // bias is irrelevant for simulation workloads.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform index in `[0, bound)`.
+    fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range_u64(bound as u64) as usize
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_index(i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.7)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "got {frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn gen_range_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.gen_range_u64(10) < 10);
+            assert!(rng.gen_index(3) < 3);
+        }
+    }
+}

@@ -77,8 +77,11 @@ impl<'a> Context<'a> {
 
     /// Arms a timer that will fire back on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimTime, token: u64) {
-        self.queue
-            .schedule(self.now + delay, self.self_id, EventPayload::Timer { token });
+        self.queue.schedule(
+            self.now + delay,
+            self.self_id,
+            EventPayload::Timer { token },
+        );
     }
 
     /// Records a measurement event.
@@ -419,8 +422,12 @@ mod tests {
                 "lonely".into()
             }
             fn start(&mut self, ctx: &mut Context<'_>) {
-                let pkt =
-                    SimPacket::new(openflow::PacketHeader::default(), 0, ctx.now(), ctx.self_id());
+                let pkt = SimPacket::new(
+                    openflow::PacketHeader::default(),
+                    0,
+                    ctx.now(),
+                    ctx.self_id(),
+                );
                 self.result = Some(ctx.send_packet(3, pkt));
             }
             fn handle(&mut self, _e: EventPayload, _c: &mut Context<'_>) {}

@@ -135,9 +135,21 @@ mod tests {
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(5), NodeId(0), EventPayload::Timer { token: 5 });
-        q.schedule(SimTime::from_millis(1), NodeId(0), EventPayload::Timer { token: 1 });
-        q.schedule(SimTime::from_millis(3), NodeId(0), EventPayload::Timer { token: 3 });
+        q.schedule(
+            SimTime::from_millis(5),
+            NodeId(0),
+            EventPayload::Timer { token: 5 },
+        );
+        q.schedule(
+            SimTime::from_millis(1),
+            NodeId(0),
+            EventPayload::Timer { token: 1 },
+        );
+        q.schedule(
+            SimTime::from_millis(3),
+            NodeId(0),
+            EventPayload::Timer { token: 3 },
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.payload {
                 EventPayload::Timer { token } => token,
@@ -168,8 +180,16 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.schedule(SimTime::from_micros(2), NodeId(1), EventPayload::Timer { token: 0 });
-        q.schedule(SimTime::from_micros(1), NodeId(1), EventPayload::Timer { token: 0 });
+        q.schedule(
+            SimTime::from_micros(2),
+            NodeId(1),
+            EventPayload::Timer { token: 0 },
+        );
+        q.schedule(
+            SimTime::from_micros(1),
+            NodeId(1),
+            EventPayload::Timer { token: 0 },
+        );
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
     }
@@ -178,7 +198,12 @@ mod tests {
     fn payload_kind_labels() {
         assert_eq!(EventPayload::Timer { token: 0 }.kind(), "timer");
         let pkt = EventPayload::Packet {
-            packet: SimPacket::new(openflow::PacketHeader::default(), 0, SimTime::ZERO, NodeId(0)),
+            packet: SimPacket::new(
+                openflow::PacketHeader::default(),
+                0,
+                SimTime::ZERO,
+                NodeId(0),
+            ),
             in_port: 1,
         };
         assert_eq!(pkt.kind(), "packet");

@@ -223,9 +223,7 @@ impl TraceSink {
         self.events
             .iter()
             .filter(|e| match e {
-                TraceEvent::PacketDropped { flow: f, .. } => {
-                    flow.is_none() || *f == flow
-                }
+                TraceEvent::PacketDropped { flow: f, .. } => flow.is_none() || *f == flow,
                 _ => false,
             })
             .count()
@@ -236,9 +234,7 @@ impl TraceSink {
         self.events
             .iter()
             .filter(|e| match e {
-                TraceEvent::PacketDelivered { flow: f, .. } => {
-                    flow.map_or(true, |want| *f == want)
-                }
+                TraceEvent::PacketDelivered { flow: f, .. } => flow.is_none_or(|want| *f == want),
                 _ => false,
             })
             .count()
@@ -259,7 +255,10 @@ impl TraceSink {
             match e {
                 TraceEvent::PacketDelivered {
                     flow, time, path, ..
-                } => deliveries.entry(*flow).or_default().push((*time, path.clone())),
+                } => deliveries
+                    .entry(*flow)
+                    .or_default()
+                    .push((*time, path.clone())),
                 TraceEvent::PacketDropped {
                     flow: Some(flow), ..
                 } => *drops.entry(*flow).or_default() += 1,
@@ -276,7 +275,7 @@ impl TraceSink {
                     .iter()
                     .filter(|(_, p)| *p == old_path)
                     .map(|(t, _)| *t)
-                    .last();
+                    .next_back();
                 let first_new_path = if path_changed {
                     recs.iter().find(|(_, p)| *p == new_path).map(|(t, _)| *t)
                 } else {
@@ -500,7 +499,10 @@ mod tests {
         });
         let delays = sink.activation_delays();
         assert_eq!(delays[0].data_plane, SimTime::from_millis(10));
-        assert_eq!(sink.data_plane_activation_times()[&9], SimTime::from_millis(10));
+        assert_eq!(
+            sink.data_plane_activation_times()[&9],
+            SimTime::from_millis(10)
+        );
     }
 
     #[test]

@@ -98,6 +98,18 @@ impl SimTime {
     }
 }
 
+impl From<SimTime> for std::time::Duration {
+    fn from(t: SimTime) -> Self {
+        std::time::Duration::from_nanos(t.0)
+    }
+}
+
+impl From<std::time::Duration> for SimTime {
+    fn from(d: std::time::Duration) -> Self {
+        SimTime(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
@@ -207,7 +219,10 @@ mod tests {
 
     #[test]
     fn sum_and_display() {
-        let total: SimTime = [1u64, 2, 3].iter().map(|&ms| SimTime::from_millis(ms)).sum();
+        let total: SimTime = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| SimTime::from_millis(ms))
+            .sum();
         assert_eq!(total, SimTime::from_millis(6));
         assert_eq!(format!("{}", SimTime::from_nanos(12)), "12ns");
         assert_eq!(format!("{}", SimTime::from_micros(12)), "12us");

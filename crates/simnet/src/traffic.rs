@@ -209,7 +209,11 @@ impl Node for Host {
 /// Builds the header for the i-th experiment flow between two hosts, the way
 /// the paper's testbed numbers its 300 flows: one (source, destination) IP
 /// pair per flow, all UDP with fixed ports.
-pub fn flow_header(flow_index: u32, src_mac: openflow::MacAddr, dst_mac: openflow::MacAddr) -> PacketHeader {
+pub fn flow_header(
+    flow_index: u32,
+    src_mac: openflow::MacAddr,
+    dst_mac: openflow::MacAddr,
+) -> PacketHeader {
     use std::net::Ipv4Addr;
     let src = Ipv4Addr::new(10, 0, (flow_index >> 8) as u8, (flow_index & 0xff) as u8);
     let dst = Ipv4Addr::new(10, 1, (flow_index >> 8) as u8, (flow_index & 0xff) as u8);
@@ -243,7 +247,8 @@ mod tests {
         let s = sim.add_node(sender);
         let r = sim.add_node(receiver);
         // Directly wire the two hosts together.
-        sim.topology_mut().add_link(s, 1, r, 1, SimTime::from_micros(100));
+        sim.topology_mut()
+            .add_link(s, 1, r, 1, SimTime::from_micros(100));
         (sim, s, r, n_flows)
     }
 
@@ -298,7 +303,8 @@ mod tests {
         let mut sim = Simulator::new(1);
         let s = sim.add_node(sender);
         let r = sim.add_node(receiver);
-        sim.topology_mut().add_link(s, 1, r, 1, SimTime::from_micros(10));
+        sim.topology_mut()
+            .add_link(s, 1, r, 1, SimTime::from_micros(10));
         sim.run_until(SimTime::from_millis(200));
         let receiver = sim.node_ref::<Host>(r).unwrap();
         assert_eq!(receiver.received(), 0);

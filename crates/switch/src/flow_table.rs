@@ -184,11 +184,7 @@ impl FlowTable {
     }
 
     /// Applies a flow-mod, returning which cookies were activated/removed.
-    pub fn apply(
-        &mut self,
-        fm: &FlowMod,
-        now: SimTime,
-    ) -> Result<FlowModOutcome, FlowTableError> {
+    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
         match fm.command {
             FlowModCommand::Add => self.apply_add(fm, now),
             FlowModCommand::Modify => self.apply_modify(fm, now, false),
@@ -265,8 +261,7 @@ impl FlowTable {
             } else {
                 fm.match_.covers(&e.match_)
             };
-            let port_ok =
-                out_port_filter == of_port::NONE || e.outputs_to(out_port_filter);
+            let port_ok = out_port_filter == of_port::NONE || e.outputs_to(out_port_filter);
             if selected && port_ok {
                 outcome.removed.push(e.cookie);
                 false
@@ -323,7 +318,8 @@ mod tests {
         let mut t = FlowTable::new(0);
         t.apply(&add(OfMatch::wildcard_all(), 1, 9, 100), SimTime::ZERO)
             .unwrap();
-        t.apply(&add(pair(1, 2), 10, 3, 200), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 10, 3, 200), SimTime::ZERO)
+            .unwrap();
         let hit = t.lookup(&pkt(1, 2), 1).unwrap();
         assert_eq!(hit.cookie, 200);
         let miss_to_default = t.lookup(&pkt(3, 4), 1).unwrap();
@@ -413,8 +409,14 @@ mod tests {
         let m = FlowMod::modify_strict(pair(1, 2), 5, vec![Action::output(7)]).with_cookie(99);
         let outcome = t.apply(&m, SimTime::ZERO).unwrap();
         assert_eq!(outcome.activated, vec![99]);
-        assert_eq!(t.lookup(&pkt(1, 2), 1).unwrap().actions, vec![Action::output(7)]);
-        assert_eq!(t.lookup(&pkt(1, 3), 1).unwrap().actions, vec![Action::output(1)]);
+        assert_eq!(
+            t.lookup(&pkt(1, 2), 1).unwrap().actions,
+            vec![Action::output(7)]
+        );
+        assert_eq!(
+            t.lookup(&pkt(1, 3), 1).unwrap().actions,
+            vec![Action::output(1)]
+        );
     }
 
     #[test]

@@ -234,9 +234,6 @@ mod tests {
     fn mod_time_grows_with_occupancy() {
         let m = SwitchModel::hp5406zl();
         assert!(m.mod_processing_time(1000) > m.mod_processing_time(0));
-        assert_eq!(
-            m.mod_processing_time(0),
-            SimTime::from_millis(4)
-        );
+        assert_eq!(m.mod_processing_time(0), SimTime::from_millis(4));
     }
 }

@@ -10,8 +10,7 @@ use crate::flow_table::{FlowTable, FlowTableError};
 use crate::model::{BarrierMode, SwitchModel};
 use openflow::constants::{error_type, packet_in_reason, port as of_port};
 use openflow::messages::{
-    ErrorMsg, FeaturesReply, FlowMod, PacketIn, PacketOut, StatsReply, StatsRequest,
-    SwitchConfig,
+    ErrorMsg, FeaturesReply, FlowMod, PacketIn, PacketOut, StatsReply, StatsRequest, SwitchConfig,
 };
 use openflow::{Action, DatapathId, OfMessage, PacketHeader, PortNo};
 use rand::seq::SliceRandom;
@@ -443,7 +442,11 @@ impl OpenFlowSwitch {
                 body: Vec::new(),
             },
         };
-        self.send_to_controller(ctx, OfMessage::StatsReply { xid, body: reply }, SimTime::ZERO);
+        self.send_to_controller(
+            ctx,
+            OfMessage::StatsReply { xid, body: reply },
+            SimTime::ZERO,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -649,12 +652,7 @@ impl OpenFlowSwitch {
                 for port in outputs {
                     match port {
                         of_port::CONTROLLER => {
-                            self.emit_packet_in(
-                                &rewritten,
-                                in_port,
-                                packet_in_reason::ACTION,
-                                ctx,
-                            );
+                            self.emit_packet_in(&rewritten, in_port, packet_in_reason::ACTION, ctx);
                             sent_any = true;
                         }
                         of_port::IN_PORT => {
@@ -919,7 +917,13 @@ mod tests {
         let mut sim = Simulator::new(1);
         let sw_id = NodeId(1);
         let msgs: Vec<(SimTime, NodeId, OfMessage)> = (0..50u64)
-            .map(|i| (SimTime::from_millis(1), sw_id, flow_mod(i as u8, 2, 100 + i)))
+            .map(|i| {
+                (
+                    SimTime::from_millis(1),
+                    sw_id,
+                    flow_mod(i as u8, 2, 100 + i),
+                )
+            })
             .collect();
         let ctrl_id = sim.add_node(StubController::new(msgs));
         let mut sw = OpenFlowSwitch::new("s2", DatapathId::new(2), 4, SwitchModel::hp5406zl());
@@ -928,7 +932,11 @@ mod tests {
         sim.run_until(SimTime::from_millis(150));
         {
             let sw = sim.node_ref::<OpenFlowSwitch>(sw_node).unwrap();
-            assert_eq!(sw.control_table().len(), 50, "control plane accepted all mods");
+            assert_eq!(
+                sw.control_table().len(),
+                50,
+                "control plane accepted all mods"
+            );
             assert!(
                 sw.data_table().len() < 50,
                 "data plane must lag the control plane shortly after the burst"
@@ -936,7 +944,11 @@ mod tests {
         }
         sim.run_until(SimTime::from_secs(3));
         let sw = sim.node_ref::<OpenFlowSwitch>(sw_node).unwrap();
-        assert_eq!(sw.data_table().len(), 50, "data plane eventually catches up");
+        assert_eq!(
+            sw.data_table().len(),
+            50,
+            "data plane eventually catches up"
+        );
         assert_eq!(sw.flow_mods_processed(), 50);
         assert_eq!(sw.dataplane_backlog(), 0);
     }
@@ -1044,7 +1056,11 @@ mod tests {
         sim.run_until(SimTime::from_millis(200));
         let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
         assert_eq!(sw.data_packets_dropped(), 5);
-        assert_eq!(sw.packet_ins_sent(), 0, "drop rule must not create PacketIns");
+        assert_eq!(
+            sw.packet_ins_sent(),
+            0,
+            "drop rule must not create PacketIns"
+        );
     }
 
     #[test]

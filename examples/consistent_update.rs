@@ -5,7 +5,6 @@
 //! Run with `cargo run --release --example consistent_update [n_flows]`.
 
 use rum_repro::prelude::*;
-use rum_repro::rum::proxy::deploy;
 
 #[derive(Clone, Copy)]
 struct Outcome {
@@ -34,8 +33,8 @@ fn run(technique: Option<TechniqueConfig>, n_flows: u32, seed: u64) -> Outcome {
     let ctrl_id = sim.add_node(controller);
     match technique {
         Some(tech) => {
-            let config = RumConfig::new(tech, switches.len());
-            let (proxies, _) = deploy(&mut sim, config, ctrl_id, &switches);
+            let builder = RumBuilder::new(switches.len()).technique(tech);
+            let (proxies, _) = deploy(&mut sim, builder, ctrl_id, &switches);
             sim.node_mut::<Controller>(ctrl_id)
                 .unwrap()
                 .set_connections(proxies.clone());
@@ -92,21 +91,27 @@ fn main() {
     );
     let cases: Vec<(&str, Option<TechniqueConfig>)> = vec![
         ("no wait (inconsistent)", None),
-        ("barriers (baseline)", Some(TechniqueConfig::BarrierBaseline)),
+        (
+            "barriers (baseline)",
+            Some(TechniqueConfig::BarrierBaseline),
+        ),
         (
             "timeout 300 ms",
             Some(TechniqueConfig::StaticTimeout {
-                delay: SimTime::from_millis(300),
+                delay: std::time::Duration::from_millis(300),
             }),
         ),
         (
             "adaptive 200 mods/s",
             Some(TechniqueConfig::AdaptiveDelay {
                 assumed_rate: 200.0,
-                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
+                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag().into(),
             }),
         ),
-        ("sequential probing", Some(TechniqueConfig::default_sequential())),
+        (
+            "sequential probing",
+            Some(TechniqueConfig::default_sequential()),
+        ),
         ("general probing", Some(TechniqueConfig::default_general())),
     ];
     for (label, technique) in cases {

@@ -15,7 +15,6 @@
 //! Run with `cargo run --release --example firewall_bypass`.
 
 use rum_repro::prelude::*;
-use rum_repro::rum::proxy::deploy;
 use rum_repro::simnet::traffic::{FlowSpec, Host};
 use rum_repro::simnet::FlowId;
 use std::net::Ipv4Addr;
@@ -68,8 +67,18 @@ fn run(technique: Option<TechniqueConfig>) -> (u64, u64, usize) {
     let fw_id = sim.add_node(firewall);
 
     // Switches A and B; B uses the buggy model.
-    let mut sw_a = OpenFlowSwitch::new("A", openflow::DatapathId::new(0xa), 2, SwitchModel::faithful());
-    let mut sw_b = OpenFlowSwitch::new("B", openflow::DatapathId::new(0xb), 3, SwitchModel::hp5406zl());
+    let mut sw_a = OpenFlowSwitch::new(
+        "A",
+        openflow::DatapathId::new(0xa),
+        2,
+        SwitchModel::faithful(),
+    );
+    let mut sw_b = OpenFlowSwitch::new(
+        "B",
+        openflow::DatapathId::new(0xb),
+        3,
+        SwitchModel::hp5406zl(),
+    );
     for sw in [&mut sw_a, &mut sw_b] {
         sw.preinstall(
             &openflow::messages::FlowMod::add(OfMatch::wildcard_all(), 0, vec![]).with_cookie(1),
@@ -87,7 +96,9 @@ fn run(technique: Option<TechniqueConfig>) -> (u64, u64, usize) {
 
     // The update plan of Figure 2.
     let from_client = OfMatch::wildcard_all().with_nw_src_prefix(client_ip, 32);
-    let http_from_client = from_client.with_nw_proto(openflow::constants::IPPROTO_TCP).with_tp_dst(80);
+    let http_from_client = from_client
+        .with_nw_proto(openflow::constants::IPPROTO_TCP)
+        .with_tp_dst(80);
     let mut plan = UpdatePlan::new();
     let y = plan.add(
         10,
@@ -106,13 +117,19 @@ fn run(technique: Option<TechniqueConfig>) -> (u64, u64, usize) {
         vec![y, z],
     );
 
-    let controller = Controller::new("ctrl", plan, AckMode::RumAcks, 10, SimTime::from_millis(200));
+    let controller = Controller::new(
+        "ctrl",
+        plan,
+        AckMode::RumAcks,
+        10,
+        SimTime::from_millis(200),
+    );
     let ctrl_id = sim.add_node(controller);
     let switches = [a_id, b_id];
     match technique {
         Some(tech) => {
-            let config = RumConfig::new(tech, switches.len());
-            let (proxies, _) = deploy(&mut sim, config, ctrl_id, &switches);
+            let builder = RumBuilder::new(switches.len()).technique(tech);
+            let (proxies, _) = deploy(&mut sim, builder, ctrl_id, &switches);
             sim.node_mut::<Controller>(ctrl_id)
                 .unwrap()
                 .set_connections(proxies.clone());

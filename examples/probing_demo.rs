@@ -6,8 +6,7 @@
 use rum_repro::prelude::*;
 use rum_repro::rum::config::ProbeFieldPlan;
 use rum_repro::rum::probe::{
-    catch_rule, sequential_probe_packet, sequential_probe_rule, synthesize_general_probe,
-    KnownRule,
+    catch_rule, sequential_probe_packet, sequential_probe_rule, synthesize_general_probe, KnownRule,
 };
 use std::net::Ipv4Addr;
 
@@ -18,16 +17,29 @@ fn main() {
     //    catch values; a longer chain can reuse them (vertex colouring).
     let triangle = ProbeFieldPlan::from_links(&[(0, 1), (1, 2), (0, 2)], 3);
     let chain = ProbeFieldPlan::from_links(&[(0, 1), (1, 2), (2, 3), (3, 4)], 5);
-    println!("probe-catch ToS values (triangle): {:02x?}", triangle.catch_tos);
-    println!("probe-catch ToS values (5-chain):  {:02x?} (colours reused)\n", chain.catch_tos);
+    println!(
+        "probe-catch ToS values (triangle): {:02x?}",
+        triangle.catch_tos
+    );
+    println!(
+        "probe-catch ToS values (5-chain):  {:02x?} (colours reused)\n",
+        chain.catch_tos
+    );
 
     // 2. The rules RUM installs for sequential probing.
-    let catch = catch_rule(triangle.catch_tos(2), 900);
+    let catch = catch_rule(triangle.catch_tos(SwitchId::new(2)), 900);
     println!(
         "catch rule at S3: priority {}, match ToS 0x{:02x}, action -> controller",
         catch.priority, catch.match_.nw_tos
     );
-    let probe_rule = sequential_probe_rule(triangle.preprobe_tos, triangle.catch_tos(2), 2, 7, 901, true);
+    let probe_rule = sequential_probe_rule(
+        triangle.preprobe_tos,
+        triangle.catch_tos(SwitchId::new(2)),
+        2,
+        7,
+        901,
+        true,
+    );
     println!(
         "probe rule at S2: match ToS 0x{:02x}, actions {:?}\n",
         probe_rule.match_.nw_tos, probe_rule.actions
@@ -59,7 +71,7 @@ fn main() {
         },
         probed.clone(),
     ];
-    match synthesize_general_probe(&probed, &table, triangle.catch_tos(2), 4242) {
+    match synthesize_general_probe(&probed, &table, triangle.catch_tos(SwitchId::new(2)), 4242) {
         Ok(probe) => println!(
             "general probe for '10.1/16 -> port 2': src {}, dst {}, ToS 0x{:02x}, tp_src {} (probe id), leaves via port {}",
             probe.packet.nw_src,
@@ -78,7 +90,12 @@ fn main() {
         priority: 300,
         actions: vec![],
     };
-    match synthesize_general_probe(&drop_rule, &table, triangle.catch_tos(2), 4243) {
+    match synthesize_general_probe(
+        &drop_rule,
+        &table,
+        triangle.catch_tos(SwitchId::new(2)),
+        4243,
+    ) {
         Ok(_) => println!("unexpectedly probed a drop rule"),
         Err(e) => println!("drop rule falls back to the control-plane technique: {e}"),
     }
@@ -92,11 +109,17 @@ fn main() {
         ..Default::default()
     };
     let net = scenario.build(&mut sim);
-    let controller = Controller::new("ctrl", net.plan.clone(), AckMode::RumAcks, 1, SimTime::from_millis(10));
+    let controller = Controller::new(
+        "ctrl",
+        net.plan.clone(),
+        AckMode::RumAcks,
+        1,
+        SimTime::from_millis(10),
+    );
     let ctrl_id = sim.add_node(controller);
     let switches = [net.sw_a, net.sw_b, net.sw_c];
-    let config = RumConfig::new(TechniqueConfig::default_general(), switches.len());
-    let (proxies, layer) = rum_repro::rum::proxy::deploy(&mut sim, config, ctrl_id, &switches);
+    let builder = RumBuilder::new(switches.len()).technique(TechniqueConfig::default_general());
+    let (proxies, handle) = deploy(&mut sim, builder, ctrl_id, &switches);
     sim.node_mut::<Controller>(ctrl_id)
         .unwrap()
         .set_connections(vec![proxies[1]]);
@@ -114,7 +137,7 @@ fn main() {
         "rule sent at t=10 ms, data-plane active at {}, acknowledged to the controller at {}",
         dp[&cookie], cp[&cookie]
     );
-    let stats = layer.borrow().stats(1);
+    let stats = handle.stats(SwitchId::new(1));
     println!(
         "probes injected: {}, acknowledgments sent: {}",
         stats.probes_injected, stats.acks_sent

@@ -5,7 +5,6 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use rum_repro::prelude::*;
-use rum_repro::rum::proxy::deploy;
 
 fn run(technique: Option<TechniqueConfig>) -> (usize, usize) {
     let mut sim = Simulator::new(1);
@@ -34,8 +33,8 @@ fn run(technique: Option<TechniqueConfig>) -> (usize, usize) {
     match technique {
         Some(tech) => {
             // Interpose RUM between the controller and every switch.
-            let config = RumConfig::new(tech, switches.len());
-            let (proxies, _layer) = deploy(&mut sim, config, ctrl_id, &switches);
+            let builder = RumBuilder::new(switches.len()).technique(tech);
+            let (proxies, _layer) = deploy(&mut sim, builder, ctrl_id, &switches);
             sim.node_mut::<Controller>(ctrl_id)
                 .unwrap()
                 .set_connections(proxies.clone());

@@ -7,7 +7,8 @@
 
 use openflow::messages::FlowMod;
 use openflow::{Action, OfCodec, OfMatch, OfMessage};
-use rum_tcp::{DelayedBarrierRelay, ProxyConfig, RumTcpProxy};
+use rum::{RumBuilder, SwitchId, TechniqueConfig};
+use rum_tcp::{ProxyConfig, RumTcpProxy};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
@@ -18,14 +19,19 @@ fn main() {
     let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let controller_addr = controller_listener.local_addr().unwrap();
 
-    // RUM in between, delaying barrier replies by 300 ms (the paper's bound
-    // for the HP 5406zl).
+    // RUM in between, running the SAME sans-IO engine the simulator uses —
+    // here with the static-timeout technique (300 ms, the paper's bound for
+    // the HP 5406zl) and the reliable-barrier layer.
     let proxy = RumTcpProxy::new(
         ProxyConfig {
             listen_addr: "127.0.0.1:0".parse().unwrap(),
             controller_addr,
         },
-        || DelayedBarrierRelay::new(Duration::from_millis(300)),
+        RumBuilder::new(1)
+            .technique(TechniqueConfig::StaticTimeout {
+                delay: Duration::from_millis(300),
+            })
+            .fine_grained_acks(false),
     );
     let handle = proxy.start().expect("start proxy");
     println!("RUM TCP proxy listening on {}", handle.local_addr);
@@ -35,7 +41,9 @@ fn main() {
     let proxy_addr = handle.local_addr;
     let switch = std::thread::spawn(move || {
         let mut stream = TcpStream::connect(proxy_addr).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(3)))
+            .unwrap();
         let mut codec = OfCodec::new();
         let mut buf = [0u8; 2048];
         let mut flow_mods = 0;
@@ -91,7 +99,7 @@ fn main() {
             if let OfMessage::BarrierReply { xid } = msg {
                 println!(
                     "controller: BarrierReply (xid {xid}) arrived after {:?} — the switch answered \
-                     immediately, RUM held the reply for the configured 300 ms bound",
+                     immediately, the RUM engine held the reply until the 300 ms hold-down confirmed the rule",
                     started.elapsed()
                 );
                 break 'outer;
@@ -99,6 +107,11 @@ fn main() {
         }
     }
 
+    let stats = handle.stats(SwitchId::new(0));
+    println!(
+        "engine stats: {} controller flow-mod(s), {} barrier(s) held and released",
+        stats.controller_flow_mods, stats.barrier_replies_released
+    );
     drop(ctrl);
     handle.shutdown();
     let flow_mods = switch.join().unwrap();

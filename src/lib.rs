@@ -25,11 +25,13 @@ pub use simnet;
 
 /// A convenience prelude for examples and quick experiments.
 pub mod prelude {
-    pub use controller::{AckMode, Controller, UpdatePlan};
     pub use controller::scenarios::{BulkUpdateScenario, TriangleScenario};
+    pub use controller::{AckMode, Controller, UpdatePlan};
     pub use ofswitch::{BarrierMode, OpenFlowSwitch, SwitchModel};
     pub use openflow::{Action, OfMatch, OfMessage, PacketHeader};
-    pub use rum::config::{RumConfig, TechniqueConfig};
-    pub use rum::proxy::deploy;
+    pub use rum::{
+        deploy, Effect, Input, ProxyStats, RumBuilder, RumEngine, RumHandle, SwitchId,
+        TechniqueConfig,
+    };
     pub use simnet::{SimTime, Simulator};
 }

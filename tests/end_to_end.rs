@@ -5,9 +5,9 @@
 use controller::scenarios::TriangleScenario;
 use controller::{AckMode, Controller};
 use ofswitch::{OpenFlowSwitch, SwitchModel};
-use rum::config::{RumConfig, TechniqueConfig};
-use rum::proxy::deploy;
+use rum::{deploy, RumBuilder, TechniqueConfig};
 use simnet::{SimTime, Simulator};
+use std::time::Duration;
 
 struct Run {
     drops: usize,
@@ -37,8 +37,8 @@ fn run_triangle(technique: TechniqueConfig, n_flows: u32, s2_model: SwitchModel,
         SimTime::from_millis(500),
     );
     let ctrl_id = sim.add_node(controller);
-    let config = RumConfig::new(technique, switches.len());
-    let (proxies, _layer) = deploy(&mut sim, config, ctrl_id, &switches);
+    let builder = RumBuilder::new(switches.len()).technique(technique);
+    let (proxies, _handle) = deploy(&mut sim, builder, ctrl_id, &switches);
     sim.node_mut::<Controller>(ctrl_id)
         .unwrap()
         .set_connections(proxies.clone());
@@ -68,7 +68,12 @@ fn run_triangle(technique: TechniqueConfig, n_flows: u32, s2_model: SwitchModel,
 
 #[test]
 fn buggy_switch_with_barrier_baseline_loses_packets() {
-    let run = run_triangle(TechniqueConfig::BarrierBaseline, 25, SwitchModel::hp5406zl(), 1);
+    let run = run_triangle(
+        TechniqueConfig::BarrierBaseline,
+        25,
+        SwitchModel::hp5406zl(),
+        1,
+    );
     assert!(run.complete, "update must finish");
     assert_eq!(run.migrated, 25, "every flow must end up on the new path");
     assert!(run.drops > 0, "premature acks must cause packet loss");
@@ -108,7 +113,7 @@ fn sequential_probing_migrates_without_loss_on_early_reply_switch() {
 fn static_timeout_is_safe_on_the_calibrated_switch() {
     let run = run_triangle(
         TechniqueConfig::StaticTimeout {
-            delay: SimTime::from_millis(300),
+            delay: Duration::from_millis(300),
         },
         20,
         SwitchModel::hp5406zl(),
@@ -126,7 +131,7 @@ fn optimistic_adaptive_model_can_misfire() {
     let optimistic = run_triangle(
         TechniqueConfig::AdaptiveDelay {
             assumed_rate: 250.0,
-            assumed_sync_lag: SimTime::from_millis(150),
+            assumed_sync_lag: Duration::from_millis(150),
         },
         60,
         SwitchModel::hp5406zl(),
@@ -141,7 +146,7 @@ fn optimistic_adaptive_model_can_misfire() {
     let conservative = run_triangle(
         TechniqueConfig::AdaptiveDelay {
             assumed_rate: 200.0,
-            assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
+            assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag().into(),
         },
         60,
         SwitchModel::hp5406zl(),
@@ -154,8 +159,18 @@ fn optimistic_adaptive_model_can_misfire() {
 
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
-    let a = run_triangle(TechniqueConfig::default_general(), 10, SwitchModel::hp5406zl(), 9);
-    let b = run_triangle(TechniqueConfig::default_general(), 10, SwitchModel::hp5406zl(), 9);
+    let a = run_triangle(
+        TechniqueConfig::default_general(),
+        10,
+        SwitchModel::hp5406zl(),
+        9,
+    );
+    let b = run_triangle(
+        TechniqueConfig::default_general(),
+        10,
+        SwitchModel::hp5406zl(),
+        9,
+    );
     assert_eq!(a.events, b.events);
     assert_eq!(a.drops, b.drops);
     assert_eq!(a.delivered, b.delivered);
@@ -163,8 +178,16 @@ fn identical_seeds_reproduce_identical_runs() {
 
 #[test]
 fn honest_switch_needs_no_rum_to_be_safe() {
-    let run = run_triangle(TechniqueConfig::BarrierBaseline, 15, SwitchModel::faithful(), 6);
+    let run = run_triangle(
+        TechniqueConfig::BarrierBaseline,
+        15,
+        SwitchModel::faithful(),
+        6,
+    );
     assert!(run.complete);
-    assert_eq!(run.drops, 0, "a specification-compliant switch never breaks the update");
+    assert_eq!(
+        run.drops, 0,
+        "a specification-compliant switch never breaks the update"
+    );
     assert_eq!(run.negative_acks, 0);
 }

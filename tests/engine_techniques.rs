@@ -1,0 +1,380 @@
+//! Table-driven test of the sans-IO [`rum::RumEngine`]: all five
+//! acknowledgment techniques driven **directly** — no simulator — through a
+//! ~100-line in-test harness (virtual clock + three emulated switch flow
+//! tables on the paper's A–B–C chain), then cross-checked against the
+//! simulator deployment: the engine must confirm the same cookies in the
+//! same order whether it is driven by the test harness or by `RumProxy`
+//! inside `simnet`.  That equivalence is the point of the sans-IO redesign:
+//! one core, any driver.
+
+use ofswitch::FlowTable;
+use openflow::constants::port;
+use openflow::messages::{FlowMod, PacketIn};
+use openflow::{Action, OfMatch, OfMessage, PacketHeader, PortNo};
+use rum::{Effect, Input, RumBuilder, SwitchId, SwitchPortMap, TechniqueConfig, TimerToken};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+const N_RULES: usize = 10;
+const A: usize = 0;
+const B: usize = 1;
+const C: usize = 2;
+/// Control-plane latency of the emulated switches (barrier replies).
+const CTRL_LAT: Duration = Duration::from_millis(1);
+/// Data-plane activation lag: a rule only matches packets this long after
+/// the switch accepted it (the paper's central phenomenon).
+const ACT_LAG: Duration = Duration::from_millis(50);
+/// One link hop.
+const LINK_LAT: Duration = Duration::from_millis(1);
+
+/// The A–B–C chain: A:2 <-> B:1, B:2 <-> C:1.
+fn link(sw: usize, out_port: PortNo) -> Option<(usize, PortNo)> {
+    match (sw, out_port) {
+        (A, 2) => Some((B, 1)),
+        (B, 1) => Some((A, 2)),
+        (B, 2) => Some((C, 1)),
+        (C, 1) => Some((B, 2)),
+        _ => None,
+    }
+}
+
+fn port_maps() -> Vec<SwitchPortMap> {
+    let mut a = SwitchPortMap::default();
+    a.port_to_switch.insert(2, SwitchId::new(B));
+    a.inject_via = Some((SwitchId::new(B), 1));
+    let mut b = SwitchPortMap::default();
+    b.port_to_switch.insert(1, SwitchId::new(A));
+    b.port_to_switch.insert(2, SwitchId::new(C));
+    b.inject_via = Some((SwitchId::new(A), 2));
+    let mut c = SwitchPortMap::default();
+    c.port_to_switch.insert(1, SwitchId::new(B));
+    c.inject_via = Some((SwitchId::new(B), 2));
+    vec![a, b, c]
+}
+
+fn rule(i: usize) -> FlowMod {
+    FlowMod::add(
+        OfMatch::ipv4_pair(
+            Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+            Ipv4Addr::new(10, 1, 0, i as u8 + 1),
+        ),
+        100,
+        vec![Action::output(2)],
+    )
+    .with_cookie(1_000 + i as u64)
+}
+
+/// One scheduled harness event.
+#[derive(Debug)]
+enum Ev {
+    /// The controller sends a message on switch `sw`'s connection.
+    FromController(usize, OfMessage),
+    /// Switch `sw` sends a message towards the controller.
+    FromSwitch(usize, OfMessage),
+    /// A rule the engine sent to switch `sw` becomes active in its data
+    /// plane.
+    Activate(usize, FlowMod),
+    /// A packet arrives at switch `sw` on `in_port`.
+    Packet(usize, PacketHeader, PortNo),
+    /// An engine timer expires.
+    Timer(u64),
+}
+
+struct Item {
+    at: Duration,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Drives a `RumEngine` against three emulated flow tables, with no
+/// simulator in sight, and returns the confirmed cookies in order.
+fn drive_engine_directly(technique: TechniqueConfig) -> Vec<u64> {
+    let mut engine = RumBuilder::new(3)
+        .technique(technique)
+        .port_maps(port_maps())
+        .build();
+
+    let mut tables = [FlowTable::new(0), FlowTable::new(0), FlowTable::new(0)];
+    let mut queue: BinaryHeap<Reverse<Item>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = Duration::ZERO;
+    let mut confirmed = Vec::new();
+
+    macro_rules! schedule {
+        ($at:expr, $ev:expr) => {{
+            seq += 1;
+            queue.push(Reverse(Item {
+                at: $at,
+                seq,
+                ev: $ev,
+            }));
+        }};
+    }
+
+    // The bulk update: the controller programs switch B, one rule per 2 ms.
+    for i in 0..N_RULES {
+        schedule!(
+            Duration::from_millis(100 + 2 * i as u64),
+            Ev::FromController(
+                B,
+                OfMessage::FlowMod {
+                    xid: 1_000 + i as u32,
+                    body: rule(i),
+                },
+            )
+        );
+    }
+
+    // Engine start-up (catch rules for the probing techniques).
+    let start_effects = engine.start(now);
+    let mut pending_effects = vec![(now, start_effects)];
+
+    let horizon = Duration::from_secs(60);
+    loop {
+        // Execute any effects produced by the previous step.
+        for (at, effects) in std::mem::take(&mut pending_effects) {
+            for effect in effects {
+                match effect {
+                    Effect::ToSwitch { switch, message } => match message {
+                        OfMessage::FlowMod { body, .. } => {
+                            schedule!(at + ACT_LAG, Ev::Activate(switch.index(), body));
+                        }
+                        OfMessage::BarrierRequest { xid } => {
+                            // The emulated switch answers barriers from its
+                            // control plane, long before ACT_LAG has passed —
+                            // the buggy behaviour the paper documents.
+                            schedule!(
+                                at + CTRL_LAT,
+                                Ev::FromSwitch(switch.index(), OfMessage::BarrierReply { xid })
+                            );
+                        }
+                        _ => {}
+                    },
+                    Effect::InjectVia { switch, message } => {
+                        if let OfMessage::PacketOut { body, .. } = message {
+                            if let Ok(header) = PacketHeader::from_bytes(&body.data) {
+                                for p in Action::output_ports(&body.actions) {
+                                    if let Some((peer, in_port)) = link(switch.index(), p) {
+                                        schedule!(at + LINK_LAT, Ev::Packet(peer, header, in_port));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Effect::ArmTimer { delay, token } => {
+                        schedule!(at + delay, Ev::Timer(token.raw()));
+                    }
+                    Effect::Confirmed { switch, cookie } => {
+                        assert_eq!(
+                            switch,
+                            SwitchId::new(B),
+                            "only switch B receives controller rules"
+                        );
+                        confirmed.push(cookie);
+                    }
+                    Effect::ToController { .. } => {
+                        // Acks / barrier releases; ordering is already
+                        // captured through Effect::Confirmed.
+                    }
+                }
+            }
+        }
+
+        let Some(Reverse(item)) = queue.pop() else {
+            break;
+        };
+        assert!(item.at <= horizon, "harness did not quiesce: {:?}", item.ev);
+        now = now.max(item.at);
+        match item.ev {
+            Ev::FromController(sw, message) => {
+                let fx = engine.handle(
+                    now,
+                    Input::FromController {
+                        switch: SwitchId::new(sw),
+                        message,
+                    },
+                );
+                pending_effects.push((now, fx));
+            }
+            Ev::FromSwitch(sw, message) => {
+                let fx = engine.handle(
+                    now,
+                    Input::FromSwitch {
+                        switch: SwitchId::new(sw),
+                        message,
+                    },
+                );
+                pending_effects.push((now, fx));
+            }
+            Ev::Timer(token) => {
+                let fx = engine.handle(
+                    now,
+                    Input::TimerFired {
+                        token: TimerToken::from_raw(token),
+                    },
+                );
+                pending_effects.push((now, fx));
+            }
+            Ev::Activate(sw, fm) => {
+                let _ = tables[sw].apply(&fm, simnet::SimTime::from(now));
+            }
+            Ev::Packet(sw, header, in_port) => {
+                // Data-plane forwarding against the *active* table.
+                let Some(entry) = tables[sw].lookup(&header, in_port) else {
+                    continue; // no rule yet: dropped, like the real chain
+                };
+                let actions = entry.actions.clone();
+                let (out_header, ports) = Action::apply_list(&actions, &header);
+                for p in ports {
+                    if p == port::CONTROLLER {
+                        let pi = PacketIn::unbuffered(in_port, 0, out_header.to_bytes());
+                        schedule!(
+                            now + CTRL_LAT,
+                            Ev::FromSwitch(sw, OfMessage::PacketIn { xid: 0, body: pi })
+                        );
+                    } else if let Some((peer, peer_port)) = link(sw, p) {
+                        schedule!(now + LINK_LAT, Ev::Packet(peer, out_header, peer_port));
+                    }
+                }
+            }
+        }
+    }
+    confirmed
+}
+
+/// Runs the same bulk update through the simulator deployment (`RumProxy`
+/// driving the identical engine) and returns the engine's confirm order.
+fn drive_engine_through_simulator(technique: TechniqueConfig) -> Vec<u64> {
+    use controller::scenarios::BulkUpdateScenario;
+    use controller::{AckMode, Controller};
+    use ofswitch::{OpenFlowSwitch, SwitchModel};
+    use simnet::{SimTime, Simulator};
+
+    let mut sim = Simulator::new(11);
+    let scenario = BulkUpdateScenario {
+        n_rules: N_RULES,
+        packets_per_sec: 0,
+        model: SwitchModel::hp5406zl(),
+        ..Default::default()
+    };
+    let net = scenario.build(&mut sim);
+    let ctrl = Controller::new(
+        "ctrl",
+        net.plan.clone(),
+        AckMode::RumAcks,
+        N_RULES,
+        SimTime::from_millis(10),
+    );
+    let ctrl_id = sim.add_node(ctrl);
+    let switches = [net.sw_a, net.sw_b, net.sw_c];
+    let builder = RumBuilder::new(switches.len()).technique(technique);
+    let (proxies, handle) = rum::deploy(&mut sim, builder, ctrl_id, &switches);
+    sim.node_mut::<Controller>(ctrl_id)
+        .unwrap()
+        .set_connections(vec![proxies[1]]);
+    for (idx, sw) in switches.iter().enumerate() {
+        sim.node_mut::<OpenFlowSwitch>(*sw)
+            .unwrap()
+            .connect_controller(proxies[idx]);
+    }
+    sim.run_until(SimTime::from_secs(30));
+    handle
+        .confirmed_order()
+        .into_iter()
+        .map(|(sw, cookie)| {
+            assert_eq!(sw, SwitchId::new(1));
+            cookie
+        })
+        .collect()
+}
+
+/// The table: every technique, driven both ways, must confirm every rule
+/// exactly once and in the same order.
+#[test]
+fn all_five_techniques_confirm_identically_with_and_without_simulator() {
+    let techniques: [(&str, TechniqueConfig); 5] = [
+        ("barriers", TechniqueConfig::BarrierBaseline),
+        (
+            "timeout",
+            TechniqueConfig::StaticTimeout {
+                delay: Duration::from_millis(300),
+            },
+        ),
+        (
+            "adaptive",
+            TechniqueConfig::AdaptiveDelay {
+                assumed_rate: 200.0,
+                assumed_sync_lag: Duration::from_millis(150),
+            },
+        ),
+        ("sequential", TechniqueConfig::default_sequential()),
+        ("general", TechniqueConfig::default_general()),
+    ];
+
+    let expected: Vec<u64> = (0..N_RULES as u64).map(|i| 1_000 + i).collect();
+    for (name, technique) in techniques {
+        let direct = drive_engine_directly(technique.clone());
+        // Completeness: every cookie confirmed exactly once.
+        let mut sorted = direct.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted, expected,
+            "{name}: engine-direct drive must confirm every rule exactly once"
+        );
+        // Equivalence: identical confirm ordering to the RumProxy path.
+        let via_sim = drive_engine_through_simulator(technique);
+        assert_eq!(
+            direct, via_sim,
+            "{name}: confirm order must not depend on the driver (sans-IO harness vs simulator)"
+        );
+    }
+}
+
+/// The direct drive needs no port maps for control-plane techniques; the
+/// builder's empty default is enough.
+#[test]
+fn control_plane_techniques_need_no_topology() {
+    let mut engine = RumBuilder::new(1)
+        .technique(TechniqueConfig::StaticTimeout {
+            delay: Duration::from_millis(5),
+        })
+        .build();
+    let sw = SwitchId::new(0);
+    engine.start(Duration::ZERO);
+    let fx = engine.handle(
+        Duration::ZERO,
+        Input::FromController {
+            switch: sw,
+            message: OfMessage::FlowMod {
+                xid: 1,
+                body: rule(0),
+            },
+        },
+    );
+    assert!(fx.iter().any(|e| matches!(
+        e,
+        Effect::ToSwitch {
+            message: OfMessage::BarrierRequest { .. },
+            ..
+        }
+    )));
+}

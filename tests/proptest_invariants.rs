@@ -1,141 +1,174 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomised property tests over the core data structures and invariants.
+//!
+//! These were originally written with `proptest`; the offline build
+//! environment has no crates.io access, so the same properties are exercised
+//! with a seeded deterministic generator instead (no shrinking, but fully
+//! reproducible: every failure message includes the case index, and the seed
+//! is fixed).
 
 use openflow::messages::{FlowMod, FlowModCommand};
 use openflow::{Action, MacAddr, OfMatch, OfMessage, PacketHeader, Wildcards};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
 
-fn arb_mac() -> impl Strategy<Value = MacAddr> {
-    any::<[u8; 6]>().prop_map(MacAddr::new)
+const CASES: usize = 128;
+
+fn rng_for(test: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x5eed_0000 + test)
 }
 
-fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
-    any::<u32>().prop_map(Ipv4Addr::from)
+fn arb_mac(rng: &mut SmallRng) -> MacAddr {
+    let mut b = [0u8; 6];
+    for byte in &mut b {
+        *byte = rng.next_u32() as u8;
+    }
+    MacAddr::new(b)
 }
 
-fn arb_packet_header() -> impl Strategy<Value = PacketHeader> {
-    (
-        arb_mac(),
-        arb_mac(),
-        arb_ipv4(),
-        arb_ipv4(),
-        any::<u16>(),
-        any::<u16>(),
-        any::<u8>(),
-        prop::sample::select(vec![6u8, 17u8]),
-        prop::option::of(0u16..4095),
-    )
-        .prop_map(
-            |(dl_src, dl_dst, nw_src, nw_dst, tp_src, tp_dst, tos, proto, vlan)| {
-                let mut h = PacketHeader::ipv4_udp(dl_src, dl_dst, nw_src, nw_dst, tp_src, tp_dst);
-                h.nw_proto = proto;
-                h.nw_tos = tos;
-                if let Some(v) = vlan {
-                    h.dl_vlan = v;
-                    h.dl_vlan_pcp = (v % 8) as u8;
-                }
-                h
-            },
-        )
+fn arb_ipv4(rng: &mut SmallRng) -> Ipv4Addr {
+    Ipv4Addr::from(rng.next_u32())
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (any::<u16>(), any::<u16>()).prop_map(|(p, m)| Action::Output { port: p, max_len: m }),
-        (0u16..4096).prop_map(Action::SetVlanVid),
-        (0u8..8).prop_map(Action::SetVlanPcp),
-        Just(Action::StripVlan),
-        arb_mac().prop_map(Action::SetDlSrc),
-        arb_mac().prop_map(Action::SetDlDst),
-        any::<u32>().prop_map(Action::SetNwSrc),
-        any::<u32>().prop_map(Action::SetNwDst),
-        any::<u8>().prop_map(Action::SetNwTos),
-        any::<u16>().prop_map(Action::SetTpSrc),
-        any::<u16>().prop_map(Action::SetTpDst),
-        (any::<u16>(), any::<u32>()).prop_map(|(p, q)| Action::Enqueue { port: p, queue_id: q }),
-    ]
+fn arb_packet_header(rng: &mut SmallRng) -> PacketHeader {
+    let mut h = PacketHeader::ipv4_udp(
+        arb_mac(rng),
+        arb_mac(rng),
+        arb_ipv4(rng),
+        arb_ipv4(rng),
+        rng.next_u32() as u16,
+        rng.next_u32() as u16,
+    );
+    h.nw_proto = if rng.gen_bool(0.5) { 6 } else { 17 };
+    h.nw_tos = rng.next_u32() as u8;
+    if rng.gen_bool(0.5) {
+        let v = rng.gen_range_u64(4095) as u16;
+        h.dl_vlan = v;
+        h.dl_vlan_pcp = (v % 8) as u8;
+    }
+    h
+}
+
+fn arb_action(rng: &mut SmallRng) -> Action {
+    match rng.gen_index(12) {
+        0 => Action::Output {
+            port: rng.next_u32() as u16,
+            max_len: rng.next_u32() as u16,
+        },
+        1 => Action::SetVlanVid(rng.gen_range_u64(4096) as u16),
+        2 => Action::SetVlanPcp(rng.gen_index(8) as u8),
+        3 => Action::StripVlan,
+        4 => Action::SetDlSrc(arb_mac(rng)),
+        5 => Action::SetDlDst(arb_mac(rng)),
+        6 => Action::SetNwSrc(rng.next_u32()),
+        7 => Action::SetNwDst(rng.next_u32()),
+        8 => Action::SetNwTos(rng.next_u32() as u8),
+        9 => Action::SetTpSrc(rng.next_u32() as u16),
+        10 => Action::SetTpDst(rng.next_u32() as u16),
+        _ => Action::Enqueue {
+            port: rng.next_u32() as u16,
+            queue_id: rng.next_u32(),
+        },
+    }
+}
+
+fn arb_actions(rng: &mut SmallRng, max: usize) -> Vec<Action> {
+    (0..rng.gen_index(max)).map(|_| arb_action(rng)).collect()
 }
 
 /// An arbitrary match built the way controllers build them: from a concrete
 /// packet plus a random subset of wildcarded fields.
-fn arb_match() -> impl Strategy<Value = OfMatch> {
-    (arb_packet_header(), any::<u16>(), any::<u32>(), 0u32..=32, 0u32..=32).prop_map(
-        |(pkt, in_port, wild_bits, src_bits, dst_bits)| {
-            let mut m = OfMatch::exact_from_packet(&pkt, in_port);
-            let mut w = m.wildcards;
-            for (bit, flag) in [
-                Wildcards::IN_PORT,
-                Wildcards::DL_VLAN,
-                Wildcards::DL_SRC,
-                Wildcards::DL_DST,
-                Wildcards::DL_TYPE,
-                Wildcards::NW_PROTO,
-                Wildcards::TP_SRC,
-                Wildcards::TP_DST,
-                Wildcards::DL_VLAN_PCP,
-                Wildcards::NW_TOS,
-            ]
-            .iter()
-            .enumerate()
-            {
-                w = w.with(*flag, wild_bits & (1 << bit) != 0);
-            }
-            w = w.with_nw_src_bits(src_bits).with_nw_dst_bits(dst_bits);
-            m.wildcards = w;
-            m
-        },
-    )
+fn arb_match(rng: &mut SmallRng) -> OfMatch {
+    let pkt = arb_packet_header(rng);
+    let in_port = rng.next_u32() as u16;
+    let wild_bits = rng.next_u32() as u16;
+    let src_bits = rng.gen_range_u64(33) as u32;
+    let dst_bits = rng.gen_range_u64(33) as u32;
+    let mut m = OfMatch::exact_from_packet(&pkt, in_port);
+    let mut w = m.wildcards;
+    for (bit, flag) in [
+        Wildcards::IN_PORT,
+        Wildcards::DL_VLAN,
+        Wildcards::DL_SRC,
+        Wildcards::DL_DST,
+        Wildcards::DL_TYPE,
+        Wildcards::NW_PROTO,
+        Wildcards::TP_SRC,
+        Wildcards::TP_DST,
+        Wildcards::DL_VLAN_PCP,
+        Wildcards::NW_TOS,
+    ]
+    .iter()
+    .enumerate()
+    {
+        w = w.with(*flag, wild_bits & (1 << bit) != 0);
+    }
+    w = w.with_nw_src_bits(src_bits).with_nw_dst_bits(dst_bits);
+    m.wildcards = w;
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Ethernet/IP serialisation round-trips for every header we generate.
-    #[test]
-    fn packet_header_bytes_round_trip(h in arb_packet_header()) {
+/// Ethernet/IP serialisation round-trips for every header we generate.
+#[test]
+fn packet_header_bytes_round_trip() {
+    let mut rng = rng_for(1);
+    for case in 0..CASES {
+        let h = arb_packet_header(&mut rng);
         let parsed = PacketHeader::from_bytes(&h.to_bytes()).unwrap();
-        prop_assert_eq!(parsed, h);
+        assert_eq!(parsed, h, "case {case}");
     }
+}
 
-    /// OpenFlow match encode/decode round-trips.
-    #[test]
-    fn of_match_wire_round_trip(m in arb_match()) {
+/// OpenFlow match encode/decode round-trips.
+#[test]
+fn of_match_wire_round_trip() {
+    let mut rng = rng_for(2);
+    for case in 0..CASES {
+        let m = arb_match(&mut rng);
         let mut buf = bytes::BytesMut::new();
         m.encode(&mut buf);
         let decoded = OfMatch::decode(&mut buf.freeze()).unwrap();
-        prop_assert_eq!(decoded, m);
+        assert_eq!(decoded, m, "case {case}");
     }
+}
 
-    /// Flow-mod messages round-trip through the full message codec.
-    #[test]
-    fn flow_mod_message_round_trip(
-        m in arb_match(),
-        actions in prop::collection::vec(arb_action(), 0..5),
-        priority in any::<u16>(),
-        xid in any::<u32>(),
-        cookie in any::<u64>(),
-        cmd in prop::sample::select(vec![
-            FlowModCommand::Add,
-            FlowModCommand::Modify,
-            FlowModCommand::ModifyStrict,
-            FlowModCommand::Delete,
-            FlowModCommand::DeleteStrict,
-        ]),
-    ) {
+/// Flow-mod messages round-trip through the full message codec.
+#[test]
+fn flow_mod_message_round_trip() {
+    let mut rng = rng_for(3);
+    let commands = [
+        FlowModCommand::Add,
+        FlowModCommand::Modify,
+        FlowModCommand::ModifyStrict,
+        FlowModCommand::Delete,
+        FlowModCommand::DeleteStrict,
+    ];
+    for case in 0..CASES {
+        let m = arb_match(&mut rng);
+        let actions = arb_actions(&mut rng, 5);
+        let priority = rng.next_u32() as u16;
+        let xid = rng.next_u32();
+        let cookie = rng.next_u64();
+        let cmd = commands[rng.gen_index(commands.len())];
         let mut body = FlowMod::add(m, priority, actions).with_cookie(cookie);
         body.command = cmd;
         let msg = OfMessage::FlowMod { xid, body };
         let bytes = msg.encode_to_vec().unwrap();
-        prop_assert_eq!(OfMessage::decode(&bytes).unwrap(), msg);
+        assert_eq!(OfMessage::decode(&bytes).unwrap(), msg, "case {case}");
     }
+}
 
-    /// PacketIn / PacketOut / barrier messages survive the stream codec even
-    /// when delivered byte by byte.
-    #[test]
-    fn stream_codec_survives_arbitrary_fragmentation(
-        headers in prop::collection::vec(arb_packet_header(), 1..4),
-        split in 1usize..7,
-    ) {
+/// PacketIn / PacketOut / barrier messages survive the stream codec even
+/// when delivered byte by byte.
+#[test]
+fn stream_codec_survives_arbitrary_fragmentation() {
+    let mut rng = rng_for(4);
+    for case in 0..CASES {
+        let n_headers = 1 + rng.gen_index(3);
+        let headers: Vec<PacketHeader> = (0..n_headers)
+            .map(|_| arb_packet_header(&mut rng))
+            .collect();
+        let split = 1 + rng.gen_index(6);
         let codec = openflow::OfCodec::new();
         let msgs: Vec<OfMessage> = headers
             .iter()
@@ -146,7 +179,9 @@ proptest! {
                         xid: i as u32,
                         body: openflow::messages::PacketOut::single_port(1, h.to_bytes()),
                     },
-                    OfMessage::BarrierRequest { xid: 1000 + i as u32 },
+                    OfMessage::BarrierRequest {
+                        xid: 1000 + i as u32,
+                    },
                 ]
             })
             .collect();
@@ -159,83 +194,99 @@ proptest! {
                 decoded.push(m);
             }
         }
-        prop_assert_eq!(decoded, msgs);
+        assert_eq!(decoded, msgs, "case {case} (split {split})");
     }
+}
 
-    /// `example_packet` always produces a packet that matches its own rule.
-    #[test]
-    fn example_packet_matches_rule(m in arb_match()) {
+/// `example_packet` always produces a packet that matches its own rule.
+#[test]
+fn example_packet_matches_rule() {
+    let mut rng = rng_for(5);
+    for case in 0..CASES {
+        let m = arb_match(&mut rng);
         let (pkt, port) = m.example_packet(&PacketHeader::default());
-        prop_assert!(m.matches(&pkt, port));
+        assert!(m.matches(&pkt, port), "case {case}: {m:?}");
     }
+}
 
-    /// If a rule covers another, then any packet matching the covered rule's
-    /// example also matches the covering rule, and the two rules overlap.
-    #[test]
-    fn covers_implies_overlap_and_match(a in arb_match(), b in arb_match()) {
+/// If a rule covers another, then any packet matching the covered rule's
+/// example also matches the covering rule, and the two rules overlap.
+#[test]
+fn covers_implies_overlap_and_match() {
+    let mut rng = rng_for(6);
+    for case in 0..CASES {
+        let a = arb_match(&mut rng);
+        let b = arb_match(&mut rng);
         if a.covers(&b) {
-            prop_assert!(a.overlaps(&b), "covers must imply overlaps");
+            assert!(a.overlaps(&b), "case {case}: covers must imply overlaps");
             let (pkt, port) = b.example_packet(&PacketHeader::default());
-            prop_assert!(a.matches(&pkt, port), "covering rule must match the covered example");
+            assert!(
+                a.matches(&pkt, port),
+                "case {case}: covering rule must match the covered example"
+            );
         }
         // Overlap is symmetric.
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert_eq!(a.overlaps(&b), b.overlaps(&a), "case {case}");
         // Every match covers and overlaps itself.
-        prop_assert!(a.covers(&a));
-        prop_assert!(a.overlaps(&a));
+        assert!(a.covers(&a), "case {case}");
+        assert!(a.overlaps(&a), "case {case}");
     }
+}
 
-    /// Applying actions is deterministic and output ports are preserved.
-    #[test]
-    fn action_application_is_deterministic(
-        h in arb_packet_header(),
-        actions in prop::collection::vec(arb_action(), 0..6),
-    ) {
+/// Applying actions is deterministic and output ports are preserved.
+#[test]
+fn action_application_is_deterministic() {
+    let mut rng = rng_for(7);
+    for case in 0..CASES {
+        let h = arb_packet_header(&mut rng);
+        let actions = arb_actions(&mut rng, 6);
         let (a1, p1) = Action::apply_list(&actions, &h);
         let (a2, p2) = Action::apply_list(&actions, &h);
-        prop_assert_eq!(a1, a2);
-        prop_assert_eq!(&p1, &p2);
-        prop_assert_eq!(p1, Action::output_ports(&actions));
+        assert_eq!(a1, a2, "case {case}");
+        assert_eq!(p1, p2, "case {case}");
+        assert_eq!(p1, Action::output_ports(&actions), "case {case}");
     }
 }
 
 /// A property over the RUM probe synthesiser: whenever a probe is produced,
 /// it matches the probed rule and no higher-priority known rule.
-mod probe_properties {
-    use super::*;
-    use rum::probe::{synthesize_general_probe, KnownRule};
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn synthesized_probe_hits_exactly_the_probed_rule(
-            src in arb_ipv4(),
-            dst in arb_ipv4(),
-            others in prop::collection::vec((arb_ipv4(), arb_ipv4(), 1u16..200), 0..10),
-        ) {
-            let probed = KnownRule {
-                match_: OfMatch::ipv4_pair(src, dst),
-                priority: 100,
-                actions: vec![Action::output(2)],
-            };
-            let mut table: Vec<KnownRule> = vec![
-                KnownRule { match_: OfMatch::wildcard_all(), priority: 0, actions: vec![] },
-                probed.clone(),
-            ];
-            table.extend(others.into_iter().map(|(s, d, prio)| KnownRule {
-                match_: OfMatch::ipv4_pair(s, d),
-                priority: prio,
+#[test]
+fn synthesized_probe_hits_exactly_the_probed_rule() {
+    let mut rng = rng_for(8);
+    for case in 0..64 {
+        let src = arb_ipv4(&mut rng);
+        let dst = arb_ipv4(&mut rng);
+        let probed = rum::probe::KnownRule {
+            match_: OfMatch::ipv4_pair(src, dst),
+            priority: 100,
+            actions: vec![Action::output(2)],
+        };
+        let mut table: Vec<rum::probe::KnownRule> = vec![
+            rum::probe::KnownRule {
+                match_: OfMatch::wildcard_all(),
+                priority: 0,
+                actions: vec![],
+            },
+            probed.clone(),
+        ];
+        for _ in 0..rng.gen_index(10) {
+            table.push(rum::probe::KnownRule {
+                match_: OfMatch::ipv4_pair(arb_ipv4(&mut rng), arb_ipv4(&mut rng)),
+                priority: 1 + rng.gen_range_u64(199) as u16,
                 actions: vec![Action::output(3)],
-            }));
-            if let Ok(probe) = synthesize_general_probe(&probed, &table, 0xf8, 77) {
-                prop_assert!(probed.match_.matches(&probe.packet, 0));
-                for k in &table {
-                    if k.priority > probed.priority {
-                        prop_assert!(
-                            !k.match_.matches(&probe.packet, 0),
-                            "probe hijacked by a higher-priority rule"
-                        );
-                    }
+            });
+        }
+        if let Ok(probe) = rum::probe::synthesize_general_probe(&probed, &table, 0xf8, 77) {
+            assert!(
+                probed.match_.matches(&probe.packet, 0),
+                "case {case}: probe must hit the probed rule"
+            );
+            for k in &table {
+                if k.priority > probed.priority {
+                    assert!(
+                        !k.match_.matches(&probe.packet, 0),
+                        "case {case}: probe hijacked by a higher-priority rule"
+                    );
                 }
             }
         }
