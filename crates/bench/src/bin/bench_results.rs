@@ -1,0 +1,46 @@
+//! Runs the end-to-end experiment for every acknowledgment technique across
+//! several seeds and writes machine-readable aggregates (median/p95 update
+//! completion time, confirm counts) to `BENCH_results.json`, so the
+//! performance trajectory is tracked across PRs instead of only being
+//! pretty-printed.
+//!
+//! Usage: `bench_results [n_flows] [output_path]`
+//! (defaults: 40 flows, `BENCH_results.json` in the current directory).
+
+use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
+use rum_bench::report::{write_results, ExperimentRecord};
+use std::path::PathBuf;
+
+const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_flows: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let path: PathBuf = args
+        .get(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_results.json"));
+
+    let mut records = Vec::new();
+    for technique in EndToEndTechnique::all() {
+        let mut times = Vec::new();
+        let mut confirms = u64::MAX;
+        for seed in SEEDS {
+            let r = run_end_to_end(technique, n_flows, 250, seed);
+            times.push(r.controller_completion_ms.unwrap_or(f64::NAN));
+            // Worst case across seeds, so a partially-completed run is not
+            // masked by the others.
+            confirms = confirms.min(r.confirmed_mods as u64);
+        }
+        let name = format!("end_to_end/{}", technique.label());
+        let record = ExperimentRecord::from_runs(&name, &times, confirms);
+        println!(
+            "{name:<32} median {:>8.1} ms  p95 {:>8.1} ms  confirms {confirms}",
+            record.median_completion_ms, record.p95_completion_ms
+        );
+        records.push(record);
+    }
+
+    write_results(&path, &records).expect("write BENCH_results.json");
+    println!("\nwrote {} records to {}", records.len(), path.display());
+}

@@ -102,6 +102,8 @@ pub struct EndToEndResult {
     pub total_delivered: usize,
     /// Number of flows whose path actually changed.
     pub migrated_flows: usize,
+    /// Modifications the controller's session confirmed.
+    pub confirmed_mods: usize,
     /// When the controller considered the update complete (ms after start).
     pub controller_completion_ms: Option<f64>,
     /// Mean flow update time (ms after the update started).
@@ -230,11 +232,9 @@ pub fn run_end_to_end(
         .collect();
     flows.sort_by(|a, b| a.update_time_ms.partial_cmp(&b.update_time_ms).unwrap());
     let migrated = summaries.values().filter(|s| s.path_changed).count();
-    let controller_completion_ms = sim
-        .node_ref::<Controller>(ctrl_id)
-        .unwrap()
-        .completed_at()
-        .map(|t| t.as_millis_f64() - start_ms);
+    let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+    let confirmed_mods = ctrl.confirmed_count();
+    let controller_completion_ms = ctrl.completed_at().map(|t| t.as_millis_f64() - start_ms);
     let mean_update_ms = if flows.is_empty() {
         0.0
     } else {
@@ -246,6 +246,7 @@ pub fn run_end_to_end(
         total_drops: sim.trace().dropped_packets(None),
         total_delivered: sim.trace().delivered_packets(None),
         migrated_flows: migrated,
+        confirmed_mods,
         controller_completion_ms,
         mean_update_ms,
     }

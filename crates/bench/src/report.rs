@@ -63,6 +63,82 @@ pub fn activation_csv(label: &str, samples: &[ActivationSample]) -> String {
     out
 }
 
+/// One experiment's aggregate result, as persisted to `BENCH_results.json`
+/// so the performance trajectory can be tracked across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment name (e.g. `end_to_end/sequential`).
+    pub experiment: String,
+    /// Median update completion time across runs, in milliseconds.
+    pub median_completion_ms: f64,
+    /// 95th-percentile completion time across runs, in milliseconds.
+    pub p95_completion_ms: f64,
+    /// Modifications confirmed per run (the plan size when complete).
+    pub confirms: u64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl ExperimentRecord {
+    /// Aggregates per-run completion times (ms) into a record.
+    pub fn from_runs(experiment: impl Into<String>, times_ms: &[f64], confirms: u64) -> Self {
+        let finite: Vec<f64> = times_ms.iter().copied().filter(|t| t.is_finite()).collect();
+        ExperimentRecord {
+            experiment: experiment.into(),
+            median_completion_ms: percentile(&finite, 0.5).unwrap_or(f64::NAN),
+            p95_completion_ms: percentile(&finite, 0.95).unwrap_or(f64::NAN),
+            confirms,
+            runs: times_ms.len(),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_num(v: f64) -> String {
+    // JSON has no NaN/Infinity; represent missing data as null.
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders the records as the `BENCH_results.json` document (handwritten
+/// JSON — the build environment has no serde).
+pub fn results_json(records: &[ExperimentRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
+             \"p95_completion_ms\": {}, \"confirms\": {}, \"runs\": {}}}{}\n",
+            json_escape(&r.experiment),
+            json_num(r.median_completion_ms),
+            json_num(r.p95_completion_ms),
+            r.confirms,
+            r.runs,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the records to `path` (conventionally `BENCH_results.json` in the
+/// repository root).
+pub fn write_results(path: &std::path::Path, records: &[ExperimentRecord]) -> std::io::Result<()> {
+    std::fs::write(path, results_json(records))
+}
+
 /// Percentile (0.0..=1.0) of a list of samples; returns `None` when empty.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     if values.is_empty() {
@@ -116,6 +192,7 @@ mod tests {
             total_drops: 42,
             total_delivered: 1000,
             migrated_flows: 2,
+            confirmed_mods: 4,
             controller_completion_ms: Some(400.0),
             mean_update_ms: 160.0,
         }
@@ -173,6 +250,23 @@ mod tests {
             .parse()
             .unwrap();
         assert!(first_value < 0.0);
+    }
+
+    #[test]
+    fn results_json_is_well_formed() {
+        let records = vec![
+            ExperimentRecord::from_runs("end_to_end/barriers \"x\"", &[3.0, 1.0, 2.0], 80),
+            ExperimentRecord::from_runs("empty", &[], 0),
+        ];
+        let json = results_json(&records);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"median_completion_ms\": 2.000"));
+        assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
+        assert!(json.contains("\"median_completion_ms\": null"));
+        assert!(json.contains("\"confirms\": 80"));
+        assert!(json.contains("\"runs\": 3"));
+        // Exactly one trailing comma-less record.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

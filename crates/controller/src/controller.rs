@@ -1,62 +1,39 @@
-//! The controller simulation node.
+//! The simulator driver for the sans-IO [`UpdateSession`].
+//!
+//! [`Controller`] is a thin `simnet` node, the controller-side mirror of how
+//! `rum::RumProxy` drives `rum::RumEngine`: it translates simulator events
+//! into [`SessionInput`]s, executes the returned [`SessionEffect`]s through
+//! the simulator [`Context`] (control messages, timers, trace records), and
+//! exposes the session for post-run inspection.  All plan-execution logic —
+//! dependency gating, the window, acknowledgment modes, the failure policy —
+//! lives in the session; the `rum_tcp` crate drives the very same state
+//! machine over real TCP sockets.
 
 use crate::plan::UpdatePlan;
-use openflow::{OfMessage, Xid};
+use crate::session::{ConnId, SessionEffect, SessionInput, SessionTimerToken, UpdateSession};
+use openflow::OfMessage;
 use simnet::{Context, EventPayload, Node, NodeId, SimTime, TraceEvent};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-/// How the controller decides that a modification has been applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AckMode {
-    /// Fire-and-forget: every modification is considered confirmed the
-    /// moment it is sent.  No consistency guarantee — this is the "no wait"
-    /// lower bound of Figure 7.
-    NoWait,
-    /// Send an OpenFlow barrier after every `batch` modifications (or when
-    /// nothing else can be sent) and treat the corresponding reply as the
-    /// confirmation for everything sent before it.  This is what every
-    /// consistent-update system in the literature does; it is only correct
-    /// if barriers are honest (or made honest by RUM).
-    Barriers {
-        /// Modifications per barrier.
-        batch: usize,
-    },
-    /// Wait for RUM's fine-grained positive acknowledgment (an error message
-    /// with the reserved RUM code echoing the modification's xid).  This is
-    /// the "RUM-aware controller" mode from Section 2 of the paper.
-    RumAcks,
-}
+// Re-exported for the many callers that predate the session split.
+pub use crate::session::AckMode;
 
-/// Timer token used to start the update.
+/// Timer token used to start the update; session timers are offset by one.
 const TOKEN_START: u64 = 0;
 
-/// A controller that executes an [`UpdatePlan`] against a set of switch
-/// connections, respecting dependencies, a confirmation window, and the
-/// configured acknowledgment mode.
+/// A controller node that executes an [`UpdatePlan`] against a set of switch
+/// connections by driving an [`UpdateSession`] inside the simulator.
 pub struct Controller {
     label: String,
-    plan: UpdatePlan,
+    session: UpdateSession,
     connections: Vec<NodeId>,
-    ack_mode: AckMode,
-    /// Maximum number of sent-but-unconfirmed modifications (the paper's K).
-    window: usize,
     control_latency: SimTime,
     start_at: SimTime,
-
-    sent: HashSet<u64>,
-    confirmed: HashSet<u64>,
-    confirmation_times: HashMap<u64, SimTime>,
-    send_times: HashMap<u64, SimTime>,
-    failed: Vec<u64>,
-    /// Outstanding barriers: barrier xid -> cookies it will confirm.
-    barrier_covers: HashMap<Xid, Vec<u64>>,
-    /// Cookies sent since the last barrier (barrier mode only).
-    since_last_barrier: Vec<u64>,
-    next_barrier_xid: Xid,
-    packet_ins_received: u64,
-    completed_at: Option<SimTime>,
     started: bool,
+    /// PacketIns from nodes that are not plan connections (the session only
+    /// sees traffic on known connections).
+    stray_packet_ins: u64,
 }
 
 impl Controller {
@@ -69,26 +46,14 @@ impl Controller {
         window: usize,
         start_at: SimTime,
     ) -> Self {
-        assert!(window > 0, "window must be at least 1");
         Controller {
             label: label.into(),
-            plan,
+            session: UpdateSession::new(plan, ack_mode, window),
             connections: Vec::new(),
-            ack_mode,
-            window,
             control_latency: SimTime::from_micros(200),
             start_at,
-            sent: HashSet::new(),
-            confirmed: HashSet::new(),
-            confirmation_times: HashMap::new(),
-            send_times: HashMap::new(),
-            failed: Vec::new(),
-            barrier_covers: HashMap::new(),
-            since_last_barrier: Vec::new(),
-            next_barrier_xid: 0x4000_0000,
-            packet_ins_received: 0,
-            completed_at: None,
             started: false,
+            stray_packet_ins: 0,
         }
     }
 
@@ -104,204 +69,128 @@ impl Controller {
         self.control_latency = latency;
     }
 
+    /// Read access to the update session (plan, timestamps, outcome).
+    pub fn session(&self) -> &UpdateSession {
+        &self.session
+    }
+
+    /// Mutable access to the update session, e.g. to set a
+    /// [`crate::session::FailurePolicy`] before the run starts.
+    pub fn session_mut(&mut self) -> &mut UpdateSession {
+        &mut self.session
+    }
+
     /// The update plan.
     pub fn plan(&self) -> &UpdatePlan {
-        &self.plan
+        self.session.plan()
     }
 
     /// Number of confirmed modifications.
     pub fn confirmed_count(&self) -> usize {
-        self.confirmed.len()
+        self.session.confirmed_count()
     }
 
     /// Number of sent modifications.
     pub fn sent_count(&self) -> usize {
-        self.sent.len()
+        self.session.sent_count()
     }
 
-    /// Modifications rejected by the switch (error replies).
+    /// Modifications rejected by the switch or given up on by the failure
+    /// policy.
     pub fn failed(&self) -> &[u64] {
-        &self.failed
+        self.session.failed()
     }
 
     /// True once every modification in the plan is confirmed.
     pub fn is_complete(&self) -> bool {
-        self.confirmed.len() == self.plan.len()
+        self.session.is_complete()
     }
 
     /// When the last modification was confirmed, if the update finished.
     pub fn completed_at(&self) -> Option<SimTime> {
-        self.completed_at
+        self.session.completed_at().map(SimTime::from)
     }
 
-    /// Confirmation time per modification id.
-    pub fn confirmation_times(&self) -> &HashMap<u64, SimTime> {
-        &self.confirmation_times
+    /// Confirmation time per modification id, in simulation time.
+    pub fn confirmation_times(&self) -> HashMap<u64, SimTime> {
+        self.session
+            .confirmation_times()
+            .iter()
+            .map(|(&id, &d)| (id, SimTime::from(d)))
+            .collect()
     }
 
-    /// Send time per modification id.
-    pub fn send_times(&self) -> &HashMap<u64, SimTime> {
-        &self.send_times
+    /// Send time per modification id, in simulation time.
+    pub fn send_times(&self) -> HashMap<u64, SimTime> {
+        self.session
+            .send_times()
+            .iter()
+            .map(|(&id, &d)| (id, SimTime::from(d)))
+            .collect()
     }
 
     /// PacketIn messages received (e.g. probes leaking to a non-RUM
     /// controller, or data packets punted by a switch).
     pub fn packet_ins_received(&self) -> u64 {
-        self.packet_ins_received
+        self.session.packet_ins_received() + self.stray_packet_ins
     }
 
-    fn unconfirmed_in_flight(&self) -> usize {
-        self.sent.len() - self.sent.intersection(&self.confirmed).count()
-    }
-
-    fn dispatch_ready(&mut self, ctx: &mut Context<'_>) {
-        loop {
-            if self.unconfirmed_in_flight() >= self.window {
-                break;
-            }
-            let mut ready = self.plan.ready_ids(&self.confirmed, &self.sent);
-            if ready.is_empty() {
-                break;
-            }
-            ready.sort_unstable();
-            let budget = self.window - self.unconfirmed_in_flight();
-            let mut sent_this_round = 0usize;
-            for id in ready.into_iter().take(budget) {
-                self.send_mod(id, ctx);
-                sent_this_round += 1;
-                // In barrier mode, punctuate every `batch` modifications.
-                if let AckMode::Barriers { .. } = self.ack_mode {
-                    self.maybe_send_barrier(ctx, false);
-                }
-            }
-            if sent_this_round == 0 {
-                break;
-            }
-        }
-        // If we are in barrier mode and there are loose (uncovered) mods but
-        // nothing more to send, close them out with a barrier.
-        if let AckMode::Barriers { .. } = self.ack_mode {
-            if !self.since_last_barrier.is_empty()
-                && self.plan.ready_ids(&self.confirmed, &self.sent).is_empty()
-            {
-                self.maybe_send_barrier(ctx, true);
-            }
-        }
-    }
-
-    fn send_mod(&mut self, id: u64, ctx: &mut Context<'_>) {
-        let m = self.plan.get(id).expect("ready id exists").clone();
-        let target = self.connections[m.target];
-        let msg = OfMessage::FlowMod {
-            xid: id as Xid,
-            body: m.flow_mod.clone(),
-        };
-        ctx.send_control(target, msg, self.control_latency);
-        ctx.record(TraceEvent::FlowModSent {
-            cookie: id,
-            time: ctx.now(),
-        });
-        self.send_times.insert(id, ctx.now());
-        self.sent.insert(id);
-        match self.ack_mode {
-            AckMode::NoWait => self.mark_confirmed(id, ctx),
-            AckMode::Barriers { .. } => self.since_last_barrier.push(id),
-            AckMode::RumAcks => {}
-        }
-    }
-
-    fn maybe_send_barrier(&mut self, ctx: &mut Context<'_>, force: bool) {
-        let AckMode::Barriers { batch } = self.ack_mode else {
-            return;
-        };
-        if self.since_last_barrier.is_empty() {
-            return;
-        }
-        if !force && self.since_last_barrier.len() < batch {
-            return;
-        }
-        // Send one barrier per target that has uncovered modifications, so a
-        // multi-switch plan gets per-switch confirmation.
-        let mut per_target: HashMap<usize, Vec<u64>> = HashMap::new();
-        for id in std::mem::take(&mut self.since_last_barrier) {
-            let target = self.plan.get(id).expect("sent id exists").target;
-            per_target.entry(target).or_default().push(id);
-        }
-        for (target, cookies) in per_target {
-            let xid = self.next_barrier_xid;
-            self.next_barrier_xid += 1;
-            self.barrier_covers.insert(xid, cookies);
-            ctx.send_control(
-                self.connections[target],
-                OfMessage::BarrierRequest { xid },
-                self.control_latency,
-            );
-        }
-    }
-
-    fn mark_confirmed(&mut self, id: u64, ctx: &mut Context<'_>) {
-        if !self.confirmed.insert(id) {
-            return;
-        }
-        self.confirmation_times.insert(id, ctx.now());
-        ctx.record(TraceEvent::ControlPlaneConfirmed {
-            cookie: id,
-            time: ctx.now(),
-        });
-        if self.is_complete() && self.completed_at.is_none() {
-            self.completed_at = Some(ctx.now());
-            ctx.record(TraceEvent::Marker {
-                label: format!("{}: update complete", self.label),
-                time: ctx.now(),
-            });
-        }
-    }
-
-    fn handle_control(&mut self, from: NodeId, msg: OfMessage, ctx: &mut Context<'_>) {
-        match msg {
-            OfMessage::BarrierReply { xid } => {
-                if let Some(cookies) = self.barrier_covers.remove(&xid) {
-                    for id in cookies {
-                        self.mark_confirmed(id, ctx);
-                    }
-                    self.dispatch_ready(ctx);
-                }
-            }
-            OfMessage::Error { xid, ref body } => {
-                if let Some(acked) = msg.as_rum_ack() {
-                    let id = u64::from(acked);
-                    if self.sent.contains(&id) {
-                        self.mark_confirmed(id, ctx);
-                        self.dispatch_ready(ctx);
-                    }
-                } else {
-                    let id = u64::from(xid);
-                    if self.sent.contains(&id) && !self.failed.contains(&id) {
-                        self.failed.push(id);
-                        ctx.record(TraceEvent::Marker {
-                            label: format!(
-                                "{}: flow-mod {id} rejected (type {}, code {})",
-                                self.label, body.err_type, body.code
-                            ),
+    /// Feeds one input into the session and executes the effects.
+    fn drive(&mut self, input: SessionInput, ctx: &mut Context<'_>) {
+        let effects = self.session.handle(ctx.now().into(), input);
+        for effect in effects {
+            match effect {
+                SessionEffect::Send { conn, message } => {
+                    // A reply addressed to the sentinel conn of an unmapped
+                    // sender has nowhere to go; plan sends always resolve.
+                    let Some(&node) = self.connections.get(conn.index()) else {
+                        continue;
+                    };
+                    if let OfMessage::FlowMod { ref body, .. } = message {
+                        ctx.record(TraceEvent::FlowModSent {
+                            cookie: body.cookie,
                             time: ctx.now(),
                         });
                     }
+                    ctx.send_control(node, message, self.control_latency);
+                }
+                SessionEffect::ArmTimer { delay, token } => {
+                    ctx.set_timer(delay.into(), token.raw() + 1);
+                }
+                SessionEffect::Confirmed { id } => {
+                    ctx.record(TraceEvent::ControlPlaneConfirmed {
+                        cookie: id,
+                        time: ctx.now(),
+                    });
+                }
+                SessionEffect::Rejected { id, err_type, code } => {
+                    ctx.record(TraceEvent::Marker {
+                        label: format!(
+                            "{}: flow-mod {id} rejected (type {err_type}, code {code})",
+                            self.label
+                        ),
+                        time: ctx.now(),
+                    });
+                }
+                SessionEffect::Completed { .. } => {
+                    ctx.record(TraceEvent::Marker {
+                        label: format!("{}: update complete", self.label),
+                        time: ctx.now(),
+                    });
+                }
+                SessionEffect::Aborted { report } => {
+                    ctx.record(TraceEvent::Marker {
+                        label: format!(
+                            "{}: update aborted (mod {} failed, {} cancelled, {} rolled back)",
+                            self.label,
+                            report.failed,
+                            report.cancelled.len(),
+                            report.rolled_back.len()
+                        ),
+                        time: ctx.now(),
+                    });
                 }
             }
-            OfMessage::PacketIn { .. } => {
-                self.packet_ins_received += 1;
-            }
-            OfMessage::EchoRequest { xid, data } => {
-                ctx.send_control(
-                    from,
-                    OfMessage::EchoReply { xid, data },
-                    self.control_latency,
-                );
-            }
-            OfMessage::Hello { xid } => {
-                ctx.send_control(from, OfMessage::Hello { xid }, self.control_latency);
-            }
-            _ => {}
         }
     }
 }
@@ -320,7 +209,7 @@ impl Node for Controller {
             EventPayload::Timer { token: TOKEN_START } if !self.started => {
                 self.started = true;
                 assert!(
-                    !self.connections.is_empty() || self.plan.is_empty(),
+                    !self.connections.is_empty() || self.session.plan().is_empty(),
                     "controller {} has no switch connections configured",
                     self.label
                 );
@@ -328,10 +217,53 @@ impl Node for Controller {
                     label: format!("{}: update start", self.label),
                     time: ctx.now(),
                 });
-                self.dispatch_ready(ctx);
+                self.drive(SessionInput::Started, ctx);
+            }
+            EventPayload::Timer { token } if token > TOKEN_START => {
+                self.drive(
+                    SessionInput::TimerFired {
+                        token: SessionTimerToken::from_raw(token - 1),
+                    },
+                    ctx,
+                );
             }
             EventPayload::Timer { .. } => {}
-            EventPayload::Control { from, message } => self.handle_control(from, message, ctx),
+            EventPayload::Control { from, message } => {
+                match self.connections.iter().position(|&n| n == from) {
+                    Some(index) => self.drive(
+                        SessionInput::FromSwitch {
+                            conn: ConnId::new(index),
+                            message,
+                        },
+                        ctx,
+                    ),
+                    None => match message {
+                        // Traffic from nodes outside the plan's connections
+                        // (e.g. a RUM proxy relaying an ack that surfaced at
+                        // a neighbouring switch): answer liveness directly
+                        // and count punted packets here; acknowledgments
+                        // correlate by cookie, not by connection, so they go
+                        // into the session under a sentinel conn that plan
+                        // sends can never resolve to.
+                        OfMessage::PacketIn { .. } => self.stray_packet_ins += 1,
+                        OfMessage::EchoRequest { xid, data } => ctx.send_control(
+                            from,
+                            OfMessage::EchoReply { xid, data },
+                            self.control_latency,
+                        ),
+                        OfMessage::Hello { xid } => {
+                            ctx.send_control(from, OfMessage::Hello { xid }, self.control_latency)
+                        }
+                        other => self.drive(
+                            SessionInput::FromSwitch {
+                                conn: ConnId::new(usize::MAX),
+                                message: other,
+                            },
+                            ctx,
+                        ),
+                    },
+                }
+            }
             EventPayload::Packet { .. } => {}
         }
     }
@@ -347,11 +279,13 @@ impl Node for Controller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::FailurePolicy;
     use ofswitch::{OpenFlowSwitch, SwitchModel};
     use openflow::messages::FlowMod;
     use openflow::{Action, DatapathId, OfMatch};
     use simnet::Simulator;
     use std::net::Ipv4Addr;
+    use std::time::Duration;
 
     fn small_plan(n: u64) -> UpdatePlan {
         let mut plan = UpdatePlan::new();
@@ -367,7 +301,8 @@ mod tests {
                     100,
                     vec![Action::output(2)],
                 ),
-            );
+            )
+            .unwrap();
         }
         plan
     }
@@ -479,7 +414,8 @@ mod tests {
                 100,
                 vec![Action::output(2)],
             ),
-        );
+        )
+        .unwrap();
         plan.add_with_deps(
             2,
             0,
@@ -489,7 +425,8 @@ mod tests {
                 vec![Action::output(2)],
             ),
             vec![1],
-        );
+        )
+        .unwrap();
         let (sim, ctrl_id, _) = run_with_switch(
             plan,
             AckMode::Barriers { batch: 1 },
@@ -526,6 +463,62 @@ mod tests {
             3,
             "three mods exceed the 5-entry table"
         );
+    }
+
+    /// The failure policy works end to end inside the simulator: with
+    /// RumAcks and no RUM layer nothing ever confirms, so every sent mod
+    /// times out, retries, and finally aborts the update with a rollback.
+    #[test]
+    fn failure_policy_aborts_update_without_acks() {
+        let mut sim = Simulator::new(3);
+        let mut plan = UpdatePlan::new();
+        let first = plan
+            .add(
+                1,
+                0,
+                FlowMod::add(
+                    OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 1)),
+                    100,
+                    vec![Action::output(2)],
+                ),
+            )
+            .unwrap();
+        plan.add_with_deps(
+            2,
+            0,
+            FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 1, 0, 2)),
+                100,
+                vec![Action::output(2)],
+            ),
+            vec![first],
+        )
+        .unwrap();
+        let mut controller =
+            Controller::new("ctrl", plan, AckMode::RumAcks, 10, SimTime::from_millis(1));
+        controller
+            .session_mut()
+            .set_failure_policy(FailurePolicy::retry(Duration::from_millis(50), 2));
+        let ctrl_id = sim.add_node(controller);
+        let mut sw = OpenFlowSwitch::new("s1", DatapathId::new(1), 4, SwitchModel::faithful());
+        sw.connect_controller(ctrl_id);
+        let sw_id = sim.add_node(sw);
+        sim.node_mut::<Controller>(ctrl_id)
+            .unwrap()
+            .set_connections(vec![sw_id]);
+        sim.run_until(SimTime::from_secs(2));
+
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        assert!(!ctrl.is_complete());
+        assert_eq!(ctrl.failed(), &[1], "mod 1 exhausted its retries");
+        assert!(matches!(
+            ctrl.session().outcome(),
+            Some(crate::session::SessionOutcome::Aborted { report })
+                if report.cancelled == vec![2]
+        ));
+        // Mod 1 was sent 1 + 2 retries = 3 times, plus one rollback delete.
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        assert_eq!(sw.flow_mods_processed(), 4);
     }
 
     #[test]

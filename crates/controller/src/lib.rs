@@ -10,9 +10,13 @@
 //! plane.
 //!
 //! * [`plan`] — dependency-ordered update plans.
-//! * [`controller`] — the [`controller::Controller`] simulation node, with
-//!   three acknowledgment modes (no-wait, barrier-based, RUM fine-grained
-//!   acks).
+//! * [`session`] — the sans-IO [`session::UpdateSession`] plan-execution
+//!   engine: acknowledgment modes (no-wait, barrier-based, RUM fine-grained
+//!   acks), the outstanding window, dependency gating and the failure policy,
+//!   all behind a pure input → effects interface.
+//! * [`controller`] — the [`controller::Controller`] simulation node, a thin
+//!   driver of the session (the `rum_tcp` crate drives the same session over
+//!   real TCP sockets).
 //! * [`scenarios`] — builders for the paper's experimental setups: the
 //!   triangle path-migration testbed (Figures 1b, 6, 7) and the single-switch
 //!   bulk-update workload (Figure 8 and Table 1).
@@ -23,7 +27,12 @@
 pub mod controller;
 pub mod plan;
 pub mod scenarios;
+pub mod session;
 
-pub use controller::{AckMode, Controller};
-pub use plan::{PlannedMod, UpdatePlan};
+pub use controller::Controller;
+pub use plan::{PlanError, PlannedMod, UpdatePlan};
 pub use scenarios::{BulkUpdateScenario, TriangleScenario};
+pub use session::{
+    AbortReport, AckMode, ConnId, FailurePolicy, SessionEffect, SessionInput, SessionOutcome,
+    SessionTimerToken, UpdateSession,
+};

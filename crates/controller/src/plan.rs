@@ -35,25 +35,27 @@ impl UpdatePlan {
     }
 
     /// Adds a modification with no dependencies; returns its id.
-    pub fn add(&mut self, id: u64, target: SwitchRef, flow_mod: FlowMod) -> u64 {
+    ///
+    /// Fails with [`PlanError::DuplicateId`] if the id is already in the
+    /// plan — duplicate cookies would make acknowledgments ambiguous.
+    pub fn add(&mut self, id: u64, target: SwitchRef, flow_mod: FlowMod) -> Result<u64, PlanError> {
         self.add_with_deps(id, target, flow_mod, Vec::new())
     }
 
     /// Adds a modification that may only be sent after `deps` are confirmed.
     ///
-    /// Panics if the id is reused — duplicate cookies would make
-    /// acknowledgments ambiguous.
+    /// Fails with [`PlanError::DuplicateId`] if the id is already in the
+    /// plan — duplicate cookies would make acknowledgments ambiguous.
     pub fn add_with_deps(
         &mut self,
         id: u64,
         target: SwitchRef,
         mut flow_mod: FlowMod,
         deps: Vec<u64>,
-    ) -> u64 {
-        assert!(
-            !self.by_id.contains_key(&id),
-            "duplicate planned-mod id {id}"
-        );
+    ) -> Result<u64, PlanError> {
+        if self.by_id.contains_key(&id) {
+            return Err(PlanError::DuplicateId { id });
+        }
         flow_mod.cookie = id;
         self.by_id.insert(id, self.mods.len());
         self.mods.push(PlannedMod {
@@ -62,7 +64,7 @@ impl UpdatePlan {
             flow_mod,
             deps,
         });
-        id
+        Ok(id)
     }
 
     /// Number of modifications in the plan.
@@ -151,9 +153,15 @@ impl UpdatePlan {
     }
 }
 
-/// Errors found while validating a plan.
+/// Errors found while building or validating a plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanError {
+    /// A modification id was reused; ids double as flow-mod cookies and
+    /// transaction ids, so they must be unique within a plan.
+    DuplicateId {
+        /// The reused id.
+        id: u64,
+    },
     /// A modification depends on an id that is not part of the plan.
     UnknownDependency {
         /// The modification with the bad dependency.
@@ -168,6 +176,9 @@ pub enum PlanError {
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PlanError::DuplicateId { id } => {
+                write!(f, "modification id {id} is already in the plan")
+            }
             PlanError::UnknownDependency { id, dep } => {
                 write!(f, "modification {id} depends on unknown modification {dep}")
             }
@@ -195,7 +206,7 @@ mod tests {
     #[test]
     fn add_sets_cookie_to_id() {
         let mut plan = UpdatePlan::new();
-        plan.add(42, 0, fm(1));
+        plan.add(42, 0, fm(1)).unwrap();
         assert_eq!(plan.get(42).unwrap().flow_mod.cookie, 42);
         assert_eq!(plan.len(), 1);
         assert!(!plan.is_empty());
@@ -203,17 +214,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate planned-mod id")]
-    fn duplicate_ids_panic() {
+    fn duplicate_ids_are_rejected() {
         let mut plan = UpdatePlan::new();
-        plan.add(1, 0, fm(1));
-        plan.add(1, 0, fm(2));
+        plan.add(1, 0, fm(1)).unwrap();
+        assert_eq!(plan.add(1, 0, fm(2)), Err(PlanError::DuplicateId { id: 1 }));
+        assert_eq!(plan.len(), 1, "the rejected mod must not be inserted");
+        assert_eq!(
+            PlanError::DuplicateId { id: 1 }.to_string(),
+            "modification id 1 is already in the plan"
+        );
     }
 
     #[test]
     fn validate_detects_unknown_dependency() {
         let mut plan = UpdatePlan::new();
-        plan.add_with_deps(1, 0, fm(1), vec![99]);
+        plan.add_with_deps(1, 0, fm(1), vec![99]).unwrap();
         assert_eq!(
             plan.validate(),
             Err(PlanError::UnknownDependency { id: 1, dep: 99 })
@@ -223,8 +238,8 @@ mod tests {
     #[test]
     fn validate_detects_cycle() {
         let mut plan = UpdatePlan::new();
-        plan.add_with_deps(1, 0, fm(1), vec![2]);
-        plan.add_with_deps(2, 0, fm(2), vec![1]);
+        plan.add_with_deps(1, 0, fm(1), vec![2]).unwrap();
+        plan.add_with_deps(2, 0, fm(2), vec![1]).unwrap();
         assert_eq!(plan.validate(), Err(PlanError::Cycle));
         assert_eq!(
             PlanError::Cycle.to_string(),
@@ -235,9 +250,9 @@ mod tests {
     #[test]
     fn validate_returns_topological_order() {
         let mut plan = UpdatePlan::new();
-        plan.add(1, 1, fm(1));
-        plan.add_with_deps(2, 0, fm(2), vec![1]);
-        plan.add_with_deps(3, 0, fm(3), vec![1, 2]);
+        plan.add(1, 1, fm(1)).unwrap();
+        plan.add_with_deps(2, 0, fm(2), vec![1]).unwrap();
+        plan.add_with_deps(3, 0, fm(3), vec![1, 2]).unwrap();
         let order = plan.validate().unwrap();
         let pos = |id: u64| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(1) < pos(2));
@@ -248,8 +263,8 @@ mod tests {
     #[test]
     fn ready_ids_respects_dependencies_and_window_state() {
         let mut plan = UpdatePlan::new();
-        plan.add(1, 1, fm(1));
-        plan.add_with_deps(2, 0, fm(2), vec![1]);
+        plan.add(1, 1, fm(1)).unwrap();
+        plan.add_with_deps(2, 0, fm(2), vec![1]).unwrap();
         let confirmed = HashSet::new();
         let sent = HashSet::new();
         assert_eq!(plan.ready_ids(&confirmed, &sent), vec![1]);

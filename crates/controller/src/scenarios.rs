@@ -126,6 +126,36 @@ impl TriangleScenario {
         COOKIE_FLIP_RULE_BASE + u64::from(i)
     }
 
+    /// Builds just the consistent migration plan — for every flow, install
+    /// the forwarding rule at S2, then (and only then) flip S1 to the new
+    /// next hop.  Switch references: 0 = S1, 1 = S2, 2 = S3.
+    ///
+    /// The plan names no simulator types, so the same plan drives the
+    /// in-simulator [`crate::Controller`] and the TCP deployment.
+    pub fn plan(&self) -> UpdatePlan {
+        use triangle_ports::*;
+        let mut plan = UpdatePlan::new();
+        for i in 0..self.n_flows {
+            let header = self.header(i);
+            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
+            let install = plan
+                .add(
+                    Self::s2_install_cookie(i),
+                    1,
+                    FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(S2_TO_S3)]),
+                )
+                .expect("triangle install cookies are unique");
+            plan.add_with_deps(
+                Self::s1_flip_cookie(i),
+                0,
+                FlowMod::modify_strict(m, FLOW_RULE_PRIORITY, vec![Action::output(S1_TO_S2)]),
+                vec![install],
+            )
+            .expect("triangle flip cookies are unique");
+        }
+        plan
+    }
+
     /// Builds hosts, switches, links, pre-installed state, traffic and the
     /// update plan inside `sim`.  The switches' controller connections are
     /// left unset: the caller wires them either directly to a
@@ -141,15 +171,19 @@ impl TriangleScenario {
         for i in 0..self.n_flows {
             let header = self.header(i);
             flow_headers.push(header);
-            h1.add_tx_flow(FlowSpec::constant_rate(
-                FlowId(u64::from(i)),
-                header,
-                1,
-                self.packets_per_sec,
-                self.traffic_start,
-                self.traffic_stop,
-            ));
-            h2.expect_flow(&header, FlowId(u64::from(i)));
+            // A zero rate disables traffic (like the bulk scenario), which
+            // speeds up control-plane-only runs.
+            if self.packets_per_sec > 0 {
+                h1.add_tx_flow(FlowSpec::constant_rate(
+                    FlowId(u64::from(i)),
+                    header,
+                    1,
+                    self.packets_per_sec,
+                    self.traffic_start,
+                    self.traffic_stop,
+                ));
+                h2.expect_flow(&header, FlowId(u64::from(i)));
+            }
         }
 
         let mut s1 = OpenFlowSwitch::new("S1", DatapathId::new(1), 3, self.edge_model.clone());
@@ -191,33 +225,13 @@ impl TriangleScenario {
         topo.add_link(s2_id, S2_TO_S3, s3_id, S3_TO_S2, lat);
         topo.add_link(s3_id, S3_TO_H2, h2_id, 1, lat);
 
-        // The consistent migration plan: for every flow, first install the
-        // forwarding rule at S2, then (and only then) flip S1 to the new
-        // next hop.
-        let mut plan = UpdatePlan::new();
-        for (i, header) in flow_headers.iter().enumerate() {
-            let i = i as u32;
-            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
-            let install = plan.add(
-                Self::s2_install_cookie(i),
-                1,
-                FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(S2_TO_S3)]),
-            );
-            plan.add_with_deps(
-                Self::s1_flip_cookie(i),
-                0,
-                FlowMod::modify_strict(m, FLOW_RULE_PRIORITY, vec![Action::output(S1_TO_S2)]),
-                vec![install],
-            );
-        }
-
         TriangleNet {
             h1: h1_id,
             h2: h2_id,
             s1: s1_id,
             s2: s2_id,
             s3: s3_id,
-            plan,
+            plan: self.plan(),
             flow_headers,
         }
     }
@@ -310,6 +324,24 @@ impl BulkUpdateScenario {
         COOKIE_NEW_RULE_BASE + i as u64
     }
 
+    /// Builds just the bulk-installation plan (R independent rules at the
+    /// device under test, switch reference 0), without any simulator.
+    pub fn plan(&self) -> UpdatePlan {
+        use bulk_ports::*;
+        let mut plan = UpdatePlan::new();
+        for i in 0..self.n_rules {
+            let header = self.header(i as u32);
+            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
+            plan.add(
+                Self::rule_cookie(i),
+                0,
+                FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(B_TO_C)]),
+            )
+            .expect("bulk rule cookies are unique");
+        }
+        plan
+    }
+
     /// Builds the chain topology, pre-installed state, traffic and plan.
     ///
     /// Switch references in the returned plan: 0 = the device under test (B).
@@ -367,23 +399,13 @@ impl BulkUpdateScenario {
         topo.add_link(b_id, B_TO_C, c_id, C_TO_B, lat);
         topo.add_link(c_id, C_TO_HOST, h_dst_id, 1, lat);
 
-        let mut plan = UpdatePlan::new();
-        for (i, header) in flow_headers.iter().enumerate() {
-            let m = OfMatch::ipv4_pair(header.nw_src, header.nw_dst);
-            plan.add(
-                Self::rule_cookie(i),
-                0,
-                FlowMod::add(m, FLOW_RULE_PRIORITY, vec![Action::output(B_TO_C)]),
-            );
-        }
-
         BulkNet {
             h_src: h_src_id,
             h_dst: h_dst_id,
             sw_a: a_id,
             sw_b: b_id,
             sw_c: c_id,
-            plan,
+            plan: self.plan(),
             flow_headers,
         }
     }

@@ -1,0 +1,388 @@
+//! The TCP driver for the sans-IO [`UpdateSession`]: the paper's
+//! consistent-update controller, running over real sockets.
+//!
+//! [`TcpUpdateController`] listens for its switch connections (usually the
+//! RUM proxy impersonating the switches), assigns them [`ConnId`]s in accept
+//! order, and — once every expected connection is up — feeds the session
+//! [`SessionInput::Started`].  From then on it is a pure message pump: reader
+//! threads decode OpenFlow frames into [`SessionInput::FromSwitch`], a timer
+//! thread replays [`SessionInput::TimerFired`], and every
+//! [`SessionEffect`] the session returns is executed mechanically (writes,
+//! timer arming).  All consistency logic — dependency gating, the window,
+//! acknowledgment modes, the failure policy — lives in the session, which is
+//! the exact state machine the simulator's `controller::Controller` drives.
+
+use crate::proxy::{reader_loop, writer_loop, Route};
+use crate::timer::TimerQueue;
+use controller::{ConnId, SessionEffect, SessionInput, SessionOutcome, UpdateSession};
+use openflow::OfMessage;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct ControllerState {
+    session: UpdateSession,
+    routes: Vec<Route>,
+    accepted: usize,
+    started: bool,
+}
+
+struct Inner {
+    state: Mutex<ControllerState>,
+    /// Notified whenever the session reaches a terminal outcome.
+    done: Condvar,
+    timers: TimerQueue,
+    stop: AtomicBool,
+    epoch: Instant,
+    n_connections: usize,
+}
+
+impl Inner {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Feeds one input under the lock and executes the returned effects.
+    fn drive(self: &Arc<Self>, input: SessionInput) {
+        let now = self.now();
+        let mut timers = Vec::new();
+        let mut finished = false;
+        {
+            let mut st = self.state.lock().unwrap();
+            let effects = st.session.handle(now, input);
+            for effect in effects {
+                match effect {
+                    SessionEffect::Send { conn, message } => {
+                        st.routes[conn.index()].send(message);
+                    }
+                    SessionEffect::ArmTimer { delay, token } => {
+                        timers.push((delay, token.raw()));
+                    }
+                    SessionEffect::Confirmed { .. } | SessionEffect::Rejected { .. } => {}
+                    SessionEffect::Completed { .. } | SessionEffect::Aborted { .. } => {
+                        finished = true;
+                    }
+                }
+            }
+        }
+        let now = Instant::now();
+        for (delay, token) in timers {
+            self.timers.arm(now + delay, token);
+        }
+        if finished {
+            self.done.notify_all();
+        }
+    }
+
+    /// Starts the update once all expected connections are attached.
+    fn maybe_start(self: &Arc<Self>) {
+        let ready = {
+            let mut st = self.state.lock().unwrap();
+            if st.accepted == self.n_connections && !st.started {
+                st.started = true;
+                true
+            } else {
+                false
+            }
+        };
+        if ready {
+            self.drive(SessionInput::Started);
+        }
+    }
+}
+
+/// A consistent-update controller serving an [`UpdateSession`] over TCP.
+///
+/// Switch connections attach in accept order: the first accepted socket
+/// becomes [`ConnId`] 0 (= plan `SwitchRef` 0) and so on, which matches how
+/// the RUM proxy dials one upstream connection per switch as that switch
+/// connects.  Deployments that need a deterministic mapping connect the
+/// switches one at a time (see [`TcpControllerHandle::connections`]).
+pub struct TcpUpdateController {
+    listen_addr: SocketAddr,
+    session: UpdateSession,
+    n_connections: usize,
+}
+
+impl TcpUpdateController {
+    /// Creates a controller executing `session` once `n_connections` switch
+    /// connections have been accepted on `listen_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's plan targets a `SwitchRef` outside
+    /// `0..n_connections` — its modifications could never be sent.
+    pub fn new(listen_addr: SocketAddr, session: UpdateSession, n_connections: usize) -> Self {
+        let max_target = session.plan().targets().into_iter().max();
+        if let Some(max) = max_target {
+            assert!(
+                max < n_connections,
+                "plan targets switch {max} but only {n_connections} connections are expected"
+            );
+        }
+        TcpUpdateController {
+            listen_addr,
+            session,
+            n_connections,
+        }
+    }
+
+    /// Binds the listener and starts accepting connections on background
+    /// threads.  The update begins automatically once all expected
+    /// connections are up.
+    pub fn start(self) -> std::io::Result<TcpControllerHandle> {
+        let listener = TcpListener::bind(self.listen_addr)?;
+        let local_addr = listener.local_addr()?;
+        let n_connections = self.n_connections;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(ControllerState {
+                session: self.session,
+                routes: (0..n_connections)
+                    .map(|_| Route::Pending(Vec::new()))
+                    .collect(),
+                accepted: 0,
+                started: false,
+            }),
+            done: Condvar::new(),
+            timers: TimerQueue::new(),
+            stop: AtomicBool::new(false),
+            epoch: Instant::now(),
+            n_connections,
+        });
+
+        let timer_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                let fire_inner = Arc::clone(&inner);
+                inner.timers.run(&inner.stop, move |token| {
+                    fire_inner.drive(SessionInput::TimerFired {
+                        token: controller::SessionTimerToken::from_raw(token),
+                    });
+                });
+            })
+        };
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_inner.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else {
+                    continue;
+                };
+                let conn = {
+                    let mut st = accept_inner.state.lock().unwrap();
+                    if st.accepted >= accept_inner.n_connections {
+                        // Surplus connection: drop it.
+                        continue;
+                    }
+                    let conn = ConnId::new(st.accepted);
+                    st.accepted += 1;
+                    conn
+                };
+                attach_connection(&accept_inner, conn, stream);
+                accept_inner.maybe_start();
+            }
+        });
+
+        Ok(TcpControllerHandle {
+            local_addr,
+            inner,
+            accept_thread: Some(accept_thread),
+            timer_thread: Some(timer_thread),
+        })
+    }
+}
+
+/// Wires one accepted switch connection: a writer thread draining the
+/// conn's outbox and a reader thread feeding the session.
+fn attach_connection(inner: &Arc<Inner>, conn: ConnId, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let reader = stream.try_clone().expect("clone switch stream");
+    let (tx, rx) = channel::<OfMessage>();
+    inner.state.lock().unwrap().routes[conn.index()].connect(tx);
+    std::thread::spawn(move || writer_loop(rx, stream));
+    {
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            reader_loop(reader, |message| {
+                inner.drive(SessionInput::FromSwitch { conn, message });
+            });
+        });
+    }
+}
+
+/// A handle to a running TCP update controller.
+pub struct TcpControllerHandle {
+    /// The address the controller actually listens on (useful with port 0).
+    pub local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpControllerHandle {
+    /// Number of switch connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.inner.state.lock().unwrap().accepted
+    }
+
+    /// Runs `f` against the session under the lock — the unified inspection
+    /// surface (confirm counts, timestamps, outcome), identical to what the
+    /// simulator driver exposes.
+    pub fn with_session<R>(&self, f: impl FnOnce(&UpdateSession) -> R) -> R {
+        f(&self.inner.state.lock().unwrap().session)
+    }
+
+    /// Every confirmation the session recorded, in order.
+    pub fn confirmed_order(&self) -> Vec<u64> {
+        self.with_session(|s| s.confirmed_order().to_vec())
+    }
+
+    /// Blocks until the session reaches a terminal outcome (completed or
+    /// aborted) or `timeout` elapses; returns the outcome if there is one.
+    pub fn wait_for_outcome(&self, timeout: Duration) -> Option<SessionOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(outcome) = st.session.outcome() {
+                return Some(outcome.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.inner.done.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Asks the accept and timer loops to stop and waits for them.
+    /// Established connection threads terminate when their sockets close.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.timers.wake();
+        // Unblock the accept loop with a throw-away connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.timer_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use controller::{AckMode, FailurePolicy, UpdatePlan};
+    use openflow::messages::FlowMod;
+    use openflow::{Action, OfCodec, OfMatch};
+    use std::io::{Read, Write};
+    use std::net::Ipv4Addr;
+
+    fn plan(n: u64) -> UpdatePlan {
+        let mut plan = UpdatePlan::new();
+        for i in 0..n {
+            plan.add(
+                i + 1,
+                0,
+                FlowMod::add(
+                    OfMatch::ipv4_pair(
+                        Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+                        Ipv4Addr::new(10, 1, 0, 1),
+                    ),
+                    100,
+                    vec![Action::output(2)],
+                ),
+            )
+            .unwrap();
+        }
+        plan
+    }
+
+    /// A scripted in-process switch: acks every flow-mod with a RUM-style
+    /// fine-grained acknowledgment, which is what the proxy would send.
+    fn acking_switch(addr: SocketAddr) -> JoinHandle<Vec<u64>> {
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect to controller");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(3)))
+                .unwrap();
+            let mut codec = OfCodec::new();
+            let mut buf = [0u8; 2048];
+            let mut seen = Vec::new();
+            loop {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                codec.feed(&buf[..n]);
+                while let Ok(Some(msg)) = codec.next_message() {
+                    if let OfMessage::FlowMod { xid, .. } = msg {
+                        seen.push(u64::from(xid));
+                        stream
+                            .write_all(&OfMessage::rum_ack(xid).encode_to_vec().unwrap())
+                            .unwrap();
+                    }
+                }
+            }
+            seen
+        })
+    }
+
+    #[test]
+    fn session_completes_over_real_sockets() {
+        let session = UpdateSession::new(plan(6), AckMode::RumAcks, 2);
+        let ctrl = TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 1);
+        let handle = ctrl.start().expect("controller starts");
+        let switch = acking_switch(handle.local_addr);
+        let outcome = handle
+            .wait_for_outcome(Duration::from_secs(5))
+            .expect("update finishes");
+        assert!(matches!(outcome, SessionOutcome::Completed { .. }));
+        assert_eq!(handle.confirmed_order(), vec![1, 2, 3, 4, 5, 6]);
+        assert!(handle.with_session(|s| s.is_complete()));
+        handle.shutdown();
+        let sent = switch.join().unwrap();
+        assert_eq!(sent, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn silent_switch_triggers_the_failure_policy() {
+        let mut session = UpdateSession::new(plan(2), AckMode::RumAcks, 1);
+        session.set_failure_policy(FailurePolicy::retry(Duration::from_millis(40), 1));
+        let ctrl = TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 1);
+        let handle = ctrl.start().unwrap();
+        // A switch that swallows everything: never acks.
+        let stream = TcpStream::connect(handle.local_addr).unwrap();
+        let outcome = handle
+            .wait_for_outcome(Duration::from_secs(5))
+            .expect("the policy must abort the stalled update");
+        match outcome {
+            SessionOutcome::Aborted { report } => assert_eq!(report.failed, 1),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        drop(stream);
+        handle.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "plan targets switch 1")]
+    fn undersized_connection_count_is_rejected() {
+        let mut p = UpdatePlan::new();
+        p.add(
+            1,
+            1,
+            FlowMod::add(OfMatch::wildcard_all(), 1, vec![Action::output(1)]),
+        )
+        .unwrap();
+        let session = UpdateSession::new(p, AckMode::NoWait, 1);
+        TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 1);
+    }
+}

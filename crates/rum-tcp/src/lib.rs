@@ -18,6 +18,18 @@
 //!   [`openflow::OfCodec`] framing, and a timer thread feeding engine
 //!   timeouts back in.
 //!
+//! Since the consistent-update controller became sans-IO too
+//! (`controller::UpdateSession`), this crate also completes the paper's
+//! prototype chain on real sockets:
+//!
+//! * [`controller::TcpUpdateController`] — the TCP driver of the update
+//!   session: executes a dependency-ordered plan over accepted switch
+//!   connections, with the same window/ack-mode/failure-policy logic as the
+//!   simulator controller.
+//! * [`switch_host`] — `ofswitch` flow tables and behaviour models hosted
+//!   behind a TCP client, emulating buggy (early barrier reply) or faithful
+//!   switches.
+//!
 //! Every acknowledgment technique the engine supports (barriers, static
 //! timeout, adaptive delay, sequential and general probing) is therefore
 //! available over TCP by construction — select one with
@@ -33,8 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod proxy;
 pub mod relay;
+pub mod switch_host;
+mod timer;
 
+pub use controller::{TcpControllerHandle, TcpUpdateController};
 pub use proxy::{wait_for, ProxyConfig, ProxyCounters, ProxyHandle, RumTcpProxy};
 pub use relay::{Endpoint, EngineRelay, RelayEffects};
+pub use switch_host::{spawn_switch, SocketSwitchHandle, SwitchCounters, SwitchReport};

@@ -17,15 +17,14 @@
 //! start-up) are buffered and flushed on accept.
 
 use crate::relay::{Endpoint, EngineRelay, RelayEffects};
+use crate::timer::TimerQueue;
 use openflow::{OfCodec, OfMessage};
 use rum::{ProxyStats, RumBuilder, SwitchId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -55,13 +54,15 @@ pub struct ProxyCounters {
 
 /// Where messages for one endpoint go: buffered until the connection exists,
 /// then straight into its writer thread's queue.
-enum Route {
+pub(crate) enum Route {
+    /// No connection yet; messages queue up and flush on attach.
     Pending(Vec<OfMessage>),
+    /// A live connection's writer-thread inbox.
     Connected(Sender<OfMessage>),
 }
 
 impl Route {
-    fn send(&mut self, msg: OfMessage) {
+    pub(crate) fn send(&mut self, msg: OfMessage) {
         match self {
             Route::Pending(q) => q.push(msg),
             Route::Connected(tx) => {
@@ -72,7 +73,7 @@ impl Route {
         }
     }
 
-    fn connect(&mut self, tx: Sender<OfMessage>) {
+    pub(crate) fn connect(&mut self, tx: Sender<OfMessage>) {
         if let Route::Pending(q) = std::mem::replace(self, Route::Connected(tx.clone())) {
             for msg in q {
                 let _ = tx.send(msg);
@@ -91,14 +92,6 @@ struct RelayState {
     routes: Vec<SwitchRoutes>,
     /// Which switch slots currently have a live connection pair.
     attached: Vec<bool>,
-}
-
-/// A pending engine timer.
-type TimerEntry = Reverse<(Instant, u64)>;
-
-struct TimerQueue {
-    heap: Mutex<BinaryHeap<TimerEntry>>,
-    cv: Condvar,
 }
 
 struct Inner {
@@ -129,45 +122,18 @@ impl Inner {
             fx
         };
         if !fx.timers.is_empty() {
-            let mut heap = self.timers.heap.lock().unwrap();
             let now = Instant::now();
             for (delay, token) in fx.timers {
-                heap.push(Reverse((now + delay, token.raw())));
+                self.timers.arm(now + delay, token.raw());
             }
-            self.timers.cv.notify_one();
         }
     }
 
     fn timer_loop(self: Arc<Self>) {
-        let mut heap = self.timers.heap.lock().unwrap();
-        loop {
-            if self.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            match heap.peek().copied() {
-                None => {
-                    let (h, _) = self
-                        .timers
-                        .cv
-                        .wait_timeout(heap, Duration::from_millis(100))
-                        .unwrap();
-                    heap = h;
-                }
-                Some(Reverse((deadline, token))) => {
-                    let now = Instant::now();
-                    if deadline <= now {
-                        heap.pop();
-                        drop(heap);
-                        self.counters.timers_fired.fetch_add(1, Ordering::SeqCst);
-                        self.apply(|r| r.on_timer(rum::TimerToken::from_raw(token)));
-                        heap = self.timers.heap.lock().unwrap();
-                    } else {
-                        let (h, _) = self.timers.cv.wait_timeout(heap, deadline - now).unwrap();
-                        heap = h;
-                    }
-                }
-            }
-        }
+        self.timers.run(&self.stop, |token| {
+            self.counters.timers_fired.fetch_add(1, Ordering::SeqCst);
+            self.apply(|r| r.on_timer(rum::TimerToken::from_raw(token)));
+        });
     }
 }
 
@@ -208,7 +174,7 @@ impl ProxyHandle {
     /// Established relay threads terminate when their sockets close.
     pub fn shutdown(mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        self.inner.timers.cv.notify_all();
+        self.inner.timers.wake();
         // Unblock the accept loop with a throw-away connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
@@ -257,10 +223,7 @@ impl RumTcpProxy {
                 routes,
                 attached: vec![false; n_switches],
             }),
-            timers: TimerQueue {
-                heap: Mutex::new(BinaryHeap::new()),
-                cv: Condvar::new(),
-            },
+            timers: TimerQueue::new(),
             counters: ProxyCounters::default(),
             stop: AtomicBool::new(false),
         });
@@ -388,7 +351,7 @@ fn detach_connection(inner: &Arc<Inner>, switch: SwitchId) {
 }
 
 /// Drains an outbox into a socket until either side goes away.
-fn writer_loop(rx: Receiver<OfMessage>, mut stream: TcpStream) {
+pub(crate) fn writer_loop(rx: Receiver<OfMessage>, mut stream: TcpStream) {
     for msg in rx {
         let Ok(bytes) = msg.encode_to_vec() else {
             continue;
@@ -400,7 +363,7 @@ fn writer_loop(rx: Receiver<OfMessage>, mut stream: TcpStream) {
 }
 
 /// Reads OpenFlow frames off a socket and hands them to `sink`.
-fn reader_loop(mut stream: TcpStream, mut sink: impl FnMut(OfMessage)) {
+pub(crate) fn reader_loop(mut stream: TcpStream, mut sink: impl FnMut(OfMessage)) {
     let mut codec = OfCodec::new();
     let mut buf = [0u8; 4096];
     loop {

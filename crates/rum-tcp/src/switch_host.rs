@@ -1,0 +1,266 @@
+//! A socket-hosted OpenFlow switch: the `ofswitch` flow-table and behaviour
+//! model served over a real TCP connection.
+//!
+//! The simulator's `ofswitch::OpenFlowSwitch` is a `simnet` node; this
+//! module hosts the same flow-table semantics ([`ofswitch::FlowTable`]) and
+//! the same timing/behaviour knobs ([`ofswitch::SwitchModel`]) behind a TCP
+//! client, so the paper's prototype chain — controller → RUM proxy →
+//! switches — can run end to end on loopback sockets.  The barrier
+//! behaviour is the interesting part:
+//!
+//! * early-reply models answer `BarrierRequest` immediately, long before the
+//!   emulated data plane has synchronised — the bug RUM exists to paper
+//!   over;
+//! * the faithful model answers only after every accepted modification's
+//!   data-plane activation time has passed.
+
+use ofswitch::{FlowTable, SwitchModel};
+use openflow::messages::ErrorMsg;
+use openflow::{OfCodec, OfMessage};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live message counters of a hosted switch.
+#[derive(Debug, Default)]
+pub struct SwitchCounters {
+    /// Flow modifications accepted by the control plane.
+    pub flow_mods: AtomicU64,
+    /// Barrier requests answered.
+    pub barriers: AtomicU64,
+    /// Echo requests answered.
+    pub echos: AtomicU64,
+    /// Modifications rejected with an error.
+    pub errors: AtomicU64,
+}
+
+/// Final state of a hosted switch after its connection closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchReport {
+    /// Rules in the control-plane table at disconnect.
+    pub control_rules: usize,
+    /// Rules visible in the (emulated) data-plane table at disconnect.
+    pub data_rules: usize,
+}
+
+/// A handle to a switch served on a background thread.
+pub struct SocketSwitchHandle {
+    counters: Arc<SwitchCounters>,
+    thread: JoinHandle<SwitchReport>,
+}
+
+impl SocketSwitchHandle {
+    /// Live counters (updated by the serving thread).
+    pub fn counters(&self) -> &SwitchCounters {
+        &self.counters
+    }
+
+    /// Waits for the connection to close and returns the final tables.
+    pub fn join(self) -> SwitchReport {
+        self.thread.join().expect("switch thread panicked")
+    }
+}
+
+/// Connects to `addr` (the RUM proxy or a controller) and serves an
+/// OpenFlow switch with the given behaviour model until the peer closes the
+/// connection.
+pub fn spawn_switch(addr: SocketAddr, model: SwitchModel) -> std::io::Result<SocketSwitchHandle> {
+    let stream = TcpStream::connect(addr)?;
+    let counters = Arc::new(SwitchCounters::default());
+    let thread = {
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || serve(stream, model, &counters))
+    };
+    Ok(SocketSwitchHandle { counters, thread })
+}
+
+/// One modification accepted by the control plane, waiting for the data
+/// plane to pick it up.
+struct PendingOp {
+    active_at: Instant,
+    flow_mod: openflow::messages::FlowMod,
+}
+
+fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -> SwitchReport {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let epoch = Instant::now();
+    let mut codec = OfCodec::new();
+    let mut buf = [0u8; 4096];
+    let mut control = FlowTable::new(model.table_capacity);
+    let mut data = FlowTable::new(model.table_capacity);
+    let mut pending: Vec<PendingOp> = Vec::new();
+    // The control plane is serial: each modification occupies it for a
+    // model-dependent time, and the data plane activates the rule only at
+    // the next synchronisation point after that.
+    let mut busy_until = Instant::now();
+
+    let base_mod: Duration = model.base_mod_time.into();
+    let per_rule: Duration = model.per_rule_slowdown.into();
+    let sync: Duration =
+        Duration::from(model.dataplane_sync_period) + Duration::from(model.dataplane_sync_latency);
+
+    loop {
+        // Lazily synchronise the emulated data plane.
+        let now = Instant::now();
+        pending.retain(|op| {
+            if op.active_at <= now {
+                let _ = data.apply(&op.flow_mod, epoch.elapsed().into());
+                false
+            } else {
+                true
+            }
+        });
+
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        codec.feed(&buf[..n]);
+        loop {
+            let msg = match codec.next_message() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => break,
+                Err(_) => {
+                    return SwitchReport {
+                        control_rules: control.len(),
+                        data_rules: data.len(),
+                    }
+                }
+            };
+            let reply = match msg {
+                OfMessage::FlowMod { xid, body } => {
+                    let accepted_at =
+                        busy_until.max(Instant::now()) + base_mod + per_rule * control.len() as u32;
+                    busy_until = accepted_at;
+                    match control.apply(&body, epoch.elapsed().into()) {
+                        Ok(_) => {
+                            counters.flow_mods.fetch_add(1, Ordering::SeqCst);
+                            pending.push(PendingOp {
+                                active_at: accepted_at + sync,
+                                flow_mod: body,
+                            });
+                            None
+                        }
+                        Err(e) => {
+                            counters.errors.fetch_add(1, Ordering::SeqCst);
+                            Some(OfMessage::Error {
+                                xid,
+                                body: ErrorMsg {
+                                    err_type: openflow::constants::error_type::FLOW_MOD_FAILED,
+                                    code: e.error_code(),
+                                    data: vec![],
+                                },
+                            })
+                        }
+                    }
+                }
+                OfMessage::BarrierRequest { xid } => {
+                    counters.barriers.fetch_add(1, Ordering::SeqCst);
+                    if !model.barrier_mode.replies_early() {
+                        // Faithful: wait for the data plane to catch up
+                        // before answering (a barrier is a sync point, so
+                        // blocking the control plane is the semantics).
+                        if let Some(latest) = pending.iter().map(|op| op.active_at).max() {
+                            let now = Instant::now();
+                            if latest > now {
+                                std::thread::sleep(latest - now);
+                            }
+                        }
+                        let now = Instant::now();
+                        pending.retain(|op| {
+                            if op.active_at <= now {
+                                let _ = data.apply(&op.flow_mod, epoch.elapsed().into());
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                    Some(OfMessage::BarrierReply { xid })
+                }
+                OfMessage::EchoRequest { xid, data } => {
+                    counters.echos.fetch_add(1, Ordering::SeqCst);
+                    Some(OfMessage::EchoReply { xid, data })
+                }
+                OfMessage::Hello { xid } => Some(OfMessage::Hello { xid }),
+                _ => None,
+            };
+            if let Some(reply) = reply {
+                if stream
+                    .write_all(&reply.encode_to_vec().expect("encodable reply"))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    }
+    SwitchReport {
+        control_rules: control.len(),
+        data_rules: data.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::messages::FlowMod;
+    use openflow::{Action, OfMatch};
+    use std::net::TcpListener;
+
+    /// A buggy-model switch answers a barrier long before its emulated data
+    /// plane would have activated the preceding modification.
+    #[test]
+    fn early_reply_switch_answers_barriers_instantly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = spawn_switch(addr, SwitchModel::hp5406zl()).unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        peer.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+
+        let fm = OfMessage::FlowMod {
+            xid: 1,
+            body: FlowMod::add(OfMatch::wildcard_all(), 10, vec![Action::output(1)]),
+        };
+        let started = Instant::now();
+        peer.write_all(&fm.encode_to_vec().unwrap()).unwrap();
+        peer.write_all(
+            &OfMessage::BarrierRequest { xid: 2 }
+                .encode_to_vec()
+                .unwrap(),
+        )
+        .unwrap();
+
+        let mut codec = OfCodec::new();
+        let mut buf = [0u8; 512];
+        let reply_at = loop {
+            let n = peer.read(&mut buf).unwrap();
+            codec.feed(&buf[..n]);
+            if let Ok(Some(OfMessage::BarrierReply { xid: 2 })) = codec.next_message() {
+                break started.elapsed();
+            }
+        };
+        // The HP model's data plane lags by >= 100 ms; the buggy barrier
+        // reply must arrive way earlier.
+        assert!(
+            reply_at < Duration::from_millis(90),
+            "buggy switch replied after {reply_at:?}"
+        );
+        assert_eq!(handle.counters().flow_mods.load(Ordering::SeqCst), 1);
+        assert_eq!(handle.counters().barriers.load(Ordering::SeqCst), 1);
+        drop(peer);
+        let report = handle.join();
+        assert_eq!(report.control_rules, 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! Switch behaviour models.
 //!
 //! The model captures the timing characteristics the paper (and its
-//! companion technical report [7]) measured on real hardware:
+//! companion technical report \[7\]) measured on real hardware:
 //!
 //! * the control plane accepts flow modifications serially, at a rate that
 //!   *decreases as the flow table fills* (roughly 250 mods/s when nearly

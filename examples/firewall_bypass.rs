@@ -100,22 +100,27 @@ fn run(technique: Option<TechniqueConfig>) -> (u64, u64, usize) {
         .with_nw_proto(openflow::constants::IPPROTO_TCP)
         .with_tp_dst(80);
     let mut plan = UpdatePlan::new();
-    let y = plan.add(
-        10,
-        1, // switch B
-        openflow::messages::FlowMod::add(from_client, 100, vec![Action::output(2)]),
-    );
-    let z = plan.add(
-        11,
-        1,
-        openflow::messages::FlowMod::add(http_from_client, 200, vec![Action::output(3)]),
-    );
+    let y = plan
+        .add(
+            10,
+            1, // switch B
+            openflow::messages::FlowMod::add(from_client, 100, vec![Action::output(2)]),
+        )
+        .expect("unique id");
+    let z = plan
+        .add(
+            11,
+            1,
+            openflow::messages::FlowMod::add(http_from_client, 200, vec![Action::output(3)]),
+        )
+        .expect("unique id");
     plan.add_with_deps(
         12,
         0, // switch A
         openflow::messages::FlowMod::add(from_client, 100, vec![Action::output(2)]),
         vec![y, z],
-    );
+    )
+    .expect("unique id");
 
     let controller = Controller::new(
         "ctrl",

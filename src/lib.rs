@@ -26,12 +26,16 @@ pub use simnet;
 /// A convenience prelude for examples and quick experiments.
 pub mod prelude {
     pub use controller::scenarios::{BulkUpdateScenario, TriangleScenario};
-    pub use controller::{AckMode, Controller, UpdatePlan};
+    pub use controller::{
+        AckMode, ConnId, Controller, FailurePolicy, SessionEffect, SessionInput, SessionOutcome,
+        UpdatePlan, UpdateSession,
+    };
     pub use ofswitch::{BarrierMode, OpenFlowSwitch, SwitchModel};
     pub use openflow::{Action, OfMatch, OfMessage, PacketHeader};
     pub use rum::{
         deploy, Effect, Input, ProxyStats, RumBuilder, RumEngine, RumHandle, SwitchId,
         TechniqueConfig,
     };
+    pub use rum_tcp::{RumTcpProxy, TcpUpdateController};
     pub use simnet::{SimTime, Simulator};
 }

@@ -292,3 +292,113 @@ fn synthesized_probe_hits_exactly_the_probed_rule() {
         }
     }
 }
+
+/// The update session's window invariant: under arbitrary (randomised)
+/// interleavings of acknowledgments, rejections and ticks, the number of
+/// sent-but-unconfirmed modifications never exceeds K, dependencies are
+/// always respected, and the plan eventually completes.
+#[test]
+fn update_session_never_exceeds_window_under_random_ack_interleavings() {
+    use controller::{AckMode, ConnId, SessionEffect, SessionInput, UpdatePlan, UpdateSession};
+    use std::time::Duration;
+
+    let mut rng = rng_for(9);
+    for case in 0..CASES {
+        let n_mods = 2 + rng.gen_index(20) as u64;
+        let window = 1 + rng.gen_index(6);
+        // Random DAG: each mod may depend on up to two earlier mods.
+        let mut plan = UpdatePlan::new();
+        for id in 1..=n_mods {
+            let mut deps = Vec::new();
+            if id > 1 && rng.gen_bool(0.5) {
+                deps.push(1 + rng.gen_range_u64(id - 1));
+            }
+            if id > 1 && rng.gen_bool(0.25) {
+                let d = 1 + rng.gen_range_u64(id - 1);
+                if !deps.contains(&d) {
+                    deps.push(d);
+                }
+            }
+            let target = rng.gen_index(3);
+            plan.add_with_deps(
+                id,
+                target,
+                FlowMod::add(
+                    OfMatch::ipv4_pair(
+                        Ipv4Addr::new(10, 0, 0, id as u8),
+                        Ipv4Addr::new(10, 1, 0, id as u8),
+                    ),
+                    100,
+                    vec![Action::output(2)],
+                ),
+                deps,
+            )
+            .unwrap();
+        }
+        plan.validate().expect("forward deps are acyclic");
+
+        let mut session = UpdateSession::new(plan, AckMode::RumAcks, window);
+        let mut outstanding: Vec<u64> = Vec::new();
+        let mut now = Duration::ZERO;
+        let collect = |fx: Vec<SessionEffect>, outstanding: &mut Vec<u64>| {
+            for e in fx {
+                if let SessionEffect::Send {
+                    message: OfMessage::FlowMod { xid, .. },
+                    ..
+                } = e
+                {
+                    outstanding.push(u64::from(xid));
+                }
+            }
+        };
+        let fx = session.handle(now, SessionInput::Started);
+        collect(fx, &mut outstanding);
+        assert!(
+            session.in_flight() <= window,
+            "case {case}: {} in flight with window {window} right after start",
+            session.in_flight()
+        );
+
+        let mut steps = 0usize;
+        while !session.is_complete() {
+            steps += 1;
+            assert!(
+                steps < 10_000,
+                "case {case}: session did not complete (confirmed {}/{n_mods})",
+                session.confirmed_count()
+            );
+            now += Duration::from_millis(1 + rng.gen_range_u64(10));
+            let input = if outstanding.is_empty() || rng.gen_bool(0.1) {
+                SessionInput::Tick
+            } else {
+                // Ack a random outstanding modification (ordering across
+                // switches is entirely up to the network).
+                let idx = rng.gen_index(outstanding.len());
+                let id = outstanding.swap_remove(idx);
+                SessionInput::FromSwitch {
+                    conn: ConnId::new(0),
+                    message: OfMessage::rum_ack(id as u32),
+                }
+            };
+            let fx = session.handle(now, input);
+            collect(fx, &mut outstanding);
+            assert!(
+                session.in_flight() <= window,
+                "case {case}: window violated ({} > {window})",
+                session.in_flight()
+            );
+        }
+        // Dependencies were honoured: every mod was sent at or after the
+        // confirmation of each of its dependencies.
+        for m in session.plan().mods() {
+            for d in &m.deps {
+                assert!(
+                    session.send_times()[&m.id] >= session.confirmation_times()[d],
+                    "case {case}: mod {} sent before dep {d} confirmed",
+                    m.id
+                );
+            }
+        }
+        assert_eq!(session.confirmed_count(), n_mods as usize, "case {case}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-driver equivalence for the sans-IO `UpdateSession`: the simnet
+//! driver (`controller::Controller`) and the TCP driver
+//! (`rum_tcp::TcpUpdateController`) must confirm the same plan in the same
+//! order, because every ordering decision — dependency gating, the window,
+//! sorted dispatch — lives in the session, not in the drivers.
+
+use controller::{AckMode, Controller, SessionOutcome, TriangleScenario, UpdateSession};
+use ofswitch::{OpenFlowSwitch, SwitchModel};
+use rum::{deploy, RumBuilder, TechniqueConfig};
+use rum_tcp::{spawn_switch, wait_for, ProxyConfig, RumTcpProxy, TcpUpdateController};
+use simnet::{SimTime, Simulator};
+use std::time::Duration;
+
+const N_FLOWS: u32 = 4;
+const HOLD_DOWN: Duration = Duration::from_millis(15);
+/// Window 1 serialises the plan, so the confirm order is fully determined
+/// by the session's dispatch rule and must not depend on driver timing.
+const WINDOW: usize = 1;
+
+fn scenario() -> TriangleScenario {
+    TriangleScenario {
+        n_flows: N_FLOWS,
+        packets_per_sec: 0,
+        ..Default::default()
+    }
+}
+
+fn technique() -> TechniqueConfig {
+    TechniqueConfig::StaticTimeout { delay: HOLD_DOWN }
+}
+
+fn simnet_confirm_order() -> Vec<u64> {
+    let mut sim = Simulator::new(21);
+    let net = scenario().build(&mut sim);
+    let switches = [net.s1, net.s2, net.s3];
+    let ctrl = Controller::new(
+        "ctrl",
+        net.plan.clone(),
+        AckMode::RumAcks,
+        WINDOW,
+        SimTime::from_millis(5),
+    );
+    let ctrl_id = sim.add_node(ctrl);
+    let builder = RumBuilder::new(switches.len()).technique(technique());
+    let (proxies, _handle) = deploy(&mut sim, builder, ctrl_id, &switches);
+    sim.node_mut::<Controller>(ctrl_id)
+        .unwrap()
+        .set_connections(proxies.clone());
+    for (i, sw) in switches.iter().enumerate() {
+        sim.node_mut::<OpenFlowSwitch>(*sw)
+            .unwrap()
+            .connect_controller(proxies[i]);
+    }
+    sim.run_until(SimTime::from_secs(10));
+    let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+    assert!(
+        ctrl.is_complete(),
+        "simnet run stalled at {}/{}",
+        ctrl.confirmed_count(),
+        2 * N_FLOWS
+    );
+    ctrl.session().confirmed_order().to_vec()
+}
+
+fn tcp_confirm_order() -> Vec<u64> {
+    let plan = scenario().plan();
+    let session = UpdateSession::new(plan, AckMode::RumAcks, WINDOW);
+    let controller = TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 3);
+    let ctrl_handle = controller.start().expect("controller starts");
+    let proxy = RumTcpProxy::new(
+        ProxyConfig {
+            listen_addr: "127.0.0.1:0".parse().unwrap(),
+            controller_addr: ctrl_handle.local_addr,
+        },
+        RumBuilder::new(3).technique(technique()),
+    );
+    let proxy_handle = proxy.start().expect("proxy starts");
+
+    // Connect S1, S2, S3 in order so ConnId/SwitchId match the plan refs.
+    let models = [
+        SwitchModel::faithful(),
+        SwitchModel::hp5406zl(),
+        SwitchModel::faithful(),
+    ];
+    let mut switches = Vec::new();
+    for (i, model) in models.into_iter().enumerate() {
+        switches.push(spawn_switch(proxy_handle.local_addr, model).expect("switch connects"));
+        assert!(
+            wait_for(
+                || ctrl_handle.connections() == i + 1,
+                Duration::from_secs(5)
+            ),
+            "switch {i} did not reach the controller"
+        );
+    }
+
+    let outcome = ctrl_handle
+        .wait_for_outcome(Duration::from_secs(30))
+        .expect("TCP run must finish");
+    assert!(matches!(outcome, SessionOutcome::Completed { .. }));
+    let order = ctrl_handle.confirmed_order();
+    ctrl_handle.shutdown();
+    proxy_handle.shutdown();
+    order
+}
+
+#[test]
+fn simnet_and_tcp_drivers_confirm_in_the_same_order() {
+    let sim_order = simnet_confirm_order();
+    let tcp_order = tcp_confirm_order();
+    assert_eq!(sim_order.len(), 2 * N_FLOWS as usize);
+    assert_eq!(
+        sim_order, tcp_order,
+        "the sans-IO session must impose the same confirm order on both drivers"
+    );
+    // The consistent-update property in the order itself: every S1 flip
+    // (cookie >= 100_000) confirms after its S2 install (cookie 1000 + i).
+    for i in 0..N_FLOWS {
+        let install = TriangleScenario::s2_install_cookie(i);
+        let flip = TriangleScenario::s1_flip_cookie(i);
+        let pos = |id: u64| sim_order.iter().position(|&x| x == id).unwrap();
+        assert!(
+            pos(install) < pos(flip),
+            "flip {flip} confirmed before install {install}"
+        );
+    }
+}
