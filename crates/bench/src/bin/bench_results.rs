@@ -1,17 +1,102 @@
 //! Runs the end-to-end experiment for every acknowledgment technique across
-//! several seeds and writes machine-readable aggregates (median/p95 update
-//! completion time, confirm counts) to `BENCH_results.json`, so the
-//! performance trajectory is tracked across PRs instead of only being
-//! pretty-printed.
+//! several seeds, plus the throughput microbenchmarks (bulk flow-mod install
+//! indexed vs. linear-scan baseline, codec encode/decode, engine/session
+//! drains), and writes machine-readable aggregates to `BENCH_results.json`
+//! (schema 2 — see `rum_bench::report::results_json`), so the performance
+//! trajectory is tracked across PRs instead of only being pretty-printed.
 //!
-//! Usage: `bench_results [n_flows] [output_path]`
-//! (defaults: 40 flows, `BENCH_results.json` in the current directory).
+//! Usage: `bench_results [n_flows] [output_path] [install_n]`
+//! (defaults: 40 flows, `BENCH_results.json` in the current directory, and a
+//! 100 000-entry bulk install).  CI's smoke job passes a small `install_n`
+//! so the quadratic linear-scan baseline stays fast there; the committed
+//! `BENCH_results.json` is produced with the defaults.
 
 use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
-use rum_bench::report::{write_results, ExperimentRecord};
+use rum_bench::report::{write_results, ExperimentRecord, ThroughputRecord};
+use rum_bench::throughput;
 use std::path::PathBuf;
+use std::time::Duration;
 
 const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Medians are over this many repetitions of each throughput workload
+/// (except the linear-scan baseline, whose quadratic cost makes one run
+/// representative enough).
+const THROUGHPUT_RUNS: usize = 3;
+
+fn throughput_records(install_n: usize) -> Vec<ThroughputRecord> {
+    let mut records = Vec::new();
+
+    // Bulk flow-mod install: indexed table vs. the linear-scan oracle on the
+    // identical workload.  This is the acceptance measurement for the
+    // indexed-table redesign (target: >= 10x at 100k entries).
+    let mods = throughput::bulk_flow_mods(install_n);
+    let indexed: Vec<f64> = (0..THROUGHPUT_RUNS)
+        .map(|_| ms(throughput::install_indexed(&mods)))
+        .collect();
+    let linear = ms(throughput::install_linear(&mods));
+    let baseline_ops_per_sec = install_n as f64 / (linear / 1e3);
+    records.push(
+        ThroughputRecord::from_runs(
+            format!("flow_mod_install/indexed_{install_n}"),
+            install_n as u64,
+            &indexed,
+        )
+        .with_baseline(baseline_ops_per_sec),
+    );
+    records.push(ThroughputRecord::from_runs(
+        format!("flow_mod_install/linear_{install_n}"),
+        install_n as u64,
+        &[linear],
+    ));
+
+    // Codec throughput over a proxy-shaped message mix.
+    let n_msgs = 4096.min(install_n.max(64));
+    let msgs = throughput::codec_messages(n_msgs);
+    let mut wire = Vec::new();
+    let encode: Vec<f64> = (0..THROUGHPUT_RUNS)
+        .map(|_| ms(throughput::encode_throughput(&msgs, &mut wire)))
+        .collect();
+    records.push(ThroughputRecord::from_runs(
+        format!("codec/encode_{n_msgs}"),
+        n_msgs as u64,
+        &encode,
+    ));
+    let decode: Vec<f64> = (0..THROUGHPUT_RUNS)
+        .map(|_| ms(throughput::decode_throughput(&wire, n_msgs)))
+        .collect();
+    records.push(ThroughputRecord::from_runs(
+        format!("codec/decode_{n_msgs}"),
+        n_msgs as u64,
+        &decode,
+    ));
+
+    // Sans-IO engine and session drains through the reused-buffer entry
+    // points.
+    let n_inputs = 8192.min(install_n.max(64));
+    let engine: Vec<f64> = (0..THROUGHPUT_RUNS)
+        .map(|_| ms(throughput::engine_drain_throughput(n_inputs)))
+        .collect();
+    records.push(ThroughputRecord::from_runs(
+        format!("engine/drain_{n_inputs}"),
+        n_inputs as u64,
+        &engine,
+    ));
+    let session: Vec<f64> = (0..THROUGHPUT_RUNS)
+        .map(|_| ms(throughput::session_drain_throughput(n_inputs)))
+        .collect();
+    records.push(ThroughputRecord::from_runs(
+        format!("session/drain_{n_inputs}"),
+        n_inputs as u64,
+        &session,
+    ));
+
+    records
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,6 +105,7 @@ fn main() {
         .get(2)
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_results.json"));
+    let install_n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
 
     let mut records = Vec::new();
     for technique in EndToEndTechnique::all() {
@@ -35,12 +121,31 @@ fn main() {
         let name = format!("end_to_end/{}", technique.label());
         let record = ExperimentRecord::from_runs(&name, &times, confirms);
         println!(
-            "{name:<32} median {:>8.1} ms  p95 {:>8.1} ms  confirms {confirms}",
+            "{name:<40} median {:>10.1} ms  p95 {:>8.1} ms  confirms {confirms}",
             record.median_completion_ms, record.p95_completion_ms
         );
         records.push(record);
     }
 
-    write_results(&path, &records).expect("write BENCH_results.json");
-    println!("\nwrote {} records to {}", records.len(), path.display());
+    let throughput = throughput_records(install_n);
+    for r in &throughput {
+        match r.speedup() {
+            Some(speedup) => println!(
+                "{:<40} median {:>10.1} ms  {:>12.0} ops/s  ({speedup:.0}x linear baseline)",
+                r.experiment, r.median_elapsed_ms, r.ops_per_sec
+            ),
+            None => println!(
+                "{:<40} median {:>10.1} ms  {:>12.0} ops/s",
+                r.experiment, r.median_elapsed_ms, r.ops_per_sec
+            ),
+        }
+    }
+
+    write_results(&path, &records, &throughput).expect("write BENCH_results.json");
+    println!(
+        "\nwrote {} latency + {} throughput records to {}",
+        records.len(),
+        throughput.len(),
+        path.display()
+    );
 }

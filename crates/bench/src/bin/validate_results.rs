@@ -1,0 +1,320 @@
+//! Validates a `BENCH_results.json` document against the schema-2 shape
+//! `bench_results` writes (see `rum_bench::report::results_json`), so CI
+//! catches a broken harness before a stale or malformed results file lands.
+//!
+//! Usage: `validate_results [path] [min_speedup]`
+//! (defaults: `BENCH_results.json`, no speedup floor).  When `min_speedup`
+//! is given, every `flow_mod_install/indexed_*` row must carry a `speedup`
+//! field of at least that factor over the linear-scan baseline.
+//!
+//! The build environment has no serde, so this ships a minimal JSON parser —
+//! enough for the flat document the harness emits.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.error("unclosed string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through byte by byte;
+                    // the input came from a &str so it is valid UTF-8.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn document(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn num(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        Json::Null => Ok(f64::NAN), // latency of an incomplete run
+        other => Err(format!("\"{key}\" is not a number: {other:?}")),
+    }
+}
+
+fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize), String> {
+    let Json::Obj(root) = doc else {
+        return Err("document root is not an object".into());
+    };
+    match get(root, "schema")? {
+        Json::Num(v) if *v == 2.0 => {}
+        other => return Err(format!("schema must be 2, got {other:?}")),
+    }
+    let Json::Arr(results) = get(root, "results")? else {
+        return Err("\"results\" is not an array".into());
+    };
+    for (i, row) in results.iter().enumerate() {
+        let Json::Obj(row) = row else {
+            return Err(format!("results[{i}] is not an object"));
+        };
+        match get(row, "experiment")? {
+            Json::Str(_) => {}
+            other => return Err(format!("results[{i}].experiment: {other:?}")),
+        }
+        num(row, "median_completion_ms")?;
+        num(row, "p95_completion_ms")?;
+        num(row, "confirms")?;
+        num(row, "runs")?;
+    }
+    let Json::Arr(throughput) = get(root, "throughput")? else {
+        return Err("\"throughput\" is not an array".into());
+    };
+    if throughput.is_empty() {
+        return Err("no throughput rows".into());
+    }
+    let mut install_rows = 0usize;
+    for (i, row) in throughput.iter().enumerate() {
+        let Json::Obj(row) = row else {
+            return Err(format!("throughput[{i}] is not an object"));
+        };
+        let Json::Str(name) = get(row, "experiment")? else {
+            return Err(format!("throughput[{i}].experiment is not a string"));
+        };
+        num(row, "ops")?;
+        num(row, "runs")?;
+        let elapsed = num(row, "median_elapsed_ms")?;
+        let ops_per_sec = num(row, "ops_per_sec")?;
+        if !elapsed.is_finite() || !ops_per_sec.is_finite() || ops_per_sec <= 0.0 {
+            return Err(format!("throughput[{i}] has non-finite measurements"));
+        }
+        if name.starts_with("flow_mod_install/indexed") {
+            install_rows += 1;
+            let speedup = num(row, "speedup")?;
+            if !speedup.is_finite() || speedup <= 0.0 {
+                return Err(format!("{name}: bad speedup {speedup}"));
+            }
+            if let Some(floor) = min_speedup {
+                if speedup < floor {
+                    return Err(format!(
+                        "{name}: speedup {speedup:.1}x below the required {floor}x"
+                    ));
+                }
+            }
+        }
+    }
+    if install_rows == 0 {
+        return Err("no flow_mod_install/indexed_* throughput row".into());
+    }
+    Ok((results.len(), throughput.len()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_results.json");
+    let min_speedup: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_results: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Parser::new(&text).document() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate_results: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&doc, min_speedup) {
+        Ok((latency, throughput)) => {
+            println!(
+                "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows)"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_results: {path} failed validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,7 +20,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 
 pub use experiments::{
     ActivationSample, EndToEndResult, EndToEndTechnique, PktIoResult, UpdateRateResult,
 };
+pub use report::{ExperimentRecord, ThroughputRecord};

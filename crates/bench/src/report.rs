@@ -93,6 +93,53 @@ impl ExperimentRecord {
     }
 }
 
+/// One throughput experiment's aggregate result, persisted alongside the
+/// latency records in `BENCH_results.json` (schema 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRecord {
+    /// Experiment name (e.g. `flow_mod_install/indexed_100k`).
+    pub experiment: String,
+    /// Operations per run (flow-mods installed, messages coded, inputs
+    /// drained).
+    pub ops: u64,
+    /// Median elapsed wall time across runs, in milliseconds.
+    pub median_elapsed_ms: f64,
+    /// Throughput derived from the median run.
+    pub ops_per_sec: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Ops/sec of the linear-scan reference on the same workload, when the
+    /// baseline was measured; the JSON row then carries a `speedup` field.
+    pub baseline_ops_per_sec: Option<f64>,
+}
+
+impl ThroughputRecord {
+    /// Aggregates per-run elapsed times (ms) for `ops` operations per run.
+    pub fn from_runs(experiment: impl Into<String>, ops: u64, elapsed_ms: &[f64]) -> Self {
+        let median = percentile(elapsed_ms, 0.5).unwrap_or(f64::NAN);
+        ThroughputRecord {
+            experiment: experiment.into(),
+            ops,
+            median_elapsed_ms: median,
+            ops_per_sec: ops as f64 / (median / 1000.0),
+            runs: elapsed_ms.len(),
+            baseline_ops_per_sec: None,
+        }
+    }
+
+    /// Attaches the linear-scan baseline measured on the same workload.
+    pub fn with_baseline(mut self, baseline_ops_per_sec: f64) -> Self {
+        self.baseline_ops_per_sec = Some(baseline_ops_per_sec);
+        self
+    }
+
+    /// Speedup over the baseline, when one was measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.baseline_ops_per_sec
+            .map(|base| self.ops_per_sec / base)
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -113,10 +160,25 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document (handwritten
-/// JSON — the build environment has no serde).
-pub fn results_json(records: &[ExperimentRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+/// Renders the records as the `BENCH_results.json` document, schema 2
+/// (handwritten JSON — the build environment has no serde):
+///
+/// ```json
+/// {
+///   "schema": 2,
+///   "results": [
+///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
+///      "confirms": n, "runs": n}
+///   ],
+///   "throughput": [
+///     {"experiment": "...", "ops": n, "median_elapsed_ms": f,
+///      "ops_per_sec": f, "runs": n,
+///      "baseline_ops_per_sec": f, "speedup": f}   // last two optional
+///   ]
+/// }
+/// ```
+pub fn results_json(records: &[ExperimentRecord], throughput: &[ThroughputRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -129,14 +191,42 @@ pub fn results_json(records: &[ExperimentRecord]) -> String {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"throughput\": [\n");
+    for (i, r) in throughput.iter().enumerate() {
+        let mut row = format!(
+            "    {{\"experiment\": \"{}\", \"ops\": {}, \"median_elapsed_ms\": {}, \
+             \"ops_per_sec\": {}, \"runs\": {}",
+            json_escape(&r.experiment),
+            r.ops,
+            json_num(r.median_elapsed_ms),
+            json_num(r.ops_per_sec),
+            r.runs,
+        );
+        if let (Some(base), Some(speedup)) = (r.baseline_ops_per_sec, r.speedup()) {
+            row.push_str(&format!(
+                ", \"baseline_ops_per_sec\": {}, \"speedup\": {}",
+                json_num(base),
+                json_num(speedup)
+            ));
+        }
+        row.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < throughput.len() { "," } else { "" }
+        ));
+        out.push_str(&row);
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
 /// Writes the records to `path` (conventionally `BENCH_results.json` in the
 /// repository root).
-pub fn write_results(path: &std::path::Path, records: &[ExperimentRecord]) -> std::io::Result<()> {
-    std::fs::write(path, results_json(records))
+pub fn write_results(
+    path: &std::path::Path,
+    records: &[ExperimentRecord],
+    throughput: &[ThroughputRecord],
+) -> std::io::Result<()> {
+    std::fs::write(path, results_json(records, throughput))
 }
 
 /// Percentile (0.0..=1.0) of a list of samples; returns `None` when empty.
@@ -258,15 +348,38 @@ mod tests {
             ExperimentRecord::from_runs("end_to_end/barriers \"x\"", &[3.0, 1.0, 2.0], 80),
             ExperimentRecord::from_runs("empty", &[], 0),
         ];
-        let json = results_json(&records);
-        assert!(json.contains("\"schema\": 1"));
+        let throughput = vec![
+            ThroughputRecord::from_runs("flow_mod_install/indexed_1k", 1000, &[2.0, 4.0, 3.0])
+                .with_baseline(1000.0),
+            ThroughputRecord::from_runs("codec/encode", 64, &[1.0]),
+        ];
+        let json = results_json(&records, &throughput);
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));
         assert!(json.contains("\"confirms\": 80"));
         assert!(json.contains("\"runs\": 3"));
-        // Exactly one trailing comma-less record.
-        assert_eq!(json.matches("},\n").count(), 1);
+        // 1000 ops over a 3 ms median = ~333,333 ops/sec, 333x the baseline.
+        assert!(json.contains("\"ops\": 1000"));
+        assert!(json.contains("\"median_elapsed_ms\": 3.000"));
+        assert!(json.contains("\"ops_per_sec\": 333333.333"));
+        assert!(json.contains("\"baseline_ops_per_sec\": 1000.000"));
+        assert!(json.contains("\"speedup\": 333.333"));
+        // The record without a baseline omits the speedup fields.
+        let codec_row = json.lines().find(|l| l.contains("codec/encode")).unwrap();
+        assert!(!codec_row.contains("speedup"));
+        // One trailing comma-less record per section.
+        assert_eq!(json.matches("},\n").count(), 2);
+    }
+
+    #[test]
+    fn throughput_record_math() {
+        let r = ThroughputRecord::from_runs("x", 500, &[5.0]);
+        assert_eq!(r.median_elapsed_ms, 5.0);
+        assert_eq!(r.ops_per_sec, 100_000.0);
+        assert_eq!(r.speedup(), None);
+        assert_eq!(r.with_baseline(10_000.0).speedup(), Some(10.0));
     }
 
     #[test]

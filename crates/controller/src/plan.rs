@@ -140,6 +140,12 @@ impl UpdatePlan {
 
     /// Ids whose dependencies are all contained in `confirmed` and which are
     /// not themselves in `confirmed` or `sent`.
+    ///
+    /// This full rescan is the *reference definition* of readiness.  The
+    /// session dispatches from an incrementally-maintained ready queue for
+    /// performance; its tests assert the queue stays equivalent to this
+    /// function at every step, so keep the two in sync when dependency
+    /// semantics change.
     pub fn ready_ids(&self, confirmed: &HashSet<u64>, sent: &HashSet<u64>) -> Vec<u64> {
         self.mods
             .iter()

@@ -36,7 +36,7 @@
 use crate::plan::UpdatePlan;
 use openflow::messages::FlowModCommand;
 use openflow::{OfMessage, Xid};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -263,6 +263,14 @@ pub struct UpdateSession {
     sent: HashSet<u64>,
     confirmed: HashSet<u64>,
     cancelled: HashSet<u64>,
+    /// Ids whose dependencies are all confirmed and which have not been
+    /// sent or cancelled, in id order (the dispatch order).  Maintained
+    /// incrementally by confirmations, so dispatch never rescans the plan.
+    ready: BTreeSet<u64>,
+    /// Unconfirmed (distinct) dependency count per not-yet-ready id.
+    remaining_deps: HashMap<u64, usize>,
+    /// Dependency id → ids waiting on it.
+    dependents: HashMap<u64, Vec<u64>>,
     send_times: HashMap<u64, Duration>,
     confirmation_times: HashMap<u64, Duration>,
     attempts: HashMap<u64, u32>,
@@ -291,6 +299,22 @@ impl UpdateSession {
     /// Panics if `window` is zero — nothing could ever be sent.
     pub fn new(plan: UpdatePlan, ack_mode: AckMode, window: usize) -> Self {
         assert!(window > 0, "window must be at least 1");
+        // Seed the incremental dispatch queue: dependency counts (distinct
+        // deps only) and the reverse edges confirmations walk.
+        let mut ready = BTreeSet::new();
+        let mut remaining_deps = HashMap::new();
+        let mut dependents: HashMap<u64, Vec<u64>> = HashMap::new();
+        for m in plan.mods() {
+            let distinct: HashSet<u64> = m.deps.iter().copied().collect();
+            if distinct.is_empty() {
+                ready.insert(m.id);
+            } else {
+                remaining_deps.insert(m.id, distinct.len());
+                for d in distinct {
+                    dependents.entry(d).or_default().push(m.id);
+                }
+            }
+        }
         UpdateSession {
             plan,
             ack_mode,
@@ -300,6 +324,9 @@ impl UpdateSession {
             sent: HashSet::new(),
             confirmed: HashSet::new(),
             cancelled: HashSet::new(),
+            ready,
+            remaining_deps,
+            dependents,
             send_times: HashMap::new(),
             confirmation_times: HashMap::new(),
             attempts: HashMap::new(),
@@ -347,7 +374,11 @@ impl UpdateSession {
 
     /// Sent-but-unconfirmed modifications currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.sent.len() - self.sent.intersection(&self.confirmed).count()
+        // Every confirmed id was sent first (confirmation is gated on
+        // `sent` at every call site), so the difference of the counts is the
+        // intersection-free O(1) form of |sent \ confirmed|.
+        debug_assert!(self.confirmed.iter().all(|id| self.sent.contains(id)));
+        self.sent.len() - self.confirmed.len()
     }
 
     /// Modifications that failed: rejected by the switch, or timed out with
@@ -396,75 +427,90 @@ impl UpdateSession {
     }
 
     /// Feeds one input into the session and returns the effects the driver
-    /// must execute, in order.
+    /// must execute, in order.  Allocates a fresh effects vector per call;
+    /// hot-path drivers should prefer [`UpdateSession::handle_into`].
     pub fn handle(&mut self, now: Duration, input: SessionInput) -> Vec<SessionEffect> {
         let mut effects = Vec::new();
+        self.handle_into(now, input, &mut effects);
+        effects
+    }
+
+    /// Feeds one input into the session, *appending* the effects the driver
+    /// must execute (in order) to a caller-owned buffer.
+    ///
+    /// The buffer is not cleared: a driver drains several inputs into one
+    /// buffer, executes everything in a single batch (one socket write per
+    /// connection), then clears and reuses the buffer — no per-input
+    /// allocation.
+    pub fn handle_into(
+        &mut self,
+        now: Duration,
+        input: SessionInput,
+        effects: &mut Vec<SessionEffect>,
+    ) {
         match input {
             SessionInput::Started => {
                 if !self.started {
                     self.started = true;
-                    self.dispatch_ready(now, &mut effects);
-                    self.check_complete(now, &mut effects);
+                    self.dispatch_ready(now, effects);
+                    self.check_complete(now, effects);
                 }
             }
             SessionInput::FromSwitch { conn, message } => {
-                self.on_switch_msg(conn, message, now, &mut effects);
+                self.on_switch_msg(conn, message, now, effects);
             }
             SessionInput::TimerFired { token } => {
-                self.on_timer(token, now, &mut effects);
+                self.on_timer(token, now, effects);
             }
             SessionInput::Tick => {
                 if self.started && self.outcome.is_none() {
-                    self.dispatch_ready(now, &mut effects);
+                    self.dispatch_ready(now, effects);
                 }
             }
         }
-        effects
+    }
+
+    /// Feeds a batch of inputs sharing one timestamp, appending all effects
+    /// to `effects` in input order — the multi-input drain used after one
+    /// socket read decodes several messages.
+    pub fn drain_into(
+        &mut self,
+        now: Duration,
+        inputs: impl IntoIterator<Item = SessionInput>,
+        effects: &mut Vec<SessionEffect>,
+    ) {
+        for input in inputs {
+            self.handle_into(now, input, effects);
+        }
     }
 
     // ------------------------------------------------------------------
     // Dispatch
     // ------------------------------------------------------------------
 
-    /// Ids that may be sent now: dependencies confirmed, not yet sent, not
-    /// cancelled by an abort.
-    fn ready_ids(&self) -> Vec<u64> {
-        let mut ready = self.plan.ready_ids(&self.confirmed, &self.sent);
-        ready.retain(|id| !self.cancelled.contains(id));
-        ready
-    }
-
     fn dispatch_ready(&mut self, now: Duration, effects: &mut Vec<SessionEffect>) {
         if !self.started || self.outcome.is_some() {
             return;
         }
-        loop {
-            if self.in_flight() >= self.window {
+        // The ready queue is maintained incrementally (confirmations feed
+        // it, sends drain it), so dispatch is O(sent) rather than a plan
+        // rescan per call.  Sends in NoWait mode confirm immediately and can
+        // push fresh ids into the queue mid-loop; the loop picks them up.
+        while self.in_flight() < self.window {
+            let Some(&id) = self.ready.iter().next() else {
                 break;
-            }
-            let mut ready = self.ready_ids();
-            if ready.is_empty() {
-                break;
-            }
-            ready.sort_unstable();
-            let budget = self.window - self.in_flight();
-            let mut sent_this_round = 0usize;
-            for id in ready.into_iter().take(budget) {
-                self.send_mod(id, now, effects);
-                sent_this_round += 1;
-                // In barrier mode, punctuate every `batch` modifications.
-                if let AckMode::Barriers { .. } = self.ack_mode {
-                    self.maybe_send_barrier(effects, false);
-                }
-            }
-            if sent_this_round == 0 {
-                break;
+            };
+            self.ready.remove(&id);
+            self.send_mod(id, now, effects);
+            // In barrier mode, punctuate every `batch` modifications.
+            if let AckMode::Barriers { .. } = self.ack_mode {
+                self.maybe_send_barrier(effects, false);
             }
         }
         // If we are in barrier mode and there are loose (uncovered) mods but
         // nothing more to send, close them out with a barrier.
         if let AckMode::Barriers { .. } = self.ack_mode {
-            if !self.since_last_barrier.is_empty() && self.ready_ids().is_empty() {
+            if !self.since_last_barrier.is_empty() && self.ready.is_empty() {
                 self.maybe_send_barrier(effects, true);
             }
         }
@@ -545,6 +591,19 @@ impl UpdateSession {
         }
         self.confirmation_times.insert(id, now);
         self.confirm_log.push(id);
+        // Release dependents whose last unconfirmed dependency this was.
+        if let Some(dependents) = self.dependents.get(&id) {
+            for &dep in dependents {
+                let remaining = self
+                    .remaining_deps
+                    .get_mut(&dep)
+                    .expect("dependent has a count");
+                *remaining -= 1;
+                if *remaining == 0 && !self.sent.contains(&dep) && !self.cancelled.contains(&dep) {
+                    self.ready.insert(dep);
+                }
+            }
+        }
         effects.push(SessionEffect::Confirmed { id });
         self.check_complete(now, effects);
     }
@@ -720,6 +779,7 @@ impl UpdateSession {
         let cancelled = self.dependents_of(&[failed_id]);
         for &id in &cancelled {
             self.cancelled.insert(id);
+            self.ready.remove(&id);
         }
         // Roll back the failed modification itself (the switch may apply it
         // arbitrarily late) plus every sent ancestor it was building on.
@@ -1109,5 +1169,62 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_is_rejected() {
         UpdateSession::new(UpdatePlan::new(), AckMode::NoWait, 0);
+    }
+
+    /// The incrementally-maintained ready queue must stay equivalent to the
+    /// reference definition ([`UpdatePlan::ready_ids`] minus cancelled ids)
+    /// after every input.  This is the drift guard for the two parallel
+    /// notions of readiness.
+    #[test]
+    fn incremental_ready_queue_matches_plan_rescan() {
+        fn assert_equivalent(s: &UpdateSession, when: &str) {
+            let mut reference = s.plan.ready_ids(&s.confirmed, &s.sent);
+            reference.retain(|id| !s.cancelled.contains(id));
+            reference.sort_unstable();
+            let queue: Vec<u64> = s.ready.iter().copied().collect();
+            assert_eq!(queue, reference, "ready queue diverged {when}");
+        }
+
+        // Diamond (1 -> 2,3 -> 4) plus an independent mod 5.
+        let mut plan = UpdatePlan::new();
+        plan.add(1, 0, fm(1)).unwrap();
+        plan.add_with_deps(2, 0, fm(2), vec![1]).unwrap();
+        plan.add_with_deps(3, 0, fm(3), vec![1]).unwrap();
+        plan.add_with_deps(4, 0, fm(4), vec![2, 3]).unwrap();
+        plan.add(5, 0, fm(5)).unwrap();
+
+        let mut s = UpdateSession::new(plan, AckMode::RumAcks, 2);
+        assert_equivalent(&s, "after construction");
+        s.handle(Duration::ZERO, SessionInput::Started);
+        assert_equivalent(&s, "after start");
+        for (step, ack) in [1u64, 5, 2, 3, 4].into_iter().enumerate() {
+            s.handle(
+                Duration::from_millis(step as u64 + 1),
+                SessionInput::FromSwitch {
+                    conn: ConnId::new(0),
+                    message: rum_ack(ack),
+                },
+            );
+            assert_equivalent(&s, &format!("after ack {ack}"));
+        }
+        assert!(s.is_complete());
+
+        // And through the abort path: the cancelled dependents must leave
+        // the queue exactly as the reference (minus cancelled) says.
+        let mut plan = UpdatePlan::new();
+        plan.add(1, 0, fm(1)).unwrap();
+        plan.add_with_deps(2, 0, fm(2), vec![1]).unwrap();
+        plan.add_with_deps(3, 0, fm(3), vec![2]).unwrap();
+        let mut s = UpdateSession::new(plan, AckMode::RumAcks, 1);
+        s.set_failure_policy(FailurePolicy::retry(Duration::from_millis(10), 0));
+        let fx = s.handle(Duration::ZERO, SessionInput::Started);
+        s.handle(
+            Duration::from_millis(20),
+            SessionInput::TimerFired {
+                token: armed_token(&fx),
+            },
+        );
+        assert!(matches!(s.outcome(), Some(SessionOutcome::Aborted { .. })));
+        assert_equivalent(&s, "after abort");
     }
 }

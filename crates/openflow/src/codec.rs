@@ -8,34 +8,55 @@
 
 use crate::error::{DecodeError, EncodeError};
 use crate::messages::{OfHeader, OfMessage, OFP_HEADER_LEN};
-use bytes::BytesMut;
 
 /// Maximum message size the codec will accept before declaring the stream
 /// corrupt.  OpenFlow lengths are 16-bit so this is the protocol limit.
 pub const MAX_MESSAGE_LEN: usize = u16::MAX as usize;
 
+/// Consumed bytes accumulate at the front of the scratch buffer until this
+/// many are pending, then one `memmove` reclaims the space.  Keeping the
+/// threshold above the typical read size means steady-state decoding does no
+/// allocation and only rare, bounded copies.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
 /// An incremental decoder/encoder for an OpenFlow byte stream.
+///
+/// The decoder owns one scratch buffer that is reused across frames and
+/// reads: `feed` appends, `next_message` advances a cursor over complete
+/// frames, and the consumed prefix is compacted in place once it grows past
+/// a fixed threshold — no per-frame allocation or copying.
 #[derive(Debug, Default)]
 pub struct OfCodec {
-    buffer: BytesMut,
+    buffer: Vec<u8>,
+    /// Length of the already-decoded prefix of `buffer`.
+    pos: usize,
 }
 
 impl OfCodec {
     /// Creates an empty codec.
     pub fn new() -> Self {
         OfCodec {
-            buffer: BytesMut::with_capacity(4096),
+            buffer: Vec::with_capacity(4096),
+            pos: 0,
         }
     }
 
     /// Appends raw bytes received from the peer.
     pub fn feed(&mut self, data: &[u8]) {
+        if self.pos == self.buffer.len() {
+            self.buffer.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buffer.copy_within(self.pos.., 0);
+            self.buffer.truncate(self.buffer.len() - self.pos);
+            self.pos = 0;
+        }
         self.buffer.extend_from_slice(data);
     }
 
     /// Number of buffered, not-yet-decoded bytes.
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.buffer.len() - self.pos
     }
 
     /// Attempts to decode the next complete message from the buffer.
@@ -44,34 +65,46 @@ impl OfCodec {
     /// (bad version, bad length, unknown type) is returned as `Err` and the
     /// offending frame is discarded so the stream can attempt to resync.
     pub fn next_message(&mut self) -> Result<Option<OfMessage>, DecodeError> {
-        if self.buffer.len() < OFP_HEADER_LEN {
+        let pending = &self.buffer[self.pos..];
+        if pending.len() < OFP_HEADER_LEN {
             return Ok(None);
         }
-        let header = OfHeader::peek(&self.buffer)?;
+        let header = OfHeader::peek(pending)?;
         let declared = header.length as usize;
         if declared < OFP_HEADER_LEN {
             // Drop the stream contents: a length smaller than the header is
             // unrecoverable desynchronisation.
-            self.buffer.clear();
+            self.reset();
             return Err(DecodeError::BadLength {
                 what: "ofp_header.length",
                 len: declared,
             });
         }
-        if self.buffer.len() < declared {
+        if pending.len() < declared {
             return Ok(None);
         }
-        let frame = self.buffer.split_to(declared);
-        OfMessage::decode(&frame).map(Some)
+        let frame = &pending[..declared];
+        let result = OfMessage::decode(frame).map(Some);
+        // The frame is consumed whether or not it decoded — a bad frame is
+        // skipped so the stream can resync on the next one.
+        self.pos += declared;
+        result
     }
 
     /// Decodes every complete message currently buffered.
     pub fn drain_messages(&mut self) -> Result<Vec<OfMessage>, DecodeError> {
         let mut out = Vec::new();
+        self.drain_messages_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes every complete message currently buffered, appending to a
+    /// caller-owned vector (reused across reads on the socket hot path).
+    pub fn drain_messages_into(&mut self, out: &mut Vec<OfMessage>) -> Result<(), DecodeError> {
         while let Some(msg) = self.next_message()? {
             out.push(msg);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Serializes a message for transmission.
@@ -79,19 +112,38 @@ impl OfCodec {
         msg.encode_to_vec()
     }
 
+    /// Appends the encoded message to a caller-owned buffer — the
+    /// allocation-free form of [`OfCodec::encode`].
+    pub fn encode_into(&self, msg: &OfMessage, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        msg.encode_into(out)
+    }
+
     /// Serializes a batch of messages into one contiguous buffer (useful to
     /// issue a flow-mod burst followed by a barrier in a single write).
     pub fn encode_batch(&self, msgs: &[OfMessage]) -> Result<Vec<u8>, EncodeError> {
         let mut out = Vec::with_capacity(msgs.iter().map(OfMessage::wire_len).sum());
-        for m in msgs {
-            out.extend_from_slice(&m.encode_to_vec()?);
-        }
+        self.encode_batch_into(msgs, &mut out)?;
         Ok(out)
+    }
+
+    /// Appends an encoded batch to a caller-owned buffer, encoding each
+    /// message in place (no per-message allocation).
+    pub fn encode_batch_into(
+        &self,
+        msgs: &[OfMessage],
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
+        out.reserve(msgs.iter().map(OfMessage::wire_len).sum());
+        for m in msgs {
+            m.encode_into(out)?;
+        }
+        Ok(())
     }
 
     /// Discards all buffered bytes (e.g. after a connection reset).
     pub fn reset(&mut self) {
         self.buffer.clear();
+        self.pos = 0;
     }
 }
 
@@ -231,5 +283,66 @@ mod tests {
     fn split_frames_rejects_truncation() {
         let bytes = OfMessage::Hello { xid: 1 }.encode_to_vec().unwrap();
         assert!(split_frames(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn decoder_scratch_is_reused_across_frames() {
+        let msgs = sample_messages();
+        let mut codec = OfCodec::new();
+        let wire = codec.encode_batch(&msgs).unwrap();
+        // Warm up the scratch buffer once...
+        codec.feed(&wire);
+        assert_eq!(codec.drain_messages().unwrap().len(), msgs.len());
+        let cap = codec.buffer.capacity();
+        let ptr = codec.buffer.as_ptr();
+        // ... then many more rounds must not grow or reallocate it.
+        for _ in 0..100 {
+            codec.feed(&wire);
+            assert_eq!(codec.drain_messages().unwrap().len(), msgs.len());
+        }
+        assert_eq!(codec.buffer.capacity(), cap);
+        assert_eq!(codec.buffer.as_ptr(), ptr);
+        assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn consumed_prefix_is_compacted_past_the_threshold() {
+        let msg = OfMessage::EchoRequest {
+            xid: 1,
+            data: vec![0xaa; 1024],
+        };
+        let wire = msg.encode_to_vec().unwrap();
+        let mut codec = OfCodec::new();
+        // Feed a partial frame so the buffer is never fully consumed, then
+        // keep the stream going long past the compaction threshold.
+        for _ in 0..2 * COMPACT_THRESHOLD / wire.len() {
+            codec.feed(&wire);
+            codec.feed(&wire[..3]); // next frame arrives split
+            while codec.next_message().unwrap().is_some() {}
+            codec.feed(&wire[3..]);
+            while codec.next_message().unwrap().is_some() {}
+        }
+        assert_eq!(codec.buffered(), 0);
+        assert!(
+            codec.pos < COMPACT_THRESHOLD + wire.len(),
+            "consumed prefix must be compacted, pos = {}",
+            codec.pos
+        );
+    }
+
+    #[test]
+    fn encode_into_appends_and_batches() {
+        let msgs = sample_messages();
+        let codec = OfCodec::new();
+        let mut buf = Vec::new();
+        for m in &msgs {
+            codec.encode_into(m, &mut buf).unwrap();
+        }
+        assert_eq!(buf, codec.encode_batch(&msgs).unwrap());
+        // Appending a batch after existing content preserves the prefix.
+        let mut appended = b"prefix".to_vec();
+        codec.encode_batch_into(&msgs, &mut appended).unwrap();
+        assert_eq!(&appended[..6], b"prefix");
+        assert_eq!(&appended[6..], &buf[..]);
     }
 }

@@ -19,7 +19,7 @@ use crate::constants::msg_type;
 use crate::error::{DecodeError, EncodeError};
 use crate::types::Xid;
 use crate::OFP_VERSION;
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut};
 
 /// Size of the fixed OpenFlow header.
 pub const OFP_HEADER_LEN: usize = 8;
@@ -434,11 +434,22 @@ impl OfMessage {
         Ok(())
     }
 
-    /// Encodes into a fresh byte vector.
+    /// Appends the encoded message (header + body) to `out` without any
+    /// intermediate allocation — the zero-alloc form every send path uses:
+    /// callers keep one buffer per connection and reuse it across drains.
+    ///
+    /// On error nothing has been written (the only failure, an oversized
+    /// message, is detected before the first byte).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        out.reserve(self.wire_len());
+        self.encode(out)
+    }
+
+    /// Encodes into a fresh byte vector (one allocation, sized exactly).
     pub fn encode_to_vec(&self) -> Result<Vec<u8>, EncodeError> {
-        let mut buf = BytesMut::with_capacity(self.wire_len());
+        let mut buf = Vec::with_capacity(self.wire_len());
         self.encode(&mut buf)?;
-        Ok(buf.to_vec())
+        Ok(buf)
     }
 
     /// Decodes a single complete message from `frame`.

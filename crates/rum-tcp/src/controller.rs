@@ -15,7 +15,6 @@
 use crate::proxy::{reader_loop, writer_loop, Route};
 use crate::timer::TimerQueue;
 use controller::{ConnId, SessionEffect, SessionInput, SessionOutcome, UpdateSession};
-use openflow::OfMessage;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
@@ -26,6 +25,11 @@ use std::time::{Duration, Instant};
 struct ControllerState {
     session: UpdateSession,
     routes: Vec<Route>,
+    /// Reusable per-connection encode buffers: all sends of one drain are
+    /// coalesced into a single chunk (→ one socket write) per connection.
+    send_bufs: Vec<Vec<u8>>,
+    /// Reusable effects buffer for session drains.
+    effects: Vec<SessionEffect>,
     accepted: usize,
     started: bool,
 }
@@ -47,16 +51,30 @@ impl Inner {
 
     /// Feeds one input under the lock and executes the returned effects.
     fn drive(self: &Arc<Self>, input: SessionInput) {
+        self.drive_batch(std::iter::once(input));
+    }
+
+    /// Feeds a batch of inputs (e.g. every message decoded from one socket
+    /// read) under a single lock acquisition, encoding all resulting sends
+    /// into per-connection buffers flushed as one chunk each — one write
+    /// per connection per drain, no per-effect allocation.
+    fn drive_batch(self: &Arc<Self>, inputs: impl IntoIterator<Item = SessionInput>) {
         let now = self.now();
         let mut timers = Vec::new();
         let mut finished = false;
         {
             let mut st = self.state.lock().unwrap();
-            let effects = st.session.handle(now, input);
-            for effect in effects {
+            let st = &mut *st;
+            st.effects.clear();
+            st.session.drain_into(now, inputs, &mut st.effects);
+            for effect in st.effects.drain(..) {
                 match effect {
                     SessionEffect::Send { conn, message } => {
-                        st.routes[conn.index()].send(message);
+                        let buf = &mut st.send_bufs[conn.index()];
+                        let len_before = buf.len();
+                        if message.encode_into(buf).is_err() {
+                            buf.truncate(len_before);
+                        }
                     }
                     SessionEffect::ArmTimer { delay, token } => {
                         timers.push((delay, token.raw()));
@@ -65,6 +83,11 @@ impl Inner {
                     SessionEffect::Completed { .. } | SessionEffect::Aborted { .. } => {
                         finished = true;
                     }
+                }
+            }
+            for (route, buf) in st.routes.iter_mut().zip(st.send_bufs.iter_mut()) {
+                if !buf.is_empty() {
+                    route.send_bytes(std::mem::take(buf));
                 }
             }
         }
@@ -143,6 +166,8 @@ impl TcpUpdateController {
                 routes: (0..n_connections)
                     .map(|_| Route::Pending(Vec::new()))
                     .collect(),
+                send_bufs: (0..n_connections).map(|_| Vec::new()).collect(),
+                effects: Vec::new(),
                 accepted: 0,
                 started: false,
             }),
@@ -203,14 +228,19 @@ impl TcpUpdateController {
 fn attach_connection(inner: &Arc<Inner>, conn: ConnId, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let reader = stream.try_clone().expect("clone switch stream");
-    let (tx, rx) = channel::<OfMessage>();
+    let (tx, rx) = channel::<Vec<u8>>();
     inner.state.lock().unwrap().routes[conn.index()].connect(tx);
+    // A failed write ends the writer loop gracefully; the session-level
+    // failure policy (timeout → retry → abort) handles the silent switch.
     std::thread::spawn(move || writer_loop(rx, stream));
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            reader_loop(reader, |message| {
-                inner.drive(SessionInput::FromSwitch { conn, message });
+            reader_loop(reader, |msgs| {
+                inner.drive_batch(
+                    msgs.drain(..)
+                        .map(|message| SessionInput::FromSwitch { conn, message }),
+                );
             });
         });
     }
@@ -282,7 +312,7 @@ mod tests {
     use super::*;
     use controller::{AckMode, FailurePolicy, UpdatePlan};
     use openflow::messages::FlowMod;
-    use openflow::{Action, OfCodec, OfMatch};
+    use openflow::{Action, OfCodec, OfMatch, OfMessage};
     use std::io::{Read, Write};
     use std::net::Ipv4Addr;
 
@@ -316,20 +346,27 @@ mod tests {
                 .unwrap();
             let mut codec = OfCodec::new();
             let mut buf = [0u8; 2048];
+            let mut acks = Vec::new();
             let mut seen = Vec::new();
-            loop {
+            'conn: loop {
                 let n = match stream.read(&mut buf) {
                     Ok(0) | Err(_) => break,
                     Ok(n) => n,
                 };
                 codec.feed(&buf[..n]);
+                acks.clear();
                 while let Ok(Some(msg)) = codec.next_message() {
                     if let OfMessage::FlowMod { xid, .. } = msg {
                         seen.push(u64::from(xid));
-                        stream
-                            .write_all(&OfMessage::rum_ack(xid).encode_to_vec().unwrap())
-                            .unwrap();
+                        OfMessage::rum_ack(xid)
+                            .encode_into(&mut acks)
+                            .expect("encodable ack");
                     }
+                }
+                // One write per read batch; a failed write means the
+                // controller hung up — stop acking instead of panicking.
+                if !acks.is_empty() && stream.write_all(&acks).is_err() {
+                    break 'conn;
                 }
             }
             seen

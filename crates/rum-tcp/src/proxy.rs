@@ -15,6 +15,13 @@
 //! engine returns is routed to the right connection's outbox.  Messages for a
 //! switch that has not connected yet (e.g. probe-catch rules emitted at
 //! start-up) are buffered and flushed on accept.
+//!
+//! The send path is batched and allocation-light: all messages one engine
+//! drain produces for an endpoint are encoded back-to-back into that
+//! endpoint's reusable buffer and handed to the writer thread as a single
+//! byte chunk; the writer additionally coalesces queued chunks so each
+//! socket sees one `write` per drain burst, not one per message.  No
+//! `encode_to_vec` (per-message allocation) remains on this path.
 
 use crate::relay::{Endpoint, EngineRelay, RelayEffects};
 use crate::timer::TimerQueue;
@@ -52,31 +59,35 @@ pub struct ProxyCounters {
     pub timers_fired: AtomicU64,
 }
 
-/// Where messages for one endpoint go: buffered until the connection exists,
-/// then straight into its writer thread's queue.
+/// Where encoded bytes for one endpoint go: buffered until the connection
+/// exists, then straight into its writer thread's queue as whole batches.
 pub(crate) enum Route {
-    /// No connection yet; messages queue up and flush on attach.
-    Pending(Vec<OfMessage>),
-    /// A live connection's writer-thread inbox.
-    Connected(Sender<OfMessage>),
+    /// No connection yet; encoded bytes queue up and flush on attach.
+    Pending(Vec<u8>),
+    /// A live connection's writer-thread inbox (one chunk per drain batch).
+    Connected(Sender<Vec<u8>>),
 }
 
 impl Route {
-    pub(crate) fn send(&mut self, msg: OfMessage) {
+    /// Hands one encoded batch to the endpoint.
+    pub(crate) fn send_bytes(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
         match self {
-            Route::Pending(q) => q.push(msg),
+            Route::Pending(q) => q.extend_from_slice(&bytes),
             Route::Connected(tx) => {
                 // A closed channel means the connection died; the engine's
                 // timers will cope, exactly as with a lossy control channel.
-                let _ = tx.send(msg);
+                let _ = tx.send(bytes);
             }
         }
     }
 
-    pub(crate) fn connect(&mut self, tx: Sender<OfMessage>) {
+    pub(crate) fn connect(&mut self, tx: Sender<Vec<u8>>) {
         if let Route::Pending(q) = std::mem::replace(self, Route::Connected(tx.clone())) {
-            for msg in q {
-                let _ = tx.send(msg);
+            if !q.is_empty() {
+                let _ = tx.send(q);
             }
         }
     }
@@ -85,6 +96,21 @@ impl Route {
 struct SwitchRoutes {
     to_switch: Route,
     to_controller: Route,
+    /// Reusable encode buffers: one drain's messages for each endpoint are
+    /// laid out back-to-back and shipped as a single chunk.
+    switch_buf: Vec<u8>,
+    controller_buf: Vec<u8>,
+}
+
+impl SwitchRoutes {
+    fn new() -> Self {
+        SwitchRoutes {
+            to_switch: Route::Pending(Vec::new()),
+            to_controller: Route::Pending(Vec::new()),
+            switch_buf: Vec::new(),
+            controller_buf: Vec::new(),
+        }
+    }
 }
 
 struct RelayState {
@@ -92,6 +118,14 @@ struct RelayState {
     routes: Vec<SwitchRoutes>,
     /// Which switch slots currently have a live connection pair.
     attached: Vec<bool>,
+    /// Per-slot attach generation.  Each of a connection pair's four
+    /// threads detaches with the generation it was attached under, so a
+    /// thread outliving its connection (e.g. a writer waking up after the
+    /// switch already reconnected) cannot tear down the slot's *new*
+    /// connection.
+    generation: Vec<u64>,
+    /// Reusable effects buffer for [`Inner::apply`] drains.
+    fx: RelayEffects,
 }
 
 struct Inner {
@@ -102,28 +136,50 @@ struct Inner {
 }
 
 impl Inner {
-    /// Feeds the relay under the lock and executes the returned effects.
-    fn apply(self: &Arc<Self>, f: impl FnOnce(&mut EngineRelay) -> RelayEffects) {
-        let fx = {
+    /// Feeds the relay under the lock and executes the resulting effects:
+    /// every message of the drain is encoded into its endpoint's batch
+    /// buffer, and each non-empty batch is handed to its writer as one
+    /// chunk → one socket write.
+    fn apply(self: &Arc<Self>, f: impl FnOnce(&mut EngineRelay, &mut RelayEffects)) {
+        let mut timers: Vec<(Duration, rum::TimerToken)> = Vec::new();
+        {
             let mut st = self.state.lock().unwrap();
-            let fx = f(&mut st.relay);
-            for (endpoint, message) in &fx.messages {
-                match endpoint {
-                    Endpoint::Switch(sw) => {
-                        self.counters.to_switch.fetch_add(1, Ordering::SeqCst);
-                        st.routes[sw.index()].to_switch.send(message.clone());
-                    }
-                    Endpoint::Controller(sw) => {
-                        self.counters.to_controller.fetch_add(1, Ordering::SeqCst);
-                        st.routes[sw.index()].to_controller.send(message.clone());
-                    }
+            let st = &mut *st;
+            st.fx.clear();
+            f(&mut st.relay, &mut st.fx);
+            for (endpoint, message) in st.fx.messages.drain(..) {
+                let (counter, buf) = match endpoint {
+                    Endpoint::Switch(sw) => (
+                        &self.counters.to_switch,
+                        &mut st.routes[sw.index()].switch_buf,
+                    ),
+                    Endpoint::Controller(sw) => (
+                        &self.counters.to_controller,
+                        &mut st.routes[sw.index()].controller_buf,
+                    ),
+                };
+                let len_before = buf.len();
+                if message.encode_into(buf).is_ok() {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    buf.truncate(len_before);
                 }
             }
-            fx
-        };
-        if !fx.timers.is_empty() {
+            for routes in st.routes.iter_mut() {
+                if !routes.switch_buf.is_empty() {
+                    let chunk = std::mem::take(&mut routes.switch_buf);
+                    routes.to_switch.send_bytes(chunk);
+                }
+                if !routes.controller_buf.is_empty() {
+                    let chunk = std::mem::take(&mut routes.controller_buf);
+                    routes.to_controller.send_bytes(chunk);
+                }
+            }
+            timers.append(&mut st.fx.timers);
+        }
+        if !timers.is_empty() {
             let now = Instant::now();
-            for (delay, token) in fx.timers {
+            for (delay, token) in timers {
                 self.timers.arm(now + delay, token.raw());
             }
         }
@@ -132,7 +188,7 @@ impl Inner {
     fn timer_loop(self: Arc<Self>) {
         self.timers.run(&self.stop, |token| {
             self.counters.timers_fired.fetch_add(1, Ordering::SeqCst);
-            self.apply(|r| r.on_timer(rum::TimerToken::from_raw(token)));
+            self.apply(|r, fx| r.on_timer_into(rum::TimerToken::from_raw(token), fx));
         });
     }
 }
@@ -211,17 +267,14 @@ impl RumTcpProxy {
         let local_addr = listener.local_addr()?;
         let engine = self.builder.build();
         let n_switches = engine.n_switches();
-        let routes = (0..n_switches)
-            .map(|_| SwitchRoutes {
-                to_switch: Route::Pending(Vec::new()),
-                to_controller: Route::Pending(Vec::new()),
-            })
-            .collect();
+        let routes = (0..n_switches).map(|_| SwitchRoutes::new()).collect();
         let inner = Arc::new(Inner {
             state: Mutex::new(RelayState {
                 relay: EngineRelay::new(engine),
                 routes,
                 attached: vec![false; n_switches],
+                generation: vec![0; n_switches],
+                fx: RelayEffects::default(),
             }),
             timers: TimerQueue::new(),
             counters: ProxyCounters::default(),
@@ -230,7 +283,7 @@ impl RumTcpProxy {
 
         // Start-up effects (probe-catch rules, initial technique timers) are
         // buffered per switch and flushed when that switch connects.
-        inner.apply(|r| r.start());
+        inner.apply(|r, fx| r.start_into(fx));
 
         let timer_thread = {
             let inner = Arc::clone(&inner);
@@ -249,12 +302,13 @@ impl RumTcpProxy {
                 };
                 // Claim the lowest free switch slot; a switch that
                 // disconnected frees its slot for the reconnect.
-                let slot = {
+                let (slot, generation) = {
                     let mut st = accept_inner.state.lock().unwrap();
                     match st.attached.iter().position(|a| !a) {
                         Some(i) => {
                             st.attached[i] = true;
-                            i
+                            st.generation[i] += 1;
+                            (i, st.generation[i])
                         }
                         // More switches than the engine was built for.
                         None => continue,
@@ -273,6 +327,7 @@ impl RumTcpProxy {
                 attach_connection(
                     &accept_inner,
                     SwitchId::new(slot),
+                    generation,
                     switch_stream,
                     controller_stream,
                 );
@@ -293,6 +348,7 @@ impl RumTcpProxy {
 fn attach_connection(
     inner: &Arc<Inner>,
     switch: SwitchId,
+    generation: u64,
     switch_stream: TcpStream,
     controller_stream: TcpStream,
 ) {
@@ -303,8 +359,8 @@ fn attach_connection(
         .try_clone()
         .expect("clone controller stream");
 
-    let (switch_tx, switch_rx) = channel::<OfMessage>();
-    let (controller_tx, controller_rx) = channel::<OfMessage>();
+    let (switch_tx, switch_rx) = channel::<Vec<u8>>();
+    let (controller_tx, controller_rx) = channel::<Vec<u8>>();
     {
         let mut st = inner.state.lock().unwrap();
         st.routes[switch.index()].to_switch.connect(switch_tx);
@@ -313,24 +369,47 @@ fn attach_connection(
             .connect(controller_tx);
     }
 
-    std::thread::spawn(move || writer_loop(switch_rx, switch_stream));
-    std::thread::spawn(move || writer_loop(controller_rx, controller_stream));
+    // Writer failures (peer hung up mid-write) detach the connection pair
+    // just like reader EOFs do, freeing the slot for a reconnect and
+    // re-routing queued messages into the pending buffer.
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            reader_loop(switch_reader, |msg| {
-                inner.apply(|r| r.on_switch_message(switch, msg));
-            });
-            detach_connection(&inner, switch);
+            writer_loop(switch_rx, switch_stream);
+            detach_connection(&inner, switch, generation);
         });
     }
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            reader_loop(controller_reader, |msg| {
-                inner.apply(|r| r.on_controller_message(switch, msg));
+            writer_loop(controller_rx, controller_stream);
+            detach_connection(&inner, switch, generation);
+        });
+    }
+    {
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            reader_loop(switch_reader, |msgs| {
+                inner.apply(|r, fx| {
+                    for msg in msgs.drain(..) {
+                        r.on_switch_message_into(switch, msg, fx);
+                    }
+                });
             });
-            detach_connection(&inner, switch);
+            detach_connection(&inner, switch, generation);
+        });
+    }
+    {
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            reader_loop(controller_reader, |msgs| {
+                inner.apply(|r, fx| {
+                    for msg in msgs.drain(..) {
+                        r.on_controller_message_into(switch, msg, fx);
+                    }
+                });
+            });
+            detach_connection(&inner, switch, generation);
         });
     }
 }
@@ -338,11 +417,13 @@ fn attach_connection(
 /// Tears down one switch's connection pair: resets the routes (dropping the
 /// writer channels, which ends the writer threads and closes both sockets)
 /// and frees the slot so the switch can reconnect.  Idempotent — whichever
-/// reader exits first wins.  Engine state (pending barriers, unconfirmed
-/// rules) survives the reconnect.
-fn detach_connection(inner: &Arc<Inner>, switch: SwitchId) {
+/// of the pair's four threads exits first wins, and a thread from a
+/// previous attach (stale `generation`) is a no-op so it can never tear
+/// down a newer connection on the same slot.  Engine state (pending
+/// barriers, unconfirmed rules) survives the reconnect.
+fn detach_connection(inner: &Arc<Inner>, switch: SwitchId, generation: u64) {
     let mut st = inner.state.lock().unwrap();
-    if !st.attached[switch.index()] {
+    if !st.attached[switch.index()] || st.generation[switch.index()] != generation {
         return;
     }
     st.attached[switch.index()] = false;
@@ -350,34 +431,56 @@ fn detach_connection(inner: &Arc<Inner>, switch: SwitchId) {
     st.routes[switch.index()].to_controller = Route::Pending(Vec::new());
 }
 
-/// Drains an outbox into a socket until either side goes away.
-pub(crate) fn writer_loop(rx: Receiver<OfMessage>, mut stream: TcpStream) {
-    for msg in rx {
-        let Ok(bytes) = msg.encode_to_vec() else {
-            continue;
+/// Stop coalescing queued chunks into one write past this size; the
+/// remainder simply becomes the next write.
+const MAX_COALESCED_WRITE: usize = 256 * 1024;
+
+/// Drains an outbox of encoded chunks into a socket until either side goes
+/// away.  Chunks that queued up while the previous write was in flight are
+/// coalesced into a single `write_all`, so a burst of engine drains costs
+/// one syscall, not one per drain.  A failed write ends the loop gracefully
+/// (the caller detaches the connection and the reconnect logic takes over).
+pub(crate) fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream) {
+    loop {
+        // The first chunk is written from its own allocation (no copy —
+        // the common keeping-up case); only chunks that queued up behind
+        // an in-flight write get appended to it.
+        let mut pending = match rx.recv() {
+            Ok(chunk) => chunk,
+            Err(_) => return, // routes dropped: connection was detached
         };
-        if stream.write_all(&bytes).is_err() {
+        while pending.len() < MAX_COALESCED_WRITE {
+            match rx.try_recv() {
+                Ok(chunk) => pending.extend_from_slice(&chunk),
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&pending).is_err() {
             return;
         }
     }
 }
 
-/// Reads OpenFlow frames off a socket and hands them to `sink`.
-pub(crate) fn reader_loop(mut stream: TcpStream, mut sink: impl FnMut(OfMessage)) {
+/// Reads OpenFlow frames off a socket and hands every batch decoded from
+/// one read to `sink` at once, so the receiver can drain the whole batch
+/// under a single engine lock and emit a single write per destination.
+pub(crate) fn reader_loop(mut stream: TcpStream, mut sink: impl FnMut(&mut Vec<OfMessage>)) {
     let mut codec = OfCodec::new();
     let mut buf = [0u8; 4096];
+    let mut msgs: Vec<OfMessage> = Vec::new();
     loop {
         let n = match stream.read(&mut buf) {
             Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
         codec.feed(&buf[..n]);
-        loop {
-            match codec.next_message() {
-                Ok(Some(msg)) => sink(msg),
-                Ok(None) => break,
-                Err(_) => return, // framing error: give up on this connection
-            }
+        msgs.clear();
+        let framing_ok = codec.drain_messages_into(&mut msgs).is_ok();
+        if !msgs.is_empty() {
+            sink(&mut msgs);
+        }
+        if !framing_ok {
+            return; // framing error: give up on this connection
         }
     }
 }
@@ -409,16 +512,18 @@ mod tests {
             let mut stream = TcpStream::connect(proxy_addr).expect("connect to proxy");
             let mut codec = OfCodec::new();
             let mut buf = [0u8; 2048];
+            let mut replies = Vec::new();
             let mut handled = 0u64;
             stream
                 .set_read_timeout(Some(Duration::from_secs(2)))
                 .unwrap();
-            loop {
+            'conn: loop {
                 let n = match stream.read(&mut buf) {
                     Ok(0) | Err(_) => break,
                     Ok(n) => n,
                 };
                 codec.feed(&buf[..n]);
+                replies.clear();
                 while let Ok(Some(msg)) = codec.next_message() {
                     handled += 1;
                     let reply = match msg {
@@ -430,8 +535,13 @@ mod tests {
                         _ => None,
                     };
                     if let Some(r) = reply {
-                        stream.write_all(&r.encode_to_vec().unwrap()).unwrap();
+                        r.encode_into(&mut replies).expect("encodable reply");
                     }
+                }
+                // One write per read batch; a failed write means the proxy
+                // hung up — stop serving instead of panicking.
+                if !replies.is_empty() && stream.write_all(&replies).is_err() {
+                    break 'conn;
                 }
             }
             handled
@@ -482,9 +592,11 @@ mod tests {
             OfMessage::BarrierRequest { xid: 3 },
         ];
         let start = Instant::now();
+        let mut wire = Vec::new();
         for m in &messages {
-            ctrl_stream.write_all(&m.encode_to_vec().unwrap()).unwrap();
+            m.encode_into(&mut wire).unwrap();
         }
+        ctrl_stream.write_all(&wire).unwrap();
 
         // Read until the barrier reply arrives.
         let mut codec = OfCodec::new();

@@ -37,12 +37,28 @@ impl RelayEffects {
     pub fn is_empty(&self) -> bool {
         self.messages.is_empty() && self.timers.is_empty() && self.confirmed.is_empty()
     }
+
+    /// Empties the effect lists, keeping their allocations for reuse.
+    pub fn clear(&mut self) {
+        self.messages.clear();
+        self.timers.clear();
+        self.confirmed.clear();
+    }
 }
 
 /// Drives a [`RumEngine`] from wall-clock time and decoded socket messages.
+///
+/// The `*_into` methods *append* into a caller-owned [`RelayEffects`], so a
+/// driver can drain every message decoded from one socket read into a single
+/// effects batch (and a single write per destination socket) with no
+/// per-message allocation; the plain methods are conveniences that return a
+/// fresh batch.
 pub struct EngineRelay {
     engine: RumEngine,
     epoch: Instant,
+    /// Reusable buffer for raw engine effects between dispatch and
+    /// translation.
+    scratch: Vec<Effect>,
 }
 
 impl EngineRelay {
@@ -51,6 +67,7 @@ impl EngineRelay {
         EngineRelay {
             engine,
             epoch: Instant::now(),
+            scratch: Vec::new(),
         }
     }
 
@@ -63,47 +80,83 @@ impl EngineRelay {
         self.epoch.elapsed()
     }
 
+    fn dispatch(&mut self, input: Input, out: &mut RelayEffects) {
+        let now = self.now();
+        self.scratch.clear();
+        self.engine.handle_into(now, input, &mut self.scratch);
+        translate_into(&mut self.scratch, out);
+    }
+
     /// Starts the engine (catch rules, initial timers).  Idempotent.
     pub fn start(&mut self) -> RelayEffects {
+        let mut out = RelayEffects::default();
+        self.start_into(&mut out);
+        out
+    }
+
+    /// Starts the engine, appending the start-up effects to `out`.
+    pub fn start_into(&mut self, out: &mut RelayEffects) {
         let now = self.now();
-        let effects = self.engine.start(now);
-        translate(effects)
+        let mut effects = self.engine.start(now);
+        translate_into(&mut effects, out);
     }
 
     /// The controller sent `message` on `switch`'s impersonated connection.
     pub fn on_controller_message(&mut self, switch: SwitchId, message: OfMessage) -> RelayEffects {
-        let now = self.now();
-        translate(
-            self.engine
-                .handle(now, Input::FromController { switch, message }),
-        )
+        let mut out = RelayEffects::default();
+        self.on_controller_message_into(switch, message, &mut out);
+        out
+    }
+
+    /// Appending form of [`EngineRelay::on_controller_message`].
+    pub fn on_controller_message_into(
+        &mut self,
+        switch: SwitchId,
+        message: OfMessage,
+        out: &mut RelayEffects,
+    ) {
+        self.dispatch(Input::FromController { switch, message }, out);
     }
 
     /// Switch `switch` sent `message` towards the controller.
     pub fn on_switch_message(&mut self, switch: SwitchId, message: OfMessage) -> RelayEffects {
-        let now = self.now();
-        translate(
-            self.engine
-                .handle(now, Input::FromSwitch { switch, message }),
-        )
+        let mut out = RelayEffects::default();
+        self.on_switch_message_into(switch, message, &mut out);
+        out
+    }
+
+    /// Appending form of [`EngineRelay::on_switch_message`].
+    pub fn on_switch_message_into(
+        &mut self,
+        switch: SwitchId,
+        message: OfMessage,
+        out: &mut RelayEffects,
+    ) {
+        self.dispatch(Input::FromSwitch { switch, message }, out);
     }
 
     /// A timer scheduled from an earlier [`RelayEffects`] expired.
     pub fn on_timer(&mut self, token: TimerToken) -> RelayEffects {
-        let now = self.now();
-        translate(self.engine.handle(now, Input::TimerFired { token }))
+        let mut out = RelayEffects::default();
+        self.on_timer_into(token, &mut out);
+        out
+    }
+
+    /// Appending form of [`EngineRelay::on_timer`].
+    pub fn on_timer_into(&mut self, token: TimerToken, out: &mut RelayEffects) {
+        self.dispatch(Input::TimerFired { token }, out);
     }
 
     /// Periodic liveness tick (optional; timers carry all hard deadlines).
     pub fn on_tick(&mut self) -> RelayEffects {
-        let now = self.now();
-        translate(self.engine.handle(now, Input::Tick))
+        let mut out = RelayEffects::default();
+        self.dispatch(Input::Tick, &mut out);
+        out
     }
 }
 
-fn translate(effects: Vec<Effect>) -> RelayEffects {
-    let mut out = RelayEffects::default();
-    for effect in effects {
+fn translate_into(effects: &mut Vec<Effect>, out: &mut RelayEffects) {
+    for effect in effects.drain(..) {
         match effect {
             Effect::ToController { via, message } => {
                 out.messages.push((Endpoint::Controller(via), message));
@@ -115,7 +168,6 @@ fn translate(effects: Vec<Effect>) -> RelayEffects {
             Effect::Confirmed { switch, cookie } => out.confirmed.push((switch, cookie)),
         }
     }
-    out
 }
 
 #[cfg(test)]

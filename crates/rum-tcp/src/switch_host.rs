@@ -90,6 +90,9 @@ fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -
     let epoch = Instant::now();
     let mut codec = OfCodec::new();
     let mut buf = [0u8; 4096];
+    // Replies for all messages decoded from one read are encoded
+    // back-to-back here and flushed with a single write.
+    let mut reply_buf: Vec<u8> = Vec::new();
     let mut control = FlowTable::new(model.table_capacity);
     let mut data = FlowTable::new(model.table_capacity);
     let mut pending: Vec<PendingOp> = Vec::new();
@@ -127,15 +130,15 @@ fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -
             Err(_) => break,
         };
         codec.feed(&buf[..n]);
+        reply_buf.clear();
+        let mut conn_done = false;
         loop {
             let msg = match codec.next_message() {
                 Ok(Some(msg)) => msg,
                 Ok(None) => break,
                 Err(_) => {
-                    return SwitchReport {
-                        control_rules: control.len(),
-                        data_rules: data.len(),
-                    }
+                    conn_done = true;
+                    break;
                 }
             };
             let reply = match msg {
@@ -168,6 +171,21 @@ fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -
                 OfMessage::BarrierRequest { xid } => {
                     counters.barriers.fetch_add(1, Ordering::SeqCst);
                     if !model.barrier_mode.replies_early() {
+                        // Replies already owed (earlier barriers in this
+                        // batch, echoes) must hit the wire before this
+                        // barrier blocks on the data-plane horizon —
+                        // batching must not skew their observed timing.
+                        if !reply_buf.is_empty() {
+                            let flushed = stream.write_all(&reply_buf).is_ok();
+                            // Cleared on failure too: the end-of-batch flush
+                            // must not re-send (a partial copy of) the same
+                            // bytes on this socket.
+                            reply_buf.clear();
+                            if !flushed {
+                                conn_done = true;
+                                break;
+                            }
+                        }
                         // Faithful: wait for the data plane to catch up
                         // before answering (a barrier is a sync point, so
                         // blocking the control plane is the semantics).
@@ -197,13 +215,16 @@ fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -
                 _ => None,
             };
             if let Some(reply) = reply {
-                if stream
-                    .write_all(&reply.encode_to_vec().expect("encodable reply"))
-                    .is_err()
-                {
-                    break;
-                }
+                reply.encode_into(&mut reply_buf).expect("encodable reply");
             }
+        }
+        // One write per read batch; a failed write means the peer dropped
+        // the connection — return the final report instead of panicking.
+        if !reply_buf.is_empty() && stream.write_all(&reply_buf).is_err() {
+            break;
+        }
+        if conn_done {
+            break;
         }
     }
     SwitchReport {
@@ -234,13 +255,14 @@ mod tests {
             body: FlowMod::add(OfMatch::wildcard_all(), 10, vec![Action::output(1)]),
         };
         let started = Instant::now();
-        peer.write_all(&fm.encode_to_vec().unwrap()).unwrap();
-        peer.write_all(
-            &OfMessage::BarrierRequest { xid: 2 }
-                .encode_to_vec()
-                .unwrap(),
-        )
-        .unwrap();
+        // The flow-mod and the barrier go out as one batched write, the way
+        // the proxy's writer coalesces a drain burst.
+        let mut wire = Vec::new();
+        fm.encode_into(&mut wire).unwrap();
+        OfMessage::BarrierRequest { xid: 2 }
+            .encode_into(&mut wire)
+            .unwrap();
+        peer.write_all(&wire).unwrap();
 
         let mut codec = OfCodec::new();
         let mut buf = [0u8; 512];

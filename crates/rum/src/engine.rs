@@ -35,7 +35,7 @@ use crate::sequential::SequentialProbing;
 use crate::technique::{AckTechnique, TechniqueOutput};
 use crate::technique::{AdaptiveDelay, BarrierBaseline, StaticTimeout};
 use openflow::{OfMessage, PacketHeader, Xid};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
@@ -192,23 +192,36 @@ pub struct ProxyStats {
 }
 
 /// A controller barrier whose reply is being withheld.
+///
+/// Instead of a cloned set of required cookies the barrier carries a
+/// *count*: it was created at event sequence `created_seq`, so it waits for
+/// exactly the modifications whose insertion sequence is below that — a
+/// cookie resolving decrements every younger barrier.  This keeps barrier
+/// creation O(1) where it used to clone the whole `unconfirmed` set.
 #[derive(Debug)]
 struct PendingBarrier {
     xid: Xid,
-    required: HashSet<u64>,
+    /// Unresolved modifications this barrier still waits for.
+    remaining: usize,
+    /// Event sequence at creation; covers cookies inserted before it.
+    created_seq: u64,
     switch_replied: bool,
 }
 
 /// Per-monitored-switch engine state.
 ///
 /// Memory stays bounded by the amount of *outstanding* work: resolved
-/// cookies are removed from every pending barrier's `required` set instead
-/// of accumulating in ever-growing "confirmed" sets, so a long-running
-/// deployment (the TCP proxy) does not leak per-modification state.
+/// cookies decrement the pending barriers' counters instead of accumulating
+/// in ever-growing "confirmed" sets, so a long-running deployment (the TCP
+/// proxy) does not leak per-modification state.
 struct SwitchState {
     technique: Box<dyn AckTechnique>,
-    unconfirmed: HashSet<u64>,
-    pending_barriers: Vec<PendingBarrier>,
+    /// Unconfirmed modification cookies → event sequence at insertion.
+    unconfirmed: HashMap<u64, u64>,
+    /// Per-switch counter ordering unconfirmed insertions and barrier
+    /// creations against each other.
+    next_event_seq: u64,
+    pending_barriers: VecDeque<PendingBarrier>,
     buffered: VecDeque<OfMessage>,
     stats: ProxyStats,
 }
@@ -217,18 +230,21 @@ impl SwitchState {
     fn new(technique: Box<dyn AckTechnique>) -> Self {
         SwitchState {
             technique,
-            unconfirmed: HashSet::new(),
-            pending_barriers: Vec::new(),
+            unconfirmed: HashMap::new(),
+            next_event_seq: 0,
+            pending_barriers: VecDeque::new(),
             buffered: VecDeque::new(),
             stats: ProxyStats::default(),
         }
     }
 
-    /// A cookie is resolved (confirmed or failed): no pending barrier needs
-    /// to wait for it any longer.
-    fn resolve_cookie(&mut self, cookie: u64) {
+    /// A cookie inserted at `inserted_seq` is resolved (confirmed or
+    /// failed): every barrier created after it stops waiting for it.
+    fn resolve_cookie(&mut self, inserted_seq: u64) {
         for b in &mut self.pending_barriers {
-            b.required.remove(&cookie);
+            if b.created_seq > inserted_seq {
+                b.remaining -= 1;
+            }
         }
     }
 }
@@ -244,6 +260,11 @@ pub struct RumEngine {
     next_xid: Xid,
     started: bool,
     confirm_log: Vec<(SwitchId, u64)>,
+    /// Reusable buffer for technique outputs, so the per-message hot path
+    /// does not allocate.  Taken with `mem::take` around each technique
+    /// call; re-entrant calls (buffered-command replay during a barrier
+    /// release) fall back to a fresh vector.
+    tech_out: Vec<TechniqueOutput>,
 }
 
 impl RumEngine {
@@ -267,6 +288,7 @@ impl RumEngine {
             next_xid: PROXY_XID_BASE + 0x0100_0000,
             started: false,
             confirm_log: Vec::new(),
+            tech_out: Vec::new(),
         }
     }
 
@@ -328,37 +350,64 @@ impl RumEngine {
                     message: OfMessage::FlowMod { xid, body: fm },
                 });
             }
-            let mut out = Vec::new();
+            let mut out = std::mem::take(&mut self.tech_out);
             self.switches[i].technique.start(now, &mut out);
-            self.apply_outputs(switch, out, now, &mut effects);
+            self.apply_outputs(switch, &mut out, now, &mut effects);
+            self.tech_out = out;
         }
         effects
     }
 
     /// Feeds one input into the engine and returns the effects the driver
-    /// must execute, in order.
+    /// must execute, in order.  Allocates a fresh effects vector per call;
+    /// hot-path drivers should prefer [`RumEngine::handle_into`].
     pub fn handle(&mut self, now: Duration, input: Input) -> Vec<Effect> {
         let mut effects = Vec::new();
+        self.handle_into(now, input, &mut effects);
+        effects
+    }
+
+    /// Feeds one input into the engine, *appending* the effects the driver
+    /// must execute (in order) to a caller-owned buffer.
+    ///
+    /// The buffer is not cleared: a driver drains several inputs into one
+    /// buffer, executes everything in a single batch (one socket write per
+    /// destination), then clears and reuses the buffer — no per-input
+    /// allocation.
+    pub fn handle_into(&mut self, now: Duration, input: Input, effects: &mut Vec<Effect>) {
         match input {
             Input::FromController { switch, message } => {
-                self.on_controller_msg(switch, message, now, &mut effects);
+                self.on_controller_msg(switch, message, now, effects);
             }
             Input::FromSwitch { switch, message } => {
-                self.on_switch_msg(switch, message, now, &mut effects);
+                self.on_switch_msg(switch, message, now, effects);
             }
             Input::TimerFired { token } => {
-                self.on_timer(token, now, &mut effects);
+                self.on_timer(token, now, effects);
             }
             Input::Tick => {
                 // Nothing is time-deferred outside timers today; re-examine
                 // barrier releases so drivers may tick instead of tracking
                 // fine-grained timers for liveness.
                 for i in 0..self.switches.len() {
-                    self.try_release_barriers(SwitchId::new(i), now, &mut effects);
+                    self.try_release_barriers(SwitchId::new(i), now, effects);
                 }
             }
         }
-        effects
+    }
+
+    /// Feeds a batch of inputs sharing one timestamp, appending all effects
+    /// to `effects` in input order — the multi-input drain used after one
+    /// socket read decodes several messages.
+    pub fn drain_into(
+        &mut self,
+        now: Duration,
+        inputs: impl IntoIterator<Item = Input>,
+        effects: &mut Vec<Effect>,
+    ) {
+        for input in inputs {
+            self.handle_into(now, input, effects);
+        }
     }
 
     fn fresh_xid(&mut self) -> Xid {
@@ -423,25 +472,39 @@ impl RumEngine {
         match msg {
             OfMessage::FlowMod { xid, ref body } => {
                 let id = u64::from(xid);
-                self.switches[i].stats.controller_flow_mods += 1;
-                self.switches[i].unconfirmed.insert(id);
-                effects.push(Effect::ToSwitch {
-                    switch,
-                    message: msg.clone(),
-                });
-                let mut out = Vec::new();
+                let state = &mut self.switches[i];
+                state.stats.controller_flow_mods += 1;
+                // Record the insertion sequence so later barriers know they
+                // cover this modification (fresh cookies only: a re-sent
+                // unconfirmed cookie keeps its original position).
+                let seq = state.next_event_seq;
+                if let std::collections::hash_map::Entry::Vacant(e) = state.unconfirmed.entry(id) {
+                    e.insert(seq);
+                    state.next_event_seq += 1;
+                }
+                // Run the technique on the borrowed body first, then move
+                // the message into the forwarding effect — no clone.
+                let mut out = std::mem::take(&mut self.tech_out);
                 self.switches[i]
                     .technique
                     .on_flow_mod(id, body, now, &mut out);
-                self.apply_outputs(switch, out, now, effects);
+                effects.push(Effect::ToSwitch {
+                    switch,
+                    message: msg,
+                });
+                self.apply_outputs(switch, &mut out, now, effects);
+                self.tech_out = out;
             }
             OfMessage::BarrierRequest { xid } => {
                 self.switches[i].stats.controller_barriers += 1;
                 if self.config.reliable_barriers {
-                    let required = self.switches[i].unconfirmed.clone();
-                    self.switches[i].pending_barriers.push(PendingBarrier {
+                    let state = &mut self.switches[i];
+                    let created_seq = state.next_event_seq;
+                    state.next_event_seq += 1;
+                    state.pending_barriers.push_back(PendingBarrier {
                         xid,
-                        required,
+                        remaining: state.unconfirmed.len(),
+                        created_seq,
                         switch_replied: false,
                     });
                     // Still forward the barrier so the switch's own ordering
@@ -482,11 +545,12 @@ impl RumEngine {
         match msg {
             OfMessage::BarrierReply { xid } => {
                 if xid >= PROXY_XID_BASE {
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.tech_out);
                     self.switches[i]
                         .technique
                         .on_switch_barrier_reply(xid, now, &mut out);
-                    self.apply_outputs(switch, out, now, effects);
+                    self.apply_outputs(switch, &mut out, now, effects);
+                    self.tech_out = out;
                 } else if self.config.reliable_barriers {
                     if let Some(b) = self.switches[i]
                         .pending_barriers
@@ -511,11 +575,12 @@ impl RumEngine {
                         // technique; each technique ignores probes that are
                         // not its own.
                         for s in 0..self.switches.len() {
-                            let mut out = Vec::new();
+                            let mut out = std::mem::take(&mut self.tech_out);
                             self.switches[s]
                                 .technique
                                 .on_probe_packet(&header, now, &mut out);
-                            self.apply_outputs(SwitchId::new(s), out, now, effects);
+                            self.apply_outputs(SwitchId::new(s), &mut out, now, effects);
+                            self.tech_out = out;
                         }
                     }
                     _ => effects.push(Effect::ToController {
@@ -534,8 +599,8 @@ impl RumEngine {
                     // appear in the data plane, so treat it as resolved for
                     // barrier purposes and pass the error through.
                     let id = u64::from(xid);
-                    if self.switches[i].unconfirmed.remove(&id) {
-                        self.switches[i].resolve_cookie(id);
+                    if let Some(seq) = self.switches[i].unconfirmed.remove(&id) {
+                        self.switches[i].resolve_cookie(seq);
                     }
                     effects.push(Effect::ToController {
                         via: switch,
@@ -563,11 +628,12 @@ impl RumEngine {
         if switch >= self.switches.len() {
             return;
         }
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.tech_out);
         self.switches[switch]
             .technique
             .on_timer(tech_token, now, &mut out);
-        self.apply_outputs(SwitchId::new(switch), out, now, effects);
+        self.apply_outputs(SwitchId::new(switch), &mut out, now, effects);
+        self.tech_out = out;
     }
 
     // ------------------------------------------------------------------
@@ -577,12 +643,12 @@ impl RumEngine {
     fn apply_outputs(
         &mut self,
         switch: SwitchId,
-        outputs: Vec<TechniqueOutput>,
+        outputs: &mut Vec<TechniqueOutput>,
         now: Duration,
         effects: &mut Vec<Effect>,
     ) {
         let i = switch.index();
-        for output in outputs {
+        for output in outputs.drain(..) {
             match output {
                 TechniqueOutput::Confirm(cookie) => self.confirm(switch, cookie, now, effects),
                 TechniqueOutput::ToSwitch(message) => {
@@ -612,10 +678,10 @@ impl RumEngine {
     fn confirm(&mut self, switch: SwitchId, cookie: u64, now: Duration, effects: &mut Vec<Effect>) {
         let i = switch.index();
         let state = &mut self.switches[i];
-        if !state.unconfirmed.remove(&cookie) {
+        let Some(seq) = state.unconfirmed.remove(&cookie) else {
             return;
-        }
-        state.resolve_cookie(cookie);
+        };
+        state.resolve_cookie(seq);
         if self.config.record_confirmations {
             self.confirm_log.push((switch, cookie));
         }
@@ -635,13 +701,13 @@ impl RumEngine {
         let i = switch.index();
         loop {
             let state = &mut self.switches[i];
-            let Some(front) = state.pending_barriers.first() else {
+            let Some(front) = state.pending_barriers.front() else {
                 break;
             };
-            if !(front.switch_replied && front.required.is_empty()) {
+            if !(front.switch_replied && front.remaining == 0) {
                 break;
             }
-            let barrier = state.pending_barriers.remove(0);
+            let barrier = state.pending_barriers.pop_front().expect("front exists");
             state.stats.barrier_replies_released += 1;
             effects.push(Effect::ToController {
                 via: switch,

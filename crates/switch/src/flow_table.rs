@@ -1,9 +1,32 @@
-//! OpenFlow 1.0 flow-table semantics.
+//! OpenFlow 1.0 flow-table semantics, indexed for scale.
+//!
+//! The table keeps three structures in sync so every hot operation is
+//! sub-linear in the number of installed rules:
+//!
+//! * a **strict index** `(match, priority) → entry` backing `find_strict`,
+//!   strict modify/delete, counter accounting and the ADD replace check —
+//!   all O(1) expected;
+//! * **priority buckets** (a `BTreeMap` keyed by priority) so packet lookup
+//!   walks priorities from highest to lowest and stops at the first match,
+//!   and `CHECK_OVERLAP` only examines rules of the colliding priority;
+//! * inside each bucket, fully-exact rules live in a **canonical-key hash
+//!   map** probed with one hash of the packet header, while wildcarded rules
+//!   stay in an installation-ordered list that is scanned only until the
+//!   exact candidate (if any) is known to win the tie-break.
+//!
+//! Entries are stored in a `BTreeMap` keyed by a monotonically increasing
+//! installation sequence number, which preserves the observable iteration
+//! and tie-break order of the original linear-scan table (first installed
+//! wins; replaced entries move to the end).  That original implementation
+//! survives as [`crate::oracle::LinearFlowTable`], the reference oracle the
+//! property tests and benchmarks compare against.
 
-use openflow::constants::{flow_mod_failed_code, flow_mod_flags, port as of_port};
+use openflow::constants::{flow_mod_failed_code, flow_mod_flags, port as of_port, OFP_VLAN_NONE};
 use openflow::messages::{FlowMod, FlowModCommand};
-use openflow::{Action, OfMatch, PacketHeader, PortNo};
+use openflow::{Action, MacAddr, OfMatch, PacketHeader, PortNo};
 use simnet::SimTime;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
 
 /// A single installed flow entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +72,14 @@ impl FlowEntry {
     pub fn outputs_to(&self, port: PortNo) -> bool {
         Action::output_ports(&self.actions).contains(&port)
     }
+
+    fn hard_deadline(&self) -> Option<SimTime> {
+        if self.hard_timeout == 0 {
+            None
+        } else {
+            Some(self.installed_at + SimTime::from_secs(u64::from(self.hard_timeout)))
+        }
+    }
 }
 
 /// What a flow-mod did to the table — the switch uses this to know which
@@ -81,11 +112,128 @@ impl FlowTableError {
     }
 }
 
-/// An OpenFlow 1.0 flow table.
+/// The key of the strict index: exact OpenFlow "strict" semantics compare
+/// the match structure bit-for-bit plus the priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StrictKey {
+    match_: OfMatch,
+    priority: u16,
+}
+
+impl StrictKey {
+    fn of(match_: &OfMatch, priority: u16) -> Self {
+        StrictKey {
+            match_: *match_,
+            priority,
+        }
+    }
+}
+
+/// Canonical identity of a fully-exact match, chosen so that key equality is
+/// *exactly* "this rule matches that packet":
+///
+/// * the ToS byte keeps only its DSCP bits (matching masks out ECN);
+/// * the VLAN priority is zeroed when no VLAN tag is present (matching
+///   ignores it then).
+///
+/// Both an exact rule and a concrete packet header project onto this key, so
+/// a single hash probe replaces a scan over every exact rule of a priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExactKey {
+    in_port: PortNo,
+    dl_src: MacAddr,
+    dl_dst: MacAddr,
+    dl_vlan: u16,
+    dl_vlan_pcp: u8,
+    dl_type: u16,
+    nw_tos_dscp: u8,
+    nw_proto: u8,
+    nw_src: Ipv4Addr,
+    nw_dst: Ipv4Addr,
+    tp_src: u16,
+    tp_dst: u16,
+}
+
+impl ExactKey {
+    /// Projects a fully-exact match onto its canonical key.
+    fn from_match(m: &OfMatch) -> Self {
+        ExactKey {
+            in_port: m.in_port,
+            dl_src: m.dl_src,
+            dl_dst: m.dl_dst,
+            dl_vlan: m.dl_vlan,
+            dl_vlan_pcp: if m.dl_vlan == OFP_VLAN_NONE {
+                0
+            } else {
+                m.dl_vlan_pcp
+            },
+            dl_type: m.dl_type,
+            nw_tos_dscp: m.nw_tos & 0xfc,
+            nw_proto: m.nw_proto,
+            nw_src: m.nw_src,
+            nw_dst: m.nw_dst,
+            tp_src: m.tp_src,
+            tp_dst: m.tp_dst,
+        }
+    }
+
+    /// Projects a concrete packet header onto the canonical key an exact
+    /// rule matching it would have.
+    fn from_packet(pkt: &PacketHeader, in_port: PortNo) -> Self {
+        ExactKey {
+            in_port,
+            dl_src: pkt.dl_src,
+            dl_dst: pkt.dl_dst,
+            dl_vlan: pkt.dl_vlan,
+            dl_vlan_pcp: if pkt.dl_vlan == OFP_VLAN_NONE {
+                0
+            } else {
+                pkt.dl_vlan_pcp
+            },
+            dl_type: pkt.dl_type,
+            nw_tos_dscp: pkt.nw_tos & 0xfc,
+            nw_proto: pkt.nw_proto,
+            nw_src: pkt.nw_src,
+            nw_dst: pkt.nw_dst,
+            tp_src: pkt.tp_src,
+            tp_dst: pkt.tp_dst,
+        }
+    }
+}
+
+/// All entries of one priority.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Fully-exact rules: canonical key → installation sequence numbers in
+    /// install order (several distinct matches can share a canonical key,
+    /// e.g. when they differ only in ECN bits).
+    exact: HashMap<ExactKey, Vec<u64>>,
+    /// Wildcarded rules, as installation sequence numbers in install order.
+    wild: Vec<u64>,
+    /// Number of rules in `exact` (the map counts keys, not rules).
+    exact_len: usize,
+}
+
+impl Bucket {
+    fn is_empty(&self) -> bool {
+        self.exact_len == 0 && self.wild.is_empty()
+    }
+}
+
+/// An OpenFlow 1.0 flow table with hash/priority indexes on the hot paths.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
+    /// Entries keyed by installation sequence number; ascending iteration is
+    /// installation order.
+    entries: BTreeMap<u64, FlowEntry>,
+    strict: HashMap<StrictKey, u64>,
+    buckets: BTreeMap<u16, Bucket>,
+    next_seq: u64,
     max_entries: usize,
+    /// Lower bound on the earliest hard-timeout deadline of any installed
+    /// entry; `None` means no entry has a hard timeout.  [`FlowTable::expire`]
+    /// returns without scanning while `now` is below this bound.
+    next_expiry: Option<SimTime>,
     /// Lookups performed (for table stats).
     pub lookup_count: u64,
     /// Lookups that matched (for table stats).
@@ -96,10 +244,8 @@ impl FlowTable {
     /// Creates a table bounded at `max_entries` rules (0 = unbounded).
     pub fn new(max_entries: usize) -> Self {
         FlowTable {
-            entries: Vec::new(),
             max_entries,
-            lookup_count: 0,
-            matched_count: 0,
+            ..FlowTable::default()
         }
     }
 
@@ -118,17 +264,17 @@ impl FlowTable {
         self.max_entries
     }
 
-    /// Iterates over the installed entries.
+    /// Iterates over the installed entries in installation order.
     pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
-        self.entries.iter()
+        self.entries.values()
     }
 
     /// Finds the entry exactly matching `match_` and `priority` (strict
     /// semantics).
     pub fn find_strict(&self, match_: &OfMatch, priority: u16) -> Option<&FlowEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.priority == priority && e.match_ == *match_)
+        self.strict
+            .get(&StrictKey::of(match_, priority))
+            .map(|seq| &self.entries[seq])
     }
 
     /// Looks up the highest-priority entry matching a packet.  Ties are
@@ -137,47 +283,52 @@ impl FlowTable {
     /// order to define the rule importance").
     pub fn lookup(&mut self, pkt: &PacketHeader, in_port: PortNo) -> Option<&FlowEntry> {
         self.lookup_count += 1;
-        let mut best: Option<usize> = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            if !e.match_.matches(pkt, in_port) {
-                continue;
-            }
-            match best {
-                None => best = Some(i),
-                Some(b) if e.priority > self.entries[b].priority => best = Some(i),
-                _ => {}
-            }
-        }
-        if best.is_some() {
+        let hit = self.lookup_seq(pkt, in_port);
+        if hit.is_some() {
             self.matched_count += 1;
         }
-        best.map(move |i| &self.entries[i])
+        hit.map(|seq| &self.entries[&seq])
     }
 
     /// Same as [`FlowTable::lookup`] but does not update statistics and does
     /// not require `&mut self` — used for read-only probing/analysis.
     pub fn peek_lookup(&self, pkt: &PacketHeader, in_port: PortNo) -> Option<&FlowEntry> {
-        let mut best: Option<&FlowEntry> = None;
-        for e in &self.entries {
-            if !e.match_.matches(pkt, in_port) {
-                continue;
+        self.lookup_seq(pkt, in_port).map(|seq| &self.entries[&seq])
+    }
+
+    /// The matching entry's sequence number: walk priorities from highest to
+    /// lowest; within a priority the earliest-installed match wins, whether
+    /// it came from the exact hash probe or the wildcard scan.
+    fn lookup_seq(&self, pkt: &PacketHeader, in_port: PortNo) -> Option<u64> {
+        let key = ExactKey::from_packet(pkt, in_port);
+        for bucket in self.buckets.values().rev() {
+            let exact = bucket
+                .exact
+                .get(&key)
+                .and_then(|seqs| seqs.first().copied());
+            let mut best = exact;
+            for &seq in &bucket.wild {
+                // `wild` is in installation order, so once the exact
+                // candidate is older than the remaining wildcards it wins.
+                if exact.is_some_and(|e| e <= seq) {
+                    break;
+                }
+                if self.entries[&seq].match_.matches(pkt, in_port) {
+                    best = Some(seq);
+                    break;
+                }
             }
-            match best {
-                None => best = Some(e),
-                Some(b) if e.priority > b.priority => best = Some(e),
-                _ => {}
+            if best.is_some() {
+                return best;
             }
         }
-        best
+        None
     }
 
     /// Credits a matched packet to an entry (counters).
     pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize) {
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.priority == priority && e.match_ == *match_)
-        {
+        if let Some(seq) = self.strict.get(&StrictKey::of(match_, priority)) {
+            let e = self.entries.get_mut(seq).expect("indexed entry exists");
             e.packet_count += 1;
             e.byte_count += bytes as u64;
         }
@@ -195,24 +346,14 @@ impl FlowTable {
     }
 
     fn apply_add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
-        if fm.flags & flow_mod_flags::CHECK_OVERLAP != 0 {
-            let overlapping = self
-                .entries
-                .iter()
-                .any(|e| e.priority == fm.priority && e.match_.overlaps(&fm.match_));
-            if overlapping {
-                return Err(FlowTableError::Overlap);
-            }
+        if fm.flags & flow_mod_flags::CHECK_OVERLAP != 0 && self.overlaps_same_priority(fm) {
+            return Err(FlowTableError::Overlap);
         }
         // Per the spec, an ADD with an identical match and priority replaces
         // the existing entry (counters reset).
         let mut outcome = FlowModOutcome::default();
-        if let Some(pos) = self
-            .entries
-            .iter()
-            .position(|e| e.priority == fm.priority && e.match_ == fm.match_)
-        {
-            let old = self.entries.remove(pos);
+        if let Some(&seq) = self.strict.get(&StrictKey::of(&fm.match_, fm.priority)) {
+            let old = self.remove_seq(seq);
             if old.cookie != fm.cookie {
                 outcome.removed.push(old.cookie);
             }
@@ -220,8 +361,22 @@ impl FlowTable {
             return Err(FlowTableError::TableFull);
         }
         outcome.activated.push(fm.cookie);
-        self.entries.push(FlowEntry::from_flow_mod(fm, now));
+        self.insert_entry(FlowEntry::from_flow_mod(fm, now));
         Ok(outcome)
+    }
+
+    /// CHECK_OVERLAP only concerns entries of the same priority, so only the
+    /// matching bucket is examined.
+    fn overlaps_same_priority(&self, fm: &FlowMod) -> bool {
+        let Some(bucket) = self.buckets.get(&fm.priority) else {
+            return false;
+        };
+        bucket
+            .exact
+            .values()
+            .flatten()
+            .chain(bucket.wild.iter())
+            .any(|seq| self.entries[seq].match_.overlaps(&fm.match_))
     }
 
     fn apply_modify(
@@ -232,17 +387,23 @@ impl FlowTable {
     ) -> Result<FlowModOutcome, FlowTableError> {
         let mut outcome = FlowModOutcome::default();
         let mut any = false;
-        for e in self.entries.iter_mut() {
-            let selected = if strict {
-                e.priority == fm.priority && e.match_ == fm.match_
-            } else {
-                fm.match_.covers(&e.match_)
-            };
-            if selected {
+        if strict {
+            // The strict index makes this a single probe: at most one entry
+            // can carry an identical (match, priority) pair.
+            if let Some(seq) = self.strict.get(&StrictKey::of(&fm.match_, fm.priority)) {
+                let e = self.entries.get_mut(seq).expect("indexed entry exists");
                 e.actions = fm.actions.clone();
                 // MODIFY does not reset counters or timeouts, per spec.
                 outcome.activated.push(fm.cookie);
                 any = true;
+            }
+        } else {
+            for e in self.entries.values_mut() {
+                if fm.match_.covers(&e.match_) {
+                    e.actions = fm.actions.clone();
+                    outcome.activated.push(fm.cookie);
+                    any = true;
+                }
             }
         }
         if !any {
@@ -255,37 +416,122 @@ impl FlowTable {
     fn apply_delete(&mut self, fm: &FlowMod, strict: bool) -> FlowModOutcome {
         let mut outcome = FlowModOutcome::default();
         let out_port_filter = fm.out_port;
-        self.entries.retain(|e| {
-            let selected = if strict {
-                e.priority == fm.priority && e.match_ == fm.match_
-            } else {
-                fm.match_.covers(&e.match_)
+        if strict {
+            let Some(&seq) = self.strict.get(&StrictKey::of(&fm.match_, fm.priority)) else {
+                return outcome;
             };
-            let port_ok = out_port_filter == of_port::NONE || e.outputs_to(out_port_filter);
-            if selected && port_ok {
-                outcome.removed.push(e.cookie);
-                false
-            } else {
-                true
+            let port_ok =
+                out_port_filter == of_port::NONE || self.entries[&seq].outputs_to(out_port_filter);
+            if port_ok {
+                outcome.removed.push(self.remove_seq(seq).cookie);
             }
-        });
+        } else {
+            let doomed: Vec<u64> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| {
+                    fm.match_.covers(&e.match_)
+                        && (out_port_filter == of_port::NONE || e.outputs_to(out_port_filter))
+                })
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in doomed {
+                outcome.removed.push(self.remove_seq(seq).cookie);
+            }
+        }
         outcome
     }
 
     /// Removes entries whose hard timeout expired; returns their cookies.
+    ///
+    /// When no installed entry's deadline has been reached this returns an
+    /// (allocation-free) empty vector without scanning the table.
     pub fn expire(&mut self, now: SimTime) -> Vec<u64> {
         let mut expired = Vec::new();
-        self.entries.retain(|e| {
-            if e.hard_timeout != 0
-                && now >= e.installed_at + SimTime::from_secs(u64::from(e.hard_timeout))
-            {
-                expired.push(e.cookie);
-                false
-            } else {
-                true
-            }
-        });
+        self.expire_into(now, &mut expired);
         expired
+    }
+
+    /// Like [`FlowTable::expire`] but reuses a caller-owned buffer, which is
+    /// cleared first.  This is the allocation-free form drivers should call
+    /// from periodic ticks.
+    pub fn expire_into(&mut self, now: SimTime, expired: &mut Vec<u64>) {
+        expired.clear();
+        // Fast path: nothing can have expired yet.
+        match self.next_expiry {
+            None => return,
+            Some(deadline) if now < deadline => return,
+            Some(_) => {}
+        }
+        let mut doomed = Vec::new();
+        let mut next: Option<SimTime> = None;
+        for (&seq, e) in &self.entries {
+            let Some(deadline) = e.hard_deadline() else {
+                continue;
+            };
+            if now >= deadline {
+                doomed.push(seq);
+            } else {
+                next = Some(next.map_or(deadline, |n| n.min(deadline)));
+            }
+        }
+        for seq in doomed {
+            expired.push(self.remove_seq(seq).cookie);
+        }
+        self.next_expiry = next;
+    }
+
+    // ------------------------------------------------------------------
+    // Index maintenance
+    // ------------------------------------------------------------------
+
+    fn insert_entry(&mut self, entry: FlowEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(deadline) = entry.hard_deadline() {
+            self.next_expiry = Some(self.next_expiry.map_or(deadline, |n| n.min(deadline)));
+        }
+        self.strict
+            .insert(StrictKey::of(&entry.match_, entry.priority), seq);
+        let bucket = self.buckets.entry(entry.priority).or_default();
+        if entry.match_.is_exact() {
+            bucket
+                .exact
+                .entry(ExactKey::from_match(&entry.match_))
+                .or_default()
+                .push(seq);
+            bucket.exact_len += 1;
+        } else {
+            bucket.wild.push(seq);
+        }
+        self.entries.insert(seq, entry);
+    }
+
+    fn remove_seq(&mut self, seq: u64) -> FlowEntry {
+        let entry = self.entries.remove(&seq).expect("entry exists");
+        self.strict
+            .remove(&StrictKey::of(&entry.match_, entry.priority));
+        let bucket = self
+            .buckets
+            .get_mut(&entry.priority)
+            .expect("bucket exists");
+        if entry.match_.is_exact() {
+            let key = ExactKey::from_match(&entry.match_);
+            let seqs = bucket.exact.get_mut(&key).expect("exact slot exists");
+            seqs.retain(|&s| s != seq);
+            if seqs.is_empty() {
+                bucket.exact.remove(&key);
+            }
+            bucket.exact_len -= 1;
+        } else if let Ok(pos) = bucket.wild.binary_search(&seq) {
+            bucket.wild.remove(pos);
+        }
+        if bucket.is_empty() {
+            self.buckets.remove(&entry.priority);
+        }
+        // `next_expiry` stays a (possibly stale) lower bound: removals never
+        // make it invalid, and the next real expiry scan recomputes it.
+        entry
     }
 }
 
@@ -349,6 +595,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.lookup(&pkt(1, 2), 1).unwrap().cookie, 111);
+    }
+
+    #[test]
+    fn exact_and_wildcard_tie_break_in_both_orders() {
+        // A fully-exact rule and a wildcard rule of the same priority both
+        // match; whichever was installed first must win, regardless of which
+        // index (hash probe vs. scan) finds it.
+        let header = pkt(1, 2);
+        let exact = OfMatch::exact_from_packet(&header, 1);
+        let wild = OfMatch::wildcard_all().with_tp_dst(2);
+
+        let mut t = FlowTable::new(0);
+        t.apply(&add(exact, 5, 1, 10), SimTime::ZERO).unwrap();
+        t.apply(&add(wild, 5, 2, 20), SimTime::ZERO).unwrap();
+        assert_eq!(t.lookup(&header, 1).unwrap().cookie, 10);
+
+        let mut t = FlowTable::new(0);
+        t.apply(&add(wild, 5, 2, 20), SimTime::ZERO).unwrap();
+        t.apply(&add(exact, 5, 1, 10), SimTime::ZERO).unwrap();
+        assert_eq!(t.lookup(&header, 1).unwrap().cookie, 20);
+    }
+
+    #[test]
+    fn exact_lookup_ignores_ecn_bits_and_untagged_pcp() {
+        // The exact index canonicalises the ToS ECN bits away, mirroring
+        // the masked comparison `matches` performs.
+        let mut header = pkt(1, 2);
+        header.nw_tos = 0xb8;
+        let rule = OfMatch::exact_from_packet(&header, 1);
+        let mut t = FlowTable::new(0);
+        t.apply(&add(rule, 5, 1, 7), SimTime::ZERO).unwrap();
+        let mut probe = header;
+        probe.nw_tos = 0xbb; // same DSCP, different ECN
+        assert_eq!(t.lookup(&probe, 1).unwrap().cookie, 7);
+        probe.nw_tos = 0x00;
+        assert!(t.lookup(&probe, 1).is_none());
     }
 
     #[test]
@@ -483,6 +765,17 @@ mod tests {
     }
 
     #[test]
+    fn strict_delete_respects_out_port_filter() {
+        let mut t = FlowTable::new(0);
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        let mut del = FlowMod::delete_strict(pair(1, 2), 5);
+        del.out_port = 9; // entry outputs to port 1, not 9
+        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        assert!(outcome.removed.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
     fn counters_account_packets() {
         let mut t = FlowTable::new(0);
         t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
@@ -501,6 +794,58 @@ mod tests {
         assert!(t.expire(SimTime::from_secs(10)).is_empty());
         let expired = t.expire(SimTime::from_secs(11));
         assert_eq!(expired, vec![1]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn expire_fast_path_skips_scan_and_reuses_buffer() {
+        let mut t = FlowTable::new(0);
+        // No timed entry: the bound is None and expiry is a no-op.
+        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        assert_eq!(t.next_expiry, None);
+        let mut scratch = vec![99u64]; // stale content must be cleared
+        t.expire_into(SimTime::from_secs(100), &mut scratch);
+        assert!(scratch.is_empty());
+
+        // A timed entry arms the bound; before it, expiry returns early.
+        t.apply(
+            &add(pair(1, 3), 5, 1, 2).with_hard_timeout(5),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(t.next_expiry, Some(SimTime::from_secs(5)));
+        t.expire_into(SimTime::from_secs(4), &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(t.len(), 2);
+
+        // Past the bound the entry goes and the bound clears.
+        t.expire_into(SimTime::from_secs(5), &mut scratch);
+        assert_eq!(scratch, vec![2]);
+        assert_eq!(t.next_expiry, None);
+
+        // The buffer is reused, not reallocated, on the next call.
+        let ptr = scratch.as_ptr();
+        t.expire_into(SimTime::from_secs(6), &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(scratch.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn expire_recomputes_bound_from_surviving_entries() {
+        let mut t = FlowTable::new(0);
+        t.apply(
+            &add(pair(1, 2), 5, 1, 1).with_hard_timeout(1),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &add(pair(1, 3), 5, 1, 2).with_hard_timeout(10),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(t.expire(SimTime::from_secs(2)), vec![1]);
+        assert_eq!(t.next_expiry, Some(SimTime::from_secs(10)));
+        assert_eq!(t.expire(SimTime::from_secs(10)), vec![2]);
         assert!(t.is_empty());
     }
 

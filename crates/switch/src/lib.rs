@@ -8,7 +8,10 @@
 //! reproduces that behaviour as a simulated switch:
 //!
 //! * [`flow_table`] — OpenFlow 1.0 flow-table semantics (priorities, strict
-//!   vs. loose modify/delete, overlap checking, counters).
+//!   vs. loose modify/delete, overlap checking, counters), indexed so
+//!   lookups, strict operations and bulk installs are sub-linear.
+//! * [`oracle`] — the original linear-scan table, kept as the reference
+//!   implementation for property tests and throughput baselines.
 //! * [`model`] — the switch behaviour model: control-plane processing rate
 //!   (occupancy dependent), periodic data-plane synchronisation, barrier
 //!   modes (faithful, early-reply, reordering), and PacketIn/PacketOut rate
@@ -23,8 +26,10 @@
 
 pub mod flow_table;
 pub mod model;
+pub mod oracle;
 pub mod switch;
 
 pub use flow_table::{FlowEntry, FlowModOutcome, FlowTable};
 pub use model::{BarrierMode, SwitchModel};
+pub use oracle::LinearFlowTable;
 pub use switch::OpenFlowSwitch;

@@ -1,0 +1,221 @@
+//! The original linear-scan flow table, kept as a **reference oracle**.
+//!
+//! [`LinearFlowTable`] is the pre-index implementation of
+//! [`crate::FlowTable`]: a plain `Vec` scanned on every operation.  It is
+//! deliberately simple — every rule of OpenFlow 1.0 table semantics is
+//! spelled out in one obvious loop — which makes it the ground truth the
+//! randomized property tests compare the indexed table against, and the
+//! baseline the flow-mod throughput benchmarks measure speedups from.  It is
+//! not used on any production path.
+
+use crate::flow_table::{FlowEntry, FlowModOutcome, FlowTableError};
+use openflow::constants::{flow_mod_flags, port as of_port};
+use openflow::messages::{FlowMod, FlowModCommand};
+use openflow::{OfMatch, PacketHeader, PortNo};
+use simnet::SimTime;
+
+/// An OpenFlow 1.0 flow table backed by a linear scan (the reference
+/// implementation; see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct LinearFlowTable {
+    entries: Vec<FlowEntry>,
+    max_entries: usize,
+    /// Lookups performed (for table stats).
+    pub lookup_count: u64,
+    /// Lookups that matched (for table stats).
+    pub matched_count: u64,
+}
+
+impl LinearFlowTable {
+    /// Creates a table bounded at `max_entries` rules (0 = unbounded).
+    pub fn new(max_entries: usize) -> Self {
+        LinearFlowTable {
+            entries: Vec::new(),
+            max_entries,
+            lookup_count: 0,
+            matched_count: 0,
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Iterates over the installed entries.
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Finds the entry exactly matching `match_` and `priority` (strict
+    /// semantics).
+    pub fn find_strict(&self, match_: &OfMatch, priority: u16) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.priority == priority && e.match_ == *match_)
+    }
+
+    /// Looks up the highest-priority entry matching a packet, first
+    /// installed winning ties.
+    pub fn lookup(&mut self, pkt: &PacketHeader, in_port: PortNo) -> Option<&FlowEntry> {
+        self.lookup_count += 1;
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.match_.matches(pkt, in_port) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if e.priority > self.entries[b].priority => best = Some(i),
+                _ => {}
+            }
+        }
+        if best.is_some() {
+            self.matched_count += 1;
+        }
+        best.map(move |i| &self.entries[i])
+    }
+
+    /// Same as [`LinearFlowTable::lookup`] but without statistics updates.
+    pub fn peek_lookup(&self, pkt: &PacketHeader, in_port: PortNo) -> Option<&FlowEntry> {
+        let mut best: Option<&FlowEntry> = None;
+        for e in &self.entries {
+            if !e.match_.matches(pkt, in_port) {
+                continue;
+            }
+            match best {
+                None => best = Some(e),
+                Some(b) if e.priority > b.priority => best = Some(e),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Credits a matched packet to an entry (counters).
+    pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == priority && e.match_ == *match_)
+        {
+            e.packet_count += 1;
+            e.byte_count += bytes as u64;
+        }
+    }
+
+    /// Applies a flow-mod, returning which cookies were activated/removed.
+    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+        match fm.command {
+            FlowModCommand::Add => self.apply_add(fm, now),
+            FlowModCommand::Modify => self.apply_modify(fm, now, false),
+            FlowModCommand::ModifyStrict => self.apply_modify(fm, now, true),
+            FlowModCommand::Delete => Ok(self.apply_delete(fm, false)),
+            FlowModCommand::DeleteStrict => Ok(self.apply_delete(fm, true)),
+        }
+    }
+
+    fn apply_add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+        if fm.flags & flow_mod_flags::CHECK_OVERLAP != 0 {
+            let overlapping = self
+                .entries
+                .iter()
+                .any(|e| e.priority == fm.priority && e.match_.overlaps(&fm.match_));
+            if overlapping {
+                return Err(FlowTableError::Overlap);
+            }
+        }
+        // Per the spec, an ADD with an identical match and priority replaces
+        // the existing entry (counters reset).
+        let mut outcome = FlowModOutcome::default();
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.priority == fm.priority && e.match_ == fm.match_)
+        {
+            let old = self.entries.remove(pos);
+            if old.cookie != fm.cookie {
+                outcome.removed.push(old.cookie);
+            }
+        } else if self.max_entries != 0 && self.entries.len() >= self.max_entries {
+            return Err(FlowTableError::TableFull);
+        }
+        outcome.activated.push(fm.cookie);
+        self.entries.push(FlowEntry::from_flow_mod(fm, now));
+        Ok(outcome)
+    }
+
+    fn apply_modify(
+        &mut self,
+        fm: &FlowMod,
+        now: SimTime,
+        strict: bool,
+    ) -> Result<FlowModOutcome, FlowTableError> {
+        let mut outcome = FlowModOutcome::default();
+        let mut any = false;
+        for e in self.entries.iter_mut() {
+            let selected = if strict {
+                e.priority == fm.priority && e.match_ == fm.match_
+            } else {
+                fm.match_.covers(&e.match_)
+            };
+            if selected {
+                e.actions = fm.actions.clone();
+                // MODIFY does not reset counters or timeouts, per spec.
+                outcome.activated.push(fm.cookie);
+                any = true;
+            }
+        }
+        if !any {
+            // A modify that matches nothing behaves like an ADD.
+            return self.apply_add(fm, now);
+        }
+        Ok(outcome)
+    }
+
+    fn apply_delete(&mut self, fm: &FlowMod, strict: bool) -> FlowModOutcome {
+        let mut outcome = FlowModOutcome::default();
+        let out_port_filter = fm.out_port;
+        self.entries.retain(|e| {
+            let selected = if strict {
+                e.priority == fm.priority && e.match_ == fm.match_
+            } else {
+                fm.match_.covers(&e.match_)
+            };
+            let port_ok = out_port_filter == of_port::NONE || e.outputs_to(out_port_filter);
+            if selected && port_ok {
+                outcome.removed.push(e.cookie);
+                false
+            } else {
+                true
+            }
+        });
+        outcome
+    }
+
+    /// Removes entries whose hard timeout expired; returns their cookies.
+    pub fn expire(&mut self, now: SimTime) -> Vec<u64> {
+        let mut expired = Vec::new();
+        self.entries.retain(|e| {
+            if e.hard_timeout != 0
+                && now >= e.installed_at + SimTime::from_secs(u64::from(e.hard_timeout))
+            {
+                expired.push(e.cookie);
+                false
+            } else {
+                true
+            }
+        });
+        expired
+    }
+}

@@ -1,0 +1,175 @@
+//! Property test: the indexed [`FlowTable`] is observationally identical to
+//! the linear-scan reference oracle ([`LinearFlowTable`]) under randomized
+//! flow-mod sequences — adds (with and without CHECK_OVERLAP and hard
+//! timeouts), strict and loose modifies and deletes (with out-port filters),
+//! expiry sweeps, packet lookups and counter accounting.
+
+use ofswitch::{FlowTable, LinearFlowTable};
+use openflow::messages::{FlowMod, FlowModCommand};
+use openflow::{Action, MacAddr, OfMatch, PacketHeader};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::SimTime;
+use std::net::Ipv4Addr;
+
+fn packet(rng: &mut SmallRng) -> PacketHeader {
+    let a = rng.gen_index(4) as u8 + 1;
+    let b = rng.gen_index(4) as u8 + 1;
+    let mut pkt = PacketHeader::ipv4_udp(
+        MacAddr::from_id(1),
+        MacAddr::from_id(2),
+        Ipv4Addr::new(10, 0, 0, a),
+        Ipv4Addr::new(10, 0, b, 1),
+        1000 + rng.gen_index(2) as u16,
+        2000 + rng.gen_index(3) as u16,
+    );
+    // Occasionally flip ECN bits so the exact index's DSCP canonicalisation
+    // is exercised.
+    pkt.nw_tos = (rng.gen_index(3) as u8) << 2 | rng.gen_index(4) as u8;
+    pkt
+}
+
+/// A match drawn from a deliberately small pool so adds, strict operations
+/// and overlap checks collide often.
+fn random_match(rng: &mut SmallRng) -> OfMatch {
+    match rng.gen_index(5) {
+        0 => {
+            // Fully exact match derived from a plausible packet.
+            let pkt = packet(rng);
+            OfMatch::exact_from_packet(&pkt, rng.gen_index(3) as u16)
+        }
+        1 => OfMatch::ipv4_pair(
+            Ipv4Addr::new(10, 0, 0, rng.gen_index(4) as u8 + 1),
+            Ipv4Addr::new(10, 0, rng.gen_index(4) as u8 + 1, 1),
+        ),
+        2 => OfMatch::wildcard_all()
+            .with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), [8, 16, 24][rng.gen_index(3)]),
+        3 => OfMatch::wildcard_all().with_tp_dst(2000 + rng.gen_index(3) as u16),
+        _ => OfMatch::wildcard_all(),
+    }
+}
+
+fn random_flow_mod(rng: &mut SmallRng, next_cookie: &mut u64) -> FlowMod {
+    let match_ = random_match(rng);
+    let priority = [1u16, 5, 9][rng.gen_index(3)];
+    let port = rng.gen_index(4) as u16 + 1;
+    let cookie = {
+        *next_cookie += 1;
+        *next_cookie
+    };
+    match rng.gen_index(8) {
+        // Adds dominate: bulk install is the hot path under test.
+        0..=3 => {
+            let mut fm =
+                FlowMod::add(match_, priority, vec![Action::output(port)]).with_cookie(cookie);
+            if rng.gen_bool(0.25) {
+                fm = fm.with_check_overlap();
+            }
+            if rng.gen_bool(0.3) {
+                fm = fm.with_hard_timeout(rng.gen_index(3) as u16 + 1);
+            }
+            fm
+        }
+        4 => {
+            FlowMod::modify_strict(match_, priority, vec![Action::output(port)]).with_cookie(cookie)
+        }
+        5 => FlowMod {
+            command: FlowModCommand::Modify,
+            ..FlowMod::add(match_, priority, vec![Action::output(port)]).with_cookie(cookie)
+        },
+        6 => {
+            let mut fm = FlowMod::delete_strict(match_, priority);
+            if rng.gen_bool(0.3) {
+                fm.out_port = rng.gen_index(4) as u16 + 1;
+            }
+            fm
+        }
+        _ => {
+            let mut fm = FlowMod::delete(match_);
+            if rng.gen_bool(0.3) {
+                fm.out_port = rng.gen_index(4) as u16 + 1;
+            }
+            fm
+        }
+    }
+}
+
+fn assert_same_state(indexed: &FlowTable, oracle: &LinearFlowTable, seed: u64, step: usize) {
+    assert_eq!(
+        indexed.len(),
+        oracle.len(),
+        "length diverged (seed {seed}, step {step})"
+    );
+    // Full observational check: the entry sequences (installation order,
+    // every field) must be identical.
+    let a: Vec<_> = indexed.entries().collect();
+    let b: Vec<_> = oracle.entries().collect();
+    assert_eq!(a, b, "entry sequences diverged (seed {seed}, step {step})");
+}
+
+#[test]
+fn indexed_table_matches_linear_oracle() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0x000F_100D + seed);
+        // Half the runs use a small capacity so TableFull paths are hit too.
+        let cap = if seed % 2 == 0 { 0 } else { 12 };
+        let mut indexed = FlowTable::new(cap);
+        let mut oracle = LinearFlowTable::new(cap);
+        let mut now = SimTime::ZERO;
+        let mut cookie = 0u64;
+
+        for step in 0..400 {
+            now += SimTime::from_millis(rng.gen_range_u64(400));
+            match rng.gen_index(10) {
+                // Mostly flow-mods...
+                0..=6 => {
+                    let fm = random_flow_mod(&mut rng, &mut cookie);
+                    let ra = indexed.apply(&fm, now);
+                    let rb = oracle.apply(&fm, now);
+                    assert_eq!(ra, rb, "apply outcome diverged (seed {seed}, step {step})");
+                }
+                // ... with lookups, accounting and expiry mixed in.
+                7 => {
+                    let pkt = packet(&mut rng);
+                    let in_port = rng.gen_index(3) as u16;
+                    assert_eq!(
+                        indexed.peek_lookup(&pkt, in_port),
+                        oracle.peek_lookup(&pkt, in_port),
+                        "peek_lookup diverged (seed {seed}, step {step})"
+                    );
+                    assert_eq!(
+                        indexed.lookup(&pkt, in_port).cloned(),
+                        oracle.lookup(&pkt, in_port).cloned(),
+                        "lookup diverged (seed {seed}, step {step})"
+                    );
+                    assert_eq!(indexed.lookup_count, oracle.lookup_count);
+                    assert_eq!(indexed.matched_count, oracle.matched_count);
+                }
+                8 => {
+                    let m = random_match(&mut rng);
+                    let priority = [1u16, 5, 9][rng.gen_index(3)];
+                    assert_eq!(
+                        indexed.find_strict(&m, priority),
+                        oracle.find_strict(&m, priority),
+                        "find_strict diverged (seed {seed}, step {step})"
+                    );
+                    indexed.account(&m, priority, 64);
+                    oracle.account(&m, priority, 64);
+                }
+                _ => {
+                    assert_eq!(
+                        indexed.expire(now),
+                        oracle.expire(now),
+                        "expire diverged (seed {seed}, step {step})"
+                    );
+                }
+            }
+            assert_same_state(&indexed, &oracle, seed, step);
+        }
+        // Final expiry far in the future drains every timed entry the same
+        // way on both implementations.
+        let later = now + SimTime::from_secs(3600);
+        assert_eq!(indexed.expire(later), oracle.expire(later));
+        assert_same_state(&indexed, &oracle, seed, usize::MAX);
+    }
+}
