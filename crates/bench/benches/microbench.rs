@@ -8,7 +8,6 @@ use ofswitch::FlowTable;
 use openflow::messages::FlowMod;
 use openflow::{Action, OfCodec, OfMatch, OfMessage, PacketHeader};
 use rum::probe::{synthesize_general_probe, KnownRule};
-use simnet::SimTime;
 use std::net::Ipv4Addr;
 
 fn codec_roundtrip(c: &mut Criterion) {
@@ -53,7 +52,7 @@ fn flow_table_lookup(c: &mut Criterion) {
             vec![Action::output(2)],
         )
         .with_cookie(u64::from(i));
-        table.apply(&fm, SimTime::ZERO).unwrap();
+        table.apply(&fm, std::time::Duration::ZERO).unwrap();
     }
     let pkt = PacketHeader::ipv4_udp(
         openflow::MacAddr::from_id(1),

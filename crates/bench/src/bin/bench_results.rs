@@ -1,18 +1,23 @@
 //! Runs the end-to-end experiment for every acknowledgment technique across
-//! several seeds, plus the throughput microbenchmarks (bulk flow-mod install
+//! several seeds, the throughput microbenchmarks (bulk flow-mod install
 //! indexed vs. linear-scan baseline, codec encode/decode, engine/session
-//! drains), and writes machine-readable aggregates to `BENCH_results.json`
-//! (schema 2 — see `rum_bench::report::results_json`), so the performance
-//! trajectory is tracked across PRs instead of only being pretty-printed.
+//! drains), and the technique × fault scenario matrix on both drivers, and
+//! writes machine-readable aggregates to `BENCH_results.json` (schema 3 —
+//! see `rum_bench::report::results_json`), so the performance and
+//! reliability trajectory is tracked across PRs instead of only being
+//! pretty-printed.
 //!
-//! Usage: `bench_results [n_flows] [output_path] [install_n]`
-//! (defaults: 40 flows, `BENCH_results.json` in the current directory, and a
-//! 100 000-entry bulk install).  CI's smoke job passes a small `install_n`
-//! so the quadratic linear-scan baseline stays fast there; the committed
-//! `BENCH_results.json` is produced with the defaults.
+//! Usage: `bench_results [n_flows] [output_path] [install_n] [matrix_rules]`
+//! (defaults: 40 flows, `BENCH_results.json` in the current directory, a
+//! 100 000-entry bulk install, and a 10-rule scenario matrix; pass
+//! `matrix_rules = 0` to skip the matrix).  CI's smoke job passes small
+//! values so the quadratic linear-scan baseline and the wall-clock TCP
+//! matrix stay fast there; the committed `BENCH_results.json` is produced
+//! with the defaults.
 
 use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
-use rum_bench::report::{write_results, ExperimentRecord, ThroughputRecord};
+use rum_bench::report::{write_results, ExperimentRecord, MatrixRecord, ThroughputRecord};
+use rum_bench::scenario_matrix::{render_grid, run_simnet_matrix, run_tcp_matrix};
 use rum_bench::throughput;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -106,6 +111,7 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_results.json"));
     let install_n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let matrix_rules: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
 
     let mut records = Vec::new();
     for technique in EndToEndTechnique::all() {
@@ -141,11 +147,20 @@ fn main() {
         }
     }
 
-    write_results(&path, &records, &throughput).expect("write BENCH_results.json");
+    let mut matrix = Vec::new();
+    if matrix_rules > 0 {
+        let mut cells = run_simnet_matrix(matrix_rules, 42);
+        cells.extend(run_tcp_matrix(matrix_rules, 42));
+        println!("\n{}", render_grid(&cells));
+        matrix = cells.iter().map(MatrixRecord::from).collect();
+    }
+
+    write_results(&path, &records, &throughput, &matrix).expect("write BENCH_results.json");
     println!(
-        "\nwrote {} latency + {} throughput records to {}",
+        "\nwrote {} latency + {} throughput + {} matrix records to {}",
         records.len(),
         throughput.len(),
+        matrix.len(),
         path.display()
     );
 }

@@ -1,6 +1,10 @@
-//! Validates a `BENCH_results.json` document against the schema-2 shape
+//! Validates a `BENCH_results.json` document against the shapes
 //! `bench_results` writes (see `rum_bench::report::results_json`), so CI
 //! catches a broken harness before a stale or malformed results file lands.
+//! Schema 3 (latency + throughput + scenario-matrix sections) and the older
+//! schema 2 (no matrix) are both accepted; schema-3 matrix rows must carry
+//! finite false-ack/missed-ack rates inside `[0, 1]` and internally
+//! consistent counts.
 //!
 //! Usage: `validate_results [path] [min_speedup]`
 //! (defaults: `BENCH_results.json`, no speedup floor).  When `min_speedup`
@@ -217,14 +221,87 @@ fn num(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
     }
 }
 
-fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize), String> {
+/// A string field of a matrix row.
+fn string<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s),
+        other => Err(format!("\"{key}\" is not a string: {other:?}")),
+    }
+}
+
+/// A count: a finite, non-negative integer-valued number.
+fn count(obj: &BTreeMap<String, Json>, key: &str) -> Result<u64, String> {
+    let v = num(obj, key)?;
+    if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("\"{key}\" is not a non-negative count: {v}"));
+    }
+    Ok(v as u64)
+}
+
+/// A rate: finite and inside `[0, 1]` — NaN (serialised as null) and
+/// negative values are rejected.
+fn rate(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
+    let v = num(obj, key)?;
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(format!("\"{key}\" is not a rate in [0, 1]: {v}"));
+    }
+    Ok(v)
+}
+
+fn validate_matrix(root: &BTreeMap<String, Json>) -> Result<usize, String> {
+    let Json::Arr(matrix) = get(root, "scenario_matrix")? else {
+        return Err("\"scenario_matrix\" is not an array".into());
+    };
+    for (i, row) in matrix.iter().enumerate() {
+        let Json::Obj(row) = row else {
+            return Err(format!("scenario_matrix[{i}] is not an object"));
+        };
+        let context = format!("scenario_matrix[{i}]");
+        let driver = string(row, "driver").map_err(|e| format!("{context}: {e}"))?;
+        if driver != "simnet" && driver != "tcp" {
+            return Err(format!("{context}: unknown driver \"{driver}\""));
+        }
+        string(row, "fault").map_err(|e| format!("{context}: {e}"))?;
+        string(row, "technique").map_err(|e| format!("{context}: {e}"))?;
+        string(row, "experiment").map_err(|e| format!("{context}: {e}"))?;
+        let planned = count(row, "planned").map_err(|e| format!("{context}: {e}"))?;
+        let confirmed = count(row, "confirmed").map_err(|e| format!("{context}: {e}"))?;
+        let false_acks = count(row, "false_acks").map_err(|e| format!("{context}: {e}"))?;
+        let missed_acks = count(row, "missed_acks").map_err(|e| format!("{context}: {e}"))?;
+        rate(row, "false_ack_rate").map_err(|e| format!("{context}: {e}"))?;
+        rate(row, "missed_ack_rate").map_err(|e| format!("{context}: {e}"))?;
+        if confirmed > planned || false_acks > planned || missed_acks > planned {
+            return Err(format!("{context}: counts exceed the plan size {planned}"));
+        }
+        if confirmed + missed_acks != planned {
+            return Err(format!(
+                "{context}: confirmed ({confirmed}) + missed ({missed_acks}) != planned ({planned})"
+            ));
+        }
+        // A false ack is by definition a confirmation.
+        if false_acks > confirmed {
+            return Err(format!(
+                "{context}: false_acks ({false_acks}) exceed confirmed ({confirmed})"
+            ));
+        }
+        // completion_ms is optional-null but must be a finite number if set.
+        match get(row, "completion_ms").map_err(|e| format!("{context}: {e}"))? {
+            Json::Null => {}
+            Json::Num(v) if v.is_finite() && *v >= 0.0 => {}
+            other => return Err(format!("{context}: bad completion_ms {other:?}")),
+        }
+    }
+    Ok(matrix.len())
+}
+
+fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize, usize), String> {
     let Json::Obj(root) = doc else {
         return Err("document root is not an object".into());
     };
-    match get(root, "schema")? {
-        Json::Num(v) if *v == 2.0 => {}
-        other => return Err(format!("schema must be 2, got {other:?}")),
-    }
+    let schema = match get(root, "schema")? {
+        Json::Num(v) if *v == 2.0 || *v == 3.0 => *v as u32,
+        other => return Err(format!("schema must be 2 or 3, got {other:?}")),
+    };
     let Json::Arr(results) = get(root, "results")? else {
         return Err("\"results\" is not an array".into());
     };
@@ -280,7 +357,17 @@ fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize), Stri
     if install_rows == 0 {
         return Err("no flow_mod_install/indexed_* throughput row".into());
     }
-    Ok((results.len(), throughput.len()))
+    // Schema 3 adds the scenario-matrix section; schema 2 predates it (and
+    // is rejected if it smuggles one in anyway).
+    let matrix_rows = if schema >= 3 {
+        validate_matrix(root)?
+    } else {
+        if root.contains_key("scenario_matrix") {
+            return Err("schema 2 must not carry a scenario_matrix section".into());
+        }
+        0
+    };
+    Ok((results.len(), throughput.len(), matrix_rows))
 }
 
 fn main() -> ExitCode {
@@ -306,9 +393,9 @@ fn main() -> ExitCode {
         }
     };
     match validate(&doc, min_speedup) {
-        Ok((latency, throughput)) => {
+        Ok((latency, throughput, matrix)) => {
             println!(
-                "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows)"
+                "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows, {matrix} scenario-matrix rows)"
             );
             ExitCode::SUCCESS
         }
@@ -316,5 +403,107 @@ fn main() -> ExitCode {
             eprintln!("validate_results: {path} failed validation: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Parser::new(text).document().expect("valid JSON")
+    }
+
+    const SCHEMA2: &str = r#"{
+      "schema": 2,
+      "results": [{"experiment": "e", "median_completion_ms": 1.0,
+                   "p95_completion_ms": 2.0, "confirms": 3, "runs": 4}],
+      "throughput": [{"experiment": "flow_mod_install/indexed_10", "ops": 10,
+                      "median_elapsed_ms": 1.0, "ops_per_sec": 10000.0,
+                      "runs": 1, "baseline_ops_per_sec": 100.0, "speedup": 100.0}]
+    }"#;
+
+    fn schema3(matrix_row: &str) -> String {
+        SCHEMA2.replace("\"schema\": 2", "\"schema\": 3").replace(
+            "}]\n    }",
+            &format!("}}],\n      \"scenario_matrix\": [{matrix_row}]\n    }}"),
+        )
+    }
+
+    const GOOD_ROW: &str = r#"{"experiment": "scenario_matrix/simnet/early_reply/barrier-only",
+        "driver": "simnet", "fault": "early_reply", "technique": "barrier-only",
+        "planned": 8, "confirmed": 8, "false_acks": 8, "missed_acks": 0,
+        "false_ack_rate": 1.0, "missed_ack_rate": 0.0, "completion_ms": 812.5}"#;
+
+    #[test]
+    fn schema_2_still_accepted() {
+        assert_eq!(validate(&doc(SCHEMA2), None), Ok((1, 1, 0)));
+    }
+
+    #[test]
+    fn schema_3_with_matrix_accepted() {
+        assert_eq!(validate(&doc(&schema3(GOOD_ROW)), None), Ok((1, 1, 1)));
+        // A stalled cell: null completion, missed acks.
+        let stalled = GOOD_ROW
+            .replace("\"confirmed\": 8", "\"confirmed\": 5")
+            .replace("\"false_acks\": 8", "\"false_acks\": 0")
+            .replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": 0.0")
+            .replace("\"missed_acks\": 0", "\"missed_acks\": 3")
+            .replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 0.375")
+            .replace("\"completion_ms\": 812.5", "\"completion_ms\": null");
+        assert_eq!(validate(&doc(&schema3(&stalled)), None), Ok((1, 1, 1)));
+    }
+
+    #[test]
+    fn nan_and_out_of_range_rates_are_rejected() {
+        // NaN serialises as null; num() maps it back to NaN -> rejected.
+        let nan = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": null");
+        assert!(validate(&doc(&schema3(&nan)), None)
+            .unwrap_err()
+            .contains("false_ack_rate"));
+        let negative = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": -0.2");
+        assert!(validate(&doc(&schema3(&negative)), None)
+            .unwrap_err()
+            .contains("false_ack_rate"));
+        let above_one = GOOD_ROW.replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 1.5");
+        assert!(validate(&doc(&schema3(&above_one)), None)
+            .unwrap_err()
+            .contains("missed_ack_rate"));
+    }
+
+    #[test]
+    fn inconsistent_counts_are_rejected() {
+        let too_many = GOOD_ROW.replace("\"false_acks\": 8", "\"false_acks\": 9");
+        assert!(validate(&doc(&schema3(&too_many)), None)
+            .unwrap_err()
+            .contains("exceed the plan size"));
+        let mismatch = GOOD_ROW.replace("\"confirmed\": 8", "\"confirmed\": 7");
+        assert!(validate(&doc(&schema3(&mismatch)), None)
+            .unwrap_err()
+            .contains("!= planned"));
+        // More false acks than confirmations is nonsensical: a false ack is
+        // a (mis)issued confirmation.
+        let phantom = GOOD_ROW
+            .replace("\"confirmed\": 8", "\"confirmed\": 5")
+            .replace("\"missed_acks\": 0", "\"missed_acks\": 3");
+        assert!(validate(&doc(&schema3(&phantom)), None)
+            .unwrap_err()
+            .contains("exceed confirmed"));
+    }
+
+    #[test]
+    fn schema_2_with_matrix_section_is_rejected() {
+        let sneaky = schema3(GOOD_ROW).replace("\"schema\": 3", "\"schema\": 2");
+        assert!(validate(&doc(&sneaky), None)
+            .unwrap_err()
+            .contains("schema 2 must not carry"));
+    }
+
+    #[test]
+    fn missing_matrix_section_in_schema_3_is_rejected() {
+        let missing = SCHEMA2.replace("\"schema\": 2", "\"schema\": 3");
+        assert!(validate(&doc(&missing), None)
+            .unwrap_err()
+            .contains("scenario_matrix"));
     }
 }

@@ -2,10 +2,11 @@
 
 use controller::scenarios::{BulkUpdateScenario, TriangleScenario};
 use controller::{AckMode, Controller};
-use ofswitch::{OpenFlowSwitch, SwitchModel};
+use ofswitch::SwitchModel;
 use openflow::messages::{FlowMod, PacketOut};
 use openflow::{Action, DatapathId, OfMatch, OfMessage};
 use rum::{deploy, RumBuilder, RumHandle, TechniqueConfig};
+use simnet::OpenFlowSwitch;
 use simnet::{Context, EventPayload, FlowId, Node, NodeId, SimTime, Simulator};
 use std::any::Any;
 use std::net::Ipv4Addr;
@@ -53,7 +54,7 @@ impl EndToEndTechnique {
             }
             EndToEndTechnique::Adaptive(rate) => Some(TechniqueConfig::AdaptiveDelay {
                 assumed_rate: *rate,
-                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag().into(),
+                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
             }),
             EndToEndTechnique::Sequential => Some(TechniqueConfig::default_sequential()),
             EndToEndTechnique::General => Some(TechniqueConfig::default_general()),

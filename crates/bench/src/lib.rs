@@ -20,9 +20,11 @@
 
 pub mod experiments;
 pub mod report;
+pub mod scenario_matrix;
 pub mod throughput;
 
 pub use experiments::{
     ActivationSample, EndToEndResult, EndToEndTechnique, PktIoResult, UpdateRateResult,
 };
 pub use report::{ExperimentRecord, ThroughputRecord};
+pub use scenario_matrix::{MatrixCell, MatrixTechnique};

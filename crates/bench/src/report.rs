@@ -1,6 +1,7 @@
 //! Plain-text / CSV report formatting shared by the experiment binaries.
 
 use crate::experiments::{ActivationSample, EndToEndResult, FlowRow};
+use crate::scenario_matrix::MatrixCell;
 
 /// Formats the per-flow rows of an end-to-end run as CSV
 /// (`flow,last_old_ms,update_time_ms,broken_ms`).
@@ -140,6 +141,50 @@ impl ThroughputRecord {
     }
 }
 
+/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 3):
+/// the reliability measurement of one (driver, fault model, technique)
+/// combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRecord {
+    /// `simnet` or `tcp`.
+    pub driver: String,
+    /// Fault-model name (e.g. `early_reply`, `silent_drop`).
+    pub fault: String,
+    /// Technique label (e.g. `barrier-only`, `rum-general`).
+    pub technique: String,
+    /// Rules in the plan.
+    pub planned: u64,
+    /// Rules confirmed by the horizon.
+    pub confirmed: u64,
+    /// Confirmations contradicted by the data-plane ground truth.
+    pub false_acks: u64,
+    /// Planned rules never confirmed.
+    pub missed_acks: u64,
+    /// `false_acks / planned`.
+    pub false_ack_rate: f64,
+    /// `missed_acks / planned`.
+    pub missed_ack_rate: f64,
+    /// Update completion time in ms, when the update completed.
+    pub completion_ms: Option<f64>,
+}
+
+impl From<&MatrixCell> for MatrixRecord {
+    fn from(c: &MatrixCell) -> Self {
+        MatrixRecord {
+            driver: c.driver.to_string(),
+            fault: c.fault.clone(),
+            technique: c.technique.clone(),
+            planned: c.planned as u64,
+            confirmed: c.confirmed as u64,
+            false_acks: c.false_acks as u64,
+            missed_acks: c.missed_acks as u64,
+            false_ack_rate: c.false_ack_rate(),
+            missed_ack_rate: c.missed_ack_rate(),
+            completion_ms: c.completion_ms,
+        }
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -160,12 +205,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document, schema 2
+/// Renders the records as the `BENCH_results.json` document, schema 3
 /// (handwritten JSON — the build environment has no serde):
 ///
 /// ```json
 /// {
-///   "schema": 2,
+///   "schema": 3,
 ///   "results": [
 ///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
 ///      "confirms": n, "runs": n}
@@ -174,11 +219,21 @@ fn json_num(v: f64) -> String {
 ///     {"experiment": "...", "ops": n, "median_elapsed_ms": f,
 ///      "ops_per_sec": f, "runs": n,
 ///      "baseline_ops_per_sec": f, "speedup": f}   // last two optional
+///   ],
+///   "scenario_matrix": [
+///     {"experiment": "scenario_matrix/<driver>/<fault>/<technique>",
+///      "driver": "...", "fault": "...", "technique": "...",
+///      "planned": n, "confirmed": n, "false_acks": n, "missed_acks": n,
+///      "false_ack_rate": f, "missed_ack_rate": f, "completion_ms": f|null}
 ///   ]
 /// }
 /// ```
-pub fn results_json(records: &[ExperimentRecord], throughput: &[ThroughputRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": 2,\n  \"results\": [\n");
+pub fn results_json(
+    records: &[ExperimentRecord],
+    throughput: &[ThroughputRecord],
+    matrix: &[MatrixRecord],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": 3,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -215,6 +270,27 @@ pub fn results_json(records: &[ExperimentRecord], throughput: &[ThroughputRecord
         ));
         out.push_str(&row);
     }
+    out.push_str("  ],\n  \"scenario_matrix\": [\n");
+    for (i, r) in matrix.iter().enumerate() {
+        let completion = match r.completion_ms {
+            Some(v) => json_num(v),
+            None => "null".into(),
+        };
+        out.push_str(&format!(
+            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {}}}{}\n",
+            r.planned,
+            r.confirmed,
+            r.false_acks,
+            r.missed_acks,
+            json_num(r.false_ack_rate),
+            json_num(r.missed_ack_rate),
+            completion,
+            if i + 1 < matrix.len() { "," } else { "" },
+            d = json_escape(&r.driver),
+            f = json_escape(&r.fault),
+            t = json_escape(&r.technique),
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -225,8 +301,9 @@ pub fn write_results(
     path: &std::path::Path,
     records: &[ExperimentRecord],
     throughput: &[ThroughputRecord],
+    matrix: &[MatrixRecord],
 ) -> std::io::Result<()> {
-    std::fs::write(path, results_json(records, throughput))
+    std::fs::write(path, results_json(records, throughput, matrix))
 }
 
 /// Percentile (0.0..=1.0) of a list of samples; returns `None` when empty.
@@ -353,8 +430,34 @@ mod tests {
                 .with_baseline(1000.0),
             ThroughputRecord::from_runs("codec/encode", 64, &[1.0]),
         ];
-        let json = results_json(&records, &throughput);
-        assert!(json.contains("\"schema\": 2"));
+        let matrix = vec![
+            MatrixRecord {
+                driver: "simnet".into(),
+                fault: "early_reply".into(),
+                technique: "barrier-only".into(),
+                planned: 10,
+                confirmed: 10,
+                false_acks: 9,
+                missed_acks: 0,
+                false_ack_rate: 0.9,
+                missed_ack_rate: 0.0,
+                completion_ms: Some(812.5),
+            },
+            MatrixRecord {
+                driver: "tcp".into(),
+                fault: "silent_drop".into(),
+                technique: "rum-general".into(),
+                planned: 10,
+                confirmed: 7,
+                false_acks: 0,
+                missed_acks: 3,
+                false_ack_rate: 0.0,
+                missed_ack_rate: 0.3,
+                completion_ms: None,
+            },
+        ];
+        let json = results_json(&records, &throughput, &matrix);
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));
@@ -369,8 +472,14 @@ mod tests {
         // The record without a baseline omits the speedup fields.
         let codec_row = json.lines().find(|l| l.contains("codec/encode")).unwrap();
         assert!(!codec_row.contains("speedup"));
+        // The matrix section carries rates, counts and the composed name.
+        assert!(json.contains("scenario_matrix/simnet/early_reply/barrier-only"));
+        assert!(json.contains("\"false_ack_rate\": 0.900"));
+        assert!(json.contains("\"missed_ack_rate\": 0.300"));
+        assert!(json.contains("\"completion_ms\": 812.500"));
+        assert!(json.contains("\"completion_ms\": null"));
         // One trailing comma-less record per section.
-        assert_eq!(json.matches("},\n").count(), 2);
+        assert_eq!(json.matches("},\n").count(), 3);
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! The technique × fault scenario matrix — the paper's reliability
+//! evaluation, driven by ground truth.
+//!
+//! For every acknowledgment technique (the barrier-only baseline plus the
+//! five RUM techniques) and every fault model (the adversaries of
+//! `ofswitch::FaultPlan`), a run installs a bulk of rules at a misbehaving
+//! device under test and classifies **every confirmation** against the
+//! behaviour engine's data-plane timeline:
+//!
+//! * a **false acknowledgment** — the controller was told a rule was in
+//!   effect while the data plane disagreed (the paper's headline failure);
+//! * a **missed acknowledgment** — a planned rule the controller never got
+//!   a confirmation for within the horizon (a stalled or honest-but-
+//!   incomplete update).
+//!
+//! The same matrix runs on **both drivers** of the shared behaviour engine:
+//! the deterministic simulator (`simnet`) and the real-socket prototype
+//! (`rum-tcp`, with the in-process data-plane [`Fabric`] carrying probe
+//! packets between switch hosts).  Because fault decisions are pure hashes
+//! of `(seed, cookie)`, the adversary is identical on both drivers.
+
+use controller::scenarios::BulkUpdateScenario;
+use controller::{AckMode, Controller, UpdateSession};
+use ofswitch::{FaultPlan, GroundTruth, SwitchModel};
+use rum::{deploy, RumBuilder, SwitchId, SwitchPortMap, TechniqueConfig};
+use rum_tcp::{
+    spawn_switch_with, Fabric, ProxyConfig, RumTcpProxy, SwitchHostOptions, TcpUpdateController,
+};
+use simnet::{OpenFlowSwitch, SimTime, Simulator};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One acknowledgment strategy of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixTechnique {
+    /// No RUM at all: the controller trusts the switch's own barrier
+    /// replies (one barrier per modification) — the baseline every
+    /// consistent-update system in the literature uses.
+    BarrierOnly,
+    /// RUM interposed, running the given technique, with fine-grained acks.
+    Rum(TechniqueConfig),
+}
+
+impl MatrixTechnique {
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            MatrixTechnique::BarrierOnly => "barrier-only".into(),
+            MatrixTechnique::Rum(t) => format!("rum-{}", t.label()),
+        }
+    }
+
+    /// True for the data-plane probing techniques (the ones the paper
+    /// claims never acknowledge falsely).
+    pub fn is_probing(&self) -> bool {
+        matches!(self, MatrixTechnique::Rum(t) if t.is_probing())
+    }
+
+    /// The full sweep: barrier-only baseline + all five RUM techniques,
+    /// parameterised for the given switch model (timeout/adaptive assume
+    /// the model's nominal worst-case lag, like an operator would).
+    pub fn all(model: &SwitchModel) -> Vec<MatrixTechnique> {
+        let lag = model.worst_case_dataplane_lag();
+        vec![
+            MatrixTechnique::BarrierOnly,
+            MatrixTechnique::Rum(TechniqueConfig::BarrierBaseline),
+            MatrixTechnique::Rum(TechniqueConfig::StaticTimeout {
+                delay: lag + lag / 4,
+            }),
+            MatrixTechnique::Rum(TechniqueConfig::AdaptiveDelay {
+                assumed_rate: model.mod_rate(0),
+                assumed_sync_lag: lag,
+            }),
+            MatrixTechnique::Rum(TechniqueConfig::SequentialProbing {
+                batch_size: 3,
+                probe_interval: Duration::from_millis(10),
+            }),
+            MatrixTechnique::Rum(TechniqueConfig::GeneralProbing {
+                probe_interval: Duration::from_millis(10),
+                max_outstanding: 30,
+                fallback_delay: lag + lag / 4,
+            }),
+        ]
+    }
+}
+
+/// One adversary of the matrix: a behaviour model plus a fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    /// Short name used in reports.
+    pub name: &'static str,
+    /// The timing model of the device under test.
+    pub model: SwitchModel,
+    /// The fault plan layered on top.
+    pub faults: FaultPlan,
+}
+
+/// The fault models of the sweep, built over `base` (the buggy early-reply
+/// model of the target driver — `hp5406zl` for the simulator, `fast_buggy`
+/// for wall-clock TCP runs).  All four preserve modification order, which
+/// is the domain in which *both* probing techniques are sound; the
+/// reordering adversary (where sequential probing is unsound by design,
+/// paper §3.2.1) is exercised separately in the test suite.
+pub fn fault_models(base: &SwitchModel, seed: u64) -> Vec<FaultModel> {
+    let lag = base.worst_case_dataplane_lag();
+    vec![
+        FaultModel {
+            name: "early_reply",
+            model: base.clone(),
+            faults: FaultPlan::seeded(seed),
+        },
+        FaultModel {
+            name: "silent_drop",
+            model: base.clone(),
+            faults: FaultPlan::seeded(seed).with_silent_drops(3),
+        },
+        FaultModel {
+            name: "sync_burst",
+            model: base.clone(),
+            // Every synchronisation delayed well past the nominal worst
+            // case: the adversary the delay heuristics cannot survive.
+            faults: FaultPlan::seeded(seed).with_sync_bursts(1, lag * 2),
+        },
+        FaultModel {
+            name: "ack_lossdup",
+            model: base.clone(),
+            faults: FaultPlan::seeded(seed)
+                .with_ack_loss(5)
+                .with_ack_duplication(5),
+        },
+    ]
+}
+
+/// Result of one matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// `simnet` or `tcp`.
+    pub driver: &'static str,
+    /// Fault-model name.
+    pub fault: String,
+    /// Technique label.
+    pub technique: String,
+    /// Rules in the plan.
+    pub planned: usize,
+    /// Rules the controller considered confirmed by the horizon.
+    pub confirmed: usize,
+    /// Confirmations issued while the rule was *not* in the data plane.
+    pub false_acks: usize,
+    /// Planned rules never confirmed by the horizon.
+    pub missed_acks: usize,
+    /// Completion time in ms (update start → last confirmation), when the
+    /// update completed.
+    pub completion_ms: Option<f64>,
+}
+
+impl MatrixCell {
+    /// False acknowledgments as a fraction of the plan.
+    pub fn false_ack_rate(&self) -> f64 {
+        self.false_acks as f64 / self.planned.max(1) as f64
+    }
+
+    /// Missed acknowledgments as a fraction of the plan.
+    pub fn missed_ack_rate(&self) -> f64 {
+        self.missed_acks as f64 / self.planned.max(1) as f64
+    }
+}
+
+/// Classifies a run: joins the controller's confirmation times against the
+/// device under test's ground truth.
+fn classify(
+    driver: &'static str,
+    fault: &FaultModel,
+    technique: &MatrixTechnique,
+    planned: &[u64],
+    confirmations: &HashMap<u64, Duration>,
+    truth: &GroundTruth,
+    completion_ms: Option<f64>,
+) -> MatrixCell {
+    let mut false_acks = 0;
+    let mut missed_acks = 0;
+    for &cookie in planned {
+        match confirmations.get(&cookie) {
+            Some(&at) => {
+                if !truth.active_at(cookie, at) {
+                    false_acks += 1;
+                }
+            }
+            None => missed_acks += 1,
+        }
+    }
+    MatrixCell {
+        driver,
+        fault: fault.name.to_string(),
+        technique: technique.label(),
+        planned: planned.len(),
+        confirmed: planned.len() - missed_acks,
+        false_acks,
+        missed_acks,
+        completion_ms,
+    }
+}
+
+/// When the simulated controller starts pushing the update.
+const SIM_START: SimTime = SimTime::from_millis(10);
+
+/// Runs one cell on the simulator driver.
+pub fn run_simnet_cell(
+    technique: &MatrixTechnique,
+    fault: &FaultModel,
+    n_rules: usize,
+    seed: u64,
+) -> MatrixCell {
+    let mut sim = Simulator::new(seed);
+    let scenario = BulkUpdateScenario {
+        n_rules,
+        packets_per_sec: 0,
+        model: fault.model.clone(),
+        faults: fault.faults.clone(),
+        ..Default::default()
+    };
+    let net = scenario.build(&mut sim);
+    // The device under test is monitored-switch 0, matching the TCP driver
+    // (it connects to the proxy first there), so RUM's per-switch xid
+    // streams — and with them the ack-loss fault's per-xid decisions — line
+    // up across drivers.
+    let switches = [net.sw_b, net.sw_a, net.sw_c];
+    let window = n_rules.max(1);
+
+    let ctrl_id = match technique {
+        MatrixTechnique::BarrierOnly => {
+            let ctrl = Controller::new(
+                "ctrl",
+                net.plan.clone(),
+                AckMode::Barriers { batch: 1 },
+                window,
+                SIM_START,
+            );
+            let ctrl_id = sim.add_node(ctrl);
+            sim.node_mut::<Controller>(ctrl_id)
+                .unwrap()
+                .set_connections(vec![net.sw_b]);
+            sim.node_mut::<OpenFlowSwitch>(net.sw_b)
+                .unwrap()
+                .connect_controller(ctrl_id);
+            ctrl_id
+        }
+        MatrixTechnique::Rum(t) => {
+            let ctrl = Controller::new(
+                "ctrl",
+                net.plan.clone(),
+                AckMode::RumAcks,
+                window,
+                SIM_START,
+            );
+            let ctrl_id = sim.add_node(ctrl);
+            let builder = RumBuilder::new(switches.len()).technique(t.clone());
+            let (proxies, _handle) = deploy(&mut sim, builder, ctrl_id, &switches);
+            sim.node_mut::<Controller>(ctrl_id)
+                .unwrap()
+                .set_connections(vec![proxies[0]]);
+            for (idx, sw) in switches.iter().enumerate() {
+                sim.node_mut::<OpenFlowSwitch>(*sw)
+                    .unwrap()
+                    .connect_controller(proxies[idx]);
+            }
+            ctrl_id
+        }
+    };
+
+    // A generous horizon; stalled cells (wedged rules, lost acks) simply
+    // report missed acks.
+    sim.run_until(SimTime::from_secs(90));
+
+    let planned: Vec<u64> = (0..n_rules).map(BulkUpdateScenario::rule_cookie).collect();
+    let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+    let confirmations: HashMap<u64, Duration> = ctrl.session().confirmation_times().clone();
+    let completion_ms = ctrl
+        .completed_at()
+        .map(|t| t.saturating_sub(SIM_START).as_millis_f64());
+    let truth = sim
+        .node_ref::<OpenFlowSwitch>(net.sw_b)
+        .unwrap()
+        .behavior()
+        .ground_truth()
+        .clone();
+    classify(
+        "simnet",
+        fault,
+        technique,
+        &planned,
+        &confirmations,
+        &truth,
+        completion_ms,
+    )
+}
+
+/// Port maps of the TCP chain in proxy `SwitchId` space: the device under
+/// test connects first (SwitchId 0 = controller `ConnId` 0 = plan target
+/// 0), then the upstream helper A (1), then the downstream helper C (2).
+/// Ports mirror `controller::scenarios::bulk_ports`: B1 ↔ A2, B2 ↔ C1.
+fn tcp_port_maps() -> Vec<SwitchPortMap> {
+    let b = SwitchId::new(0);
+    let a = SwitchId::new(1);
+    let c = SwitchId::new(2);
+    let mut map_b = SwitchPortMap::default();
+    map_b.port_to_switch.insert(1, a);
+    map_b.port_to_switch.insert(2, c);
+    map_b.inject_via = Some((a, 2));
+    let mut map_a = SwitchPortMap::default();
+    map_a.port_to_switch.insert(2, b);
+    map_a.inject_via = Some((b, 1));
+    let mut map_c = SwitchPortMap::default();
+    map_c.port_to_switch.insert(1, b);
+    map_c.inject_via = Some((b, 2));
+    vec![map_b, map_a, map_c]
+}
+
+/// How long a TCP cell may wait for completion before it is recorded as
+/// stalled (missed acks).  Scaled for `SwitchModel::fast_buggy` timings.
+const TCP_COMPLETION_TIMEOUT: Duration = Duration::from_millis(2_500);
+
+/// Runs one cell on the real-socket driver: a `TcpUpdateController`, the
+/// RUM TCP proxy (for RUM techniques), and fabric-linked switch hosts.
+pub fn run_tcp_cell(technique: &MatrixTechnique, fault: &FaultModel, n_rules: usize) -> MatrixCell {
+    let scenario = BulkUpdateScenario {
+        n_rules,
+        packets_per_sec: 0,
+        model: fault.model.clone(),
+        faults: fault.faults.clone(),
+        ..Default::default()
+    };
+    let plan = scenario.plan();
+    let planned: Vec<u64> = (0..n_rules).map(BulkUpdateScenario::rule_cookie).collect();
+    let epoch = Instant::now();
+    let window = n_rules.max(1);
+    let drop_all = openflow::messages::FlowMod::add(
+        openflow::OfMatch::wildcard_all(),
+        controller::scenarios::DROP_ALL_PRIORITY,
+        vec![],
+    )
+    .with_cookie(controller::scenarios::COOKIE_PREINSTALLED);
+
+    let (ack_mode, n_connections) = match technique {
+        MatrixTechnique::BarrierOnly => (AckMode::Barriers { batch: 1 }, 1),
+        MatrixTechnique::Rum(_) => (AckMode::RumAcks, 3),
+    };
+    let session = UpdateSession::new(plan, ack_mode, window);
+    let ctrl = TcpUpdateController::new_with_epoch(
+        "127.0.0.1:0".parse().unwrap(),
+        session,
+        n_connections,
+        epoch,
+    );
+    let ctrl_handle = ctrl.start().expect("controller starts");
+
+    let mut proxy_handle = None;
+    let switch_target = match technique {
+        MatrixTechnique::BarrierOnly => ctrl_handle.local_addr,
+        MatrixTechnique::Rum(t) => {
+            let proxy = RumTcpProxy::new(
+                ProxyConfig {
+                    listen_addr: "127.0.0.1:0".parse().unwrap(),
+                    controller_addr: ctrl_handle.local_addr,
+                },
+                RumBuilder::new(3)
+                    .technique(t.clone())
+                    .port_maps(tcp_port_maps()),
+            );
+            let handle = proxy.start().expect("proxy starts");
+            let addr = handle.local_addr;
+            proxy_handle = Some(handle);
+            addr
+        }
+    };
+
+    // The device under test always connects first (SwitchId/ConnId 0).
+    let fabric = Fabric::new();
+    fabric.link(0, 1, 1, 2); // B port1 <-> A port2
+    fabric.link(0, 2, 2, 1); // B port2 <-> C port1
+    let dut = spawn_switch_with(
+        switch_target,
+        fault.model.clone(),
+        SwitchHostOptions {
+            faults: fault.faults.clone(),
+            epoch: Some(epoch),
+            fabric: Some((fabric.clone(), 0)),
+            preinstall: vec![drop_all.clone()],
+        },
+    )
+    .expect("device under test connects");
+    assert!(
+        rum_tcp::wait_for(|| ctrl_handle.connections() >= 1, Duration::from_secs(5)),
+        "device under test did not reach the controller"
+    );
+    let mut helpers = Vec::new();
+    if matches!(technique, MatrixTechnique::Rum(_)) {
+        for (i, helper_idx) in [(2usize, 1usize), (3, 2)] {
+            let handle = spawn_switch_with(
+                switch_target,
+                SwitchModel::faithful(),
+                SwitchHostOptions {
+                    epoch: Some(epoch),
+                    fabric: Some((fabric.clone(), helper_idx)),
+                    preinstall: vec![drop_all.clone()],
+                    ..Default::default()
+                },
+            )
+            .expect("helper switch connects");
+            assert!(
+                rum_tcp::wait_for(|| ctrl_handle.connections() >= i, Duration::from_secs(5)),
+                "helper switch {helper_idx} did not reach the controller"
+            );
+            helpers.push(handle);
+        }
+    }
+
+    let outcome = ctrl_handle.wait_for_outcome(TCP_COMPLETION_TIMEOUT);
+    let (confirmations, completed_at, update_start) = ctrl_handle.with_session(|s| {
+        (
+            s.confirmation_times().clone(),
+            s.completed_at(),
+            // The update starts at the first send, not at the process
+            // epoch: listener/proxy start-up and switch connect waits must
+            // not count towards completion, mirroring how the simnet cell
+            // measures from the controller's start instant.
+            s.send_times().values().min().copied(),
+        )
+    });
+    let _ = outcome;
+    // Tear down: controller first, then the proxy, then the switch hosts
+    // (their reports carry the ground truth).
+    ctrl_handle.shutdown();
+    if let Some(handle) = proxy_handle {
+        handle.shutdown();
+    }
+    dut.stop();
+    for h in &helpers {
+        h.stop();
+    }
+    let report = dut.join();
+    for h in helpers {
+        let _ = h.join();
+    }
+
+    let completion_ms = match (completed_at, update_start) {
+        (Some(done), Some(start)) => Some(done.saturating_sub(start).as_secs_f64() * 1e3),
+        _ => None,
+    };
+    classify(
+        "tcp",
+        fault,
+        technique,
+        &planned,
+        &confirmations,
+        &report.truth,
+        completion_ms,
+    )
+}
+
+/// Runs the full matrix on the simulator driver.
+pub fn run_simnet_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
+    let base = SwitchModel::hp5406zl();
+    let mut cells = Vec::new();
+    for fault in fault_models(&base, seed) {
+        for technique in MatrixTechnique::all(&base) {
+            cells.push(run_simnet_cell(&technique, &fault, n_rules, seed));
+        }
+    }
+    cells
+}
+
+/// Runs the full matrix on the real-socket driver (wall-clock time; uses
+/// the scaled-down `fast_buggy` model).
+pub fn run_tcp_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
+    let base = SwitchModel::fast_buggy();
+    let mut cells = Vec::new();
+    for fault in fault_models(&base, seed) {
+        for technique in MatrixTechnique::all(&base) {
+            cells.push(run_tcp_cell(&technique, &fault, n_rules));
+        }
+    }
+    cells
+}
+
+/// Renders the matrix as a fault × technique grid of
+/// `false/missed` counts.
+pub fn render_grid(cells: &[MatrixCell]) -> String {
+    let mut drivers: Vec<&str> = cells.iter().map(|c| c.driver).collect();
+    drivers.dedup();
+    let mut out = String::new();
+    for driver in drivers {
+        let rows: Vec<&MatrixCell> = cells.iter().filter(|c| c.driver == driver).collect();
+        let mut faults: Vec<&str> = rows.iter().map(|c| c.fault.as_str()).collect();
+        faults.dedup();
+        let mut techniques: Vec<&str> = rows.iter().map(|c| c.technique.as_str()).collect();
+        techniques.sort_unstable();
+        techniques.dedup();
+        out.push_str(&format!(
+            "driver {driver} (false acks / missed acks, n = {}):\n",
+            rows.first().map_or(0, |c| c.planned)
+        ));
+        out.push_str(&format!("{:<22}", "fault \\ technique"));
+        for t in &techniques {
+            out.push_str(&format!("{t:>16}"));
+        }
+        out.push('\n');
+        for fault in faults {
+            out.push_str(&format!("{fault:<22}"));
+            for t in &techniques {
+                let cell = rows
+                    .iter()
+                    .find(|c| c.fault == fault && c.technique == *t)
+                    .expect("cell exists");
+                out.push_str(&format!(
+                    "{:>16}",
+                    format!("{}/{}", cell.false_acks, cell.missed_acks)
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The matrix's load-bearing cells, at reduced scale: the barrier-only
+    /// baseline lies under early replies, the probing techniques never do.
+    #[test]
+    fn simnet_baseline_lies_probing_does_not() {
+        let base = SwitchModel::hp5406zl();
+        let early = &fault_models(&base, 42)[0];
+        assert_eq!(early.name, "early_reply");
+
+        let baseline = run_simnet_cell(&MatrixTechnique::BarrierOnly, early, 8, 42);
+        assert!(
+            baseline.false_acks > 0,
+            "barrier-only must produce false acks under early replies: {baseline:?}"
+        );
+        assert!(baseline.completion_ms.is_some());
+
+        let general = run_simnet_cell(
+            &MatrixTechnique::Rum(TechniqueConfig::default_general()),
+            early,
+            8,
+            42,
+        );
+        assert_eq!(general.false_acks, 0, "{general:?}");
+        assert_eq!(general.missed_acks, 0, "{general:?}");
+    }
+
+    /// Under the wedged-queue silent-drop fault, the baseline confirms
+    /// everything (falsely); probing confirms only what really activated.
+    #[test]
+    fn simnet_silent_drop_splits_baseline_and_probing() {
+        let base = SwitchModel::hp5406zl();
+        // Pick a seed whose wedge hits one of the 8 planned cookies.
+        let seed = (0..64)
+            .find(|&s| {
+                let f = FaultPlan::seeded(s).with_silent_drops(3);
+                (0..8).any(|i| f.drops_cookie(BulkUpdateScenario::rule_cookie(i)))
+            })
+            .expect("some seed wedges");
+        let models = fault_models(&base, seed);
+        let drop = models.iter().find(|f| f.name == "silent_drop").unwrap();
+
+        let baseline = run_simnet_cell(&MatrixTechnique::BarrierOnly, drop, 8, seed);
+        assert!(baseline.false_acks > 0, "{baseline:?}");
+        assert_eq!(baseline.missed_acks, 0, "early replies confirm everything");
+
+        let sequential = run_simnet_cell(
+            &MatrixTechnique::Rum(TechniqueConfig::SequentialProbing {
+                batch_size: 3,
+                probe_interval: Duration::from_millis(10),
+            }),
+            drop,
+            8,
+            seed,
+        );
+        assert_eq!(sequential.false_acks, 0, "{sequential:?}");
+        assert!(
+            sequential.missed_acks > 0,
+            "wedged rules must stay unconfirmed: {sequential:?}"
+        );
+    }
+}

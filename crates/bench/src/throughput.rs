@@ -9,7 +9,7 @@ use ofswitch::{FlowTable, LinearFlowTable};
 use openflow::messages::FlowMod;
 use openflow::{Action, OfCodec, OfMatch, OfMessage};
 use rum::{Input, RumBuilder, SwitchId, TechniqueConfig};
-use simnet::SimTime;
+
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
 
@@ -38,7 +38,9 @@ pub fn install_indexed(mods: &[FlowMod]) -> Duration {
     let mut table = FlowTable::new(0);
     let start = Instant::now();
     for fm in mods {
-        table.apply(fm, SimTime::ZERO).expect("install succeeds");
+        table
+            .apply(fm, std::time::Duration::ZERO)
+            .expect("install succeeds");
     }
     let elapsed = start.elapsed();
     assert_eq!(table.len(), mods.len());
@@ -51,7 +53,9 @@ pub fn install_linear(mods: &[FlowMod]) -> Duration {
     let mut table = LinearFlowTable::new(0);
     let start = Instant::now();
     for fm in mods {
-        table.apply(fm, SimTime::ZERO).expect("install succeeds");
+        table
+            .apply(fm, std::time::Duration::ZERO)
+            .expect("install succeeds");
     }
     let elapsed = start.elapsed();
     assert_eq!(table.len(), mods.len());
@@ -192,7 +196,10 @@ mod tests {
         let mut a = FlowTable::new(0);
         let mut b = LinearFlowTable::new(0);
         for fm in &mods {
-            assert_eq!(a.apply(fm, SimTime::ZERO), b.apply(fm, SimTime::ZERO));
+            assert_eq!(
+                a.apply(fm, std::time::Duration::ZERO),
+                b.apply(fm, std::time::Duration::ZERO)
+            );
         }
         assert_eq!(a.len(), b.len());
         assert!(a.entries().eq(b.entries()));

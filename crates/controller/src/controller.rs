@@ -280,9 +280,10 @@ impl Node for Controller {
 mod tests {
     use super::*;
     use crate::session::FailurePolicy;
-    use ofswitch::{OpenFlowSwitch, SwitchModel};
+    use ofswitch::SwitchModel;
     use openflow::messages::FlowMod;
     use openflow::{Action, DatapathId, OfMatch};
+    use simnet::OpenFlowSwitch;
     use simnet::Simulator;
     use std::net::Ipv4Addr;
     use std::time::Duration;

@@ -12,10 +12,11 @@
 //!   matching each rule is continuously offered (Figure 8 and Table 1).
 
 use crate::plan::UpdatePlan;
-use ofswitch::{OpenFlowSwitch, SwitchModel};
+use ofswitch::{FaultPlan, SwitchModel};
 use openflow::messages::FlowMod;
 use openflow::{Action, DatapathId, MacAddr, OfMatch, PacketHeader};
 use simnet::traffic::{flow_header, FlowSpec, Host};
+use simnet::OpenFlowSwitch;
 use simnet::{FlowId, NodeId, SimTime, Simulator};
 
 /// Base id for rule installations at switch S2 (triangle scenario) or the
@@ -270,6 +271,10 @@ pub struct BulkUpdateScenario {
     pub traffic_stop: SimTime,
     /// Behaviour model of the device under test.
     pub model: SwitchModel,
+    /// Fault plan of the device under test (silent drops, sync bursts, ack
+    /// loss/duplication, restart) — the adversary knob of the scenario
+    /// matrix.
+    pub faults: FaultPlan,
     /// Behaviour model of the two helper switches.
     pub edge_model: SwitchModel,
 }
@@ -282,6 +287,7 @@ impl Default for BulkUpdateScenario {
             traffic_start: SimTime::ZERO,
             traffic_stop: SimTime::from_secs(4),
             model: SwitchModel::hp5406zl(),
+            faults: FaultPlan::none(),
             edge_model: SwitchModel::faithful(),
         }
     }
@@ -368,7 +374,13 @@ impl BulkUpdateScenario {
         }
 
         let mut sw_a = OpenFlowSwitch::new("A", DatapathId::new(0xa), 2, self.edge_model.clone());
-        let mut sw_b = OpenFlowSwitch::new("B", DatapathId::new(0xb), 2, self.model.clone());
+        let mut sw_b = OpenFlowSwitch::with_faults(
+            "B",
+            DatapathId::new(0xb),
+            2,
+            self.model.clone(),
+            self.faults.clone(),
+        );
         let mut sw_c = OpenFlowSwitch::new("C", DatapathId::new(0xc), 2, self.edge_model.clone());
 
         // Helper switches forward everything towards the destination; the

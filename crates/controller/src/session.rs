@@ -626,8 +626,14 @@ impl UpdateSession {
         now: Duration,
         effects: &mut Vec<SessionEffect>,
     ) {
+        // A finished session accepts no further confirmations: a stray
+        // acknowledgment arriving after an abort (e.g. a switch applying a
+        // rolled-back modification arbitrarily late) must not resurrect
+        // confirmation state.  Liveness traffic and rejection bookkeeping
+        // stay live.
+        let finished = self.outcome.is_some();
         match msg {
-            OfMessage::BarrierReply { xid } => {
+            OfMessage::BarrierReply { xid } if !finished => {
                 if let Some(ids) = self.barrier_covers.remove(&xid) {
                     for id in ids {
                         self.mark_confirmed(id, now, effects);
@@ -638,11 +644,18 @@ impl UpdateSession {
             OfMessage::Error { xid, ref body } => {
                 if let Some(acked) = msg.as_rum_ack() {
                     let id = u64::from(acked);
-                    if self.sent.contains(&id) {
+                    // Gated on `sent` (an ack for an unsent id is a protocol
+                    // violation) and idempotent: `mark_confirmed` ignores a
+                    // cookie delivered twice, so a duplicated ack — e.g. from
+                    // a switch that duplicates replies — confirms once.
+                    if !finished && self.sent.contains(&id) {
                         self.mark_confirmed(id, now, effects);
                         self.dispatch_ready(now, effects);
                     }
                 } else {
+                    // Rejections are recorded even after the session
+                    // finished — NoWait completes on send, and the report
+                    // must still show what the switch refused.
                     let id = u64::from(xid);
                     if self.sent.contains(&id) && !self.failed.contains(&id) {
                         self.failed.push(id);
@@ -1169,6 +1182,110 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_is_rejected() {
         UpdateSession::new(UpdatePlan::new(), AckMode::NoWait, 0);
+    }
+
+    /// The same cookie acknowledged twice confirms exactly once: the second
+    /// delivery is a no-op (no duplicate Confirmed effect, no double-count,
+    /// no extra dispatch) — switches that duplicate replies must not skew
+    /// the window or the completion accounting.
+    #[test]
+    fn duplicate_ack_confirms_once() {
+        let mut s = UpdateSession::new(flat_plan(3), AckMode::RumAcks, 1);
+        s.handle(Duration::ZERO, SessionInput::Started);
+        let fx = s.handle(
+            Duration::from_millis(1),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: rum_ack(1),
+            },
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, SessionEffect::Confirmed { id: 1 })));
+        assert_eq!(s.confirmed_count(), 1);
+        let first_time = s.confirmation_times()[&1];
+
+        // The duplicate: no effects beyond (at most) nothing, state frozen.
+        let fx = s.handle(
+            Duration::from_millis(9),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: rum_ack(1),
+            },
+        );
+        assert!(
+            !fx.iter()
+                .any(|e| matches!(e, SessionEffect::Confirmed { id: 1 })),
+            "duplicate ack must not re-confirm"
+        );
+        assert!(
+            sent_flow_mod_ids(&fx).is_empty(),
+            "duplicate ack must not free a window slot twice"
+        );
+        assert_eq!(s.confirmed_count(), 1);
+        assert_eq!(s.confirmation_times()[&1], first_time);
+        assert_eq!(s.confirmed_order(), &[1]);
+        assert_eq!(s.in_flight(), 1, "mod 2 is in flight exactly once");
+    }
+
+    /// Acknowledgments arriving after the session aborted are ignored: the
+    /// rolled-back update must not be partially "resurrected" by a switch
+    /// that applies (and acks) a modification arbitrarily late.
+    #[test]
+    fn stray_ack_after_abort_is_ignored() {
+        let mut s = UpdateSession::new(chain_plan(2), AckMode::RumAcks, 1);
+        s.set_failure_policy(FailurePolicy::retry(Duration::from_millis(10), 0));
+        let fx = s.handle(Duration::ZERO, SessionInput::Started);
+        // Mod 1 times out with zero retries -> abort.
+        let fx = s.handle(
+            Duration::from_millis(20),
+            SessionInput::TimerFired {
+                token: armed_token(&fx),
+            },
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, SessionEffect::Aborted { .. })));
+        let confirmed_before = s.confirmed_count();
+
+        // The switch acks mod 1 long after the rollback went out.
+        let fx = s.handle(
+            Duration::from_millis(30),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: rum_ack(1),
+            },
+        );
+        assert!(fx.is_empty(), "post-abort ack must produce no effects");
+        assert_eq!(s.confirmed_count(), confirmed_before);
+        assert!(s.confirmation_times().get(&1).is_none());
+        // A stray barrier reply is equally inert...
+        let fx = s.handle(
+            Duration::from_millis(31),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: OfMessage::BarrierReply { xid: 0x4000_0000 },
+            },
+        );
+        assert!(fx.is_empty());
+        // ...but liveness traffic is still answered.
+        let fx = s.handle(
+            Duration::from_millis(32),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: OfMessage::EchoRequest {
+                    xid: 5,
+                    data: vec![],
+                },
+            },
+        );
+        assert!(matches!(
+            fx.as_slice(),
+            [SessionEffect::Send {
+                message: OfMessage::EchoReply { xid: 5, .. },
+                ..
+            }]
+        ));
     }
 
     /// The incrementally-maintained ready queue must stay equivalent to the

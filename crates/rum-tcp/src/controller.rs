@@ -128,6 +128,7 @@ pub struct TcpUpdateController {
     listen_addr: SocketAddr,
     session: UpdateSession,
     n_connections: usize,
+    epoch: Instant,
 }
 
 impl TcpUpdateController {
@@ -139,6 +140,18 @@ impl TcpUpdateController {
     /// Panics if the session's plan targets a `SwitchRef` outside
     /// `0..n_connections` — its modifications could never be sent.
     pub fn new(listen_addr: SocketAddr, session: UpdateSession, n_connections: usize) -> Self {
+        Self::new_with_epoch(listen_addr, session, n_connections, Instant::now())
+    }
+
+    /// Like [`TcpUpdateController::new`] but measuring session time against
+    /// an explicit `epoch` — share one `Instant` with the switch hosts so
+    /// confirmation times and data-plane activation times are comparable.
+    pub fn new_with_epoch(
+        listen_addr: SocketAddr,
+        session: UpdateSession,
+        n_connections: usize,
+        epoch: Instant,
+    ) -> Self {
         let max_target = session.plan().targets().into_iter().max();
         if let Some(max) = max_target {
             assert!(
@@ -150,6 +163,7 @@ impl TcpUpdateController {
             listen_addr,
             session,
             n_connections,
+            epoch,
         }
     }
 
@@ -174,7 +188,7 @@ impl TcpUpdateController {
             done: Condvar::new(),
             timers: TimerQueue::new(),
             stop: AtomicBool::new(false),
-            epoch: Instant::now(),
+            epoch: self.epoch,
             n_connections,
         });
 

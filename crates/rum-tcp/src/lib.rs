@@ -54,4 +54,7 @@ mod timer;
 pub use controller::{TcpControllerHandle, TcpUpdateController};
 pub use proxy::{wait_for, ProxyConfig, ProxyCounters, ProxyHandle, RumTcpProxy};
 pub use relay::{Endpoint, EngineRelay, RelayEffects};
-pub use switch_host::{spawn_switch, SocketSwitchHandle, SwitchCounters, SwitchReport};
+pub use switch_host::{
+    spawn_switch, spawn_switch_with, Fabric, SocketSwitchHandle, SwitchCounters, SwitchHostOptions,
+    SwitchReport,
+};

@@ -1,26 +1,37 @@
-//! A socket-hosted OpenFlow switch: the `ofswitch` flow-table and behaviour
-//! model served over a real TCP connection.
+//! A socket-hosted OpenFlow switch: the shared `ofswitch::Behavior` engine
+//! served over a real TCP connection.
 //!
-//! The simulator's `ofswitch::OpenFlowSwitch` is a `simnet` node; this
-//! module hosts the same flow-table semantics ([`ofswitch::FlowTable`]) and
-//! the same timing/behaviour knobs ([`ofswitch::SwitchModel`]) behind a TCP
-//! client, so the paper's prototype chain — controller → RUM proxy →
-//! switches — can run end to end on loopback sockets.  The barrier
-//! behaviour is the interesting part:
+//! This is the second driver of the same behaviour state machine the
+//! simulator node (`simnet::OpenFlowSwitch`) runs: flow-table semantics,
+//! the lagging data plane, barrier modes and the seedable [`FaultPlan`] all
+//! live in the engine; this module only moves bytes.  The serve loop:
 //!
-//! * early-reply models answer `BarrierRequest` immediately, long before the
-//!   emulated data plane has synchronised — the bug RUM exists to paper
-//!   over;
-//! * the faithful model answers only after every accepted modification's
-//!   data-plane activation time has passed.
+//! * decodes OpenFlow frames and feeds flow-mods/barriers into the engine;
+//! * executes [`BehaviorAction`]s — replies carry an earliest-send time
+//!   (control-plane busy time, faithful-barrier data-plane horizon), so the
+//!   loop holds them in a small deadline heap instead of sleeping on the
+//!   socket;
+//! * wakes for the engine's `next_deadline` (data-plane syncs, in-flight
+//!   TCAM batches) so activations happen at model time, not read time.
+//!
+//! For the probing techniques, switch hosts can additionally be wired into
+//! an in-process [`Fabric`]: a registry of (switch, port) → (switch, port)
+//! links emulating the physical cables of the paper's testbed.  A RUM probe
+//! then takes the real path — `PacketOut` to a neighbour, data-plane lookup
+//! at each hop (against the *lagging* table), and a `PacketIn` from
+//! whichever switch's catch rule fires — all over genuine sockets on the
+//! control side.
 
-use ofswitch::{FlowTable, SwitchModel};
-use openflow::messages::ErrorMsg;
-use openflow::{OfCodec, OfMessage};
+use ofswitch::{Behavior, BehaviorAction, FaultPlan, GroundTruth, SwitchModel};
+use openflow::constants::{packet_in_reason, port as of_port};
+use openflow::messages::{FlowMod, PacketIn, PacketOut};
+use openflow::{Action, OfCodec, OfMessage, PacketHeader, PortNo};
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,11 +55,15 @@ pub struct SwitchReport {
     pub control_rules: usize,
     /// Rules visible in the (emulated) data-plane table at disconnect.
     pub data_rules: usize,
+    /// The data-plane timeline (activations, removals, wedged rules) — the
+    /// ground truth confirmations are classified against.
+    pub truth: GroundTruth,
 }
 
 /// A handle to a switch served on a background thread.
 pub struct SocketSwitchHandle {
     counters: Arc<SwitchCounters>,
+    stop: Arc<AtomicBool>,
     thread: JoinHandle<SwitchReport>,
 }
 
@@ -58,66 +73,383 @@ impl SocketSwitchHandle {
         &self.counters
     }
 
-    /// Waits for the connection to close and returns the final tables.
+    /// Asks the serve loop to exit at its next poll (≤ one poll interval);
+    /// [`SocketSwitchHandle::join`] then returns promptly even though the
+    /// peer still holds the connection open.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the connection to close and returns the final tables and
+    /// ground truth.
     pub fn join(self) -> SwitchReport {
         self.thread.join().expect("switch thread panicked")
     }
 }
 
-/// Connects to `addr` (the RUM proxy or a controller) and serves an
-/// OpenFlow switch with the given behaviour model until the peer closes the
-/// connection.
+// ---------------------------------------------------------------------
+// The data-plane fabric
+// ---------------------------------------------------------------------
+
+/// An in-process emulation of the physical links between socket-hosted
+/// switches: `(switch index, port) → (switch index, port)`.  Packets put on
+/// a link appear in the peer switch's inbox and go through its (lagging)
+/// data-plane table, exactly like the simulator topology — this is what
+/// lets RUM's probe packets travel switch-to-switch in the TCP deployment.
+#[derive(Clone, Default)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+#[derive(Default)]
+struct FabricInner {
+    links: Mutex<HashMap<(usize, PortNo), (usize, PortNo)>>,
+    inboxes: Mutex<HashMap<usize, Sender<(PacketHeader, PortNo)>>>,
+}
+
+impl Fabric {
+    /// An empty fabric.
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Adds a bidirectional link between `(a, port_a)` and `(b, port_b)`.
+    pub fn link(&self, a: usize, port_a: PortNo, b: usize, port_b: PortNo) {
+        let mut links = self.inner.links.lock().unwrap();
+        links.insert((a, port_a), (b, port_b));
+        links.insert((b, port_b), (a, port_a));
+    }
+
+    /// The linked ports of switch `idx` (for FLOOD handling).
+    pub fn ports_of(&self, idx: usize) -> Vec<PortNo> {
+        let links = self.inner.links.lock().unwrap();
+        let mut ports: Vec<PortNo> = links
+            .keys()
+            .filter(|(sw, _)| *sw == idx)
+            .map(|(_, p)| *p)
+            .collect();
+        ports.sort_unstable();
+        ports
+    }
+
+    fn attach(&self, idx: usize) -> Receiver<(PacketHeader, PortNo)> {
+        let (tx, rx) = channel();
+        self.inner.inboxes.lock().unwrap().insert(idx, tx);
+        rx
+    }
+
+    /// Puts `header` on switch `from`'s `out_port`; it arrives at the peer
+    /// (if the port is linked and the peer is attached).
+    fn send(&self, from: usize, out_port: PortNo, header: PacketHeader) {
+        let Some(&(peer, peer_port)) = self.inner.links.lock().unwrap().get(&(from, out_port))
+        else {
+            return;
+        };
+        if let Some(tx) = self.inner.inboxes.lock().unwrap().get(&peer) {
+            let _ = tx.send((header, peer_port));
+        }
+    }
+}
+
+/// Configuration of one socket-hosted switch beyond its timing model.
+#[derive(Clone)]
+pub struct SwitchHostOptions {
+    /// Fault plan driven by the shared behaviour engine.
+    pub faults: FaultPlan,
+    /// Epoch all behaviour times are measured against.  Share one `Instant`
+    /// across the controller and every switch of an experiment so
+    /// confirmation times and data-plane activation times are comparable.
+    pub epoch: Option<Instant>,
+    /// Data-plane wiring: the fabric and this switch's index in it.
+    pub fabric: Option<(Fabric, usize)>,
+    /// Rules installed in both tables before serving (the paper pre-installs
+    /// drop-all and initial-path rules the same way).
+    pub preinstall: Vec<FlowMod>,
+}
+
+impl Default for SwitchHostOptions {
+    fn default() -> Self {
+        SwitchHostOptions {
+            faults: FaultPlan::none(),
+            epoch: None,
+            fabric: None,
+            preinstall: Vec::new(),
+        }
+    }
+}
+
+/// Connects to `addr` (the RUM proxy or a controller) and serves a
+/// fault-free OpenFlow switch with the given behaviour model until the peer
+/// closes the connection.
 pub fn spawn_switch(addr: SocketAddr, model: SwitchModel) -> std::io::Result<SocketSwitchHandle> {
+    spawn_switch_with(addr, model, SwitchHostOptions::default())
+}
+
+/// Connects to `addr` and serves a switch with explicit options (fault
+/// plan, shared epoch, data-plane fabric, pre-installed rules).
+pub fn spawn_switch_with(
+    addr: SocketAddr,
+    model: SwitchModel,
+    options: SwitchHostOptions,
+) -> std::io::Result<SocketSwitchHandle> {
     let stream = TcpStream::connect(addr)?;
     let counters = Arc::new(SwitchCounters::default());
+    let stop = Arc::new(AtomicBool::new(false));
     let thread = {
         let counters = Arc::clone(&counters);
-        std::thread::spawn(move || serve(stream, model, &counters))
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || serve(stream, model, options, &counters, &stop))
     };
-    Ok(SocketSwitchHandle { counters, thread })
+    Ok(SocketSwitchHandle {
+        counters,
+        stop,
+        thread,
+    })
 }
 
-/// One modification accepted by the control plane, waiting for the data
-/// plane to pick it up.
-struct PendingOp {
-    active_at: Instant,
-    flow_mod: openflow::messages::FlowMod,
+/// A reply the behaviour engine scheduled for the future.
+struct DeferredReply {
+    at: Duration,
+    seq: u64,
+    message: OfMessage,
 }
 
-fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -> SwitchReport {
+impl PartialEq for DeferredReply {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for DeferredReply {}
+impl PartialOrd for DeferredReply {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeferredReply {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Host {
+    behavior: Behavior,
+    epoch: Instant,
+    fabric: Option<(Fabric, usize)>,
+    fabric_rx: Option<Receiver<(PacketHeader, PortNo)>>,
+    deferred: BinaryHeap<DeferredReply>,
+    next_defer_seq: u64,
+    actions: Vec<BehaviorAction>,
+    reply_buf: Vec<u8>,
+    disconnect: bool,
+}
+
+impl Host {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Drains engine actions into the deferred-reply heap.
+    fn absorb_actions(&mut self) {
+        for action in std::mem::take(&mut self.actions) {
+            match action {
+                BehaviorAction::Reply { at, message } => {
+                    let seq = self.next_defer_seq;
+                    self.next_defer_seq += 1;
+                    self.deferred.push(DeferredReply { at, seq, message });
+                }
+                BehaviorAction::Activated { .. } | BehaviorAction::Deactivated { .. } => {
+                    // Recorded in the engine's ground truth; nothing to send.
+                }
+                BehaviorAction::Disconnect { .. } => {
+                    self.disconnect = true;
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        let now = self.now();
+        let mut actions = std::mem::take(&mut self.actions);
+        self.behavior.advance(now, &mut actions);
+        self.actions = actions;
+        self.absorb_actions();
+    }
+
+    /// Encodes every due deferred reply into `reply_buf`, in schedule order.
+    fn flush_due_replies(&mut self) {
+        let now = self.now();
+        while self.deferred.peek().is_some_and(|r| r.at <= now) {
+            let r = self.deferred.pop().expect("peeked");
+            let _ = r.message.encode_into(&mut self.reply_buf);
+        }
+    }
+
+    /// How long the read may block before something needs attention.
+    fn poll_timeout(&self) -> Duration {
+        let mut horizon: Option<Duration> = self.behavior.next_deadline();
+        if let Some(r) = self.deferred.peek() {
+            horizon = Some(horizon.map_or(r.at, |h| h.min(r.at)));
+        }
+        let cap = if self.fabric.is_some() {
+            // Probes hop switch-to-switch through the inbox; poll briskly.
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(50)
+        };
+        match horizon {
+            Some(at) => at
+                .saturating_sub(self.now())
+                .clamp(Duration::from_micros(500), cap),
+            None => cap,
+        }
+    }
+
+    fn emit_packet_in(&mut self, header: &PacketHeader, in_port: PortNo, reason: u8) {
+        let data = header.to_bytes();
+        let body = PacketIn {
+            buffer_id: openflow::constants::NO_BUFFER,
+            total_len: data.len() as u16,
+            in_port,
+            reason,
+            data,
+        };
+        let _ = OfMessage::PacketIn { xid: 0, body }.encode_into(&mut self.reply_buf);
+    }
+
+    /// Sends `header` out of `port`, interpreting OpenFlow special ports.
+    fn output(&mut self, header: &PacketHeader, in_port: PortNo, port: PortNo) {
+        match port {
+            of_port::CONTROLLER => {
+                self.emit_packet_in(header, in_port, packet_in_reason::ACTION);
+            }
+            of_port::IN_PORT => {
+                if let Some((fabric, idx)) = &self.fabric {
+                    fabric.send(*idx, in_port, *header);
+                }
+            }
+            of_port::FLOOD | of_port::ALL => {
+                if let Some((fabric, idx)) = self.fabric.clone() {
+                    for p in fabric.ports_of(idx) {
+                        if p != in_port {
+                            fabric.send(idx, p, *header);
+                        }
+                    }
+                }
+            }
+            of_port::TABLE | of_port::NORMAL | of_port::LOCAL | of_port::NONE => {}
+            physical => {
+                if let Some((fabric, idx)) = &self.fabric {
+                    fabric.send(*idx, physical, *header);
+                }
+            }
+        }
+    }
+
+    /// A packet arriving on the data plane (from the fabric or OFPP_TABLE):
+    /// look it up in the lagging data-plane table and forward.
+    fn forward_via_table(&mut self, header: PacketHeader, in_port: PortNo) {
+        let verdict = self.behavior.classify_packet(&header, in_port, 64);
+        if !verdict.matched {
+            return; // no miss_send_len plumbing on the TCP host
+        }
+        let rewritten = verdict.rewritten;
+        for port in verdict.outputs {
+            self.output(&rewritten, in_port, port);
+        }
+    }
+
+    /// Executes a `PacketOut` from the controller/proxy (probe injection).
+    fn execute_packet_out(&mut self, po: PacketOut) {
+        let Ok(header) = PacketHeader::from_bytes(&po.data) else {
+            return;
+        };
+        let now = self.now();
+        let cost = self.behavior.model().packet_out_time;
+        self.behavior.consume_cpu(now, cost);
+        let (rewritten, outputs) = Action::apply_list(&po.actions, &header);
+        let in_port = if po.in_port == of_port::NONE {
+            0
+        } else {
+            po.in_port
+        };
+        for port in outputs {
+            if port == of_port::TABLE {
+                self.forward_via_table(rewritten, in_port);
+            } else {
+                self.output(&rewritten, in_port, port);
+            }
+        }
+    }
+}
+
+fn serve(
+    mut stream: TcpStream,
+    model: SwitchModel,
+    options: SwitchHostOptions,
+    counters: &SwitchCounters,
+    stop: &AtomicBool,
+) -> SwitchReport {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let epoch = Instant::now();
+    let epoch = options.epoch.unwrap_or_else(Instant::now);
+    let mut behavior = Behavior::new(model, options.faults);
+    for fm in &options.preinstall {
+        behavior.preinstall(fm);
+    }
+    let fabric_rx = options
+        .fabric
+        .as_ref()
+        .map(|(fabric, idx)| fabric.attach(*idx));
+    let mut host = Host {
+        behavior,
+        epoch,
+        fabric: options.fabric,
+        fabric_rx,
+        deferred: BinaryHeap::new(),
+        next_defer_seq: 0,
+        actions: Vec::new(),
+        reply_buf: Vec::new(),
+        disconnect: false,
+    };
+
     let mut codec = OfCodec::new();
     let mut buf = [0u8; 4096];
-    // Replies for all messages decoded from one read are encoded
-    // back-to-back here and flushed with a single write.
-    let mut reply_buf: Vec<u8> = Vec::new();
-    let mut control = FlowTable::new(model.table_capacity);
-    let mut data = FlowTable::new(model.table_capacity);
-    let mut pending: Vec<PendingOp> = Vec::new();
-    // The control plane is serial: each modification occupies it for a
-    // model-dependent time, and the data plane activates the rule only at
-    // the next synchronisation point after that.
-    let mut busy_until = Instant::now();
+    let mut msgs: Vec<OfMessage> = Vec::new();
 
-    let base_mod: Duration = model.base_mod_time.into();
-    let per_rule: Duration = model.per_rule_slowdown.into();
-    let sync: Duration =
-        Duration::from(model.dataplane_sync_period) + Duration::from(model.dataplane_sync_latency);
+    'serve: loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // 1. Let the engine catch up (syncs, TCAM batches, barrier horizons).
+        host.advance();
 
-    loop {
-        // Lazily synchronise the emulated data plane.
-        let now = Instant::now();
-        pending.retain(|op| {
-            if op.active_at <= now {
-                let _ = data.apply(&op.flow_mod, epoch.elapsed().into());
-                false
-            } else {
-                true
+        // 2. Drain the data-plane inbox (probe packets hopping the fabric).
+        if let Some(rx) = host.fabric_rx.take() {
+            while let Ok((header, in_port)) = rx.try_recv() {
+                host.forward_via_table(header, in_port);
             }
-        });
+            host.fabric_rx = Some(rx);
+        }
 
+        // 3. Ship every reply whose schedule time has come, as one write.
+        host.flush_due_replies();
+        if !host.reply_buf.is_empty() {
+            let flushed = stream.write_all(&host.reply_buf).is_ok();
+            host.reply_buf.clear();
+            if !flushed {
+                break 'serve;
+            }
+        }
+        if host.disconnect {
+            // The restart fault: tear the control channel down.
+            break 'serve;
+        }
+
+        // 4. Block on the socket until the next engine deadline.
+        let _ = stream.set_read_timeout(Some(host.poll_timeout()));
         let n = match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => n,
@@ -130,106 +462,59 @@ fn serve(mut stream: TcpStream, model: SwitchModel, counters: &SwitchCounters) -
             Err(_) => break,
         };
         codec.feed(&buf[..n]);
-        reply_buf.clear();
-        let mut conn_done = false;
-        loop {
-            let msg = match codec.next_message() {
-                Ok(Some(msg)) => msg,
-                Ok(None) => break,
-                Err(_) => {
-                    conn_done = true;
-                    break;
-                }
-            };
-            let reply = match msg {
+        msgs.clear();
+        let framing_ok = codec.drain_messages_into(&mut msgs).is_ok();
+        for msg in msgs.drain(..) {
+            let now = host.now();
+            match msg {
                 OfMessage::FlowMod { xid, body } => {
-                    let accepted_at =
-                        busy_until.max(Instant::now()) + base_mod + per_rule * control.len() as u32;
-                    busy_until = accepted_at;
-                    match control.apply(&body, epoch.elapsed().into()) {
-                        Ok(_) => {
-                            counters.flow_mods.fetch_add(1, Ordering::SeqCst);
-                            pending.push(PendingOp {
-                                active_at: accepted_at + sync,
-                                flow_mod: body,
-                            });
-                            None
-                        }
-                        Err(e) => {
-                            counters.errors.fetch_add(1, Ordering::SeqCst);
-                            Some(OfMessage::Error {
-                                xid,
-                                body: ErrorMsg {
-                                    err_type: openflow::constants::error_type::FLOW_MOD_FAILED,
-                                    code: e.error_code(),
-                                    data: vec![],
-                                },
-                            })
-                        }
-                    }
+                    let mut actions = std::mem::take(&mut host.actions);
+                    host.behavior.on_flow_mod(now, xid, body, &mut actions);
+                    host.actions = actions;
+                    host.absorb_actions();
                 }
                 OfMessage::BarrierRequest { xid } => {
-                    counters.barriers.fetch_add(1, Ordering::SeqCst);
-                    if !model.barrier_mode.replies_early() {
-                        // Replies already owed (earlier barriers in this
-                        // batch, echoes) must hit the wire before this
-                        // barrier blocks on the data-plane horizon —
-                        // batching must not skew their observed timing.
-                        if !reply_buf.is_empty() {
-                            let flushed = stream.write_all(&reply_buf).is_ok();
-                            // Cleared on failure too: the end-of-batch flush
-                            // must not re-send (a partial copy of) the same
-                            // bytes on this socket.
-                            reply_buf.clear();
-                            if !flushed {
-                                conn_done = true;
-                                break;
-                            }
-                        }
-                        // Faithful: wait for the data plane to catch up
-                        // before answering (a barrier is a sync point, so
-                        // blocking the control plane is the semantics).
-                        if let Some(latest) = pending.iter().map(|op| op.active_at).max() {
-                            let now = Instant::now();
-                            if latest > now {
-                                std::thread::sleep(latest - now);
-                            }
-                        }
-                        let now = Instant::now();
-                        pending.retain(|op| {
-                            if op.active_at <= now {
-                                let _ = data.apply(&op.flow_mod, epoch.elapsed().into());
-                                false
-                            } else {
-                                true
-                            }
-                        });
-                    }
-                    Some(OfMessage::BarrierReply { xid })
+                    let mut actions = std::mem::take(&mut host.actions);
+                    host.behavior.on_barrier(now, xid, &mut actions);
+                    host.actions = actions;
+                    host.absorb_actions();
                 }
                 OfMessage::EchoRequest { xid, data } => {
                     counters.echos.fetch_add(1, Ordering::SeqCst);
-                    Some(OfMessage::EchoReply { xid, data })
+                    let _ = OfMessage::EchoReply { xid, data }.encode_into(&mut host.reply_buf);
                 }
-                OfMessage::Hello { xid } => Some(OfMessage::Hello { xid }),
-                _ => None,
-            };
-            if let Some(reply) = reply {
-                reply.encode_into(&mut reply_buf).expect("encodable reply");
+                OfMessage::Hello { xid } => {
+                    let _ = OfMessage::Hello { xid }.encode_into(&mut host.reply_buf);
+                }
+                OfMessage::PacketOut { body, .. } => host.execute_packet_out(body),
+                _ => {}
             }
         }
-        // One write per read batch; a failed write means the peer dropped
-        // the connection — return the final report instead of panicking.
-        if !reply_buf.is_empty() && stream.write_all(&reply_buf).is_err() {
-            break;
-        }
-        if conn_done {
+        counters
+            .flow_mods
+            .store(host.behavior.counters().flow_mods, Ordering::SeqCst);
+        counters
+            .barriers
+            .store(host.behavior.counters().barriers, Ordering::SeqCst);
+        counters
+            .errors
+            .store(host.behavior.counters().errors, Ordering::SeqCst);
+        if !framing_ok {
             break;
         }
     }
+    // Settle the data plane so the report reflects everything the control
+    // plane accepted (minus wedged rules, which never apply by design) —
+    // including batches whose synchronisation was burst-delayed far beyond
+    // the nominal worst case.
+    if !host.disconnect {
+        let mut actions = Vec::new();
+        host.behavior.settle(host.now(), &mut actions);
+    }
     SwitchReport {
-        control_rules: control.len(),
-        data_rules: data.len(),
+        control_rules: host.behavior.control_table().len(),
+        data_rules: host.behavior.data_table().len(),
+        truth: host.behavior.ground_truth().clone(),
     }
 }
 
@@ -252,7 +537,8 @@ mod tests {
 
         let fm = OfMessage::FlowMod {
             xid: 1,
-            body: FlowMod::add(OfMatch::wildcard_all(), 10, vec![Action::output(1)]),
+            body: FlowMod::add(OfMatch::wildcard_all(), 10, vec![Action::output(1)])
+                .with_cookie(77),
         };
         let started = Instant::now();
         // The flow-mod and the barrier go out as one batched write, the way
@@ -284,5 +570,153 @@ mod tests {
         drop(peer);
         let report = handle.join();
         assert_eq!(report.control_rules, 1);
+        // The ground truth shows the rule activating after the early reply.
+        let act = report.truth.first_activation(77).expect("rule activated");
+        assert!(act > reply_at, "activation {act:?} vs barrier {reply_at:?}");
+    }
+
+    /// Two fabric-linked switches forward a PacketOut-injected packet from
+    /// one data plane to the other, where a to-controller rule punts it back
+    /// over TCP — the probe path of the probing techniques.
+    #[test]
+    fn fabric_carries_packets_between_switch_hosts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fabric = Fabric::new();
+        fabric.link(0, 2, 1, 1);
+
+        let epoch = Instant::now();
+        // Switch 0 forwards everything out port 2; switch 1 punts everything
+        // to the controller.
+        let a = spawn_switch_with(
+            addr,
+            SwitchModel::faithful(),
+            SwitchHostOptions {
+                fabric: Some((fabric.clone(), 0)),
+                epoch: Some(epoch),
+                preinstall: vec![
+                    FlowMod::add(OfMatch::wildcard_all(), 1, vec![Action::output(2)])
+                        .with_cookie(1),
+                ],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (mut peer_a, _) = listener.accept().unwrap();
+        let b = spawn_switch_with(
+            addr,
+            SwitchModel::faithful(),
+            SwitchHostOptions {
+                fabric: Some((fabric.clone(), 1)),
+                epoch: Some(epoch),
+                preinstall: vec![FlowMod::add(
+                    OfMatch::wildcard_all(),
+                    1,
+                    vec![Action::to_controller()],
+                )
+                .with_cookie(2)],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (mut peer_b, _) = listener.accept().unwrap();
+        peer_b
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+
+        // Inject a packet at switch 0 via OFPP_TABLE: its table sends it out
+        // port 2, the fabric carries it to switch 1 port 1, whose rule punts
+        // it to the controller — i.e. back to us on switch 1's socket.
+        let header = PacketHeader::ipv4_udp(
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            7,
+            8,
+        );
+        let po = OfMessage::PacketOut {
+            xid: 5,
+            body: PacketOut::via_table(header.to_bytes()),
+        };
+        let mut wire = Vec::new();
+        po.encode_into(&mut wire).unwrap();
+        peer_a.write_all(&wire).unwrap();
+
+        let mut codec = OfCodec::new();
+        let mut buf = [0u8; 2048];
+        let mut got = None;
+        while got.is_none() {
+            let n = match peer_b.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            codec.feed(&buf[..n]);
+            while let Ok(Some(msg)) = codec.next_message() {
+                if let OfMessage::PacketIn { body, .. } = msg {
+                    got = Some(body);
+                }
+            }
+        }
+        let packet_in = got.expect("PacketIn from switch 1");
+        assert_eq!(packet_in.in_port, 1, "arrived on switch 1's port 1");
+        let punted = PacketHeader::from_bytes(&packet_in.data).unwrap();
+        assert_eq!(punted.nw_src, header.nw_src);
+
+        drop(peer_a);
+        drop(peer_b);
+        let _ = a.join();
+        let _ = b.join();
+    }
+
+    /// The restart fault closes the connection from the switch side and the
+    /// report shows wiped tables.
+    #[test]
+    fn restart_fault_disconnects_and_wipes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = spawn_switch_with(
+            addr,
+            SwitchModel::faithful(),
+            SwitchHostOptions {
+                faults: FaultPlan::seeded(1).with_restart_after(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (mut peer, _) = listener.accept().unwrap();
+        peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        let mut wire = Vec::new();
+        for i in 0..3u32 {
+            OfMessage::FlowMod {
+                xid: i,
+                body: FlowMod::add(
+                    OfMatch::ipv4_pair(
+                        std::net::Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+                        std::net::Ipv4Addr::new(10, 1, 0, 1),
+                    ),
+                    100,
+                    vec![Action::output(2)],
+                )
+                .with_cookie(u64::from(i)),
+            }
+            .encode_into(&mut wire)
+            .unwrap();
+        }
+        peer.write_all(&wire).unwrap();
+        // The switch restarts after the 2nd mod: it hangs up on us.
+        let mut buf = [0u8; 256];
+        let eof = loop {
+            match peer.read(&mut buf) {
+                Ok(0) => break true,
+                Ok(_) => continue,
+                Err(_) => break false,
+            }
+        };
+        assert!(eof, "switch must close the connection on restart");
+        let report = handle.join();
+        assert_eq!(report.control_rules, 0, "tables wiped");
+        assert_eq!(report.data_rules, 0);
     }
 }

@@ -191,6 +191,20 @@ pub struct ProxyStats {
     pub rejected_xids: u64,
 }
 
+/// One confirmation the engine emitted, with the time it happened — the
+/// ground-truth accounting hook: an experiment joins these against the
+/// switch behaviour's data-plane timeline (`ofswitch::GroundTruth`) to
+/// classify each acknowledgment as true or false.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfirmRecord {
+    /// The switch the rule was confirmed on.
+    pub switch: SwitchId,
+    /// The confirmed modification's cookie.
+    pub cookie: u64,
+    /// When the engine emitted the confirmation (driver epoch).
+    pub at: Duration,
+}
+
 /// A controller barrier whose reply is being withheld.
 ///
 /// Instead of a cloned set of required cookies the barrier carries a
@@ -259,7 +273,7 @@ pub struct RumEngine {
     switches: Vec<SwitchState>,
     next_xid: Xid,
     started: bool,
-    confirm_log: Vec<(SwitchId, u64)>,
+    confirm_log: Vec<ConfirmRecord>,
     /// Reusable buffer for technique outputs, so the per-message hot path
     /// does not allocate.  Taken with `mem::take` around each technique
     /// call; re-entrant calls (buffered-command replay during a barrier
@@ -323,7 +337,16 @@ impl RumEngine {
 
     /// Every confirmation the engine has emitted, in order.  Empty when
     /// recording is disabled ([`crate::RumBuilder::record_confirmations`]).
-    pub fn confirmed_order(&self) -> &[(SwitchId, u64)] {
+    pub fn confirmed_order(&self) -> Vec<(SwitchId, u64)> {
+        self.confirm_log
+            .iter()
+            .map(|r| (r.switch, r.cookie))
+            .collect()
+    }
+
+    /// Every confirmation with its emission time — the ground-truth
+    /// accounting hook (see [`ConfirmRecord`]).
+    pub fn confirmations(&self) -> &[ConfirmRecord] {
         &self.confirm_log
     }
 
@@ -683,7 +706,11 @@ impl RumEngine {
         };
         state.resolve_cookie(seq);
         if self.config.record_confirmations {
-            self.confirm_log.push((switch, cookie));
+            self.confirm_log.push(ConfirmRecord {
+                switch,
+                cookie,
+                at: now,
+            });
         }
         effects.push(Effect::Confirmed { switch, cookie });
         if self.config.fine_grained_acks {
@@ -863,7 +890,9 @@ mod tests {
         )));
         assert_eq!(e.stats(sw).unconfirmed, 0);
         assert_eq!(e.stats(sw).acks_sent, 1);
-        assert_eq!(e.confirmed_order(), &[(sw, 42)]);
+        assert_eq!(e.confirmed_order(), vec![(sw, 42)]);
+        assert_eq!(e.confirmations()[0].cookie, 42);
+        assert_eq!(e.confirmations()[0].at, Duration::from_millis(1));
     }
 
     #[test]

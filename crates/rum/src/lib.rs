@@ -56,5 +56,7 @@ pub mod sequential;
 pub mod technique;
 
 pub use config::{ProbeFieldPlan, RumBuilder, RumConfig, SwitchPortMap, TechniqueConfig};
-pub use engine::{Effect, Input, ProxyStats, RumEngine, SwitchId, TimerToken, PROXY_XID_BASE};
+pub use engine::{
+    ConfirmRecord, Effect, Input, ProxyStats, RumEngine, SwitchId, TimerToken, PROXY_XID_BASE,
+};
 pub use proxy::{deploy, RumHandle, RumProxy};

@@ -85,7 +85,7 @@ impl RumHandle {
 
     /// Every confirmation the engine emitted, in order.
     pub fn confirmed_order(&self) -> Vec<(SwitchId, u64)> {
-        self.shared.borrow().engine.confirmed_order().to_vec()
+        self.shared.borrow().engine.confirmed_order()
     }
 
     /// Total statistics summed over all monitored switches.
@@ -270,7 +270,8 @@ mod tests {
     use crate::config::TechniqueConfig;
     use controller::scenarios::BulkUpdateScenario;
     use controller::{AckMode, Controller};
-    use ofswitch::{OpenFlowSwitch, SwitchModel};
+    use ofswitch::SwitchModel;
+    use simnet::OpenFlowSwitch;
     use simnet::Simulator;
     use std::time::Duration;
 

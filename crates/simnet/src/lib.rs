@@ -18,6 +18,8 @@
 //! * [`event`] — the event queue.
 //! * [`node`] — the [`node::Node`] trait implemented by hosts, switches, the
 //!   RUM proxy and controllers.
+//! * [`ofnode`] — the simulated OpenFlow switch: a thin driver of the
+//!   deployment-agnostic `ofswitch::Behavior` engine.
 //! * [`engine`] — the simulator main loop and the [`engine::Context`] handed
 //!   to nodes.
 //! * [`topology`] — data-plane links between (node, port) pairs.
@@ -33,6 +35,7 @@ pub mod engine;
 pub mod event;
 pub mod measure;
 pub mod node;
+pub mod ofnode;
 pub mod packet;
 pub mod time;
 pub mod topology;
@@ -42,6 +45,7 @@ pub use engine::{Context, Simulator};
 pub use event::EventPayload;
 pub use measure::{FlowId, TraceEvent, TraceSink};
 pub use node::{Node, NodeId};
+pub use ofnode::OpenFlowSwitch;
 pub use packet::SimPacket;
 pub use time::SimTime;
 pub use topology::Topology;

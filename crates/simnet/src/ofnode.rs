@@ -1,116 +1,104 @@
-//! The simulated OpenFlow switch node.
+//! The simulator driver for the shared switch-behaviour engine.
 //!
-//! [`OpenFlowSwitch`] keeps two flow tables: the *control-plane* table (what
-//! the switch CPU has accepted) and the *data-plane* table (what actually
-//! forwards packets).  Flow modifications move from the first to the second
-//! only at periodic synchronisation points, exactly the behaviour that makes
-//! barrier replies unreliable on the paper's hardware switch.
+//! [`OpenFlowSwitch`] is a thin `simnet` node around
+//! [`ofswitch::Behavior`]: it translates simulator events (control messages,
+//! timers, data-plane packets) into behaviour-engine calls and executes the
+//! returned [`BehaviorAction`]s through the simulator [`Context`] — delayed
+//! control replies, trace records for data-plane activations, timer arming
+//! from [`Behavior::next_deadline`].  All switch semantics — the lagging
+//! data plane, barrier modes, and the seedable fault plan — live in the
+//! engine, which `rum_tcp::switch_host` drives over real TCP sockets.
+//!
+//! Driver-level concerns that stay here: the OpenFlow handshake surface
+//! (features/config/stats replies), PacketOut execution and PacketIn
+//! emission with their rate limiters, and data-plane forwarding across the
+//! simulated topology.
 
-use crate::flow_table::{FlowTable, FlowTableError};
-use crate::model::{BarrierMode, SwitchModel};
+use ofswitch::{Behavior, BehaviorAction, FaultPlan, FlowTable, SwitchModel};
 use openflow::constants::{error_type, packet_in_reason, port as of_port};
 use openflow::messages::{
-    ErrorMsg, FeaturesReply, FlowMod, PacketIn, PacketOut, StatsReply, StatsRequest, SwitchConfig,
+    ErrorMsg, FeaturesReply, PacketIn, PacketOut, StatsReply, StatsRequest, SwitchConfig,
 };
 use openflow::{Action, DatapathId, OfMessage, PacketHeader, PortNo};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use simnet::{Context, EventPayload, Node, NodeId, SimPacket, SimTime, TraceEvent};
+
+use crate::engine::Context;
+use crate::event::EventPayload;
+use crate::measure::TraceEvent;
+use crate::node::{Node, NodeId};
+use crate::packet::SimPacket;
+use crate::time::SimTime;
 use std::any::Any;
 use std::collections::VecDeque;
 
-/// Timer token: periodic data-plane synchronisation tick.
-const TOKEN_SYNC_TICK: u64 = 0;
-/// Timer token: a batch selected at a sync tick becomes active.
-const TOKEN_SYNC_APPLY: u64 = 1;
+/// Timer token: re-examine the behaviour engine (sync ticks, in-flight
+/// batches, withheld barriers).
+const TOKEN_BEHAVIOR: u64 = 0;
 /// Timer token: execute queued PacketOut messages.
 const TOKEN_PACKET_OUT: u64 = 2;
 
-/// A flow modification accepted by the control plane, waiting for the data
-/// plane to pick it up.
-#[derive(Debug, Clone)]
-struct PendingOp {
-    seq: u64,
-    ready_at: SimTime,
-    flow_mod: FlowMod,
-}
-
-/// A barrier whose reply is withheld until the data plane catches up
-/// (faithful mode only).
-#[derive(Debug, Clone, Copy)]
-struct PendingBarrier {
-    xid: u32,
-    threshold_seq: u64,
-    earliest_reply: SimTime,
-}
-
-/// A simulated OpenFlow 1.0 switch.
+/// A simulated OpenFlow 1.0 switch: the simnet driver of the shared
+/// [`Behavior`] engine.
 pub struct OpenFlowSwitch {
     label: String,
     dpid: DatapathId,
     n_ports: u16,
-    model: SwitchModel,
+    behavior: Behavior,
     controller: Option<NodeId>,
 
-    control_table: FlowTable,
-    data_table: FlowTable,
-
-    pending_dataplane: Vec<PendingOp>,
-    in_flight: VecDeque<(SimTime, Vec<PendingOp>)>,
-    pending_barriers: Vec<PendingBarrier>,
     pending_packet_outs: VecDeque<(SimTime, PacketOut)>,
-
-    next_op_seq: u64,
-    busy_until: SimTime,
     packet_out_available_at: SimTime,
     packet_in_available_at: SimTime,
     config: SwitchConfig,
+    /// The earliest armed behaviour deadline, to avoid flooding the event
+    /// queue with duplicate timers.
+    armed_deadline: Option<SimTime>,
+    /// Reusable behaviour-action buffer.
+    actions: Vec<BehaviorAction>,
 
-    flow_mods_processed: u64,
-    barriers_processed: u64,
     packet_ins_sent: u64,
     packet_ins_suppressed: u64,
     packet_outs_processed: u64,
     data_packets_forwarded: u64,
     data_packets_dropped: u64,
-    started_at_dpid_offset: bool,
 }
 
 impl OpenFlowSwitch {
     /// Creates a switch with `n_ports` data ports and the given behaviour
-    /// model.
+    /// model (fault-free).
     pub fn new(
         label: impl Into<String>,
         dpid: DatapathId,
         n_ports: u16,
         model: SwitchModel,
     ) -> Self {
-        let capacity = model.table_capacity;
+        Self::with_faults(label, dpid, n_ports, model, FaultPlan::none())
+    }
+
+    /// Creates a switch with an explicit fault plan.
+    pub fn with_faults(
+        label: impl Into<String>,
+        dpid: DatapathId,
+        n_ports: u16,
+        model: SwitchModel,
+        faults: FaultPlan,
+    ) -> Self {
         OpenFlowSwitch {
             label: label.into(),
             dpid,
             n_ports,
-            model,
+            behavior: Behavior::new(model, faults),
             controller: None,
-            control_table: FlowTable::new(capacity),
-            data_table: FlowTable::new(capacity),
-            pending_dataplane: Vec::new(),
-            in_flight: VecDeque::new(),
-            pending_barriers: Vec::new(),
             pending_packet_outs: VecDeque::new(),
-            next_op_seq: 0,
-            busy_until: SimTime::ZERO,
             packet_out_available_at: SimTime::ZERO,
             packet_in_available_at: SimTime::ZERO,
             config: SwitchConfig::default(),
-            flow_mods_processed: 0,
-            barriers_processed: 0,
+            armed_deadline: None,
+            actions: Vec::new(),
             packet_ins_sent: 0,
             packet_ins_suppressed: 0,
             packet_outs_processed: 0,
             data_packets_forwarded: 0,
             data_packets_dropped: 0,
-            started_at_dpid_offset: false,
         }
     }
 
@@ -123,9 +111,8 @@ impl OpenFlowSwitch {
     /// Installs a rule directly into both tables, bypassing the control
     /// channel and all timing models.  Used to pre-install state before an
     /// experiment starts, like the paper pre-installs the initial paths.
-    pub fn preinstall(&mut self, fm: &FlowMod) {
-        let _ = self.control_table.apply(fm, SimTime::ZERO);
-        let _ = self.data_table.apply(fm, SimTime::ZERO);
+    pub fn preinstall(&mut self, fm: &openflow::messages::FlowMod) {
+        self.behavior.preinstall(fm);
     }
 
     /// The switch's datapath id.
@@ -133,34 +120,39 @@ impl OpenFlowSwitch {
         self.dpid
     }
 
+    /// The behaviour engine (model, fault plan, tables, ground truth).
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
     /// The behaviour model.
     pub fn model(&self) -> &SwitchModel {
-        &self.model
+        self.behavior.model()
     }
 
     /// The control-plane view of the flow table.
     pub fn control_table(&self) -> &FlowTable {
-        &self.control_table
+        self.behavior.control_table()
     }
 
     /// The data-plane view of the flow table.
     pub fn data_table(&self) -> &FlowTable {
-        &self.data_table
+        self.behavior.data_table()
     }
 
     /// Number of accepted modifications not yet visible in the data plane.
     pub fn dataplane_backlog(&self) -> usize {
-        self.pending_dataplane.len() + self.in_flight.iter().map(|(_, v)| v.len()).sum::<usize>()
+        self.behavior.dataplane_backlog()
     }
 
     /// Flow modifications processed so far.
     pub fn flow_mods_processed(&self) -> u64 {
-        self.flow_mods_processed
+        self.behavior.counters().flow_mods
     }
 
     /// Barrier requests processed so far.
     pub fn barriers_processed(&self) -> u64 {
-        self.barriers_processed
+        self.behavior.counters().barriers
     }
 
     /// PacketIn messages emitted so far.
@@ -190,20 +182,76 @@ impl OpenFlowSwitch {
 
     /// The time at which the control-plane CPU becomes free.
     pub fn busy_until(&self) -> SimTime {
-        self.busy_until
+        self.behavior.busy_until().into()
     }
 
     fn send_to_controller(&self, ctx: &mut Context<'_>, msg: OfMessage, extra_delay: SimTime) {
         if let Some(ctrl) = self.controller {
-            ctx.send_control(ctrl, msg, self.model.control_latency + extra_delay);
+            let latency: SimTime = self.behavior.model().control_latency.into();
+            ctx.send_control(ctrl, msg, latency + extra_delay);
         }
     }
 
-    /// Reserves control-plane CPU time and returns the completion instant.
-    fn consume_cpu(&mut self, now: SimTime, cost: SimTime) -> SimTime {
-        let start = self.busy_until.max(now);
-        self.busy_until = start + cost;
-        self.busy_until
+    // ------------------------------------------------------------------
+    // Behaviour-engine plumbing
+    // ------------------------------------------------------------------
+
+    /// Advances the engine to `now`, executes any produced actions, and
+    /// re-arms the deadline timer.
+    fn drive(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let mut actions = std::mem::take(&mut self.actions);
+        self.behavior.advance(now.into(), &mut actions);
+        self.execute_actions(&mut actions, ctx);
+        self.actions = actions;
+        self.rearm_deadline(ctx);
+    }
+
+    fn execute_actions(&mut self, actions: &mut Vec<BehaviorAction>, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        for action in actions.drain(..) {
+            match action {
+                BehaviorAction::Reply { at, message } => {
+                    let at: SimTime = at.into();
+                    self.send_to_controller(ctx, message, at.saturating_sub(now));
+                }
+                BehaviorAction::Activated { at, cookie } => {
+                    ctx.record(TraceEvent::DataPlaneActivated {
+                        switch: ctx.self_id(),
+                        cookie,
+                        time: at.into(),
+                    });
+                }
+                BehaviorAction::Deactivated { at, cookie } => {
+                    ctx.record(TraceEvent::DataPlaneDeactivated {
+                        switch: ctx.self_id(),
+                        cookie,
+                        time: at.into(),
+                    });
+                }
+                BehaviorAction::Disconnect { at } => {
+                    // The simulator has no connection to tear down; record
+                    // the restart and drop any driver-level queued work.
+                    self.pending_packet_outs.clear();
+                    ctx.record(TraceEvent::Marker {
+                        label: format!("{}: switch restarted (tables wiped)", self.label),
+                        time: at.into(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn rearm_deadline(&mut self, ctx: &mut Context<'_>) {
+        let Some(deadline) = self.behavior.next_deadline() else {
+            return;
+        };
+        let deadline: SimTime = deadline.into();
+        if self.armed_deadline.is_some_and(|armed| armed <= deadline) {
+            return;
+        }
+        self.armed_deadline = Some(deadline);
+        ctx.set_timer(deadline.saturating_sub(ctx.now()), TOKEN_BEHAVIOR);
     }
 
     // ------------------------------------------------------------------
@@ -214,6 +262,15 @@ impl OpenFlowSwitch {
         if self.controller.is_none() {
             // Adopt whoever speaks to us first as our controller connection.
             self.controller = Some(from);
+        }
+        let now = ctx.now();
+        let mut actions = std::mem::take(&mut self.actions);
+        let consumed = self.behavior.handle_message(now.into(), &msg, &mut actions);
+        self.execute_actions(&mut actions, ctx);
+        self.actions = actions;
+        if consumed {
+            self.rearm_deadline(ctx);
+            return;
         }
         match msg {
             OfMessage::Hello { xid } => {
@@ -239,8 +296,6 @@ impl OpenFlowSwitch {
             OfMessage::SetConfig { config, .. } => {
                 self.config = config;
             }
-            OfMessage::FlowMod { xid, body } => self.handle_flow_mod(xid, body, ctx),
-            OfMessage::BarrierRequest { xid } => self.handle_barrier(xid, ctx),
             OfMessage::PacketOut { body, .. } => self.handle_packet_out(body, ctx),
             OfMessage::StatsRequest { xid, body } => self.handle_stats(xid, body, ctx),
             OfMessage::EchoReply { .. }
@@ -266,70 +321,15 @@ impl OpenFlowSwitch {
         }
     }
 
-    fn handle_flow_mod(&mut self, xid: u32, fm: FlowMod, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-        let occupancy = self.control_table.len();
-        let done_at = self.consume_cpu(now, self.model.mod_processing_time(occupancy));
-        self.flow_mods_processed += 1;
-
-        match self.control_table.apply(&fm, now) {
-            Ok(_) => {
-                let seq = self.next_op_seq;
-                self.next_op_seq += 1;
-                self.pending_dataplane.push(PendingOp {
-                    seq,
-                    ready_at: done_at,
-                    flow_mod: fm,
-                });
-            }
-            Err(err) => {
-                let reply = OfMessage::Error {
-                    xid,
-                    body: ErrorMsg {
-                        err_type: error_type::FLOW_MOD_FAILED,
-                        code: flow_table_error_code(err),
-                        data: Vec::new(),
-                    },
-                };
-                let delay = done_at.saturating_sub(now);
-                self.send_to_controller(ctx, reply, delay);
-            }
-        }
-    }
-
-    fn handle_barrier(&mut self, xid: u32, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-        self.barriers_processed += 1;
-        // Processing the barrier itself is cheap but still serialised behind
-        // earlier control-plane work.
-        let control_done = self.consume_cpu(now, SimTime::from_micros(50));
-        match self.model.barrier_mode {
-            BarrierMode::EarlyReply | BarrierMode::EarlyReplyReordering => {
-                // The buggy behaviour: reply once the *control plane* has
-                // digested earlier commands, regardless of the data plane.
-                let delay = control_done.saturating_sub(now);
-                self.send_to_controller(ctx, OfMessage::BarrierReply { xid }, delay);
-            }
-            BarrierMode::Faithful => {
-                let threshold = self.next_op_seq;
-                self.pending_barriers.push(PendingBarrier {
-                    xid,
-                    threshold_seq: threshold,
-                    earliest_reply: control_done,
-                });
-                // If nothing is outstanding the reply can go out right away.
-                self.flush_satisfied_barriers(ctx);
-            }
-        }
-    }
-
     fn handle_packet_out(&mut self, po: PacketOut, ctx: &mut Context<'_>) {
         let now = ctx.now();
         // PacketOut processing consumes control-plane CPU (slowing rule
         // installation slightly) and is rate limited.
-        self.consume_cpu(now, self.model.packet_out_time);
+        let cost = self.behavior.model().packet_out_time;
+        self.behavior.consume_cpu(now.into(), cost);
+        let interval: SimTime = self.behavior.model().packet_out_interval.into();
         let exec_at = self.packet_out_available_at.max(now);
-        self.packet_out_available_at = exec_at + self.model.packet_out_interval;
+        self.packet_out_available_at = exec_at + interval;
         self.pending_packet_outs.push_back((exec_at, po));
         let delay = exec_at.saturating_sub(now);
         ctx.set_timer(delay, TOKEN_PACKET_OUT);
@@ -368,17 +368,17 @@ impl OpenFlowSwitch {
     }
 
     fn handle_stats(&mut self, xid: u32, req: StatsRequest, ctx: &mut Context<'_>) {
+        let control_table = self.behavior.control_table();
         let reply = match req {
             StatsRequest::Desc => StatsReply::Desc {
                 mfr_desc: "RUM reproduction".into(),
-                hw_desc: format!("simulated switch ({:?})", self.model.barrier_mode),
+                hw_desc: format!("simulated switch ({:?})", self.model().barrier_mode),
                 sw_desc: "ofswitch".into(),
                 serial_num: format!("{}", self.dpid),
                 dp_desc: self.label.clone(),
             },
             StatsRequest::Flow { match_, .. } => {
-                let entries = self
-                    .control_table
+                let entries = control_table
                     .entries()
                     .filter(|e| match_.covers(&e.match_))
                     .map(|e| openflow::messages::FlowStatsEntry {
@@ -401,7 +401,7 @@ impl OpenFlowSwitch {
                 let mut packet_count = 0;
                 let mut byte_count = 0;
                 let mut flow_count = 0;
-                for e in self.control_table.entries() {
+                for e in control_table.entries() {
                     if match_.covers(&e.match_) {
                         packet_count += e.packet_count;
                         byte_count += e.byte_count;
@@ -418,14 +418,14 @@ impl OpenFlowSwitch {
                 table_id: 0,
                 name: "main".into(),
                 wildcards: openflow::Wildcards::ALL,
-                max_entries: if self.model.table_capacity == 0 {
+                max_entries: if self.model().table_capacity == 0 {
                     65535
                 } else {
-                    self.model.table_capacity as u32
+                    self.model().table_capacity as u32
                 },
-                active_count: self.control_table.len() as u32,
-                lookup_count: self.data_table.lookup_count,
-                matched_count: self.data_table.matched_count,
+                active_count: control_table.len() as u32,
+                lookup_count: self.behavior.data_table().lookup_count,
+                matched_count: self.behavior.data_table().matched_count,
             }]),
             StatsRequest::Port { .. } => StatsReply::Port(
                 (1..=self.n_ports)
@@ -450,132 +450,6 @@ impl OpenFlowSwitch {
     }
 
     // ------------------------------------------------------------------
-    // Data-plane synchronisation
-    // ------------------------------------------------------------------
-
-    fn sync_tick(&mut self, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-        // Select accepted operations that the control plane finished
-        // digesting by now.
-        let mut ready: Vec<PendingOp> = Vec::new();
-        let mut remaining: Vec<PendingOp> = Vec::new();
-        for op in self.pending_dataplane.drain(..) {
-            if op.ready_at <= now {
-                ready.push(op);
-            } else {
-                remaining.push(op);
-            }
-        }
-        self.pending_dataplane = remaining;
-
-        if self.model.barrier_mode == BarrierMode::EarlyReplyReordering {
-            // The reordering switch may defer a random subset of ready
-            // operations to a later synchronisation and applies the rest in
-            // an arbitrary order — modifications can overtake each other
-            // across barriers.
-            let mut kept = Vec::new();
-            let mut deferred = Vec::new();
-            for op in ready {
-                if ctx.rng().gen_bool(0.7) {
-                    kept.push(op);
-                } else {
-                    deferred.push(op);
-                }
-            }
-            kept.shuffle(ctx.rng());
-            self.pending_dataplane.extend(deferred);
-            ready = kept;
-        } else {
-            ready.sort_by_key(|op| op.seq);
-        }
-
-        if self.model.dataplane_sync_batch != 0 && ready.len() > self.model.dataplane_sync_batch {
-            let overflow = ready.split_off(self.model.dataplane_sync_batch);
-            self.pending_dataplane.extend(overflow);
-        }
-
-        if !ready.is_empty() {
-            let apply_at = now + self.model.dataplane_sync_latency;
-            self.in_flight.push_back((apply_at, ready));
-            ctx.set_timer(self.model.dataplane_sync_latency, TOKEN_SYNC_APPLY);
-        }
-
-        ctx.set_timer(self.model.dataplane_sync_period, TOKEN_SYNC_TICK);
-    }
-
-    fn apply_in_flight(&mut self, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-        while let Some((apply_at, _)) = self.in_flight.front() {
-            if *apply_at > now {
-                break;
-            }
-            let (_, ops) = self.in_flight.pop_front().expect("front exists");
-            for op in ops {
-                match self.data_table.apply(&op.flow_mod, now) {
-                    Ok(outcome) => {
-                        for cookie in outcome.activated {
-                            ctx.record(TraceEvent::DataPlaneActivated {
-                                switch: ctx.self_id(),
-                                cookie,
-                                time: now,
-                            });
-                        }
-                        for cookie in outcome.removed {
-                            ctx.record(TraceEvent::DataPlaneDeactivated {
-                                switch: ctx.self_id(),
-                                cookie,
-                                time: now,
-                            });
-                        }
-                    }
-                    Err(_) => {
-                        // The control plane already accepted the mod; a data
-                        // plane failure here would be a capacity mismatch.
-                        // Nothing sensible to report beyond dropping it.
-                    }
-                }
-            }
-        }
-        self.flush_satisfied_barriers(ctx);
-    }
-
-    fn flush_satisfied_barriers(&mut self, ctx: &mut Context<'_>) {
-        if self.pending_barriers.is_empty() {
-            return;
-        }
-        let now = ctx.now();
-        let min_outstanding = self
-            .pending_dataplane
-            .iter()
-            .map(|op| op.seq)
-            .chain(
-                self.in_flight
-                    .iter()
-                    .flat_map(|(_, ops)| ops.iter().map(|op| op.seq)),
-            )
-            .min();
-        let mut still_pending = Vec::new();
-        let barriers = std::mem::take(&mut self.pending_barriers);
-        let mut replies = Vec::new();
-        for b in barriers {
-            let satisfied = match min_outstanding {
-                None => true,
-                Some(min_seq) => min_seq >= b.threshold_seq,
-            };
-            if satisfied {
-                let delay = b.earliest_reply.saturating_sub(now);
-                replies.push((b.xid, delay));
-            } else {
-                still_pending.push(b);
-            }
-        }
-        self.pending_barriers = still_pending;
-        for (xid, delay) in replies {
-            self.send_to_controller(ctx, OfMessage::BarrierReply { xid }, delay);
-        }
-    }
-
-    // ------------------------------------------------------------------
     // Data-plane forwarding
     // ------------------------------------------------------------------
 
@@ -590,14 +464,16 @@ impl OpenFlowSwitch {
         // The PacketIn path is rate limited; when the limiter is saturated
         // the switch silently drops the notification (observed behaviour
         // under overload).
+        let interval: SimTime = self.behavior.model().packet_in_interval.into();
         let backlog = self.packet_in_available_at.saturating_sub(now);
-        if backlog > self.model.packet_in_interval * 64 {
+        if backlog > interval * 64 {
             self.packet_ins_suppressed += 1;
             return;
         }
         let emit_at = self.packet_in_available_at.max(now);
-        self.packet_in_available_at = emit_at + self.model.packet_in_interval;
-        self.consume_cpu(now, self.model.packet_in_time);
+        self.packet_in_available_at = emit_at + interval;
+        let cost = self.behavior.model().packet_in_time;
+        self.behavior.consume_cpu(now.into(), cost);
         self.packet_ins_sent += 1;
         let data = header.to_bytes();
         let body = PacketIn {
@@ -611,86 +487,64 @@ impl OpenFlowSwitch {
         self.send_to_controller(ctx, msg, emit_at.saturating_sub(now));
     }
 
+    fn record_drop(&mut self, packet: &SimPacket, ctx: &mut Context<'_>) {
+        self.data_packets_dropped += 1;
+        if !packet.injected {
+            ctx.record(TraceEvent::PacketDropped {
+                node: ctx.self_id(),
+                flow: None,
+                packet_id: packet.id,
+                time: ctx.now(),
+            });
+        }
+    }
+
     fn forward_via_table(&mut self, packet: SimPacket, in_port: PortNo, ctx: &mut Context<'_>) {
-        let lookup = self
-            .data_table
-            .lookup(&packet.header, in_port)
-            .map(|e| (e.match_, e.priority, e.actions.clone()));
-        match lookup {
-            None => {
-                self.data_packets_dropped += 1;
-                if !packet.injected {
-                    ctx.record(TraceEvent::PacketDropped {
-                        node: ctx.self_id(),
-                        flow: None,
-                        packet_id: packet.id,
-                        time: ctx.now(),
-                    });
-                }
-                if self.config.miss_send_len > 0 {
-                    self.emit_packet_in(&packet.header, in_port, packet_in_reason::NO_MATCH, ctx);
-                }
+        let verdict = self
+            .behavior
+            .classify_packet(&packet.header, in_port, packet.size);
+        if !verdict.matched {
+            self.record_drop(&packet, ctx);
+            if self.config.miss_send_len > 0 {
+                self.emit_packet_in(&packet.header, in_port, packet_in_reason::NO_MATCH, ctx);
             }
-            Some((match_, priority, actions)) => {
-                self.data_table.account(&match_, priority, packet.size);
-                if actions.is_empty() {
-                    // An empty action list is an explicit drop rule.
-                    self.data_packets_dropped += 1;
-                    if !packet.injected {
-                        ctx.record(TraceEvent::PacketDropped {
-                            node: ctx.self_id(),
-                            flow: None,
-                            packet_id: packet.id,
-                            time: ctx.now(),
-                        });
-                    }
-                    return;
+            return;
+        }
+        if verdict.outputs.is_empty() {
+            // An empty action list is an explicit drop rule.
+            self.record_drop(&packet, ctx);
+            return;
+        }
+        let forwarded = packet.forwarded(ctx.self_id(), verdict.rewritten);
+        let mut sent_any = false;
+        for port in verdict.outputs {
+            match port {
+                of_port::CONTROLLER => {
+                    self.emit_packet_in(&verdict.rewritten, in_port, packet_in_reason::ACTION, ctx);
+                    sent_any = true;
                 }
-                let (rewritten, outputs) = Action::apply_list(&actions, &packet.header);
-                let forwarded = packet.forwarded(ctx.self_id(), rewritten);
-                let mut sent_any = false;
-                for port in outputs {
-                    match port {
-                        of_port::CONTROLLER => {
-                            self.emit_packet_in(&rewritten, in_port, packet_in_reason::ACTION, ctx);
-                            sent_any = true;
-                        }
-                        of_port::IN_PORT => {
-                            sent_any |= ctx.send_packet(in_port, forwarded.clone());
-                        }
-                        of_port::FLOOD | of_port::ALL => {
-                            for p in ctx.topology().ports_of(ctx.self_id()) {
-                                if p != in_port {
-                                    sent_any |= ctx.send_packet(p, forwarded.clone());
-                                }
-                            }
-                        }
-                        of_port::TABLE | of_port::NORMAL | of_port::LOCAL | of_port::NONE => {}
-                        physical => {
-                            sent_any |= ctx.send_packet(physical, forwarded.clone());
+                of_port::IN_PORT => {
+                    sent_any |= ctx.send_packet(in_port, forwarded.clone());
+                }
+                of_port::FLOOD | of_port::ALL => {
+                    for p in ctx.topology().ports_of(ctx.self_id()) {
+                        if p != in_port {
+                            sent_any |= ctx.send_packet(p, forwarded.clone());
                         }
                     }
                 }
-                if sent_any {
-                    self.data_packets_forwarded += 1;
-                } else {
-                    self.data_packets_dropped += 1;
-                    if !packet.injected {
-                        ctx.record(TraceEvent::PacketDropped {
-                            node: ctx.self_id(),
-                            flow: None,
-                            packet_id: packet.id,
-                            time: ctx.now(),
-                        });
-                    }
+                of_port::TABLE | of_port::NORMAL | of_port::LOCAL | of_port::NONE => {}
+                physical => {
+                    sent_any |= ctx.send_packet(physical, forwarded.clone());
                 }
             }
         }
+        if sent_any {
+            self.data_packets_forwarded += 1;
+        } else {
+            self.record_drop(&packet, ctx);
+        }
     }
-}
-
-fn flow_table_error_code(err: FlowTableError) -> u16 {
-    err.error_code()
 }
 
 impl Node for OpenFlowSwitch {
@@ -698,21 +552,26 @@ impl Node for OpenFlowSwitch {
         self.label.clone()
     }
 
-    fn start(&mut self, ctx: &mut Context<'_>) {
-        // Kick off the periodic data-plane synchronisation.
-        ctx.set_timer(self.model.dataplane_sync_period, TOKEN_SYNC_TICK);
-        self.started_at_dpid_offset = true;
+    fn start(&mut self, _ctx: &mut Context<'_>) {
+        // Timers are armed lazily from the behaviour engine's deadlines; an
+        // idle switch schedules nothing.
     }
 
     fn handle(&mut self, event: EventPayload, ctx: &mut Context<'_>) {
+        // Always let the engine catch up first: sync ticks and in-flight
+        // batches due before this event must be visible to it.
+        self.drive(ctx);
         match event {
             EventPayload::Control { from, message } => self.handle_control(from, message, ctx),
             EventPayload::Packet { packet, in_port } => {
                 self.forward_via_table(packet, in_port, ctx)
             }
             EventPayload::Timer { token } => match token {
-                TOKEN_SYNC_TICK => self.sync_tick(ctx),
-                TOKEN_SYNC_APPLY => self.apply_in_flight(ctx),
+                TOKEN_BEHAVIOR => {
+                    // drive() above already advanced the engine; just allow
+                    // re-arming for the next deadline.
+                    self.armed_deadline = None;
+                }
                 TOKEN_PACKET_OUT => {
                     let now = ctx.now();
                     while let Some((exec_at, _)) = self.pending_packet_outs.front() {
@@ -726,6 +585,7 @@ impl Node for OpenFlowSwitch {
                 _ => {}
             },
         }
+        self.rearm_deadline(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -739,9 +599,11 @@ impl Node for OpenFlowSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Simulator;
+    use crate::measure::FlowId;
+    use crate::traffic::{FlowSpec, Host};
+    use openflow::messages::FlowMod;
     use openflow::OfMatch;
-    use simnet::traffic::{FlowSpec, Host};
-    use simnet::{FlowId, Simulator};
     use std::any::Any;
     use std::net::Ipv4Addr;
 
@@ -774,8 +636,7 @@ mod tests {
         }
         fn start(&mut self, ctx: &mut Context<'_>) {
             for (t, to, msg) in self.to_send.drain(..) {
-                // Relay through a timer so sends happen at the right time.
-                // Simpler: send now with the extra latency baked in.
+                // Send now with the extra latency baked in.
                 ctx.send_control(to, msg, t);
             }
         }
@@ -959,7 +820,7 @@ mod tests {
         // h1 -- s1 -- h2
         let mut h1 = Host::new("h1");
         let mut h2 = Host::new("h2");
-        let header = simnet::traffic::flow_header(
+        let header = crate::traffic::flow_header(
             0,
             openflow::MacAddr::from_id(1),
             openflow::MacAddr::from_id(2),
@@ -1002,7 +863,7 @@ mod tests {
     fn unmatched_packets_are_dropped_and_counted() {
         let mut sim = Simulator::new(1);
         let mut h1 = Host::new("h1");
-        let header = simnet::traffic::flow_header(
+        let header = crate::traffic::flow_header(
             7,
             openflow::MacAddr::from_id(1),
             openflow::MacAddr::from_id(2),
@@ -1033,7 +894,7 @@ mod tests {
     fn drop_rule_drops_without_packet_in() {
         let mut sim = Simulator::new(1);
         let mut h1 = Host::new("h1");
-        let header = simnet::traffic::flow_header(
+        let header = crate::traffic::flow_header(
             3,
             openflow::MacAddr::from_id(1),
             openflow::MacAddr::from_id(2),
@@ -1067,7 +928,7 @@ mod tests {
     fn packet_out_injects_into_data_plane() {
         let mut sim = Simulator::new(1);
         let mut h2 = Host::new("h2");
-        let header = simnet::traffic::flow_header(
+        let header = crate::traffic::flow_header(
             0,
             openflow::MacAddr::from_id(1),
             openflow::MacAddr::from_id(2),
@@ -1139,5 +1000,46 @@ mod tests {
             .filter(|m| matches!(m, OfMessage::Error { .. }))
             .collect();
         assert_eq!(errors.len(), 1);
+    }
+
+    /// The fault plan is reachable through the simnet driver: a wedged
+    /// modification never activates, yet the buggy switch still answers
+    /// barriers — the trace shows the confirmation gap the matrix measures.
+    #[test]
+    fn fault_plan_wedges_data_plane_through_the_driver() {
+        let mut sim = Simulator::new(1);
+        let sw_id = NodeId(1);
+        let faults = FaultPlan::seeded(21).with_silent_drops(4);
+        let wedge = (0..32u64).find(|&c| faults.drops_cookie(c)).unwrap();
+        let mut msgs: Vec<(SimTime, NodeId, OfMessage)> = (0..=wedge + 2)
+            .map(|c| (SimTime::from_millis(1), sw_id, flow_mod(c as u8, 2, c)))
+            .collect();
+        msgs.push((
+            SimTime::from_millis(1),
+            sw_id,
+            OfMessage::BarrierRequest { xid: 4242 },
+        ));
+        let ctrl_id = sim.add_node(StubController::new(msgs));
+        let mut sw = OpenFlowSwitch::with_faults(
+            "s1",
+            DatapathId::new(1),
+            4,
+            SwitchModel::hp5406zl(),
+            faults,
+        );
+        sw.connect_controller(ctrl_id);
+        sim.add_node(sw);
+        sim.run_until(SimTime::from_secs(5));
+
+        let sw = sim.node_ref::<OpenFlowSwitch>(NodeId(1)).unwrap();
+        let truth = sw.behavior().ground_truth();
+        assert!(truth.first_activation(wedge).is_none());
+        assert!(truth.wedged.contains(&wedge));
+        if wedge > 0 {
+            assert!(truth.first_activation(0).is_some());
+        }
+        // The buggy switch acknowledged the barrier regardless.
+        let ctrl = sim.node_ref::<StubController>(ctrl_id).unwrap();
+        assert_eq!(ctrl.barrier_reply_times().len(), 1);
     }
 }

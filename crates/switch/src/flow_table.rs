@@ -24,9 +24,9 @@
 use openflow::constants::{flow_mod_failed_code, flow_mod_flags, port as of_port, OFP_VLAN_NONE};
 use openflow::messages::{FlowMod, FlowModCommand};
 use openflow::{Action, MacAddr, OfMatch, PacketHeader, PortNo};
-use simnet::SimTime;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::time::Duration;
 
 /// A single installed flow entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub struct FlowEntry {
     /// Hard timeout in seconds (0 = none).
     pub hard_timeout: u16,
     /// When the entry was installed.
-    pub installed_at: SimTime,
+    pub installed_at: Duration,
     /// Packets matched so far.
     pub packet_count: u64,
     /// Bytes matched so far.
@@ -53,7 +53,7 @@ pub struct FlowEntry {
 
 impl FlowEntry {
     /// Builds an entry from a flow-mod ADD.
-    pub fn from_flow_mod(fm: &FlowMod, now: SimTime) -> Self {
+    pub fn from_flow_mod(fm: &FlowMod, now: Duration) -> Self {
         FlowEntry {
             match_: fm.match_,
             priority: fm.priority,
@@ -73,11 +73,11 @@ impl FlowEntry {
         Action::output_ports(&self.actions).contains(&port)
     }
 
-    fn hard_deadline(&self) -> Option<SimTime> {
+    fn hard_deadline(&self) -> Option<Duration> {
         if self.hard_timeout == 0 {
             None
         } else {
-            Some(self.installed_at + SimTime::from_secs(u64::from(self.hard_timeout)))
+            Some(self.installed_at + Duration::from_secs(u64::from(self.hard_timeout)))
         }
     }
 }
@@ -233,7 +233,7 @@ pub struct FlowTable {
     /// Lower bound on the earliest hard-timeout deadline of any installed
     /// entry; `None` means no entry has a hard timeout.  [`FlowTable::expire`]
     /// returns without scanning while `now` is below this bound.
-    next_expiry: Option<SimTime>,
+    next_expiry: Option<Duration>,
     /// Lookups performed (for table stats).
     pub lookup_count: u64,
     /// Lookups that matched (for table stats).
@@ -335,7 +335,7 @@ impl FlowTable {
     }
 
     /// Applies a flow-mod, returning which cookies were activated/removed.
-    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+    pub fn apply(&mut self, fm: &FlowMod, now: Duration) -> Result<FlowModOutcome, FlowTableError> {
         match fm.command {
             FlowModCommand::Add => self.apply_add(fm, now),
             FlowModCommand::Modify => self.apply_modify(fm, now, false),
@@ -345,7 +345,7 @@ impl FlowTable {
         }
     }
 
-    fn apply_add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+    fn apply_add(&mut self, fm: &FlowMod, now: Duration) -> Result<FlowModOutcome, FlowTableError> {
         if fm.flags & flow_mod_flags::CHECK_OVERLAP != 0 && self.overlaps_same_priority(fm) {
             return Err(FlowTableError::Overlap);
         }
@@ -382,7 +382,7 @@ impl FlowTable {
     fn apply_modify(
         &mut self,
         fm: &FlowMod,
-        now: SimTime,
+        now: Duration,
         strict: bool,
     ) -> Result<FlowModOutcome, FlowTableError> {
         let mut outcome = FlowModOutcome::default();
@@ -446,7 +446,7 @@ impl FlowTable {
     ///
     /// When no installed entry's deadline has been reached this returns an
     /// (allocation-free) empty vector without scanning the table.
-    pub fn expire(&mut self, now: SimTime) -> Vec<u64> {
+    pub fn expire(&mut self, now: Duration) -> Vec<u64> {
         let mut expired = Vec::new();
         self.expire_into(now, &mut expired);
         expired
@@ -455,7 +455,7 @@ impl FlowTable {
     /// Like [`FlowTable::expire`] but reuses a caller-owned buffer, which is
     /// cleared first.  This is the allocation-free form drivers should call
     /// from periodic ticks.
-    pub fn expire_into(&mut self, now: SimTime, expired: &mut Vec<u64>) {
+    pub fn expire_into(&mut self, now: Duration, expired: &mut Vec<u64>) {
         expired.clear();
         // Fast path: nothing can have expired yet.
         match self.next_expiry {
@@ -464,7 +464,7 @@ impl FlowTable {
             Some(_) => {}
         }
         let mut doomed = Vec::new();
-        let mut next: Option<SimTime> = None;
+        let mut next: Option<Duration> = None;
         for (&seq, e) in &self.entries {
             let Some(deadline) = e.hard_deadline() else {
                 continue;
@@ -562,9 +562,9 @@ mod tests {
     #[test]
     fn add_and_lookup_by_priority() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(OfMatch::wildcard_all(), 1, 9, 100), SimTime::ZERO)
+        t.apply(&add(OfMatch::wildcard_all(), 1, 9, 100), Duration::ZERO)
             .unwrap();
-        t.apply(&add(pair(1, 2), 10, 3, 200), SimTime::ZERO)
+        t.apply(&add(pair(1, 2), 10, 3, 200), Duration::ZERO)
             .unwrap();
         let hit = t.lookup(&pkt(1, 2), 1).unwrap();
         assert_eq!(hit.cookie, 200);
@@ -578,7 +578,7 @@ mod tests {
     #[test]
     fn lookup_miss_returns_none() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 10, 3, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 10, 3, 1), Duration::ZERO).unwrap();
         assert!(t.lookup(&pkt(9, 9), 1).is_none());
         assert_eq!(t.matched_count, 0);
     }
@@ -588,10 +588,11 @@ mod tests {
         let mut t = FlowTable::new(0);
         // Two rules with the same priority both matching the packet; the
         // first installed must win (installation order defines importance).
-        t.apply(&add(pair(1, 2), 5, 1, 111), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 111), Duration::ZERO)
+            .unwrap();
         t.apply(
             &add(OfMatch::wildcard_all().with_tp_dst(2), 5, 2, 222),
-            SimTime::ZERO,
+            Duration::ZERO,
         )
         .unwrap();
         assert_eq!(t.lookup(&pkt(1, 2), 1).unwrap().cookie, 111);
@@ -607,13 +608,13 @@ mod tests {
         let wild = OfMatch::wildcard_all().with_tp_dst(2);
 
         let mut t = FlowTable::new(0);
-        t.apply(&add(exact, 5, 1, 10), SimTime::ZERO).unwrap();
-        t.apply(&add(wild, 5, 2, 20), SimTime::ZERO).unwrap();
+        t.apply(&add(exact, 5, 1, 10), Duration::ZERO).unwrap();
+        t.apply(&add(wild, 5, 2, 20), Duration::ZERO).unwrap();
         assert_eq!(t.lookup(&header, 1).unwrap().cookie, 10);
 
         let mut t = FlowTable::new(0);
-        t.apply(&add(wild, 5, 2, 20), SimTime::ZERO).unwrap();
-        t.apply(&add(exact, 5, 1, 10), SimTime::ZERO).unwrap();
+        t.apply(&add(wild, 5, 2, 20), Duration::ZERO).unwrap();
+        t.apply(&add(exact, 5, 1, 10), Duration::ZERO).unwrap();
         assert_eq!(t.lookup(&header, 1).unwrap().cookie, 20);
     }
 
@@ -625,7 +626,7 @@ mod tests {
         header.nw_tos = 0xb8;
         let rule = OfMatch::exact_from_packet(&header, 1);
         let mut t = FlowTable::new(0);
-        t.apply(&add(rule, 5, 1, 7), SimTime::ZERO).unwrap();
+        t.apply(&add(rule, 5, 1, 7), Duration::ZERO).unwrap();
         let mut probe = header;
         probe.nw_tos = 0xbb; // same DSCP, different ECN
         assert_eq!(t.lookup(&probe, 1).unwrap().cookie, 7);
@@ -636,9 +637,9 @@ mod tests {
     #[test]
     fn add_identical_match_replaces() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
         let outcome = t
-            .apply(&add(pair(1, 2), 5, 2, 2), SimTime::from_millis(1))
+            .apply(&add(pair(1, 2), 5, 2, 2), Duration::from_millis(1))
             .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(outcome.activated, vec![2]);
@@ -649,7 +650,7 @@ mod tests {
     #[test]
     fn check_overlap_rejects_same_priority_overlap() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
         let overlapping = FlowMod::add(
             OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 0), 24),
             5,
@@ -657,7 +658,7 @@ mod tests {
         )
         .with_check_overlap();
         assert_eq!(
-            t.apply(&overlapping, SimTime::ZERO),
+            t.apply(&overlapping, Duration::ZERO),
             Err(FlowTableError::Overlap)
         );
         // Different priority is fine even with CHECK_OVERLAP.
@@ -667,16 +668,16 @@ mod tests {
             vec![Action::output(4)],
         )
         .with_check_overlap();
-        assert!(t.apply(&different_prio, SimTime::ZERO).is_ok());
+        assert!(t.apply(&different_prio, Duration::ZERO).is_ok());
     }
 
     #[test]
     fn table_full_error() {
         let mut t = FlowTable::new(2);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(1, 3), 5, 1, 2), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 5, 1, 2), Duration::ZERO).unwrap();
         assert_eq!(
-            t.apply(&add(pair(1, 4), 5, 1, 3), SimTime::ZERO),
+            t.apply(&add(pair(1, 4), 5, 1, 3), Duration::ZERO),
             Err(FlowTableError::TableFull)
         );
         assert_eq!(FlowTableError::TableFull.error_code(), 0);
@@ -686,10 +687,10 @@ mod tests {
     #[test]
     fn strict_modify_changes_only_exact_entry() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(1, 3), 5, 1, 2), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 5, 1, 2), Duration::ZERO).unwrap();
         let m = FlowMod::modify_strict(pair(1, 2), 5, vec![Action::output(7)]).with_cookie(99);
-        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        let outcome = t.apply(&m, Duration::ZERO).unwrap();
         assert_eq!(outcome.activated, vec![99]);
         assert_eq!(
             t.lookup(&pkt(1, 2), 1).unwrap().actions,
@@ -704,15 +705,15 @@ mod tests {
     #[test]
     fn loose_modify_uses_covers_semantics() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(3, 4), 5, 1, 2), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
+        t.apply(&add(pair(3, 4), 5, 1, 2), Duration::ZERO).unwrap();
         // A fully wildcarded modify covers every entry.
         let m = FlowMod {
             command: FlowModCommand::Modify,
             ..FlowMod::add(OfMatch::wildcard_all(), 0, vec![Action::output(9)])
         }
         .with_cookie(50);
-        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        let outcome = t.apply(&m, Duration::ZERO).unwrap();
         assert_eq!(outcome.activated.len(), 2);
         assert!(t.entries().all(|e| e.actions == vec![Action::output(9)]));
     }
@@ -721,7 +722,7 @@ mod tests {
     fn modify_with_no_match_behaves_like_add() {
         let mut t = FlowTable::new(0);
         let m = FlowMod::modify_strict(pair(8, 9), 5, vec![Action::output(2)]).with_cookie(7);
-        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        let outcome = t.apply(&m, Duration::ZERO).unwrap();
         assert_eq!(outcome.activated, vec![7]);
         assert_eq!(t.len(), 1);
     }
@@ -729,10 +730,10 @@ mod tests {
     #[test]
     fn strict_delete_removes_exact_entry_only() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(1, 2), 6, 1, 2), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 6, 1, 2), Duration::ZERO).unwrap();
         let outcome = t
-            .apply(&FlowMod::delete_strict(pair(1, 2), 5), SimTime::ZERO)
+            .apply(&FlowMod::delete_strict(pair(1, 2), 5), Duration::ZERO)
             .unwrap();
         assert_eq!(outcome.removed, vec![1]);
         assert_eq!(t.len(), 1);
@@ -741,13 +742,13 @@ mod tests {
     #[test]
     fn loose_delete_removes_covered_entries() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(1, 3), 7, 1, 2), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(2, 3), 7, 1, 3), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 7, 1, 2), Duration::ZERO).unwrap();
+        t.apply(&add(pair(2, 3), 7, 1, 3), Duration::ZERO).unwrap();
         let del = FlowMod::delete(
             OfMatch::wildcard_all().with_nw_src_prefix(Ipv4Addr::new(10, 0, 0, 1), 32),
         );
-        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        let outcome = t.apply(&del, Duration::ZERO).unwrap();
         assert_eq!(outcome.removed, vec![1, 2]);
         assert_eq!(t.len(), 1);
     }
@@ -755,11 +756,11 @@ mod tests {
     #[test]
     fn delete_with_out_port_filter() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
-        t.apply(&add(pair(1, 3), 5, 2, 2), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
+        t.apply(&add(pair(1, 3), 5, 2, 2), Duration::ZERO).unwrap();
         let mut del = FlowMod::delete(OfMatch::wildcard_all());
         del.out_port = 2;
-        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        let outcome = t.apply(&del, Duration::ZERO).unwrap();
         assert_eq!(outcome.removed, vec![2]);
         assert_eq!(t.len(), 1);
     }
@@ -767,10 +768,10 @@ mod tests {
     #[test]
     fn strict_delete_respects_out_port_filter() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
         let mut del = FlowMod::delete_strict(pair(1, 2), 5);
         del.out_port = 9; // entry outputs to port 1, not 9
-        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        let outcome = t.apply(&del, Duration::ZERO).unwrap();
         assert!(outcome.removed.is_empty());
         assert_eq!(t.len(), 1);
     }
@@ -778,7 +779,7 @@ mod tests {
     #[test]
     fn counters_account_packets() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
         t.account(&pair(1, 2), 5, 100);
         t.account(&pair(1, 2), 5, 50);
         let e = t.find_strict(&pair(1, 2), 5).unwrap();
@@ -790,9 +791,9 @@ mod tests {
     fn hard_timeout_expiry() {
         let mut t = FlowTable::new(0);
         let fm = add(pair(1, 2), 5, 1, 1).with_hard_timeout(1);
-        t.apply(&fm, SimTime::from_secs(10)).unwrap();
-        assert!(t.expire(SimTime::from_secs(10)).is_empty());
-        let expired = t.expire(SimTime::from_secs(11));
+        t.apply(&fm, Duration::from_secs(10)).unwrap();
+        assert!(t.expire(Duration::from_secs(10)).is_empty());
+        let expired = t.expire(Duration::from_secs(11));
         assert_eq!(expired, vec![1]);
         assert!(t.is_empty());
     }
@@ -801,31 +802,31 @@ mod tests {
     fn expire_fast_path_skips_scan_and_reuses_buffer() {
         let mut t = FlowTable::new(0);
         // No timed entry: the bound is None and expiry is a no-op.
-        t.apply(&add(pair(1, 2), 5, 1, 1), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
         assert_eq!(t.next_expiry, None);
         let mut scratch = vec![99u64]; // stale content must be cleared
-        t.expire_into(SimTime::from_secs(100), &mut scratch);
+        t.expire_into(Duration::from_secs(100), &mut scratch);
         assert!(scratch.is_empty());
 
         // A timed entry arms the bound; before it, expiry returns early.
         t.apply(
             &add(pair(1, 3), 5, 1, 2).with_hard_timeout(5),
-            SimTime::ZERO,
+            Duration::ZERO,
         )
         .unwrap();
-        assert_eq!(t.next_expiry, Some(SimTime::from_secs(5)));
-        t.expire_into(SimTime::from_secs(4), &mut scratch);
+        assert_eq!(t.next_expiry, Some(Duration::from_secs(5)));
+        t.expire_into(Duration::from_secs(4), &mut scratch);
         assert!(scratch.is_empty());
         assert_eq!(t.len(), 2);
 
         // Past the bound the entry goes and the bound clears.
-        t.expire_into(SimTime::from_secs(5), &mut scratch);
+        t.expire_into(Duration::from_secs(5), &mut scratch);
         assert_eq!(scratch, vec![2]);
         assert_eq!(t.next_expiry, None);
 
         // The buffer is reused, not reallocated, on the next call.
         let ptr = scratch.as_ptr();
-        t.expire_into(SimTime::from_secs(6), &mut scratch);
+        t.expire_into(Duration::from_secs(6), &mut scratch);
         assert!(scratch.is_empty());
         assert_eq!(scratch.as_ptr(), ptr);
     }
@@ -835,24 +836,24 @@ mod tests {
         let mut t = FlowTable::new(0);
         t.apply(
             &add(pair(1, 2), 5, 1, 1).with_hard_timeout(1),
-            SimTime::ZERO,
+            Duration::ZERO,
         )
         .unwrap();
         t.apply(
             &add(pair(1, 3), 5, 1, 2).with_hard_timeout(10),
-            SimTime::ZERO,
+            Duration::ZERO,
         )
         .unwrap();
-        assert_eq!(t.expire(SimTime::from_secs(2)), vec![1]);
-        assert_eq!(t.next_expiry, Some(SimTime::from_secs(10)));
-        assert_eq!(t.expire(SimTime::from_secs(10)), vec![2]);
+        assert_eq!(t.expire(Duration::from_secs(2)), vec![1]);
+        assert_eq!(t.next_expiry, Some(Duration::from_secs(10)));
+        assert_eq!(t.expire(Duration::from_secs(10)), vec![2]);
         assert!(t.is_empty());
     }
 
     #[test]
     fn peek_lookup_matches_lookup_without_counting() {
         let mut t = FlowTable::new(0);
-        t.apply(&add(pair(1, 2), 5, 1, 42), SimTime::ZERO).unwrap();
+        t.apply(&add(pair(1, 2), 5, 1, 42), Duration::ZERO).unwrap();
         assert_eq!(t.peek_lookup(&pkt(1, 2), 1).unwrap().cookie, 42);
         assert_eq!(t.lookup_count, 0);
     }

@@ -18,8 +18,13 @@
 //! * PacketIn and PacketOut processing is rate-limited (≈5 531/s and
 //!   ≈7 006/s respectively) and steals a small amount of control-plane time
 //!   from rule processing (≤13 % at a 5:1 PacketOut-to-FlowMod ratio).
+//!
+//! Time is plain [`std::time::Duration`]: the model is driver-agnostic and is
+//! consumed both by the discrete-event simulator (`simnet` converts its
+//! `SimTime` at the boundary) and by the real-socket switch host in
+//! `rum-tcp`, which measures wall-clock time against its own epoch.
 
-use simnet::SimTime;
+use std::time::Duration;
 
 /// How the switch answers `BarrierRequest`s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,38 +55,38 @@ impl BarrierMode {
     }
 }
 
-/// The timing/behaviour model of a simulated switch.
-#[derive(Debug, Clone, PartialEq)]
+/// The timing/behaviour model of an emulated switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchModel {
     /// Barrier behaviour.
     pub barrier_mode: BarrierMode,
     /// Control-plane processing time per flow modification when the table is
     /// empty.
-    pub base_mod_time: SimTime,
+    pub base_mod_time: Duration,
     /// Additional processing time per already-installed rule (models the
     /// occupancy-dependent slowdown).
-    pub per_rule_slowdown: SimTime,
+    pub per_rule_slowdown: Duration,
     /// Interval between data-plane synchronisation points.
-    pub dataplane_sync_period: SimTime,
+    pub dataplane_sync_period: Duration,
     /// Extra latency between a synchronisation point and the rules actually
     /// forwarding traffic (TCAM write + pipeline flush).
-    pub dataplane_sync_latency: SimTime,
+    pub dataplane_sync_latency: Duration,
     /// Maximum number of modifications pushed to the data plane per
     /// synchronisation (0 = unlimited).
     pub dataplane_sync_batch: usize,
     /// Control-plane processing time per `PacketOut`.
-    pub packet_out_time: SimTime,
+    pub packet_out_time: Duration,
     /// Control-plane processing time per generated `PacketIn`.
-    pub packet_in_time: SimTime,
+    pub packet_in_time: Duration,
     /// Minimum spacing between consecutive `PacketOut` executions
     /// (reciprocal of the maximum PacketOut rate).
-    pub packet_out_interval: SimTime,
+    pub packet_out_interval: Duration,
     /// Minimum spacing between consecutive `PacketIn` emissions
     /// (reciprocal of the maximum PacketIn rate).
-    pub packet_in_interval: SimTime,
+    pub packet_in_interval: Duration,
     /// One-way latency of the control channel between this switch and
     /// whatever terminates its OpenFlow connection (controller or proxy).
-    pub control_latency: SimTime,
+    pub control_latency: Duration,
     /// Flow-table capacity (0 = unbounded).
     pub table_capacity: usize,
 }
@@ -93,16 +98,16 @@ impl SwitchModel {
     pub fn faithful() -> Self {
         SwitchModel {
             barrier_mode: BarrierMode::Faithful,
-            base_mod_time: SimTime::from_micros(300),
-            per_rule_slowdown: SimTime::ZERO,
-            dataplane_sync_period: SimTime::from_micros(500),
-            dataplane_sync_latency: SimTime::from_micros(100),
+            base_mod_time: Duration::from_micros(300),
+            per_rule_slowdown: Duration::ZERO,
+            dataplane_sync_period: Duration::from_micros(500),
+            dataplane_sync_latency: Duration::from_micros(100),
             dataplane_sync_batch: 0,
-            packet_out_time: SimTime::from_micros(20),
-            packet_in_time: SimTime::from_micros(20),
-            packet_out_interval: SimTime::from_micros(30),
-            packet_in_interval: SimTime::from_micros(30),
-            control_latency: SimTime::from_micros(200),
+            packet_out_time: Duration::from_micros(20),
+            packet_in_time: Duration::from_micros(20),
+            packet_out_interval: Duration::from_micros(30),
+            packet_in_interval: Duration::from_micros(30),
+            control_latency: Duration::from_micros(200),
             table_capacity: 0,
         }
     }
@@ -115,21 +120,21 @@ impl SwitchModel {
         SwitchModel {
             barrier_mode: BarrierMode::EarlyReply,
             // 4 ms per modification at an empty table = 250 mods/s.
-            base_mod_time: SimTime::from_millis(4),
+            base_mod_time: Duration::from_millis(4),
             // +1 ms at 300 rules -> 5 ms per mod = 200 mods/s, matching the
             // "adaptive 200 vs adaptive 250" behaviour of Figure 6.
-            per_rule_slowdown: SimTime::from_nanos(3_333),
+            per_rule_slowdown: Duration::from_nanos(3_333),
             // Periodic data-plane sync: the source of the "steps" in Figure 6
             // and the 100–300 ms control/data-plane gap.
-            dataplane_sync_period: SimTime::from_millis(200),
-            dataplane_sync_latency: SimTime::from_millis(90),
+            dataplane_sync_period: Duration::from_millis(200),
+            dataplane_sync_latency: Duration::from_millis(90),
             dataplane_sync_batch: 0,
             // 1/7006 s and 1/5531 s.
-            packet_out_time: SimTime::from_micros(100),
-            packet_in_time: SimTime::from_micros(30),
-            packet_out_interval: SimTime::from_nanos(142_735),
-            packet_in_interval: SimTime::from_nanos(180_800),
-            control_latency: SimTime::from_micros(500),
+            packet_out_time: Duration::from_micros(100),
+            packet_in_time: Duration::from_micros(30),
+            packet_out_interval: Duration::from_nanos(142_735),
+            packet_in_interval: Duration::from_nanos(180_800),
+            control_latency: Duration::from_micros(500),
             table_capacity: 1500,
         }
     }
@@ -144,10 +149,31 @@ impl SwitchModel {
         }
     }
 
+    /// An HP-shaped model with every timing scaled down roughly 5x, so
+    /// real-socket experiments (which run in wall-clock time) keep the same
+    /// qualitative control/data-plane gap without taking minutes.  The gap
+    /// (~50 ms) still dwarfs loopback socket latency by orders of magnitude.
+    pub fn fast_buggy() -> Self {
+        SwitchModel {
+            barrier_mode: BarrierMode::EarlyReply,
+            base_mod_time: Duration::from_micros(800),
+            per_rule_slowdown: Duration::ZERO,
+            dataplane_sync_period: Duration::from_millis(40),
+            dataplane_sync_latency: Duration::from_millis(12),
+            dataplane_sync_batch: 0,
+            packet_out_time: Duration::from_micros(20),
+            packet_in_time: Duration::from_micros(10),
+            packet_out_interval: Duration::from_micros(30),
+            packet_in_interval: Duration::from_micros(40),
+            control_latency: Duration::from_micros(100),
+            table_capacity: 1500,
+        }
+    }
+
     /// Control-plane processing time for one flow modification when
     /// `occupancy` rules are already installed.
-    pub fn mod_processing_time(&self, occupancy: usize) -> SimTime {
-        self.base_mod_time + self.per_rule_slowdown * occupancy as u64
+    pub fn mod_processing_time(&self, occupancy: usize) -> Duration {
+        self.base_mod_time + self.per_rule_slowdown * occupancy.min(u32::MAX as usize) as u32
     }
 
     /// The effective modification rate (mods/s) at a given occupancy.
@@ -169,7 +195,7 @@ impl SwitchModel {
     /// and its data-plane visibility (one full sync period plus the sync
     /// latency).  This is the bound the "delayed barrier acknowledgment"
     /// technique has to assume.
-    pub fn worst_case_dataplane_lag(&self) -> SimTime {
+    pub fn worst_case_dataplane_lag(&self) -> Duration {
         self.dataplane_sync_period + self.dataplane_sync_latency
     }
 }
@@ -210,14 +236,14 @@ mod tests {
         assert!((m.packet_in_rate() - 5531.0).abs() < 10.0);
         // Worst-case data-plane lag is in the observed 100–300 ms band.
         let lag = m.worst_case_dataplane_lag();
-        assert!(lag >= SimTime::from_millis(100) && lag <= SimTime::from_millis(300));
+        assert!(lag >= Duration::from_millis(100) && lag <= Duration::from_millis(300));
     }
 
     #[test]
     fn faithful_model_is_fast_and_honest() {
         let m = SwitchModel::faithful();
         assert_eq!(m.barrier_mode, BarrierMode::Faithful);
-        assert!(m.worst_case_dataplane_lag() < SimTime::from_millis(1));
+        assert!(m.worst_case_dataplane_lag() < Duration::from_millis(1));
         assert!(m.mod_rate(0) > 1000.0);
         assert_eq!(SwitchModel::default(), m);
     }
@@ -234,6 +260,15 @@ mod tests {
     fn mod_time_grows_with_occupancy() {
         let m = SwitchModel::hp5406zl();
         assert!(m.mod_processing_time(1000) > m.mod_processing_time(0));
-        assert_eq!(m.mod_processing_time(0), SimTime::from_millis(4));
+        assert_eq!(m.mod_processing_time(0), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn fast_buggy_keeps_the_qualitative_gap() {
+        let m = SwitchModel::fast_buggy();
+        assert!(m.barrier_mode.replies_early());
+        // The control/data-plane gap must still dwarf loopback latency.
+        assert!(m.worst_case_dataplane_lag() >= Duration::from_millis(20));
+        assert!(m.worst_case_dataplane_lag() < SwitchModel::hp5406zl().worst_case_dataplane_lag());
     }
 }

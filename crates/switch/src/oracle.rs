@@ -12,7 +12,7 @@ use crate::flow_table::{FlowEntry, FlowModOutcome, FlowTableError};
 use openflow::constants::{flow_mod_flags, port as of_port};
 use openflow::messages::{FlowMod, FlowModCommand};
 use openflow::{OfMatch, PacketHeader, PortNo};
-use simnet::SimTime;
+use std::time::Duration;
 
 /// An OpenFlow 1.0 flow table backed by a linear scan (the reference
 /// implementation; see the module docs).
@@ -115,7 +115,7 @@ impl LinearFlowTable {
     }
 
     /// Applies a flow-mod, returning which cookies were activated/removed.
-    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+    pub fn apply(&mut self, fm: &FlowMod, now: Duration) -> Result<FlowModOutcome, FlowTableError> {
         match fm.command {
             FlowModCommand::Add => self.apply_add(fm, now),
             FlowModCommand::Modify => self.apply_modify(fm, now, false),
@@ -125,7 +125,7 @@ impl LinearFlowTable {
         }
     }
 
-    fn apply_add(&mut self, fm: &FlowMod, now: SimTime) -> Result<FlowModOutcome, FlowTableError> {
+    fn apply_add(&mut self, fm: &FlowMod, now: Duration) -> Result<FlowModOutcome, FlowTableError> {
         if fm.flags & flow_mod_flags::CHECK_OVERLAP != 0 {
             let overlapping = self
                 .entries
@@ -158,7 +158,7 @@ impl LinearFlowTable {
     fn apply_modify(
         &mut self,
         fm: &FlowMod,
-        now: SimTime,
+        now: Duration,
         strict: bool,
     ) -> Result<FlowModOutcome, FlowTableError> {
         let mut outcome = FlowModOutcome::default();
@@ -204,11 +204,11 @@ impl LinearFlowTable {
     }
 
     /// Removes entries whose hard timeout expired; returns their cookies.
-    pub fn expire(&mut self, now: SimTime) -> Vec<u64> {
+    pub fn expire(&mut self, now: Duration) -> Vec<u64> {
         let mut expired = Vec::new();
         self.entries.retain(|e| {
             if e.hard_timeout != 0
-                && now >= e.installed_at + SimTime::from_secs(u64::from(e.hard_timeout))
+                && now >= e.installed_at + Duration::from_secs(u64::from(e.hard_timeout))
             {
                 expired.push(e.cookie);
                 false

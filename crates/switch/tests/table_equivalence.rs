@@ -9,8 +9,8 @@ use openflow::messages::{FlowMod, FlowModCommand};
 use openflow::{Action, MacAddr, OfMatch, PacketHeader};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use simnet::SimTime;
 use std::net::Ipv4Addr;
+use std::time::Duration;
 
 fn packet(rng: &mut SmallRng) -> PacketHeader {
     let a = rng.gen_index(4) as u8 + 1;
@@ -115,11 +115,11 @@ fn indexed_table_matches_linear_oracle() {
         let cap = if seed % 2 == 0 { 0 } else { 12 };
         let mut indexed = FlowTable::new(cap);
         let mut oracle = LinearFlowTable::new(cap);
-        let mut now = SimTime::ZERO;
+        let mut now = Duration::ZERO;
         let mut cookie = 0u64;
 
         for step in 0..400 {
-            now += SimTime::from_millis(rng.gen_range_u64(400));
+            now += Duration::from_millis(rng.gen_range_u64(400));
             match rng.gen_index(10) {
                 // Mostly flow-mods...
                 0..=6 => {
@@ -168,7 +168,7 @@ fn indexed_table_matches_linear_oracle() {
         }
         // Final expiry far in the future drains every timed entry the same
         // way on both implementations.
-        let later = now + SimTime::from_secs(3600);
+        let later = now + Duration::from_secs(3600);
         assert_eq!(indexed.expire(later), oracle.expire(later));
         assert_same_state(&indexed, &oracle, seed, usize::MAX);
     }

@@ -105,7 +105,7 @@ fn main() {
             "adaptive 200 mods/s",
             Some(TechniqueConfig::AdaptiveDelay {
                 assumed_rate: 200.0,
-                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag().into(),
+                assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
             }),
         ),
         (

@@ -15,9 +15,10 @@
 //! Run with `cargo run --release --example tcp_consistent_update [n_flows]`.
 
 use controller::{AckMode, Controller, TriangleScenario, UpdateSession};
-use ofswitch::{OpenFlowSwitch, SwitchModel};
+use ofswitch::SwitchModel;
 use rum::{deploy, RumBuilder, TechniqueConfig};
 use rum_tcp::{spawn_switch, wait_for, ProxyConfig, RumTcpProxy, TcpUpdateController};
+use simnet::OpenFlowSwitch;
 use simnet::{SimTime, Simulator};
 use std::time::Duration;
 

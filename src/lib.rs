@@ -30,12 +30,13 @@ pub mod prelude {
         AckMode, ConnId, Controller, FailurePolicy, SessionEffect, SessionInput, SessionOutcome,
         UpdatePlan, UpdateSession,
     };
-    pub use ofswitch::{BarrierMode, OpenFlowSwitch, SwitchModel};
+    pub use ofswitch::{BarrierMode, FaultPlan, SwitchModel};
     pub use openflow::{Action, OfMatch, OfMessage, PacketHeader};
     pub use rum::{
         deploy, Effect, Input, ProxyStats, RumBuilder, RumEngine, RumHandle, SwitchId,
         TechniqueConfig,
     };
     pub use rum_tcp::{RumTcpProxy, TcpUpdateController};
+    pub use simnet::OpenFlowSwitch;
     pub use simnet::{SimTime, Simulator};
 }

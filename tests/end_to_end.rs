@@ -4,8 +4,9 @@
 
 use controller::scenarios::TriangleScenario;
 use controller::{AckMode, Controller};
-use ofswitch::{OpenFlowSwitch, SwitchModel};
+use ofswitch::SwitchModel;
 use rum::{deploy, RumBuilder, TechniqueConfig};
+use simnet::OpenFlowSwitch;
 use simnet::{SimTime, Simulator};
 use std::time::Duration;
 
@@ -146,7 +147,7 @@ fn optimistic_adaptive_model_can_misfire() {
     let conservative = run_triangle(
         TechniqueConfig::AdaptiveDelay {
             assumed_rate: 200.0,
-            assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag().into(),
+            assumed_sync_lag: SwitchModel::hp5406zl().worst_case_dataplane_lag(),
         },
         60,
         SwitchModel::hp5406zl(),

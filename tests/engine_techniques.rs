@@ -235,7 +235,7 @@ fn drive_engine_directly(technique: TechniqueConfig) -> Vec<u64> {
                 pending_effects.push((now, fx));
             }
             Ev::Activate(sw, fm) => {
-                let _ = tables[sw].apply(&fm, simnet::SimTime::from(now));
+                let _ = tables[sw].apply(&fm, now);
             }
             Ev::Packet(sw, header, in_port) => {
                 // Data-plane forwarding against the *active* table.
@@ -266,7 +266,8 @@ fn drive_engine_directly(technique: TechniqueConfig) -> Vec<u64> {
 fn drive_engine_through_simulator(technique: TechniqueConfig) -> Vec<u64> {
     use controller::scenarios::BulkUpdateScenario;
     use controller::{AckMode, Controller};
-    use ofswitch::{OpenFlowSwitch, SwitchModel};
+    use ofswitch::SwitchModel;
+    use simnet::OpenFlowSwitch;
     use simnet::{SimTime, Simulator};
 
     let mut sim = Simulator::new(11);

@@ -5,9 +5,10 @@
 //! sorted dispatch — lives in the session, not in the drivers.
 
 use controller::{AckMode, Controller, SessionOutcome, TriangleScenario, UpdateSession};
-use ofswitch::{OpenFlowSwitch, SwitchModel};
+use ofswitch::SwitchModel;
 use rum::{deploy, RumBuilder, TechniqueConfig};
 use rum_tcp::{spawn_switch, wait_for, ProxyConfig, RumTcpProxy, TcpUpdateController};
+use simnet::OpenFlowSwitch;
 use simnet::{SimTime, Simulator};
 use std::time::Duration;
 
