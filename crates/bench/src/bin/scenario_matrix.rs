@@ -38,10 +38,12 @@ fn main() -> ExitCode {
     print!("{}", render_grid(&cells));
 
     // The paper's claim, checked on every run: probing techniques never
-    // acknowledge falsely, the barrier-only baseline does under early
-    // replies.
+    // acknowledge falsely (wherever their soundness domain applies — the
+    // sequential × reordering cell is recorded as n/a, not run), the
+    // barrier-only baseline does under early replies.
     let lying_probes: Vec<&MatrixCell> = cells
         .iter()
+        .filter(|c| c.applicable)
         .filter(|c| c.technique.contains("sequential") || c.technique.contains("general"))
         .filter(|c| c.false_acks > 0)
         .collect();
@@ -58,10 +60,26 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Restart re-convergence: the proxy re-issues unconfirmed modifications
+    // on reattach, so probing techniques must confirm the *whole* plan —
+    // truthfully — even across the reboot.
+    let stalled_probes: Vec<&MatrixCell> = cells
+        .iter()
+        .filter(|c| c.applicable && c.fault == "restart")
+        .filter(|c| c.technique.contains("sequential") || c.technique.contains("general"))
+        .filter(|c| c.missed_acks > 0)
+        .collect();
+    if !stalled_probes.is_empty() {
+        eprintln!(
+            "scenario_matrix: probing failed to re-converge across the restart: {stalled_probes:?}"
+        );
+        return ExitCode::FAILURE;
+    }
     println!(
         "\nOK: 0 false acks across {} probing cells; barrier-only baseline lied under early_reply as the paper predicts",
         cells
             .iter()
+            .filter(|c| c.applicable)
             .filter(|c| c.technique.contains("sequential") || c.technique.contains("general"))
             .count()
     );

@@ -1,10 +1,12 @@
 //! Validates a `BENCH_results.json` document against the shapes
 //! `bench_results` writes (see `rum_bench::report::results_json`), so CI
 //! catches a broken harness before a stale or malformed results file lands.
-//! Schema 3 (latency + throughput + scenario-matrix sections) and the older
-//! schema 2 (no matrix) are both accepted; schema-3 matrix rows must carry
-//! finite false-ack/missed-ack rates inside `[0, 1]` and internally
-//! consistent counts.
+//! Schema 4 (matrix rows carry per-technique `applicable` flags and must
+//! cover the `restart` fault on both drivers), schema 3 (latency +
+//! throughput + scenario-matrix sections) and the older schema 2 (no
+//! matrix) are all accepted; matrix rows must carry finite
+//! false-ack/missed-ack rates inside `[0, 1]` and internally consistent
+//! counts, and not-applicable rows must be all-zero placeholders.
 //!
 //! Usage: `validate_results [path] [min_speedup]`
 //! (defaults: `BENCH_results.json`, no speedup floor).  When `min_speedup`
@@ -248,10 +250,11 @@ fn rate(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
     Ok(v)
 }
 
-fn validate_matrix(root: &BTreeMap<String, Json>) -> Result<usize, String> {
+fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, String> {
     let Json::Arr(matrix) = get(root, "scenario_matrix")? else {
         return Err("\"scenario_matrix\" is not an array".into());
     };
+    let mut restart_drivers: Vec<&str> = Vec::new();
     for (i, row) in matrix.iter().enumerate() {
         let Json::Obj(row) = row else {
             return Err(format!("scenario_matrix[{i}] is not an object"));
@@ -261,15 +264,15 @@ fn validate_matrix(root: &BTreeMap<String, Json>) -> Result<usize, String> {
         if driver != "simnet" && driver != "tcp" {
             return Err(format!("{context}: unknown driver \"{driver}\""));
         }
-        string(row, "fault").map_err(|e| format!("{context}: {e}"))?;
+        let fault = string(row, "fault").map_err(|e| format!("{context}: {e}"))?;
         string(row, "technique").map_err(|e| format!("{context}: {e}"))?;
         string(row, "experiment").map_err(|e| format!("{context}: {e}"))?;
         let planned = count(row, "planned").map_err(|e| format!("{context}: {e}"))?;
         let confirmed = count(row, "confirmed").map_err(|e| format!("{context}: {e}"))?;
         let false_acks = count(row, "false_acks").map_err(|e| format!("{context}: {e}"))?;
         let missed_acks = count(row, "missed_acks").map_err(|e| format!("{context}: {e}"))?;
-        rate(row, "false_ack_rate").map_err(|e| format!("{context}: {e}"))?;
-        rate(row, "missed_ack_rate").map_err(|e| format!("{context}: {e}"))?;
+        let false_rate = rate(row, "false_ack_rate").map_err(|e| format!("{context}: {e}"))?;
+        let missed_rate = rate(row, "missed_ack_rate").map_err(|e| format!("{context}: {e}"))?;
         if confirmed > planned || false_acks > planned || missed_acks > planned {
             return Err(format!("{context}: counts exceed the plan size {planned}"));
         }
@@ -285,10 +288,58 @@ fn validate_matrix(root: &BTreeMap<String, Json>) -> Result<usize, String> {
             ));
         }
         // completion_ms is optional-null but must be a finite number if set.
-        match get(row, "completion_ms").map_err(|e| format!("{context}: {e}"))? {
-            Json::Null => {}
-            Json::Num(v) if v.is_finite() && *v >= 0.0 => {}
-            other => return Err(format!("{context}: bad completion_ms {other:?}")),
+        let completion_is_null =
+            match get(row, "completion_ms").map_err(|e| format!("{context}: {e}"))? {
+                Json::Null => true,
+                Json::Num(v) if v.is_finite() && *v >= 0.0 => false,
+                other => return Err(format!("{context}: bad completion_ms {other:?}")),
+            };
+        // Schema 4: per-technique applicability.  A not-applicable cell was
+        // never run and must be an all-zero placeholder; a schema-3 file
+        // predates the flag and must not carry one.
+        match (schema >= 4, row.get("applicable")) {
+            (true, Some(Json::Bool(applicable))) => {
+                if !*applicable
+                    && (planned != 0
+                        || false_rate != 0.0
+                        || missed_rate != 0.0
+                        || !completion_is_null)
+                {
+                    return Err(format!(
+                        "{context}: not-applicable cell carries measurements \
+                         (planned {planned}, rates {false_rate}/{missed_rate}, \
+                         completion null: {completion_is_null})"
+                    ));
+                }
+                if *applicable && fault == "restart" && !restart_drivers.contains(&driver) {
+                    restart_drivers.push(driver);
+                }
+            }
+            (true, other) => {
+                return Err(format!(
+                    "{context}: schema 4 needs a boolean \"applicable\", got {other:?}"
+                ));
+            }
+            (false, Some(_)) => {
+                return Err(format!("{context}: \"applicable\" requires schema 4"));
+            }
+            (false, None) => {
+                if fault == "restart" && !restart_drivers.contains(&driver) {
+                    restart_drivers.push(driver);
+                }
+            }
+        }
+    }
+    // Schema 4 turned restart survival into a load-bearing claim: a results
+    // file that silently dropped the restart column on either driver is
+    // stale or produced by a broken harness.
+    if schema >= 4 {
+        for required in ["simnet", "tcp"] {
+            if !restart_drivers.contains(&required) {
+                return Err(format!(
+                    "schema 4 requires restart rows for both drivers; \"{required}\" is missing"
+                ));
+            }
         }
     }
     Ok(matrix.len())
@@ -299,8 +350,8 @@ fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize, usize
         return Err("document root is not an object".into());
     };
     let schema = match get(root, "schema")? {
-        Json::Num(v) if *v == 2.0 || *v == 3.0 => *v as u32,
-        other => return Err(format!("schema must be 2 or 3, got {other:?}")),
+        Json::Num(v) if *v == 2.0 || *v == 3.0 || *v == 4.0 => *v as u32,
+        other => return Err(format!("schema must be 2, 3 or 4, got {other:?}")),
     };
     let Json::Arr(results) = get(root, "results")? else {
         return Err("\"results\" is not an array".into());
@@ -360,7 +411,7 @@ fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize, usize
     // Schema 3 adds the scenario-matrix section; schema 2 predates it (and
     // is rejected if it smuggles one in anyway).
     let matrix_rows = if schema >= 3 {
-        validate_matrix(root)?
+        validate_matrix(root, schema)?
     } else {
         if root.contains_key("scenario_matrix") {
             return Err("schema 2 must not carry a scenario_matrix section".into());
@@ -489,6 +540,115 @@ mod tests {
         assert!(validate(&doc(&schema3(&phantom)), None)
             .unwrap_err()
             .contains("exceed confirmed"));
+    }
+
+    /// Builds a schema-4 document with the given matrix rows (joined by
+    /// commas by the caller).
+    fn schema4(matrix_rows: &str) -> String {
+        schema3(matrix_rows).replace("\"schema\": 3", "\"schema\": 4")
+    }
+
+    fn with_applicable(row: &str, applicable: bool) -> String {
+        row.replace(
+            "\"completion_ms\":",
+            &format!("\"applicable\": {applicable}, \"completion_ms\":"),
+        )
+    }
+
+    fn restart_row(driver: &str) -> String {
+        with_applicable(
+            &GOOD_ROW.replace("early_reply", "restart").replace(
+                "\"driver\": \"simnet\"",
+                &format!("\"driver\": \"{driver}\""),
+            ),
+            true,
+        )
+    }
+
+    const NA_ROW: &str = r#"{"experiment": "scenario_matrix/simnet/early_reply_reordering/rum-sequential",
+        "driver": "simnet", "fault": "early_reply_reordering", "technique": "rum-sequential",
+        "planned": 0, "confirmed": 0, "false_acks": 0, "missed_acks": 0,
+        "false_ack_rate": 0.0, "missed_ack_rate": 0.0, "applicable": false, "completion_ms": null}"#;
+
+    #[test]
+    fn schema_4_with_restart_rows_on_both_drivers_accepted() {
+        let rows = format!(
+            "{}, {}, {}, {}",
+            with_applicable(GOOD_ROW, true),
+            restart_row("simnet"),
+            restart_row("tcp"),
+            NA_ROW
+        );
+        assert_eq!(validate(&doc(&schema4(&rows)), None), Ok((1, 1, 4)));
+    }
+
+    #[test]
+    fn schema_4_missing_a_restart_driver_is_rejected() {
+        let rows = format!(
+            "{}, {}",
+            with_applicable(GOOD_ROW, true),
+            restart_row("simnet")
+        );
+        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        assert!(err.contains("restart rows"), "{err}");
+        assert!(err.contains("tcp"), "{err}");
+        // A not-applicable restart row does not count as coverage.
+        let na_restart = NA_ROW
+            .replace("early_reply_reordering", "restart")
+            .replace("rum-sequential", "rum-general");
+        let rows = format!(
+            "{}, {}, {}",
+            with_applicable(GOOD_ROW, true),
+            restart_row("simnet"),
+            na_restart
+        );
+        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        assert!(err.contains("restart rows"), "{err}");
+    }
+
+    #[test]
+    fn schema_4_rows_must_carry_the_applicable_flag() {
+        let rows = format!(
+            "{GOOD_ROW}, {}, {}",
+            restart_row("simnet"),
+            restart_row("tcp")
+        );
+        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        assert!(err.contains("applicable"), "{err}");
+    }
+
+    #[test]
+    fn not_applicable_rows_must_be_zero_placeholders() {
+        let loaded = with_applicable(GOOD_ROW, false);
+        let rows = format!(
+            "{loaded}, {}, {}",
+            restart_row("simnet"),
+            restart_row("tcp")
+        );
+        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        assert!(err.contains("not-applicable"), "{err}");
+        // Zero counts are not enough: a smuggled rate or completion time on
+        // a never-run cell is rejected too.
+        for tainted in [
+            NA_ROW.replace("\"false_ack_rate\": 0.0", "\"false_ack_rate\": 0.9"),
+            NA_ROW.replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 0.5"),
+            NA_ROW.replace("\"completion_ms\": null", "\"completion_ms\": 50.0"),
+        ] {
+            let rows = format!(
+                "{tainted}, {}, {}",
+                restart_row("simnet"),
+                restart_row("tcp")
+            );
+            let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+            assert!(err.contains("not-applicable"), "{err}");
+        }
+    }
+
+    #[test]
+    fn schema_3_must_not_carry_applicable() {
+        let row = with_applicable(GOOD_ROW, true);
+        let err = validate(&doc(&schema3(&row)), None).unwrap_err();
+        assert!(err.contains("requires schema 4"), "{err}");
     }
 
     #[test]

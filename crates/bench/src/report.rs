@@ -141,7 +141,7 @@ impl ThroughputRecord {
     }
 }
 
-/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 3):
+/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 4):
 /// the reliability measurement of one (driver, fault model, technique)
 /// combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,6 +166,9 @@ pub struct MatrixRecord {
     pub missed_ack_rate: f64,
     /// Update completion time in ms, when the update completed.
     pub completion_ms: Option<f64>,
+    /// False when the technique's soundness claim does not apply under this
+    /// fault model (the cell was recorded with zero counts, not run).
+    pub applicable: bool,
 }
 
 impl From<&MatrixCell> for MatrixRecord {
@@ -181,6 +184,7 @@ impl From<&MatrixCell> for MatrixRecord {
             false_ack_rate: c.false_ack_rate(),
             missed_ack_rate: c.missed_ack_rate(),
             completion_ms: c.completion_ms,
+            applicable: c.applicable,
         }
     }
 }
@@ -205,12 +209,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document, schema 3
+/// Renders the records as the `BENCH_results.json` document, schema 4
 /// (handwritten JSON — the build environment has no serde):
 ///
 /// ```json
 /// {
-///   "schema": 3,
+///   "schema": 4,
 ///   "results": [
 ///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
 ///      "confirms": n, "runs": n}
@@ -224,7 +228,8 @@ fn json_num(v: f64) -> String {
 ///     {"experiment": "scenario_matrix/<driver>/<fault>/<technique>",
 ///      "driver": "...", "fault": "...", "technique": "...",
 ///      "planned": n, "confirmed": n, "false_acks": n, "missed_acks": n,
-///      "false_ack_rate": f, "missed_ack_rate": f, "completion_ms": f|null}
+///      "false_ack_rate": f, "missed_ack_rate": f, "completion_ms": f|null,
+///      "applicable": true|false}
 ///   ]
 /// }
 /// ```
@@ -233,7 +238,7 @@ pub fn results_json(
     throughput: &[ThroughputRecord],
     matrix: &[MatrixRecord],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": 3,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 4,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -277,7 +282,7 @@ pub fn results_json(
             None => "null".into(),
         };
         out.push_str(&format!(
-            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {}}}{}\n",
+            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {},              \"applicable\": {}}}{}\n",
             r.planned,
             r.confirmed,
             r.false_acks,
@@ -285,6 +290,7 @@ pub fn results_json(
             json_num(r.false_ack_rate),
             json_num(r.missed_ack_rate),
             completion,
+            r.applicable,
             if i + 1 < matrix.len() { "," } else { "" },
             d = json_escape(&r.driver),
             f = json_escape(&r.fault),
@@ -442,6 +448,7 @@ mod tests {
                 false_ack_rate: 0.9,
                 missed_ack_rate: 0.0,
                 completion_ms: Some(812.5),
+                applicable: true,
             },
             MatrixRecord {
                 driver: "tcp".into(),
@@ -454,10 +461,11 @@ mod tests {
                 false_ack_rate: 0.0,
                 missed_ack_rate: 0.3,
                 completion_ms: None,
+                applicable: true,
             },
         ];
         let json = results_json(&records, &throughput, &matrix);
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));
@@ -478,6 +486,7 @@ mod tests {
         assert!(json.contains("\"missed_ack_rate\": 0.300"));
         assert!(json.contains("\"completion_ms\": 812.500"));
         assert!(json.contains("\"completion_ms\": null"));
+        assert!(json.contains("\"applicable\": true"));
         // One trailing comma-less record per section.
         assert_eq!(json.matches("},\n").count(), 3);
     }

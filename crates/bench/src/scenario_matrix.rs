@@ -21,7 +21,7 @@
 
 use controller::scenarios::BulkUpdateScenario;
 use controller::{AckMode, Controller, UpdateSession};
-use ofswitch::{FaultPlan, GroundTruth, SwitchModel};
+use ofswitch::{BarrierMode, FaultPlan, GroundTruth, SwitchModel};
 use rum::{deploy, RumBuilder, SwitchId, SwitchPortMap, TechniqueConfig};
 use rum_tcp::{
     spawn_switch_with, Fabric, ProxyConfig, RumTcpProxy, SwitchHostOptions, TcpUpdateController,
@@ -95,13 +95,34 @@ pub struct FaultModel {
     pub faults: FaultPlan,
 }
 
+/// After how many accepted modifications the restart column's switch
+/// reboots: the middle of the plan, so both sides of the wipe are
+/// represented (confirmed-then-wiped rules and never-delivered ones).
+pub fn restart_after_mods(n_rules: usize) -> u64 {
+    (n_rules as u64).div_ceil(2).max(1)
+}
+
+/// How long a restarted device under test stays down before reattaching.
+///
+/// Two full worst-case data-plane lags: comfortably longer than any
+/// in-flight confirmation timer of the delay heuristics, so every
+/// pre-restart timer has fired (and lied) before the re-issue happens —
+/// which keeps the restart column's verdicts a pure function of the seed on
+/// both drivers instead of a race between wall clocks.
+pub fn restart_reconnect_delay(model: &SwitchModel) -> Duration {
+    model.worst_case_dataplane_lag() * 2
+}
+
 /// The fault models of the sweep, built over `base` (the buggy early-reply
 /// model of the target driver — `hp5406zl` for the simulator, `fast_buggy`
-/// for wall-clock TCP runs).  All four preserve modification order, which
-/// is the domain in which *both* probing techniques are sound; the
-/// reordering adversary (where sequential probing is unsound by design,
-/// paper §3.2.1) is exercised separately in the test suite.
-pub fn fault_models(base: &SwitchModel, seed: u64) -> Vec<FaultModel> {
+/// for wall-clock TCP runs).  The first four preserve modification order
+/// and leave the channel up; `restart` reboots the switch mid-plan (tables
+/// wiped, channel dropped, reconnect after [`restart_reconnect_delay`]);
+/// `early_reply_reordering` additionally lets modifications overtake each
+/// other across barriers — the adversary outside sequential probing's
+/// soundness domain (paper §3.2.1), which the matrix records through
+/// [`technique_applicable`].
+pub fn fault_models(base: &SwitchModel, seed: u64, n_rules: usize) -> Vec<FaultModel> {
     let lag = base.worst_case_dataplane_lag();
     vec![
         FaultModel {
@@ -128,7 +149,37 @@ pub fn fault_models(base: &SwitchModel, seed: u64) -> Vec<FaultModel> {
                 .with_ack_loss(5)
                 .with_ack_duplication(5),
         },
+        FaultModel {
+            name: "restart",
+            model: base.clone(),
+            faults: FaultPlan::seeded(seed).with_restart_after(restart_after_mods(n_rules)),
+        },
+        FaultModel {
+            name: "early_reply_reordering",
+            model: SwitchModel {
+                barrier_mode: BarrierMode::EarlyReplyReordering,
+                ..base.clone()
+            },
+            faults: FaultPlan::seeded(seed),
+        },
     ]
+}
+
+/// Whether a technique's soundness claim even applies under a fault model.
+///
+/// Sequential probing's argument — "the probe rule installed after a batch
+/// vouches for the whole batch" — requires the switch to preserve
+/// modification order; the reordering adversary violates that precondition
+/// by design (paper §3.2.1), so its cell is recorded as not applicable
+/// rather than run: the grid then *shows* where the technique's soundness
+/// boundary lies.  (General probing confirms every rule individually and
+/// stays in scope everywhere.)
+pub fn technique_applicable(technique: &MatrixTechnique, fault: &FaultModel) -> bool {
+    let sequential = matches!(
+        technique,
+        MatrixTechnique::Rum(TechniqueConfig::SequentialProbing { .. })
+    );
+    !sequential || fault.model.barrier_mode.preserves_order()
 }
 
 /// Result of one matrix cell.
@@ -151,6 +202,32 @@ pub struct MatrixCell {
     /// Completion time in ms (update start → last confirmation), when the
     /// update completed.
     pub completion_ms: Option<f64>,
+    /// False when the technique's soundness claim does not apply under this
+    /// fault model (see [`technique_applicable`]); the cell is then recorded
+    /// with zero counts instead of being run.
+    pub applicable: bool,
+}
+
+impl MatrixCell {
+    /// The placeholder recorded for a (technique, fault) pair outside the
+    /// technique's soundness domain.
+    pub fn not_applicable(
+        driver: &'static str,
+        fault: &FaultModel,
+        technique: &MatrixTechnique,
+    ) -> MatrixCell {
+        MatrixCell {
+            driver,
+            fault: fault.name.to_string(),
+            technique: technique.label(),
+            planned: 0,
+            confirmed: 0,
+            false_acks: 0,
+            missed_acks: 0,
+            completion_ms: None,
+            applicable: false,
+        }
+    }
 }
 
 impl MatrixCell {
@@ -197,6 +274,7 @@ fn classify(
         false_acks,
         missed_acks,
         completion_ms,
+        applicable: true,
     }
 }
 
@@ -216,6 +294,11 @@ pub fn run_simnet_cell(
         packets_per_sec: 0,
         model: fault.model.clone(),
         faults: fault.faults.clone(),
+        // Restarted switches come back (only the restart column trips this):
+        // the reboot outlives every pre-restart confirmation timer, then the
+        // reattach replays the handshake and the proxy re-issues unconfirmed
+        // modifications.
+        reconnect_delay: Some(restart_reconnect_delay(&fault.model)),
         ..Default::default()
     };
     let net = scenario.build(&mut sim);
@@ -385,6 +468,7 @@ pub fn run_tcp_cell(technique: &MatrixTechnique, fault: &FaultModel, n_rules: us
             epoch: Some(epoch),
             fabric: Some((fabric.clone(), 0)),
             preinstall: vec![drop_all.clone()],
+            reconnect_delay: Some(restart_reconnect_delay(&fault.model)),
         },
     )
     .expect("device under test connects");
@@ -461,9 +545,13 @@ pub fn run_tcp_cell(technique: &MatrixTechnique, fault: &FaultModel, n_rules: us
 pub fn run_simnet_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
     let base = SwitchModel::hp5406zl();
     let mut cells = Vec::new();
-    for fault in fault_models(&base, seed) {
+    for fault in fault_models(&base, seed, n_rules) {
         for technique in MatrixTechnique::all(&base) {
-            cells.push(run_simnet_cell(&technique, &fault, n_rules, seed));
+            cells.push(if technique_applicable(&technique, &fault) {
+                run_simnet_cell(&technique, &fault, n_rules, seed)
+            } else {
+                MatrixCell::not_applicable("simnet", &fault, &technique)
+            });
         }
     }
     cells
@@ -474,9 +562,13 @@ pub fn run_simnet_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
 pub fn run_tcp_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
     let base = SwitchModel::fast_buggy();
     let mut cells = Vec::new();
-    for fault in fault_models(&base, seed) {
+    for fault in fault_models(&base, seed, n_rules) {
         for technique in MatrixTechnique::all(&base) {
-            cells.push(run_tcp_cell(&technique, &fault, n_rules));
+            cells.push(if technique_applicable(&technique, &fault) {
+                run_tcp_cell(&technique, &fault, n_rules)
+            } else {
+                MatrixCell::not_applicable("tcp", &fault, &technique)
+            });
         }
     }
     cells
@@ -511,10 +603,12 @@ pub fn render_grid(cells: &[MatrixCell]) -> String {
                     .iter()
                     .find(|c| c.fault == fault && c.technique == *t)
                     .expect("cell exists");
-                out.push_str(&format!(
-                    "{:>16}",
+                let rendered = if cell.applicable {
                     format!("{}/{}", cell.false_acks, cell.missed_acks)
-                ));
+                } else {
+                    "n/a".to_string()
+                };
+                out.push_str(&format!("{rendered:>16}"));
             }
             out.push('\n');
         }
@@ -526,12 +620,54 @@ pub fn render_grid(cells: &[MatrixCell]) -> String {
 mod tests {
     use super::*;
 
+    /// Applicability marks exactly sequential probing × order-violating
+    /// adversaries as out of scope; everything else runs everywhere.
+    #[test]
+    fn applicability_tracks_the_order_preservation_boundary() {
+        let base = SwitchModel::hp5406zl();
+        let models = fault_models(&base, 42, 10);
+        let names: Vec<&str> = models.iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "early_reply",
+                "silent_drop",
+                "sync_burst",
+                "ack_lossdup",
+                "restart",
+                "early_reply_reordering"
+            ]
+        );
+        let sequential = MatrixTechnique::Rum(TechniqueConfig::SequentialProbing {
+            batch_size: 3,
+            probe_interval: Duration::from_millis(10),
+        });
+        let general = MatrixTechnique::Rum(TechniqueConfig::default_general());
+        for fault in &models {
+            let seq_ok = technique_applicable(&sequential, fault);
+            assert_eq!(
+                seq_ok,
+                fault.name != "early_reply_reordering",
+                "sequential under {}",
+                fault.name
+            );
+            assert!(technique_applicable(&MatrixTechnique::BarrierOnly, fault));
+            assert!(technique_applicable(&general, fault));
+        }
+        assert_eq!(restart_after_mods(10), 5);
+        assert_eq!(restart_after_mods(1), 1);
+        let na = MatrixCell::not_applicable("simnet", &models[5], &sequential);
+        assert!(!na.applicable);
+        assert_eq!(na.planned, 0);
+        assert_eq!(na.false_ack_rate(), 0.0);
+    }
+
     /// The matrix's load-bearing cells, at reduced scale: the barrier-only
     /// baseline lies under early replies, the probing techniques never do.
     #[test]
     fn simnet_baseline_lies_probing_does_not() {
         let base = SwitchModel::hp5406zl();
-        let early = &fault_models(&base, 42)[0];
+        let early = &fault_models(&base, 42, 8)[0];
         assert_eq!(early.name, "early_reply");
 
         let baseline = run_simnet_cell(&MatrixTechnique::BarrierOnly, early, 8, 42);
@@ -563,7 +699,7 @@ mod tests {
                 (0..8).any(|i| f.drops_cookie(BulkUpdateScenario::rule_cookie(i)))
             })
             .expect("some seed wedges");
-        let models = fault_models(&base, seed);
+        let models = fault_models(&base, seed, 8);
         let drop = models.iter().find(|f| f.name == "silent_drop").unwrap();
 
         let baseline = run_simnet_cell(&MatrixTechnique::BarrierOnly, drop, 8, seed);

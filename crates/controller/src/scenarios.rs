@@ -275,6 +275,9 @@ pub struct BulkUpdateScenario {
     /// loss/duplication, restart) — the adversary knob of the scenario
     /// matrix.
     pub faults: FaultPlan,
+    /// How long a restarted device under test stays down before it
+    /// reattaches and replays the handshake (`None` = stays down forever).
+    pub reconnect_delay: Option<std::time::Duration>,
     /// Behaviour model of the two helper switches.
     pub edge_model: SwitchModel,
 }
@@ -288,6 +291,7 @@ impl Default for BulkUpdateScenario {
             traffic_stop: SimTime::from_secs(4),
             model: SwitchModel::hp5406zl(),
             faults: FaultPlan::none(),
+            reconnect_delay: None,
             edge_model: SwitchModel::faithful(),
         }
     }
@@ -381,6 +385,7 @@ impl BulkUpdateScenario {
             self.model.clone(),
             self.faults.clone(),
         );
+        sw_b.set_reconnect_delay(self.reconnect_delay);
         let mut sw_c = OpenFlowSwitch::new("C", DatapathId::new(0xc), 2, self.edge_model.clone());
 
         // Helper switches forward everything towards the destination; the

@@ -30,7 +30,16 @@ struct ControllerState {
     send_bufs: Vec<Vec<u8>>,
     /// Reusable effects buffer for session drains.
     effects: Vec<SessionEffect>,
-    accepted: usize,
+    /// Which `ConnId` slots currently have a live connection.  A switch
+    /// that drops its connection (e.g. the restart fault) frees its slot;
+    /// the reconnect claims the lowest free slot again, so a single
+    /// restarted switch reattaches under its original `ConnId`.
+    attached: Vec<bool>,
+    /// Per-slot attach generation, so a thread outliving its connection
+    /// cannot tear down the slot's newer connection.
+    generation: Vec<u64>,
+    /// Total connections ever attached (reconnects included).
+    total_accepted: usize,
     started: bool,
 }
 
@@ -41,7 +50,6 @@ struct Inner {
     timers: TimerQueue,
     stop: AtomicBool,
     epoch: Instant,
-    n_connections: usize,
 }
 
 impl Inner {
@@ -104,7 +112,7 @@ impl Inner {
     fn maybe_start(self: &Arc<Self>) {
         let ready = {
             let mut st = self.state.lock().unwrap();
-            if st.accepted == self.n_connections && !st.started {
+            if st.attached.iter().all(|&a| a) && !st.started {
                 st.started = true;
                 true
             } else {
@@ -182,14 +190,15 @@ impl TcpUpdateController {
                     .collect(),
                 send_bufs: (0..n_connections).map(|_| Vec::new()).collect(),
                 effects: Vec::new(),
-                accepted: 0,
+                attached: vec![false; n_connections],
+                generation: vec![0; n_connections],
+                total_accepted: 0,
                 started: false,
             }),
             done: Condvar::new(),
             timers: TimerQueue::new(),
             stop: AtomicBool::new(false),
             epoch: self.epoch,
-            n_connections,
         });
 
         let timer_thread = {
@@ -213,17 +222,28 @@ impl TcpUpdateController {
                 let Ok(stream) = incoming else {
                     continue;
                 };
-                let conn = {
+                let (conn, generation) = {
                     let mut st = accept_inner.state.lock().unwrap();
-                    if st.accepted >= accept_inner.n_connections {
-                        // Surplus connection: drop it.
+                    // Claim the lowest free slot; a switch that dropped its
+                    // connection (switch restart) reattaches under its
+                    // original ConnId.  Surplus connections are dropped.
+                    //
+                    // Limitation: the mapping is positional, not
+                    // authenticated — with several switches down at once,
+                    // whoever re-dials first gets the lowest freed slot.
+                    // Deployments that restart more than one switch
+                    // concurrently need datapath-id re-identification from
+                    // a features handshake, which this prototype (like the
+                    // paper's) does not perform.
+                    let Some(slot) = st.attached.iter().position(|&a| !a) else {
                         continue;
-                    }
-                    let conn = ConnId::new(st.accepted);
-                    st.accepted += 1;
-                    conn
+                    };
+                    st.attached[slot] = true;
+                    st.generation[slot] += 1;
+                    st.total_accepted += 1;
+                    (ConnId::new(slot), st.generation[slot])
                 };
-                attach_connection(&accept_inner, conn, stream);
+                attach_connection(&accept_inner, conn, generation, stream);
                 accept_inner.maybe_start();
             }
         });
@@ -238,15 +258,24 @@ impl TcpUpdateController {
 }
 
 /// Wires one accepted switch connection: a writer thread draining the
-/// conn's outbox and a reader thread feeding the session.
-fn attach_connection(inner: &Arc<Inner>, conn: ConnId, stream: TcpStream) {
+/// conn's outbox and a reader thread feeding the session.  Either thread
+/// ending detaches the slot so a restarted switch can reconnect under the
+/// same `ConnId`; messages sent meanwhile buffer in the pending route and
+/// flush on reattach.
+fn attach_connection(inner: &Arc<Inner>, conn: ConnId, generation: u64, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let reader = stream.try_clone().expect("clone switch stream");
     let (tx, rx) = channel::<Vec<u8>>();
     inner.state.lock().unwrap().routes[conn.index()].connect(tx);
     // A failed write ends the writer loop gracefully; the session-level
     // failure policy (timeout → retry → abort) handles the silent switch.
-    std::thread::spawn(move || writer_loop(rx, stream));
+    {
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            writer_loop(rx, stream);
+            detach_connection(&inner, conn, generation);
+        });
+    }
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
@@ -256,8 +285,22 @@ fn attach_connection(inner: &Arc<Inner>, conn: ConnId, stream: TcpStream) {
                         .map(|message| SessionInput::FromSwitch { conn, message }),
                 );
             });
+            detach_connection(&inner, conn, generation);
         });
     }
+}
+
+/// Frees one slot after its connection died: resets the route to buffering
+/// mode (the writer thread drains what was already queued, shuts the socket
+/// down and exits — see `writer_loop`) and marks the slot free for a
+/// reconnect.  Generation-guarded and idempotent.
+fn detach_connection(inner: &Arc<Inner>, conn: ConnId, generation: u64) {
+    let mut st = inner.state.lock().unwrap();
+    if !st.attached[conn.index()] || st.generation[conn.index()] != generation {
+        return;
+    }
+    st.attached[conn.index()] = false;
+    st.routes[conn.index()] = Route::Pending(Vec::new());
 }
 
 /// A handle to a running TCP update controller.
@@ -270,9 +313,9 @@ pub struct TcpControllerHandle {
 }
 
 impl TcpControllerHandle {
-    /// Number of switch connections accepted so far.
+    /// Number of switch connections accepted so far (reconnects included).
     pub fn connections(&self) -> usize {
-        self.inner.state.lock().unwrap().accepted
+        self.inner.state.lock().unwrap().total_accepted
     }
 
     /// Runs `f` against the session under the lock — the unified inspection

@@ -317,7 +317,12 @@ impl RumTcpProxy {
                 let Ok(controller_stream) = TcpStream::connect(controller_addr) else {
                     // Controller unavailable: free the slot and drop the
                     // switch connection so it retries, like any proxy would.
-                    accept_inner.state.lock().unwrap().attached[slot] = false;
+                    // Roll the generation back too — this claim never became
+                    // an attach, and a generation > 1 on the next successful
+                    // attach would be misread as a restart reconnect.
+                    let mut st = accept_inner.state.lock().unwrap();
+                    st.attached[slot] = false;
+                    st.generation[slot] -= 1;
                     continue;
                 };
                 accept_inner
@@ -331,6 +336,14 @@ impl RumTcpProxy {
                     switch_stream,
                     controller_stream,
                 );
+                if generation > 1 {
+                    // The slot was attached before: this is a restarted
+                    // switch reattaching.  Tell the engine so it re-installs
+                    // its catch/probe rules and re-issues every unconfirmed
+                    // controller modification on the fresh channel.
+                    let switch = SwitchId::new(slot);
+                    accept_inner.apply(|r, fx| r.on_switch_reconnected_into(switch, fx));
+                }
             }
         });
 
@@ -363,10 +376,9 @@ fn attach_connection(
     let (controller_tx, controller_rx) = channel::<Vec<u8>>();
     {
         let mut st = inner.state.lock().unwrap();
-        st.routes[switch.index()].to_switch.connect(switch_tx);
-        st.routes[switch.index()]
-            .to_controller
-            .connect(controller_tx);
+        let routes = &mut st.routes[switch.index()];
+        routes.to_switch.connect(switch_tx);
+        routes.to_controller.connect(controller_tx);
     }
 
     // Writer failures (peer hung up mid-write) detach the connection pair
@@ -414,11 +426,12 @@ fn attach_connection(
     }
 }
 
-/// Tears down one switch's connection pair: resets the routes (dropping the
-/// writer channels, which ends the writer threads and closes both sockets)
-/// and frees the slot so the switch can reconnect.  Idempotent — whichever
-/// of the pair's four threads exits first wins, and a thread from a
-/// previous attach (stale `generation`) is a no-op so it can never tear
+/// Tears down one switch's connection pair: resets the routes — dropping
+/// the writer channels, which lets each writer thread drain what was
+/// already routed, shut its socket down (unblocking the peers' readers)
+/// and exit — and frees the slot so the switch can reconnect.  Idempotent —
+/// whichever of the pair's four threads exits first wins, and a thread from
+/// a previous attach (stale `generation`) is a no-op so it can never tear
 /// down a newer connection on the same slot.  Engine state (pending
 /// barriers, unconfirmed rules) survives the reconnect.
 fn detach_connection(inner: &Arc<Inner>, switch: SwitchId, generation: u64) {
@@ -440,15 +453,22 @@ const MAX_COALESCED_WRITE: usize = 256 * 1024;
 /// coalesced into a single `write_all`, so a burst of engine drains costs
 /// one syscall, not one per drain.  A failed write ends the loop gracefully
 /// (the caller detaches the connection and the reconnect logic takes over).
+///
+/// On exit the socket is shut down in both directions.  This is
+/// load-bearing for reconnects: dropping the stream alone leaves the fd
+/// open through the reader's clone, so the *peer* would never see EOF and
+/// never free its slot.  And because an mpsc receiver keeps yielding queued
+/// messages after every sender is dropped, a detach (which drops the
+/// sender) lets the writer drain everything already routed — e.g. the acks
+/// for barrier replies a restarting switch flushed with its dying breath —
+/// before the FIN goes out.
 pub(crate) fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream) {
-    loop {
+    // `recv` keeps yielding queued chunks after the senders are dropped
+    // (detach), then errors — that is the drain.
+    while let Ok(mut pending) = rx.recv() {
         // The first chunk is written from its own allocation (no copy —
         // the common keeping-up case); only chunks that queued up behind
         // an in-flight write get appended to it.
-        let mut pending = match rx.recv() {
-            Ok(chunk) => chunk,
-            Err(_) => return, // routes dropped: connection was detached
-        };
         while pending.len() < MAX_COALESCED_WRITE {
             match rx.try_recv() {
                 Ok(chunk) => pending.extend_from_slice(&chunk),
@@ -456,9 +476,10 @@ pub(crate) fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream) {
             }
         }
         if stream.write_all(&pending).is_err() {
-            return;
+            break;
         }
     }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// Reads OpenFlow frames off a socket and hands every batch decoded from
@@ -703,5 +724,116 @@ mod tests {
     fn wait_for_times_out() {
         assert!(!wait_for(|| false, Duration::from_millis(30)));
         assert!(wait_for(|| true, Duration::from_millis(30)));
+    }
+
+    /// A writer/reader thread from a *previous* attach that dies late (its
+    /// socket lingered past the reconnect) must not tear down the slot's
+    /// new connection: `detach_connection` is generation-guarded.
+    #[test]
+    fn stale_thread_death_cannot_detach_a_reconnected_slot() {
+        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller_addr = controller_listener.local_addr().unwrap();
+        let proxy = RumTcpProxy::new(
+            ProxyConfig {
+                listen_addr: "127.0.0.1:0".parse().unwrap(),
+                controller_addr,
+            },
+            RumBuilder::new(1).technique(TechniqueConfig::BarrierBaseline),
+        );
+        let handle = proxy.start().unwrap();
+        let sw = SwitchId::new(0);
+
+        let first = TcpStream::connect(handle.local_addr).unwrap();
+        assert!(wait_for(
+            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2),
+        ));
+        drop(first);
+        let mut second = None;
+        assert!(wait_for(
+            || {
+                if handle.counters().connections.load(Ordering::SeqCst) >= 2 {
+                    return true;
+                }
+                second = TcpStream::connect(handle.local_addr).ok();
+                false
+            },
+            Duration::from_secs(3),
+        ));
+        assert!(wait_for(
+            || handle.inner.state.lock().unwrap().attached[sw.index()],
+            Duration::from_secs(2),
+        ));
+        let gen_now = handle.inner.state.lock().unwrap().generation[sw.index()];
+        assert!(gen_now >= 2, "reconnect bumped the generation");
+
+        // A thread from the first attach (generation 1) reports its death
+        // only now: the newer connection must survive.
+        detach_connection(&handle.inner, sw, 1);
+        {
+            let st = handle.inner.state.lock().unwrap();
+            assert!(st.attached[sw.index()], "stale detach must be a no-op");
+            assert!(
+                matches!(st.routes[sw.index()].to_switch, Route::Connected(_)),
+                "the reconnected route must stay live"
+            );
+        }
+        // The *current* generation still detaches normally.
+        detach_connection(&handle.inner, sw, gen_now);
+        assert!(!handle.inner.state.lock().unwrap().attached[sw.index()]);
+        handle.shutdown();
+    }
+
+    /// A switch that restarts repeatedly reattaches to the same SwitchId
+    /// every time, and every reattach (generation > 1) re-feeds the engine —
+    /// visible as one SwitchReconnected per reconnect in the stats.
+    #[test]
+    fn duplicate_reconnects_from_the_same_switch_id() {
+        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller_addr = controller_listener.local_addr().unwrap();
+        let proxy = RumTcpProxy::new(
+            ProxyConfig {
+                listen_addr: "127.0.0.1:0".parse().unwrap(),
+                controller_addr,
+            },
+            RumBuilder::new(1).technique(TechniqueConfig::BarrierBaseline),
+        );
+        let handle = proxy.start().unwrap();
+        let sw = SwitchId::new(0);
+
+        let mut conn = Some(TcpStream::connect(handle.local_addr).unwrap());
+        assert!(wait_for(
+            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2),
+        ));
+        for round in 2..=3u64 {
+            drop(conn.take());
+            // Wait until the proxy noticed the death and freed the slot, so
+            // the next dial deterministically claims it.
+            assert!(
+                wait_for(
+                    || !handle.inner.state.lock().unwrap().attached[sw.index()],
+                    Duration::from_secs(3),
+                ),
+                "round {round}: the dead connection must free its slot"
+            );
+            conn = Some(TcpStream::connect(handle.local_addr).unwrap());
+            assert!(
+                wait_for(
+                    || handle.counters().connections.load(Ordering::SeqCst) == round,
+                    Duration::from_secs(3),
+                ),
+                "reconnect {round} must be accepted"
+            );
+            assert!(wait_for(
+                || handle.stats(sw).reconnects == round - 1,
+                Duration::from_secs(2),
+            ));
+        }
+        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 3);
+        assert_eq!(handle.stats(sw).reconnects, 2);
+        // All three attaches used the single engine slot.
+        assert_eq!(handle.inner.state.lock().unwrap().generation[sw.index()], 3);
+        handle.shutdown();
     }
 }

@@ -165,6 +165,11 @@ pub struct SwitchHostOptions {
     /// Rules installed in both tables before serving (the paper pre-installs
     /// drop-all and initial-path rules the same way).
     pub preinstall: Vec<FlowMod>,
+    /// After the restart fault tears the connection down, how long the
+    /// switch stays down before it re-dials the same address, reattaches
+    /// the behaviour engine and replays the OpenFlow handshake.  `None`
+    /// (the default) leaves it down forever — the pre-reconnect behaviour.
+    pub reconnect_delay: Option<Duration>,
 }
 
 impl Default for SwitchHostOptions {
@@ -174,6 +179,7 @@ impl Default for SwitchHostOptions {
             epoch: None,
             fabric: None,
             preinstall: Vec::new(),
+            reconnect_delay: None,
         }
     }
 }
@@ -198,7 +204,7 @@ pub fn spawn_switch_with(
     let thread = {
         let counters = Arc::clone(&counters);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || serve(stream, model, options, &counters, &stop))
+        std::thread::spawn(move || run(stream, addr, model, options, &counters, &stop))
     };
     Ok(SocketSwitchHandle {
         counters,
@@ -245,11 +251,28 @@ struct Host {
     actions: Vec<BehaviorAction>,
     reply_buf: Vec<u8>,
     disconnect: bool,
+    /// True between our reattach `Hello` going out and the peer's `Hello`
+    /// coming back; that reply completes the handshake and must not be
+    /// answered with yet another `Hello` (the two sides would ping-pong).
+    hello_pending: bool,
 }
 
 impl Host {
     fn now(&self) -> Duration {
         self.epoch.elapsed()
+    }
+
+    /// Queues a fresh switch-side handshake `Hello` for the next
+    /// connection (used when a re-dial attempt died before delivering the
+    /// one the reattach queued).
+    fn queue_hello(&mut self) {
+        let seq = self.next_defer_seq;
+        self.next_defer_seq += 1;
+        self.deferred.push(DeferredReply {
+            at: self.now(),
+            seq,
+            message: OfMessage::Hello { xid: 0 },
+        });
     }
 
     /// Drains engine actions into the deferred-reply heap.
@@ -264,7 +287,18 @@ impl Host {
                 BehaviorAction::Activated { .. } | BehaviorAction::Deactivated { .. } => {
                     // Recorded in the engine's ground truth; nothing to send.
                 }
-                BehaviorAction::Disconnect { .. } => {
+                BehaviorAction::Restarted { at } => {
+                    // Replies the serial control plane emitted *before* the
+                    // reboot instant logically left the switch already —
+                    // they sit in the deferred heap only because wall time
+                    // lags model time.  Flush them ahead of the close (the
+                    // simulator delivers them the same way); anything later
+                    // dies with the reboot.
+                    while self.deferred.peek().is_some_and(|r| r.at <= at) {
+                        let r = self.deferred.pop().expect("peeked");
+                        let _ = r.message.encode_into(&mut self.reply_buf);
+                    }
+                    self.deferred.clear();
                     self.disconnect = true;
                 }
             }
@@ -352,7 +386,8 @@ impl Host {
     /// A packet arriving on the data plane (from the fabric or OFPP_TABLE):
     /// look it up in the lagging data-plane table and forward.
     fn forward_via_table(&mut self, header: PacketHeader, in_port: PortNo) {
-        let verdict = self.behavior.classify_packet(&header, in_port, 64);
+        let now = self.now();
+        let verdict = self.behavior.classify_packet(now, &header, in_port, 64);
         if !verdict.matched {
             return; // no miss_send_len plumbing on the TCP host
         }
@@ -386,16 +421,29 @@ impl Host {
     }
 }
 
-fn serve(
-    mut stream: TcpStream,
+/// Sleeps for `delay` in small slices, returning early when `stop` is set.
+fn interruptible_sleep(delay: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + delay;
+    while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(2).min(deadline - Instant::now()));
+    }
+}
+
+/// The switch's whole life: serve one connection until it ends; when the
+/// ending was the restart fault and a reconnect delay is configured, stay
+/// down for that long, reattach the behaviour engine (which replays the
+/// switch-side `Hello`), re-dial the same address and keep serving — the
+/// same switch identity, rebooted with empty tables.
+fn run(
+    first_stream: TcpStream,
+    addr: SocketAddr,
     model: SwitchModel,
     options: SwitchHostOptions,
     counters: &SwitchCounters,
     stop: &AtomicBool,
 ) -> SwitchReport {
-    let _ = stream.set_nodelay(true);
     let epoch = options.epoch.unwrap_or_else(Instant::now);
-    let mut behavior = Behavior::new(model, options.faults);
+    let mut behavior = Behavior::new(model, options.faults.clone());
     for fm in &options.preinstall {
         behavior.preinstall(fm);
     }
@@ -406,18 +454,101 @@ fn serve(
     let mut host = Host {
         behavior,
         epoch,
-        fabric: options.fabric,
+        fabric: options.fabric.clone(),
         fabric_rx,
         deferred: BinaryHeap::new(),
         next_defer_seq: 0,
         actions: Vec::new(),
         reply_buf: Vec::new(),
         disconnect: false,
+        hello_pending: false,
     };
 
+    let mut stream = Some(first_stream);
+    // Consecutive post-reboot connections that died before a single message
+    // was exchanged: the listener accepted and immediately dropped us
+    // because the old connection's slot was not freed yet.  Bounded so a
+    // peer that is genuinely gone ends the loop (~3 s of attempts).
+    let mut barren_redials: u32 = 0;
+    while let Some(conn) = stream.take() {
+        let got_any = serve_conn(conn, &mut host, counters, stop);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if host.disconnect {
+            // The restart fault: stay down for the reboot, reattach the
+            // engine (queueing the handshake Hello for the next
+            // connection), then re-dial below.
+            let Some(delay) = options.reconnect_delay else {
+                break;
+            };
+            host.disconnect = false;
+            barren_redials = 0;
+            interruptible_sleep(delay, stop);
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut actions = std::mem::take(&mut host.actions);
+            host.behavior.reattach(host.now(), &mut actions);
+            host.actions = actions;
+            host.absorb_actions();
+        } else if host.behavior.counters().reattaches > 0 && !got_any && barren_redials < 300 {
+            // A freshly re-dialed connection died silently: the peer's
+            // accept loop found no free slot (the old pair's teardown had
+            // not finished) and dropped us.  Queue a fresh handshake Hello
+            // — the previous one went into the dead socket — and dial
+            // again shortly.
+            barren_redials += 1;
+            interruptible_sleep(Duration::from_millis(10), stop);
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            host.queue_hello();
+        } else {
+            break;
+        }
+        host.hello_pending = true;
+        while !stop.load(Ordering::SeqCst) {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => interruptible_sleep(Duration::from_millis(10), stop),
+            }
+        }
+    }
+    // Settle the data plane so the report reflects everything the control
+    // plane accepted (minus wedged rules, which never apply by design) —
+    // including batches whose synchronisation was burst-delayed far beyond
+    // the nominal worst case.
+    if !host.disconnect {
+        let mut actions = Vec::new();
+        host.behavior.settle(host.now(), &mut actions);
+    }
+    SwitchReport {
+        control_rules: host.behavior.control_table().len(),
+        data_rules: host.behavior.data_table().len(),
+        truth: host.behavior.ground_truth().clone(),
+    }
+}
+
+/// Serves one TCP connection of the switch's life; returns when the peer
+/// hangs up, `stop` is set, or the restart fault fires (`host.disconnect`).
+/// The return value is true when at least one OpenFlow message arrived on
+/// this connection — false distinguishes an accepted-then-dropped dial
+/// (peer had no free slot yet) from a served connection that later died.
+fn serve_conn(
+    mut stream: TcpStream,
+    host: &mut Host,
+    counters: &SwitchCounters,
+    stop: &AtomicBool,
+) -> bool {
+    let _ = stream.set_nodelay(true);
     let mut codec = OfCodec::new();
     let mut buf = [0u8; 4096];
     let mut msgs: Vec<OfMessage> = Vec::new();
+    let mut got_any = false;
 
     'serve: loop {
         if stop.load(Ordering::SeqCst) {
@@ -444,7 +575,9 @@ fn serve(
             }
         }
         if host.disconnect {
-            // The restart fault: tear the control channel down.
+            // The restart fault: tear the control channel down.  The caller
+            // decides whether the switch comes back.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
             break 'serve;
         }
 
@@ -464,6 +597,7 @@ fn serve(
         codec.feed(&buf[..n]);
         msgs.clear();
         let framing_ok = codec.drain_messages_into(&mut msgs).is_ok();
+        got_any |= !msgs.is_empty();
         for msg in msgs.drain(..) {
             let now = host.now();
             match msg {
@@ -484,7 +618,13 @@ fn serve(
                     let _ = OfMessage::EchoReply { xid, data }.encode_into(&mut host.reply_buf);
                 }
                 OfMessage::Hello { xid } => {
-                    let _ = OfMessage::Hello { xid }.encode_into(&mut host.reply_buf);
+                    // A Hello answering our reattach Hello completes the
+                    // handshake; answering it again would ping-pong forever.
+                    if host.hello_pending {
+                        host.hello_pending = false;
+                    } else {
+                        let _ = OfMessage::Hello { xid }.encode_into(&mut host.reply_buf);
+                    }
                 }
                 OfMessage::PacketOut { body, .. } => host.execute_packet_out(body),
                 _ => {}
@@ -503,19 +643,7 @@ fn serve(
             break;
         }
     }
-    // Settle the data plane so the report reflects everything the control
-    // plane accepted (minus wedged rules, which never apply by design) —
-    // including batches whose synchronisation was burst-delayed far beyond
-    // the nominal worst case.
-    if !host.disconnect {
-        let mut actions = Vec::new();
-        host.behavior.settle(host.now(), &mut actions);
-    }
-    SwitchReport {
-        control_rules: host.behavior.control_table().len(),
-        data_rules: host.behavior.data_table().len(),
-        truth: host.behavior.ground_truth().clone(),
-    }
+    got_any
 }
 
 #[cfg(test)]

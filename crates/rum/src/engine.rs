@@ -34,6 +34,7 @@ use crate::probe::catch_rule;
 use crate::sequential::SequentialProbing;
 use crate::technique::{AckTechnique, TechniqueOutput};
 use crate::technique::{AdaptiveDelay, BarrierBaseline, StaticTimeout};
+use openflow::messages::FlowMod;
 use openflow::{OfMessage, PacketHeader, Xid};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -114,6 +115,15 @@ pub enum Input {
         /// The token from the arming effect.
         token: TimerToken,
     },
+    /// Switch `switch` re-established its control channel after a restart
+    /// (table wiped, connection dropped).  The engine re-installs its own
+    /// rules (probe-catch), re-issues every unconfirmed controller
+    /// modification so in-flight update plans converge instead of timing
+    /// out, and lets the technique re-arm its confirmation machinery.
+    SwitchReconnected {
+        /// The switch that reattached.
+        switch: SwitchId,
+    },
     /// The clock advanced with nothing else to report.  Drivers without
     /// fine-grained timer callbacks may tick periodically; the engine uses
     /// ticks to re-examine deferred work (e.g. barrier releases).
@@ -189,6 +199,11 @@ pub struct ProxyStats {
     /// Controller messages rejected because their xid collided with RUM's
     /// reserved range (≥ [`PROXY_XID_BASE`]).
     pub rejected_xids: u64,
+    /// Switch reconnects the engine re-converged after
+    /// ([`Input::SwitchReconnected`]).
+    pub reconnects: u64,
+    /// Unconfirmed controller modifications re-issued on reconnects.
+    pub reissued_flow_mods: u64,
 }
 
 /// One confirmation the engine emitted, with the time it happened — the
@@ -222,16 +237,25 @@ struct PendingBarrier {
     switch_replied: bool,
 }
 
+/// One unconfirmed controller modification: its insertion sequence (for
+/// barrier covers) plus the flow-mod body, retained so a switch restart can
+/// be healed by re-issuing exactly what the controller asked for.
+struct UnconfirmedMod {
+    seq: u64,
+    flow_mod: FlowMod,
+}
+
 /// Per-monitored-switch engine state.
 ///
 /// Memory stays bounded by the amount of *outstanding* work: resolved
 /// cookies decrement the pending barriers' counters instead of accumulating
-/// in ever-growing "confirmed" sets, so a long-running deployment (the TCP
-/// proxy) does not leak per-modification state.
+/// in ever-growing "confirmed" sets, and a confirmation drops the retained
+/// flow-mod body, so a long-running deployment (the TCP proxy) does not leak
+/// per-modification state.
 struct SwitchState {
     technique: Box<dyn AckTechnique>,
-    /// Unconfirmed modification cookies → event sequence at insertion.
-    unconfirmed: HashMap<u64, u64>,
+    /// Unconfirmed modification cookies → insertion sequence + retained body.
+    unconfirmed: HashMap<u64, UnconfirmedMod>,
     /// Per-switch counter ordering unconfirmed insertions and barrier
     /// creations against each other.
     next_event_seq: u64,
@@ -408,6 +432,9 @@ impl RumEngine {
             Input::TimerFired { token } => {
                 self.on_timer(token, now, effects);
             }
+            Input::SwitchReconnected { switch } => {
+                self.on_switch_reconnected(switch, now, effects);
+            }
             Input::Tick => {
                 // Nothing is time-deferred outside timers today; re-examine
                 // barrier releases so drivers may tick instead of tracking
@@ -499,10 +526,14 @@ impl RumEngine {
                 state.stats.controller_flow_mods += 1;
                 // Record the insertion sequence so later barriers know they
                 // cover this modification (fresh cookies only: a re-sent
-                // unconfirmed cookie keeps its original position).
+                // unconfirmed cookie keeps its original position), and
+                // retain the body so a switch restart can re-issue it.
                 let seq = state.next_event_seq;
                 if let std::collections::hash_map::Entry::Vacant(e) = state.unconfirmed.entry(id) {
-                    e.insert(seq);
+                    e.insert(UnconfirmedMod {
+                        seq,
+                        flow_mod: body.clone(),
+                    });
                     state.next_event_seq += 1;
                 }
                 // Run the technique on the borrowed body first, then move
@@ -593,6 +624,17 @@ impl RumEngine {
             OfMessage::PacketIn { ref body, .. } => {
                 match PacketHeader::from_bytes(&body.data) {
                     Ok(header) if self.config.probe_plan.is_probe_tos(header.nw_tos) => {
+                        // Only a punt performed by a rule's explicit
+                        // to-controller action can vouch for the data plane:
+                        // a probe-marked packet punted for a *table miss*
+                        // (e.g. a restarted switch whose wiped table no
+                        // longer holds even the drop-all rule) proves
+                        // nothing and must not be mistaken for a probe
+                        // return.  Either way the packet is RUM's own and
+                        // never reaches the controller.
+                        if body.reason != openflow::constants::packet_in_reason::ACTION {
+                            return;
+                        }
                         self.switches[i].stats.probes_consumed += 1;
                         // Probes may belong to any monitored switch's
                         // technique; each technique ignores probes that are
@@ -622,8 +664,8 @@ impl RumEngine {
                     // appear in the data plane, so treat it as resolved for
                     // barrier purposes and pass the error through.
                     let id = u64::from(xid);
-                    if let Some(seq) = self.switches[i].unconfirmed.remove(&id) {
-                        self.switches[i].resolve_cookie(seq);
+                    if let Some(m) = self.switches[i].unconfirmed.remove(&id) {
+                        self.switches[i].resolve_cookie(m.seq);
                     }
                     effects.push(Effect::ToController {
                         via: switch,
@@ -656,6 +698,82 @@ impl RumEngine {
             .technique
             .on_timer(tech_token, now, &mut out);
         self.apply_outputs(SwitchId::new(switch), &mut out, now, effects);
+        self.tech_out = out;
+    }
+
+    // ------------------------------------------------------------------
+    // Reconnect re-convergence
+    // ------------------------------------------------------------------
+
+    /// A restarted switch reattached: the restart wiped its tables (the
+    /// catch rule, probe rules, and every not-yet-synced controller rule),
+    /// so the engine rebuilds its side of the world on the fresh channel:
+    ///
+    /// 1. re-install the probe-catch rule (probing techniques);
+    /// 2. re-issue every unconfirmed controller modification, oldest first
+    ///    — confirmed rules were acknowledged while demonstrably in the
+    ///    data plane and are the controller's to re-plan, but unconfirmed
+    ///    ones are still RUM's promise to resolve;
+    /// 3. re-forward every withheld controller barrier the switch never
+    ///    answered — the original requests died with the channel, and a
+    ///    reliable barrier releases only once the switch's own reply has
+    ///    arrived *and* its covered modifications confirmed;
+    /// 4. let the technique re-arm (fresh barriers, re-versioned probe
+    ///    rule) so the re-issued modifications actually confirm.
+    fn on_switch_reconnected(
+        &mut self,
+        switch: SwitchId,
+        now: Duration,
+        effects: &mut Vec<Effect>,
+    ) {
+        let i = switch.index();
+        if i >= self.switches.len() {
+            return;
+        }
+        self.switches[i].stats.reconnects += 1;
+        if self.config.technique.is_probing() {
+            let xid = self.fresh_xid();
+            let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
+            self.switches[i].stats.proxy_flow_mods += 1;
+            effects.push(Effect::ToSwitch {
+                switch,
+                message: OfMessage::FlowMod { xid, body: fm },
+            });
+        }
+        let mut pending: Vec<(u64, u64)> = self.switches[i]
+            .unconfirmed
+            .iter()
+            .map(|(&cookie, m)| (m.seq, cookie))
+            .collect();
+        pending.sort_unstable();
+        for (_, cookie) in pending {
+            let body = self.switches[i].unconfirmed[&cookie].flow_mod.clone();
+            self.switches[i].stats.reissued_flow_mods += 1;
+            effects.push(Effect::ToSwitch {
+                switch,
+                message: OfMessage::FlowMod {
+                    xid: cookie as Xid,
+                    body,
+                },
+            });
+        }
+        let unanswered: Vec<Xid> = self.switches[i]
+            .pending_barriers
+            .iter()
+            .filter(|b| !b.switch_replied)
+            .map(|b| b.xid)
+            .collect();
+        for xid in unanswered {
+            effects.push(Effect::ToSwitch {
+                switch,
+                message: OfMessage::BarrierRequest { xid },
+            });
+        }
+        let mut out = std::mem::take(&mut self.tech_out);
+        self.switches[i]
+            .technique
+            .on_switch_reconnected(now, &mut out);
+        self.apply_outputs(switch, &mut out, now, effects);
         self.tech_out = out;
     }
 
@@ -701,10 +819,10 @@ impl RumEngine {
     fn confirm(&mut self, switch: SwitchId, cookie: u64, now: Duration, effects: &mut Vec<Effect>) {
         let i = switch.index();
         let state = &mut self.switches[i];
-        let Some(seq) = state.unconfirmed.remove(&cookie) else {
+        let Some(m) = state.unconfirmed.remove(&cookie) else {
             return;
         };
-        state.resolve_cookie(seq);
+        state.resolve_cookie(m.seq);
         if self.config.record_confirmations {
             self.confirm_log.push(ConfirmRecord {
                 switch,
@@ -1179,6 +1297,253 @@ mod tests {
             },
         );
         assert!(fx.is_empty());
+    }
+
+    /// A reconnect re-issues exactly the unconfirmed modifications (oldest
+    /// first) and re-arms the technique; confirmed ones stay resolved, and
+    /// the re-issued ones confirm through the fresh barrier.
+    #[test]
+    fn reconnect_reissues_unconfirmed_and_rearms() {
+        let mut e = engine(TechniqueConfig::BarrierBaseline);
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        let fx = e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(1),
+            },
+        );
+        let first_barrier = fx
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::BarrierRequest { xid },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .unwrap();
+        e.handle(
+            Duration::from_millis(1),
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(2),
+            },
+        );
+        e.handle(
+            Duration::from_millis(1),
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(3),
+            },
+        );
+        // Cookie 1 confirms pre-restart; 2 and 3 stay unconfirmed.
+        e.handle(
+            Duration::from_millis(2),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: first_barrier },
+            },
+        );
+        assert_eq!(e.stats(sw).unconfirmed, 2);
+
+        let fx = e.handle(
+            Duration::from_millis(500),
+            Input::SwitchReconnected { switch: sw },
+        );
+        let reissued: Vec<Xid> = fx
+            .iter()
+            .filter_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::FlowMod { xid, .. },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reissued, vec![2, 3], "unconfirmed mods re-issued in order");
+        let rearm_barrier = fx
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::BarrierRequest { xid },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .expect("technique re-arms a fresh barrier behind the re-issue");
+        assert_eq!(e.stats(sw).reconnects, 1);
+        assert_eq!(e.stats(sw).reissued_flow_mods, 2);
+        // The baseline is not probing: no catch rule re-install.
+        assert_eq!(e.stats(sw).proxy_flow_mods, 0);
+
+        // The fresh barrier's reply confirms both re-issued cookies.
+        let fx = e.handle(
+            Duration::from_millis(501),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: rearm_barrier },
+            },
+        );
+        let confirmed: Vec<u64> = fx
+            .iter()
+            .filter_map(|eff| match eff {
+                Effect::Confirmed { cookie, .. } => Some(*cookie),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(confirmed, vec![2, 3]);
+        assert_eq!(e.stats(sw).unconfirmed, 0);
+
+        // A reconnect with nothing outstanding is quiet.
+        let fx = e.handle(
+            Duration::from_millis(600),
+            Input::SwitchReconnected { switch: sw },
+        );
+        assert!(fx.is_empty());
+        assert_eq!(e.stats(sw).reconnects, 2);
+    }
+
+    /// A controller barrier withheld across the restart is re-forwarded on
+    /// reconnect (the original request died with the channel) and releases
+    /// once the reattached switch replies and the covered modification
+    /// confirms — the update does not stall on a pre-restart barrier.
+    #[test]
+    fn reconnect_reforwards_unanswered_reliable_barriers() {
+        let mut e = engine(TechniqueConfig::StaticTimeout {
+            delay: Duration::from_millis(100),
+        });
+        let sw = SwitchId::new(0);
+        e.start(Duration::ZERO);
+        e.handle(
+            Duration::ZERO,
+            Input::FromController {
+                switch: sw,
+                message: flow_mod(9),
+            },
+        );
+        e.handle(
+            Duration::from_millis(1),
+            Input::FromController {
+                switch: sw,
+                message: OfMessage::BarrierRequest { xid: 77 },
+            },
+        );
+        // The switch restarts before replying to anything; the reconnect
+        // must re-forward barrier 77 alongside the re-issued flow-mod.
+        let fx = e.handle(
+            Duration::from_millis(400),
+            Input::SwitchReconnected { switch: sw },
+        );
+        let barriers: Vec<Xid> = fx
+            .iter()
+            .filter_map(|eff| match eff {
+                Effect::ToSwitch {
+                    message: OfMessage::BarrierRequest { xid },
+                    ..
+                } => Some(*xid),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            barriers.contains(&77),
+            "the withheld controller barrier must be re-forwarded: {barriers:?}"
+        );
+        let proxy_barrier = barriers
+            .iter()
+            .copied()
+            .find(|&x| x >= PROXY_XID_BASE)
+            .expect("the technique re-arms its own barrier too");
+
+        // The reattached switch answers both; the hold-down timer then
+        // confirms cookie 9 and barrier 77 finally releases.
+        let fx = e.handle(
+            Duration::from_millis(401),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: proxy_barrier },
+            },
+        );
+        let token = fx
+            .iter()
+            .find_map(|eff| match eff {
+                Effect::ArmTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("hold-down timer armed after the re-armed barrier reply");
+        let fx = e.handle(
+            Duration::from_millis(401),
+            Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid: 77 },
+            },
+        );
+        assert!(!fx.iter().any(|eff| matches!(
+            eff,
+            Effect::ToController {
+                message: OfMessage::BarrierReply { .. },
+                ..
+            }
+        )));
+        let fx = e.handle(Duration::from_millis(502), Input::TimerFired { token });
+        assert!(fx.contains(&Effect::Confirmed {
+            switch: sw,
+            cookie: 9
+        }));
+        assert!(
+            fx.iter().any(|eff| matches!(
+                eff,
+                Effect::ToController {
+                    message: OfMessage::BarrierReply { xid: 77 },
+                    ..
+                }
+            )),
+            "{fx:?}"
+        );
+        assert_eq!(e.stats(sw).barrier_replies_released, 1);
+    }
+
+    /// Probing deployments additionally re-install the probe-catch rule on
+    /// the reattached switch.
+    #[test]
+    fn reconnect_reinstalls_catch_rule_for_probing() {
+        let mut e = RumBuilder::new(1)
+            .technique(TechniqueConfig::default_general())
+            .build();
+        let sw = SwitchId::new(0);
+        let start_mods = e
+            .start(Duration::ZERO)
+            .iter()
+            .filter(|eff| {
+                matches!(
+                    eff,
+                    Effect::ToSwitch {
+                        message: OfMessage::FlowMod { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(start_mods, 1, "catch rule installed at start");
+        let fx = e.handle(
+            Duration::from_millis(5),
+            Input::SwitchReconnected { switch: sw },
+        );
+        let catch_reinstalls = fx
+            .iter()
+            .filter(|eff| {
+                matches!(
+                    eff,
+                    Effect::ToSwitch {
+                        message: OfMessage::FlowMod { xid, .. },
+                        ..
+                    } if *xid >= PROXY_XID_BASE
+                )
+            })
+            .count();
+        assert_eq!(catch_reinstalls, 1, "catch rule re-installed on reconnect");
+        assert_eq!(e.stats(sw).proxy_flow_mods, 2);
     }
 
     #[test]

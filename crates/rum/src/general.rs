@@ -300,14 +300,18 @@ impl AckTechnique for GeneralProbing {
         out: &mut Vec<TechniqueOutput>,
     ) {
         // Attribute the probe to a pending rule by probe id (or full header
-        // comparison when the id field was constrained by the rule).
+        // comparison when the id field was constrained by the rule).  The
+        // ToS byte must carry the expected neighbour's catch value — a probe
+        // surfacing with a different marker was not punted by the catch rule
+        // this probe was aimed at and proves nothing about the rule.
         let position = self.pending.iter().position(|p| {
             let expected = &p.probe.expected_at_catch;
+            let tos_match = expected.nw_tos & 0xfc == header.nw_tos & 0xfc;
             let addresses_match =
                 expected.nw_src == header.nw_src && expected.nw_dst == header.nw_dst;
             let id_match = header.tp_src == p.probe_id || header.tp_dst == p.probe_id;
             let ports_match = expected.tp_src == header.tp_src && expected.tp_dst == header.tp_dst;
-            addresses_match && (id_match || ports_match)
+            tos_match && addresses_match && (id_match || ports_match)
         });
         let Some(idx) = position else {
             return;

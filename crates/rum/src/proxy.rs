@@ -103,6 +103,8 @@ impl RumHandle {
             total.barrier_replies_released += s.barrier_replies_released;
             total.unconfirmed += s.unconfirmed;
             total.rejected_xids += s.rejected_xids;
+            total.reconnects += s.reconnects;
+            total.reissued_flow_mods += s.reissued_flow_mods;
         }
         total
     }
@@ -159,6 +161,21 @@ impl Node for RumProxy {
                     // From our switch — or from an unrelated node (e.g. a
                     // switch we only inject probes through): treat it as
                     // switch-side traffic so probe PacketIns are captured.
+                    //
+                    // A switch-side Hello is the handshake replay of a
+                    // restarted switch reattaching (nothing else initiates
+                    // one mid-session in the simulator); tell the engine so
+                    // it re-installs its rules and re-issues unconfirmed
+                    // modifications, then forward the Hello so the
+                    // controller answers it end to end.
+                    if matches!(message, openflow::OfMessage::Hello { .. }) {
+                        shared.drive(
+                            Input::SwitchReconnected {
+                                switch: self.switch,
+                            },
+                            ctx,
+                        );
+                    }
                     Input::FromSwitch {
                         switch: self.switch,
                         message,

@@ -244,6 +244,27 @@ impl AckTechnique for SequentialProbing {
         }
     }
 
+    fn on_switch_reconnected(&mut self, _now: Duration, out: &mut Vec<TechniqueOutput>) {
+        // The restart wiped the probe rule together with every version it
+        // encoded, so no outstanding batch can ever be confirmed by a probe
+        // again.  Fold all outstanding batches (plus the unversioned tail)
+        // into one fresh batch and re-install the probe rule from scratch
+        // *behind* the re-issued modifications — order preservation then
+        // makes the new version vouch for everything re-sent, exactly like
+        // on a fresh switch.
+        let mut cookies: Vec<u64> = Vec::new();
+        for batch in self.outstanding.drain(..) {
+            cookies.extend(batch.cookies);
+        }
+        cookies.append(&mut self.unversioned);
+        self.unversioned = cookies;
+        self.probe_rule_installed = false;
+        if !self.unversioned.is_empty() {
+            self.bump_version(out);
+        }
+        self.ensure_ticking(out);
+    }
+
     fn on_timer(&mut self, token: u64, _now: Duration, out: &mut Vec<TechniqueOutput>) {
         if token != TOKEN_TICK {
             return;

@@ -80,6 +80,14 @@ pub trait AckTechnique: Send {
     /// A timer armed by this technique fired.
     fn on_timer(&mut self, _token: u64, _now: Duration, _out: &mut Vec<TechniqueOutput>) {}
 
+    /// The monitored switch restarted (tables wiped) and reattached.  The
+    /// proxy has already re-issued the unconfirmed controller modifications
+    /// on the fresh channel; the technique re-arms whatever confirmation
+    /// machinery the restart invalidated (in-flight barriers, the probe
+    /// rule).  Techniques whose pending state survives a restart (pure
+    /// timers) keep the default no-op.
+    fn on_switch_reconnected(&mut self, _now: Duration, _out: &mut Vec<TechniqueOutput>) {}
+
     /// Number of modifications seen but not yet confirmed.
     fn unconfirmed(&self) -> usize;
 }
@@ -146,6 +154,19 @@ impl AckTechnique for BarrierBaseline {
                 out.push(TechniqueOutput::Confirm(c));
             }
         }
+    }
+
+    fn on_switch_reconnected(&mut self, _now: Duration, out: &mut Vec<TechniqueOutput>) {
+        // In-flight barriers died with the old channel; fold every pending
+        // cover into one fresh barrier behind the re-issued modifications.
+        if self.covers.is_empty() {
+            return;
+        }
+        let mut cookies: Vec<u64> = self.covers.drain().flat_map(|(_, v)| v).collect();
+        cookies.sort_unstable();
+        let xid = self.fresh_xid();
+        self.covers.insert(xid, cookies);
+        out.push(TechniqueOutput::ToSwitch(OfMessage::BarrierRequest { xid }));
     }
 
     fn unconfirmed(&self) -> usize {
@@ -222,6 +243,21 @@ impl AckTechnique for StaticTimeout {
                 out.push(TechniqueOutput::Confirm(c));
             }
         }
+    }
+
+    fn on_switch_reconnected(&mut self, _now: Duration, out: &mut Vec<TechniqueOutput>) {
+        // Covers whose barrier reply never came died with the old channel;
+        // re-barrier them behind the re-issued modifications (covers whose
+        // hold-down timer is already running confirm on their own).
+        if self.barrier_covers.is_empty() {
+            return;
+        }
+        let mut cookies: Vec<u64> = self.barrier_covers.drain().flat_map(|(_, v)| v).collect();
+        cookies.sort_unstable();
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        self.barrier_covers.insert(xid, cookies);
+        out.push(TechniqueOutput::ToSwitch(OfMessage::BarrierRequest { xid }));
     }
 
     fn unconfirmed(&self) -> usize {

@@ -35,6 +35,8 @@ use std::collections::VecDeque;
 const TOKEN_BEHAVIOR: u64 = 0;
 /// Timer token: execute queued PacketOut messages.
 const TOKEN_PACKET_OUT: u64 = 2;
+/// Timer token: reattach after a restart (reboot finished).
+const TOKEN_RECONNECT: u64 = 3;
 
 /// A simulated OpenFlow 1.0 switch: the simnet driver of the shared
 /// [`Behavior`] engine.
@@ -54,6 +56,14 @@ pub struct OpenFlowSwitch {
     armed_deadline: Option<SimTime>,
     /// Reusable behaviour-action buffer.
     actions: Vec<BehaviorAction>,
+    /// How long a restarted switch stays down before it reattaches and
+    /// replays the handshake.  `None` (the default) leaves it down forever,
+    /// matching the pre-reconnect behaviour.
+    reconnect_delay: Option<std::time::Duration>,
+    /// True between our reattach `Hello` going out and the peer's `Hello`
+    /// coming back; that reply completes the handshake and must not be
+    /// answered with yet another `Hello`.
+    hello_pending: bool,
 
     packet_ins_sent: u64,
     packet_ins_suppressed: u64,
@@ -94,6 +104,8 @@ impl OpenFlowSwitch {
             config: SwitchConfig::default(),
             armed_deadline: None,
             actions: Vec::new(),
+            reconnect_delay: None,
+            hello_pending: false,
             packet_ins_sent: 0,
             packet_ins_suppressed: 0,
             packet_outs_processed: 0,
@@ -106,6 +118,13 @@ impl OpenFlowSwitch {
     /// a RUM proxy impersonating it).
     pub fn connect_controller(&mut self, node: NodeId) {
         self.controller = Some(node);
+    }
+
+    /// Makes a restarted switch come back: after `delay` it reattaches the
+    /// behaviour engine and replays the OpenFlow handshake towards its
+    /// controller connection.  `None` (the default) keeps it down forever.
+    pub fn set_reconnect_delay(&mut self, delay: Option<std::time::Duration>) {
+        self.reconnect_delay = delay;
     }
 
     /// Installs a rule directly into both tables, bypassing the control
@@ -229,14 +248,21 @@ impl OpenFlowSwitch {
                         time: at.into(),
                     });
                 }
-                BehaviorAction::Disconnect { at } => {
-                    // The simulator has no connection to tear down; record
-                    // the restart and drop any driver-level queued work.
+                BehaviorAction::Restarted { at } => {
+                    // The simulator has no socket to tear down; record the
+                    // restart, drop driver-level queued work, and — when a
+                    // reconnect delay is configured — schedule the reboot to
+                    // finish with a reattach + handshake replay.
                     self.pending_packet_outs.clear();
+                    let at: SimTime = at.into();
                     ctx.record(TraceEvent::Marker {
                         label: format!("{}: switch restarted (tables wiped)", self.label),
-                        time: at.into(),
+                        time: at,
                     });
+                    if let Some(delay) = self.reconnect_delay {
+                        let delay: SimTime = SimTime::from(delay) + at.saturating_sub(now);
+                        ctx.set_timer(delay, TOKEN_RECONNECT);
+                    }
                 }
             }
         }
@@ -274,7 +300,13 @@ impl OpenFlowSwitch {
         }
         match msg {
             OfMessage::Hello { xid } => {
-                self.send_to_controller(ctx, OfMessage::Hello { xid }, SimTime::ZERO);
+                // A Hello answering our own reattach Hello completes the
+                // handshake; answering it again would ping-pong forever.
+                if self.hello_pending {
+                    self.hello_pending = false;
+                } else {
+                    self.send_to_controller(ctx, OfMessage::Hello { xid }, SimTime::ZERO);
+                }
             }
             OfMessage::EchoRequest { xid, data } => {
                 self.send_to_controller(ctx, OfMessage::EchoReply { xid, data }, SimTime::ZERO);
@@ -500,9 +532,9 @@ impl OpenFlowSwitch {
     }
 
     fn forward_via_table(&mut self, packet: SimPacket, in_port: PortNo, ctx: &mut Context<'_>) {
-        let verdict = self
-            .behavior
-            .classify_packet(&packet.header, in_port, packet.size);
+        let verdict =
+            self.behavior
+                .classify_packet(ctx.now().into(), &packet.header, in_port, packet.size);
         if !verdict.matched {
             self.record_drop(&packet, ctx);
             if self.config.miss_send_len > 0 {
@@ -581,6 +613,19 @@ impl Node for OpenFlowSwitch {
                         let (_, po) = self.pending_packet_outs.pop_front().expect("front");
                         self.execute_packet_out(po, ctx);
                     }
+                }
+                TOKEN_RECONNECT => {
+                    // The reboot finished: reattach the behaviour engine and
+                    // replay the handshake (the engine emits the switch-side
+                    // Hello as a Reply action executed below).
+                    let now = ctx.now();
+                    let mut actions = std::mem::take(&mut self.actions);
+                    self.behavior.reattach(now.into(), &mut actions);
+                    if !actions.is_empty() {
+                        self.hello_pending = true;
+                    }
+                    self.execute_actions(&mut actions, ctx);
+                    self.actions = actions;
                 }
                 _ => {}
             },

@@ -41,9 +41,11 @@ use std::time::Duration;
 // Deterministic fault decisions
 // ---------------------------------------------------------------------
 
-/// SplitMix64: the finaliser is used as a keyed hash for per-cookie fault
-/// decisions (order-independent), the sequential form for reordering
-/// shuffles (order matters there anyway).
+/// SplitMix64: the finaliser is used as a keyed hash for every per-cookie
+/// fault decision (order-independent), including the reordering adversary's
+/// per-cookie deferrals and its application-order keys — no sequential RNG
+/// remains, so the same seed misbehaves identically on both drivers
+/// regardless of message timing.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -51,30 +53,12 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A tiny deterministic RNG for the reordering shuffle.
-#[derive(Debug, Clone)]
-struct Rng64(u64);
-
-impl Rng64 {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        splitmix64(self.0)
-    }
-
-    /// Uniform in `0..n` (n > 0).
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-
-    fn chance(&mut self, one_in: u32) -> bool {
-        one_in != 0 && self.next().is_multiple_of(u64::from(one_in))
-    }
-}
-
 /// Salts separating the fault decision domains.
 const SALT_SILENT_DROP: u64 = 0x5D;
 const SALT_ACK_LOSS: u64 = 0xAC;
 const SALT_ACK_DUP: u64 = 0xD0;
+const SALT_REORDER_DEFER: u64 = 0xDE;
+const SALT_REORDER_KEY: u64 = 0x0D;
 
 /// A deterministic, seedable description of how a switch misbehaves beyond
 /// its timing model.  [`FaultPlan::none`] is a fault-free switch; every
@@ -183,6 +167,27 @@ impl FaultPlan {
     /// True when the modification carrying `cookie` is silently dropped.
     pub fn drops_cookie(&self, cookie: u64) -> bool {
         self.decide(SALT_SILENT_DROP, cookie)
+    }
+
+    /// Reordering adversary: true when a ready modification is deferred to a
+    /// later data-plane synchronisation on its `attempt`-th consideration
+    /// (roughly one time in ten).  A pure hash of `(seed, cookie, attempt)`,
+    /// so the deferral pattern — and with it the verdict grid — is identical
+    /// on every driver.
+    pub fn defers_cookie(&self, cookie: u64, attempt: u32) -> bool {
+        splitmix64(
+            self.seed
+                ^ SALT_REORDER_DEFER.wrapping_mul(0x517C_C1B7_2722_0A95)
+                ^ cookie
+                ^ (u64::from(attempt) << 40),
+        )
+        .is_multiple_of(10)
+    }
+
+    /// Reordering adversary: the deterministic application-order key of a
+    /// cookie within one synchronisation batch (lower key applies first).
+    fn reorder_key(&self, cookie: u64) -> u64 {
+        splitmix64(self.seed ^ SALT_REORDER_KEY.wrapping_mul(0x517C_C1B7_2722_0A95) ^ cookie)
     }
 }
 
@@ -295,9 +300,11 @@ pub enum BehaviorAction {
         /// The rule's cookie.
         cookie: u64,
     },
-    /// The switch restarted: both tables were wiped and the control channel
-    /// must be torn down by the driver.
-    Disconnect {
+    /// The switch restarted: both tables were wiped, all pending work was
+    /// discarded, and the control channel must be torn down by the driver.
+    /// Drivers that model reconnection call [`Behavior::reattach`] later,
+    /// which replays the OpenFlow handshake (the switch-side `Hello`).
+    Restarted {
         /// When the restart happened.
         at: Duration,
     },
@@ -334,6 +341,10 @@ pub struct BehaviorCounters {
     pub sync_bursts: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Reattachments after a restart ([`Behavior::reattach`]).
+    pub reattaches: u64,
+    /// Rules removed by an idle or hard timeout.
+    pub rules_expired: u64,
 }
 
 /// A modification accepted by the control plane, waiting for the data plane.
@@ -342,6 +353,9 @@ struct PendingOp {
     seq: u64,
     ready_at: Duration,
     flow_mod: FlowMod,
+    /// How many synchronisations have already considered (and deferred) this
+    /// op — the reordering adversary's per-cookie deferral counter.
+    defer_count: u32,
 }
 
 /// A barrier whose reply is withheld until the data plane catches up
@@ -374,7 +388,8 @@ pub struct Behavior {
     wedged_at_seq: Option<u64>,
     mods_accepted: u64,
     disconnected: bool,
-    rng: Rng64,
+    /// Reusable buffer for table-expiry sweeps.
+    expiry_buf: Vec<u64>,
 
     truth: GroundTruth,
     counters: BehaviorCounters,
@@ -386,7 +401,6 @@ impl Behavior {
         let capacity = model.table_capacity;
         let next_sync_at = model.dataplane_sync_period;
         Behavior {
-            rng: Rng64(splitmix64(faults.seed ^ 0x0BAD_5EED)),
             model,
             faults,
             control: FlowTable::new(capacity),
@@ -401,6 +415,7 @@ impl Behavior {
             wedged_at_seq: None,
             mods_accepted: 0,
             disconnected: false,
+            expiry_buf: Vec::new(),
             truth: GroundTruth::default(),
             counters: BehaviorCounters::default(),
         }
@@ -470,8 +485,8 @@ impl Behavior {
     }
 
     /// The next instant at which [`Behavior::advance`] has work to do, if
-    /// any: a data-plane sync, an in-flight batch application, or a withheld
-    /// barrier becoming answerable.
+    /// any: a data-plane sync, an in-flight batch application, a rule
+    /// timeout, or a withheld barrier becoming answerable.
     pub fn next_deadline(&self) -> Option<Duration> {
         let mut deadline: Option<Duration> = None;
         let mut consider = |d: Duration| {
@@ -482,6 +497,12 @@ impl Behavior {
         }
         if let Some(&(apply_at, _)) = self.in_flight.front() {
             consider(apply_at);
+        }
+        if let Some(expiry) = self.data.next_expiry() {
+            consider(expiry);
+        }
+        if let Some(expiry) = self.control.next_expiry() {
+            consider(expiry);
         }
         deadline
     }
@@ -508,20 +529,60 @@ impl Behavior {
             self.next_sync_at += period * steps.min(u64::from(u32::MAX)) as u32;
         }
         loop {
-            // Apply any in-flight batch due before the next sync tick.
+            // Apply any in-flight batch due before the next sync tick, and
+            // interleave rule-timeout sweeps at their exact deadlines.
             let apply_due = self
                 .in_flight
                 .front()
                 .map(|&(at, _)| at)
                 .filter(|&at| at <= now);
             let sync_due = (self.next_sync_at <= now).then_some(self.next_sync_at);
-            match (apply_due, sync_due) {
-                (Some(at), Some(tick)) if at <= tick => self.apply_front(at, out),
-                (_, Some(tick)) => self.sync_tick(tick, out),
-                (Some(at), None) => self.apply_front(at, out),
-                (None, None) => break,
+            let expiry_due = match (self.data.next_expiry(), self.control.next_expiry()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+            .filter(|&at| at <= now);
+            // Ties resolve apply → sync → expiry, preserving the original
+            // apply/sync ordering.
+            if let Some(at) = apply_due.filter(|&at| {
+                sync_due.is_none_or(|t| at <= t) && expiry_due.is_none_or(|t| at <= t)
+            }) {
+                self.apply_front(at, out);
+            } else if let Some(tick) = sync_due.filter(|&t| expiry_due.is_none_or(|e| t <= e)) {
+                self.sync_tick(tick, out);
+            } else if let Some(at) = expiry_due {
+                self.expire_step(at, out);
+            } else {
+                break;
             }
         }
+    }
+
+    /// One rule-timeout sweep at absolute time `at`: the control plane drops
+    /// its expired entries silently, the data plane's expirations are
+    /// visible deactivations recorded in the ground truth.  The sweep time
+    /// comes from the tables' own deadline bounds, so truth events carry the
+    /// exact expiry instant even when the driver advances in large steps.
+    fn expire_step(&mut self, at: Duration, out: &mut Vec<BehaviorAction>) {
+        let mut buf = std::mem::take(&mut self.expiry_buf);
+        // Control-plane expiry is silent bookkeeping (the model lets each
+        // table age independently; their deadlines differ only by the sync
+        // lag, far below the seconds-granularity timeouts): collect its
+        // cookies and explicitly discard them — only *data-plane*
+        // expirations below are visible deactivations.
+        self.control.expire_into(at, &mut buf);
+        buf.clear();
+        self.data.expire_into(at, &mut buf);
+        for &cookie in &buf {
+            self.counters.rules_expired += 1;
+            self.truth.events.push(TruthEvent {
+                at,
+                cookie,
+                activated: false,
+            });
+            out.push(BehaviorAction::Deactivated { at, cookie });
+        }
+        self.expiry_buf = buf;
     }
 
     /// Fast-forwards model time until every applicable (non-wedged)
@@ -566,24 +627,27 @@ impl Behavior {
         self.pending = remaining;
 
         if self.model.barrier_mode == BarrierMode::EarlyReplyReordering {
-            // The reordering switch may defer a random subset of ready
-            // operations to a later synchronisation and applies the rest in
-            // an arbitrary order — modifications can overtake each other
-            // across barriers.
+            // The reordering switch may defer a subset of ready operations
+            // to a later synchronisation and applies the rest in an
+            // arbitrary order — modifications can overtake each other across
+            // barriers.  Both decisions are pure `(seed, cookie)` hashes
+            // (the deferral additionally keyed by how often the op was
+            // already considered), so the adversary — like every other fault
+            // — misbehaves identically on both drivers.
             let mut kept = Vec::new();
             let mut deferred = Vec::new();
-            for op in ready {
-                if self.rng.chance(10) {
+            for mut op in ready {
+                if self
+                    .faults
+                    .defers_cookie(op.flow_mod.cookie, op.defer_count)
+                {
+                    op.defer_count += 1;
                     deferred.push(op);
                 } else {
                     kept.push(op);
                 }
             }
-            // Fisher-Yates on the kept set.
-            for i in (1..kept.len()).rev() {
-                let j = self.rng.below(i + 1);
-                kept.swap(i, j);
-            }
+            kept.sort_by_key(|op| self.faults.reorder_key(op.flow_mod.cookie));
             self.pending.extend(deferred);
             ready = kept;
         } else {
@@ -712,6 +776,7 @@ impl Behavior {
                     seq,
                     ready_at: done_at,
                     flow_mod: fm,
+                    defer_count: 0,
                 });
                 self.mods_accepted += 1;
                 if self.faults.restart_after_mods == Some(self.mods_accepted) {
@@ -810,7 +875,8 @@ impl Behavior {
     }
 
     /// The restart fault: wipe both tables, discard pending work, and ask
-    /// the driver to tear the control channel down.
+    /// the driver to tear the control channel down (the explicit
+    /// [`BehaviorAction::Restarted`] event).
     fn restart(&mut self, at: Duration, out: &mut Vec<BehaviorAction>) {
         self.counters.restarts += 1;
         for cookie in self.wipe_tables() {
@@ -826,7 +892,27 @@ impl Behavior {
         self.pending_barriers.clear();
         self.wedged_at_seq = None;
         self.disconnected = true;
-        out.push(BehaviorAction::Disconnect { at });
+        out.push(BehaviorAction::Restarted { at });
+    }
+
+    /// Reattaches a restarted switch at `now`: the control plane accepts
+    /// messages again, the data-plane synchronisation clock restarts from
+    /// the reboot instant, and the switch replays the OpenFlow handshake by
+    /// emitting its side's `Hello` (drivers deliver it on the fresh control
+    /// channel; the peer answers with its own `Hello`).  A no-op unless the
+    /// engine is disconnected.
+    pub fn reattach(&mut self, now: Duration, out: &mut Vec<BehaviorAction>) {
+        if !self.disconnected {
+            return;
+        }
+        self.disconnected = false;
+        self.counters.reattaches += 1;
+        self.busy_until = self.busy_until.max(now);
+        self.next_sync_at = now + self.model.dataplane_sync_period;
+        out.push(BehaviorAction::Reply {
+            at: now,
+            message: OfMessage::Hello { xid: 0 },
+        });
     }
 
     fn wipe_tables(&mut self) -> Vec<u64> {
@@ -837,11 +923,13 @@ impl Behavior {
         cookies
     }
 
-    /// Data-plane lookup for one packet: finds the matching rule (lagging
-    /// data-plane view), accounts the hit, and returns the rewritten header
-    /// plus output ports for the driver to interpret.
+    /// Data-plane lookup for one packet at time `now`: finds the matching
+    /// rule (lagging data-plane view), accounts the hit — counters plus the
+    /// per-rule last-hit time that drives idle timeouts — and returns the
+    /// rewritten header plus output ports for the driver to interpret.
     pub fn classify_packet(
         &mut self,
+        now: Duration,
         header: &PacketHeader,
         in_port: PortNo,
         size: usize,
@@ -857,7 +945,12 @@ impl Behavior {
                 matched: false,
             },
             Some((match_, priority, actions)) => {
-                self.data.account(&match_, priority, size);
+                self.data.account(&match_, priority, size, now);
+                // Keep the control-plane view's counters and idle clock in
+                // step: flow-stats replies read the control table, and a rule
+                // the data plane keeps hitting must not idle out of the
+                // control plane.
+                self.control.account(&match_, priority, size, now);
                 let (rewritten, outputs) = Action::apply_list(&actions, header);
                 PacketVerdict {
                     rewritten,
@@ -1128,7 +1221,7 @@ mod tests {
         assert!(b.disconnected());
         assert!(out
             .iter()
-            .any(|a| matches!(a, BehaviorAction::Disconnect { .. })));
+            .any(|a| matches!(a, BehaviorAction::Restarted { .. })));
         assert_eq!(b.control_table().len(), 0);
         assert_eq!(b.data_table().len(), 0);
         assert_eq!(b.counters().restarts, 1);
@@ -1139,6 +1232,118 @@ mod tests {
         b.on_flow_mod(ms(700), 9, fm(9, 9), &mut out);
         b.on_barrier(ms(700), 10, &mut out);
         assert_eq!(out.len(), before);
+    }
+
+    /// Reattach replays the handshake (switch-side Hello), re-opens the
+    /// control plane and restarts the sync clock; work accepted after the
+    /// reattach converges into the data plane like on a fresh switch.
+    #[test]
+    fn reattach_replays_handshake_and_reconverges() {
+        let faults = FaultPlan::seeded(1).with_restart_after(1);
+        let mut b = Behavior::new(SwitchModel::faithful(), faults);
+        let mut out = Vec::new();
+        b.on_flow_mod(ms(1), 1, fm(1, 1), &mut out);
+        assert!(b.disconnected());
+
+        // Reattach is idempotent on a connected engine.
+        out.clear();
+        b.reattach(ms(900), &mut out);
+        let hello = out
+            .iter()
+            .find_map(|a| match a {
+                BehaviorAction::Reply {
+                    at,
+                    message: OfMessage::Hello { .. },
+                } => Some(*at),
+                _ => None,
+            })
+            .expect("reattach must replay the switch-side Hello");
+        assert_eq!(hello, ms(900));
+        assert!(!b.disconnected());
+        assert_eq!(b.counters().reattaches, 1);
+        let before = out.len();
+        b.reattach(ms(901), &mut out);
+        assert_eq!(
+            out.len(),
+            before,
+            "reattach on a connected engine is a no-op"
+        );
+        assert_eq!(b.counters().reattaches, 1);
+
+        // The control plane accepts modifications again and they reach the
+        // data plane on the restarted sync clock.
+        b.on_flow_mod(ms(910), 2, fm(2, 2), &mut out);
+        b.settle(ms(911), &mut out);
+        assert_eq!(b.control_table().len(), 1);
+        assert_eq!(b.data_table().len(), 1);
+        let act = b.ground_truth().first_activation(2).expect("reconverged");
+        assert!(act >= ms(900), "activation must postdate the reattach");
+        // Only one restart fires even though the mod counter keeps running.
+        assert_eq!(b.counters().restarts, 1);
+        assert!(!b.disconnected());
+    }
+
+    /// Idle timeouts fire from the last data-plane hit; hard timeouts from
+    /// installation — whichever comes first wins, and the expiry is visible
+    /// as a ground-truth deactivation at the exact deadline.
+    #[test]
+    fn idle_timeout_expires_unhit_rules_through_the_engine() {
+        let mut b = Behavior::new(SwitchModel::faithful(), FaultPlan::none());
+        let mut out = Vec::new();
+        b.on_flow_mod(ms(1), 1, fm(1, 7).with_idle_timeout(2), &mut out);
+        b.advance(ms(100), &mut out);
+        assert_eq!(b.data_table().len(), 1);
+        let deadline = b.next_deadline().expect("idle deadline armed");
+        assert!(deadline >= Duration::from_secs(2));
+
+        // A hit at t = 1.5 s pushes the idle deadline out.
+        let header = PacketHeader::ipv4_udp(
+            openflow::MacAddr::from_id(1),
+            openflow::MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 1, 0, 1),
+            1,
+            2,
+        );
+        let verdict = b.classify_packet(Duration::from_millis(1500), &header, 1, 64);
+        assert!(verdict.matched);
+        b.advance(Duration::from_millis(3400), &mut out);
+        assert_eq!(b.data_table().len(), 1, "hit must postpone the idle expiry");
+        b.advance(Duration::from_secs(4), &mut out);
+        assert_eq!(b.data_table().len(), 0);
+        assert_eq!(b.control_table().len(), 0, "control view ages too");
+        assert!(b.counters().rules_expired >= 1);
+        let removal = out
+            .iter()
+            .find_map(|a| match a {
+                BehaviorAction::Deactivated { at, cookie: 7 } => Some(*at),
+                _ => None,
+            })
+            .expect("expiry is a visible deactivation");
+        assert_eq!(removal, Duration::from_millis(3500), "last hit + 2 s");
+        assert!(!b.ground_truth().active_at(7, Duration::from_secs(4)));
+
+        // Idle-vs-hard precedence inside the engine: hard 1 s beats idle 5 s.
+        let mut b = Behavior::new(SwitchModel::faithful(), FaultPlan::none());
+        let mut out = Vec::new();
+        b.on_flow_mod(
+            ms(1),
+            1,
+            fm(2, 8).with_idle_timeout(5).with_hard_timeout(1),
+            &mut out,
+        );
+        b.advance(Duration::from_secs(3), &mut out);
+        let removal = out
+            .iter()
+            .find_map(|a| match a {
+                BehaviorAction::Deactivated { at, cookie: 8 } => Some(*at),
+                _ => None,
+            })
+            .expect("hard expiry fires");
+        assert!(
+            removal <= Duration::from_millis(1005),
+            "hard wins: {removal:?}"
+        );
     }
 
     #[test]
@@ -1180,10 +1385,11 @@ mod tests {
             1,
             2,
         );
-        let verdict = b.classify_packet(&header, 1, 64);
+        let verdict = b.classify_packet(Duration::ZERO, &header, 1, 64);
         assert!(verdict.matched);
         assert_eq!(verdict.outputs, vec![2]);
         let miss = b.classify_packet(
+            Duration::ZERO,
             &PacketHeader::ipv4_udp(
                 openflow::MacAddr::from_id(1),
                 openflow::MacAddr::from_id(2),

@@ -45,6 +45,9 @@ pub struct FlowEntry {
     pub hard_timeout: u16,
     /// When the entry was installed.
     pub installed_at: Duration,
+    /// When the entry last matched a packet (= `installed_at` until the
+    /// first hit).  Drives the idle timeout.
+    pub last_hit: Duration,
     /// Packets matched so far.
     pub packet_count: u64,
     /// Bytes matched so far.
@@ -62,6 +65,7 @@ impl FlowEntry {
             idle_timeout: fm.idle_timeout,
             hard_timeout: fm.hard_timeout,
             installed_at: now,
+            last_hit: now,
             packet_count: 0,
             byte_count: 0,
         }
@@ -78,6 +82,24 @@ impl FlowEntry {
             None
         } else {
             Some(self.installed_at + Duration::from_secs(u64::from(self.hard_timeout)))
+        }
+    }
+
+    fn idle_deadline(&self) -> Option<Duration> {
+        if self.idle_timeout == 0 {
+            None
+        } else {
+            Some(self.last_hit + Duration::from_secs(u64::from(self.idle_timeout)))
+        }
+    }
+
+    /// The earliest instant this entry may expire: whichever of the idle and
+    /// hard deadline comes first (hard wins ties — once both are due the
+    /// distinction is unobservable).
+    pub fn expiry_deadline(&self) -> Option<Duration> {
+        match (self.hard_deadline(), self.idle_deadline()) {
+            (Some(h), Some(i)) => Some(h.min(i)),
+            (h, i) => h.or(i),
         }
     }
 }
@@ -325,12 +347,15 @@ impl FlowTable {
         None
     }
 
-    /// Credits a matched packet to an entry (counters).
-    pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize) {
+    /// Credits a matched packet to an entry (counters + idle-timeout clock).
+    pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize, now: Duration) {
         if let Some(seq) = self.strict.get(&StrictKey::of(match_, priority)) {
             let e = self.entries.get_mut(seq).expect("indexed entry exists");
             e.packet_count += 1;
             e.byte_count += bytes as u64;
+            // A hit pushes the idle deadline out; `next_expiry` stays a
+            // (possibly stale) lower bound, which is always safe.
+            e.last_hit = e.last_hit.max(now);
         }
     }
 
@@ -442,10 +467,13 @@ impl FlowTable {
         outcome
     }
 
-    /// Removes entries whose hard timeout expired; returns their cookies.
+    /// Removes entries whose idle or hard timeout expired; returns their
+    /// cookies.  An idle timeout fires `idle_timeout` seconds after the last
+    /// packet hit ([`FlowTable::account`]); the hard deadline is absolute.
+    /// Whichever comes first wins.
     ///
-    /// When no installed entry's deadline has been reached this returns an
-    /// (allocation-free) empty vector without scanning the table.
+    /// When no installed entry's deadline can have been reached this returns
+    /// an (allocation-free) empty vector without scanning the table.
     pub fn expire(&mut self, now: Duration) -> Vec<u64> {
         let mut expired = Vec::new();
         self.expire_into(now, &mut expired);
@@ -466,7 +494,7 @@ impl FlowTable {
         let mut doomed = Vec::new();
         let mut next: Option<Duration> = None;
         for (&seq, e) in &self.entries {
-            let Some(deadline) = e.hard_deadline() else {
+            let Some(deadline) = e.expiry_deadline() else {
                 continue;
             };
             if now >= deadline {
@@ -481,6 +509,13 @@ impl FlowTable {
         self.next_expiry = next;
     }
 
+    /// Lower bound on the earliest instant any installed entry may expire
+    /// (`None` = no entry carries a timeout).  Drivers use this to wake up
+    /// for expiry instead of polling.
+    pub fn next_expiry(&self) -> Option<Duration> {
+        self.next_expiry
+    }
+
     // ------------------------------------------------------------------
     // Index maintenance
     // ------------------------------------------------------------------
@@ -488,7 +523,7 @@ impl FlowTable {
     fn insert_entry(&mut self, entry: FlowEntry) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        if let Some(deadline) = entry.hard_deadline() {
+        if let Some(deadline) = entry.expiry_deadline() {
             self.next_expiry = Some(self.next_expiry.map_or(deadline, |n| n.min(deadline)));
         }
         self.strict
@@ -780,8 +815,8 @@ mod tests {
     fn counters_account_packets() {
         let mut t = FlowTable::new(0);
         t.apply(&add(pair(1, 2), 5, 1, 1), Duration::ZERO).unwrap();
-        t.account(&pair(1, 2), 5, 100);
-        t.account(&pair(1, 2), 5, 50);
+        t.account(&pair(1, 2), 5, 100, Duration::from_secs(1));
+        t.account(&pair(1, 2), 5, 50, Duration::from_secs(2));
         let e = t.find_strict(&pair(1, 2), 5).unwrap();
         assert_eq!(e.packet_count, 2);
         assert_eq!(e.byte_count, 150);
@@ -796,6 +831,48 @@ mod tests {
         let expired = t.expire(Duration::from_secs(11));
         assert_eq!(expired, vec![1]);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_fires_from_last_hit_not_install() {
+        let mut t = FlowTable::new(0);
+        let fm = add(pair(1, 2), 5, 1, 1).with_idle_timeout(2);
+        t.apply(&fm, Duration::ZERO).unwrap();
+        assert_eq!(t.next_expiry(), Some(Duration::from_secs(2)));
+        // A hit at t = 1.5 s pushes the idle deadline to 3.5 s.
+        t.account(&pair(1, 2), 5, 64, Duration::from_millis(1500));
+        assert!(t.expire(Duration::from_secs(2)).is_empty());
+        assert!(t.expire(Duration::from_millis(3499)).is_empty());
+        assert_eq!(t.expire(Duration::from_millis(3500)), vec![1]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_vs_hard_precedence_is_earliest_deadline() {
+        // Idle (2 s, never hit) beats hard (10 s).
+        let mut t = FlowTable::new(0);
+        t.apply(
+            &add(pair(1, 2), 5, 1, 1)
+                .with_idle_timeout(2)
+                .with_hard_timeout(10),
+            Duration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(t.next_expiry(), Some(Duration::from_secs(2)));
+        assert_eq!(t.expire(Duration::from_secs(2)), vec![1]);
+
+        // Hard (3 s) beats idle (5 s) even when hits keep the rule warm.
+        let mut t = FlowTable::new(0);
+        t.apply(
+            &add(pair(1, 2), 5, 1, 2)
+                .with_idle_timeout(5)
+                .with_hard_timeout(3),
+            Duration::ZERO,
+        )
+        .unwrap();
+        t.account(&pair(1, 2), 5, 64, Duration::from_millis(2900));
+        assert!(t.expire(Duration::from_millis(2999)).is_empty());
+        assert_eq!(t.expire(Duration::from_secs(3)), vec![2]);
     }
 
     #[test]

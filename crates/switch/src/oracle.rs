@@ -102,8 +102,8 @@ impl LinearFlowTable {
         best
     }
 
-    /// Credits a matched packet to an entry (counters).
-    pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize) {
+    /// Credits a matched packet to an entry (counters + idle-timeout clock).
+    pub fn account(&mut self, match_: &OfMatch, priority: u16, bytes: usize, now: Duration) {
         if let Some(e) = self
             .entries
             .iter_mut()
@@ -111,6 +111,7 @@ impl LinearFlowTable {
         {
             e.packet_count += 1;
             e.byte_count += bytes as u64;
+            e.last_hit = e.last_hit.max(now);
         }
     }
 
@@ -203,13 +204,12 @@ impl LinearFlowTable {
         outcome
     }
 
-    /// Removes entries whose hard timeout expired; returns their cookies.
+    /// Removes entries whose idle or hard timeout expired (earliest deadline
+    /// wins); returns their cookies.
     pub fn expire(&mut self, now: Duration) -> Vec<u64> {
         let mut expired = Vec::new();
         self.entries.retain(|e| {
-            if e.hard_timeout != 0
-                && now >= e.installed_at + Duration::from_secs(u64::from(e.hard_timeout))
-            {
+            if e.expiry_deadline().is_some_and(|deadline| now >= deadline) {
                 expired.push(e.cookie);
                 false
             } else {

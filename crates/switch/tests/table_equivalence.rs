@@ -1,6 +1,6 @@
 //! Property test: the indexed [`FlowTable`] is observationally identical to
 //! the linear-scan reference oracle ([`LinearFlowTable`]) under randomized
-//! flow-mod sequences — adds (with and without CHECK_OVERLAP and hard
+//! flow-mod sequences — adds (with and without CHECK_OVERLAP and idle/hard
 //! timeouts), strict and loose modifies and deletes (with out-port filters),
 //! expiry sweeps, packet lookups and counter accounting.
 
@@ -67,6 +67,9 @@ fn random_flow_mod(rng: &mut SmallRng, next_cookie: &mut u64) -> FlowMod {
             }
             if rng.gen_bool(0.3) {
                 fm = fm.with_hard_timeout(rng.gen_index(3) as u16 + 1);
+            }
+            if rng.gen_bool(0.3) {
+                fm = fm.with_idle_timeout(rng.gen_index(3) as u16 + 1);
             }
             fm
         }
@@ -153,8 +156,8 @@ fn indexed_table_matches_linear_oracle() {
                         oracle.find_strict(&m, priority),
                         "find_strict diverged (seed {seed}, step {step})"
                     );
-                    indexed.account(&m, priority, 64);
-                    oracle.account(&m, priority, 64);
+                    indexed.account(&m, priority, 64, now);
+                    oracle.account(&m, priority, 64, now);
                 }
                 _ => {
                     assert_eq!(

@@ -246,7 +246,14 @@ fn drive_engine_directly(technique: TechniqueConfig) -> Vec<u64> {
                 let (out_header, ports) = Action::apply_list(&actions, &header);
                 for p in ports {
                     if p == port::CONTROLLER {
-                        let pi = PacketIn::unbuffered(in_port, 0, out_header.to_bytes());
+                        // Punted by the catch rule's explicit to-controller
+                        // action; the engine (rightly) ignores probe-marked
+                        // packets punted for a mere table miss.
+                        let pi = PacketIn::unbuffered(
+                            in_port,
+                            openflow::constants::packet_in_reason::ACTION,
+                            out_header.to_bytes(),
+                        );
                         schedule!(
                             now + CTRL_LAT,
                             Ev::FromSwitch(sw, OfMessage::PacketIn { xid: 0, body: pi })

@@ -1,0 +1,148 @@
+//! Restart re-convergence properties (the paper's harshest adversary: a
+//! full switch reboot — tables wiped, control channel dropped — mid-update):
+//!
+//! 1. Across randomly sampled seeds and restart points, the probing
+//!    techniques never emit a false confirmation *and* — because the RUM
+//!    proxy re-issues every unconfirmed modification on the reattach — the
+//!    whole plan still converges: zero missed acks, on both drivers.
+//! 2. The same seed produces identical restart verdicts on the simulator
+//!    driver and the real-socket driver, mirroring `tests/fault_matrix.rs`:
+//!    the adversary (wipe point, reboot) is transport-independent, so the
+//!    verdict grid must be too — including for the baselines, whose false
+//!    and missed acks under a restart are part of the soundness map.
+
+use ofswitch::{FaultPlan, SwitchModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rum::TechniqueConfig;
+use rum_bench::scenario_matrix::{
+    run_simnet_cell, run_tcp_cell, FaultModel, MatrixCell, MatrixTechnique,
+};
+use std::time::Duration;
+
+const N_RULES: usize = 6;
+
+fn probing_techniques() -> [MatrixTechnique; 2] {
+    [
+        MatrixTechnique::Rum(TechniqueConfig::SequentialProbing {
+            batch_size: 3,
+            probe_interval: Duration::from_millis(10),
+        }),
+        MatrixTechnique::Rum(TechniqueConfig::default_general()),
+    ]
+}
+
+fn restart_fault(model: SwitchModel, seed: u64, after_mods: u64) -> FaultModel {
+    FaultModel {
+        name: "restart",
+        model,
+        faults: FaultPlan::seeded(seed).with_restart_after(after_mods),
+    }
+}
+
+fn assert_probing_survived(cell: &MatrixCell, context: &str) {
+    assert_eq!(
+        cell.false_acks, 0,
+        "{context}: probing must never acknowledge falsely across a restart: {cell:?}"
+    );
+    assert_eq!(
+        cell.missed_acks, 0,
+        "{context}: the re-issued plan must converge after the reattach: {cell:?}"
+    );
+    assert_eq!(cell.confirmed, N_RULES, "{context}: {cell:?}");
+    assert!(
+        cell.completion_ms.is_some(),
+        "{context}: a converged update reports a completion time: {cell:?}"
+    );
+}
+
+/// Property: for sampled `(seed, restart point)` pairs, both probing
+/// techniques survive the restart on the simulator driver — zero false acks
+/// (soundness) and zero missed acks (re-convergence).  One sampled pair is
+/// additionally replayed on the TCP driver per technique, so the property
+/// is exercised over real sockets too without taking minutes.
+#[test]
+fn probing_survives_restarts_without_false_or_missed_acks() {
+    let mut rng = SmallRng::seed_from_u64(0x4E57_A127);
+    for round in 0..4 {
+        let seed = rng.next_u64();
+        // Restart anywhere in the plan, including after the very first
+        // accepted modification (which for probing techniques is RUM's own
+        // catch rule — any modification can trip the reboot counter).
+        let after_mods = 1 + rng.gen_range_u64(N_RULES as u64);
+        let fault = restart_fault(SwitchModel::hp5406zl(), seed, after_mods);
+        for technique in probing_techniques() {
+            let cell = run_simnet_cell(&technique, &fault, N_RULES, seed);
+            assert_probing_survived(
+                &cell,
+                &format!("round {round} (seed {seed}, restart after {after_mods})"),
+            );
+        }
+    }
+    // The same property over real sockets, one sampled pair per technique.
+    let seed = rng.next_u64();
+    let after_mods = 1 + rng.gen_range_u64(N_RULES as u64);
+    let fault = restart_fault(SwitchModel::fast_buggy(), seed, after_mods);
+    for technique in probing_techniques() {
+        let cell = run_tcp_cell(&technique, &fault, N_RULES);
+        assert_probing_survived(
+            &cell,
+            &format!("tcp (seed {seed}, restart after {after_mods})"),
+        );
+    }
+}
+
+/// Cross-driver determinism for the restart column: one seeded mid-plan
+/// reboot, two transports, identical verdicts — for general probing (which
+/// must fully re-converge) and for the barrier-only baseline (whose false
+/// and missed acks around the wipe point are a pure function of the seed
+/// and the restart counter, not of the transport).
+#[test]
+fn same_seed_same_restart_verdicts_on_both_drivers() {
+    let seed = 0xB007u64;
+    let after_mods = (N_RULES as u64).div_ceil(2);
+
+    for technique in [
+        MatrixTechnique::Rum(TechniqueConfig::default_general()),
+        MatrixTechnique::BarrierOnly,
+    ] {
+        let sim_cell = run_simnet_cell(
+            &technique,
+            &restart_fault(SwitchModel::hp5406zl(), seed, after_mods),
+            N_RULES,
+            seed,
+        );
+        let tcp_cell = run_tcp_cell(
+            &technique,
+            &restart_fault(SwitchModel::fast_buggy(), seed, after_mods),
+            N_RULES,
+        );
+        assert_eq!(
+            sim_cell.false_acks, tcp_cell.false_acks,
+            "{technique:?}: {sim_cell:?} vs {tcp_cell:?}"
+        );
+        assert_eq!(
+            sim_cell.missed_acks, tcp_cell.missed_acks,
+            "{technique:?}: {sim_cell:?} vs {tcp_cell:?}"
+        );
+        assert_eq!(
+            sim_cell.confirmed, tcp_cell.confirmed,
+            "{technique:?}: {sim_cell:?} vs {tcp_cell:?}"
+        );
+        match &technique {
+            // The baseline sits on the other side of the soundness map: the
+            // modifications confirmed before the reboot were never in the
+            // data plane (false acks), the rest are never re-sent (missed).
+            MatrixTechnique::BarrierOnly => {
+                assert_eq!(
+                    sim_cell.false_acks + sim_cell.missed_acks,
+                    N_RULES,
+                    "every rule is either falsely confirmed or lost: {sim_cell:?}"
+                );
+                assert!(sim_cell.false_acks > 0, "{sim_cell:?}");
+                assert!(sim_cell.missed_acks > 0, "{sim_cell:?}");
+            }
+            _ => assert_probing_survived(&sim_cell, "general probing under restart"),
+        }
+    }
+}
