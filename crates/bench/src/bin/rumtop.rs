@@ -1,0 +1,78 @@
+//! `rumtop` — a refreshing terminal dashboard for a running RUM
+//! deployment's telemetry endpoint.
+//!
+//! ```text
+//! rumtop <addr> [--once] [--interval <ms>]
+//! ```
+//!
+//! Scrapes `addr` (a `telemetry::serve` endpoint, e.g. the one the
+//! `tcp_consistent_update --telemetry` example prints) every `--interval`
+//! milliseconds (default 500) and redraws the per-switch dashboard in
+//! place.  `--once` prints a single snapshot without touching the screen —
+//! useful in scripts and CI.
+
+use rum_bench::observer::render;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: rumtop <addr> [--once] [--interval <ms>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(500);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                let Some(ms) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                interval = Duration::from_millis(ms);
+            }
+            other => match other.parse() {
+                Ok(a) => addr = Some(a),
+                Err(_) => usage(),
+            },
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let scrape_timeout = Duration::from_secs(2);
+    if once {
+        match telemetry::scrape(addr, scrape_timeout) {
+            Ok(snapshot) => print!("{}", render(&snapshot)),
+            Err(err) => {
+                eprintln!("rumtop: scraping {addr}: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut failures = 0u32;
+    loop {
+        match telemetry::scrape(addr, scrape_timeout) {
+            Ok(snapshot) => {
+                failures = 0;
+                // Clear the screen and home the cursor, then redraw.
+                print!("\x1b[2J\x1b[H{}", render(&snapshot));
+                println!("\n(refreshing every {interval:?}, ^C to quit)");
+            }
+            Err(err) => {
+                failures += 1;
+                // The observed process may simply have exited; give up
+                // after a few consecutive failures instead of spinning.
+                if failures >= 5 {
+                    eprintln!("rumtop: scraping {addr}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -1,17 +1,23 @@
 //! Validates a `BENCH_results.json` document against the shapes
 //! `bench_results` writes (see `rum_bench::report::results_json`), so CI
 //! catches a broken harness before a stale or malformed results file lands.
-//! Schema 4 (matrix rows carry per-technique `applicable` flags and must
-//! cover the `restart` fault on both drivers), schema 3 (latency +
-//! throughput + scenario-matrix sections) and the older schema 2 (no
-//! matrix) are all accepted; matrix rows must carry finite
-//! false-ack/missed-ack rates inside `[0, 1]` and internally consistent
-//! counts, and not-applicable rows must be all-zero placeholders.
+//! Schema 5 (throughput gains the `telemetry_overhead/*` rows measuring the
+//! metric hot path against the uninstrumented workload), schema 4 (matrix
+//! rows carry per-technique `applicable` flags and must cover the `restart`
+//! fault on both drivers), schema 3 (latency + throughput +
+//! scenario-matrix sections) and the older schema 2 (no matrix) are all
+//! accepted; matrix rows must carry finite false-ack/missed-ack rates
+//! inside `[0, 1]` and internally consistent counts, and not-applicable
+//! rows must be all-zero placeholders.
 //!
-//! Usage: `validate_results [path] [min_speedup]`
-//! (defaults: `BENCH_results.json`, no speedup floor).  When `min_speedup`
-//! is given, every `flow_mod_install/indexed_*` row must carry a `speedup`
-//! field of at least that factor over the linear-scan baseline.
+//! Usage: `validate_results [path] [min_speedup] [max_overhead]`
+//! (defaults: `BENCH_results.json`, no speedup floor, 3% overhead cap).
+//! When `min_speedup` is given, every `flow_mod_install/indexed_*` row must
+//! carry a `speedup` field of at least that factor over the linear-scan
+//! baseline.  In a schema-5 file, every `telemetry_overhead/*` row must
+//! carry a finite `overhead_pct` below `max_overhead`, and at least one
+//! such row must exist — instrumentation that slows the hot path down (or
+//! silently stops being measured) fails the gate.
 //!
 //! The build environment has no serde, so this ships a minimal JSON parser —
 //! enough for the flat document the harness emits.
@@ -345,13 +351,17 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
     Ok(matrix.len())
 }
 
-fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize, usize), String> {
+fn validate(
+    doc: &Json,
+    min_speedup: Option<f64>,
+    max_overhead: f64,
+) -> Result<(usize, usize, usize), String> {
     let Json::Obj(root) = doc else {
         return Err("document root is not an object".into());
     };
     let schema = match get(root, "schema")? {
-        Json::Num(v) if *v == 2.0 || *v == 3.0 || *v == 4.0 => *v as u32,
-        other => return Err(format!("schema must be 2, 3 or 4, got {other:?}")),
+        Json::Num(v) if (2.0..=5.0).contains(v) && v.fract() == 0.0 => *v as u32,
+        other => return Err(format!("schema must be 2, 3, 4 or 5, got {other:?}")),
     };
     let Json::Arr(results) = get(root, "results")? else {
         return Err("\"results\" is not an array".into());
@@ -376,6 +386,7 @@ fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize, usize
         return Err("no throughput rows".into());
     }
     let mut install_rows = 0usize;
+    let mut overhead_rows = 0usize;
     for (i, row) in throughput.iter().enumerate() {
         let Json::Obj(row) = row else {
             return Err(format!("throughput[{i}] is not an object"));
@@ -404,9 +415,33 @@ fn validate(doc: &Json, min_speedup: Option<f64>) -> Result<(usize, usize, usize
                 }
             }
         }
+        // Schema 5: telemetry-overhead rows carry the measured slowdown of
+        // the instrumented hot path and must stay under the cap.  Older
+        // schemas predate the field.
+        if name.starts_with("telemetry_overhead/") {
+            if schema < 5 {
+                return Err(format!("{name}: telemetry_overhead rows require schema 5"));
+            }
+            overhead_rows += 1;
+            let overhead = num(row, "overhead_pct")?;
+            if !overhead.is_finite() {
+                return Err(format!("{name}: bad overhead_pct {overhead}"));
+            }
+            if overhead >= max_overhead {
+                return Err(format!(
+                    "{name}: telemetry overhead {overhead:.2}% is at or above the \
+                     allowed {max_overhead}%"
+                ));
+            }
+        } else if row.contains_key("overhead_pct") {
+            return Err(format!("{name}: unexpected overhead_pct field"));
+        }
     }
     if install_rows == 0 {
         return Err("no flow_mod_install/indexed_* throughput row".into());
+    }
+    if schema >= 5 && overhead_rows == 0 {
+        return Err("schema 5 requires a telemetry_overhead/* throughput row".into());
     }
     // Schema 3 adds the scenario-matrix section; schema 2 predates it (and
     // is rejected if it smuggles one in anyway).
@@ -428,6 +463,7 @@ fn main() -> ExitCode {
         .map(String::as_str)
         .unwrap_or("BENCH_results.json");
     let min_speedup: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
+    let max_overhead: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3.0);
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -443,7 +479,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match validate(&doc, min_speedup) {
+    match validate(&doc, min_speedup, max_overhead) {
         Ok((latency, throughput, matrix)) => {
             println!(
                 "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows, {matrix} scenario-matrix rows)"
@@ -488,12 +524,12 @@ mod tests {
 
     #[test]
     fn schema_2_still_accepted() {
-        assert_eq!(validate(&doc(SCHEMA2), None), Ok((1, 1, 0)));
+        assert_eq!(validate(&doc(SCHEMA2), None, 3.0), Ok((1, 1, 0)));
     }
 
     #[test]
     fn schema_3_with_matrix_accepted() {
-        assert_eq!(validate(&doc(&schema3(GOOD_ROW)), None), Ok((1, 1, 1)));
+        assert_eq!(validate(&doc(&schema3(GOOD_ROW)), None, 3.0), Ok((1, 1, 1)));
         // A stalled cell: null completion, missed acks.
         let stalled = GOOD_ROW
             .replace("\"confirmed\": 8", "\"confirmed\": 5")
@@ -502,22 +538,22 @@ mod tests {
             .replace("\"missed_acks\": 0", "\"missed_acks\": 3")
             .replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 0.375")
             .replace("\"completion_ms\": 812.5", "\"completion_ms\": null");
-        assert_eq!(validate(&doc(&schema3(&stalled)), None), Ok((1, 1, 1)));
+        assert_eq!(validate(&doc(&schema3(&stalled)), None, 3.0), Ok((1, 1, 1)));
     }
 
     #[test]
     fn nan_and_out_of_range_rates_are_rejected() {
         // NaN serialises as null; num() maps it back to NaN -> rejected.
         let nan = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": null");
-        assert!(validate(&doc(&schema3(&nan)), None)
+        assert!(validate(&doc(&schema3(&nan)), None, 3.0)
             .unwrap_err()
             .contains("false_ack_rate"));
         let negative = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": -0.2");
-        assert!(validate(&doc(&schema3(&negative)), None)
+        assert!(validate(&doc(&schema3(&negative)), None, 3.0)
             .unwrap_err()
             .contains("false_ack_rate"));
         let above_one = GOOD_ROW.replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 1.5");
-        assert!(validate(&doc(&schema3(&above_one)), None)
+        assert!(validate(&doc(&schema3(&above_one)), None, 3.0)
             .unwrap_err()
             .contains("missed_ack_rate"));
     }
@@ -525,11 +561,11 @@ mod tests {
     #[test]
     fn inconsistent_counts_are_rejected() {
         let too_many = GOOD_ROW.replace("\"false_acks\": 8", "\"false_acks\": 9");
-        assert!(validate(&doc(&schema3(&too_many)), None)
+        assert!(validate(&doc(&schema3(&too_many)), None, 3.0)
             .unwrap_err()
             .contains("exceed the plan size"));
         let mismatch = GOOD_ROW.replace("\"confirmed\": 8", "\"confirmed\": 7");
-        assert!(validate(&doc(&schema3(&mismatch)), None)
+        assert!(validate(&doc(&schema3(&mismatch)), None, 3.0)
             .unwrap_err()
             .contains("!= planned"));
         // More false acks than confirmations is nonsensical: a false ack is
@@ -537,7 +573,7 @@ mod tests {
         let phantom = GOOD_ROW
             .replace("\"confirmed\": 8", "\"confirmed\": 5")
             .replace("\"missed_acks\": 0", "\"missed_acks\": 3");
-        assert!(validate(&doc(&schema3(&phantom)), None)
+        assert!(validate(&doc(&schema3(&phantom)), None, 3.0)
             .unwrap_err()
             .contains("exceed confirmed"));
     }
@@ -579,7 +615,7 @@ mod tests {
             restart_row("tcp"),
             NA_ROW
         );
-        assert_eq!(validate(&doc(&schema4(&rows)), None), Ok((1, 1, 4)));
+        assert_eq!(validate(&doc(&schema4(&rows)), None, 3.0), Ok((1, 1, 4)));
     }
 
     #[test]
@@ -589,7 +625,7 @@ mod tests {
             with_applicable(GOOD_ROW, true),
             restart_row("simnet")
         );
-        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
         assert!(err.contains("restart rows"), "{err}");
         assert!(err.contains("tcp"), "{err}");
         // A not-applicable restart row does not count as coverage.
@@ -602,7 +638,7 @@ mod tests {
             restart_row("simnet"),
             na_restart
         );
-        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
         assert!(err.contains("restart rows"), "{err}");
     }
 
@@ -613,7 +649,7 @@ mod tests {
             restart_row("simnet"),
             restart_row("tcp")
         );
-        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
         assert!(err.contains("applicable"), "{err}");
     }
 
@@ -625,7 +661,7 @@ mod tests {
             restart_row("simnet"),
             restart_row("tcp")
         );
-        let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
         assert!(err.contains("not-applicable"), "{err}");
         // Zero counts are not enough: a smuggled rate or completion time on
         // a never-run cell is rejected too.
@@ -639,7 +675,7 @@ mod tests {
                 restart_row("simnet"),
                 restart_row("tcp")
             );
-            let err = validate(&doc(&schema4(&rows)), None).unwrap_err();
+            let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
             assert!(err.contains("not-applicable"), "{err}");
         }
     }
@@ -647,14 +683,94 @@ mod tests {
     #[test]
     fn schema_3_must_not_carry_applicable() {
         let row = with_applicable(GOOD_ROW, true);
-        let err = validate(&doc(&schema3(&row)), None).unwrap_err();
+        let err = validate(&doc(&schema3(&row)), None, 3.0).unwrap_err();
         assert!(err.contains("requires schema 4"), "{err}");
+    }
+
+    /// A well-formed telemetry-overhead throughput row (schema 5).
+    const OVERHEAD_ROW: &str = r#"{"experiment": "telemetry_overhead/indexed_10", "ops": 10,
+        "median_elapsed_ms": 1.02, "ops_per_sec": 9800.0, "runs": 3, "overhead_pct": 1.2}"#;
+
+    /// Builds a schema-5 document: schema 4 with full restart coverage plus
+    /// the given telemetry-overhead throughput row.
+    fn schema5(overhead_row: &str) -> String {
+        let rows = format!(
+            "{}, {}, {}",
+            with_applicable(GOOD_ROW, true),
+            restart_row("simnet"),
+            restart_row("tcp")
+        );
+        schema4(&rows)
+            .replace("\"schema\": 4", "\"schema\": 5")
+            .replace(
+                "\"speedup\": 100.0}]",
+                &format!("\"speedup\": 100.0}}, {overhead_row}]"),
+            )
+    }
+
+    #[test]
+    fn schema_5_with_overhead_row_accepted() {
+        assert_eq!(
+            validate(&doc(&schema5(OVERHEAD_ROW)), None, 3.0),
+            Ok((1, 2, 3))
+        );
+        // Slightly-negative overhead is measurement noise, not an error.
+        let lucky = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": -0.3");
+        assert_eq!(validate(&doc(&schema5(&lucky)), None, 3.0), Ok((1, 2, 3)));
+    }
+
+    #[test]
+    fn schema_5_requires_an_overhead_row() {
+        let missing =
+            schema5(OVERHEAD_ROW).replace("telemetry_overhead/indexed_10", "codec/encode_10");
+        let err = validate(&doc(&missing), None, 3.0).unwrap_err();
+        assert!(err.contains("overhead_pct"), "{err}");
+        let dropped = schema4(&format!(
+            "{}, {}, {}",
+            with_applicable(GOOD_ROW, true),
+            restart_row("simnet"),
+            restart_row("tcp")
+        ))
+        .replace("\"schema\": 4", "\"schema\": 5");
+        let err = validate(&doc(&dropped), None, 3.0).unwrap_err();
+        assert!(err.contains("telemetry_overhead"), "{err}");
+    }
+
+    #[test]
+    fn overhead_at_or_above_the_cap_is_rejected() {
+        let slow = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": 3.0");
+        let err = validate(&doc(&schema5(&slow)), None, 3.0).unwrap_err();
+        assert!(err.contains("at or above"), "{err}");
+        // A looser explicit cap admits the same row.
+        assert_eq!(validate(&doc(&schema5(&slow)), None, 10.0), Ok((1, 2, 3)));
+        // A null (NaN) overhead is rejected regardless of cap.
+        let nan = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": null");
+        assert!(validate(&doc(&schema5(&nan)), None, 100.0)
+            .unwrap_err()
+            .contains("overhead_pct"));
+    }
+
+    #[test]
+    fn overhead_rows_require_schema_5() {
+        let smuggled = schema5(OVERHEAD_ROW).replace("\"schema\": 5", "\"schema\": 4");
+        let err = validate(&doc(&smuggled), None, 3.0).unwrap_err();
+        assert!(err.contains("require schema 5"), "{err}");
+    }
+
+    #[test]
+    fn overhead_pct_on_other_rows_is_rejected() {
+        let tainted = schema5(OVERHEAD_ROW).replace(
+            "\"speedup\": 100.0}",
+            "\"speedup\": 100.0, \"overhead_pct\": 0.5}",
+        );
+        let err = validate(&doc(&tainted), None, 3.0).unwrap_err();
+        assert!(err.contains("unexpected overhead_pct"), "{err}");
     }
 
     #[test]
     fn schema_2_with_matrix_section_is_rejected() {
         let sneaky = schema3(GOOD_ROW).replace("\"schema\": 3", "\"schema\": 2");
-        assert!(validate(&doc(&sneaky), None)
+        assert!(validate(&doc(&sneaky), None, 3.0)
             .unwrap_err()
             .contains("schema 2 must not carry"));
     }
@@ -662,7 +778,7 @@ mod tests {
     #[test]
     fn missing_matrix_section_in_schema_3_is_rejected() {
         let missing = SCHEMA2.replace("\"schema\": 2", "\"schema\": 3");
-        assert!(validate(&doc(&missing), None)
+        assert!(validate(&doc(&missing), None, 3.0)
             .unwrap_err()
             .contains("scenario_matrix"));
     }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observer;
 pub mod report;
 pub mod scenario_matrix;
 pub mod throughput;

@@ -1,0 +1,266 @@
+//! Rendering for `rumtop`, the live terminal observer of a running RUM
+//! deployment.
+//!
+//! Pure functions from a [`telemetry::Snapshot`] to text, so the dashboard
+//! layout is unit-testable without sockets; the `rumtop` binary adds the
+//! scrape loop and the ANSI screen refresh around [`render`].
+//!
+//! The layout groups the shared metrics vocabulary by origin:
+//!
+//! * `rum.sw{i}.*` — one row per monitored switch (engine counters, the
+//!   in-flight gauge and confirm-latency quantiles);
+//! * `session.*` — the consistent-update session, one line;
+//! * `proxy.*` — transport counters of the TCP proxy, one line;
+//! * `matrix.*` — scenario-matrix verdict counters, one line per cell,
+//!   shown only when present (live sweeps).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use telemetry::Snapshot;
+
+/// Per-switch view assembled from `rum.sw{i}.*` metrics.
+#[derive(Debug, Default, Clone)]
+struct SwitchRow {
+    unconfirmed: i64,
+    controller_flow_mods: u64,
+    proxy_flow_mods: u64,
+    probes_injected: u64,
+    probes_consumed: u64,
+    acks_sent: u64,
+    barriers_released: u64,
+    reconnects: u64,
+    p50_us: Option<u64>,
+    p99_us: Option<u64>,
+    p999_us: Option<u64>,
+}
+
+/// Splits a `rum.sw{i}.{field}` metric name into its switch index and
+/// field; `None` for names outside the per-switch namespace.
+fn switch_field(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("rum.sw")?;
+    let dot = rest.find('.')?;
+    let index: usize = rest[..dot].parse().ok()?;
+    Some((index, &rest[dot + 1..]))
+}
+
+fn switch_rows(snapshot: &Snapshot) -> BTreeMap<usize, SwitchRow> {
+    let mut rows: BTreeMap<usize, SwitchRow> = BTreeMap::new();
+    for (name, &value) in &snapshot.counters {
+        let Some((index, field)) = switch_field(name) else {
+            continue;
+        };
+        let row = rows.entry(index).or_default();
+        match field {
+            "controller_flow_mods" => row.controller_flow_mods = value,
+            "proxy_flow_mods" => row.proxy_flow_mods = value,
+            "probes_injected" => row.probes_injected = value,
+            "probes_consumed" => row.probes_consumed = value,
+            "acks_sent" => row.acks_sent = value,
+            "barrier_replies_released" => row.barriers_released = value,
+            "reconnects" => row.reconnects = value,
+            _ => {}
+        }
+    }
+    for (name, &value) in &snapshot.gauges {
+        if let Some((index, "unconfirmed")) = switch_field(name) {
+            rows.entry(index).or_default().unconfirmed = value;
+        }
+    }
+    for (name, summary) in &snapshot.histograms {
+        if let Some((index, "confirm_latency_us")) = switch_field(name) {
+            let row = rows.entry(index).or_default();
+            if summary.count > 0 {
+                row.p50_us = Some(summary.p50);
+                row.p99_us = Some(summary.p99);
+                row.p999_us = Some(summary.p999);
+            }
+        }
+    }
+    rows
+}
+
+fn fmt_quantile(q: Option<u64>) -> String {
+    match q {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders one snapshot as the `rumtop` dashboard body (no ANSI control
+/// codes — the binary owns the screen refresh).
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let rows = switch_rows(snapshot);
+    let _ = writeln!(
+        out,
+        "RUM live telemetry — {} switch{}",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "es" }
+    );
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<6}{:>9}{:>10}{:>10}{:>8}{:>8}{:>7}{:>9}{:>7}{:>9}{:>9}{:>10}",
+            "switch",
+            "inflight",
+            "ctrl-mods",
+            "rum-mods",
+            "probes",
+            "caught",
+            "acks",
+            "barriers",
+            "reconn",
+            "p50(us)",
+            "p99(us)",
+            "p99.9(us)",
+        );
+        for (index, row) in &rows {
+            let _ = writeln!(
+                out,
+                "{:<6}{:>9}{:>10}{:>10}{:>8}{:>8}{:>7}{:>9}{:>7}{:>9}{:>9}{:>10}",
+                format!("sw{index}"),
+                row.unconfirmed,
+                row.controller_flow_mods,
+                row.proxy_flow_mods,
+                row.probes_injected,
+                row.probes_consumed,
+                row.acks_sent,
+                row.barriers_released,
+                row.reconnects,
+                fmt_quantile(row.p50_us),
+                fmt_quantile(row.p99_us),
+                fmt_quantile(row.p999_us),
+            );
+        }
+    }
+
+    let session_counter = |field: &str| {
+        snapshot
+            .counters
+            .get(&format!("session.{field}"))
+            .copied()
+            .unwrap_or(0)
+    };
+    if snapshot.counters.keys().any(|k| k.starts_with("session.")) {
+        let mut line = format!(
+            "session: sent {}  confirmed {}  failed {}  retries {}  rollbacks {}  in-flight {}",
+            session_counter("mods_sent"),
+            session_counter("mods_confirmed"),
+            session_counter("mods_failed"),
+            session_counter("retries"),
+            session_counter("rollbacks_sent"),
+            snapshot
+                .gauges
+                .get("session.in_flight")
+                .copied()
+                .unwrap_or(0),
+        );
+        if let Some(h) = snapshot.histograms.get("session.confirm_latency_us") {
+            if h.count > 0 {
+                let _ = write!(line, "  confirm p50 {}us p99 {}us", h.p50, h.p99);
+            }
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    let proxy_counter = |field: &str| {
+        snapshot
+            .counters
+            .get(&format!("proxy.{field}"))
+            .copied()
+            .unwrap_or(0)
+    };
+    if snapshot.counters.keys().any(|k| k.starts_with("proxy.")) {
+        let _ = writeln!(
+            out,
+            "proxy: conns {}  msgs sw {} ctrl {}  bytes sw {} ctrl {}  drains {}  timers {}",
+            proxy_counter("connections"),
+            proxy_counter("to_switch_msgs"),
+            proxy_counter("to_controller_msgs"),
+            proxy_counter("to_switch_bytes"),
+            proxy_counter("to_controller_bytes"),
+            proxy_counter("drains"),
+            proxy_counter("timers_fired"),
+        );
+    }
+
+    let matrix: Vec<(&String, &u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("matrix."))
+        .collect();
+    if !matrix.is_empty() {
+        let _ = writeln!(out, "matrix verdicts:");
+        for (name, value) in matrix {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::Registry;
+
+    fn populated_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("rum.sw0.controller_flow_mods").add(10);
+        registry.counter("rum.sw0.proxy_flow_mods").add(12);
+        registry.counter("rum.sw0.acks_sent").add(10);
+        registry.counter("rum.sw1.reconnects").add(2);
+        registry.gauge("rum.sw0.unconfirmed").set(3);
+        let h = registry.histogram("rum.sw0.confirm_latency_us");
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        registry.counter("session.mods_sent").add(20);
+        registry.counter("session.mods_confirmed").add(18);
+        registry.gauge("session.in_flight").set(2);
+        registry.counter("proxy.connections").add(3);
+        registry
+            .counter("matrix.simnet.early_reply.barrier-only.false_acks")
+            .add(4);
+        registry
+    }
+
+    #[test]
+    fn render_groups_switches_session_proxy_and_matrix() {
+        let text = render(&populated_registry().snapshot());
+        assert!(text.contains("2 switches"), "{text}");
+        assert!(text.contains("sw0"), "{text}");
+        assert!(text.contains("sw1"), "{text}");
+        assert!(text.contains("session: sent 20  confirmed 18"), "{text}");
+        assert!(text.contains("proxy: conns 3"), "{text}");
+        assert!(
+            text.contains("matrix.simnet.early_reply.barrier-only.false_acks = 4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn switch_rows_pick_up_counters_gauges_and_quantiles() {
+        let rows = switch_rows(&populated_registry().snapshot());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[&0].controller_flow_mods, 10);
+        assert_eq!(rows[&0].unconfirmed, 3);
+        assert_eq!(rows[&1].reconnects, 2);
+        assert!(rows[&0].p50_us.is_some());
+        assert!(rows[&1].p50_us.is_none(), "no latency data for sw1");
+    }
+
+    #[test]
+    fn empty_snapshots_render_without_panicking() {
+        let text = render(&Registry::new().snapshot());
+        assert!(text.contains("0 switch"), "{text}");
+        assert!(!text.contains("session:"), "{text}");
+    }
+
+    #[test]
+    fn unrelated_names_are_not_misparsed_as_switches() {
+        assert_eq!(switch_field("rum.swx.acks_sent"), None);
+        assert_eq!(switch_field("proxy.sw0.depth"), None);
+        assert_eq!(switch_field("rum.sw12"), None);
+        assert_eq!(switch_field("rum.sw12.acks_sent"), Some((12, "acks_sent")));
+    }
+}

@@ -112,6 +112,11 @@ pub struct ThroughputRecord {
     /// Ops/sec of the linear-scan reference on the same workload, when the
     /// baseline was measured; the JSON row then carries a `speedup` field.
     pub baseline_ops_per_sec: Option<f64>,
+    /// Slowdown relative to the uninstrumented variant of the same workload
+    /// in percent, when one was measured (the `telemetry_overhead` rows,
+    /// schema 5).  May be slightly negative: it is a difference of two
+    /// noisy measurements.
+    pub overhead_pct: Option<f64>,
 }
 
 impl ThroughputRecord {
@@ -125,12 +130,20 @@ impl ThroughputRecord {
             ops_per_sec: ops as f64 / (median / 1000.0),
             runs: elapsed_ms.len(),
             baseline_ops_per_sec: None,
+            overhead_pct: None,
         }
     }
 
     /// Attaches the linear-scan baseline measured on the same workload.
     pub fn with_baseline(mut self, baseline_ops_per_sec: f64) -> Self {
         self.baseline_ops_per_sec = Some(baseline_ops_per_sec);
+        self
+    }
+
+    /// Attaches the measured slowdown (percent) over the uninstrumented
+    /// variant of the same workload.
+    pub fn with_overhead(mut self, overhead_pct: f64) -> Self {
+        self.overhead_pct = Some(overhead_pct);
         self
     }
 
@@ -141,7 +154,7 @@ impl ThroughputRecord {
     }
 }
 
-/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 4):
+/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 5):
 /// the reliability measurement of one (driver, fault model, technique)
 /// combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,12 +222,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document, schema 4
+/// Renders the records as the `BENCH_results.json` document, schema 5
 /// (handwritten JSON — the build environment has no serde):
 ///
 /// ```json
 /// {
-///   "schema": 4,
+///   "schema": 5,
 ///   "results": [
 ///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
 ///      "confirms": n, "runs": n}
@@ -222,7 +235,8 @@ fn json_num(v: f64) -> String {
 ///   "throughput": [
 ///     {"experiment": "...", "ops": n, "median_elapsed_ms": f,
 ///      "ops_per_sec": f, "runs": n,
-///      "baseline_ops_per_sec": f, "speedup": f}   // last two optional
+///      "baseline_ops_per_sec": f, "speedup": f,   // optional pair
+///      "overhead_pct": f}                         // telemetry_overhead rows
 ///   ],
 ///   "scenario_matrix": [
 ///     {"experiment": "scenario_matrix/<driver>/<fault>/<technique>",
@@ -238,7 +252,7 @@ pub fn results_json(
     throughput: &[ThroughputRecord],
     matrix: &[MatrixRecord],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": 4,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 5,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -268,6 +282,9 @@ pub fn results_json(
                 json_num(base),
                 json_num(speedup)
             ));
+        }
+        if let Some(overhead) = r.overhead_pct {
+            row.push_str(&format!(", \"overhead_pct\": {}", json_num(overhead)));
         }
         row.push_str(&format!(
             "}}{}\n",
@@ -435,6 +452,8 @@ mod tests {
             ThroughputRecord::from_runs("flow_mod_install/indexed_1k", 1000, &[2.0, 4.0, 3.0])
                 .with_baseline(1000.0),
             ThroughputRecord::from_runs("codec/encode", 64, &[1.0]),
+            ThroughputRecord::from_runs("telemetry_overhead/indexed_1k", 1000, &[3.1])
+                .with_overhead(1.25),
         ];
         let matrix = vec![
             MatrixRecord {
@@ -465,7 +484,7 @@ mod tests {
             },
         ];
         let json = results_json(&records, &throughput, &matrix);
-        assert!(json.contains("\"schema\": 4"));
+        assert!(json.contains("\"schema\": 5"));
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));
@@ -480,6 +499,14 @@ mod tests {
         // The record without a baseline omits the speedup fields.
         let codec_row = json.lines().find(|l| l.contains("codec/encode")).unwrap();
         assert!(!codec_row.contains("speedup"));
+        assert!(!codec_row.contains("overhead_pct"));
+        // The overhead row carries its measured slowdown.
+        let overhead_row = json
+            .lines()
+            .find(|l| l.contains("telemetry_overhead/"))
+            .unwrap();
+        assert!(overhead_row.contains("\"overhead_pct\": 1.250"));
+        assert!(!overhead_row.contains("speedup"));
         // The matrix section carries rates, counts and the composed name.
         assert!(json.contains("scenario_matrix/simnet/early_reply/barrier-only"));
         assert!(json.contains("\"false_ack_rate\": 0.900"));
@@ -488,7 +515,7 @@ mod tests {
         assert!(json.contains("\"completion_ms\": null"));
         assert!(json.contains("\"applicable\": true"));
         // One trailing comma-less record per section.
-        assert_eq!(json.matches("},\n").count(), 3);
+        assert_eq!(json.matches("},\n").count(), 4);
     }
 
     #[test]
@@ -497,6 +524,8 @@ mod tests {
         assert_eq!(r.median_elapsed_ms, 5.0);
         assert_eq!(r.ops_per_sec, 100_000.0);
         assert_eq!(r.speedup(), None);
+        assert_eq!(r.overhead_pct, None);
+        assert_eq!(r.clone().with_overhead(1.5).overhead_pct, Some(1.5));
         assert_eq!(r.with_baseline(10_000.0).speedup(), Some(10.0));
     }
 

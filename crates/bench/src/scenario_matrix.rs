@@ -29,6 +29,7 @@ use rum_tcp::{
 use simnet::{OpenFlowSwitch, SimTime, Simulator};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+use telemetry::Registry;
 
 /// One acknowledgment strategy of the matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,6 +245,13 @@ impl MatrixCell {
 
 /// Classifies a run: joins the controller's confirmation times against the
 /// device under test's ground truth.
+///
+/// The counts are driven *through* the telemetry registry — one
+/// `matrix.{driver}.{fault}.{technique}.{false_acks,missed_acks}` counter
+/// pair per cell, the same vocabulary live runs use — and the cell reads
+/// its numbers back as counter deltas, so the registry and the report can
+/// never disagree.
+#[allow(clippy::too_many_arguments)] // private join of a run's artefacts
 fn classify(
     driver: &'static str,
     fault: &FaultModel,
@@ -252,19 +260,24 @@ fn classify(
     confirmations: &HashMap<u64, Duration>,
     truth: &GroundTruth,
     completion_ms: Option<f64>,
+    registry: &Registry,
 ) -> MatrixCell {
-    let mut false_acks = 0;
-    let mut missed_acks = 0;
+    let prefix = format!("matrix.{driver}.{}.{}", fault.name, technique.label());
+    let false_ctr = registry.counter(&format!("{prefix}.false_acks"));
+    let missed_ctr = registry.counter(&format!("{prefix}.missed_acks"));
+    let (false_before, missed_before) = (false_ctr.get(), missed_ctr.get());
     for &cookie in planned {
         match confirmations.get(&cookie) {
             Some(&at) => {
                 if !truth.active_at(cookie, at) {
-                    false_acks += 1;
+                    false_ctr.inc();
                 }
             }
-            None => missed_acks += 1,
+            None => missed_ctr.inc(),
         }
     }
+    let false_acks = (false_ctr.get() - false_before) as usize;
+    let missed_acks = (missed_ctr.get() - missed_before) as usize;
     MatrixCell {
         driver,
         fault: fault.name.to_string(),
@@ -287,6 +300,18 @@ pub fn run_simnet_cell(
     fault: &FaultModel,
     n_rules: usize,
     seed: u64,
+) -> MatrixCell {
+    run_simnet_cell_with_metrics(technique, fault, n_rules, seed, &Registry::new())
+}
+
+/// Like [`run_simnet_cell`], recording the cell's verdict counters into
+/// `registry` (metric names `matrix.simnet.{fault}.{technique}.*`).
+pub fn run_simnet_cell_with_metrics(
+    technique: &MatrixTechnique,
+    fault: &FaultModel,
+    n_rules: usize,
+    seed: u64,
+    registry: &Registry,
 ) -> MatrixCell {
     let mut sim = Simulator::new(seed);
     let scenario = BulkUpdateScenario {
@@ -374,6 +399,7 @@ pub fn run_simnet_cell(
         &confirmations,
         &truth,
         completion_ms,
+        registry,
     )
 }
 
@@ -405,6 +431,17 @@ const TCP_COMPLETION_TIMEOUT: Duration = Duration::from_millis(2_500);
 /// Runs one cell on the real-socket driver: a `TcpUpdateController`, the
 /// RUM TCP proxy (for RUM techniques), and fabric-linked switch hosts.
 pub fn run_tcp_cell(technique: &MatrixTechnique, fault: &FaultModel, n_rules: usize) -> MatrixCell {
+    run_tcp_cell_with_metrics(technique, fault, n_rules, &Registry::new())
+}
+
+/// Like [`run_tcp_cell`], recording the cell's verdict counters into
+/// `registry` (metric names `matrix.tcp.{fault}.{technique}.*`).
+pub fn run_tcp_cell_with_metrics(
+    technique: &MatrixTechnique,
+    fault: &FaultModel,
+    n_rules: usize,
+    registry: &Registry,
+) -> MatrixCell {
     let scenario = BulkUpdateScenario {
         n_rules,
         packets_per_sec: 0,
@@ -538,17 +575,29 @@ pub fn run_tcp_cell(technique: &MatrixTechnique, fault: &FaultModel, n_rules: us
         &confirmations,
         &report.truth,
         completion_ms,
+        registry,
     )
 }
 
 /// Runs the full matrix on the simulator driver.
 pub fn run_simnet_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
+    run_simnet_matrix_with_metrics(n_rules, seed, &Registry::new())
+}
+
+/// Like [`run_simnet_matrix`], accumulating every cell's verdict counters
+/// into `registry` — serve it with [`telemetry::serve`] to watch a long
+/// sweep fill in live.
+pub fn run_simnet_matrix_with_metrics(
+    n_rules: usize,
+    seed: u64,
+    registry: &Registry,
+) -> Vec<MatrixCell> {
     let base = SwitchModel::hp5406zl();
     let mut cells = Vec::new();
     for fault in fault_models(&base, seed, n_rules) {
         for technique in MatrixTechnique::all(&base) {
             cells.push(if technique_applicable(&technique, &fault) {
-                run_simnet_cell(&technique, &fault, n_rules, seed)
+                run_simnet_cell_with_metrics(&technique, &fault, n_rules, seed, registry)
             } else {
                 MatrixCell::not_applicable("simnet", &fault, &technique)
             });
@@ -560,12 +609,22 @@ pub fn run_simnet_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
 /// Runs the full matrix on the real-socket driver (wall-clock time; uses
 /// the scaled-down `fast_buggy` model).
 pub fn run_tcp_matrix(n_rules: usize, seed: u64) -> Vec<MatrixCell> {
+    run_tcp_matrix_with_metrics(n_rules, seed, &Registry::new())
+}
+
+/// Like [`run_tcp_matrix`], accumulating every cell's verdict counters
+/// into `registry`.
+pub fn run_tcp_matrix_with_metrics(
+    n_rules: usize,
+    seed: u64,
+    registry: &Registry,
+) -> Vec<MatrixCell> {
     let base = SwitchModel::fast_buggy();
     let mut cells = Vec::new();
     for fault in fault_models(&base, seed, n_rules) {
         for technique in MatrixTechnique::all(&base) {
             cells.push(if technique_applicable(&technique, &fault) {
-                run_tcp_cell(&technique, &fault, n_rules)
+                run_tcp_cell_with_metrics(&technique, &fault, n_rules, registry)
             } else {
                 MatrixCell::not_applicable("tcp", &fault, &technique)
             });
@@ -660,6 +719,37 @@ mod tests {
         assert!(!na.applicable);
         assert_eq!(na.planned, 0);
         assert_eq!(na.false_ack_rate(), 0.0);
+    }
+
+    /// Cell verdicts are *driven through* the shared telemetry registry:
+    /// the counters under `matrix.*` and the returned `MatrixCell` are the
+    /// same numbers by construction.
+    #[test]
+    fn matrix_counts_flow_through_the_telemetry_registry() {
+        let base = SwitchModel::hp5406zl();
+        let early = &fault_models(&base, 42, 8)[0];
+        let registry = Registry::new();
+        let cell =
+            run_simnet_cell_with_metrics(&MatrixTechnique::BarrierOnly, early, 8, 42, &registry);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["matrix.simnet.early_reply.barrier-only.false_acks"],
+            cell.false_acks as u64
+        );
+        assert_eq!(
+            snap.counters["matrix.simnet.early_reply.barrier-only.missed_acks"],
+            cell.missed_acks as u64
+        );
+        // A second run over the same registry accumulates in telemetry but
+        // still reports per-run deltas in the cell.
+        let again =
+            run_simnet_cell_with_metrics(&MatrixTechnique::BarrierOnly, early, 8, 42, &registry);
+        assert_eq!(again.false_acks, cell.false_acks);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["matrix.simnet.early_reply.barrier-only.false_acks"],
+            2 * cell.false_acks as u64
+        );
     }
 
     /// The matrix's load-bearing cells, at reduced scale: the barrier-only

@@ -9,6 +9,7 @@ use ofswitch::{FlowTable, LinearFlowTable};
 use openflow::messages::FlowMod;
 use openflow::{Action, OfCodec, OfMatch, OfMessage};
 use rum::{Input, RumBuilder, SwitchId, TechniqueConfig};
+use telemetry::{Recorder, Registry};
 
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
@@ -42,6 +43,34 @@ pub fn install_indexed(mods: &[FlowMod]) -> Duration {
             .apply(fm, std::time::Duration::ZERO)
             .expect("install succeeds");
     }
+    let elapsed = start.elapsed();
+    assert_eq!(table.len(), mods.len());
+    elapsed
+}
+
+/// The identical indexed install with the telemetry hot-path operations
+/// active: one sharded-counter increment and one per-thread recorder
+/// observation per apply — exactly the shape of the instrumentation on the
+/// proxy's message path — plus one gauge publish per run.  No clocks are
+/// read per operation; every recorded value is already available from the
+/// workload.  Comparing this against [`install_indexed`] on the same `mods`
+/// isolates the pure cost of the metric operations (the
+/// `telemetry_overhead` rows of `BENCH_results.json`).
+pub fn install_indexed_instrumented(mods: &[FlowMod], registry: &Registry) -> Duration {
+    let mut table = FlowTable::new(0);
+    let ops = registry.counter("bench.install.ops");
+    let table_len = registry.gauge("bench.install.table_len");
+    let mut sizes = Recorder::new(registry.histogram("bench.install.table_len_dist"));
+    let start = Instant::now();
+    for fm in mods {
+        table
+            .apply(fm, std::time::Duration::ZERO)
+            .expect("install succeeds");
+        ops.inc();
+        sizes.record(table.len() as u64);
+    }
+    sizes.flush();
+    table_len.set(table.len() as i64);
     let elapsed = start.elapsed();
     assert_eq!(table.len(), mods.len());
     elapsed
@@ -188,6 +217,21 @@ mod tests {
         assert!(decode_throughput(&wire, msgs.len()) > Duration::ZERO);
         assert!(engine_drain_throughput(64) > Duration::ZERO);
         assert!(session_drain_throughput(64) > Duration::ZERO);
+    }
+
+    #[test]
+    fn instrumented_install_does_the_same_work_and_reports_it() {
+        let mods = bulk_flow_mods(128);
+        let registry = Registry::new();
+        assert!(install_indexed_instrumented(&mods, &registry) > Duration::ZERO);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["bench.install.ops"], 128);
+        assert_eq!(snap.gauges["bench.install.table_len"], 128);
+        let sizes = &snap.histograms["bench.install.table_len_dist"];
+        assert_eq!(sizes.count, 128);
+        // min/max track exact values, not bucket bounds.
+        assert_eq!(sizes.min, 1, "first apply sees a one-entry table");
+        assert_eq!(sizes.max, 128);
     }
 
     #[test]

@@ -38,7 +38,38 @@ use openflow::messages::FlowModCommand;
 use openflow::{OfMessage, Xid};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{AtomicHistogram, Counter, Gauge, Registry};
+
+/// Telemetry handles the session publishes into when metrics are attached
+/// (all under `session.*`).  `None` costs nothing on the hot path.
+#[derive(Debug)]
+struct SessionMetrics {
+    mods_sent: Arc<Counter>,
+    mods_confirmed: Arc<Counter>,
+    mods_failed: Arc<Counter>,
+    retries: Arc<Counter>,
+    rollbacks_sent: Arc<Counter>,
+    packet_ins: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    confirm_latency_us: Arc<AtomicHistogram>,
+}
+
+impl SessionMetrics {
+    fn new(registry: &Registry) -> Self {
+        SessionMetrics {
+            mods_sent: registry.counter("session.mods_sent"),
+            mods_confirmed: registry.counter("session.mods_confirmed"),
+            mods_failed: registry.counter("session.mods_failed"),
+            retries: registry.counter("session.retries"),
+            rollbacks_sent: registry.counter("session.rollbacks_sent"),
+            packet_ins: registry.counter("session.packet_ins"),
+            in_flight: registry.gauge("session.in_flight"),
+            confirm_latency_us: registry.histogram("session.confirm_latency_us"),
+        }
+    }
+}
 
 /// How the session decides that a modification has been applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -288,6 +319,7 @@ pub struct UpdateSession {
     next_barrier_xid: Xid,
     packet_ins_received: u64,
     outcome: Option<SessionOutcome>,
+    metrics: Option<SessionMetrics>,
 }
 
 impl UpdateSession {
@@ -339,12 +371,28 @@ impl UpdateSession {
             next_barrier_xid: 0x4000_0000,
             packet_ins_received: 0,
             outcome: None,
+            metrics: None,
         }
     }
 
     /// Sets the failure policy (timeout → retries → abort).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
         self.failure_policy = policy;
+    }
+
+    /// Publishes session progress into `registry` under `session.*`:
+    /// mods sent/confirmed/failed, retries, rollbacks, PacketIns, the
+    /// in-flight gauge and the send-to-confirm latency histogram.  Attach
+    /// before the session starts so no event is missed.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(SessionMetrics::new(registry));
+    }
+
+    /// Mirrors the in-flight window into the gauge, when metrics are on.
+    fn record_in_flight(&self) {
+        if let Some(m) = &self.metrics {
+            m.in_flight.set(self.in_flight() as i64);
+        }
     }
 
     /// The update plan.
@@ -526,6 +574,9 @@ impl UpdateSession {
         effects.push(SessionEffect::Send { conn, message });
         self.send_times.insert(id, now);
         self.sent.insert(id);
+        if let Some(m) = &self.metrics {
+            m.mods_sent.inc();
+        }
         match self.ack_mode {
             AckMode::NoWait => self.mark_confirmed(id, now, effects),
             AckMode::Barriers { .. } => {
@@ -534,6 +585,7 @@ impl UpdateSession {
             }
             AckMode::RumAcks => self.arm_mod_timeout(id, effects),
         }
+        self.record_in_flight();
     }
 
     fn arm_mod_timeout(&mut self, id: u64, effects: &mut Vec<SessionEffect>) {
@@ -591,6 +643,14 @@ impl UpdateSession {
         }
         self.confirmation_times.insert(id, now);
         self.confirm_log.push(id);
+        if let Some(m) = &self.metrics {
+            m.mods_confirmed.inc();
+            if let Some(&sent_at) = self.send_times.get(&id) {
+                m.confirm_latency_us
+                    .record(now.saturating_sub(sent_at).as_micros() as u64);
+            }
+        }
+        self.record_in_flight();
         // Release dependents whose last unconfirmed dependency this was.
         if let Some(dependents) = self.dependents.get(&id) {
             for &dep in dependents {
@@ -659,6 +719,9 @@ impl UpdateSession {
                     let id = u64::from(xid);
                     if self.sent.contains(&id) && !self.failed.contains(&id) {
                         self.failed.push(id);
+                        if let Some(m) = &self.metrics {
+                            m.mods_failed.inc();
+                        }
                         effects.push(SessionEffect::Rejected {
                             id,
                             err_type: body.err_type,
@@ -669,6 +732,9 @@ impl UpdateSession {
             }
             OfMessage::PacketIn { .. } => {
                 self.packet_ins_received += 1;
+                if let Some(m) = &self.metrics {
+                    m.packet_ins.inc();
+                }
             }
             OfMessage::EchoRequest { xid, data } => {
                 effects.push(SessionEffect::Send {
@@ -720,6 +786,9 @@ impl UpdateSession {
 
     fn retry_mod(&mut self, id: u64, attempt: u32, effects: &mut Vec<SessionEffect>) {
         self.attempts.insert(id, attempt);
+        if let Some(m) = &self.metrics {
+            m.retries.inc();
+        }
         let m = self.plan.get(id).expect("sent id exists");
         let conn = ConnId::new(m.target);
         effects.push(SessionEffect::Send {
@@ -814,6 +883,10 @@ impl UpdateSession {
             }
         }
         rolled_back.sort_unstable();
+        if let Some(m) = &self.metrics {
+            m.mods_failed.inc();
+            m.rollbacks_sent.add(rolled_back.len() as u64);
+        }
         let report = AbortReport {
             failed: failed_id,
             cancelled,

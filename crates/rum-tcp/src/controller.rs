@@ -272,7 +272,7 @@ fn attach_connection(inner: &Arc<Inner>, conn: ConnId, generation: u64, stream: 
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            writer_loop(rx, stream);
+            writer_loop(rx, stream, None);
             detach_connection(&inner, conn, generation);
         });
     }

@@ -29,11 +29,12 @@ use openflow::{OfCodec, OfMessage};
 use rum::{ProxyStats, RumBuilder, SwitchId};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::{Counter, Gauge, Registry};
 
 /// Configuration of a [`RumTcpProxy`].
 #[derive(Debug, Clone)]
@@ -45,18 +46,67 @@ pub struct ProxyConfig {
 }
 
 /// Transport-level counters shared across all connections of one proxy
-/// instance.  Message-level statistics live in the engine — see
+/// instance, backed by the proxy's telemetry [`Registry`] under `proxy.*`
+/// metric names.  Message-level statistics live in the engine — see
 /// [`ProxyHandle::stats`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ProxyCounters {
+    connections: Arc<Counter>,
+    to_switch: Arc<Counter>,
+    to_controller: Arc<Counter>,
+    to_switch_bytes: Arc<Counter>,
+    to_controller_bytes: Arc<Counter>,
+    drains: Arc<Counter>,
+    timers_fired: Arc<Counter>,
+}
+
+impl ProxyCounters {
+    fn new(registry: &Registry) -> Self {
+        ProxyCounters {
+            connections: registry.counter("proxy.connections"),
+            to_switch: registry.counter("proxy.to_switch_msgs"),
+            to_controller: registry.counter("proxy.to_controller_msgs"),
+            to_switch_bytes: registry.counter("proxy.to_switch_bytes"),
+            to_controller_bytes: registry.counter("proxy.to_controller_bytes"),
+            drains: registry.counter("proxy.drains"),
+            timers_fired: registry.counter("proxy.timers_fired"),
+        }
+    }
+
     /// Switch connections accepted (and mapped to a [`SwitchId`]).
-    pub connections: AtomicU64,
+    pub fn connections(&self) -> u64 {
+        self.connections.get()
+    }
+
     /// Messages written towards switches.
-    pub to_switch: AtomicU64,
+    pub fn to_switch(&self) -> u64 {
+        self.to_switch.get()
+    }
+
     /// Messages written towards the controller.
-    pub to_controller: AtomicU64,
+    pub fn to_controller(&self) -> u64 {
+        self.to_controller.get()
+    }
+
+    /// Encoded bytes shipped towards switches.
+    pub fn to_switch_bytes(&self) -> u64 {
+        self.to_switch_bytes.get()
+    }
+
+    /// Encoded bytes shipped towards the controller.
+    pub fn to_controller_bytes(&self) -> u64 {
+        self.to_controller_bytes.get()
+    }
+
+    /// Engine drains executed (lock acquisitions that fed the relay).
+    pub fn drains(&self) -> u64 {
+        self.drains.get()
+    }
+
     /// Engine timers fired.
-    pub timers_fired: AtomicU64,
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired.get()
+    }
 }
 
 /// Where encoded bytes for one endpoint go: buffered until the connection
@@ -69,27 +119,35 @@ pub(crate) enum Route {
 }
 
 impl Route {
-    /// Hands one encoded batch to the endpoint.
-    pub(crate) fn send_bytes(&mut self, bytes: Vec<u8>) {
+    /// Hands one encoded batch to the endpoint.  Returns `true` when the
+    /// chunk was enqueued on a live connection's outbox (so callers can
+    /// track queue depth), `false` when it was buffered or dropped.
+    pub(crate) fn send_bytes(&mut self, bytes: Vec<u8>) -> bool {
         if bytes.is_empty() {
-            return;
+            return false;
         }
         match self {
-            Route::Pending(q) => q.extend_from_slice(&bytes),
+            Route::Pending(q) => {
+                q.extend_from_slice(&bytes);
+                false
+            }
             Route::Connected(tx) => {
                 // A closed channel means the connection died; the engine's
                 // timers will cope, exactly as with a lossy control channel.
-                let _ = tx.send(bytes);
+                tx.send(bytes).is_ok()
             }
         }
     }
 
-    pub(crate) fn connect(&mut self, tx: Sender<Vec<u8>>) {
+    /// Returns `true` when buffered pending bytes were flushed onto the
+    /// fresh connection as one chunk.
+    pub(crate) fn connect(&mut self, tx: Sender<Vec<u8>>) -> bool {
         if let Route::Pending(q) = std::mem::replace(self, Route::Connected(tx.clone())) {
             if !q.is_empty() {
-                let _ = tx.send(q);
+                return tx.send(q).is_ok();
             }
         }
+        false
     }
 }
 
@@ -100,15 +158,21 @@ struct SwitchRoutes {
     /// laid out back-to-back and shipped as a single chunk.
     switch_buf: Vec<u8>,
     controller_buf: Vec<u8>,
+    /// Chunks queued on each writer's outbox but not yet written.
+    switch_outbox_depth: Arc<Gauge>,
+    controller_outbox_depth: Arc<Gauge>,
 }
 
 impl SwitchRoutes {
-    fn new() -> Self {
+    fn new(registry: &Registry, index: usize) -> Self {
         SwitchRoutes {
             to_switch: Route::Pending(Vec::new()),
             to_controller: Route::Pending(Vec::new()),
             switch_buf: Vec::new(),
             controller_buf: Vec::new(),
+            switch_outbox_depth: registry.gauge(&format!("proxy.sw{index}.switch_outbox_depth")),
+            controller_outbox_depth: registry
+                .gauge(&format!("proxy.sw{index}.controller_outbox_depth")),
         }
     }
 }
@@ -132,6 +196,9 @@ struct Inner {
     state: Mutex<RelayState>,
     timers: TimerQueue,
     counters: ProxyCounters,
+    /// Telemetry registry shared with the engine: `rum.sw*.*` (engine) and
+    /// `proxy.*` (transport) metrics all land here.
+    registry: Arc<Registry>,
     stop: AtomicBool,
 }
 
@@ -142,25 +209,29 @@ impl Inner {
     /// chunk → one socket write.
     fn apply(self: &Arc<Self>, f: impl FnOnce(&mut EngineRelay, &mut RelayEffects)) {
         let mut timers: Vec<(Duration, rum::TimerToken)> = Vec::new();
+        self.counters.drains.inc();
         {
             let mut st = self.state.lock().unwrap();
             let st = &mut *st;
             st.fx.clear();
             f(&mut st.relay, &mut st.fx);
             for (endpoint, message) in st.fx.messages.drain(..) {
-                let (counter, buf) = match endpoint {
+                let (counter, bytes_counter, buf) = match endpoint {
                     Endpoint::Switch(sw) => (
                         &self.counters.to_switch,
+                        &self.counters.to_switch_bytes,
                         &mut st.routes[sw.index()].switch_buf,
                     ),
                     Endpoint::Controller(sw) => (
                         &self.counters.to_controller,
+                        &self.counters.to_controller_bytes,
                         &mut st.routes[sw.index()].controller_buf,
                     ),
                 };
                 let len_before = buf.len();
                 if message.encode_into(buf).is_ok() {
-                    counter.fetch_add(1, Ordering::SeqCst);
+                    counter.inc();
+                    bytes_counter.add((buf.len() - len_before) as u64);
                 } else {
                     buf.truncate(len_before);
                 }
@@ -168,11 +239,15 @@ impl Inner {
             for routes in st.routes.iter_mut() {
                 if !routes.switch_buf.is_empty() {
                     let chunk = std::mem::take(&mut routes.switch_buf);
-                    routes.to_switch.send_bytes(chunk);
+                    if routes.to_switch.send_bytes(chunk) {
+                        routes.switch_outbox_depth.inc();
+                    }
                 }
                 if !routes.controller_buf.is_empty() {
                     let chunk = std::mem::take(&mut routes.controller_buf);
-                    routes.to_controller.send_bytes(chunk);
+                    if routes.to_controller.send_bytes(chunk) {
+                        routes.controller_outbox_depth.inc();
+                    }
                 }
             }
             timers.append(&mut st.fx.timers);
@@ -187,7 +262,7 @@ impl Inner {
 
     fn timer_loop(self: Arc<Self>) {
         self.timers.run(&self.stop, |token| {
-            self.counters.timers_fired.fetch_add(1, Ordering::SeqCst);
+            self.counters.timers_fired.inc();
             self.apply(|r, fx| r.on_timer_into(rum::TimerToken::from_raw(token), fx));
         });
     }
@@ -224,6 +299,25 @@ impl ProxyHandle {
     /// Number of switch slots the proxy was built for.
     pub fn n_switches(&self) -> usize {
         self.inner.state.lock().unwrap().relay.engine().n_switches()
+    }
+
+    /// Aggregated engine statistics across every switch — the same totals
+    /// the simulator deployment reports.
+    pub fn total_stats(&self) -> ProxyStats {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .relay
+            .engine()
+            .total_stats()
+    }
+
+    /// The telemetry registry backing this proxy: engine metrics
+    /// (`rum.sw*.*`) and transport metrics (`proxy.*`) in one place —
+    /// hand it to [`telemetry::serve`] to expose live snapshots.
+    pub fn metrics(&self) -> Arc<Registry> {
+        self.inner.registry.clone()
     }
 
     /// Asks the accept and timer loops to stop and waits for them.
@@ -266,8 +360,11 @@ impl RumTcpProxy {
         let listener = TcpListener::bind(self.config.listen_addr)?;
         let local_addr = listener.local_addr()?;
         let engine = self.builder.build();
+        let registry = engine.metrics().clone();
         let n_switches = engine.n_switches();
-        let routes = (0..n_switches).map(|_| SwitchRoutes::new()).collect();
+        let routes = (0..n_switches)
+            .map(|i| SwitchRoutes::new(&registry, i))
+            .collect();
         let inner = Arc::new(Inner {
             state: Mutex::new(RelayState {
                 relay: EngineRelay::new(engine),
@@ -277,7 +374,8 @@ impl RumTcpProxy {
                 fx: RelayEffects::default(),
             }),
             timers: TimerQueue::new(),
-            counters: ProxyCounters::default(),
+            counters: ProxyCounters::new(&registry),
+            registry,
             stop: AtomicBool::new(false),
         });
 
@@ -325,10 +423,7 @@ impl RumTcpProxy {
                     st.generation[slot] -= 1;
                     continue;
                 };
-                accept_inner
-                    .counters
-                    .connections
-                    .fetch_add(1, Ordering::SeqCst);
+                accept_inner.counters.connections.inc();
                 attach_connection(
                     &accept_inner,
                     SwitchId::new(slot),
@@ -374,12 +469,20 @@ fn attach_connection(
 
     let (switch_tx, switch_rx) = channel::<Vec<u8>>();
     let (controller_tx, controller_rx) = channel::<Vec<u8>>();
-    {
+    let (switch_depth, controller_depth) = {
         let mut st = inner.state.lock().unwrap();
         let routes = &mut st.routes[switch.index()];
-        routes.to_switch.connect(switch_tx);
-        routes.to_controller.connect(controller_tx);
-    }
+        if routes.to_switch.connect(switch_tx) {
+            routes.switch_outbox_depth.inc();
+        }
+        if routes.to_controller.connect(controller_tx) {
+            routes.controller_outbox_depth.inc();
+        }
+        (
+            routes.switch_outbox_depth.clone(),
+            routes.controller_outbox_depth.clone(),
+        )
+    };
 
     // Writer failures (peer hung up mid-write) detach the connection pair
     // just like reader EOFs do, freeing the slot for a reconnect and
@@ -387,14 +490,14 @@ fn attach_connection(
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            writer_loop(switch_rx, switch_stream);
+            writer_loop(switch_rx, switch_stream, Some(switch_depth));
             detach_connection(&inner, switch, generation);
         });
     }
     {
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
-            writer_loop(controller_rx, controller_stream);
+            writer_loop(controller_rx, controller_stream, Some(controller_depth));
             detach_connection(&inner, switch, generation);
         });
     }
@@ -462,22 +565,37 @@ const MAX_COALESCED_WRITE: usize = 256 * 1024;
 /// sender) lets the writer drain everything already routed — e.g. the acks
 /// for barrier replies a restarting switch flushed with its dying breath —
 /// before the FIN goes out.
-pub(crate) fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream) {
+pub(crate) fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream, depth: Option<Arc<Gauge>>) {
+    let consumed = |n: i64| {
+        if let Some(g) = &depth {
+            g.add(-n);
+        }
+    };
     // `recv` keeps yielding queued chunks after the senders are dropped
     // (detach), then errors — that is the drain.
     while let Ok(mut pending) = rx.recv() {
+        let mut chunks = 1i64;
         // The first chunk is written from its own allocation (no copy —
         // the common keeping-up case); only chunks that queued up behind
         // an in-flight write get appended to it.
         while pending.len() < MAX_COALESCED_WRITE {
             match rx.try_recv() {
-                Ok(chunk) => pending.extend_from_slice(&chunk),
+                Ok(chunk) => {
+                    pending.extend_from_slice(&chunk);
+                    chunks += 1;
+                }
                 Err(_) => break,
             }
         }
+        consumed(chunks);
         if stream.write_all(&pending).is_err() {
             break;
         }
+    }
+    // Chunks abandoned by a failed write still count as consumed: the
+    // gauge tracks what a live connection has queued, not lost bytes.
+    while rx.try_recv().is_ok() {
+        consumed(1);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
@@ -648,10 +766,10 @@ mod tests {
         assert_eq!(stats.controller_barriers, 1);
         assert_eq!(stats.barrier_replies_released, 1);
         assert_eq!(stats.unconfirmed, 0);
-        assert!(handle.counters().to_switch.load(Ordering::SeqCst) >= 3);
-        assert!(handle.counters().to_controller.load(Ordering::SeqCst) >= 1);
-        assert!(handle.counters().timers_fired.load(Ordering::SeqCst) >= 1);
-        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 1);
+        assert!(handle.counters().to_switch() >= 3);
+        assert!(handle.counters().to_controller() >= 1);
+        assert!(handle.counters().timers_fired() >= 1);
+        assert_eq!(handle.counters().connections(), 1);
 
         drop(ctrl_stream);
         handle.shutdown();
@@ -672,14 +790,14 @@ mod tests {
         let handle = proxy.start().unwrap();
         let _first = TcpStream::connect(handle.local_addr).unwrap();
         assert!(wait_for(
-            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            || handle.counters().connections() == 1,
             Duration::from_secs(2),
         ));
         // A second switch has no engine slot: accepted at TCP level but
         // never attached.
         let _second = TcpStream::connect(handle.local_addr).unwrap();
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 1);
+        assert_eq!(handle.counters().connections(), 1);
         handle.shutdown();
     }
 
@@ -699,7 +817,7 @@ mod tests {
         let handle = proxy.start().unwrap();
         let first = TcpStream::connect(handle.local_addr).unwrap();
         assert!(wait_for(
-            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            || handle.counters().connections() == 1,
             Duration::from_secs(2),
         ));
         drop(first);
@@ -708,7 +826,7 @@ mod tests {
         let mut second = None;
         assert!(wait_for(
             || {
-                if handle.counters().connections.load(Ordering::SeqCst) >= 2 {
+                if handle.counters().connections() >= 2 {
                     return true;
                 }
                 second = TcpStream::connect(handle.local_addr).ok();
@@ -716,7 +834,7 @@ mod tests {
             },
             Duration::from_secs(3),
         ));
-        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 2);
+        assert_eq!(handle.counters().connections(), 2);
         handle.shutdown();
     }
 
@@ -745,14 +863,14 @@ mod tests {
 
         let first = TcpStream::connect(handle.local_addr).unwrap();
         assert!(wait_for(
-            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            || handle.counters().connections() == 1,
             Duration::from_secs(2),
         ));
         drop(first);
         let mut second = None;
         assert!(wait_for(
             || {
-                if handle.counters().connections.load(Ordering::SeqCst) >= 2 {
+                if handle.counters().connections() >= 2 {
                     return true;
                 }
                 second = TcpStream::connect(handle.local_addr).ok();
@@ -803,7 +921,7 @@ mod tests {
 
         let mut conn = Some(TcpStream::connect(handle.local_addr).unwrap());
         assert!(wait_for(
-            || handle.counters().connections.load(Ordering::SeqCst) == 1,
+            || handle.counters().connections() == 1,
             Duration::from_secs(2),
         ));
         for round in 2..=3u64 {
@@ -820,7 +938,7 @@ mod tests {
             conn = Some(TcpStream::connect(handle.local_addr).unwrap());
             assert!(
                 wait_for(
-                    || handle.counters().connections.load(Ordering::SeqCst) == round,
+                    || handle.counters().connections() == round,
                     Duration::from_secs(3),
                 ),
                 "reconnect {round} must be accepted"
@@ -830,7 +948,7 @@ mod tests {
                 Duration::from_secs(2),
             ));
         }
-        assert_eq!(handle.counters().connections.load(Ordering::SeqCst), 3);
+        assert_eq!(handle.counters().connections(), 3);
         assert_eq!(handle.stats(sw).reconnects, 2);
         // All three attaches used the single engine slot.
         assert_eq!(handle.inner.state.lock().unwrap().generation[sw.index()], 3);

@@ -231,6 +231,11 @@ pub struct RumConfig {
     pub port_maps: Vec<SwitchPortMap>,
     /// Header-field plan for probing.
     pub probe_plan: ProbeFieldPlan,
+    /// The telemetry registry engine statistics are published into.  `None`
+    /// gives the engine a private registry — the stats surface is identical
+    /// either way; pass a shared registry to expose a deployment through
+    /// `telemetry::serve` alongside other components.
+    pub metrics: Option<std::sync::Arc<telemetry::Registry>>,
 }
 
 impl RumConfig {
@@ -270,6 +275,7 @@ impl RumBuilder {
                 record_confirmations: true,
                 port_maps: vec![SwitchPortMap::default(); n_switches],
                 probe_plan: ProbeFieldPlan::unique_per_switch(n_switches),
+                metrics: None,
             },
         }
     }
@@ -326,6 +332,15 @@ impl RumBuilder {
             "one port map per monitored switch"
         );
         self.config.port_maps = maps;
+        self
+    }
+
+    /// Publishes engine statistics into `registry` (counters and the
+    /// unconfirmed gauge under `rum.sw{i}.*`, confirm latency under
+    /// `rum.sw{i}.confirm_latency_us`).  Without this the engine uses a
+    /// private registry, so `RumEngine::stats` behaves the same either way.
+    pub fn metrics(mut self, registry: std::sync::Arc<telemetry::Registry>) -> Self {
+        self.config.metrics = Some(registry);
         self
     }
 

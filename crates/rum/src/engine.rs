@@ -38,7 +38,9 @@ use openflow::messages::FlowMod;
 use openflow::{OfMessage, PacketHeader, Xid};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{AtomicHistogram, Counter, Gauge, Registry};
 
 /// Transaction ids at or above this value belong to RUM, not the controller.
 ///
@@ -206,6 +208,84 @@ pub struct ProxyStats {
     pub reissued_flow_mods: u64,
 }
 
+impl std::ops::AddAssign for ProxyStats {
+    fn add_assign(&mut self, rhs: ProxyStats) {
+        self.controller_flow_mods += rhs.controller_flow_mods;
+        self.controller_barriers += rhs.controller_barriers;
+        self.proxy_flow_mods += rhs.proxy_flow_mods;
+        self.probes_injected += rhs.probes_injected;
+        self.probes_consumed += rhs.probes_consumed;
+        self.acks_sent += rhs.acks_sent;
+        self.barrier_replies_released += rhs.barrier_replies_released;
+        self.unconfirmed += rhs.unconfirmed;
+        self.rejected_xids += rhs.rejected_xids;
+        self.reconnects += rhs.reconnects;
+        self.reissued_flow_mods += rhs.reissued_flow_mods;
+    }
+}
+
+/// The telemetry handles behind one switch's [`ProxyStats`].
+///
+/// Every statistic the engine reports lives in the telemetry [`Registry`]
+/// under `rum.sw{i}.*` — [`RumEngine::stats`] *derives* `ProxyStats` from
+/// these handles, so a live scrape of the registry and a post-run stats
+/// report can never disagree, regardless of which driver runs the engine.
+struct SwitchMetrics {
+    controller_flow_mods: Arc<Counter>,
+    controller_barriers: Arc<Counter>,
+    proxy_flow_mods: Arc<Counter>,
+    probes_injected: Arc<Counter>,
+    probes_consumed: Arc<Counter>,
+    acks_sent: Arc<Counter>,
+    barrier_replies_released: Arc<Counter>,
+    rejected_xids: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    reissued_flow_mods: Arc<Counter>,
+    /// Modifications currently awaiting confirmation (mirrors the
+    /// `unconfirmed` map for live observers).
+    unconfirmed: Arc<Gauge>,
+    /// Received-to-confirmed latency per modification, in microseconds.
+    confirm_latency_us: Arc<AtomicHistogram>,
+}
+
+impl SwitchMetrics {
+    fn new(registry: &Registry, switch: SwitchId) -> Self {
+        let name = |field: &str| format!("rum.{switch}.{field}");
+        SwitchMetrics {
+            controller_flow_mods: registry.counter(&name("controller_flow_mods")),
+            controller_barriers: registry.counter(&name("controller_barriers")),
+            proxy_flow_mods: registry.counter(&name("proxy_flow_mods")),
+            probes_injected: registry.counter(&name("probes_injected")),
+            probes_consumed: registry.counter(&name("probes_consumed")),
+            acks_sent: registry.counter(&name("acks_sent")),
+            barrier_replies_released: registry.counter(&name("barrier_replies_released")),
+            rejected_xids: registry.counter(&name("rejected_xids")),
+            reconnects: registry.counter(&name("reconnects")),
+            reissued_flow_mods: registry.counter(&name("reissued_flow_mods")),
+            unconfirmed: registry.gauge(&name("unconfirmed")),
+            confirm_latency_us: registry.histogram(&name("confirm_latency_us")),
+        }
+    }
+
+    /// Assembles the stats report from the registry counters — the single
+    /// place `ProxyStats` is put together for every driver.
+    fn to_stats(&self, unconfirmed: u64) -> ProxyStats {
+        ProxyStats {
+            controller_flow_mods: self.controller_flow_mods.get(),
+            controller_barriers: self.controller_barriers.get(),
+            proxy_flow_mods: self.proxy_flow_mods.get(),
+            probes_injected: self.probes_injected.get(),
+            probes_consumed: self.probes_consumed.get(),
+            acks_sent: self.acks_sent.get(),
+            barrier_replies_released: self.barrier_replies_released.get(),
+            unconfirmed,
+            rejected_xids: self.rejected_xids.get(),
+            reconnects: self.reconnects.get(),
+            reissued_flow_mods: self.reissued_flow_mods.get(),
+        }
+    }
+}
+
 /// One confirmation the engine emitted, with the time it happened — the
 /// ground-truth accounting hook: an experiment joins these against the
 /// switch behaviour's data-plane timeline (`ofswitch::GroundTruth`) to
@@ -238,10 +318,12 @@ struct PendingBarrier {
 }
 
 /// One unconfirmed controller modification: its insertion sequence (for
-/// barrier covers) plus the flow-mod body, retained so a switch restart can
-/// be healed by re-issuing exactly what the controller asked for.
+/// barrier covers), when it arrived (for the confirm-latency histogram),
+/// plus the flow-mod body, retained so a switch restart can be healed by
+/// re-issuing exactly what the controller asked for.
 struct UnconfirmedMod {
     seq: u64,
+    received_at: Duration,
     flow_mod: FlowMod,
 }
 
@@ -261,19 +343,24 @@ struct SwitchState {
     next_event_seq: u64,
     pending_barriers: VecDeque<PendingBarrier>,
     buffered: VecDeque<OfMessage>,
-    stats: ProxyStats,
+    metrics: SwitchMetrics,
 }
 
 impl SwitchState {
-    fn new(technique: Box<dyn AckTechnique>) -> Self {
+    fn new(technique: Box<dyn AckTechnique>, metrics: SwitchMetrics) -> Self {
         SwitchState {
             technique,
             unconfirmed: HashMap::new(),
             next_event_seq: 0,
             pending_barriers: VecDeque::new(),
             buffered: VecDeque::new(),
-            stats: ProxyStats::default(),
+            metrics,
         }
+    }
+
+    /// Mirrors the unconfirmed-map size into the live gauge.
+    fn sync_unconfirmed_gauge(&self) {
+        self.metrics.unconfirmed.set(self.unconfirmed.len() as i64);
     }
 
     /// A cookie inserted at `inserted_seq` is resolved (confirmed or
@@ -295,6 +382,10 @@ impl SwitchState {
 pub struct RumEngine {
     config: RumConfig,
     switches: Vec<SwitchState>,
+    /// The telemetry registry every statistic lives in — the one configured
+    /// through [`crate::RumBuilder::metrics`], or a private registry so the
+    /// stats surface works identically with telemetry off.
+    registry: Arc<Registry>,
     next_xid: Xid,
     started: bool,
     confirm_log: Vec<ConfirmRecord>,
@@ -317,12 +408,23 @@ impl RumEngine {
     /// [`crate::deploy`] derives the maps from its topology, other
     /// deployments must set them via [`crate::RumBuilder::port_map`]).
     pub fn new(config: RumConfig) -> Self {
+        let registry = config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
         let switches = (0..config.n_switches())
-            .map(|i| SwitchState::new(build_technique(&config, SwitchId::new(i))))
+            .map(|i| {
+                let switch = SwitchId::new(i);
+                SwitchState::new(
+                    build_technique(&config, switch),
+                    SwitchMetrics::new(&registry, switch),
+                )
+            })
             .collect();
         RumEngine {
             config,
             switches,
+            registry,
             next_xid: PROXY_XID_BASE + 0x0100_0000,
             started: false,
             confirm_log: Vec::new(),
@@ -345,13 +447,29 @@ impl RumEngine {
         (0..self.switches.len()).map(SwitchId::new)
     }
 
-    /// Statistics for one monitored switch.
+    /// Statistics for one monitored switch, derived from the telemetry
+    /// registry (see [`RumEngine::metrics`]).
     pub fn stats(&self, switch: SwitchId) -> ProxyStats {
         let s = &self.switches[switch.index()];
-        ProxyStats {
-            unconfirmed: s.unconfirmed.len() as u64,
-            ..s.stats
+        s.metrics.to_stats(s.unconfirmed.len() as u64)
+    }
+
+    /// Total statistics summed over all monitored switches — the one
+    /// assembly point every driver reports through.
+    pub fn total_stats(&self) -> ProxyStats {
+        let mut total = ProxyStats::default();
+        for switch in 0..self.switches.len() {
+            total += self.stats(SwitchId::new(switch));
         }
+        total
+    }
+
+    /// The telemetry registry the engine's statistics live in: the one
+    /// passed to [`crate::RumBuilder::metrics`], or a private registry
+    /// created at construction.  Serve it with `telemetry::serve` to watch
+    /// a running deployment.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The technique name running for `switch`.
@@ -391,7 +509,7 @@ impl RumEngine {
             if self.config.technique.is_probing() {
                 let xid = self.fresh_xid();
                 let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
-                self.switches[i].stats.proxy_flow_mods += 1;
+                self.switches[i].metrics.proxy_flow_mods.inc();
                 effects.push(Effect::ToSwitch {
                     switch,
                     message: OfMessage::FlowMod { xid, body: fm },
@@ -481,7 +599,7 @@ impl RumEngine {
         // messages; a controller using them would have its replies swallowed
         // or misattributed.  Reject loudly instead.
         if msg.xid() >= PROXY_XID_BASE {
-            self.switches[switch.index()].stats.rejected_xids += 1;
+            self.switches[switch.index()].metrics.rejected_xids.inc();
             effects.push(Effect::ToController {
                 via: switch,
                 message: OfMessage::Error {
@@ -523,7 +641,7 @@ impl RumEngine {
             OfMessage::FlowMod { xid, ref body } => {
                 let id = u64::from(xid);
                 let state = &mut self.switches[i];
-                state.stats.controller_flow_mods += 1;
+                state.metrics.controller_flow_mods.inc();
                 // Record the insertion sequence so later barriers know they
                 // cover this modification (fresh cookies only: a re-sent
                 // unconfirmed cookie keeps its original position), and
@@ -532,9 +650,11 @@ impl RumEngine {
                 if let std::collections::hash_map::Entry::Vacant(e) = state.unconfirmed.entry(id) {
                     e.insert(UnconfirmedMod {
                         seq,
+                        received_at: now,
                         flow_mod: body.clone(),
                     });
                     state.next_event_seq += 1;
+                    state.sync_unconfirmed_gauge();
                 }
                 // Run the technique on the borrowed body first, then move
                 // the message into the forwarding effect — no clone.
@@ -550,7 +670,7 @@ impl RumEngine {
                 self.tech_out = out;
             }
             OfMessage::BarrierRequest { xid } => {
-                self.switches[i].stats.controller_barriers += 1;
+                self.switches[i].metrics.controller_barriers.inc();
                 if self.config.reliable_barriers {
                     let state = &mut self.switches[i];
                     let created_seq = state.next_event_seq;
@@ -635,7 +755,7 @@ impl RumEngine {
                         if body.reason != openflow::constants::packet_in_reason::ACTION {
                             return;
                         }
-                        self.switches[i].stats.probes_consumed += 1;
+                        self.switches[i].metrics.probes_consumed.inc();
                         // Probes may belong to any monitored switch's
                         // technique; each technique ignores probes that are
                         // not its own.
@@ -666,6 +786,7 @@ impl RumEngine {
                     let id = u64::from(xid);
                     if let Some(m) = self.switches[i].unconfirmed.remove(&id) {
                         self.switches[i].resolve_cookie(m.seq);
+                        self.switches[i].sync_unconfirmed_gauge();
                     }
                     effects.push(Effect::ToController {
                         via: switch,
@@ -730,11 +851,11 @@ impl RumEngine {
         if i >= self.switches.len() {
             return;
         }
-        self.switches[i].stats.reconnects += 1;
+        self.switches[i].metrics.reconnects.inc();
         if self.config.technique.is_probing() {
             let xid = self.fresh_xid();
             let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
-            self.switches[i].stats.proxy_flow_mods += 1;
+            self.switches[i].metrics.proxy_flow_mods.inc();
             effects.push(Effect::ToSwitch {
                 switch,
                 message: OfMessage::FlowMod { xid, body: fm },
@@ -748,7 +869,7 @@ impl RumEngine {
         pending.sort_unstable();
         for (_, cookie) in pending {
             let body = self.switches[i].unconfirmed[&cookie].flow_mod.clone();
-            self.switches[i].stats.reissued_flow_mods += 1;
+            self.switches[i].metrics.reissued_flow_mods.inc();
             effects.push(Effect::ToSwitch {
                 switch,
                 message: OfMessage::FlowMod {
@@ -794,12 +915,12 @@ impl RumEngine {
                 TechniqueOutput::Confirm(cookie) => self.confirm(switch, cookie, now, effects),
                 TechniqueOutput::ToSwitch(message) => {
                     if matches!(message, OfMessage::FlowMod { .. }) {
-                        self.switches[i].stats.proxy_flow_mods += 1;
+                        self.switches[i].metrics.proxy_flow_mods.inc();
                     }
                     effects.push(Effect::ToSwitch { switch, message });
                 }
                 TechniqueOutput::InjectVia { switch: via, msg } => {
-                    self.switches[i].stats.probes_injected += 1;
+                    self.switches[i].metrics.probes_injected.inc();
                     effects.push(Effect::InjectVia {
                         switch: via,
                         message: msg,
@@ -823,6 +944,11 @@ impl RumEngine {
             return;
         };
         state.resolve_cookie(m.seq);
+        state.sync_unconfirmed_gauge();
+        state
+            .metrics
+            .confirm_latency_us
+            .record(now.saturating_sub(m.received_at).as_micros() as u64);
         if self.config.record_confirmations {
             self.confirm_log.push(ConfirmRecord {
                 switch,
@@ -833,7 +959,7 @@ impl RumEngine {
         effects.push(Effect::Confirmed { switch, cookie });
         if self.config.fine_grained_acks {
             let state = &mut self.switches[i];
-            state.stats.acks_sent += 1;
+            state.metrics.acks_sent.inc();
             effects.push(Effect::ToController {
                 via: switch,
                 message: OfMessage::rum_ack(cookie as Xid),
@@ -853,7 +979,7 @@ impl RumEngine {
                 break;
             }
             let barrier = state.pending_barriers.pop_front().expect("front exists");
-            state.stats.barrier_replies_released += 1;
+            state.metrics.barrier_replies_released.inc();
             effects.push(Effect::ToController {
                 via: switch,
                 message: OfMessage::BarrierReply { xid: barrier.xid },

@@ -88,25 +88,15 @@ impl RumHandle {
         self.shared.borrow().engine.confirmed_order()
     }
 
-    /// Total statistics summed over all monitored switches.
+    /// Total statistics summed over all monitored switches.  Derived from
+    /// the engine's telemetry registry, like every other stats surface.
     pub fn total_stats(&self) -> ProxyStats {
-        let shared = self.shared.borrow();
-        let mut total = ProxyStats::default();
-        for switch in shared.engine.switch_ids() {
-            let s = shared.engine.stats(switch);
-            total.controller_flow_mods += s.controller_flow_mods;
-            total.controller_barriers += s.controller_barriers;
-            total.proxy_flow_mods += s.proxy_flow_mods;
-            total.probes_injected += s.probes_injected;
-            total.probes_consumed += s.probes_consumed;
-            total.acks_sent += s.acks_sent;
-            total.barrier_replies_released += s.barrier_replies_released;
-            total.unconfirmed += s.unconfirmed;
-            total.rejected_xids += s.rejected_xids;
-            total.reconnects += s.reconnects;
-            total.reissued_flow_mods += s.reissued_flow_mods;
-        }
-        total
+        self.shared.borrow().engine.total_stats()
+    }
+
+    /// The telemetry registry the deployment's statistics live in.
+    pub fn metrics(&self) -> std::sync::Arc<telemetry::Registry> {
+        std::sync::Arc::clone(self.shared.borrow().engine.metrics())
     }
 }
 

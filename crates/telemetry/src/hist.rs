@@ -1,0 +1,355 @@
+//! Log-bucketed (HDR-style) latency histograms.
+//!
+//! Values are mapped to log-linear buckets: the first `2^SUB_BITS` values
+//! get exact buckets, then every power-of-two octave is split into
+//! `2^(SUB_BITS-1)` sub-buckets, so the relative quantisation error is
+//! bounded by `1/2^(SUB_BITS-1)` (6.25% with the resolution used here)
+//! across the full `u64` range with a fixed, small bucket array.
+//!
+//! Three flavours share the same bucket math:
+//!
+//! * [`Histogram`] — plain, single-threaded, mergeable;
+//! * [`AtomicHistogram`] — lock-free shared recording (relaxed atomics);
+//! * [`Recorder`] — a per-thread [`Histogram`] that flushes into a shared
+//!   [`AtomicHistogram`], for hot paths where even an uncontended atomic
+//!   per event is too much.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket resolution bits: 2^5 exact low buckets, 16 sub-buckets per
+/// octave above, relative error ≤ 1/16.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const HALF: usize = 1 << (SUB_BITS - 1);
+
+/// Total number of buckets needed to span all of `u64`.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 2) * HALF;
+
+/// The bucket index recording value `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let shift = exp - (SUB_BITS - 1);
+    shift as usize * HALF + (v >> shift) as usize
+}
+
+/// The smallest value mapping to bucket `index` (the inverse of
+/// [`bucket_index`] up to quantisation).
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < (1 << SUB_BITS) {
+        return index as u64;
+    }
+    let shift = index / HALF - 1;
+    let sub = (index - shift * HALF) as u64;
+    sub << shift
+}
+
+/// A plain mergeable log-bucketed histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Folds `other` into `self`.  Merging is associative and commutative:
+    /// per-thread recorders can flush in any order and any grouping.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The quantile-`q` estimate: the lower bound of the bucket holding the
+    /// `ceil(q·count)`-th smallest observation, clamped into the recorded
+    /// `[min, max]` range.  The estimate is always within one bucket of the
+    /// exact sorted-sample quantile.  Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Raw bucket counts (test and merge support).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// A lock-free histogram shared between threads.  Recording is one relaxed
+/// `fetch_add` per bucket plus running min/max/sum updates; snapshots read
+/// the buckets and derive the count from their sum, so a snapshot can never
+/// observe a count that disagrees with its buckets (there is no separate
+/// total to tear).
+#[derive(Debug, Default)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds a plain histogram in (the [`Recorder`] flush path).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (bucket, &n) in self.buckets.iter().zip(other.buckets()) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if other.count() > 0 {
+            self.sum.fetch_add(other.sum as u64, Ordering::Relaxed);
+            self.min.fetch_min(other.min, Ordering::Relaxed);
+            self.max.fetch_max(other.max, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy.  The copy's count equals the sum of its
+    /// buckets by construction; min/max/sum are read independently and may
+    /// trail concurrent recordings by a few events.
+    pub fn snapshot(&self) -> Histogram {
+        let mut out = Histogram::new();
+        let mut count = 0u64;
+        for (dst, src) in out.buckets.iter_mut().zip(&self.buckets) {
+            let n = src.load(Ordering::Relaxed);
+            *dst = n;
+            count += n;
+        }
+        out.count = count;
+        out.sum = self.sum.load(Ordering::Relaxed) as u128;
+        out.min = self.min.load(Ordering::Relaxed);
+        out.max = self.max.load(Ordering::Relaxed);
+        if count > 0 {
+            // A racing recorder can bump a bucket before publishing its
+            // min/max; fall back to the non-empty bucket range so quantiles
+            // (which clamp to [min, max]) never collapse to stale extrema.
+            if out.min == u64::MAX {
+                let first = out.buckets.iter().position(|&b| b > 0).unwrap_or(0);
+                out.min = bucket_lower_bound(first);
+            }
+            let last = out.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+            out.max = out.max.max(bucket_lower_bound(last));
+        }
+        out
+    }
+}
+
+/// A per-thread recorder: records into a private [`Histogram`] and flushes
+/// into a shared [`AtomicHistogram`] in batches (and on drop), so the hot
+/// path touches no shared memory at all between flushes.
+#[derive(Debug)]
+pub struct Recorder {
+    local: Histogram,
+    target: Arc<AtomicHistogram>,
+}
+
+impl Recorder {
+    /// Creates a recorder flushing into `target`.
+    pub fn new(target: Arc<AtomicHistogram>) -> Self {
+        Recorder {
+            local: Histogram::new(),
+            target,
+        }
+    }
+
+    /// Records one observation locally.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.local.record(v);
+    }
+
+    /// Number of locally buffered (unflushed) observations.
+    pub fn pending(&self) -> u64 {
+        self.local.count()
+    }
+
+    /// Publishes buffered observations into the shared histogram.
+    pub fn flush(&mut self) {
+        if self.local.count() > 0 {
+            self.target.merge_from(&self.local);
+            self.local.clear();
+        }
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_map_exactly() {
+        for v in 0..(1 << SUB_BITS) {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn indices_are_contiguous_and_monotone() {
+        let mut last = bucket_index(0);
+        let mut probe = |v: u64| {
+            let i = bucket_index(v);
+            assert!(
+                i == last || i == last + 1,
+                "index jumped from {last} to {i} at value {v}"
+            );
+            last = i;
+        };
+        for v in 1..=4096 {
+            probe(v);
+        }
+    }
+
+    #[test]
+    fn full_range_fits() {
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn lower_bound_inverts_index() {
+        for i in 0..NUM_BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lower bound of bucket {i}");
+            if lb > 0 {
+                assert!(bucket_index(lb - 1) == i - 1, "value below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[100u64, 999, 12_345, 1 << 33, u64::MAX / 3] {
+            let lb = bucket_lower_bound(bucket_index(v));
+            let err = (v - lb) as f64 / v as f64;
+            assert!(err <= 1.0 / HALF as f64, "value {v}: error {err}");
+        }
+    }
+
+    #[test]
+    fn recorder_flushes_on_drop() {
+        let shared = Arc::new(AtomicHistogram::new());
+        {
+            let mut rec = Recorder::new(Arc::clone(&shared));
+            rec.record(5);
+            rec.record(500);
+            assert_eq!(rec.pending(), 2);
+            assert_eq!(shared.snapshot().count(), 0);
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), 5);
+        assert_eq!(snap.max(), 500);
+    }
+}

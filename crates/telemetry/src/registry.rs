@@ -1,0 +1,294 @@
+//! The named-metric registry and its consistent snapshots.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{AtomicHistogram, Histogram};
+use crate::json::{self, Value};
+use crate::metrics::{Counter, Gauge};
+
+/// A process-wide collection of named metrics.
+///
+/// Registration (name → handle) takes a mutex, but that is the *cold* path:
+/// callers look a metric up once and keep the returned `Arc` handle; every
+/// subsequent increment/record is lock-free.  Names are dotted paths, e.g.
+/// `rum.sw0.acks_sent` or `proxy.switch.bytes_out`.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+        )
+    }
+
+    /// A point-in-time copy of every metric.  Counter reads are monotone
+    /// across snapshots and histogram counts equal the sum of their buckets
+    /// by construction.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), HistogramSummary::of(&h.snapshot())))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Registry")
+            .field("counters", &snap.counters.len())
+            .field("gauges", &snap.gauges.len())
+            .field("histograms", &snap.histograms.len())
+            .finish()
+    }
+}
+
+/// The summary statistics of one histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// 50th-percentile estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// 99.9th-percentile estimate.
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// Summarises a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], serialisable as one JSON line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// Encodes the snapshot as a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"min\":");
+            out.push_str(&h.min.to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&h.max.to_string());
+            out.push_str(",\"mean\":");
+            json::write_f64(&mut out, h.mean);
+            out.push_str(",\"p50\":");
+            out.push_str(&h.p50.to_string());
+            out.push_str(",\"p90\":");
+            out.push_str(&h.p90.to_string());
+            out.push_str(",\"p99\":");
+            out.push_str(&h.p99.to_string());
+            out.push_str(",\"p999\":");
+            out.push_str(&h.p999.to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a JSON line produced by [`Snapshot::to_json_line`].
+    pub fn parse(line: &str) -> Result<Snapshot, String> {
+        let root = json::parse(line.trim())?;
+        let obj = root.as_obj().ok_or("snapshot is not an object")?;
+        let mut snap = Snapshot::default();
+        if let Some(counters) = obj.get("counters").and_then(Value::as_obj) {
+            for (name, v) in counters {
+                let n = v.as_i64().ok_or_else(|| format!("counter {name}"))?;
+                snap.counters.insert(name.clone(), n.max(0) as u64);
+            }
+        }
+        if let Some(gauges) = obj.get("gauges").and_then(Value::as_obj) {
+            for (name, v) in gauges {
+                let n = v.as_i64().ok_or_else(|| format!("gauge {name}"))?;
+                snap.gauges.insert(name.clone(), n);
+            }
+        }
+        if let Some(hists) = obj.get("histograms").and_then(Value::as_obj) {
+            for (name, v) in hists {
+                let h = v
+                    .as_obj()
+                    .ok_or_else(|| format!("histogram {name} is not an object"))?;
+                let field = |key: &str| -> Result<u64, String> {
+                    h.get(key)
+                        .and_then(Value::as_i64)
+                        .map(|n| n.max(0) as u64)
+                        .ok_or_else(|| format!("histogram {name} missing {key}"))
+                };
+                snap.histograms.insert(
+                    name.clone(),
+                    HistogramSummary {
+                        count: field("count")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        mean: h
+                            .get("mean")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| format!("histogram {name} missing mean"))?,
+                        p50: field("p50")?,
+                        p90: field("p90")?,
+                        p99: field("p99")?,
+                        p999: field("p999")?,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(registry.counter("x").get(), 3);
+        assert_eq!(registry.snapshot().counters["x"], 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let registry = Registry::new();
+        registry.counter("rum.sw0.acks_sent").add(7);
+        registry.gauge("session.in_flight").set(-3);
+        let h = registry.histogram("rum.sw0.confirm_latency_us");
+        for v in [100, 200, 300, 40_000] {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let line = snap.to_json_line();
+        let parsed = Snapshot::parse(&line).expect("round trip parses");
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.histograms["rum.sw0.confirm_latency_us"].count, 4);
+    }
+
+    #[test]
+    fn empty_registry_is_valid_json() {
+        let snap = Registry::new().snapshot();
+        let parsed = Snapshot::parse(&snap.to_json_line()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let registry = Registry::new();
+        registry.counter("a");
+        let s = format!("{registry:?}");
+        assert!(s.contains("counters: 1"), "got {s}");
+    }
+}

@@ -1,0 +1,226 @@
+//! The TCP snapshot/streaming endpoint and its one-shot client.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::registry::{Registry, Snapshot};
+
+/// How often the accept loop and idle client readers poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running telemetry endpoint; dropping or [`ServerHandle::shutdown`]
+/// stops it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, signals client handlers to exit, and joins the
+    /// accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the telemetry endpoint on `addr`, serving snapshots of
+/// `registry` over the line protocol described in the crate docs.
+pub fn serve(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept = thread::Builder::new()
+        .name("telemetry-accept".into())
+        .spawn(move || loop {
+            if accept_stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let registry = Arc::clone(&registry);
+                    let stop = Arc::clone(&accept_stop);
+                    let _ = thread::Builder::new()
+                        .name("telemetry-client".into())
+                        .spawn(move || serve_client(stream, &registry, &stop));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => thread::sleep(POLL_INTERVAL),
+            }
+        })?;
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+/// Runs the line protocol on one client connection until it closes, asks
+/// to quit, or the server shuts down.
+fn serve_client(stream: TcpStream, registry: &Registry, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let cmd = line.trim();
+        let (verb, arg) = match cmd.split_once(' ') {
+            Some((v, a)) => (v, a.trim()),
+            None => (cmd, ""),
+        };
+        match verb {
+            "snapshot" => {
+                if write_snapshot(&mut writer, registry).is_err() {
+                    return;
+                }
+            }
+            "stream" => {
+                let interval = Duration::from_millis(arg.parse::<u64>().unwrap_or(1000).max(1));
+                while !stop.load(Ordering::Relaxed) {
+                    if write_snapshot(&mut writer, registry).is_err() {
+                        return;
+                    }
+                    thread::sleep(interval);
+                }
+                return;
+            }
+            "quit" | "" => return,
+            other => {
+                if writeln!(writer, "error unknown command: {other}").is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn write_snapshot(writer: &mut TcpStream, registry: &Registry) -> io::Result<()> {
+    let line = registry.snapshot().to_json_line();
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Connects to a telemetry endpoint, requests one snapshot, and parses it.
+pub fn scrape(addr: SocketAddr, timeout: Duration) -> io::Result<Snapshot> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"snapshot\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    Snapshot::parse(&line).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad snapshot line: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_command_round_trips() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("test.events").add(9);
+        registry.gauge("test.depth").set(4);
+        let server = serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let snap = scrape(server.local_addr(), Duration::from_secs(5)).unwrap();
+        assert_eq!(snap.counters["test.events"], 9);
+        assert_eq!(snap.gauges["test.depth"], 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_emits_fresh_snapshots() {
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("test.ticks");
+        let server = serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"stream 10\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut last = 0;
+        for i in 0..3 {
+            counter.add(5);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let snap = Snapshot::parse(&line).unwrap();
+            let v = snap.counters["test.ticks"];
+            assert!(v >= last, "stream line {i} went backwards: {v} < {last}");
+            last = v;
+        }
+        assert!(last > 0, "streaming never observed an increment");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_commands_get_an_error_line() {
+        let registry = Arc::new(Registry::new());
+        let server = serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"bogus\nsnapshot\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("error"), "got {line:?}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(Snapshot::parse(&line).is_ok(), "got {line:?}");
+        server.shutdown();
+    }
+}

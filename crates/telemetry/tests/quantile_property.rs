@@ -1,0 +1,127 @@
+//! Property tests for the log-bucketed histogram: quantile estimates are
+//! compared against the exact sorted-sample quantile of the same data, and
+//! merge must behave like recording the union of the samples.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use telemetry::{bucket_index, Histogram};
+
+/// The exact quantile under the same rank convention the histogram uses:
+/// rank `ceil(q * n)` clamped to `[1, n]`, 1-indexed into the sorted data.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// A sample drawn from a mixture of scales so all histogram regimes are
+/// exercised: the exact low range, mid-size values, and the full 64 bits.
+fn sample(rng: &mut SmallRng) -> u64 {
+    match rng.gen_index(4) {
+        0 => rng.gen_range_u64(32),
+        1 => rng.gen_range_u64(10_000),
+        2 => rng.gen_range_u64(1 << 40),
+        _ => rng.next_u64(),
+    }
+}
+
+/// The headline property: for every quantile, the histogram's estimate
+/// lands in the same (or an adjacent) bucket as the exact sorted-sample
+/// quantile, and never overshoots the exact value.
+#[test]
+fn quantile_estimates_stay_within_one_bucket_of_exact() {
+    for seed in 0..25u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 1 + rng.gen_index(2_000);
+        let mut hist = Histogram::new();
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = sample(&mut rng);
+            samples.push(v);
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let estimate = hist.quantile(q);
+            assert!(
+                estimate <= exact,
+                "seed {seed} q {q}: estimate {estimate} overshoots exact {exact}"
+            );
+            let distance = bucket_index(estimate).abs_diff(bucket_index(exact));
+            assert!(
+                distance <= 1,
+                "seed {seed} q {q}: estimate {estimate} is {distance} buckets from exact {exact}"
+            );
+        }
+    }
+}
+
+/// Merging histograms is associative and commutative, and equals recording
+/// the concatenated samples directly.
+#[test]
+fn merge_is_associative_and_matches_direct_recording() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let parts: Vec<Vec<u64>> = (0..3)
+        .map(|_| (0..500).map(|_| sample(&mut rng)).collect())
+        .collect();
+    let hist_of = |chunks: &[&[u64]]| {
+        let mut h = Histogram::new();
+        for chunk in chunks {
+            for &v in *chunk {
+                h.record(v);
+            }
+        }
+        h
+    };
+    let [a, b, c] = [
+        hist_of(&[&parts[0]]),
+        hist_of(&[&parts[1]]),
+        hist_of(&[&parts[2]]),
+    ];
+
+    // (a + b) + c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a + (b + c)
+    let mut right_inner = b.clone();
+    right_inner.merge(&c);
+    let mut right = a.clone();
+    right.merge(&right_inner);
+    // c + b + a (commutativity)
+    let mut reversed = c.clone();
+    reversed.merge(&b);
+    reversed.merge(&a);
+    // all samples recorded directly
+    let direct = hist_of(&[&parts[0], &parts[1], &parts[2]]);
+
+    for (label, h) in [("left", &left), ("right", &right), ("reversed", &reversed)] {
+        assert_eq!(h.buckets(), direct.buckets(), "{label}: bucket mismatch");
+        assert_eq!(h.count(), direct.count(), "{label}");
+        assert_eq!(h.min(), direct.min(), "{label}");
+        assert_eq!(h.max(), direct.max(), "{label}");
+        assert_eq!(h.mean(), direct.mean(), "{label}");
+    }
+}
+
+/// Merging an empty histogram is the identity in both directions.
+#[test]
+fn merging_empty_is_identity() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut h = Histogram::new();
+    for _ in 0..100 {
+        h.record(sample(&mut rng));
+    }
+    let before = h.clone();
+    h.merge(&Histogram::new());
+    assert_eq!(h.buckets(), before.buckets());
+    assert_eq!(h.count(), before.count());
+    assert_eq!(h.min(), before.min());
+    assert_eq!(h.max(), before.max());
+
+    let mut empty = Histogram::new();
+    empty.merge(&before);
+    assert_eq!(empty.buckets(), before.buckets());
+    assert_eq!(empty.count(), before.count());
+}

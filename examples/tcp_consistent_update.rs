@@ -13,6 +13,12 @@
 //! ordering decisions live in the two sans-IO engines, not in the drivers.
 //!
 //! Run with `cargo run --release --example tcp_consistent_update [n_flows]`.
+//!
+//! Pass `--telemetry` to run the TCP deployment with the live telemetry
+//! plane enabled: engine, proxy-transport and session metrics all land in
+//! one shared registry served over a loopback TCP endpoint (printed at
+//! start-up — point `rumtop` at it while the update runs), and the example
+//! scrapes its own endpoint at the end to validate the snapshot.
 
 use controller::{AckMode, Controller, TriangleScenario, UpdateSession};
 use ofswitch::SwitchModel;
@@ -20,13 +26,24 @@ use rum::{deploy, RumBuilder, TechniqueConfig};
 use rum_tcp::{spawn_switch, wait_for, ProxyConfig, RumTcpProxy, TcpUpdateController};
 use simnet::OpenFlowSwitch;
 use simnet::{SimTime, Simulator};
+use std::sync::Arc;
 use std::time::Duration;
+use telemetry::Registry;
 
 /// The static hold-down RUM waits after a barrier reply before confirming.
 const HOLD_DOWN: Duration = Duration::from_millis(25);
 /// The paper's K: with a window of 1 the confirm order is fully determined
 /// by the plan, so the two deployments must agree exactly.
 const WINDOW: usize = 1;
+
+/// Worst-case completion budget for a run: window 1 serialises the plan,
+/// so each of the `2 * n_flows` modifications costs one hold-down plus
+/// slack for the controller's polling interval (simnet) or socket latency
+/// (TCP).  25 ms of hold-down alone under-budgets large plans — the simnet
+/// controller only notices each confirmation on its next 10 ms tick.
+fn run_budget(n_flows: u32) -> Duration {
+    (HOLD_DOWN + Duration::from_millis(20)) * (2 * n_flows + 20)
+}
 
 fn scenario(n_flows: u32) -> TriangleScenario {
     TriangleScenario {
@@ -61,7 +78,7 @@ fn run_simnet(n_flows: u32) -> Vec<u64> {
             .connect_controller(proxies[i]);
     }
     // Window 1 serialises the plan: 2*n mods, each ~hold-down apart.
-    sim.run_until(SimTime::from(HOLD_DOWN * (2 * n_flows + 20)));
+    sim.run_until(SimTime::from(run_budget(n_flows)));
     let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
     assert!(
         ctrl.is_complete(),
@@ -73,20 +90,43 @@ fn run_simnet(n_flows: u32) -> Vec<u64> {
 }
 
 /// Runs the migration over loopback TCP and returns the confirm order.
-fn run_tcp(n_flows: u32) -> Vec<u64> {
+/// With `telemetry`, a shared registry collects engine + proxy + session
+/// metrics, is served live over TCP, and is self-scraped and validated at
+/// the end of the run.
+fn run_tcp(n_flows: u32, telemetry: bool) -> Vec<u64> {
+    let registry = telemetry.then(|| Arc::new(Registry::new()));
+    let server = registry.as_ref().map(|reg| {
+        let server =
+            telemetry::serve("127.0.0.1:0", reg.clone()).expect("telemetry endpoint binds");
+        println!(
+            "telemetry endpoint on {} (try: cargo run --release -p rum_bench --bin rumtop -- {})",
+            server.local_addr(),
+            server.local_addr()
+        );
+        server
+    });
+
     let plan = scenario(n_flows).plan();
     let n_mods = plan.len();
-    let session = UpdateSession::new(plan, AckMode::RumAcks, WINDOW);
+    let mut session = UpdateSession::new(plan, AckMode::RumAcks, WINDOW);
+    if let Some(reg) = &registry {
+        session.attach_metrics(reg);
+    }
     let controller = TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 3);
     let ctrl_handle = controller.start().expect("controller starts");
     println!("controller listening on {}", ctrl_handle.local_addr);
 
+    let mut builder =
+        RumBuilder::new(3).technique(TechniqueConfig::StaticTimeout { delay: HOLD_DOWN });
+    if let Some(reg) = &registry {
+        builder = builder.metrics(reg.clone());
+    }
     let proxy = RumTcpProxy::new(
         ProxyConfig {
             listen_addr: "127.0.0.1:0".parse().unwrap(),
             controller_addr: ctrl_handle.local_addr,
         },
-        RumBuilder::new(3).technique(TechniqueConfig::StaticTimeout { delay: HOLD_DOWN }),
+        builder,
     );
     let proxy_handle = proxy.start().expect("proxy starts");
     println!("RUM proxy listening on {}", proxy_handle.local_addr);
@@ -112,7 +152,7 @@ fn run_tcp(n_flows: u32) -> Vec<u64> {
         switch_handles.push(handle);
     }
 
-    let budget = HOLD_DOWN * (2 * n_flows + 20) + Duration::from_secs(5);
+    let budget = run_budget(n_flows) + Duration::from_secs(5);
     let outcome = ctrl_handle
         .wait_for_outcome(budget)
         .expect("update must finish within the budget");
@@ -125,16 +165,70 @@ fn run_tcp(n_flows: u32) -> Vec<u64> {
         .flow_mods
         .load(std::sync::atomic::Ordering::SeqCst);
     println!("S2 accepted {s2_mods} rule installations over its socket");
+
+    if let Some(server) = server {
+        validate_snapshot(server.local_addr(), n_mods);
+        server.shutdown();
+    }
     ctrl_handle.shutdown();
     proxy_handle.shutdown();
     order
 }
 
+/// Scrapes the example's own telemetry endpoint and checks the snapshot
+/// agrees with what the run just did.  Panics (nonzero exit) on any
+/// missing or inconsistent metric — this is the CI smoke check.
+fn validate_snapshot(addr: std::net::SocketAddr, n_mods: usize) {
+    let snap = telemetry::scrape(addr, Duration::from_secs(2)).expect("scrape own endpoint");
+    let expected_counters = [
+        "session.mods_sent",
+        "session.mods_confirmed",
+        "proxy.connections",
+        "proxy.drains",
+        "proxy.to_switch_msgs",
+        "proxy.to_controller_msgs",
+        "rum.sw0.controller_flow_mods",
+        "rum.sw1.controller_flow_mods",
+        "rum.sw2.controller_flow_mods",
+    ];
+    for key in expected_counters {
+        assert!(
+            snap.counters.contains_key(key),
+            "telemetry snapshot is missing counter {key}"
+        );
+    }
+    assert_eq!(
+        snap.counters["session.mods_confirmed"], n_mods as u64,
+        "every confirmed modification must be visible in telemetry"
+    );
+    assert_eq!(snap.counters["proxy.connections"], 3);
+    assert!(
+        snap.gauges.contains_key("session.in_flight"),
+        "telemetry snapshot is missing gauge session.in_flight"
+    );
+    let latency = snap
+        .histograms
+        .get("session.confirm_latency_us")
+        .expect("telemetry snapshot is missing histogram session.confirm_latency_us");
+    assert_eq!(latency.count, n_mods as u64);
+    println!(
+        "telemetry snapshot OK: {} metrics, confirm latency p50 {}us p99 {}us",
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+        latency.p50,
+        latency.p99
+    );
+}
+
 fn main() {
-    let n_flows: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let mut n_flows: u32 = 10;
+    let mut telemetry = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--telemetry" {
+            telemetry = true;
+        } else if let Ok(n) = arg.parse() {
+            n_flows = n;
+        }
+    }
     println!(
         "Consistent triangle migration of {n_flows} flows (install at S2, then flip S1),\n\
          window K = {WINDOW}, RUM static timeout {HOLD_DOWN:?}, AckMode::RumAcks\n"
@@ -145,7 +239,7 @@ fn main() {
     println!("confirmed {} modifications\n", sim_order.len());
 
     println!("--- run 2: TCP driver (loopback sockets) ---");
-    let tcp_order = run_tcp(n_flows);
+    let tcp_order = run_tcp(n_flows, telemetry);
     println!("confirmed {} modifications\n", tcp_order.len());
 
     assert_eq!(
