@@ -7,19 +7,23 @@
 //! `rum_bench::report::results_json`), so the performance and reliability
 //! trajectory is tracked across PRs instead of only being pretty-printed.
 //!
-//! Usage: `bench_results [n_flows] [output_path] [install_n] [matrix_rules]`
-//! (defaults: 40 flows, `BENCH_results.json` in the current directory, a
-//! 100 000-entry bulk install, and a 10-rule scenario matrix; pass
-//! `matrix_rules = 0` to skip the matrix).  CI's smoke job passes small
-//! values so the quadratic linear-scan baseline and the wall-clock TCP
-//! matrix stay fast there; the committed `BENCH_results.json` is produced
-//! with the defaults.
+//! Usage: `bench_results [n_flows] [output_path] [install_n] [matrix_rules]
+//! [soak_sessions]` (defaults: 40 flows, `BENCH_results.json` in the
+//! current directory, a 100 000-entry bulk install, a 10-rule scenario
+//! matrix, and a 200-tenant session soak on both drivers; pass
+//! `matrix_rules = 0` to skip the matrix, `soak_sessions = 0` to skip the
+//! soak).  CI's smoke job passes small values so the quadratic linear-scan
+//! baseline, the wall-clock TCP matrix and the soak stay fast there; the
+//! committed `BENCH_results.json` is produced with the defaults.
 
+use ofswitch::SwitchModel;
 use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
 use rum_bench::report::{write_results, ExperimentRecord, MatrixRecord, ThroughputRecord};
 use rum_bench::scenario_matrix::{render_grid, run_simnet_matrix, run_tcp_matrix};
+use rum_bench::session_soak::{early_reply_fault, run_simnet_soak, run_tcp_soak, SoakConfig};
 use rum_bench::throughput;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
@@ -145,6 +149,7 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("BENCH_results.json"));
     let install_n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let matrix_rules: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let soak_sessions: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(200);
 
     let mut records = Vec::new();
     for technique in EndToEndTechnique::all() {
@@ -187,12 +192,42 @@ fn main() {
         matrix = cells.iter().map(MatrixRecord::from).collect();
     }
 
-    write_results(&path, &records, &throughput, &matrix).expect("write BENCH_results.json");
+    let mut soak = Vec::new();
+    if soak_sessions > 0 {
+        let cfg = SoakConfig {
+            sessions: soak_sessions,
+            ..SoakConfig::default()
+        };
+        let registry = Arc::new(telemetry::Registry::new());
+        for outcome in [
+            run_simnet_soak(
+                &cfg,
+                &early_reply_fault(&SwitchModel::hp5406zl(), cfg.seed),
+                &registry,
+            ),
+            run_tcp_soak(
+                &cfg,
+                &early_reply_fault(&SwitchModel::fast_buggy(), cfg.seed),
+                &registry,
+            ),
+        ] {
+            let r = outcome.record;
+            println!(
+                "session_soak/{}/{:<14} sessions {:>4} done {:>4}  false {} missed {} stray {}  p50 {:>8.1} ms  p99 {:>8.1} ms  p99.9 {:>8.1} ms",
+                r.driver, r.fault, r.sessions, r.completed, r.false_acks, r.missed_acks,
+                r.stray_acks, r.p50_confirm_ms, r.p99_confirm_ms, r.p999_confirm_ms
+            );
+            soak.push(r);
+        }
+    }
+
+    write_results(&path, &records, &throughput, &matrix, &soak).expect("write BENCH_results.json");
     println!(
-        "\nwrote {} latency + {} throughput + {} matrix records to {}",
+        "\nwrote {} latency + {} throughput + {} matrix + {} soak records to {}",
         records.len(),
         throughput.len(),
         matrix.len(),
+        soak.len(),
         path.display()
     );
 }

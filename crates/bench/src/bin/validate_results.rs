@@ -10,14 +10,20 @@
 //! inside `[0, 1]` and internally consistent counts, and not-applicable
 //! rows must be all-zero placeholders.
 //!
-//! Usage: `validate_results [path] [min_speedup] [max_overhead]`
-//! (defaults: `BENCH_results.json`, no speedup floor, 3% overhead cap).
-//! When `min_speedup` is given, every `flow_mod_install/indexed_*` row must
-//! carry a `speedup` field of at least that factor over the linear-scan
-//! baseline.  In a schema-5 file, every `telemetry_overhead/*` row must
-//! carry a finite `overhead_pct` below `max_overhead`, and at least one
-//! such row must exist — instrumentation that slows the hot path down (or
-//! silently stops being measured) fails the gate.
+//! Usage: `validate_results [path] [min_speedup] [max_overhead]
+//! [min_soak_sessions]` (defaults: `BENCH_results.json`, no speedup floor,
+//! 3% overhead cap, ≥ 1 soak session).  When `min_speedup` is given, every
+//! `flow_mod_install/indexed_*` row must carry a `speedup` field of at
+//! least that factor over the linear-scan baseline.  In a schema-5+ file,
+//! every `telemetry_overhead/*` row must carry a finite `overhead_pct`
+//! below `max_overhead`, and at least one such row must exist —
+//! instrumentation that slows the hot path down (or silently stops being
+//! measured) fails the gate.  Schema 6 adds the `session_soak` section
+//! (the multi-tenant `sessiond` soak): both drivers must be present, every
+//! row must carry **zero false acks**, a complete tenant population
+//! (`completed == sessions`, zero missed acks), finite tail percentiles
+//! (p50 ≤ p99 ≤ p99.9), and at least `min_soak_sessions` concurrent
+//! sessions — the "millions of users" regression gate.
 //!
 //! The build environment has no serde, so this ships a minimal JSON parser —
 //! enough for the flat document the harness emits.
@@ -351,17 +357,99 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
     Ok(matrix.len())
 }
 
+/// Validates the schema-6 `session_soak` section: the multi-tenant soak's
+/// verdicts must hold on both drivers or the gate fails.
+fn validate_soak(root: &BTreeMap<String, Json>, min_sessions: u64) -> Result<usize, String> {
+    let Json::Arr(soak) = get(root, "session_soak")? else {
+        return Err("\"session_soak\" is not an array".into());
+    };
+    let mut drivers: Vec<&str> = Vec::new();
+    for (i, row) in soak.iter().enumerate() {
+        let Json::Obj(row) = row else {
+            return Err(format!("session_soak[{i}] is not an object"));
+        };
+        let context = format!("session_soak[{i}]");
+        let driver = string(row, "driver").map_err(|e| format!("{context}: {e}"))?;
+        if driver != "simnet" && driver != "tcp" {
+            return Err(format!("{context}: unknown driver \"{driver}\""));
+        }
+        string(row, "fault").map_err(|e| format!("{context}: {e}"))?;
+        string(row, "experiment").map_err(|e| format!("{context}: {e}"))?;
+        let sessions = count(row, "sessions").map_err(|e| format!("{context}: {e}"))?;
+        let completed = count(row, "completed").map_err(|e| format!("{context}: {e}"))?;
+        let aborted = count(row, "aborted").map_err(|e| format!("{context}: {e}"))?;
+        let planned = count(row, "planned_mods").map_err(|e| format!("{context}: {e}"))?;
+        let confirmed = count(row, "confirmed_mods").map_err(|e| format!("{context}: {e}"))?;
+        let false_acks = count(row, "false_acks").map_err(|e| format!("{context}: {e}"))?;
+        let missed_acks = count(row, "missed_acks").map_err(|e| format!("{context}: {e}"))?;
+        let stray_acks = count(row, "stray_acks").map_err(|e| format!("{context}: {e}"))?;
+        if sessions < min_sessions {
+            return Err(format!(
+                "{context}: only {sessions} concurrent sessions, required >= {min_sessions}"
+            ));
+        }
+        if completed + aborted > sessions || confirmed > planned {
+            return Err(format!("{context}: counts exceed the population"));
+        }
+        if confirmed + missed_acks != planned {
+            return Err(format!(
+                "{context}: confirmed ({confirmed}) + missed ({missed_acks}) != planned ({planned})"
+            ));
+        }
+        // The soak's load-bearing claims: probing never lies, and the whole
+        // tenant population finishes inside the budget.
+        if false_acks > 0 {
+            return Err(format!("{context}: {false_acks} false acks (must be 0)"));
+        }
+        if completed != sessions || missed_acks > 0 {
+            return Err(format!(
+                "{context}: incomplete soak ({completed}/{sessions} sessions, \
+                 {missed_acks} missed acks)"
+            ));
+        }
+        if stray_acks > 0 {
+            return Err(format!("{context}: {stray_acks} stray acks (must be 0)"));
+        }
+        let p50 = num(row, "p50_confirm_ms").map_err(|e| format!("{context}: {e}"))?;
+        let p99 = num(row, "p99_confirm_ms").map_err(|e| format!("{context}: {e}"))?;
+        let p999 = num(row, "p999_confirm_ms").map_err(|e| format!("{context}: {e}"))?;
+        let wall = num(row, "wall_ms").map_err(|e| format!("{context}: {e}"))?;
+        for (name, v) in [("p50", p50), ("p99", p99), ("p99.9", p999), ("wall", wall)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{context}: non-finite {name}_confirm_ms {v}"));
+            }
+        }
+        if !(p50 <= p99 && p99 <= p999) {
+            return Err(format!(
+                "{context}: percentiles not monotone (p50 {p50}, p99 {p99}, p99.9 {p999})"
+            ));
+        }
+        if !drivers.contains(&driver) {
+            drivers.push(driver);
+        }
+    }
+    for required in ["simnet", "tcp"] {
+        if !drivers.contains(&required) {
+            return Err(format!(
+                "schema 6 requires session_soak rows for both drivers; \"{required}\" is missing"
+            ));
+        }
+    }
+    Ok(soak.len())
+}
+
 fn validate(
     doc: &Json,
     min_speedup: Option<f64>,
     max_overhead: f64,
-) -> Result<(usize, usize, usize), String> {
+    min_soak_sessions: u64,
+) -> Result<(usize, usize, usize, usize), String> {
     let Json::Obj(root) = doc else {
         return Err("document root is not an object".into());
     };
     let schema = match get(root, "schema")? {
-        Json::Num(v) if (2.0..=5.0).contains(v) && v.fract() == 0.0 => *v as u32,
-        other => return Err(format!("schema must be 2, 3, 4 or 5, got {other:?}")),
+        Json::Num(v) if (2.0..=6.0).contains(v) && v.fract() == 0.0 => *v as u32,
+        other => return Err(format!("schema must be 2, 3, 4, 5 or 6, got {other:?}")),
     };
     let Json::Arr(results) = get(root, "results")? else {
         return Err("\"results\" is not an array".into());
@@ -453,7 +541,18 @@ fn validate(
         }
         0
     };
-    Ok((results.len(), throughput.len(), matrix_rows))
+    // Schema 6 adds the session_soak section; older schemas predate it.
+    let soak_rows = if schema >= 6 {
+        validate_soak(root, min_soak_sessions)?
+    } else {
+        if root.contains_key("session_soak") {
+            return Err(format!(
+                "schema {schema} must not carry a session_soak section"
+            ));
+        }
+        0
+    };
+    Ok((results.len(), throughput.len(), matrix_rows, soak_rows))
 }
 
 fn main() -> ExitCode {
@@ -464,6 +563,7 @@ fn main() -> ExitCode {
         .unwrap_or("BENCH_results.json");
     let min_speedup: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
     let max_overhead: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let min_soak_sessions: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -479,10 +579,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match validate(&doc, min_speedup, max_overhead) {
-        Ok((latency, throughput, matrix)) => {
+    match validate(&doc, min_speedup, max_overhead, min_soak_sessions) {
+        Ok((latency, throughput, matrix, soak)) => {
             println!(
-                "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows, {matrix} scenario-matrix rows)"
+                "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows, {matrix} scenario-matrix rows, {soak} session-soak rows)"
             );
             ExitCode::SUCCESS
         }
@@ -524,12 +624,15 @@ mod tests {
 
     #[test]
     fn schema_2_still_accepted() {
-        assert_eq!(validate(&doc(SCHEMA2), None, 3.0), Ok((1, 1, 0)));
+        assert_eq!(validate(&doc(SCHEMA2), None, 3.0, 1), Ok((1, 1, 0, 0)));
     }
 
     #[test]
     fn schema_3_with_matrix_accepted() {
-        assert_eq!(validate(&doc(&schema3(GOOD_ROW)), None, 3.0), Ok((1, 1, 1)));
+        assert_eq!(
+            validate(&doc(&schema3(GOOD_ROW)), None, 3.0, 1),
+            Ok((1, 1, 1, 0))
+        );
         // A stalled cell: null completion, missed acks.
         let stalled = GOOD_ROW
             .replace("\"confirmed\": 8", "\"confirmed\": 5")
@@ -538,22 +641,25 @@ mod tests {
             .replace("\"missed_acks\": 0", "\"missed_acks\": 3")
             .replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 0.375")
             .replace("\"completion_ms\": 812.5", "\"completion_ms\": null");
-        assert_eq!(validate(&doc(&schema3(&stalled)), None, 3.0), Ok((1, 1, 1)));
+        assert_eq!(
+            validate(&doc(&schema3(&stalled)), None, 3.0, 1),
+            Ok((1, 1, 1, 0))
+        );
     }
 
     #[test]
     fn nan_and_out_of_range_rates_are_rejected() {
         // NaN serialises as null; num() maps it back to NaN -> rejected.
         let nan = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": null");
-        assert!(validate(&doc(&schema3(&nan)), None, 3.0)
+        assert!(validate(&doc(&schema3(&nan)), None, 3.0, 1)
             .unwrap_err()
             .contains("false_ack_rate"));
         let negative = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": -0.2");
-        assert!(validate(&doc(&schema3(&negative)), None, 3.0)
+        assert!(validate(&doc(&schema3(&negative)), None, 3.0, 1)
             .unwrap_err()
             .contains("false_ack_rate"));
         let above_one = GOOD_ROW.replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 1.5");
-        assert!(validate(&doc(&schema3(&above_one)), None, 3.0)
+        assert!(validate(&doc(&schema3(&above_one)), None, 3.0, 1)
             .unwrap_err()
             .contains("missed_ack_rate"));
     }
@@ -561,11 +667,11 @@ mod tests {
     #[test]
     fn inconsistent_counts_are_rejected() {
         let too_many = GOOD_ROW.replace("\"false_acks\": 8", "\"false_acks\": 9");
-        assert!(validate(&doc(&schema3(&too_many)), None, 3.0)
+        assert!(validate(&doc(&schema3(&too_many)), None, 3.0, 1)
             .unwrap_err()
             .contains("exceed the plan size"));
         let mismatch = GOOD_ROW.replace("\"confirmed\": 8", "\"confirmed\": 7");
-        assert!(validate(&doc(&schema3(&mismatch)), None, 3.0)
+        assert!(validate(&doc(&schema3(&mismatch)), None, 3.0, 1)
             .unwrap_err()
             .contains("!= planned"));
         // More false acks than confirmations is nonsensical: a false ack is
@@ -573,7 +679,7 @@ mod tests {
         let phantom = GOOD_ROW
             .replace("\"confirmed\": 8", "\"confirmed\": 5")
             .replace("\"missed_acks\": 0", "\"missed_acks\": 3");
-        assert!(validate(&doc(&schema3(&phantom)), None, 3.0)
+        assert!(validate(&doc(&schema3(&phantom)), None, 3.0, 1)
             .unwrap_err()
             .contains("exceed confirmed"));
     }
@@ -615,7 +721,10 @@ mod tests {
             restart_row("tcp"),
             NA_ROW
         );
-        assert_eq!(validate(&doc(&schema4(&rows)), None, 3.0), Ok((1, 1, 4)));
+        assert_eq!(
+            validate(&doc(&schema4(&rows)), None, 3.0, 1),
+            Ok((1, 1, 4, 0))
+        );
     }
 
     #[test]
@@ -625,7 +734,7 @@ mod tests {
             with_applicable(GOOD_ROW, true),
             restart_row("simnet")
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
         assert!(err.contains("restart rows"), "{err}");
         assert!(err.contains("tcp"), "{err}");
         // A not-applicable restart row does not count as coverage.
@@ -638,7 +747,7 @@ mod tests {
             restart_row("simnet"),
             na_restart
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
         assert!(err.contains("restart rows"), "{err}");
     }
 
@@ -649,7 +758,7 @@ mod tests {
             restart_row("simnet"),
             restart_row("tcp")
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
         assert!(err.contains("applicable"), "{err}");
     }
 
@@ -661,7 +770,7 @@ mod tests {
             restart_row("simnet"),
             restart_row("tcp")
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
         assert!(err.contains("not-applicable"), "{err}");
         // Zero counts are not enough: a smuggled rate or completion time on
         // a never-run cell is rejected too.
@@ -675,7 +784,7 @@ mod tests {
                 restart_row("simnet"),
                 restart_row("tcp")
             );
-            let err = validate(&doc(&schema4(&rows)), None, 3.0).unwrap_err();
+            let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
             assert!(err.contains("not-applicable"), "{err}");
         }
     }
@@ -683,7 +792,7 @@ mod tests {
     #[test]
     fn schema_3_must_not_carry_applicable() {
         let row = with_applicable(GOOD_ROW, true);
-        let err = validate(&doc(&schema3(&row)), None, 3.0).unwrap_err();
+        let err = validate(&doc(&schema3(&row)), None, 3.0, 1).unwrap_err();
         assert!(err.contains("requires schema 4"), "{err}");
     }
 
@@ -711,19 +820,22 @@ mod tests {
     #[test]
     fn schema_5_with_overhead_row_accepted() {
         assert_eq!(
-            validate(&doc(&schema5(OVERHEAD_ROW)), None, 3.0),
-            Ok((1, 2, 3))
+            validate(&doc(&schema5(OVERHEAD_ROW)), None, 3.0, 1),
+            Ok((1, 2, 3, 0))
         );
         // Slightly-negative overhead is measurement noise, not an error.
         let lucky = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": -0.3");
-        assert_eq!(validate(&doc(&schema5(&lucky)), None, 3.0), Ok((1, 2, 3)));
+        assert_eq!(
+            validate(&doc(&schema5(&lucky)), None, 3.0, 1),
+            Ok((1, 2, 3, 0))
+        );
     }
 
     #[test]
     fn schema_5_requires_an_overhead_row() {
         let missing =
             schema5(OVERHEAD_ROW).replace("telemetry_overhead/indexed_10", "codec/encode_10");
-        let err = validate(&doc(&missing), None, 3.0).unwrap_err();
+        let err = validate(&doc(&missing), None, 3.0, 1).unwrap_err();
         assert!(err.contains("overhead_pct"), "{err}");
         let dropped = schema4(&format!(
             "{}, {}, {}",
@@ -732,20 +844,23 @@ mod tests {
             restart_row("tcp")
         ))
         .replace("\"schema\": 4", "\"schema\": 5");
-        let err = validate(&doc(&dropped), None, 3.0).unwrap_err();
+        let err = validate(&doc(&dropped), None, 3.0, 1).unwrap_err();
         assert!(err.contains("telemetry_overhead"), "{err}");
     }
 
     #[test]
     fn overhead_at_or_above_the_cap_is_rejected() {
         let slow = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": 3.0");
-        let err = validate(&doc(&schema5(&slow)), None, 3.0).unwrap_err();
+        let err = validate(&doc(&schema5(&slow)), None, 3.0, 1).unwrap_err();
         assert!(err.contains("at or above"), "{err}");
         // A looser explicit cap admits the same row.
-        assert_eq!(validate(&doc(&schema5(&slow)), None, 10.0), Ok((1, 2, 3)));
+        assert_eq!(
+            validate(&doc(&schema5(&slow)), None, 10.0, 1),
+            Ok((1, 2, 3, 0))
+        );
         // A null (NaN) overhead is rejected regardless of cap.
         let nan = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": null");
-        assert!(validate(&doc(&schema5(&nan)), None, 100.0)
+        assert!(validate(&doc(&schema5(&nan)), None, 100.0, 1)
             .unwrap_err()
             .contains("overhead_pct"));
     }
@@ -753,7 +868,7 @@ mod tests {
     #[test]
     fn overhead_rows_require_schema_5() {
         let smuggled = schema5(OVERHEAD_ROW).replace("\"schema\": 5", "\"schema\": 4");
-        let err = validate(&doc(&smuggled), None, 3.0).unwrap_err();
+        let err = validate(&doc(&smuggled), None, 3.0, 1).unwrap_err();
         assert!(err.contains("require schema 5"), "{err}");
     }
 
@@ -763,14 +878,14 @@ mod tests {
             "\"speedup\": 100.0}",
             "\"speedup\": 100.0, \"overhead_pct\": 0.5}",
         );
-        let err = validate(&doc(&tainted), None, 3.0).unwrap_err();
+        let err = validate(&doc(&tainted), None, 3.0, 1).unwrap_err();
         assert!(err.contains("unexpected overhead_pct"), "{err}");
     }
 
     #[test]
     fn schema_2_with_matrix_section_is_rejected() {
         let sneaky = schema3(GOOD_ROW).replace("\"schema\": 3", "\"schema\": 2");
-        assert!(validate(&doc(&sneaky), None, 3.0)
+        assert!(validate(&doc(&sneaky), None, 3.0, 1)
             .unwrap_err()
             .contains("schema 2 must not carry"));
     }
@@ -778,8 +893,115 @@ mod tests {
     #[test]
     fn missing_matrix_section_in_schema_3_is_rejected() {
         let missing = SCHEMA2.replace("\"schema\": 2", "\"schema\": 3");
-        assert!(validate(&doc(&missing), None, 3.0)
+        assert!(validate(&doc(&missing), None, 3.0, 1)
             .unwrap_err()
             .contains("scenario_matrix"));
+    }
+
+    /// A clean simnet soak row (schema 6).
+    const SOAK_SIMNET_ROW: &str = r#"{"experiment": "session_soak/simnet/early_reply",
+        "driver": "simnet", "fault": "early_reply", "sessions": 200, "completed": 200,
+        "aborted": 0, "planned_mods": 600, "confirmed_mods": 600, "false_acks": 0,
+        "missed_acks": 0, "stray_acks": 0, "p50_confirm_ms": 40.0,
+        "p99_confirm_ms": 180.0, "p999_confirm_ms": 523.0, "wall_ms": 2500.0}"#;
+
+    fn soak_tcp_row() -> String {
+        SOAK_SIMNET_ROW
+            .replace("simnet", "tcp")
+            .replace("\"p999_confirm_ms\": 523.0", "\"p999_confirm_ms\": 910.0")
+    }
+
+    /// Builds a schema-6 document: schema 5 plus the given session-soak rows
+    /// (joined by commas by the caller).
+    fn schema6(soak_rows: &str) -> String {
+        schema5(OVERHEAD_ROW)
+            .replace("\"schema\": 5", "\"schema\": 6")
+            .replace(
+                "]\n    }",
+                &format!("],\n      \"session_soak\": [{soak_rows}]\n    }}"),
+            )
+    }
+
+    fn both_drivers() -> String {
+        format!("{SOAK_SIMNET_ROW}, {}", soak_tcp_row())
+    }
+
+    #[test]
+    fn schema_6_with_clean_soak_rows_accepted() {
+        assert_eq!(
+            validate(&doc(&schema6(&both_drivers())), None, 3.0, 1),
+            Ok((1, 2, 3, 2))
+        );
+        // A demanding session floor that the rows meet is fine too.
+        assert_eq!(
+            validate(&doc(&schema6(&both_drivers())), None, 3.0, 200),
+            Ok((1, 2, 3, 2))
+        );
+    }
+
+    #[test]
+    fn soak_false_acks_are_rejected() {
+        let lying = both_drivers().replacen("\"false_acks\": 0", "\"false_acks\": 2", 1);
+        let err = validate(&doc(&schema6(&lying)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("false acks"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_soak_is_rejected() {
+        // A missed ack must show up as both a shortfall in confirmed_mods
+        // and a non-zero missed count; the gate rejects it.
+        let stalled = both_drivers()
+            .replacen("\"completed\": 200", "\"completed\": 199", 1)
+            .replacen("\"confirmed_mods\": 600", "\"confirmed_mods\": 597", 1)
+            .replacen("\"missed_acks\": 0", "\"missed_acks\": 3", 1);
+        let err = validate(&doc(&schema6(&stalled)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("incomplete soak"), "{err}");
+        // Inconsistent books (confirmed + missed != planned) are caught
+        // before the verdict gates.
+        let fudged =
+            both_drivers().replacen("\"confirmed_mods\": 600", "\"confirmed_mods\": 599", 1);
+        let err = validate(&doc(&schema6(&fudged)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("!= planned"), "{err}");
+    }
+
+    #[test]
+    fn soak_missing_a_driver_is_rejected() {
+        let err = validate(&doc(&schema6(SOAK_SIMNET_ROW)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("both drivers"), "{err}");
+        assert!(err.contains("tcp"), "{err}");
+    }
+
+    #[test]
+    fn soak_tail_percentiles_must_be_finite_and_monotone() {
+        // NaN serialises as null; a soak whose p99.9 could not be measured
+        // has not demonstrated its tail.
+        let nan =
+            both_drivers().replacen("\"p999_confirm_ms\": 523.0", "\"p999_confirm_ms\": null", 1);
+        let err = validate(&doc(&schema6(&nan)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("p99.9"), "{err}");
+        let inverted =
+            both_drivers().replacen("\"p999_confirm_ms\": 523.0", "\"p999_confirm_ms\": 90.0", 1);
+        let err = validate(&doc(&schema6(&inverted)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn soak_below_the_session_floor_is_rejected() {
+        let err = validate(&doc(&schema6(&both_drivers())), None, 3.0, 500).unwrap_err();
+        assert!(err.contains("required >= 500"), "{err}");
+    }
+
+    #[test]
+    fn soak_section_requires_schema_6() {
+        let smuggled = schema6(&both_drivers()).replace("\"schema\": 6", "\"schema\": 5");
+        let err = validate(&doc(&smuggled), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("must not carry a session_soak"), "{err}");
+    }
+
+    #[test]
+    fn missing_soak_section_in_schema_6_is_rejected() {
+        let missing = schema5(OVERHEAD_ROW).replace("\"schema\": 5", "\"schema\": 6");
+        let err = validate(&doc(&missing), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("session_soak"), "{err}");
     }
 }

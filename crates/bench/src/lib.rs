@@ -22,10 +22,12 @@ pub mod experiments;
 pub mod observer;
 pub mod report;
 pub mod scenario_matrix;
+pub mod session_soak;
 pub mod throughput;
 
 pub use experiments::{
     ActivationSample, EndToEndResult, EndToEndTechnique, PktIoResult, UpdateRateResult,
 };
-pub use report::{ExperimentRecord, ThroughputRecord};
+pub use report::{ExperimentRecord, SessionSoakRecord, ThroughputRecord};
 pub use scenario_matrix::{MatrixCell, MatrixTechnique};
+pub use session_soak::{SoakConfig, SoakOutcome};

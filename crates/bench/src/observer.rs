@@ -10,6 +10,10 @@
 //! * `rum.sw{i}.*` — one row per monitored switch (engine counters, the
 //!   in-flight gauge and confirm-latency quantiles);
 //! * `session.*` — the consistent-update session, one line;
+//! * `sessiond.*` — the multi-tenant session multiplexer: one global line
+//!   (admission, scheduling and stray-ack counters plus confirm-latency
+//!   quantiles) and one row per instrumented tenant (`sessiond.t{i}.*`),
+//!   shown only when a mux is attached;
 //! * `proxy.*` — transport counters of the TCP proxy, one line;
 //! * `matrix.*` — scenario-matrix verdict counters, one line per cell,
 //!   shown only when present (live sweeps).
@@ -163,6 +167,8 @@ pub fn render(snapshot: &Snapshot) -> String {
         let _ = writeln!(out, "{line}");
     }
 
+    render_sessiond(snapshot, &mut out);
+
     let proxy_counter = |field: &str| {
         snapshot
             .counters
@@ -196,6 +202,87 @@ pub fn render(snapshot: &Snapshot) -> String {
         }
     }
     out
+}
+
+/// Splits a `sessiond.t{i}.{field}` metric name into its tenant index and
+/// field; `None` for names outside the per-tenant namespace (including the
+/// mux-global `sessiond.*` metrics).
+fn tenant_field(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("sessiond.t")?;
+    let dot = rest.find('.')?;
+    let index: usize = rest[..dot].parse().ok()?;
+    Some((index, &rest[dot + 1..]))
+}
+
+/// The multi-tenant mux section: one global line plus a row per
+/// instrumented tenant.  Silent when no `SessionMux` is attached.
+fn render_sessiond(snapshot: &Snapshot, out: &mut String) {
+    if !snapshot.counters.keys().any(|k| k.starts_with("sessiond."))
+        && !snapshot.gauges.keys().any(|k| k.starts_with("sessiond."))
+    {
+        return;
+    }
+    let counter = |field: &str| {
+        snapshot
+            .counters
+            .get(&format!("sessiond.{field}"))
+            .copied()
+            .unwrap_or(0)
+    };
+    let gauge = |field: &str| {
+        snapshot
+            .gauges
+            .get(&format!("sessiond.{field}"))
+            .copied()
+            .unwrap_or(0)
+    };
+    let mut line = format!(
+        "sessiond: active {}  queued {}  in-flight {}  admitted {}  completed {}  \
+         aborted {}  conflicts {} serialized / {} rejected  strays {}",
+        gauge("active"),
+        gauge("queued"),
+        gauge("in_flight"),
+        counter("admitted"),
+        counter("completed"),
+        counter("aborted"),
+        counter("serialized_conflict"),
+        counter("rejected_conflict"),
+        counter("stray_acks"),
+    );
+    if let Some(h) = snapshot.histograms.get("sessiond.confirm_latency_us") {
+        if h.count > 0 {
+            let _ = write!(line, "  confirm p50 {}us p99 {}us", h.p50, h.p99);
+        }
+    }
+    let _ = writeln!(out, "{line}");
+
+    // Per-tenant rows (only the first `per_tenant_metrics` tenants are
+    // instrumented by the mux; the rest fold into the globals above).
+    #[derive(Default)]
+    struct TenantRow {
+        in_flight: i64,
+        confirmed: u64,
+    }
+    let mut tenants: BTreeMap<usize, TenantRow> = BTreeMap::new();
+    for (name, &value) in &snapshot.counters {
+        if let Some((index, "confirmed")) = tenant_field(name) {
+            tenants.entry(index).or_default().confirmed = value;
+        }
+    }
+    for (name, &value) in &snapshot.gauges {
+        if let Some((index, "in_flight")) = tenant_field(name) {
+            tenants.entry(index).or_default().in_flight = value;
+        }
+    }
+    for (index, row) in &tenants {
+        let _ = writeln!(
+            out,
+            "  {:<5} in-flight {:<6} confirmed {}",
+            format!("t{index}"),
+            row.in_flight,
+            row.confirmed,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +349,57 @@ mod tests {
         assert_eq!(switch_field("proxy.sw0.depth"), None);
         assert_eq!(switch_field("rum.sw12"), None);
         assert_eq!(switch_field("rum.sw12.acks_sent"), Some((12, "acks_sent")));
+    }
+
+    #[test]
+    fn sessiond_section_renders_globals_and_tenant_rows() {
+        let registry = Registry::new();
+        registry.counter("sessiond.admitted").add(3);
+        registry.counter("sessiond.completed").add(1);
+        registry.counter("sessiond.serialized_conflict").add(1);
+        registry.gauge("sessiond.active").set(2);
+        registry.gauge("sessiond.queued").set(1);
+        registry.gauge("sessiond.in_flight").set(4);
+        let h = registry.histogram("sessiond.confirm_latency_us");
+        h.record(500);
+        registry.gauge("sessiond.t0.in_flight").set(1);
+        registry.counter("sessiond.t0.confirmed").add(5);
+        registry.counter("sessiond.t17.confirmed").add(2);
+        let text = render(&registry.snapshot());
+        assert!(
+            text.contains("sessiond: active 2  queued 1  in-flight 4  admitted 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("conflicts 1 serialized / 0 rejected"),
+            "{text}"
+        );
+        assert!(text.contains("confirm p50"), "{text}");
+        assert!(
+            text.contains("t0    in-flight 1      confirmed 5"),
+            "{text}"
+        );
+        assert!(text.contains("t17"), "{text}");
+    }
+
+    #[test]
+    fn sessiond_section_is_silent_without_a_mux() {
+        let text = render(&populated_registry().snapshot());
+        assert!(!text.contains("sessiond:"), "{text}");
+    }
+
+    #[test]
+    fn tenant_names_are_parsed_strictly() {
+        assert_eq!(
+            tenant_field("sessiond.t3.confirmed"),
+            Some((3, "confirmed"))
+        );
+        assert_eq!(
+            tenant_field("sessiond.t3.in_flight"),
+            Some((3, "in_flight"))
+        );
+        assert_eq!(tenant_field("sessiond.total.confirmed"), None);
+        assert_eq!(tenant_field("sessiond.t3"), None);
+        assert_eq!(tenant_field("session.t3.confirmed"), None);
     }
 }

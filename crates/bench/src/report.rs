@@ -202,6 +202,42 @@ impl From<&MatrixCell> for MatrixRecord {
     }
 }
 
+/// One session-soak run as persisted to `BENCH_results.json` (schema 6):
+/// hundreds of concurrent tenant sessions multiplexed through `sessiond`
+/// on one driver under one fault model, with ground-truth verdicts and
+/// confirm-latency tail percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSoakRecord {
+    /// `simnet` or `tcp`.
+    pub driver: String,
+    /// Fault-model name of the device under test (e.g. `early_reply`).
+    pub fault: String,
+    /// Concurrently admitted tenant sessions.
+    pub sessions: u64,
+    /// Sessions that confirmed their whole plan inside the budget.
+    pub completed: u64,
+    /// Sessions aborted by their failure policy.
+    pub aborted: u64,
+    /// Modifications planned across all tenants.
+    pub planned_mods: u64,
+    /// Modifications confirmed across all tenants.
+    pub confirmed_mods: u64,
+    /// Confirmations contradicted by the data-plane ground truth.
+    pub false_acks: u64,
+    /// Planned modifications never confirmed inside the budget.
+    pub missed_acks: u64,
+    /// Acknowledgments the mux could not attribute to any tenant.
+    pub stray_acks: u64,
+    /// Median per-modification confirm latency (send → confirm), ms.
+    pub p50_confirm_ms: f64,
+    /// 99th-percentile confirm latency, ms.
+    pub p99_confirm_ms: f64,
+    /// 99.9th-percentile confirm latency, ms.
+    pub p999_confirm_ms: f64,
+    /// Span of the whole soak (submission → last confirmation), ms.
+    pub wall_ms: f64,
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -222,12 +258,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document, schema 5
+/// Renders the records as the `BENCH_results.json` document, schema 6
 /// (handwritten JSON — the build environment has no serde):
 ///
 /// ```json
 /// {
-///   "schema": 5,
+///   "schema": 6,
 ///   "results": [
 ///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
 ///      "confirms": n, "runs": n}
@@ -244,6 +280,14 @@ fn json_num(v: f64) -> String {
 ///      "planned": n, "confirmed": n, "false_acks": n, "missed_acks": n,
 ///      "false_ack_rate": f, "missed_ack_rate": f, "completion_ms": f|null,
 ///      "applicable": true|false}
+///   ],
+///   "session_soak": [
+///     {"experiment": "session_soak/<driver>/<fault>",
+///      "driver": "...", "fault": "...", "sessions": n, "completed": n,
+///      "aborted": n, "planned_mods": n, "confirmed_mods": n,
+///      "false_acks": n, "missed_acks": n, "stray_acks": n,
+///      "p50_confirm_ms": f, "p99_confirm_ms": f, "p999_confirm_ms": f,
+///      "wall_ms": f}
 ///   ]
 /// }
 /// ```
@@ -251,8 +295,9 @@ pub fn results_json(
     records: &[ExperimentRecord],
     throughput: &[ThroughputRecord],
     matrix: &[MatrixRecord],
+    soak: &[SessionSoakRecord],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": 5,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 6,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -314,6 +359,27 @@ pub fn results_json(
             t = json_escape(&r.technique),
         ));
     }
+    out.push_str("  ],\n  \"session_soak\": [\n");
+    for (i, r) in soak.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"session_soak/{d}/{f}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"sessions\": {}, \"completed\": {},              \"aborted\": {}, \"planned_mods\": {}, \"confirmed_mods\": {},              \"false_acks\": {}, \"missed_acks\": {}, \"stray_acks\": {},              \"p50_confirm_ms\": {}, \"p99_confirm_ms\": {},              \"p999_confirm_ms\": {}, \"wall_ms\": {}}}{}\n",
+            r.sessions,
+            r.completed,
+            r.aborted,
+            r.planned_mods,
+            r.confirmed_mods,
+            r.false_acks,
+            r.missed_acks,
+            r.stray_acks,
+            json_num(r.p50_confirm_ms),
+            json_num(r.p99_confirm_ms),
+            json_num(r.p999_confirm_ms),
+            json_num(r.wall_ms),
+            if i + 1 < soak.len() { "," } else { "" },
+            d = json_escape(&r.driver),
+            f = json_escape(&r.fault),
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -325,8 +391,9 @@ pub fn write_results(
     records: &[ExperimentRecord],
     throughput: &[ThroughputRecord],
     matrix: &[MatrixRecord],
+    soak: &[SessionSoakRecord],
 ) -> std::io::Result<()> {
-    std::fs::write(path, results_json(records, throughput, matrix))
+    std::fs::write(path, results_json(records, throughput, matrix, soak))
 }
 
 /// Percentile (0.0..=1.0) of a list of samples; returns `None` when empty.
@@ -483,8 +550,42 @@ mod tests {
                 applicable: true,
             },
         ];
-        let json = results_json(&records, &throughput, &matrix);
-        assert!(json.contains("\"schema\": 5"));
+        let soak = vec![
+            SessionSoakRecord {
+                driver: "simnet".into(),
+                fault: "early_reply".into(),
+                sessions: 200,
+                completed: 200,
+                aborted: 0,
+                planned_mods: 600,
+                confirmed_mods: 600,
+                false_acks: 0,
+                missed_acks: 0,
+                stray_acks: 0,
+                p50_confirm_ms: 120.5,
+                p99_confirm_ms: 410.25,
+                p999_confirm_ms: 523.0,
+                wall_ms: 9000.0,
+            },
+            SessionSoakRecord {
+                driver: "tcp".into(),
+                fault: "early_reply".into(),
+                sessions: 200,
+                completed: 199,
+                aborted: 0,
+                planned_mods: 600,
+                confirmed_mods: 597,
+                false_acks: 0,
+                missed_acks: 3,
+                stray_acks: 0,
+                p50_confirm_ms: 30.0,
+                p99_confirm_ms: 95.0,
+                p999_confirm_ms: f64::NAN,
+                wall_ms: 4000.0,
+            },
+        ];
+        let json = results_json(&records, &throughput, &matrix, &soak);
+        assert!(json.contains("\"schema\": 6"));
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));
@@ -514,8 +615,15 @@ mod tests {
         assert!(json.contains("\"completion_ms\": 812.500"));
         assert!(json.contains("\"completion_ms\": null"));
         assert!(json.contains("\"applicable\": true"));
+        // The soak section carries the composed name, the verdicts and the
+        // tail percentiles (NaN serialises as null).
+        assert!(json.contains("session_soak/simnet/early_reply"));
+        assert!(json.contains("\"sessions\": 200"));
+        assert!(json.contains("\"p999_confirm_ms\": 523.000"));
+        assert!(json.contains("\"p999_confirm_ms\": null"));
+        assert!(json.contains("\"stray_acks\": 0"));
         // One trailing comma-less record per section.
-        assert_eq!(json.matches("},\n").count(), 4);
+        assert_eq!(json.matches("},\n").count(), 5);
     }
 
     #[test]

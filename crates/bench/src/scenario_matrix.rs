@@ -407,7 +407,7 @@ pub fn run_simnet_cell_with_metrics(
 /// test connects first (SwitchId 0 = controller `ConnId` 0 = plan target
 /// 0), then the upstream helper A (1), then the downstream helper C (2).
 /// Ports mirror `controller::scenarios::bulk_ports`: B1 ↔ A2, B2 ↔ C1.
-fn tcp_port_maps() -> Vec<SwitchPortMap> {
+pub(crate) fn tcp_port_maps() -> Vec<SwitchPortMap> {
     let b = SwitchId::new(0);
     let a = SwitchId::new(1);
     let c = SwitchId::new(2);

@@ -52,6 +52,7 @@ struct SessionMetrics {
     retries: Arc<Counter>,
     rollbacks_sent: Arc<Counter>,
     packet_ins: Arc<Counter>,
+    stray_acks: Arc<Counter>,
     in_flight: Arc<Gauge>,
     confirm_latency_us: Arc<AtomicHistogram>,
 }
@@ -65,6 +66,7 @@ impl SessionMetrics {
             retries: registry.counter("session.retries"),
             rollbacks_sent: registry.counter("session.rollbacks_sent"),
             packet_ins: registry.counter("session.packet_ins"),
+            stray_acks: registry.counter("session.stray_acks"),
             in_flight: registry.gauge("session.in_flight"),
             confirm_latency_us: registry.histogram("session.confirm_latency_us"),
         }
@@ -318,6 +320,11 @@ pub struct UpdateSession {
     since_last_barrier: Vec<u64>,
     next_barrier_xid: Xid,
     packet_ins_received: u64,
+    /// Acknowledgments that matched nothing this session sent: RUM acks for
+    /// unsent ids, barrier replies for unknown xids.  Rejected rather than
+    /// misattributed — a nonzero count while live means another session's
+    /// traffic (or a confused switch) is leaking onto this connection.
+    stray_acks: u64,
     outcome: Option<SessionOutcome>,
     metrics: Option<SessionMetrics>,
 }
@@ -370,6 +377,7 @@ impl UpdateSession {
             since_last_barrier: Vec::new(),
             next_barrier_xid: 0x4000_0000,
             packet_ins_received: 0,
+            stray_acks: 0,
             outcome: None,
             metrics: None,
         }
@@ -472,6 +480,21 @@ impl UpdateSession {
     /// controller, or data packets punted by a switch).
     pub fn packet_ins_received(&self) -> u64 {
         self.packet_ins_received
+    }
+
+    /// Acknowledgments that matched nothing this session sent (RUM acks for
+    /// unsent ids, barrier replies for unknown xids).  Always zero when the
+    /// session has its connections to itself; nonzero under a misconfigured
+    /// multiplexer, which is exactly when it must not silently confirm.
+    pub fn stray_acks(&self) -> u64 {
+        self.stray_acks
+    }
+
+    fn count_stray_ack(&mut self) {
+        self.stray_acks += 1;
+        if let Some(m) = &self.metrics {
+            m.stray_acks.inc();
+        }
     }
 
     /// Feeds one input into the session and returns the effects the driver
@@ -699,6 +722,12 @@ impl UpdateSession {
                         self.mark_confirmed(id, now, effects);
                     }
                     self.dispatch_ready(now, effects);
+                } else {
+                    // A reply to a barrier this session never issued (or
+                    // already consumed) confirms nothing; misattributing it
+                    // to pending modifications is exactly the false-ack
+                    // failure mode, so it is counted instead of guessed at.
+                    self.count_stray_ack();
                 }
             }
             OfMessage::Error { xid, ref body } => {
@@ -711,6 +740,11 @@ impl UpdateSession {
                     if !finished && self.sent.contains(&id) {
                         self.mark_confirmed(id, now, effects);
                         self.dispatch_ready(now, effects);
+                    } else if !finished {
+                        // An ack for an id this session never sent — e.g. a
+                        // cookie from another tenant's namespace leaking onto
+                        // this connection.  Rejected, never misattributed.
+                        self.count_stray_ack();
                     }
                 } else {
                     // Rejections are recorded even after the session
@@ -1299,6 +1333,53 @@ mod tests {
         assert_eq!(s.confirmation_times()[&1], first_time);
         assert_eq!(s.confirmed_order(), &[1]);
         assert_eq!(s.in_flight(), 1, "mod 2 is in flight exactly once");
+    }
+
+    /// An acknowledgment for an id this session never sent is rejected and
+    /// counted, never misattributed to a pending modification — the session
+    /// side of the multi-tenant namespace guarantee.
+    #[test]
+    fn ack_for_unsent_id_is_counted_stray_not_confirmed() {
+        let registry = Registry::new();
+        let mut s = UpdateSession::new(chain_plan(2), AckMode::RumAcks, 1);
+        s.attach_metrics(&registry);
+        s.handle(Duration::ZERO, SessionInput::Started);
+        assert_eq!(s.stray_acks(), 0);
+
+        // A cookie from some other tenant's namespace leaks in.
+        let fx = s.handle(
+            Duration::from_millis(1),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: rum_ack(0x0010_0001),
+            },
+        );
+        assert!(fx.is_empty(), "a stray ack must confirm nothing");
+        assert_eq!(s.confirmed_count(), 0);
+        // So does a barrier reply this session never issued.
+        let fx = s.handle(
+            Duration::from_millis(2),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: OfMessage::BarrierReply { xid: 0x4000_0123 },
+            },
+        );
+        assert!(fx.is_empty());
+        assert_eq!(s.stray_acks(), 2);
+        assert_eq!(registry.snapshot().counters["session.stray_acks"], 2);
+
+        // The real acknowledgment still lands normally afterwards.
+        let fx = s.handle(
+            Duration::from_millis(3),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: rum_ack(1),
+            },
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, SessionEffect::Confirmed { id: 1 })));
+        assert_eq!(s.stray_acks(), 2, "a valid ack is not stray");
     }
 
     /// Acknowledgments arriving after the session aborted are ignored: the

@@ -46,12 +46,14 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod mux_controller;
 pub mod proxy;
 pub mod relay;
 pub mod switch_host;
 mod timer;
 
 pub use controller::{TcpControllerHandle, TcpUpdateController};
+pub use mux_controller::{TcpMuxController, TcpMuxHandle};
 pub use proxy::{wait_for, ProxyConfig, ProxyCounters, ProxyHandle, RumTcpProxy};
 pub use relay::{Endpoint, EngineRelay, RelayEffects};
 pub use switch_host::{

@@ -16,6 +16,12 @@ const VALUE: u64 = 7;
 #[test]
 fn concurrent_recorders_never_tear_snapshots() {
     let registry = Arc::new(Registry::new());
+    // Register the metrics before spawning, so the snapshot loop below
+    // never races the workers' first registration (indexing the snapshot
+    // maps would panic on a missing key).
+    registry.counter("work.ops");
+    registry.gauge("work.active");
+    registry.histogram("work.latency_us");
     let go = Arc::new(AtomicBool::new(false));
     let workers: Vec<_> = (0..THREADS)
         .map(|i| {

@@ -19,13 +19,27 @@
 //! one shared registry served over a loopback TCP endpoint (printed at
 //! start-up — point `rumtop` at it while the update runs), and the example
 //! scrapes its own endpoint at the end to validate the snapshot.
+//!
+//! Pass `--sessions N` to run the **multi-tenant** variant instead: N
+//! concurrent tenant sessions, each owning a disjoint plan of `n_flows`
+//! rules, multiplexed through one `sessiond::SessionMux` behind a
+//! `TcpMuxController` over the same loopback proxy + socket switches.  The
+//! run self-validates: every tenant must complete, every tenant's confirm
+//! order must be exactly its plan order (the per-session window is 1), and
+//! the mux must attribute every ack (zero strays).
 
-use controller::{AckMode, Controller, TriangleScenario, UpdateSession};
+use controller::{AckMode, Controller, TriangleScenario, UpdatePlan, UpdateSession};
 use ofswitch::SwitchModel;
+use openflow::messages::FlowMod;
+use openflow::{Action, OfMatch};
 use rum::{deploy, RumBuilder, TechniqueConfig};
-use rum_tcp::{spawn_switch, wait_for, ProxyConfig, RumTcpProxy, TcpUpdateController};
+use rum_tcp::{
+    spawn_switch, wait_for, ProxyConfig, RumTcpProxy, TcpMuxController, TcpUpdateController,
+};
+use sessiond::MuxConfig;
 use simnet::OpenFlowSwitch;
 use simnet::{SimTime, Simulator};
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::Registry;
@@ -219,15 +233,135 @@ fn validate_snapshot(addr: std::net::SocketAddr, n_mods: usize) {
     );
 }
 
+/// A tenant's plan for the multi-tenant mode: `mods` dependency-free rule
+/// installs in the tenant's own /24 match space (so admission never
+/// serialises or rejects it), targeting switch `tenant % 3`.
+fn tenant_plan(tenant: usize, mods: u32) -> UpdatePlan {
+    let mut plan = UpdatePlan::new();
+    for r in 0..mods.min(254) {
+        let id = r as u64 + 1;
+        plan.add(
+            id,
+            tenant % 3,
+            FlowMod::add(
+                OfMatch::ipv4_pair(
+                    Ipv4Addr::new(10, (tenant >> 8) as u8, (tenant & 0xff) as u8, r as u8 + 1),
+                    Ipv4Addr::new(10, 200, 0, 1),
+                ),
+                100,
+                vec![Action::output(1)],
+            )
+            .with_cookie(id),
+        )
+        .expect("tenant-local ids are unique");
+    }
+    plan
+}
+
+/// The multi-tenant variant: `n_sessions` concurrent tenants through one
+/// `SessionMux` over the same loopback proxy + socket-switch topology.
+/// Panics (nonzero exit) if any tenant misses a confirm, confirms out of
+/// plan order, or the mux misattributes an ack.
+fn run_multi_session(n_sessions: usize, n_flows: u32) {
+    let mods_per_tenant = n_flows.min(254);
+    let config = MuxConfig::default();
+    let controller = TcpMuxController::new("127.0.0.1:0".parse().unwrap(), config, 3);
+    let ctrl_handle = controller.start().expect("mux controller starts");
+    println!("mux controller listening on {}", ctrl_handle.local_addr);
+
+    let proxy = RumTcpProxy::new(
+        ProxyConfig {
+            listen_addr: "127.0.0.1:0".parse().unwrap(),
+            controller_addr: ctrl_handle.local_addr,
+        },
+        RumBuilder::new(3).technique(TechniqueConfig::StaticTimeout { delay: HOLD_DOWN }),
+    );
+    let proxy_handle = proxy.start().expect("proxy starts");
+    println!("RUM proxy listening on {}", proxy_handle.local_addr);
+
+    let models = [
+        ("S1", SwitchModel::faithful()),
+        ("S2", SwitchModel::hp5406zl()),
+        ("S3", SwitchModel::faithful()),
+    ];
+    let mut switch_handles = Vec::new();
+    for (i, (label, model)) in models.into_iter().enumerate() {
+        let handle = spawn_switch(proxy_handle.local_addr, model).expect("switch connects");
+        assert!(
+            wait_for(
+                || ctrl_handle.connections() == i + 1,
+                Duration::from_secs(5)
+            ),
+            "{label} did not reach the controller"
+        );
+        switch_handles.push(handle);
+    }
+    println!("S1, S2, S3 connected through the proxy");
+
+    // Admit the whole tenant population up front, so every session contends
+    // for the shared outstanding-window budget from the first instant.
+    let sids: Vec<_> = (0..n_sessions)
+        .map(|t| {
+            ctrl_handle
+                .submit(tenant_plan(t, mods_per_tenant))
+                .expect("disjoint tenant plans all admit")
+        })
+        .collect();
+    println!("{n_sessions} tenants admitted ({mods_per_tenant} rules each)");
+
+    // Worst case is full serialisation of every modification, plus slack.
+    let total_mods = n_sessions as u32 * mods_per_tenant;
+    let budget =
+        (HOLD_DOWN + Duration::from_millis(20)) * (total_mods + 20) + Duration::from_secs(5);
+    assert!(
+        ctrl_handle.wait_all_done(budget),
+        "not every tenant finished within {budget:?}"
+    );
+
+    // Self-validation: with a per-session window of 1, each tenant's
+    // confirm order is fully determined by its plan.
+    let expected: Vec<u64> = (1..=mods_per_tenant as u64).collect();
+    for (t, sid) in sids.iter().enumerate() {
+        let order = ctrl_handle.confirmed_order(*sid);
+        assert_eq!(order, expected, "tenant {t} confirmed out of plan order");
+    }
+    let strays = ctrl_handle.with_mux(|m| m.stray_acks());
+    assert_eq!(strays, 0, "the mux misattributed {strays} acks");
+
+    ctrl_handle.shutdown();
+    proxy_handle.shutdown();
+    println!(
+        "\nall {n_sessions} tenants completed; every per-session confirm order matches\n\
+         its plan ([1..{mods_per_tenant}]), and every ack was attributed (0 strays) —\n\
+         one SessionMux, one proxy, {total_mods} rule installs."
+    );
+}
+
 fn main() {
     let mut n_flows: u32 = 10;
     let mut telemetry = false;
-    for arg in std::env::args().skip(1) {
+    let mut sessions: usize = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--telemetry" {
             telemetry = true;
+        } else if arg == "--sessions" {
+            sessions = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--sessions needs a tenant count");
         } else if let Ok(n) = arg.parse() {
             n_flows = n;
         }
+    }
+
+    if sessions > 0 {
+        println!(
+            "Multi-tenant mode: {sessions} concurrent sessions of {n_flows} rules each,\n\
+             one sessiond::SessionMux over loopback TCP, RUM static timeout {HOLD_DOWN:?}\n"
+        );
+        run_multi_session(sessions, n_flows);
+        return;
     }
     println!(
         "Consistent triangle migration of {n_flows} flows (install at S2, then flip S1),\n\

@@ -1,0 +1,86 @@
+//! Cross-driver equivalence of the multi-tenant session multiplexer: the
+//! same tenant population, seed and fault plan driven through the
+//! discrete-event simulator (`sessiond::MuxController`) and through real
+//! loopback sockets (`rum_tcp::TcpMuxController`) must agree — per session
+//! — on the confirm order and on the soundness verdicts.
+//!
+//! All ordering decisions live in the sans-IO `SessionMux` (per-session
+//! window 1 in the soak harness), so any divergence between the drivers is
+//! a driver bug, not scheduling noise.  This is the acceptance test for
+//! the PR's "per-session confirm order identical to simnet for the same
+//! seed" claim, at integration-test scale; `bench_results` runs the same
+//! harness at 200+ sessions.
+
+use ofswitch::SwitchModel;
+use rum_bench::session_soak::{early_reply_fault, run_simnet_soak, run_tcp_soak, SoakConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::Registry;
+
+const SEED: u64 = 42;
+
+fn config() -> SoakConfig {
+    SoakConfig {
+        sessions: 8,
+        mods_per_session: 3,
+        seed: SEED,
+        budget: Duration::from_secs(30),
+        global_window: 6,
+    }
+}
+
+#[test]
+fn per_session_confirm_orders_and_verdicts_agree_across_drivers() {
+    let cfg = config();
+    let registry = Arc::new(Registry::new());
+    // The simulated run probes an early-replying hp5406zl; the socket run
+    // uses the early-replying fast-buggy model so wall-clock stays small.
+    // Soundness verdicts and per-session orders must not depend on either
+    // choice: general probing never confirms against the data plane.
+    let sim = run_simnet_soak(
+        &cfg,
+        &early_reply_fault(&SwitchModel::hp5406zl(), SEED),
+        &registry,
+    );
+    let tcp = run_tcp_soak(
+        &cfg,
+        &early_reply_fault(&SwitchModel::fast_buggy(), SEED),
+        &registry,
+    );
+
+    // Per-session confirm order: identical for every tenant, and exactly
+    // the plan order (the per-session window is 1).
+    assert_eq!(sim.per_session_orders.len(), cfg.sessions);
+    assert_eq!(tcp.per_session_orders.len(), cfg.sessions);
+    let expected: Vec<u64> = (1..=cfg.mods_per_session as u64).collect();
+    for (t, (s, w)) in sim
+        .per_session_orders
+        .iter()
+        .zip(&tcp.per_session_orders)
+        .enumerate()
+    {
+        assert_eq!(s, w, "tenant {t}: drivers confirmed in different orders");
+        assert_eq!(s, &expected, "tenant {t}: confirm order is not plan order");
+    }
+
+    // Per-session verdicts: every tenant completes on both drivers, no
+    // false acks, no missed acks, no stray acks — despite the early acks.
+    for r in [&sim.record, &tcp.record] {
+        assert_eq!(r.completed, cfg.sessions as u64, "{}: incomplete", r.driver);
+        assert_eq!(r.aborted, 0, "{}: aborted sessions", r.driver);
+        assert_eq!(r.false_acks, 0, "{}: false acks", r.driver);
+        assert_eq!(r.missed_acks, 0, "{}: missed acks", r.driver);
+        assert_eq!(r.stray_acks, 0, "{}: stray acks", r.driver);
+        assert_eq!(
+            r.confirmed_mods,
+            (cfg.sessions * cfg.mods_per_session) as u64,
+            "{}: not every planned modification confirmed",
+            r.driver
+        );
+        assert!(
+            r.p999_confirm_ms.is_finite(),
+            "{}: unmeasured tail latency",
+            r.driver
+        );
+    }
+}

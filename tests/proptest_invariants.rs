@@ -293,6 +293,131 @@ fn synthesized_probe_hits_exactly_the_probed_rule() {
     }
 }
 
+/// The session multiplexer's shared-budget invariant: under random ack
+/// interleavings across many concurrent tenants, the number of
+/// sent-but-unconfirmed modifications never exceeds the global window, no
+/// tenant starves (every admitted session completes), and acks that belong
+/// to nobody are counted as strays rather than misattributed.
+#[test]
+fn session_mux_never_exceeds_global_window_under_random_interleavings() {
+    use controller::{ConnId, UpdatePlan};
+    use sessiond::{MuxConfig, MuxEffect, MuxInput, SessionMux};
+    use std::time::Duration;
+
+    let mut rng = rng_for(10);
+    for case in 0..64 {
+        let tenants = 2 + rng.gen_index(5);
+        let global_window = 1 + rng.gen_index(6);
+        let config = MuxConfig {
+            session_window: 1 + rng.gen_index(3),
+            global_window,
+            quantum: 1 + rng.gen_range_u64(3),
+            ..MuxConfig::default()
+        };
+        let namespace_bits = config.namespace_bits;
+        let mut mux = SessionMux::new(config);
+        let mut outstanding: Vec<u64> = Vec::new();
+        let collect = |fx: &[MuxEffect], outstanding: &mut Vec<u64>| {
+            for e in fx {
+                if let MuxEffect::Send {
+                    message: OfMessage::FlowMod { xid, .. },
+                    ..
+                } = e
+                {
+                    outstanding.push(u64::from(*xid));
+                }
+            }
+        };
+        let mut fx = Vec::new();
+        let mut sids = Vec::new();
+        let mut planned = 0u64;
+        for t in 0..tenants {
+            let mods = 1 + rng.gen_index(8) as u64;
+            planned += mods;
+            let mut plan = UpdatePlan::new();
+            for r in 0..mods {
+                plan.add(
+                    r + 1,
+                    0,
+                    FlowMod::add(
+                        OfMatch::ipv4_pair(
+                            Ipv4Addr::new(10, t as u8, r as u8, 1),
+                            Ipv4Addr::new(10, 200, 0, 1),
+                        ),
+                        100,
+                        vec![Action::output(2)],
+                    ),
+                )
+                .unwrap();
+            }
+            fx.clear();
+            sids.push(
+                mux.submit(plan, Duration::ZERO, &mut fx)
+                    .expect("disjoint plans all admit"),
+            );
+            collect(&fx, &mut outstanding);
+            assert!(
+                mux.global_in_flight() <= global_window,
+                "case {case}: admission burst violated the global window"
+            );
+        }
+
+        // An xid in the flow-mod namespace of a tenant that was never
+        // admitted: always a stray.
+        let stray_xid = ((tenants as u32 + 5) << namespace_bits) + 1;
+        let mut expected_strays = 0u64;
+        let mut now_ms = 0u64;
+        let mut steps = 0usize;
+        while !mux.all_done() {
+            steps += 1;
+            assert!(
+                steps < 20_000,
+                "case {case}: a tenant starved ({} still running)",
+                mux.running_sessions()
+            );
+            now_ms += 1 + rng.gen_range_u64(5);
+            let input = if outstanding.is_empty() || rng.gen_bool(0.05) {
+                if rng.gen_bool(0.5) {
+                    expected_strays += 1;
+                    MuxInput::FromSwitch {
+                        conn: ConnId::new(0),
+                        message: OfMessage::rum_ack(stray_xid),
+                    }
+                } else {
+                    MuxInput::Tick
+                }
+            } else {
+                // Ack a random outstanding modification — interleaving
+                // across tenants is entirely up to the network.
+                let idx = rng.gen_index(outstanding.len());
+                let xid = outstanding.swap_remove(idx);
+                MuxInput::FromSwitch {
+                    conn: ConnId::new(0),
+                    message: OfMessage::rum_ack(xid as u32),
+                }
+            };
+            fx.clear();
+            mux.handle(Duration::from_millis(now_ms), input, &mut fx);
+            collect(&fx, &mut outstanding);
+            assert!(
+                mux.global_in_flight() <= global_window,
+                "case {case}: global window violated ({} > {global_window})",
+                mux.global_in_flight()
+            );
+        }
+
+        assert_eq!(mux.stray_acks(), expected_strays, "case {case}");
+        assert_eq!(mux.global_in_flight(), 0, "case {case}");
+        let mut confirmed = 0u64;
+        for (t, sid) in sids.iter().enumerate() {
+            let session = mux.session(*sid).expect("completed sessions are retained");
+            assert!(session.is_complete(), "case {case}: tenant {t} starved");
+            confirmed += session.confirmed_count() as u64;
+        }
+        assert_eq!(confirmed, planned, "case {case}");
+    }
+}
+
 /// The update session's window invariant: under arbitrary (randomised)
 /// interleavings of acknowledgments, rejections and ticks, the number of
 /// sent-but-unconfirmed modifications never exceeds K, dependencies are
