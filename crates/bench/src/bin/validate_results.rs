@@ -23,7 +23,11 @@
 //! row must carry **zero false acks**, a complete tenant population
 //! (`completed == sessions`, zero missed acks), finite tail percentiles
 //! (p50 ≤ p99 ≤ p99.9), and at least `min_soak_sessions` concurrent
-//! sessions — the "millions of users" regression gate.
+//! sessions — the "millions of users" regression gate.  Schema 7 adds the
+//! declarative-resync verdict to the scenario matrix: applicable
+//! `restart_resync` rows must exist on **both** drivers and prove the wiped
+//! table was restored (`resync_converged`, `resync_final_diff == 0`,
+//! `resync_table_matches`); the fields are rejected anywhere else.
 //!
 //! The build environment has no serde, so this ships a minimal JSON parser —
 //! enough for the flat document the harness emits.
@@ -243,6 +247,14 @@ fn string<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a str, Str
     }
 }
 
+/// A boolean field.
+fn boolean(obj: &BTreeMap<String, Json>, key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("\"{key}\" is not a boolean: {other:?}")),
+    }
+}
+
 /// A count: a finite, non-negative integer-valued number.
 fn count(obj: &BTreeMap<String, Json>, key: &str) -> Result<u64, String> {
     let v = num(obj, key)?;
@@ -267,6 +279,7 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
         return Err("\"scenario_matrix\" is not an array".into());
     };
     let mut restart_drivers: Vec<&str> = Vec::new();
+    let mut resync_drivers: Vec<&str> = Vec::new();
     for (i, row) in matrix.iter().enumerate() {
         let Json::Obj(row) = row else {
             return Err(format!("scenario_matrix[{i}] is not an object"));
@@ -309,8 +322,10 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
         // Schema 4: per-technique applicability.  A not-applicable cell was
         // never run and must be an all-zero placeholder; a schema-3 file
         // predates the flag and must not carry one.
+        let mut is_applicable = true;
         match (schema >= 4, row.get("applicable")) {
             (true, Some(Json::Bool(applicable))) => {
+                is_applicable = *applicable;
                 if !*applicable
                     && (planned != 0
                         || false_rate != 0.0
@@ -341,6 +356,46 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
                 }
             }
         }
+        // Schema 7: the declarative-resync verdict.  Applicable
+        // restart_resync rows must prove the wiped table was restored; the
+        // fields are rejected anywhere else (older schemas, other faults,
+        // never-run cells).
+        if row.keys().any(|k| k.starts_with("resync_")) {
+            if schema < 7 {
+                return Err(format!("{context}: resync fields require schema 7"));
+            }
+            if fault != "restart_resync" {
+                return Err(format!(
+                    "{context}: resync fields are only valid on restart_resync rows"
+                ));
+            }
+            if !is_applicable {
+                return Err(format!(
+                    "{context}: not-applicable cell carries resync fields"
+                ));
+            }
+            let converged =
+                boolean(row, "resync_converged").map_err(|e| format!("{context}: {e}"))?;
+            let rounds = count(row, "resync_rounds").map_err(|e| format!("{context}: {e}"))?;
+            let final_diff =
+                count(row, "resync_final_diff").map_err(|e| format!("{context}: {e}"))?;
+            count(row, "resync_delta_mods").map_err(|e| format!("{context}: {e}"))?;
+            let table_matches =
+                boolean(row, "resync_table_matches").map_err(|e| format!("{context}: {e}"))?;
+            if !converged || rounds == 0 || final_diff != 0 || !table_matches {
+                return Err(format!(
+                    "{context}: resync failed to restore the table (converged {converged}, \
+                     rounds {rounds}, final_diff {final_diff}, table_matches {table_matches})"
+                ));
+            }
+            if !resync_drivers.contains(&driver) {
+                resync_drivers.push(driver);
+            }
+        } else if schema >= 7 && fault == "restart_resync" && is_applicable {
+            return Err(format!(
+                "{context}: applicable restart_resync row is missing its resync verdict"
+            ));
+        }
     }
     // Schema 4 turned restart survival into a load-bearing claim: a results
     // file that silently dropped the restart column on either driver is
@@ -350,6 +405,19 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
             if !restart_drivers.contains(&required) {
                 return Err(format!(
                     "schema 4 requires restart rows for both drivers; \"{required}\" is missing"
+                ));
+            }
+        }
+    }
+    // Schema 7 turned resync-after-restart into a load-bearing claim: a
+    // results file without a converged restart_resync row on each driver is
+    // stale or produced by a harness whose reconciler no longer converges.
+    if schema >= 7 {
+        for required in ["simnet", "tcp"] {
+            if !resync_drivers.contains(&required) {
+                return Err(format!(
+                    "schema 7 requires converged restart_resync rows for both drivers; \
+                     \"{required}\" is missing"
                 ));
             }
         }
@@ -448,8 +516,8 @@ fn validate(
         return Err("document root is not an object".into());
     };
     let schema = match get(root, "schema")? {
-        Json::Num(v) if (2.0..=6.0).contains(v) && v.fract() == 0.0 => *v as u32,
-        other => return Err(format!("schema must be 2, 3, 4, 5 or 6, got {other:?}")),
+        Json::Num(v) if (2.0..=7.0).contains(v) && v.fract() == 0.0 => *v as u32,
+        other => return Err(format!("schema must be 2, 3, 4, 5, 6 or 7, got {other:?}")),
     };
     let Json::Arr(results) = get(root, "results")? else {
         return Err("\"results\" is not an array".into());
@@ -1003,5 +1071,96 @@ mod tests {
         let missing = schema5(OVERHEAD_ROW).replace("\"schema\": 5", "\"schema\": 6");
         let err = validate(&doc(&missing), None, 3.0, 1).unwrap_err();
         assert!(err.contains("session_soak"), "{err}");
+    }
+
+    /// An applicable restart_resync row with a clean resync verdict
+    /// (schema 7).
+    fn resync_row(driver: &str) -> String {
+        restart_row(driver)
+            .replace("restart", "restart_resync")
+            .replace(
+                "\"completion_ms\": 812.5",
+                "\"completion_ms\": 812.5, \"resync_converged\": true, \"resync_rounds\": 2, \
+             \"resync_final_diff\": 0, \"resync_delta_mods\": 4, \"resync_table_matches\": true",
+            )
+    }
+
+    /// Builds a schema-7 document: schema 6 with the given extra matrix rows
+    /// appended to the scenario-matrix section.
+    fn schema7(resync_rows: &str) -> String {
+        schema6(&both_drivers())
+            .replace("\"schema\": 6", "\"schema\": 7")
+            .replace(
+                "],\n      \"session_soak\"",
+                &format!(", {resync_rows}],\n      \"session_soak\""),
+            )
+    }
+
+    #[test]
+    fn schema_7_with_converged_resync_rows_accepted() {
+        let rows = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
+        assert_eq!(
+            validate(&doc(&schema7(&rows)), None, 3.0, 1),
+            Ok((1, 2, 5, 2))
+        );
+    }
+
+    #[test]
+    fn schema_7_missing_a_resync_driver_is_rejected() {
+        let err = validate(&doc(&schema7(&resync_row("simnet"))), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("restart_resync rows"), "{err}");
+        assert!(err.contains("tcp"), "{err}");
+        // A schema-7 file with no resync rows at all fails the same gate.
+        let bare = schema6(&both_drivers()).replace("\"schema\": 6", "\"schema\": 7");
+        let err = validate(&doc(&bare), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("restart_resync rows"), "{err}");
+    }
+
+    #[test]
+    fn unconverged_resync_is_rejected() {
+        for (from, to) in [
+            ("\"resync_converged\": true", "\"resync_converged\": false"),
+            ("\"resync_final_diff\": 0", "\"resync_final_diff\": 2"),
+            (
+                "\"resync_table_matches\": true",
+                "\"resync_table_matches\": false",
+            ),
+            ("\"resync_rounds\": 2", "\"resync_rounds\": 0"),
+        ] {
+            let rows = format!(
+                "{}, {}",
+                resync_row("simnet").replace(from, to),
+                resync_row("tcp")
+            );
+            let err = validate(&doc(&schema7(&rows)), None, 3.0, 1).unwrap_err();
+            assert!(err.contains("failed to restore"), "{from} -> {to}: {err}");
+        }
+    }
+
+    #[test]
+    fn schema_7_resync_row_without_verdict_is_rejected() {
+        // An applicable restart_resync row that dropped its verdict fields
+        // is a broken harness, not a passing gate.
+        let bare = restart_row("simnet").replace("restart", "restart_resync");
+        let rows = format!("{bare}, {}", resync_row("tcp"));
+        let err = validate(&doc(&schema7(&rows)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("missing its resync verdict"), "{err}");
+    }
+
+    #[test]
+    fn resync_fields_require_schema_7_and_the_resync_fault() {
+        // Smuggled into a schema-6 file: rejected.
+        let rows = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
+        let smuggled = schema7(&rows).replace("\"schema\": 7", "\"schema\": 6");
+        let err = validate(&doc(&smuggled), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("require schema 7"), "{err}");
+        // Attached to a plain restart row: rejected.
+        let tainted = restart_row("simnet").replace(
+            "\"completion_ms\": 812.5",
+            "\"completion_ms\": 812.5, \"resync_converged\": true",
+        );
+        let rows = format!("{tainted}, {}, {}", resync_row("simnet"), resync_row("tcp"));
+        let err = validate(&doc(&schema7(&rows)), None, 3.0, 1).unwrap_err();
+        assert!(err.contains("only valid on restart_resync"), "{err}");
     }
 }

@@ -14,6 +14,9 @@
 //!   (admission, scheduling and stray-ack counters plus confirm-latency
 //!   quantiles) and one row per instrumented tenant (`sessiond.t{i}.*`),
 //!   shown only when a mux is attached;
+//! * `resync.*` — the declarative reconciler: readback rounds, delta
+//!   mods, re-requests, the convergence verdict and time-to-convergence
+//!   quantiles, shown only when a reconciler is attached;
 //! * `proxy.*` — transport counters of the TCP proxy, one line;
 //! * `matrix.*` — scenario-matrix verdict counters, one line per cell,
 //!   shown only when present (live sweeps).
@@ -168,6 +171,7 @@ pub fn render(snapshot: &Snapshot) -> String {
     }
 
     render_sessiond(snapshot, &mut out);
+    render_resync(snapshot, &mut out);
 
     let proxy_counter = |field: &str| {
         snapshot
@@ -202,6 +206,50 @@ pub fn render(snapshot: &Snapshot) -> String {
         }
     }
     out
+}
+
+/// The declarative-reconciler section: one line with the readback loop's
+/// counters and the convergence verdict.  Silent when no reconciler is
+/// attached.
+fn render_resync(snapshot: &Snapshot, out: &mut String) {
+    if !snapshot.counters.keys().any(|k| k.starts_with("resync."))
+        && !snapshot.gauges.keys().any(|k| k.starts_with("resync."))
+    {
+        return;
+    }
+    let counter = |field: &str| {
+        snapshot
+            .counters
+            .get(&format!("resync.{field}"))
+            .copied()
+            .unwrap_or(0)
+    };
+    let gauge = |field: &str| {
+        snapshot
+            .gauges
+            .get(&format!("resync.{field}"))
+            .copied()
+            .unwrap_or(0)
+    };
+    let verdict = if gauge("converged") > 0 {
+        "converged"
+    } else {
+        "diverged"
+    };
+    let mut line = format!(
+        "resync: rounds {}  delta-mods {}  re-requests {}  final-diff {}  {}",
+        counter("rounds"),
+        counter("delta_mods"),
+        counter("re_requests"),
+        gauge("final_diff"),
+        verdict,
+    );
+    if let Some(h) = snapshot.histograms.get("resync.time_to_convergence_us") {
+        if h.count > 0 {
+            let _ = write!(line, "  t-conv p50 {}us p99 {}us", h.p50, h.p99);
+        }
+    }
+    let _ = writeln!(out, "{line}");
 }
 
 /// Splits a `sessiond.t{i}.{field}` metric name into its tenant index and
@@ -386,6 +434,36 @@ mod tests {
     fn sessiond_section_is_silent_without_a_mux() {
         let text = render(&populated_registry().snapshot());
         assert!(!text.contains("sessiond:"), "{text}");
+    }
+
+    #[test]
+    fn resync_section_renders_counters_verdict_and_quantiles() {
+        let registry = Registry::new();
+        registry.counter("resync.rounds").add(3);
+        registry.counter("resync.delta_mods").add(5);
+        registry.counter("resync.re_requests").add(1);
+        registry.gauge("resync.converged").set(1);
+        registry.gauge("resync.final_diff").set(0);
+        registry
+            .histogram("resync.time_to_convergence_us")
+            .record(42_000);
+        let text = render(&registry.snapshot());
+        assert!(
+            text.contains("resync: rounds 3  delta-mods 5  re-requests 1  final-diff 0  converged"),
+            "{text}"
+        );
+        assert!(text.contains("t-conv p50"), "{text}");
+        // A wiped table the reconciler never repaired reads as diverged.
+        registry.gauge("resync.converged").set(0);
+        registry.gauge("resync.final_diff").set(4);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("final-diff 4  diverged"), "{text}");
+    }
+
+    #[test]
+    fn resync_section_is_silent_without_a_reconciler() {
+        let text = render(&populated_registry().snapshot());
+        assert!(!text.contains("resync:"), "{text}");
     }
 
     #[test]

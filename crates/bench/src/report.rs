@@ -1,7 +1,7 @@
 //! Plain-text / CSV report formatting shared by the experiment binaries.
 
 use crate::experiments::{ActivationSample, EndToEndResult, FlowRow};
-use crate::scenario_matrix::MatrixCell;
+use crate::scenario_matrix::{MatrixCell, ResyncVerdict};
 
 /// Formats the per-flow rows of an end-to-end run as CSV
 /// (`flow,last_old_ms,update_time_ms,broken_ms`).
@@ -154,9 +154,9 @@ impl ThroughputRecord {
     }
 }
 
-/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 5):
-/// the reliability measurement of one (driver, fault model, technique)
-/// combination.
+/// One scenario-matrix cell as persisted to `BENCH_results.json` (schema 5;
+/// resync fields since schema 7): the reliability measurement of one
+/// (driver, fault model, technique) combination.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixRecord {
     /// `simnet` or `tcp`.
@@ -182,6 +182,9 @@ pub struct MatrixRecord {
     /// False when the technique's soundness claim does not apply under this
     /// fault model (the cell was recorded with zero counts, not run).
     pub applicable: bool,
+    /// Reconciliation verdict — present only on `restart_resync` cells
+    /// (schema 7): did the declarative resync restore the wiped table?
+    pub resync: Option<ResyncVerdict>,
 }
 
 impl From<&MatrixCell> for MatrixRecord {
@@ -198,6 +201,7 @@ impl From<&MatrixCell> for MatrixRecord {
             missed_ack_rate: c.missed_ack_rate(),
             completion_ms: c.completion_ms,
             applicable: c.applicable,
+            resync: c.resync,
         }
     }
 }
@@ -258,12 +262,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document, schema 6
+/// Renders the records as the `BENCH_results.json` document, schema 7
 /// (handwritten JSON — the build environment has no serde):
 ///
 /// ```json
 /// {
-///   "schema": 6,
+///   "schema": 7,
 ///   "results": [
 ///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
 ///      "confirms": n, "runs": n}
@@ -279,7 +283,10 @@ fn json_num(v: f64) -> String {
 ///      "driver": "...", "fault": "...", "technique": "...",
 ///      "planned": n, "confirmed": n, "false_acks": n, "missed_acks": n,
 ///      "false_ack_rate": f, "missed_ack_rate": f, "completion_ms": f|null,
-///      "applicable": true|false}
+///      "applicable": true|false,
+///      "resync_converged": b, "resync_rounds": n,        // restart_resync
+///      "resync_final_diff": n, "resync_delta_mods": n,   // rows only
+///      "resync_table_matches": b}                        // (schema 7)
 ///   ],
 ///   "session_soak": [
 ///     {"experiment": "session_soak/<driver>/<fault>",
@@ -297,7 +304,7 @@ pub fn results_json(
     matrix: &[MatrixRecord],
     soak: &[SessionSoakRecord],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": 6,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 7,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -343,8 +350,8 @@ pub fn results_json(
             Some(v) => json_num(v),
             None => "null".into(),
         };
-        out.push_str(&format!(
-            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {},              \"applicable\": {}}}{}\n",
+        let mut row = format!(
+            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {},              \"applicable\": {}",
             r.planned,
             r.confirmed,
             r.false_acks,
@@ -353,11 +360,21 @@ pub fn results_json(
             json_num(r.missed_ack_rate),
             completion,
             r.applicable,
-            if i + 1 < matrix.len() { "," } else { "" },
             d = json_escape(&r.driver),
             f = json_escape(&r.fault),
             t = json_escape(&r.technique),
+        );
+        if let Some(v) = &r.resync {
+            row.push_str(&format!(
+                ",              \"resync_converged\": {}, \"resync_rounds\": {},              \"resync_final_diff\": {}, \"resync_delta_mods\": {},              \"resync_table_matches\": {}",
+                v.converged, v.rounds, v.final_diff, v.delta_mods, v.table_matches,
+            ));
+        }
+        row.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < matrix.len() { "," } else { "" }
         ));
+        out.push_str(&row);
     }
     out.push_str("  ],\n  \"session_soak\": [\n");
     for (i, r) in soak.iter().enumerate() {
@@ -535,6 +552,7 @@ mod tests {
                 missed_ack_rate: 0.0,
                 completion_ms: Some(812.5),
                 applicable: true,
+                resync: None,
             },
             MatrixRecord {
                 driver: "tcp".into(),
@@ -548,6 +566,27 @@ mod tests {
                 missed_ack_rate: 0.3,
                 completion_ms: None,
                 applicable: true,
+                resync: None,
+            },
+            MatrixRecord {
+                driver: "simnet".into(),
+                fault: "restart_resync".into(),
+                technique: "barrier-only".into(),
+                planned: 10,
+                confirmed: 10,
+                false_acks: 4,
+                missed_acks: 0,
+                false_ack_rate: 0.4,
+                missed_ack_rate: 0.0,
+                completion_ms: Some(900.0),
+                applicable: true,
+                resync: Some(ResyncVerdict {
+                    converged: true,
+                    rounds: 2,
+                    final_diff: 0,
+                    delta_mods: 4,
+                    table_matches: true,
+                }),
             },
         ];
         let soak = vec![
@@ -585,7 +624,7 @@ mod tests {
             },
         ];
         let json = results_json(&records, &throughput, &matrix, &soak);
-        assert!(json.contains("\"schema\": 6"));
+        assert!(json.contains("\"schema\": 7"));
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));
@@ -615,6 +654,15 @@ mod tests {
         assert!(json.contains("\"completion_ms\": 812.500"));
         assert!(json.contains("\"completion_ms\": null"));
         assert!(json.contains("\"applicable\": true"));
+        // Resync fields appear only on the restart_resync row (schema 7).
+        let resync_row = json.lines().find(|l| l.contains("restart_resync")).unwrap();
+        assert!(resync_row.contains("\"resync_converged\": true"));
+        assert!(resync_row.contains("\"resync_rounds\": 2"));
+        assert!(resync_row.contains("\"resync_final_diff\": 0"));
+        assert!(resync_row.contains("\"resync_delta_mods\": 4"));
+        assert!(resync_row.contains("\"resync_table_matches\": true"));
+        let plain_row = json.lines().find(|l| l.contains("early_reply/")).unwrap();
+        assert!(!plain_row.contains("resync_"));
         // The soak section carries the composed name, the verdicts and the
         // tail percentiles (NaN serialises as null).
         assert!(json.contains("session_soak/simnet/early_reply"));
@@ -623,7 +671,7 @@ mod tests {
         assert!(json.contains("\"p999_confirm_ms\": null"));
         assert!(json.contains("\"stray_acks\": 0"));
         // One trailing comma-less record per section.
-        assert_eq!(json.matches("},\n").count(), 5);
+        assert_eq!(json.matches("},\n").count(), 6);
     }
 
     #[test]

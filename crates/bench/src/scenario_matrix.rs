@@ -20,8 +20,11 @@
 //! of `(seed, cookie)`, the adversary is identical on both drivers.
 
 use controller::scenarios::BulkUpdateScenario;
-use controller::{AckMode, Controller, UpdateSession};
-use ofswitch::{BarrierMode, FaultPlan, GroundTruth, SwitchModel};
+use controller::{
+    AckMode, BackoffPolicy, Controller, DesiredStore, FailurePolicy, ResyncConfig, ResyncStatus,
+    UpdateSession,
+};
+use ofswitch::{BarrierMode, FaultPlan, FlowEntry, GroundTruth, SwitchModel};
 use rum::{deploy, RumBuilder, SwitchId, SwitchPortMap, TechniqueConfig};
 use rum_tcp::{
     spawn_switch_with, Fabric, ProxyConfig, RumTcpProxy, SwitchHostOptions, TcpUpdateController,
@@ -156,6 +159,16 @@ pub fn fault_models(base: &SwitchModel, seed: u64, n_rules: usize) -> Vec<FaultM
             faults: FaultPlan::seeded(seed).with_restart_after(restart_after_mods(n_rules)),
         },
         FaultModel {
+            // The same mid-plan reboot, but with the controller's
+            // reconciliation subsystem enabled: after the main session
+            // settles, the reconciler reads the flow table back, re-issues
+            // the wiped delta and re-reads until the table equals the
+            // desired store.  The cell's verdict gains a [`ResyncVerdict`].
+            name: "restart_resync",
+            model: base.clone(),
+            faults: FaultPlan::seeded(seed).with_restart_after(restart_after_mods(n_rules)),
+        },
+        FaultModel {
             name: "early_reply_reordering",
             model: SwitchModel {
                 barrier_mode: BarrierMode::EarlyReplyReordering,
@@ -183,6 +196,132 @@ pub fn technique_applicable(technique: &MatrixTechnique, fault: &FaultModel) -> 
     !sequential || fault.model.barrier_mode.preserves_order()
 }
 
+/// Outcome of the reconciliation loop in a `restart_resync` cell: did the
+/// reconciler converge, how fast, and — judged against the device under
+/// test's final flow table, not the reconciler's own claim — does the table
+/// really equal the desired store afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncVerdict {
+    /// A readback showed zero difference within the round budget.
+    pub converged: bool,
+    /// Readback rounds used.
+    pub rounds: u32,
+    /// Entries still differing at the last readback (0 when converged).
+    pub final_diff: usize,
+    /// Modifications re-issued through delta sessions.
+    pub delta_mods: u64,
+    /// Ground truth: the switch's final control table, filtered of RUM's
+    /// reserved probe/catch rules, is entry-for-entry equal to the desired
+    /// store (same identities, cookies and actions).
+    pub table_matches: bool,
+}
+
+impl ResyncVerdict {
+    /// The bar a `restart_resync` cell must clear.
+    pub fn is_clean(&self) -> bool {
+        self.converged && self.final_diff == 0 && self.table_matches
+    }
+}
+
+/// Whether a fault model's cells run with the reconciler enabled.
+pub fn resync_enabled(fault: &FaultModel) -> bool {
+    fault.name == "restart_resync"
+}
+
+/// The reconciler configuration of a `restart_resync` cell — a pure
+/// function of the switch model, so the simulator and TCP drivers replay
+/// the identical backoff schedule for a given seed.  The delta session uses
+/// plain batched barriers on both drivers: convergence is proven by the
+/// *next readback*, not by trusting the delta's acknowledgments, so the
+/// honesty of the ack path is irrelevant here by design.
+pub fn resync_config(model: &SwitchModel) -> ResyncConfig {
+    let lag = model.worst_case_dataplane_lag();
+    ResyncConfig {
+        backoff: BackoffPolicy::new(lag / 4, lag * 2),
+        max_rounds: 8,
+        ack_mode: AckMode::Barriers { batch: 4 },
+        window: 8,
+        failure_policy: FailurePolicy::retry(lag, 2),
+    }
+}
+
+/// The drop-all rule every matrix scenario preinstalls on the device under
+/// test (`controller::scenarios` uses the same identity); `restart_resync`
+/// cells seed the desired store with it so the reconciler restores it too.
+fn preinstalled_drop_all() -> openflow::messages::FlowMod {
+    openflow::messages::FlowMod::add(
+        openflow::OfMatch::wildcard_all(),
+        controller::scenarios::DROP_ALL_PRIORITY,
+        vec![],
+    )
+    .with_cookie(controller::scenarios::COOKIE_PREINSTALLED)
+}
+
+/// Joins the reconciler's own claim with switch-side ground truth into the
+/// cell verdict.  A cell where the reconnect never reached the reconciler
+/// (no status) records a non-converged verdict instead of panicking.
+fn resync_verdict(
+    status: Option<&ResyncStatus>,
+    store: &DesiredStore,
+    entries: &[FlowEntry],
+) -> ResyncVerdict {
+    let table_matches = table_matches_desired(entries, store, 0);
+    match status {
+        Some(s) => ResyncVerdict {
+            converged: s.converged,
+            rounds: s.rounds,
+            final_diff: s.final_diff,
+            delta_mods: s.delta_mods,
+            table_matches,
+        },
+        None => ResyncVerdict {
+            converged: false,
+            rounds: 0,
+            final_diff: store.len(0),
+            delta_mods: 0,
+            table_matches,
+        },
+    }
+}
+
+/// The main session's failure policy in a `restart_resync` cell.
+///
+/// The reconciliation gate opens only once the main session settles; the
+/// barrier-only baseline would otherwise wait forever on modifications the
+/// reboot swallowed (no re-issue without RUM).  A model-scaled retry — one
+/// full reconnect delay plus the worst-case lag, so the first re-send lands
+/// after the reattach — lets every technique settle: completion where the
+/// re-sends get through, an abort (which opens the gate just the same)
+/// where they do not.
+pub fn resync_session_policy(model: &SwitchModel) -> FailurePolicy {
+    FailurePolicy::retry(
+        restart_reconnect_delay(model) + model.worst_case_dataplane_lag(),
+        3,
+    )
+}
+
+/// Ground-truth table equality: every control-table entry the controller
+/// owns (RUM's reserved probe/catch cookies are the proxy's business) must
+/// be desired with the same cookie and actions, and nothing desired may be
+/// missing.  Strict-identity keys `(match, priority)` make this the same
+/// relation the reconciler's diff uses — but computed from the switch side.
+pub fn table_matches_desired(
+    entries: &[FlowEntry],
+    store: &DesiredStore,
+    switch: controller::plan::SwitchRef,
+) -> bool {
+    let owned: Vec<&FlowEntry> = entries
+        .iter()
+        .filter(|e| e.cookie < u64::from(rum::PROXY_XID_BASE))
+        .collect();
+    owned.len() == store.len(switch)
+        && owned.iter().all(|e| {
+            store
+                .get(switch, &e.match_, e.priority)
+                .is_some_and(|want| want.cookie == e.cookie && want.actions == e.actions)
+        })
+}
+
 /// Result of one matrix cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixCell {
@@ -207,6 +346,8 @@ pub struct MatrixCell {
     /// fault model (see [`technique_applicable`]); the cell is then recorded
     /// with zero counts instead of being run.
     pub applicable: bool,
+    /// Present only in `restart_resync` cells: the reconciliation outcome.
+    pub resync: Option<ResyncVerdict>,
 }
 
 impl MatrixCell {
@@ -227,6 +368,7 @@ impl MatrixCell {
             missed_acks: 0,
             completion_ms: None,
             applicable: false,
+            resync: None,
         }
     }
 }
@@ -288,6 +430,7 @@ fn classify(
         missed_acks,
         completion_ms,
         applicable: true,
+        resync: None,
     }
 }
 
@@ -334,33 +477,31 @@ pub fn run_simnet_cell_with_metrics(
     let switches = [net.sw_b, net.sw_a, net.sw_c];
     let window = n_rules.max(1);
 
-    let ctrl_id = match technique {
+    let ack_mode = match technique {
+        MatrixTechnique::BarrierOnly => AckMode::Barriers { batch: 1 },
+        MatrixTechnique::Rum(_) => AckMode::RumAcks,
+    };
+    let mut ctrl = Controller::new("ctrl", net.plan.clone(), ack_mode, window, SIM_START);
+    if resync_enabled(fault) {
+        ctrl.session_mut()
+            .set_failure_policy(resync_session_policy(&fault.model));
+        let reconciler = ctrl.enable_resync(resync_config(&fault.model));
+        reconciler
+            .store_mut()
+            .note_confirmed(0, &preinstalled_drop_all());
+        reconciler.attach_metrics(registry);
+    }
+    let ctrl_id = sim.add_node(ctrl);
+    match technique {
         MatrixTechnique::BarrierOnly => {
-            let ctrl = Controller::new(
-                "ctrl",
-                net.plan.clone(),
-                AckMode::Barriers { batch: 1 },
-                window,
-                SIM_START,
-            );
-            let ctrl_id = sim.add_node(ctrl);
             sim.node_mut::<Controller>(ctrl_id)
                 .unwrap()
                 .set_connections(vec![net.sw_b]);
             sim.node_mut::<OpenFlowSwitch>(net.sw_b)
                 .unwrap()
                 .connect_controller(ctrl_id);
-            ctrl_id
         }
         MatrixTechnique::Rum(t) => {
-            let ctrl = Controller::new(
-                "ctrl",
-                net.plan.clone(),
-                AckMode::RumAcks,
-                window,
-                SIM_START,
-            );
-            let ctrl_id = sim.add_node(ctrl);
             let builder = RumBuilder::new(switches.len()).technique(t.clone());
             let (proxies, _handle) = deploy(&mut sim, builder, ctrl_id, &switches);
             sim.node_mut::<Controller>(ctrl_id)
@@ -371,9 +512,8 @@ pub fn run_simnet_cell_with_metrics(
                     .unwrap()
                     .connect_controller(proxies[idx]);
             }
-            ctrl_id
         }
-    };
+    }
 
     // A generous horizon; stalled cells (wedged rules, lost acks) simply
     // report missed acks.
@@ -391,7 +531,7 @@ pub fn run_simnet_cell_with_metrics(
         .behavior()
         .ground_truth()
         .clone();
-    classify(
+    let mut cell = classify(
         "simnet",
         fault,
         technique,
@@ -400,7 +540,25 @@ pub fn run_simnet_cell_with_metrics(
         &truth,
         completion_ms,
         registry,
-    )
+    );
+    if resync_enabled(fault) {
+        let entries: Vec<FlowEntry> = sim
+            .node_ref::<OpenFlowSwitch>(net.sw_b)
+            .unwrap()
+            .behavior()
+            .control_table()
+            .entries()
+            .cloned()
+            .collect();
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        let reconciler = ctrl.reconciler().expect("resync was enabled");
+        cell.resync = Some(resync_verdict(
+            reconciler.status(0),
+            reconciler.store(),
+            &entries,
+        ));
+    }
+    cell
 }
 
 /// Port maps of the TCP chain in proxy `SwitchId` space: the device under
@@ -428,6 +586,12 @@ pub(crate) fn tcp_port_maps() -> Vec<SwitchPortMap> {
 /// stalled (missed acks).  Scaled for `SwitchModel::fast_buggy` timings.
 const TCP_COMPLETION_TIMEOUT: Duration = Duration::from_millis(2_500);
 
+/// Extra wall-clock budget for the reconciliation loop of a
+/// `restart_resync` cell after the main session settled: the reattach, up
+/// to eight readback rounds and the backoff between them all fit in a small
+/// fraction of this — the slack only matters on a loaded CI machine.
+const TCP_RESYNC_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Runs one cell on the real-socket driver: a `TcpUpdateController`, the
 /// RUM TCP proxy (for RUM techniques), and fabric-linked switch hosts.
 pub fn run_tcp_cell(technique: &MatrixTechnique, fault: &FaultModel, n_rules: usize) -> MatrixCell {
@@ -453,24 +617,27 @@ pub fn run_tcp_cell_with_metrics(
     let planned: Vec<u64> = (0..n_rules).map(BulkUpdateScenario::rule_cookie).collect();
     let epoch = Instant::now();
     let window = n_rules.max(1);
-    let drop_all = openflow::messages::FlowMod::add(
-        openflow::OfMatch::wildcard_all(),
-        controller::scenarios::DROP_ALL_PRIORITY,
-        vec![],
-    )
-    .with_cookie(controller::scenarios::COOKIE_PREINSTALLED);
+    let drop_all = preinstalled_drop_all();
 
     let (ack_mode, n_connections) = match technique {
         MatrixTechnique::BarrierOnly => (AckMode::Barriers { batch: 1 }, 1),
         MatrixTechnique::Rum(_) => (AckMode::RumAcks, 3),
     };
-    let session = UpdateSession::new(plan, ack_mode, window);
-    let ctrl = TcpUpdateController::new_with_epoch(
+    let mut session = UpdateSession::new(plan, ack_mode, window);
+    if resync_enabled(fault) {
+        session.set_failure_policy(resync_session_policy(&fault.model));
+    }
+    let mut ctrl = TcpUpdateController::new_with_epoch(
         "127.0.0.1:0".parse().unwrap(),
         session,
         n_connections,
         epoch,
     );
+    if resync_enabled(fault) {
+        let reconciler = ctrl.enable_resync(resync_config(&fault.model));
+        reconciler.store_mut().note_confirmed(0, &drop_all);
+        reconciler.attach_metrics(registry);
+    }
     let ctrl_handle = ctrl.start().expect("controller starts");
 
     let mut proxy_handle = None;
@@ -536,6 +703,16 @@ pub fn run_tcp_cell_with_metrics(
     }
 
     let outcome = ctrl_handle.wait_for_outcome(TCP_COMPLETION_TIMEOUT);
+    // In a `restart_resync` cell, the main session settling opens the
+    // reconciliation gate; give the readback/delta loop its own budget and
+    // snapshot the reconciler's claim plus the desired store before
+    // teardown (the table itself is judged from the device's report below).
+    let resync_state: Option<(Option<ResyncStatus>, DesiredStore)> = if resync_enabled(fault) {
+        ctrl_handle.wait_for_resync(1, TCP_RESYNC_TIMEOUT);
+        ctrl_handle.with_reconciler(|r| (r.status(0).cloned(), r.store().clone()))
+    } else {
+        None
+    };
     let (confirmations, completed_at, update_start) = ctrl_handle.with_session(|s| {
         (
             s.confirmation_times().clone(),
@@ -567,7 +744,7 @@ pub fn run_tcp_cell_with_metrics(
         (Some(done), Some(start)) => Some(done.saturating_sub(start).as_secs_f64() * 1e3),
         _ => None,
     };
-    classify(
+    let mut cell = classify(
         "tcp",
         fault,
         technique,
@@ -576,7 +753,15 @@ pub fn run_tcp_cell_with_metrics(
         &report.truth,
         completion_ms,
         registry,
-    )
+    );
+    if let Some((status, store)) = resync_state {
+        cell.resync = Some(resync_verdict(
+            status.as_ref(),
+            &store,
+            &report.control_entries,
+        ));
+    }
+    cell
 }
 
 /// Runs the full matrix on the simulator driver.
@@ -694,8 +879,14 @@ mod tests {
                 "sync_burst",
                 "ack_lossdup",
                 "restart",
+                "restart_resync",
                 "early_reply_reordering"
             ]
+        );
+        assert_eq!(
+            models.iter().filter(|f| resync_enabled(f)).count(),
+            1,
+            "exactly the restart_resync column runs with the reconciler"
         );
         let sequential = MatrixTechnique::Rum(TechniqueConfig::SequentialProbing {
             batch_size: 3,
@@ -715,10 +906,13 @@ mod tests {
         }
         assert_eq!(restart_after_mods(10), 5);
         assert_eq!(restart_after_mods(1), 1);
-        let na = MatrixCell::not_applicable("simnet", &models[5], &sequential);
+        let reordering = models.last().unwrap();
+        assert_eq!(reordering.name, "early_reply_reordering");
+        let na = MatrixCell::not_applicable("simnet", reordering, &sequential);
         assert!(!na.applicable);
         assert_eq!(na.planned, 0);
         assert_eq!(na.false_ack_rate(), 0.0);
+        assert_eq!(na.resync, None);
     }
 
     /// Cell verdicts are *driven through* the shared telemetry registry:
@@ -775,6 +969,49 @@ mod tests {
         );
         assert_eq!(general.false_acks, 0, "{general:?}");
         assert_eq!(general.missed_acks, 0, "{general:?}");
+    }
+
+    /// The restart_resync column end to end on the simulator: a mid-plan
+    /// reboot wipes the table, the reconciler reads back, re-issues the
+    /// delta and converges — and the verdict's table equality is judged
+    /// against the switch's real control table, not the reconciler's claim.
+    #[test]
+    fn simnet_restart_resync_repairs_the_wiped_table() {
+        let base = SwitchModel::hp5406zl();
+        let models = fault_models(&base, 42, 8);
+        let fault = models.iter().find(|f| f.name == "restart_resync").unwrap();
+        let plain_restart = models.iter().find(|f| f.name == "restart").unwrap();
+        assert!(resync_enabled(fault) && !resync_enabled(plain_restart));
+
+        let registry = Registry::new();
+        let cell =
+            run_simnet_cell_with_metrics(&MatrixTechnique::BarrierOnly, fault, 8, 42, &registry);
+        let verdict = cell.resync.expect("restart_resync cells carry a verdict");
+        assert!(verdict.is_clean(), "verdict: {verdict:?}");
+        assert!(
+            verdict.delta_mods > 0,
+            "confirmed-then-wiped rules must be re-issued: {verdict:?}"
+        );
+        // The reconciler's observability rides the same registry as the
+        // matrix counters.
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["resync.converged"], 1);
+        assert_eq!(snap.gauges["resync.final_diff"], 0);
+
+        // A RUM technique converges too: RUM re-issues what was unconfirmed,
+        // the reconciler restores what was confirmed-then-wiped.
+        let rum = run_simnet_cell(
+            &MatrixTechnique::Rum(TechniqueConfig::default_general()),
+            fault,
+            8,
+            42,
+        );
+        let verdict = rum.resync.expect("verdict present under RUM");
+        assert!(verdict.is_clean(), "verdict: {verdict:?}");
+
+        // The plain restart column stays verdict-free.
+        let plain = run_simnet_cell(&MatrixTechnique::BarrierOnly, plain_restart, 8, 42);
+        assert_eq!(plain.resync, None);
     }
 
     /// Under the wedged-queue silent-drop fault, the baseline confirms

@@ -1,0 +1,182 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! Shared by every retry loop in the controller: per-mod retries inside
+//! [`crate::session::UpdateSession`] and the readback / delta rounds of the
+//! [`crate::resync::Reconciler`].  The schedule is a pure function of
+//! `(key, attempt)` — no RNG state — so the same seed produces the same
+//! retry timings on the simulator and over real sockets, which is what
+//! lets the scenario matrix compare convergence traces cell-for-cell
+//! across drivers.
+//!
+//! Shape of the schedule for a policy `{ base, cap }`:
+//!
+//! * attempt 0 fires after exactly `base` (no jitter — the common case of a
+//!   single retry keeps its historical, easily-asserted timing);
+//! * attempt `n ≥ 1` doubles the raw delay (`base << n`, saturating), clamps
+//!   it to `cap`, then picks a deterministic point in `[raw/2, raw]` keyed by
+//!   `(key, attempt)` — decorrelated enough that retry storms after a
+//!   reconnect spread out instead of synchronizing, bounded so the jittered
+//!   delay can never exceed `cap`.
+
+use std::time::Duration;
+
+/// SplitMix64 finaliser — the same keyed hash the switch's `FaultPlan` uses,
+/// so backoff jitter is order-independent and driver-independent.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain salt separating backoff jitter from every other keyed-hash user.
+const SALT_BACKOFF: u64 = 0xB0;
+
+/// A bounded exponential backoff schedule with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay of the first retry (attempt 0), and the unit the exponential
+    /// grows from.
+    pub base: Duration,
+    /// Hard ceiling: no delay this policy produces ever exceeds `cap`.
+    pub cap: Duration,
+}
+
+impl BackoffPolicy {
+    /// A schedule growing from `base` and clamped to `cap`.
+    pub const fn new(base: Duration, cap: Duration) -> Self {
+        Self { base, cap }
+    }
+
+    /// A degenerate schedule that always waits exactly `d` — used to express
+    /// the historical fixed-timeout behavior in terms of the shared
+    /// primitive.
+    pub const fn fixed(d: Duration) -> Self {
+        Self { base: d, cap: d }
+    }
+
+    /// The delay before retry number `attempt` (0-based) for the retry loop
+    /// identified by `key`.
+    ///
+    /// Pure in `(self, key, attempt)`.  `key` should identify the loop
+    /// stably across drivers (a cookie, a switch id, a seed mix) — never a
+    /// wall-clock or sequential counter.
+    pub fn delay(&self, key: u64, attempt: u32) -> Duration {
+        let base = self.base.min(self.cap);
+        if attempt == 0 || base == self.cap {
+            // First retry keeps its exact, easily-asserted timing; a
+            // degenerate fixed policy (base == cap) never jitters at all.
+            return base;
+        }
+        let raw = base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        // Deterministic point in [raw/2, raw].
+        let half = raw / 2;
+        let span = raw.saturating_sub(half).as_nanos() as u64;
+        if span == 0 {
+            return raw;
+        }
+        let h =
+            splitmix64(key ^ SALT_BACKOFF.wrapping_mul(0x517C_C1B7_2722_0A95) ^ u64::from(attempt));
+        half + Duration::from_nanos(h % (span + 1))
+    }
+
+    /// Total time spent sleeping across retries `0..attempts` — an upper
+    /// bound useful for sizing scenario horizons.
+    pub fn total_delay(&self, key: u64, attempts: u32) -> Duration {
+        (0..attempts).map(|a| self.delay(key, a)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn attempt_zero_is_exactly_base() {
+        let p = BackoffPolicy::new(50 * MS, 800 * MS);
+        for key in [0u64, 1, 0xDEAD_BEEF] {
+            assert_eq!(p.delay(key, 0), 50 * MS);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_key_and_attempt() {
+        let p = BackoffPolicy::new(10 * MS, 500 * MS);
+        for key in 0..64u64 {
+            for attempt in 0..10 {
+                assert_eq!(p.delay(key, attempt), p.delay(key, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn never_exceeds_cap() {
+        let p = BackoffPolicy::new(7 * MS, 123 * MS);
+        for key in 0..256u64 {
+            for attempt in 0..40 {
+                assert!(
+                    p.delay(key, attempt) <= p.cap,
+                    "key {key} attempt {attempt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grows_until_capped() {
+        let p = BackoffPolicy::new(10 * MS, 10_000 * MS);
+        // Jitter floor of attempt n is base << (n - 1); it dominates the
+        // previous attempt's ceiling two attempts back.
+        for key in 0..32u64 {
+            for attempt in 2..8u32 {
+                assert!(p.delay(key, attempt) > p.delay(key, attempt - 2));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_lower_bound_is_half_raw() {
+        let p = BackoffPolicy::new(16 * MS, 4096 * MS);
+        for key in 0..128u64 {
+            for attempt in 1..8u32 {
+                let raw = (16 * MS * (1 << attempt)).min(p.cap);
+                let d = p.delay(key, attempt);
+                assert!(d >= raw / 2 && d <= raw);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_keys() {
+        let p = BackoffPolicy::new(100 * MS, 100_000 * MS);
+        let delays: std::collections::HashSet<Duration> =
+            (0..64u64).map(|key| p.delay(key, 4)).collect();
+        // 64 keys landing on < 8 distinct delays would mean the jitter is
+        // not actually spreading the storm.
+        assert!(delays.len() > 8, "only {} distinct delays", delays.len());
+    }
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let p = BackoffPolicy::fixed(250 * MS);
+        for attempt in 0..16 {
+            assert_eq!(p.delay(99, attempt), 250 * MS);
+        }
+    }
+
+    #[test]
+    fn saturates_on_huge_attempts() {
+        let p = BackoffPolicy::new(Duration::from_secs(1), Duration::from_secs(30));
+        assert!(p.delay(1, 200) <= Duration::from_secs(30));
+    }
+
+    #[test]
+    fn total_delay_sums() {
+        let p = BackoffPolicy::fixed(10 * MS);
+        assert_eq!(p.total_delay(0, 5), 50 * MS);
+    }
+}

@@ -10,6 +10,7 @@
 //! machine over real TCP sockets.
 
 use crate::plan::UpdatePlan;
+use crate::resync::{is_resync_token, Reconciler, ResyncConfig, ResyncEffect, ResyncInput};
 use crate::session::{ConnId, SessionEffect, SessionInput, SessionTimerToken, UpdateSession};
 use openflow::OfMessage;
 use simnet::{Context, EventPayload, Node, NodeId, SimTime, TraceEvent};
@@ -34,6 +35,10 @@ pub struct Controller {
     /// PacketIns from nodes that are not plan connections (the session only
     /// sees traffic on known connections).
     stray_packet_ins: u64,
+    /// Optional reconciliation engine; when enabled, a Hello on a mapped
+    /// connection (the simulator's reconnect signal — nothing else initiates
+    /// one mid-session) starts a resync once the main session settles.
+    resync: Option<Reconciler>,
 }
 
 impl Controller {
@@ -54,7 +59,26 @@ impl Controller {
             start_at,
             started: false,
             stray_packet_ins: 0,
+            resync: None,
         }
+    }
+
+    /// Enables declarative resync: every confirmed modification joins the
+    /// reconciler's desired store, and a reconnecting switch is read back
+    /// and repaired until its table matches.  Returns the reconciler so the
+    /// caller can seed preinstalled state or attach metrics.
+    pub fn enable_resync(&mut self, config: ResyncConfig) -> &mut Reconciler {
+        self.resync.insert(Reconciler::new(config))
+    }
+
+    /// The reconciler, if resync is enabled.
+    pub fn reconciler(&self) -> Option<&Reconciler> {
+        self.resync.as_ref()
+    }
+
+    /// Mutable access to the reconciler, if resync is enabled.
+    pub fn reconciler_mut(&mut self) -> Option<&mut Reconciler> {
+        self.resync.as_mut()
     }
 
     /// Sets the nodes terminating each switch connection (index = the
@@ -162,6 +186,13 @@ impl Controller {
                         cookie: id,
                         time: ctx.now(),
                     });
+                    // A confirmed rule is now desired state: remember it so
+                    // a later restart can be repaired declaratively.
+                    if let Some(resync) = self.resync.as_mut() {
+                        if let Some(m) = self.session.plan().get(id) {
+                            resync.store_mut().note_confirmed(m.target, &m.flow_mod);
+                        }
+                    }
                 }
                 SessionEffect::Rejected { id, err_type, code } => {
                     ctx.record(TraceEvent::Marker {
@@ -177,6 +208,7 @@ impl Controller {
                         label: format!("{}: update complete", self.label),
                         time: ctx.now(),
                     });
+                    self.drive_resync(ResyncInput::SessionSettled, ctx);
                 }
                 SessionEffect::Aborted { report } => {
                     ctx.record(TraceEvent::Marker {
@@ -186,6 +218,60 @@ impl Controller {
                             report.failed,
                             report.cancelled.len(),
                             report.rolled_back.len()
+                        ),
+                        time: ctx.now(),
+                    });
+                    self.drive_resync(ResyncInput::SessionSettled, ctx);
+                }
+            }
+        }
+    }
+
+    /// Feeds one input into the reconciler (when enabled) and executes the
+    /// effects through the simulator.
+    fn drive_resync(&mut self, input: ResyncInput, ctx: &mut Context<'_>) {
+        let Some(resync) = self.resync.as_mut() else {
+            return;
+        };
+        let effects = resync.handle(ctx.now().into(), input);
+        for effect in effects {
+            match effect {
+                ResyncEffect::Send { conn, message } => {
+                    let Some(&node) = self.connections.get(conn.index()) else {
+                        continue;
+                    };
+                    if let OfMessage::FlowMod { ref body, .. } = message {
+                        ctx.record(TraceEvent::FlowModSent {
+                            cookie: body.cookie,
+                            time: ctx.now(),
+                        });
+                    }
+                    ctx.send_control(node, message, self.control_latency);
+                }
+                ResyncEffect::ArmTimer { delay, token } => {
+                    // Same +1 offset as session timers; resync tokens are
+                    // `>= RESYNC_TIMER_BASE`, so the two namespaces never
+                    // collide and firing routes on magnitude.
+                    ctx.set_timer(delay.into(), token + 1);
+                }
+                ResyncEffect::Converged { conn, rounds, .. } => {
+                    ctx.record(TraceEvent::Marker {
+                        label: format!(
+                            "{}: resync converged for {conn} after {rounds} round(s)",
+                            self.label
+                        ),
+                        time: ctx.now(),
+                    });
+                }
+                ResyncEffect::GaveUp {
+                    conn,
+                    rounds,
+                    final_diff,
+                } => {
+                    ctx.record(TraceEvent::Marker {
+                        label: format!(
+                            "{}: resync gave up on {conn} after {rounds} round(s), {final_diff} rule(s) off",
+                            self.label
                         ),
                         time: ctx.now(),
                     });
@@ -220,23 +306,59 @@ impl Node for Controller {
                 self.drive(SessionInput::Started, ctx);
             }
             EventPayload::Timer { token } if token > TOKEN_START => {
-                self.drive(
-                    SessionInput::TimerFired {
-                        token: SessionTimerToken::from_raw(token - 1),
-                    },
-                    ctx,
-                );
+                let raw = token - 1;
+                if is_resync_token(raw) {
+                    self.drive_resync(ResyncInput::TimerFired { token: raw }, ctx);
+                } else {
+                    self.drive(
+                        SessionInput::TimerFired {
+                            token: SessionTimerToken::from_raw(raw),
+                        },
+                        ctx,
+                    );
+                }
             }
             EventPayload::Timer { .. } => {}
             EventPayload::Control { from, message } => {
                 match self.connections.iter().position(|&n| n == from) {
-                    Some(index) => self.drive(
-                        SessionInput::FromSwitch {
-                            conn: ConnId::new(index),
-                            message,
-                        },
-                        ctx,
-                    ),
+                    Some(index) => {
+                        let conn = ConnId::new(index);
+                        if self.resync.is_some() {
+                            match &message {
+                                // A switch only sends Hello mid-run when it
+                                // reattaches after a restart: answer the
+                                // handshake and flag the reconnect.
+                                OfMessage::Hello { xid } => {
+                                    let xid = *xid;
+                                    ctx.send_control(
+                                        from,
+                                        OfMessage::Hello { xid },
+                                        self.control_latency,
+                                    );
+                                    self.drive_resync(ResyncInput::SwitchReconnected { conn }, ctx);
+                                    return;
+                                }
+                                // Aged-out rules leave the desired store no
+                                // matter which engine is currently live.
+                                OfMessage::FlowRemoved { .. } => {
+                                    self.drive_resync(
+                                        ResyncInput::FromSwitch { conn, message },
+                                        ctx,
+                                    );
+                                    return;
+                                }
+                                _ => {}
+                            }
+                            // Replies belong to whichever engine is live:
+                            // the session until it settles, the reconciler
+                            // (readbacks, delta acks) afterwards.
+                            if self.session.outcome().is_some() {
+                                self.drive_resync(ResyncInput::FromSwitch { conn, message }, ctx);
+                                return;
+                            }
+                        }
+                        self.drive(SessionInput::FromSwitch { conn, message }, ctx)
+                    }
                     None => match message {
                         // Traffic from nodes outside the plan's connections
                         // (e.g. a RUM proxy relaying an ack that surfaced at
@@ -526,5 +648,78 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_is_rejected() {
         Controller::new("c", UpdatePlan::new(), AckMode::NoWait, 0, SimTime::ZERO);
+    }
+
+    /// The whole reconciliation loop end to end inside the simulator: a
+    /// restart wipes both the preinstalled rule and everything the update
+    /// installed, the reattach Hello triggers a resync, and the repaired
+    /// table ends exactly equal to the desired store.
+    #[test]
+    fn resync_restores_wiped_rules_after_restart() {
+        use crate::backoff::BackoffPolicy;
+        use crate::resync::ResyncConfig;
+        use ofswitch::FaultPlan;
+
+        let mut sim = Simulator::new(7);
+        let drop_all = FlowMod::add(OfMatch::wildcard_all(), 0, Vec::new()).with_cookie(1);
+        let mut controller = Controller::new(
+            "ctrl",
+            small_plan(6),
+            AckMode::NoWait,
+            16,
+            SimTime::from_millis(1),
+        );
+        let reconciler = controller.enable_resync(ResyncConfig {
+            backoff: BackoffPolicy::new(Duration::from_millis(20), Duration::from_millis(160)),
+            max_rounds: 6,
+            ack_mode: AckMode::Barriers { batch: 4 },
+            window: 8,
+            failure_policy: FailurePolicy::retry(Duration::from_millis(50), 2),
+        });
+        reconciler.store_mut().note_confirmed(0, &drop_all);
+        let ctrl_id = sim.add_node(controller);
+
+        let faults = FaultPlan::seeded(7).with_restart_after(3);
+        let mut sw = OpenFlowSwitch::with_faults(
+            "s1",
+            DatapathId::new(1),
+            4,
+            SwitchModel::faithful(),
+            faults,
+        );
+        sw.preinstall(&drop_all);
+        sw.connect_controller(ctrl_id);
+        sw.set_reconnect_delay(Some(Duration::from_millis(30)));
+        let sw_id = sim.add_node(sw);
+        sim.node_mut::<Controller>(ctrl_id)
+            .unwrap()
+            .set_connections(vec![sw_id]);
+        sim.run_until(SimTime::from_secs(20));
+
+        let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+        let resync = ctrl.reconciler().unwrap();
+        let status = resync.status(0).expect("resync ran");
+        assert!(status.converged, "status: {status:?}");
+        assert_eq!(status.final_diff, 0);
+        assert!(
+            status.rounds >= 2,
+            "a wiped table cannot converge in one round"
+        );
+        // All 7 desired rules (6 planned + the preinstalled drop-all) were
+        // wiped and re-issued.
+        assert_eq!(status.delta_mods, 7);
+
+        // The real test: the switch's control table is *equal* to the
+        // desired store — same identities, same cookies, same actions.
+        let sw = sim.node_ref::<OpenFlowSwitch>(sw_id).unwrap();
+        let table = sw.behavior().control_table();
+        assert_eq!(table.len(), resync.store().len(0));
+        for entry in table.entries() {
+            let want = resync
+                .store()
+                .get(0, &entry.match_, entry.priority)
+                .expect("installed rule is desired");
+            assert_eq!(want.actions, entry.actions);
+        }
     }
 }

@@ -24,13 +24,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod controller;
 pub mod plan;
+pub mod resync;
 pub mod scenarios;
 pub mod session;
 
+pub use backoff::BackoffPolicy;
 pub use controller::Controller;
 pub use plan::{PlanError, PlannedMod, UpdatePlan};
+pub use resync::{
+    is_resync_token, DesiredStore, Reconciler, ResyncConfig, ResyncEffect, ResyncInput,
+    ResyncRound, ResyncStatus,
+};
 pub use scenarios::{BulkUpdateScenario, TriangleScenario};
 pub use session::{
     AbortReport, AckMode, ConnId, FailurePolicy, SessionEffect, SessionInput, SessionOutcome,

@@ -33,6 +33,7 @@
 //! assert!(matches!(effects.last(), Some(SessionEffect::Completed { .. })));
 //! ```
 
+use crate::backoff::BackoffPolicy;
 use crate::plan::UpdatePlan;
 use openflow::messages::FlowModCommand;
 use openflow::{OfMessage, Xid};
@@ -234,27 +235,56 @@ pub enum SessionEffect {
 /// and already-applied ancestors are rolled back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailurePolicy {
-    /// How long to wait for a confirmation before acting; `None` disables
-    /// the policy.
-    pub mod_timeout: Option<Duration>,
+    /// Retry schedule: attempt 0 waits exactly `backoff.base`, later attempts
+    /// grow exponentially with deterministic per-mod jitter, clamped to
+    /// `backoff.cap`.  `None` disables the policy.
+    pub backoff: Option<BackoffPolicy>,
     /// How many times a timed-out modification is re-sent before the update
     /// is aborted.
     pub max_retries: u32,
 }
 
 impl FailurePolicy {
+    /// How far past the base timeout the exponential schedule is allowed to
+    /// grow: [`FailurePolicy::retry`] caps at `timeout * RETRY_CAP_FACTOR`.
+    pub const RETRY_CAP_FACTOR: u32 = 8;
+
     /// The default: never time out (identical to the pre-policy behaviour).
     pub const fn disabled() -> Self {
         FailurePolicy {
-            mod_timeout: None,
+            backoff: None,
             max_retries: 0,
         }
     }
 
-    /// Retry after `timeout`, at most `max_retries` times, then abort.
-    pub const fn retry(timeout: Duration, max_retries: u32) -> Self {
+    /// Retry with bounded exponential backoff starting at `timeout` (the
+    /// first retry fires after exactly `timeout`; later retries decay apart
+    /// with per-mod jitter, never exceeding `timeout * `
+    /// [`FailurePolicy::RETRY_CAP_FACTOR`]), at most `max_retries` times,
+    /// then abort.
+    pub fn retry(timeout: Duration, max_retries: u32) -> Self {
         FailurePolicy {
-            mod_timeout: Some(timeout),
+            backoff: Some(BackoffPolicy::new(
+                timeout,
+                timeout.saturating_mul(Self::RETRY_CAP_FACTOR),
+            )),
+            max_retries,
+        }
+    }
+
+    /// Retry `max_retries` times after a fixed `timeout` each — the
+    /// pre-backoff behaviour, kept for schedules that must stay constant.
+    pub const fn retry_fixed(timeout: Duration, max_retries: u32) -> Self {
+        FailurePolicy {
+            backoff: Some(BackoffPolicy::fixed(timeout)),
+            max_retries,
+        }
+    }
+
+    /// Retry on an explicit [`BackoffPolicy`].
+    pub const fn retry_backoff(backoff: BackoffPolicy, max_retries: u32) -> Self {
+        FailurePolicy {
+            backoff: Some(backoff),
             max_retries,
         }
     }
@@ -291,6 +321,11 @@ pub struct UpdateSession {
     /// Maximum number of sent-but-unconfirmed modifications (the paper's K).
     window: usize,
     failure_policy: FailurePolicy,
+    /// Whether an abort sends inverse mods for what was already applied.
+    /// Repair (resync delta) sessions disable this: their mods restore the
+    /// declared desired state, so the inverse of a repair is itself damage —
+    /// a late-landing repair is corrected by the next readback instead.
+    rollback_on_abort: bool,
 
     started: bool,
     sent: HashSet<u64>,
@@ -359,6 +394,7 @@ impl UpdateSession {
             ack_mode,
             window,
             failure_policy: FailurePolicy::disabled(),
+            rollback_on_abort: true,
             started: false,
             sent: HashSet::new(),
             confirmed: HashSet::new(),
@@ -386,6 +422,15 @@ impl UpdateSession {
     /// Sets the failure policy (timeout → retries → abort).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
         self.failure_policy = policy;
+    }
+
+    /// Controls whether [`abort`](Self::events) sends inverse modifications
+    /// for the failed mod and its sent ancestors (the default).  Disable for
+    /// repair sessions whose mods *are* the desired state: rolling back a
+    /// repair re-creates the damage it fixed, while an over-applied repair is
+    /// harmless — the next reconciliation readback observes and corrects it.
+    pub fn set_rollback_on_abort(&mut self, enabled: bool) {
+        self.rollback_on_abort = enabled;
     }
 
     /// Publishes session progress into `registry` under `session.*`:
@@ -612,7 +657,7 @@ impl UpdateSession {
     }
 
     fn arm_mod_timeout(&mut self, id: u64, effects: &mut Vec<SessionEffect>) {
-        let Some(timeout) = self.failure_policy.mod_timeout else {
+        let Some(backoff) = self.failure_policy.backoff else {
             return;
         };
         let attempt = *self.attempts.entry(id).or_insert(0);
@@ -620,7 +665,9 @@ impl UpdateSession {
         self.next_timer_token += 1;
         self.armed_timeouts.insert(token, (id, attempt));
         effects.push(SessionEffect::ArmTimer {
-            delay: timeout,
+            // Keyed by the mod id, so a burst of retries after a reconnect
+            // spreads out deterministically instead of re-firing in lockstep.
+            delay: backoff.delay(id, attempt),
             token: SessionTimerToken::from_raw(token),
         });
     }
@@ -899,12 +946,16 @@ impl UpdateSession {
         }
         // Roll back the failed modification itself (the switch may apply it
         // arbitrarily late) plus every sent ancestor it was building on.
-        let mut rollback_candidates = vec![failed_id];
-        rollback_candidates.extend(
-            self.ancestors_of(failed_id)
-                .into_iter()
-                .filter(|id| self.sent.contains(id)),
-        );
+        // Repair sessions opt out: their mods are the desired state.
+        let mut rollback_candidates = Vec::new();
+        if self.rollback_on_abort {
+            rollback_candidates.push(failed_id);
+            rollback_candidates.extend(
+                self.ancestors_of(failed_id)
+                    .into_iter()
+                    .filter(|id| self.sent.contains(id)),
+            );
+        }
         let mut rolled_back = Vec::new();
         for id in rollback_candidates {
             if let Some(message) = self.rollback_message(id) {
@@ -1235,6 +1286,46 @@ mod tests {
         assert!(s
             .handle(Duration::from_millis(320), SessionInput::Tick)
             .is_empty());
+    }
+
+    #[test]
+    fn abort_without_rollback_sends_no_inverse_mods() {
+        // Same shape as the rollback test, but with rollback disabled (the
+        // repair-session configuration): the abort still fails mod 2 and
+        // cancels 3, but no strict deletes go out and nothing is reported
+        // rolled back — applied repairs must stay applied.
+        let mut s = UpdateSession::new(chain_plan(3), AckMode::RumAcks, 10);
+        s.set_failure_policy(FailurePolicy::retry(Duration::from_millis(100), 0));
+        s.set_rollback_on_abort(false);
+        s.handle(Duration::ZERO, SessionInput::Started);
+        // Mod 1 confirms; mod 2 goes out and arms its timeout.
+        let fx = s.handle(
+            Duration::from_millis(10),
+            SessionInput::FromSwitch {
+                conn: ConnId::new(0),
+                message: rum_ack(1),
+            },
+        );
+        let token = armed_token(&fx);
+        // Mod 2's timeout fires with zero retries -> immediate abort.
+        let fx = s.handle(
+            Duration::from_millis(120),
+            SessionInput::TimerFired { token },
+        );
+        let report = fx
+            .iter()
+            .find_map(|e| match e {
+                SessionEffect::Aborted { report } => Some(report.clone()),
+                _ => None,
+            })
+            .expect("abort effect");
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.cancelled, vec![3]);
+        assert!(report.rolled_back.is_empty(), "no rollback when disabled");
+        assert!(
+            !fx.iter().any(|e| matches!(e, SessionEffect::Send { .. })),
+            "abort must not emit any messages with rollback disabled"
+        );
     }
 
     #[test]

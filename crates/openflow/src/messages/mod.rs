@@ -12,7 +12,10 @@ pub mod switch_config;
 
 pub use flow_mod::{FlowMod, FlowModCommand, FlowRemoved};
 pub use packet_io::{PacketIn, PacketOut, PhyPort, PortStatus};
-pub use stats::{FlowStatsEntry, PortStatsEntry, StatsReply, StatsRequest, TableStatsEntry};
+pub use stats::{
+    FlowStatsAccumulator, FlowStatsEntry, PortStatsEntry, StatsReply, StatsRequest,
+    TableStatsEntry, MAX_STATS_BODY, STATS_REPLY_MORE,
+};
 pub use switch_config::{FeaturesReply, PortMod, SwitchConfig};
 
 use crate::constants::msg_type;
@@ -203,6 +206,9 @@ pub enum OfMessage {
     StatsReply {
         /// Transaction id.
         xid: Xid,
+        /// `OFPSF_REPLY_MORE`: further fragments of this reply follow (large
+        /// replies are split into fragments sharing one xid).
+        more: bool,
         /// Message body.
         body: StatsReply,
     },
@@ -428,7 +434,9 @@ impl OfMessage {
             OfMessage::FlowMod { body, .. } => body.encode_body(buf),
             OfMessage::PortMod { body, .. } => body.encode_body(buf),
             OfMessage::StatsRequest { body, .. } => body.encode_body(buf),
-            OfMessage::StatsReply { body, .. } => body.encode_body(buf),
+            OfMessage::StatsReply { more, body, .. } => {
+                body.encode_body_flags(buf, if *more { stats::STATS_REPLY_MORE } else { 0 })
+            }
             OfMessage::QueueGetConfig { data, .. } => buf.put_slice(data),
         }
         Ok(())
@@ -558,10 +566,14 @@ impl OfMessage {
                 xid,
                 body: StatsRequest::decode_body(&mut body, body_len)?,
             },
-            msg_type::STATS_REPLY => OfMessage::StatsReply {
-                xid,
-                body: StatsReply::decode_body(&mut body, body_len)?,
-            },
+            msg_type::STATS_REPLY => {
+                let (reply, flags) = StatsReply::decode_body_flags(&mut body, body_len)?;
+                OfMessage::StatsReply {
+                    xid,
+                    more: flags & stats::STATS_REPLY_MORE != 0,
+                    body: reply,
+                }
+            }
             msg_type::BARRIER_REQUEST => OfMessage::BarrierRequest { xid },
             msg_type::BARRIER_REPLY => OfMessage::BarrierReply { xid },
             msg_type::QUEUE_GET_CONFIG_REQUEST => OfMessage::QueueGetConfig {
@@ -721,11 +733,17 @@ mod tests {
         });
         round_trip(OfMessage::StatsReply {
             xid: 52,
+            more: false,
             body: StatsReply::Aggregate {
                 packet_count: 1,
                 byte_count: 2,
                 flow_count: 3,
             },
+        });
+        round_trip(OfMessage::StatsReply {
+            xid: 53,
+            more: true,
+            body: StatsReply::Flow(vec![]),
         });
     }
 

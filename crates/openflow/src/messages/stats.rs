@@ -8,8 +8,19 @@ use crate::actions::Action;
 use crate::constants::stats_type;
 use crate::error::DecodeError;
 use crate::flow_match::OfMatch;
-use crate::types::PortNo;
+use crate::types::{PortNo, Xid};
 use bytes::{Buf, BufMut};
+
+/// `OFPSF_REPLY_MORE`: more fragments of this statistics reply follow.
+///
+/// OpenFlow 1.0 statistics replies whose body would overflow the 16-bit
+/// message length are split into fragments sharing one xid; every fragment
+/// but the last carries this flag.
+pub const STATS_REPLY_MORE: u16 = 0x0001;
+
+/// Largest statistics-reply body (stats header included) that fits in one
+/// OpenFlow 1.0 message: the 16-bit total length minus the 8-byte header.
+pub const MAX_STATS_BODY: usize = u16::MAX as usize - 8;
 
 /// Fixed-size string field helper: encodes `s` NUL-padded to `width`.
 fn put_fixed_str<B: BufMut>(buf: &mut B, s: &str, width: usize) {
@@ -496,10 +507,16 @@ impl StatsReply {
         }
     }
 
-    /// Encodes the body.
+    /// Encodes the body with flags 0 (a complete, unfragmented reply).
     pub fn encode_body<B: BufMut>(&self, buf: &mut B) {
+        self.encode_body_flags(buf, 0);
+    }
+
+    /// Encodes the body with explicit stats flags ([`STATS_REPLY_MORE`] on
+    /// every fragment but the last of a multipart reply).
+    pub fn encode_body_flags<B: BufMut>(&self, buf: &mut B, flags: u16) {
         buf.put_u16(self.stats_type());
-        buf.put_u16(0); // flags (no OFPSF_REPLY_MORE support needed here)
+        buf.put_u16(flags);
         match self {
             StatsReply::Desc {
                 mfr_desc,
@@ -543,8 +560,17 @@ impl StatsReply {
         }
     }
 
-    /// Decodes a stats reply body of `body_len` bytes.
+    /// Decodes a stats reply body of `body_len` bytes, discarding the flags.
     pub fn decode_body<B: Buf>(buf: &mut B, body_len: usize) -> Result<Self, DecodeError> {
+        Self::decode_body_flags(buf, body_len).map(|(reply, _)| reply)
+    }
+
+    /// Decodes a stats reply body of `body_len` bytes, returning the stats
+    /// flags alongside ([`STATS_REPLY_MORE`] marks a non-final fragment).
+    pub fn decode_body_flags<B: Buf>(
+        buf: &mut B,
+        body_len: usize,
+    ) -> Result<(Self, u16), DecodeError> {
         if body_len < 4 || buf.remaining() < body_len {
             return Err(DecodeError::Truncated {
                 what: "stats_reply",
@@ -553,9 +579,9 @@ impl StatsReply {
             });
         }
         let ty = buf.get_u16();
-        let _flags = buf.get_u16();
+        let flags = buf.get_u16();
         let rest = body_len - 4;
-        Ok(match ty {
+        let reply = match ty {
             stats_type::DESC => {
                 if rest < 256 * 4 + 32 {
                     return Err(DecodeError::BadLength {
@@ -644,7 +670,111 @@ impl StatsReply {
                     body,
                 }
             }
-        })
+        };
+        Ok((reply, flags))
+    }
+
+    /// Splits a flow-stats reply into multipart fragments whose encoded
+    /// bodies each fit within `max_body_bytes` (stats header included).
+    ///
+    /// Every fragment shares `xid`; all but the last carry
+    /// [`STATS_REPLY_MORE`].  An empty entry list still yields one (final,
+    /// empty) fragment, so a readback of an empty table produces a reply.
+    /// Entries larger than the budget get a fragment of their own — the
+    /// 16-bit OpenFlow length field is the caller's cap to enforce via
+    /// `max_body_bytes`.
+    pub fn flow_fragments(
+        xid: Xid,
+        entries: Vec<FlowStatsEntry>,
+        max_body_bytes: usize,
+    ) -> Vec<crate::OfMessage> {
+        let budget = max_body_bytes
+            .saturating_sub(4)
+            .max(FLOW_STATS_ENTRY_FIXED_LEN);
+        let mut chunks: Vec<Vec<FlowStatsEntry>> = vec![Vec::new()];
+        let mut used = 0usize;
+        for e in entries {
+            let len = e.wire_len();
+            if used > 0 && used + len > budget {
+                chunks.push(Vec::new());
+                used = 0;
+            }
+            used += len;
+            chunks.last_mut().expect("chunks never empty").push(e);
+        }
+        let n = chunks.len();
+        chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, chunk)| crate::OfMessage::StatsReply {
+                xid,
+                more: i + 1 < n,
+                body: StatsReply::Flow(chunk),
+            })
+            .collect()
+    }
+}
+
+/// Reassembles a multipart flow-stats reply from its fragments.
+///
+/// Feed every `StatsReply::Flow` fragment (with its xid and
+/// [`STATS_REPLY_MORE`] flag) into [`FlowStatsAccumulator::push`]; the final
+/// fragment completes the readback and returns the full entry list.  A
+/// fragment carrying a *different* xid abandons the partial readback and
+/// starts accumulating the new one — stale fragments of a superseded request
+/// must not leak into a fresh snapshot.
+#[derive(Debug, Default)]
+pub struct FlowStatsAccumulator {
+    xid: Option<Xid>,
+    entries: Vec<FlowStatsEntry>,
+}
+
+impl FlowStatsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The xid of the readback currently being assembled, if any.
+    pub fn pending_xid(&self) -> Option<Xid> {
+        self.xid
+    }
+
+    /// Number of entries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no partial readback is in progress.
+    pub fn is_empty(&self) -> bool {
+        self.xid.is_none() && self.entries.is_empty()
+    }
+
+    /// Feeds one fragment.  Returns the complete entry list when this was
+    /// the final fragment (`more == false`), `None` while more are expected.
+    pub fn push(
+        &mut self,
+        xid: Xid,
+        more: bool,
+        entries: Vec<FlowStatsEntry>,
+    ) -> Option<Vec<FlowStatsEntry>> {
+        if self.xid != Some(xid) {
+            self.entries.clear();
+            self.xid = Some(xid);
+        }
+        self.entries.extend(entries);
+        if more {
+            None
+        } else {
+            self.xid = None;
+            Some(std::mem::take(&mut self.entries))
+        }
+    }
+
+    /// Drops any partial readback.
+    pub fn reset(&mut self) {
+        self.xid = None;
+        self.entries.clear();
     }
 }
 
@@ -808,5 +938,137 @@ mod tests {
         buf.extend_from_slice(&[0, 1]);
         assert!(StatsRequest::decode_body(&mut buf.clone().freeze(), 2).is_err());
         assert!(StatsReply::decode_body(&mut buf.freeze(), 2).is_err());
+    }
+
+    fn random_entry(rng: &mut rand::rngs::SmallRng) -> FlowStatsEntry {
+        use rand::Rng;
+        let n_actions = rng.gen_range_u64(3) as usize;
+        FlowStatsEntry {
+            table_id: 0,
+            match_: OfMatch::ipv4_pair(
+                Ipv4Addr::new(
+                    10,
+                    rng.gen_range_u64(4) as u8,
+                    rng.gen_range_u64(256) as u8,
+                    1,
+                ),
+                Ipv4Addr::new(10, 200, rng.gen_range_u64(256) as u8, 2),
+            ),
+            duration_sec: rng.gen_range_u64(1000) as u32,
+            duration_nsec: rng.gen_range_u64(1_000_000) as u32,
+            priority: rng.gen_range_u64(u16::MAX as u64 + 1) as u16,
+            idle_timeout: rng.gen_range_u64(60) as u16,
+            hard_timeout: rng.gen_range_u64(60) as u16,
+            cookie: rng.next_u64(),
+            packet_count: rng.next_u64() >> 16,
+            byte_count: rng.next_u64() >> 16,
+            actions: (0..n_actions)
+                .map(|_| Action::output(1 + rng.gen_range_u64(8) as u16))
+                .collect(),
+        }
+    }
+
+    /// Property: for random entry lists and random fragment budgets,
+    /// [`StatsReply::flow_fragments`] + a full wire round trip (encode,
+    /// reframe through [`crate::OfCodec`], decode) +
+    /// [`FlowStatsAccumulator`] reassembly is the identity on the entry
+    /// list — and every fragment respects the budget and the MORE-flag
+    /// protocol.
+    #[test]
+    fn multipart_fragmentation_reassembles_to_identity() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x57A7_5F10);
+        let budgets = [60usize, 96, 150, 400, 1500, 65_000];
+        for round in 0..48 {
+            let n = rng.gen_range_u64(33) as usize;
+            let entries: Vec<FlowStatsEntry> = (0..n).map(|_| random_entry(&mut rng)).collect();
+            let max_body = budgets[rng.gen_range_u64(budgets.len() as u64) as usize];
+            let xid = 0x6000_0000 + round as Xid;
+
+            let fragments = StatsReply::flow_fragments(xid, entries.clone(), max_body);
+            assert!(!fragments.is_empty(), "even an empty table yields a reply");
+            let budget = max_body.saturating_sub(4).max(FLOW_STATS_ENTRY_FIXED_LEN);
+            let mut wire = Vec::new();
+            for (i, frag) in fragments.iter().enumerate() {
+                let crate::OfMessage::StatsReply {
+                    xid: f_xid,
+                    more,
+                    body,
+                } = frag
+                else {
+                    panic!("flow_fragments must yield StatsReply messages");
+                };
+                assert_eq!(*f_xid, xid, "all fragments share the request xid");
+                assert_eq!(
+                    *more,
+                    i + 1 < fragments.len(),
+                    "MORE on every fragment but the last (round {round})"
+                );
+                let StatsReply::Flow(chunk) = body else {
+                    panic!("flow fragments carry flow bodies");
+                };
+                let chunk_bytes: usize = chunk.iter().map(FlowStatsEntry::wire_len).sum();
+                assert!(
+                    chunk.len() <= 1 || chunk_bytes <= budget,
+                    "multi-entry fragment above budget: {chunk_bytes} > {budget} (round {round})"
+                );
+                assert!(
+                    !chunk.is_empty() || fragments.len() == 1,
+                    "only a lone final fragment may be empty"
+                );
+                frag.encode_into(&mut wire).expect("fragment encodes");
+            }
+
+            // Reframe the concatenated bytes and reassemble.
+            let mut codec = crate::OfCodec::new();
+            codec.feed(&wire);
+            let mut acc = FlowStatsAccumulator::new();
+            let mut result = None;
+            let mut completions = 0;
+            while let Some(msg) = codec.next_message().expect("fragments reframe") {
+                let crate::OfMessage::StatsReply {
+                    xid: f_xid,
+                    more,
+                    body: StatsReply::Flow(chunk),
+                } = msg
+                else {
+                    panic!("unexpected message on the wire");
+                };
+                if let Some(full) = acc.push(f_xid, more, chunk) {
+                    completions += 1;
+                    result = Some(full);
+                }
+            }
+            assert_eq!(completions, 1, "exactly the final fragment completes");
+            assert_eq!(
+                result.expect("readback completes"),
+                entries,
+                "reassembly is the identity (round {round}, n {n}, budget {max_body})"
+            );
+            assert!(acc.is_empty(), "a completed readback leaves no residue");
+        }
+    }
+
+    /// A fragment from a superseded request (different xid) abandons the
+    /// partial readback instead of contaminating the fresh snapshot.
+    #[test]
+    fn accumulator_abandons_stale_xids() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let stale: Vec<FlowStatsEntry> = (0..3).map(|_| random_entry(&mut rng)).collect();
+        let fresh: Vec<FlowStatsEntry> = (0..2).map(|_| random_entry(&mut rng)).collect();
+
+        let mut acc = FlowStatsAccumulator::new();
+        assert_eq!(acc.push(1, true, stale), None, "stale readback incomplete");
+        assert_eq!(acc.pending_xid(), Some(1));
+        assert_eq!(acc.len(), 3);
+        // The re-request's reply arrives under a fresh xid: the stale
+        // partial must vanish, not prepend itself.
+        assert_eq!(
+            acc.push(2, false, fresh.clone()),
+            Some(fresh),
+            "fresh single-fragment readback completes alone"
+        );
+        assert_eq!(acc.pending_xid(), None);
     }
 }

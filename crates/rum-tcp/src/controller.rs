@@ -14,7 +14,11 @@
 
 use crate::proxy::{reader_loop, writer_loop, Route};
 use crate::timer::TimerQueue;
-use controller::{ConnId, SessionEffect, SessionInput, SessionOutcome, UpdateSession};
+use controller::{
+    is_resync_token, ConnId, Reconciler, ResyncConfig, ResyncEffect, ResyncInput, SessionEffect,
+    SessionInput, SessionOutcome, UpdateSession,
+};
+use openflow::OfMessage;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
@@ -24,6 +28,11 @@ use std::time::{Duration, Instant};
 
 struct ControllerState {
     session: UpdateSession,
+    /// Optional reconciliation engine; a mid-run Hello on an attached
+    /// connection is the reconnect signal (the switch host replays the
+    /// handshake on reattach and the RUM proxy forwards it), mirroring the
+    /// simulator driver exactly.
+    resync: Option<Reconciler>,
     routes: Vec<Route>,
     /// Reusable per-connection encode buffers: all sends of one drain are
     /// coalesced into a single chunk (→ one socket write) per connection.
@@ -69,42 +78,110 @@ impl Inner {
     fn drive_batch(self: &Arc<Self>, inputs: impl IntoIterator<Item = SessionInput>) {
         let now = self.now();
         let mut timers = Vec::new();
-        let mut finished = false;
+        let mut notify = false;
         {
             let mut st = self.state.lock().unwrap();
             let st = &mut *st;
-            st.effects.clear();
-            st.session.drain_into(now, inputs, &mut st.effects);
-            for effect in st.effects.drain(..) {
-                match effect {
-                    SessionEffect::Send { conn, message } => {
-                        let buf = &mut st.send_bufs[conn.index()];
-                        let len_before = buf.len();
-                        if message.encode_into(buf).is_err() {
-                            buf.truncate(len_before);
-                        }
-                    }
-                    SessionEffect::ArmTimer { delay, token } => {
-                        timers.push((delay, token.raw()));
-                    }
-                    SessionEffect::Confirmed { .. } | SessionEffect::Rejected { .. } => {}
-                    SessionEffect::Completed { .. } | SessionEffect::Aborted { .. } => {
-                        finished = true;
-                    }
-                }
+            for input in inputs {
+                notify |= apply_session(st, now, input, &mut timers);
             }
-            for (route, buf) in st.routes.iter_mut().zip(st.send_bufs.iter_mut()) {
-                if !buf.is_empty() {
-                    route.send_bytes(std::mem::take(buf));
-                }
-            }
+            flush_routes(st);
         }
+        self.arm_timers(timers);
+        if notify {
+            self.done.notify_all();
+        }
+    }
+
+    /// Feeds one input into the reconciler (when enabled) and executes the
+    /// effects: same lock, same coalesced writes as session inputs.
+    fn drive_resync(self: &Arc<Self>, input: ResyncInput) {
+        let now = self.now();
+        let mut timers = Vec::new();
+        let notify;
+        {
+            let mut st = self.state.lock().unwrap();
+            let st = &mut *st;
+            notify = apply_resync(st, now, input, &mut timers);
+            flush_routes(st);
+        }
+        self.arm_timers(timers);
+        if notify {
+            self.done.notify_all();
+        }
+    }
+
+    /// Routes every message decoded from one socket read to the engine it
+    /// belongs to — the session while it is live; the reconciler for
+    /// reconnect Hellos, FlowRemoved notifications and everything after the
+    /// session settles — under a single lock acquisition.
+    fn drive_conn_messages(self: &Arc<Self>, conn: ConnId, msgs: &mut Vec<OfMessage>) {
+        let now = self.now();
+        let mut timers = Vec::new();
+        let mut notify = false;
+        {
+            let mut st = self.state.lock().unwrap();
+            let st = &mut *st;
+            for message in msgs.drain(..) {
+                if st.resync.is_some() {
+                    match message {
+                        // A mid-run Hello means the switch behind this
+                        // connection restarted and replayed its handshake:
+                        // answer it (completing the handshake) and flag the
+                        // reconnect.
+                        OfMessage::Hello { xid } => {
+                            let buf = &mut st.send_bufs[conn.index()];
+                            let _ = OfMessage::Hello { xid }.encode_into(buf);
+                            notify |= apply_resync(
+                                st,
+                                now,
+                                ResyncInput::SwitchReconnected { conn },
+                                &mut timers,
+                            );
+                            continue;
+                        }
+                        // Aged-out rules leave the desired store no matter
+                        // which engine is currently live.
+                        OfMessage::FlowRemoved { .. } => {
+                            apply_resync(
+                                st,
+                                now,
+                                ResyncInput::FromSwitch { conn, message },
+                                &mut timers,
+                            );
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if st.session.outcome().is_some() {
+                        notify |= apply_resync(
+                            st,
+                            now,
+                            ResyncInput::FromSwitch { conn, message },
+                            &mut timers,
+                        );
+                        continue;
+                    }
+                }
+                notify |= apply_session(
+                    st,
+                    now,
+                    SessionInput::FromSwitch { conn, message },
+                    &mut timers,
+                );
+            }
+            flush_routes(st);
+        }
+        self.arm_timers(timers);
+        if notify {
+            self.done.notify_all();
+        }
+    }
+
+    fn arm_timers(&self, timers: Vec<(Duration, u64)>) {
         let now = Instant::now();
         for (delay, token) in timers {
             self.timers.arm(now + delay, token);
-        }
-        if finished {
-            self.done.notify_all();
         }
     }
 
@@ -125,6 +202,96 @@ impl Inner {
     }
 }
 
+/// Feeds one input into the session and executes its effects against the
+/// shared state: sends encode into the per-connection buffers (flushed by
+/// [`flush_routes`]), timers are collected as `(delay, raw token)` pairs
+/// for arming outside the lock.  When resync is enabled, confirmations feed
+/// the desired store and a terminal outcome opens the reconciliation gate
+/// under the same lock acquisition — no switch message can race in between.
+/// Returns whether the `done` condvar should be notified.
+fn apply_session(
+    st: &mut ControllerState,
+    now: Duration,
+    input: SessionInput,
+    timers: &mut Vec<(Duration, u64)>,
+) -> bool {
+    let mut finished = false;
+    st.effects.clear();
+    let mut effects = std::mem::take(&mut st.effects);
+    st.session
+        .drain_into(now, std::iter::once(input), &mut effects);
+    for effect in effects.drain(..) {
+        match effect {
+            SessionEffect::Send { conn, message } => {
+                let buf = &mut st.send_bufs[conn.index()];
+                let len_before = buf.len();
+                if message.encode_into(buf).is_err() {
+                    buf.truncate(len_before);
+                }
+            }
+            SessionEffect::ArmTimer { delay, token } => {
+                timers.push((delay, token.raw()));
+            }
+            SessionEffect::Confirmed { id } => {
+                if let Some(resync) = st.resync.as_mut() {
+                    if let Some(m) = st.session.plan().get(id) {
+                        resync.store_mut().note_confirmed(m.target, &m.flow_mod);
+                    }
+                }
+            }
+            SessionEffect::Rejected { .. } => {}
+            SessionEffect::Completed { .. } | SessionEffect::Aborted { .. } => {
+                finished = true;
+            }
+        }
+    }
+    st.effects = effects;
+    if finished {
+        apply_resync(st, now, ResyncInput::SessionSettled, timers);
+    }
+    finished
+}
+
+/// Feeds one input into the reconciler (no-op while resync is disabled) and
+/// executes its effects the same way [`apply_session`] does.  Returns
+/// whether a switch reached a terminal resync state (converged or gave up)
+/// — waiters on the `done` condvar re-check their counts.
+fn apply_resync(
+    st: &mut ControllerState,
+    now: Duration,
+    input: ResyncInput,
+    timers: &mut Vec<(Duration, u64)>,
+) -> bool {
+    let Some(resync) = st.resync.as_mut() else {
+        return false;
+    };
+    let mut terminal = false;
+    for effect in resync.handle(now, input) {
+        match effect {
+            ResyncEffect::Send { conn, message } => {
+                let buf = &mut st.send_bufs[conn.index()];
+                let len_before = buf.len();
+                if message.encode_into(buf).is_err() {
+                    buf.truncate(len_before);
+                }
+            }
+            ResyncEffect::ArmTimer { delay, token } => timers.push((delay, token)),
+            ResyncEffect::Converged { .. } | ResyncEffect::GaveUp { .. } => terminal = true,
+        }
+    }
+    terminal
+}
+
+/// Flushes every non-empty per-connection buffer as one chunk — one socket
+/// write per connection per drain.
+fn flush_routes(st: &mut ControllerState) {
+    for (route, buf) in st.routes.iter_mut().zip(st.send_bufs.iter_mut()) {
+        if !buf.is_empty() {
+            route.send_bytes(std::mem::take(buf));
+        }
+    }
+}
+
 /// A consistent-update controller serving an [`UpdateSession`] over TCP.
 ///
 /// Switch connections attach in accept order: the first accepted socket
@@ -135,6 +302,7 @@ impl Inner {
 pub struct TcpUpdateController {
     listen_addr: SocketAddr,
     session: UpdateSession,
+    resync: Option<Reconciler>,
     n_connections: usize,
     epoch: Instant,
 }
@@ -170,9 +338,20 @@ impl TcpUpdateController {
         TcpUpdateController {
             listen_addr,
             session,
+            resync: None,
             n_connections,
             epoch,
         }
+    }
+
+    /// Enables declarative resync: every confirmed modification is recorded
+    /// in a desired store, and once the session settles, any switch that
+    /// replays its handshake (i.e. restarted and reconnected) is read back
+    /// and repaired until its flow table matches the store.  Returns the
+    /// reconciler so callers can seed the desired store (pre-installed
+    /// rules) before [`TcpUpdateController::start`].
+    pub fn enable_resync(&mut self, config: ResyncConfig) -> &mut Reconciler {
+        self.resync.insert(Reconciler::new(config))
     }
 
     /// Binds the listener and starts accepting connections on background
@@ -185,6 +364,7 @@ impl TcpUpdateController {
         let inner = Arc::new(Inner {
             state: Mutex::new(ControllerState {
                 session: self.session,
+                resync: self.resync,
                 routes: (0..n_connections)
                     .map(|_| Route::Pending(Vec::new()))
                     .collect(),
@@ -206,9 +386,15 @@ impl TcpUpdateController {
             std::thread::spawn(move || {
                 let fire_inner = Arc::clone(&inner);
                 inner.timers.run(&inner.stop, move |token| {
-                    fire_inner.drive(SessionInput::TimerFired {
-                        token: controller::SessionTimerToken::from_raw(token),
-                    });
+                    // Session and resync timers share one queue; the token
+                    // namespaces are disjoint by construction.
+                    if is_resync_token(token) {
+                        fire_inner.drive_resync(ResyncInput::TimerFired { token });
+                    } else {
+                        fire_inner.drive(SessionInput::TimerFired {
+                            token: controller::SessionTimerToken::from_raw(token),
+                        });
+                    }
                 });
             })
         };
@@ -280,10 +466,7 @@ fn attach_connection(inner: &Arc<Inner>, conn: ConnId, generation: u64, stream: 
         let inner = Arc::clone(inner);
         std::thread::spawn(move || {
             reader_loop(reader, |msgs| {
-                inner.drive_batch(
-                    msgs.drain(..)
-                        .map(|message| SessionInput::FromSwitch { conn, message }),
-                );
+                inner.drive_conn_messages(conn, msgs);
             });
             detach_connection(&inner, conn, generation);
         });
@@ -328,6 +511,32 @@ impl TcpControllerHandle {
     /// Every confirmation the session recorded, in order.
     pub fn confirmed_order(&self) -> Vec<u64> {
         self.with_session(|s| s.confirmed_order().to_vec())
+    }
+
+    /// Runs `f` against the reconciler under the lock — `None` when resync
+    /// was never enabled.  The same inspection surface (status, trace,
+    /// desired store) the simulator driver exposes.
+    pub fn with_reconciler<R>(&self, f: impl FnOnce(&Reconciler) -> R) -> Option<R> {
+        self.inner.state.lock().unwrap().resync.as_ref().map(f)
+    }
+
+    /// Blocks until at least `n` switches have reached a terminal resync
+    /// state (converged or gave up) or `timeout` elapses; returns whether
+    /// they did.
+    pub fn wait_for_resync(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.resync.as_ref().is_some_and(|r| r.terminal_count() >= n) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.inner.done.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
     }
 
     /// Blocks until the session reaches a terminal outcome (completed or
@@ -464,6 +673,84 @@ mod tests {
         }
         drop(stream);
         handle.shutdown();
+    }
+
+    /// The reconciliation loop end to end over real sockets: a restart
+    /// fault wipes the switch (pre-installed rule included), the reattach
+    /// Hello triggers a resync, and the readback-verified table converges
+    /// to exactly the desired store — the socket twin of the simulator's
+    /// `resync_restores_wiped_rules_after_restart`.
+    #[test]
+    fn resync_restores_wiped_rules_over_real_sockets() {
+        use crate::switch_host::{spawn_switch_with, SwitchHostOptions};
+        use controller::{BackoffPolicy, ResyncConfig};
+        use ofswitch::{FaultPlan, SwitchModel};
+
+        let drop_all = FlowMod::add(OfMatch::wildcard_all(), 0, Vec::new()).with_cookie(1);
+        let session = UpdateSession::new(plan(6), AckMode::NoWait, 16);
+        let mut ctrl = TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 1);
+        let reconciler = ctrl.enable_resync(ResyncConfig {
+            backoff: BackoffPolicy::new(Duration::from_millis(20), Duration::from_millis(160)),
+            max_rounds: 6,
+            ack_mode: AckMode::Barriers { batch: 4 },
+            window: 8,
+            failure_policy: FailurePolicy::retry(Duration::from_millis(100), 2),
+        });
+        reconciler.store_mut().note_confirmed(0, &drop_all);
+        let handle = ctrl.start().expect("controller starts");
+
+        let sw = spawn_switch_with(
+            handle.local_addr,
+            SwitchModel::faithful(),
+            SwitchHostOptions {
+                faults: FaultPlan::seeded(7).with_restart_after(3),
+                preinstall: vec![drop_all],
+                reconnect_delay: Some(Duration::from_millis(50)),
+                ..Default::default()
+            },
+        )
+        .expect("switch connects");
+
+        // The no-wait session settles immediately; the interesting part is
+        // what happens after the restart.
+        let outcome = handle
+            .wait_for_outcome(Duration::from_secs(5))
+            .expect("session settles");
+        assert!(matches!(outcome, SessionOutcome::Completed { .. }));
+        assert!(
+            handle.wait_for_resync(1, Duration::from_secs(10)),
+            "resync must reach a terminal state"
+        );
+
+        let (status, desired, last_round) = handle
+            .with_reconciler(|r| {
+                (
+                    r.status(0).cloned().expect("resync ran"),
+                    r.store().len(0),
+                    r.trace(0).last().copied().expect("at least one round"),
+                )
+            })
+            .expect("resync enabled");
+        assert!(status.converged, "status: {status:?}");
+        assert_eq!(status.final_diff, 0);
+        assert!(
+            status.rounds >= 2,
+            "a wiped table cannot converge in one round"
+        );
+        // All 7 desired rules (6 planned + the preinstalled drop-all) were
+        // wiped and re-issued; the final readback saw them all and no diff.
+        assert_eq!(status.delta_mods, 7);
+        assert_eq!(desired, 7);
+        assert_eq!(last_round.actual, 7);
+        assert_eq!(last_round.diff(), 0);
+
+        sw.stop();
+        handle.shutdown();
+        let report = sw.join();
+        assert_eq!(
+            report.control_rules, desired,
+            "table equals the desired store"
+        );
     }
 
     #[test]

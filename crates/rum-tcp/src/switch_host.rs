@@ -24,7 +24,7 @@
 
 use ofswitch::{Behavior, BehaviorAction, FaultPlan, GroundTruth, SwitchModel};
 use openflow::constants::{packet_in_reason, port as of_port};
-use openflow::messages::{FlowMod, PacketIn, PacketOut};
+use openflow::messages::{FlowMod, PacketIn, PacketOut, StatsRequest};
 use openflow::{Action, OfCodec, OfMessage, PacketHeader, PortNo};
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
@@ -55,6 +55,10 @@ pub struct SwitchReport {
     pub control_rules: usize,
     /// Rules visible in the (emulated) data-plane table at disconnect.
     pub data_rules: usize,
+    /// The full control-plane table at disconnect, in installation order —
+    /// lets a harness check table *contents* (not just counts) against a
+    /// desired state, e.g. after a resync.
+    pub control_entries: Vec<ofswitch::FlowEntry>,
     /// The data-plane timeline (activations, removals, wedged rules) — the
     /// ground truth confirmations are classified against.
     pub truth: GroundTruth,
@@ -529,6 +533,7 @@ fn run(
     SwitchReport {
         control_rules: host.behavior.control_table().len(),
         data_rules: host.behavior.data_table().len(),
+        control_entries: host.behavior.control_table().entries().cloned().collect(),
         truth: host.behavior.ground_truth().clone(),
     }
 }
@@ -610,6 +615,15 @@ fn serve_conn(
                 OfMessage::BarrierRequest { xid } => {
                     let mut actions = std::mem::take(&mut host.actions);
                     host.behavior.on_barrier(now, xid, &mut actions);
+                    host.actions = actions;
+                    host.absorb_actions();
+                }
+                OfMessage::StatsRequest {
+                    xid,
+                    body: StatsRequest::Flow { ref match_, .. },
+                } => {
+                    let mut actions = std::mem::take(&mut host.actions);
+                    host.behavior.on_flow_stats(now, xid, match_, &mut actions);
                     host.actions = actions;
                     host.absorb_actions();
                 }

@@ -409,26 +409,9 @@ impl OpenFlowSwitch {
                 serial_num: format!("{}", self.dpid),
                 dp_desc: self.label.clone(),
             },
-            StatsRequest::Flow { match_, .. } => {
-                let entries = control_table
-                    .entries()
-                    .filter(|e| match_.covers(&e.match_))
-                    .map(|e| openflow::messages::FlowStatsEntry {
-                        table_id: 0,
-                        match_: e.match_,
-                        duration_sec: 0,
-                        duration_nsec: 0,
-                        priority: e.priority,
-                        idle_timeout: e.idle_timeout,
-                        hard_timeout: e.hard_timeout,
-                        cookie: e.cookie,
-                        packet_count: e.packet_count,
-                        byte_count: e.byte_count,
-                        actions: e.actions.clone(),
-                    })
-                    .collect();
-                StatsReply::Flow(entries)
-            }
+            // Flow stats are answered by `Behavior::handle_message` (including
+            // fragmentation and stats-targeted faults); they never reach here.
+            StatsRequest::Flow { .. } => return,
             StatsRequest::Aggregate { match_, .. } => {
                 let mut packet_count = 0;
                 let mut byte_count = 0;
@@ -476,7 +459,11 @@ impl OpenFlowSwitch {
         };
         self.send_to_controller(
             ctx,
-            OfMessage::StatsReply { xid, body: reply },
+            OfMessage::StatsReply {
+                xid,
+                more: false,
+                body: reply,
+            },
             SimTime::ZERO,
         );
     }

@@ -31,8 +31,10 @@
 use crate::flow_table::{FlowTable, FlowTableError};
 use crate::model::{BarrierMode, SwitchModel};
 use openflow::constants::error_type;
-use openflow::messages::{ErrorMsg, FlowMod};
-use openflow::{Action, OfMessage, PacketHeader, PortNo, Xid};
+use openflow::messages::{
+    ErrorMsg, FlowMod, FlowRemoved, FlowStatsEntry, StatsReply, StatsRequest, MAX_STATS_BODY,
+};
+use openflow::{Action, OfMatch, OfMessage, PacketHeader, PortNo, Xid};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -59,6 +61,8 @@ const SALT_ACK_LOSS: u64 = 0xAC;
 const SALT_ACK_DUP: u64 = 0xD0;
 const SALT_REORDER_DEFER: u64 = 0xDE;
 const SALT_REORDER_KEY: u64 = 0x0D;
+const SALT_STATS_DROP: u64 = 0x5A;
+const SALT_STATS_TRUNC: u64 = 0x7C;
 
 /// A deterministic, seedable description of how a switch misbehaves beyond
 /// its timing model.  [`FaultPlan::none`] is a fault-free switch; every
@@ -93,6 +97,19 @@ pub struct FaultPlan {
     /// After accepting this many flow modifications, disconnect the control
     /// channel and wipe both tables — a switch restart.  `None` = never.
     pub restart_after_mods: Option<u64>,
+    /// Silently swallow roughly one in this many flow-stats replies (0 =
+    /// never); hash of `(seed, xid)`.  The reconciler's readback must
+    /// re-request under backoff to make progress.
+    pub stats_drop_one_in: u32,
+    /// Truncate roughly one in this many flow-stats replies (0 = never) to
+    /// the first half of their entries; hash of `(seed, xid)`.  A truncated
+    /// readback makes installed rules look missing — the reconciler
+    /// re-installs them (harmless) and converges on the next round.
+    pub stats_truncate_one_in: u32,
+    /// Answer flow-stats requests from the lagging *data-plane* table
+    /// instead of the control-plane view — the stale snapshot a switch
+    /// returns while a sync burst is still in flight.
+    pub stats_stale_snapshot: bool,
 }
 
 impl FaultPlan {
@@ -106,6 +123,9 @@ impl FaultPlan {
             ack_loss_one_in: 0,
             ack_duplicate_one_in: 0,
             restart_after_mods: None,
+            stats_drop_one_in: 0,
+            stats_truncate_one_in: 0,
+            stats_stale_snapshot: false,
         }
     }
 
@@ -149,12 +169,32 @@ impl FaultPlan {
         self
     }
 
+    /// Fluent: flow-stats-reply loss, one in `one_in`.
+    pub fn with_stats_reply_loss(mut self, one_in: u32) -> Self {
+        self.stats_drop_one_in = one_in;
+        self
+    }
+
+    /// Fluent: flow-stats-reply truncation, one in `one_in`.
+    pub fn with_stats_truncation(mut self, one_in: u32) -> Self {
+        self.stats_truncate_one_in = one_in;
+        self
+    }
+
+    /// Fluent: flow-stats answered from the lagging data-plane snapshot.
+    pub fn with_stale_stats(mut self) -> Self {
+        self.stats_stale_snapshot = true;
+        self
+    }
+
     /// Keyed per-value decision: true roughly one time in `one_in`.
     fn decide(&self, salt: u64, value: u64) -> bool {
         let one_in = match salt {
             SALT_SILENT_DROP => self.silent_drop_one_in,
             SALT_ACK_LOSS => self.ack_loss_one_in,
             SALT_ACK_DUP => self.ack_duplicate_one_in,
+            SALT_STATS_DROP => self.stats_drop_one_in,
+            SALT_STATS_TRUNC => self.stats_truncate_one_in,
             _ => 0,
         };
         if one_in == 0 {
@@ -345,6 +385,14 @@ pub struct BehaviorCounters {
     pub reattaches: u64,
     /// Rules removed by an idle or hard timeout.
     pub rules_expired: u64,
+    /// Flow-stats requests answered by the engine.
+    pub flow_stats: u64,
+    /// Flow-stats replies suppressed by the stats-loss fault.
+    pub stats_replies_lost: u64,
+    /// Flow-stats replies truncated by the truncation fault.
+    pub stats_replies_truncated: u64,
+    /// `FlowRemoved` notifications sent for expired `SEND_FLOW_REM` rules.
+    pub flow_removed_sent: u64,
 }
 
 /// A modification accepted by the control plane, waiting for the data plane.
@@ -565,13 +613,38 @@ impl Behavior {
     /// exact expiry instant even when the driver advances in large steps.
     fn expire_step(&mut self, at: Duration, out: &mut Vec<BehaviorAction>) {
         let mut buf = std::mem::take(&mut self.expiry_buf);
-        // Control-plane expiry is silent bookkeeping (the model lets each
-        // table age independently; their deadlines differ only by the sync
-        // lag, far below the seconds-granularity timeouts): collect its
-        // cookies and explicitly discard them — only *data-plane*
-        // expirations below are visible deactivations.
-        self.control.expire_into(at, &mut buf);
-        buf.clear();
+        // Control-plane expiry drives the controller-facing `FlowRemoved`
+        // notification for rules installed with `OFPFF_SEND_FLOW_REM` (the
+        // model lets each table age independently; their deadlines differ
+        // only by the sync lag, far below the seconds-granularity timeouts).
+        // Only *data-plane* expirations below are visible deactivations.
+        let disconnected = self.disconnected;
+        let counters = &mut self.counters;
+        let removed: &mut Vec<BehaviorAction> = out;
+        self.control.expire_with(at, |e| {
+            if !e.send_flow_removed || disconnected {
+                return;
+            }
+            counters.flow_removed_sent += 1;
+            let alive = at.saturating_sub(e.installed_at);
+            removed.push(BehaviorAction::Reply {
+                at,
+                message: OfMessage::FlowRemoved {
+                    xid: 0,
+                    body: FlowRemoved {
+                        match_: e.match_,
+                        cookie: e.cookie,
+                        priority: e.priority,
+                        reason: e.expiry_reason(at),
+                        duration_sec: alive.as_secs() as u32,
+                        duration_nsec: alive.subsec_nanos(),
+                        idle_timeout: e.idle_timeout,
+                        packet_count: e.packet_count,
+                        byte_count: e.byte_count,
+                    },
+                },
+            });
+        });
         self.data.expire_into(at, &mut buf);
         for &cookie in &buf {
             self.counters.rules_expired += 1;
@@ -739,7 +812,69 @@ impl Behavior {
                 self.on_barrier(now, *xid, out);
                 true
             }
+            OfMessage::StatsRequest {
+                xid,
+                body: StatsRequest::Flow { match_, .. },
+            } => {
+                self.on_flow_stats(now, *xid, match_, out);
+                true
+            }
             _ => false,
+        }
+    }
+
+    /// Answers a flow-stats request from the live table, fragmenting the
+    /// reply when it overflows one message and running it through the
+    /// stats-targeted faults (reply loss, truncation, stale snapshot).
+    pub fn on_flow_stats(
+        &mut self,
+        now: Duration,
+        xid: Xid,
+        match_: &OfMatch,
+        out: &mut Vec<BehaviorAction>,
+    ) {
+        if self.disconnected {
+            return;
+        }
+        self.counters.flow_stats += 1;
+        let done_at = self.consume_cpu(now, Duration::from_micros(100));
+        if self.faults.decide(SALT_STATS_DROP, u64::from(xid)) {
+            self.counters.stats_replies_lost += 1;
+            return;
+        }
+        // The stale-snapshot fault reads the lagging data-plane table — what
+        // a switch reports while a sync burst is still in flight.
+        let table = if self.faults.stats_stale_snapshot {
+            &self.data
+        } else {
+            &self.control
+        };
+        let mut entries: Vec<FlowStatsEntry> = table
+            .entries()
+            .filter(|e| match_.covers(&e.match_))
+            .map(|e| FlowStatsEntry {
+                table_id: 0,
+                match_: e.match_,
+                duration_sec: now.saturating_sub(e.installed_at).as_secs() as u32,
+                duration_nsec: now.saturating_sub(e.installed_at).subsec_nanos(),
+                priority: e.priority,
+                idle_timeout: e.idle_timeout,
+                hard_timeout: e.hard_timeout,
+                cookie: e.cookie,
+                packet_count: e.packet_count,
+                byte_count: e.byte_count,
+                actions: e.actions.clone(),
+            })
+            .collect();
+        if self.faults.decide(SALT_STATS_TRUNC, u64::from(xid)) && !entries.is_empty() {
+            self.counters.stats_replies_truncated += 1;
+            entries.truncate(entries.len().div_ceil(2));
+        }
+        for message in StatsReply::flow_fragments(xid, entries, MAX_STATS_BODY) {
+            out.push(BehaviorAction::Reply {
+                at: done_at,
+                message,
+            });
         }
     }
 

@@ -21,7 +21,9 @@
 //! survives as [`crate::oracle::LinearFlowTable`], the reference oracle the
 //! property tests and benchmarks compare against.
 
-use openflow::constants::{flow_mod_failed_code, flow_mod_flags, port as of_port, OFP_VLAN_NONE};
+use openflow::constants::{
+    flow_mod_failed_code, flow_mod_flags, flow_removed_reason, port as of_port, OFP_VLAN_NONE,
+};
 use openflow::messages::{FlowMod, FlowModCommand};
 use openflow::{Action, MacAddr, OfMatch, PacketHeader, PortNo};
 use std::collections::{BTreeMap, HashMap};
@@ -52,6 +54,9 @@ pub struct FlowEntry {
     pub packet_count: u64,
     /// Bytes matched so far.
     pub byte_count: u64,
+    /// `OFPFF_SEND_FLOW_REM` was set on the installing flow-mod: the switch
+    /// must notify the controller when this entry expires.
+    pub send_flow_removed: bool,
 }
 
 impl FlowEntry {
@@ -68,6 +73,7 @@ impl FlowEntry {
             last_hit: now,
             packet_count: 0,
             byte_count: 0,
+            send_flow_removed: fm.flags & flow_mod_flags::SEND_FLOW_REM != 0,
         }
     }
 
@@ -100,6 +106,16 @@ impl FlowEntry {
         match (self.hard_deadline(), self.idle_deadline()) {
             (Some(h), Some(i)) => Some(h.min(i)),
             (h, i) => h.or(i),
+        }
+    }
+
+    /// The `flow_removed_reason` an expiry observed at `now` reports: the
+    /// hard deadline wins when both are due (mirrors
+    /// [`FlowEntry::expiry_deadline`]'s tie-break).
+    pub fn expiry_reason(&self, now: Duration) -> u8 {
+        match self.hard_deadline() {
+            Some(h) if h <= now => flow_removed_reason::HARD_TIMEOUT,
+            _ => flow_removed_reason::IDLE_TIMEOUT,
         }
     }
 }
@@ -485,6 +501,14 @@ impl FlowTable {
     /// from periodic ticks.
     pub fn expire_into(&mut self, now: Duration, expired: &mut Vec<u64>) {
         expired.clear();
+        self.expire_with(now, |e| expired.push(e.cookie));
+    }
+
+    /// Like [`FlowTable::expire_into`] but hands each expired entry (not just
+    /// its cookie) to `on_expired` — switches use this to build the
+    /// `FlowRemoved` notification for entries installed with
+    /// `OFPFF_SEND_FLOW_REM`.
+    pub fn expire_with<F: FnMut(&FlowEntry)>(&mut self, now: Duration, mut on_expired: F) {
         // Fast path: nothing can have expired yet.
         match self.next_expiry {
             None => return,
@@ -504,7 +528,8 @@ impl FlowTable {
             }
         }
         for seq in doomed {
-            expired.push(self.remove_seq(seq).cookie);
+            let entry = self.remove_seq(seq);
+            on_expired(&entry);
         }
         self.next_expiry = next;
     }

@@ -1,0 +1,235 @@
+//! Cross-driver determinism of the reconciliation subsystem: the same
+//! seeded restart produces the *identical* per-round convergence trace on
+//! the deterministic simulator and over real TCP sockets.
+//!
+//! The reconciler is sans-IO and every decision it sees is a pure function
+//! of the seed — which rules the reboot wiped (the restart counter), which
+//! flow-stats replies the adversary swallows (hash of `(seed, xid)`), and
+//! the backoff schedule (deterministic jitter keyed by switch and attempt).
+//! So readback contents, diffs and re-requests must line up round-for-round
+//! across transports; wall-clock timing may differ, the *observations* may
+//! not.  That equality is the `restart_resync` scenario's proof obligation.
+
+use controller::{
+    AckMode, BackoffPolicy, Controller, FailurePolicy, ResyncConfig, ResyncRound, ResyncStatus,
+    UpdatePlan, UpdateSession,
+};
+use ofswitch::{FaultPlan, SwitchModel};
+use openflow::messages::FlowMod;
+use openflow::{Action, DatapathId, OfMatch};
+use rum_tcp::{spawn_switch_with, SwitchHostOptions, TcpUpdateController};
+use simnet::{OpenFlowSwitch, SimTime, Simulator};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+const N_RULES: u64 = 6;
+/// Reboot mid-plan: both sides of the wipe are represented (rules confirmed
+/// then erased, and rules never delivered).
+const RESTART_AFTER: u64 = 3;
+
+/// The same six-rule plan on both drivers (ids 1..=6, distinct matches).
+fn shared_plan() -> UpdatePlan {
+    let mut plan = UpdatePlan::new();
+    for i in 0..N_RULES {
+        plan.add(
+            i + 1,
+            0,
+            FlowMod::add(
+                OfMatch::ipv4_pair(
+                    Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+                    Ipv4Addr::new(10, 1, 0, 1),
+                ),
+                100,
+                vec![Action::output(2)],
+            ),
+        )
+        .unwrap();
+    }
+    plan
+}
+
+/// The preinstalled rule both drivers seed into the desired store; its
+/// cookie collides with plan id 1, exercising the reconciler's duplicate-
+/// cookie deferral identically on both transports.
+fn drop_all() -> FlowMod {
+    FlowMod::add(OfMatch::wildcard_all(), 0, Vec::new()).with_cookie(1)
+}
+
+/// One reconciler configuration for both drivers — trace equality is only
+/// meaningful if the round budget, backoff and delta session match.
+fn shared_config() -> ResyncConfig {
+    ResyncConfig {
+        backoff: BackoffPolicy::new(Duration::from_millis(20), Duration::from_millis(160)),
+        max_rounds: 8,
+        ack_mode: AckMode::Barriers { batch: 4 },
+        window: 8,
+        failure_policy: FailurePolicy::retry(Duration::from_millis(100), 2),
+    }
+}
+
+fn shared_faults(seed: u64, stats_loss_one_in: u32) -> FaultPlan {
+    let plan = FaultPlan::seeded(seed).with_restart_after(RESTART_AFTER);
+    if stats_loss_one_in > 0 {
+        plan.with_stats_reply_loss(stats_loss_one_in)
+    } else {
+        plan
+    }
+}
+
+/// Runs the restart + resync scenario on the simulator driver and returns
+/// the reconciler's terminal status and full round trace.
+fn simnet_trace(seed: u64, stats_loss_one_in: u32) -> (ResyncStatus, Vec<ResyncRound>) {
+    let mut sim = Simulator::new(seed);
+    let mut controller = Controller::new(
+        "ctrl",
+        shared_plan(),
+        AckMode::NoWait,
+        16,
+        SimTime::from_millis(1),
+    );
+    let reconciler = controller.enable_resync(shared_config());
+    reconciler.store_mut().note_confirmed(0, &drop_all());
+    let ctrl_id = sim.add_node(controller);
+
+    let mut sw = OpenFlowSwitch::with_faults(
+        "s1",
+        DatapathId::new(1),
+        4,
+        SwitchModel::faithful(),
+        shared_faults(seed, stats_loss_one_in),
+    );
+    sw.preinstall(&drop_all());
+    sw.connect_controller(ctrl_id);
+    sw.set_reconnect_delay(Some(Duration::from_millis(50)));
+    let sw_id = sim.add_node(sw);
+    sim.node_mut::<Controller>(ctrl_id)
+        .unwrap()
+        .set_connections(vec![sw_id]);
+    sim.run_until(SimTime::from_secs(60));
+
+    let ctrl = sim.node_ref::<Controller>(ctrl_id).unwrap();
+    let reconciler = ctrl.reconciler().unwrap();
+    (
+        reconciler.status(0).cloned().expect("resync ran"),
+        reconciler.trace(0).to_vec(),
+    )
+}
+
+/// The same scenario over real sockets.
+fn tcp_trace(seed: u64, stats_loss_one_in: u32) -> (ResyncStatus, Vec<ResyncRound>) {
+    let session = UpdateSession::new(shared_plan(), AckMode::NoWait, 16);
+    let mut ctrl = TcpUpdateController::new("127.0.0.1:0".parse().unwrap(), session, 1);
+    let reconciler = ctrl.enable_resync(shared_config());
+    reconciler.store_mut().note_confirmed(0, &drop_all());
+    let handle = ctrl.start().expect("controller starts");
+
+    let sw = spawn_switch_with(
+        handle.local_addr,
+        SwitchModel::faithful(),
+        SwitchHostOptions {
+            faults: shared_faults(seed, stats_loss_one_in),
+            preinstall: vec![drop_all()],
+            reconnect_delay: Some(Duration::from_millis(50)),
+            ..Default::default()
+        },
+    )
+    .expect("switch connects");
+
+    handle
+        .wait_for_outcome(Duration::from_secs(5))
+        .expect("no-wait session settles");
+    assert!(
+        handle.wait_for_resync(1, Duration::from_secs(20)),
+        "resync must reach a terminal state (seed {seed}, loss 1/{stats_loss_one_in})"
+    );
+    let (status, trace) = handle
+        .with_reconciler(|r| {
+            (
+                r.status(0).cloned().expect("resync ran"),
+                r.trace(0).to_vec(),
+            )
+        })
+        .expect("resync enabled");
+    sw.stop();
+    handle.shutdown();
+    let _ = sw.join();
+    (status, trace)
+}
+
+/// The tentpole claim: identical convergence traces per seed across
+/// drivers — with and without the stats-reply-loss adversary in the
+/// readback path.
+#[test]
+fn same_seed_same_convergence_trace_on_both_drivers() {
+    for (seed, loss) in [(7u64, 0u32), (0xBEEF, 3)] {
+        let (sim_status, sim_trace) = simnet_trace(seed, loss);
+        let (tcp_status, tcp_trace) = tcp_trace(seed, loss);
+
+        assert!(sim_status.converged, "simnet seed {seed}: {sim_status:?}");
+        assert!(tcp_status.converged, "tcp seed {seed}: {tcp_status:?}");
+        assert_eq!(sim_status.final_diff, 0);
+        assert_eq!(tcp_status.final_diff, 0);
+        assert_eq!(
+            (
+                sim_status.rounds,
+                sim_status.delta_mods,
+                sim_status.re_requests
+            ),
+            (
+                tcp_status.rounds,
+                tcp_status.delta_mods,
+                tcp_status.re_requests
+            ),
+            "seed {seed} loss 1/{loss}: terminal status must match across drivers"
+        );
+        assert_eq!(
+            sim_trace, tcp_trace,
+            "seed {seed} loss 1/{loss}: convergence traces must be identical cell-for-cell"
+        );
+        // A wiped table cannot converge in a single round: round 1 sees the
+        // empty table, re-issues the delta, and a later readback proves it.
+        assert!(sim_trace.len() >= 2, "{sim_trace:?}");
+        assert_eq!(sim_trace.first().unwrap().actual, 0, "{sim_trace:?}");
+        let last = sim_trace.last().unwrap();
+        assert_eq!(last.diff(), 0, "{sim_trace:?}");
+        assert_eq!(last.actual as u64, N_RULES + 1, "plan plus drop-all");
+    }
+}
+
+/// Property, across seeds: the reconciler converges to a zero diff even
+/// when the adversary swallows flow-stats replies — the readback loop
+/// re-requests under its backoff, and that backoff never exceeds its
+/// configured ceiling at any attempt.
+#[test]
+fn resync_converges_under_stats_reply_loss_across_seeds() {
+    let config = shared_config();
+    let mut losses_seen = 0u32;
+    for seed in 0..6u64 {
+        let (status, trace) = simnet_trace(seed, 2);
+        assert!(
+            status.converged,
+            "seed {seed}: must converge despite lost stats replies: {status:?}"
+        );
+        assert_eq!(status.final_diff, 0, "seed {seed}");
+        losses_seen += status.re_requests;
+        assert_eq!(
+            trace.iter().map(|r| r.re_requests).sum::<u32>(),
+            status.re_requests,
+            "seed {seed}: trace and status must agree on re-requests"
+        );
+    }
+    assert!(
+        losses_seen > 0,
+        "a one-in-two loss rate must swallow at least one reply across six seeds"
+    );
+    // The backoff ceiling holds for every (key, attempt) the readback loop
+    // could ever use — jitter shrinks delays, never inflates them.
+    for key in 0..64u64 {
+        for attempt in 0..32u32 {
+            assert!(
+                config.backoff.delay(key, attempt) <= Duration::from_millis(160),
+                "backoff exceeded its ceiling at key {key}, attempt {attempt}"
+            );
+        }
+    }
+}
