@@ -8,20 +8,31 @@
 //! trajectory is tracked across PRs instead of only being pretty-printed.
 //!
 //! Usage: `bench_results [n_flows] [output_path] [install_n] [matrix_rules]
-//! [soak_sessions]` (defaults: 40 flows, `BENCH_results.json` in the
-//! current directory, a 100 000-entry bulk install, a 10-rule scenario
-//! matrix, and a 200-tenant session soak on both drivers; pass
-//! `matrix_rules = 0` to skip the matrix, `soak_sessions = 0` to skip the
-//! soak).  CI's smoke job passes small values so the quadratic linear-scan
-//! baseline, the wall-clock TCP matrix and the soak stay fast there; the
-//! committed `BENCH_results.json` is produced with the defaults.
+//! [soak_sessions] [scale_switches]` (defaults: 40 flows,
+//! `BENCH_results.json` in the current directory, a 100 000-entry bulk
+//! install, a 10-rule scenario matrix, a 200-tenant session soak on both
+//! drivers, and a 1,000-switch scale layer; pass `matrix_rules = 0` to
+//! skip the matrix, `soak_sessions = 0` to skip the soaks,
+//! `scale_switches = 0` to skip the scale layer).  CI's smoke job passes
+//! small values so the quadratic linear-scan baseline, the wall-clock TCP
+//! matrix and the soak stay fast there; the committed `BENCH_results.json`
+//! is produced with the defaults.
+//!
+//! The scale layer (schema 8) runs the sharded proxy against a
+//! `scale_switches`-switch early-reply ring on both drivers (zero
+//! false-ack matrix rows at fleet size), measures end-to-end wire
+//! throughput against the legacy thread-per-connection proxy (the
+//! `wire_e2e/*` row whose `speedup` is the sharding win), and re-runs the
+//! multi-tenant TCP soak with its tenants spread across the whole fleet.
 
 use ofswitch::SwitchModel;
 use rum_bench::experiments::{run_end_to_end, EndToEndTechnique};
 use rum_bench::report::{write_results, ExperimentRecord, MatrixRecord, ThroughputRecord};
+use rum_bench::scale::{run_simnet_scale_cell, run_tcp_scale_cell, run_tcp_scale_soak};
 use rum_bench::scenario_matrix::{render_grid, run_simnet_matrix, run_tcp_matrix};
 use rum_bench::session_soak::{early_reply_fault, run_simnet_soak, run_tcp_soak, SoakConfig};
 use rum_bench::throughput;
+use rum_bench::wire::{run_wire_throughput, WireConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,8 +50,10 @@ const THROUGHPUT_RUNS: usize = 3;
 
 /// The bulk-install workloads get extra repetitions: the telemetry-overhead
 /// row compares two nearly identical measurements, so its noise floor has
-/// to be well under the 3% acceptance bar.
-const INSTALL_RUNS: usize = 5;
+/// to be well under the 3% acceptance bar — and single-core boxes swing
+/// individual runs by several percent, so the best-of comparison needs a
+/// deep pool to draw from.
+const INSTALL_RUNS: usize = 9;
 
 fn throughput_records(install_n: usize) -> Vec<ThroughputRecord> {
     let mut records = Vec::new();
@@ -150,6 +163,7 @@ fn main() {
     let install_n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let matrix_rules: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
     let soak_sessions: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let scale_switches: usize = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(1_000);
 
     let mut records = Vec::new();
     for technique in EndToEndTechnique::all() {
@@ -171,9 +185,22 @@ fn main() {
         records.push(record);
     }
 
-    let throughput = throughput_records(install_n);
+    let mut throughput = throughput_records(install_n);
+    if scale_switches > 0 {
+        // End-to-end wire throughput: sharded event-loop proxy vs the
+        // legacy thread-per-connection proxy on the identical blast.
+        let wire_cfg = if scale_switches >= 256 {
+            WireConfig::full()
+        } else {
+            WireConfig::smoke()
+        };
+        throughput.push(run_wire_throughput(&wire_cfg));
+    }
     for r in &throughput {
         let annotation = match (r.speedup(), r.overhead_pct) {
+            (Some(speedup), _) if r.experiment.starts_with("wire_e2e/") => {
+                format!("  ({speedup:.1}x legacy proxy)")
+            }
             (Some(speedup), _) => format!("  ({speedup:.0}x linear baseline)"),
             (None, Some(overhead)) => format!("  ({overhead:+.2}% vs uninstrumented)"),
             (None, None) => String::new(),
@@ -190,6 +217,30 @@ fn main() {
         cells.extend(run_tcp_matrix(matrix_rules, 42));
         println!("\n{}", render_grid(&cells));
         matrix = cells.iter().map(MatrixRecord::from).collect();
+    }
+    if scale_switches > 0 {
+        // The fleet-scale rows: the sharded proxy against a
+        // `scale_switches`-switch early-reply ring on both drivers.
+        let registry = telemetry::Registry::new();
+        let cells = [
+            run_simnet_scale_cell(scale_switches, 2, 42, &registry).cell,
+            run_tcp_scale_cell(scale_switches, 2, 42, &registry).cell,
+        ];
+        for cell in &cells {
+            println!(
+                "scale/{}/{:<12} switches {:>5}  planned {:>5}  false {} missed {}  completion {}",
+                cell.driver,
+                cell.technique,
+                cell.switches,
+                cell.planned,
+                cell.false_acks,
+                cell.missed_acks,
+                cell.completion_ms
+                    .map(|ms| format!("{ms:.0} ms"))
+                    .unwrap_or_else(|| "stalled".into()),
+            );
+            matrix.push(MatrixRecord::from(cell));
+        }
     }
 
     let mut soak = Vec::new();
@@ -216,6 +267,23 @@ fn main() {
                 "session_soak/{}/{:<14} sessions {:>4} done {:>4}  false {} missed {} stray {}  p50 {:>8.1} ms  p99 {:>8.1} ms  p99.9 {:>8.1} ms",
                 r.driver, r.fault, r.sessions, r.completed, r.false_acks, r.missed_acks,
                 r.stray_acks, r.p50_confirm_ms, r.p99_confirm_ms, r.p999_confirm_ms
+            );
+            soak.push(r);
+        }
+        if scale_switches > 0 {
+            // The same tenant population spread across the whole sharded
+            // fleet: the schema-8 scale soak row.
+            let scale_cfg = SoakConfig {
+                sessions: soak_sessions,
+                budget: Duration::from_secs(45)
+                    + Duration::from_millis(100) * scale_switches as u32,
+                ..SoakConfig::default()
+            };
+            let r = run_tcp_scale_soak(&scale_cfg, scale_switches, &registry).record;
+            println!(
+                "session_soak/{}/{:<14} switches {:>5} sessions {:>4} done {:>4}  false {} missed {} stray {}  p50 {:>8.1} ms  p99 {:>8.1} ms  p99.9 {:>8.1} ms",
+                r.driver, r.fault, r.switches, r.sessions, r.completed, r.false_acks,
+                r.missed_acks, r.stray_acks, r.p50_confirm_ms, r.p99_confirm_ms, r.p999_confirm_ms
             );
             soak.push(r);
         }

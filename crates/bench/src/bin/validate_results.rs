@@ -11,10 +11,12 @@
 //! rows must be all-zero placeholders.
 //!
 //! Usage: `validate_results [path] [min_speedup] [max_overhead]
-//! [min_soak_sessions]` (defaults: `BENCH_results.json`, no speedup floor,
-//! 3% overhead cap, ≥ 1 soak session).  When `min_speedup` is given, every
-//! `flow_mod_install/indexed_*` row must carry a `speedup` field of at
-//! least that factor over the linear-scan baseline.  In a schema-5+ file,
+//! [min_soak_sessions] [min_wire_speedup] [min_matrix_switches]`
+//! (defaults: `BENCH_results.json`, no speedup floor, 3% overhead cap,
+//! ≥ 1 soak session, no wire-speedup floor, no switch-count floor).  When
+//! `min_speedup` is given, every `flow_mod_install/indexed_*` row must
+//! carry a `speedup` field of at least that factor over the linear-scan
+//! baseline.  In a schema-5+ file,
 //! every `telemetry_overhead/*` row must carry a finite `overhead_pct`
 //! below `max_overhead`, and at least one such row must exist —
 //! instrumentation that slows the hot path down (or silently stops being
@@ -28,6 +30,15 @@
 //! `restart_resync` rows must exist on **both** drivers and prove the wiped
 //! table was restored (`resync_converged`, `resync_final_diff == 0`,
 //! `resync_table_matches`); the fields are rejected anywhere else.
+//! Schema 8 is the sharded-proxy scale layer: every scenario-matrix and
+//! session-soak row carries its fleet size (`switches`), the throughput
+//! section must include a `wire_e2e/*` row (flow-mods/s through a real TCP
+//! proxy, with the pre-shard thread-per-connection proxy as its in-run
+//! baseline, so `speedup` is the sharding win) gated by
+//! `min_wire_speedup`, and when `min_matrix_switches` is given, **both**
+//! drivers must carry an applicable probing (`rum-*`) matrix row with zero
+//! false acks at at least that many switches, plus a TCP soak row at the
+//! same fleet size — the 1,000-switch regression gate.
 //!
 //! The build environment has no serde, so this ships a minimal JSON parser —
 //! enough for the flat document the harness emits.
@@ -274,12 +285,19 @@ fn rate(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
     Ok(v)
 }
 
-fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, String> {
+fn validate_matrix(
+    root: &BTreeMap<String, Json>,
+    schema: u32,
+    min_switches: u64,
+) -> Result<usize, String> {
     let Json::Arr(matrix) = get(root, "scenario_matrix")? else {
         return Err("\"scenario_matrix\" is not an array".into());
     };
     let mut restart_drivers: Vec<&str> = Vec::new();
     let mut resync_drivers: Vec<&str> = Vec::new();
+    // Schema 8: drivers that proved a zero-false-ack probing run at the
+    // required fleet size.
+    let mut scale_drivers: Vec<&str> = Vec::new();
     for (i, row) in matrix.iter().enumerate() {
         let Json::Obj(row) = row else {
             return Err(format!("scenario_matrix[{i}] is not an object"));
@@ -290,8 +308,26 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
             return Err(format!("{context}: unknown driver \"{driver}\""));
         }
         let fault = string(row, "fault").map_err(|e| format!("{context}: {e}"))?;
-        string(row, "technique").map_err(|e| format!("{context}: {e}"))?;
+        let technique = string(row, "technique").map_err(|e| format!("{context}: {e}"))?;
         string(row, "experiment").map_err(|e| format!("{context}: {e}"))?;
+        // Schema 8: every row states the fleet size it ran against; older
+        // schemas predate the field.
+        let switches = match (schema >= 8, row.contains_key("switches")) {
+            (true, true) => {
+                let v = count(row, "switches").map_err(|e| format!("{context}: {e}"))?;
+                if v == 0 {
+                    return Err(format!("{context}: \"switches\" must be at least 1"));
+                }
+                v
+            }
+            (true, false) => {
+                return Err(format!("{context}: schema 8 needs a \"switches\" count"));
+            }
+            (false, true) => {
+                return Err(format!("{context}: \"switches\" requires schema 8"));
+            }
+            (false, false) => 0,
+        };
         let planned = count(row, "planned").map_err(|e| format!("{context}: {e}"))?;
         let confirmed = count(row, "confirmed").map_err(|e| format!("{context}: {e}"))?;
         let false_acks = count(row, "false_acks").map_err(|e| format!("{context}: {e}"))?;
@@ -396,6 +432,17 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
                 "{context}: applicable restart_resync row is missing its resync verdict"
             ));
         }
+        // Schema 8: an applicable probing row with a clean verdict at the
+        // required fleet size counts towards the scale gate.
+        if is_applicable
+            && technique.starts_with("rum-")
+            && false_acks == 0
+            && min_switches > 0
+            && switches >= min_switches
+            && !scale_drivers.contains(&driver)
+        {
+            scale_drivers.push(driver);
+        }
     }
     // Schema 4 turned restart survival into a load-bearing claim: a results
     // file that silently dropped the restart column on either driver is
@@ -422,16 +469,41 @@ fn validate_matrix(root: &BTreeMap<String, Json>, schema: u32) -> Result<usize, 
             }
         }
     }
+    // The schema-8 scale gate: when a switch-count floor is demanded, both
+    // drivers must have proved a zero-false-ack probing run at (at least)
+    // that fleet size, or the sharded proxy's headline claim is stale.
+    if min_switches > 0 {
+        if schema < 8 {
+            return Err(format!(
+                "a {min_switches}-switch floor needs schema 8 rows carrying \"switches\""
+            ));
+        }
+        for required in ["simnet", "tcp"] {
+            if !scale_drivers.contains(&required) {
+                return Err(format!(
+                    "no applicable zero-false-ack probing row with switches >= {min_switches} \
+                     on driver \"{required}\""
+                ));
+            }
+        }
+    }
     Ok(matrix.len())
 }
 
 /// Validates the schema-6 `session_soak` section: the multi-tenant soak's
 /// verdicts must hold on both drivers or the gate fails.
-fn validate_soak(root: &BTreeMap<String, Json>, min_sessions: u64) -> Result<usize, String> {
+fn validate_soak(
+    root: &BTreeMap<String, Json>,
+    min_sessions: u64,
+    schema: u32,
+    min_switches: u64,
+) -> Result<usize, String> {
     let Json::Arr(soak) = get(root, "session_soak")? else {
         return Err("\"session_soak\" is not an array".into());
     };
     let mut drivers: Vec<&str> = Vec::new();
+    // Schema 8: the largest fleet a clean TCP soak ran against.
+    let mut tcp_scale: u64 = 0;
     for (i, row) in soak.iter().enumerate() {
         let Json::Obj(row) = row else {
             return Err(format!("session_soak[{i}] is not an object"));
@@ -443,6 +515,23 @@ fn validate_soak(root: &BTreeMap<String, Json>, min_sessions: u64) -> Result<usi
         }
         string(row, "fault").map_err(|e| format!("{context}: {e}"))?;
         string(row, "experiment").map_err(|e| format!("{context}: {e}"))?;
+        // Schema 8: every soak row states the fleet size it ran against.
+        let switches = match (schema >= 8, row.contains_key("switches")) {
+            (true, true) => {
+                let v = count(row, "switches").map_err(|e| format!("{context}: {e}"))?;
+                if v == 0 {
+                    return Err(format!("{context}: \"switches\" must be at least 1"));
+                }
+                v
+            }
+            (true, false) => {
+                return Err(format!("{context}: schema 8 needs a \"switches\" count"));
+            }
+            (false, true) => {
+                return Err(format!("{context}: \"switches\" requires schema 8"));
+            }
+            (false, false) => 0,
+        };
         let sessions = count(row, "sessions").map_err(|e| format!("{context}: {e}"))?;
         let completed = count(row, "completed").map_err(|e| format!("{context}: {e}"))?;
         let aborted = count(row, "aborted").map_err(|e| format!("{context}: {e}"))?;
@@ -495,6 +584,9 @@ fn validate_soak(root: &BTreeMap<String, Json>, min_sessions: u64) -> Result<usi
         if !drivers.contains(&driver) {
             drivers.push(driver);
         }
+        if driver == "tcp" {
+            tcp_scale = tcp_scale.max(switches);
+        }
     }
     for required in ["simnet", "tcp"] {
         if !drivers.contains(&required) {
@@ -502,6 +594,15 @@ fn validate_soak(root: &BTreeMap<String, Json>, min_sessions: u64) -> Result<usi
                 "schema 6 requires session_soak rows for both drivers; \"{required}\" is missing"
             ));
         }
+    }
+    // The schema-8 scale gate: the soak must have run over the sharded
+    // proxy at (at least) the demanded fleet size on the real-socket
+    // driver.  Every row already passed the zero-false/missed/stray gates
+    // above, so reaching the floor is the only remaining claim.
+    if min_switches > 0 && tcp_scale < min_switches {
+        return Err(format!(
+            "no tcp session_soak row with switches >= {min_switches} (largest: {tcp_scale})"
+        ));
     }
     Ok(soak.len())
 }
@@ -511,13 +612,19 @@ fn validate(
     min_speedup: Option<f64>,
     max_overhead: f64,
     min_soak_sessions: u64,
+    min_wire_speedup: Option<f64>,
+    min_matrix_switches: u64,
 ) -> Result<(usize, usize, usize, usize), String> {
     let Json::Obj(root) = doc else {
         return Err("document root is not an object".into());
     };
     let schema = match get(root, "schema")? {
-        Json::Num(v) if (2.0..=7.0).contains(v) && v.fract() == 0.0 => *v as u32,
-        other => return Err(format!("schema must be 2, 3, 4, 5, 6 or 7, got {other:?}")),
+        Json::Num(v) if (2.0..=8.0).contains(v) && v.fract() == 0.0 => *v as u32,
+        other => {
+            return Err(format!(
+                "schema must be 2, 3, 4, 5, 6, 7 or 8, got {other:?}"
+            ))
+        }
     };
     let Json::Arr(results) = get(root, "results")? else {
         return Err("\"results\" is not an array".into());
@@ -543,6 +650,7 @@ fn validate(
     }
     let mut install_rows = 0usize;
     let mut overhead_rows = 0usize;
+    let mut wire_rows = 0usize;
     for (i, row) in throughput.iter().enumerate() {
         let Json::Obj(row) = row else {
             return Err(format!("throughput[{i}] is not an object"));
@@ -592,6 +700,26 @@ fn validate(
         } else if row.contains_key("overhead_pct") {
             return Err(format!("{name}: unexpected overhead_pct field"));
         }
+        // Schema 8: end-to-end wire throughput through a real TCP proxy,
+        // with the pre-shard thread-per-connection proxy as its in-run
+        // baseline — `speedup` is the sharding win and must clear the floor.
+        if name.starts_with("wire_e2e/") {
+            if schema < 8 {
+                return Err(format!("{name}: wire_e2e rows require schema 8"));
+            }
+            wire_rows += 1;
+            let speedup = num(row, "speedup")?;
+            if !speedup.is_finite() || speedup <= 0.0 {
+                return Err(format!("{name}: bad speedup {speedup}"));
+            }
+            if let Some(floor) = min_wire_speedup {
+                if speedup < floor {
+                    return Err(format!(
+                        "{name}: sharding speedup {speedup:.1}x below the required {floor}x"
+                    ));
+                }
+            }
+        }
     }
     if install_rows == 0 {
         return Err("no flow_mod_install/indexed_* throughput row".into());
@@ -599,11 +727,22 @@ fn validate(
     if schema >= 5 && overhead_rows == 0 {
         return Err("schema 5 requires a telemetry_overhead/* throughput row".into());
     }
+    if schema >= 8 && wire_rows == 0 {
+        return Err("schema 8 requires a wire_e2e/* throughput row".into());
+    }
+    if min_wire_speedup.is_some() && schema < 8 {
+        return Err("a wire-speedup floor needs schema 8 wire_e2e rows".into());
+    }
     // Schema 3 adds the scenario-matrix section; schema 2 predates it (and
     // is rejected if it smuggles one in anyway).
     let matrix_rows = if schema >= 3 {
-        validate_matrix(root, schema)?
+        validate_matrix(root, schema, min_matrix_switches)?
     } else {
+        if min_matrix_switches > 0 {
+            return Err(format!(
+                "a {min_matrix_switches}-switch floor needs schema 8 matrix rows"
+            ));
+        }
         if root.contains_key("scenario_matrix") {
             return Err("schema 2 must not carry a scenario_matrix section".into());
         }
@@ -611,7 +750,7 @@ fn validate(
     };
     // Schema 6 adds the session_soak section; older schemas predate it.
     let soak_rows = if schema >= 6 {
-        validate_soak(root, min_soak_sessions)?
+        validate_soak(root, min_soak_sessions, schema, min_matrix_switches)?
     } else {
         if root.contains_key("session_soak") {
             return Err(format!(
@@ -632,6 +771,8 @@ fn main() -> ExitCode {
     let min_speedup: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
     let max_overhead: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3.0);
     let min_soak_sessions: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let min_wire_speedup: Option<f64> = args.get(5).and_then(|s| s.parse().ok());
+    let min_matrix_switches: u64 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(0);
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -647,7 +788,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match validate(&doc, min_speedup, max_overhead, min_soak_sessions) {
+    match validate(
+        &doc,
+        min_speedup,
+        max_overhead,
+        min_soak_sessions,
+        min_wire_speedup,
+        min_matrix_switches,
+    ) {
         Ok((latency, throughput, matrix, soak)) => {
             println!(
                 "validate_results: {path} OK ({latency} latency rows, {throughput} throughput rows, {matrix} scenario-matrix rows, {soak} session-soak rows)"
@@ -692,13 +840,16 @@ mod tests {
 
     #[test]
     fn schema_2_still_accepted() {
-        assert_eq!(validate(&doc(SCHEMA2), None, 3.0, 1), Ok((1, 1, 0, 0)));
+        assert_eq!(
+            validate(&doc(SCHEMA2), None, 3.0, 1, None, 0),
+            Ok((1, 1, 0, 0))
+        );
     }
 
     #[test]
     fn schema_3_with_matrix_accepted() {
         assert_eq!(
-            validate(&doc(&schema3(GOOD_ROW)), None, 3.0, 1),
+            validate(&doc(&schema3(GOOD_ROW)), None, 3.0, 1, None, 0),
             Ok((1, 1, 1, 0))
         );
         // A stalled cell: null completion, missed acks.
@@ -710,7 +861,7 @@ mod tests {
             .replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 0.375")
             .replace("\"completion_ms\": 812.5", "\"completion_ms\": null");
         assert_eq!(
-            validate(&doc(&schema3(&stalled)), None, 3.0, 1),
+            validate(&doc(&schema3(&stalled)), None, 3.0, 1, None, 0),
             Ok((1, 1, 1, 0))
         );
     }
@@ -719,15 +870,15 @@ mod tests {
     fn nan_and_out_of_range_rates_are_rejected() {
         // NaN serialises as null; num() maps it back to NaN -> rejected.
         let nan = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": null");
-        assert!(validate(&doc(&schema3(&nan)), None, 3.0, 1)
+        assert!(validate(&doc(&schema3(&nan)), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("false_ack_rate"));
         let negative = GOOD_ROW.replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": -0.2");
-        assert!(validate(&doc(&schema3(&negative)), None, 3.0, 1)
+        assert!(validate(&doc(&schema3(&negative)), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("false_ack_rate"));
         let above_one = GOOD_ROW.replace("\"missed_ack_rate\": 0.0", "\"missed_ack_rate\": 1.5");
-        assert!(validate(&doc(&schema3(&above_one)), None, 3.0, 1)
+        assert!(validate(&doc(&schema3(&above_one)), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("missed_ack_rate"));
     }
@@ -735,11 +886,11 @@ mod tests {
     #[test]
     fn inconsistent_counts_are_rejected() {
         let too_many = GOOD_ROW.replace("\"false_acks\": 8", "\"false_acks\": 9");
-        assert!(validate(&doc(&schema3(&too_many)), None, 3.0, 1)
+        assert!(validate(&doc(&schema3(&too_many)), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("exceed the plan size"));
         let mismatch = GOOD_ROW.replace("\"confirmed\": 8", "\"confirmed\": 7");
-        assert!(validate(&doc(&schema3(&mismatch)), None, 3.0, 1)
+        assert!(validate(&doc(&schema3(&mismatch)), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("!= planned"));
         // More false acks than confirmations is nonsensical: a false ack is
@@ -747,7 +898,7 @@ mod tests {
         let phantom = GOOD_ROW
             .replace("\"confirmed\": 8", "\"confirmed\": 5")
             .replace("\"missed_acks\": 0", "\"missed_acks\": 3");
-        assert!(validate(&doc(&schema3(&phantom)), None, 3.0, 1)
+        assert!(validate(&doc(&schema3(&phantom)), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("exceed confirmed"));
     }
@@ -790,7 +941,7 @@ mod tests {
             NA_ROW
         );
         assert_eq!(
-            validate(&doc(&schema4(&rows)), None, 3.0, 1),
+            validate(&doc(&schema4(&rows)), None, 3.0, 1, None, 0),
             Ok((1, 1, 4, 0))
         );
     }
@@ -802,7 +953,7 @@ mod tests {
             with_applicable(GOOD_ROW, true),
             restart_row("simnet")
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("restart rows"), "{err}");
         assert!(err.contains("tcp"), "{err}");
         // A not-applicable restart row does not count as coverage.
@@ -815,7 +966,7 @@ mod tests {
             restart_row("simnet"),
             na_restart
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("restart rows"), "{err}");
     }
 
@@ -826,7 +977,7 @@ mod tests {
             restart_row("simnet"),
             restart_row("tcp")
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("applicable"), "{err}");
     }
 
@@ -838,7 +989,7 @@ mod tests {
             restart_row("simnet"),
             restart_row("tcp")
         );
-        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema4(&rows)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("not-applicable"), "{err}");
         // Zero counts are not enough: a smuggled rate or completion time on
         // a never-run cell is rejected too.
@@ -852,7 +1003,7 @@ mod tests {
                 restart_row("simnet"),
                 restart_row("tcp")
             );
-            let err = validate(&doc(&schema4(&rows)), None, 3.0, 1).unwrap_err();
+            let err = validate(&doc(&schema4(&rows)), None, 3.0, 1, None, 0).unwrap_err();
             assert!(err.contains("not-applicable"), "{err}");
         }
     }
@@ -860,7 +1011,7 @@ mod tests {
     #[test]
     fn schema_3_must_not_carry_applicable() {
         let row = with_applicable(GOOD_ROW, true);
-        let err = validate(&doc(&schema3(&row)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema3(&row)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("requires schema 4"), "{err}");
     }
 
@@ -888,13 +1039,13 @@ mod tests {
     #[test]
     fn schema_5_with_overhead_row_accepted() {
         assert_eq!(
-            validate(&doc(&schema5(OVERHEAD_ROW)), None, 3.0, 1),
+            validate(&doc(&schema5(OVERHEAD_ROW)), None, 3.0, 1, None, 0),
             Ok((1, 2, 3, 0))
         );
         // Slightly-negative overhead is measurement noise, not an error.
         let lucky = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": -0.3");
         assert_eq!(
-            validate(&doc(&schema5(&lucky)), None, 3.0, 1),
+            validate(&doc(&schema5(&lucky)), None, 3.0, 1, None, 0),
             Ok((1, 2, 3, 0))
         );
     }
@@ -903,7 +1054,7 @@ mod tests {
     fn schema_5_requires_an_overhead_row() {
         let missing =
             schema5(OVERHEAD_ROW).replace("telemetry_overhead/indexed_10", "codec/encode_10");
-        let err = validate(&doc(&missing), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&missing), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("overhead_pct"), "{err}");
         let dropped = schema4(&format!(
             "{}, {}, {}",
@@ -912,23 +1063,23 @@ mod tests {
             restart_row("tcp")
         ))
         .replace("\"schema\": 4", "\"schema\": 5");
-        let err = validate(&doc(&dropped), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&dropped), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("telemetry_overhead"), "{err}");
     }
 
     #[test]
     fn overhead_at_or_above_the_cap_is_rejected() {
         let slow = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": 3.0");
-        let err = validate(&doc(&schema5(&slow)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema5(&slow)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("at or above"), "{err}");
         // A looser explicit cap admits the same row.
         assert_eq!(
-            validate(&doc(&schema5(&slow)), None, 10.0, 1),
+            validate(&doc(&schema5(&slow)), None, 10.0, 1, None, 0),
             Ok((1, 2, 3, 0))
         );
         // A null (NaN) overhead is rejected regardless of cap.
         let nan = OVERHEAD_ROW.replace("\"overhead_pct\": 1.2", "\"overhead_pct\": null");
-        assert!(validate(&doc(&schema5(&nan)), None, 100.0, 1)
+        assert!(validate(&doc(&schema5(&nan)), None, 100.0, 1, None, 0)
             .unwrap_err()
             .contains("overhead_pct"));
     }
@@ -936,7 +1087,7 @@ mod tests {
     #[test]
     fn overhead_rows_require_schema_5() {
         let smuggled = schema5(OVERHEAD_ROW).replace("\"schema\": 5", "\"schema\": 4");
-        let err = validate(&doc(&smuggled), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&smuggled), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("require schema 5"), "{err}");
     }
 
@@ -946,14 +1097,14 @@ mod tests {
             "\"speedup\": 100.0}",
             "\"speedup\": 100.0, \"overhead_pct\": 0.5}",
         );
-        let err = validate(&doc(&tainted), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&tainted), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("unexpected overhead_pct"), "{err}");
     }
 
     #[test]
     fn schema_2_with_matrix_section_is_rejected() {
         let sneaky = schema3(GOOD_ROW).replace("\"schema\": 3", "\"schema\": 2");
-        assert!(validate(&doc(&sneaky), None, 3.0, 1)
+        assert!(validate(&doc(&sneaky), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("schema 2 must not carry"));
     }
@@ -961,7 +1112,7 @@ mod tests {
     #[test]
     fn missing_matrix_section_in_schema_3_is_rejected() {
         let missing = SCHEMA2.replace("\"schema\": 2", "\"schema\": 3");
-        assert!(validate(&doc(&missing), None, 3.0, 1)
+        assert!(validate(&doc(&missing), None, 3.0, 1, None, 0)
             .unwrap_err()
             .contains("scenario_matrix"));
     }
@@ -997,12 +1148,12 @@ mod tests {
     #[test]
     fn schema_6_with_clean_soak_rows_accepted() {
         assert_eq!(
-            validate(&doc(&schema6(&both_drivers())), None, 3.0, 1),
+            validate(&doc(&schema6(&both_drivers())), None, 3.0, 1, None, 0),
             Ok((1, 2, 3, 2))
         );
         // A demanding session floor that the rows meet is fine too.
         assert_eq!(
-            validate(&doc(&schema6(&both_drivers())), None, 3.0, 200),
+            validate(&doc(&schema6(&both_drivers())), None, 3.0, 200, None, 0),
             Ok((1, 2, 3, 2))
         );
     }
@@ -1010,7 +1161,7 @@ mod tests {
     #[test]
     fn soak_false_acks_are_rejected() {
         let lying = both_drivers().replacen("\"false_acks\": 0", "\"false_acks\": 2", 1);
-        let err = validate(&doc(&schema6(&lying)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema6(&lying)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("false acks"), "{err}");
     }
 
@@ -1022,19 +1173,19 @@ mod tests {
             .replacen("\"completed\": 200", "\"completed\": 199", 1)
             .replacen("\"confirmed_mods\": 600", "\"confirmed_mods\": 597", 1)
             .replacen("\"missed_acks\": 0", "\"missed_acks\": 3", 1);
-        let err = validate(&doc(&schema6(&stalled)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema6(&stalled)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("incomplete soak"), "{err}");
         // Inconsistent books (confirmed + missed != planned) are caught
         // before the verdict gates.
         let fudged =
             both_drivers().replacen("\"confirmed_mods\": 600", "\"confirmed_mods\": 599", 1);
-        let err = validate(&doc(&schema6(&fudged)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema6(&fudged)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("!= planned"), "{err}");
     }
 
     #[test]
     fn soak_missing_a_driver_is_rejected() {
-        let err = validate(&doc(&schema6(SOAK_SIMNET_ROW)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema6(SOAK_SIMNET_ROW)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("both drivers"), "{err}");
         assert!(err.contains("tcp"), "{err}");
     }
@@ -1045,31 +1196,31 @@ mod tests {
         // has not demonstrated its tail.
         let nan =
             both_drivers().replacen("\"p999_confirm_ms\": 523.0", "\"p999_confirm_ms\": null", 1);
-        let err = validate(&doc(&schema6(&nan)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema6(&nan)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("p99.9"), "{err}");
         let inverted =
             both_drivers().replacen("\"p999_confirm_ms\": 523.0", "\"p999_confirm_ms\": 90.0", 1);
-        let err = validate(&doc(&schema6(&inverted)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema6(&inverted)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("not monotone"), "{err}");
     }
 
     #[test]
     fn soak_below_the_session_floor_is_rejected() {
-        let err = validate(&doc(&schema6(&both_drivers())), None, 3.0, 500).unwrap_err();
+        let err = validate(&doc(&schema6(&both_drivers())), None, 3.0, 500, None, 0).unwrap_err();
         assert!(err.contains("required >= 500"), "{err}");
     }
 
     #[test]
     fn soak_section_requires_schema_6() {
         let smuggled = schema6(&both_drivers()).replace("\"schema\": 6", "\"schema\": 5");
-        let err = validate(&doc(&smuggled), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&smuggled), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("must not carry a session_soak"), "{err}");
     }
 
     #[test]
     fn missing_soak_section_in_schema_6_is_rejected() {
         let missing = schema5(OVERHEAD_ROW).replace("\"schema\": 5", "\"schema\": 6");
-        let err = validate(&doc(&missing), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&missing), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("session_soak"), "{err}");
     }
 
@@ -1100,19 +1251,20 @@ mod tests {
     fn schema_7_with_converged_resync_rows_accepted() {
         let rows = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
         assert_eq!(
-            validate(&doc(&schema7(&rows)), None, 3.0, 1),
+            validate(&doc(&schema7(&rows)), None, 3.0, 1, None, 0),
             Ok((1, 2, 5, 2))
         );
     }
 
     #[test]
     fn schema_7_missing_a_resync_driver_is_rejected() {
-        let err = validate(&doc(&schema7(&resync_row("simnet"))), None, 3.0, 1).unwrap_err();
+        let err =
+            validate(&doc(&schema7(&resync_row("simnet"))), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("restart_resync rows"), "{err}");
         assert!(err.contains("tcp"), "{err}");
         // A schema-7 file with no resync rows at all fails the same gate.
         let bare = schema6(&both_drivers()).replace("\"schema\": 6", "\"schema\": 7");
-        let err = validate(&doc(&bare), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&bare), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("restart_resync rows"), "{err}");
     }
 
@@ -1132,7 +1284,7 @@ mod tests {
                 resync_row("simnet").replace(from, to),
                 resync_row("tcp")
             );
-            let err = validate(&doc(&schema7(&rows)), None, 3.0, 1).unwrap_err();
+            let err = validate(&doc(&schema7(&rows)), None, 3.0, 1, None, 0).unwrap_err();
             assert!(err.contains("failed to restore"), "{from} -> {to}: {err}");
         }
     }
@@ -1143,7 +1295,7 @@ mod tests {
         // is a broken harness, not a passing gate.
         let bare = restart_row("simnet").replace("restart", "restart_resync");
         let rows = format!("{bare}, {}", resync_row("tcp"));
-        let err = validate(&doc(&schema7(&rows)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema7(&rows)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("missing its resync verdict"), "{err}");
     }
 
@@ -1152,7 +1304,7 @@ mod tests {
         // Smuggled into a schema-6 file: rejected.
         let rows = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
         let smuggled = schema7(&rows).replace("\"schema\": 7", "\"schema\": 6");
-        let err = validate(&doc(&smuggled), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&smuggled), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("require schema 7"), "{err}");
         // Attached to a plain restart row: rejected.
         let tainted = restart_row("simnet").replace(
@@ -1160,7 +1312,160 @@ mod tests {
             "\"completion_ms\": 812.5, \"resync_converged\": true",
         );
         let rows = format!("{tainted}, {}, {}", resync_row("simnet"), resync_row("tcp"));
-        let err = validate(&doc(&schema7(&rows)), None, 3.0, 1).unwrap_err();
+        let err = validate(&doc(&schema7(&rows)), None, 3.0, 1, None, 0).unwrap_err();
         assert!(err.contains("only valid on restart_resync"), "{err}");
+    }
+
+    /// A well-formed end-to-end wire-throughput row (schema 8): sharded
+    /// proxy throughput with the legacy proxy as the in-run baseline.
+    const WIRE_ROW: &str = r#"{"experiment": "wire_e2e/flow_mods_64sw", "ops": 128000,
+        "median_elapsed_ms": 120.0, "ops_per_sec": 1066666.0, "runs": 1,
+        "baseline_ops_per_sec": 150000.0, "speedup": 7.1}"#;
+
+    /// Builds a schema-8 document: the full schema-7 document with
+    /// `switches` stamped onto every matrix and soak row, the wire row
+    /// appended to the throughput section, and the given scale rows (which
+    /// carry their own `switches` counts) appended to their sections.
+    fn schema8(scale_matrix_rows: &str, scale_soak_rows: &str) -> String {
+        let resync = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
+        let mut text = schema7(&resync)
+            .replace("\"schema\": 7", "\"schema\": 8")
+            .replace("\"planned\":", "\"switches\": 3, \"planned\":")
+            .replace("\"sessions\":", "\"switches\": 3, \"sessions\":")
+            .replace(
+                "\"overhead_pct\": 1.2}",
+                &format!("\"overhead_pct\": 1.2}}, {WIRE_ROW}"),
+            );
+        if !scale_matrix_rows.is_empty() {
+            text = text.replace(
+                "],\n      \"session_soak\"",
+                &format!(", {scale_matrix_rows}],\n      \"session_soak\""),
+            );
+        }
+        if !scale_soak_rows.is_empty() {
+            text = text.replace("]\n    }", &format!(", {scale_soak_rows}]\n    }}"));
+        }
+        text
+    }
+
+    /// An applicable probing matrix row at 1,000 switches with a clean
+    /// verdict — what the scale gate demands on each driver.
+    fn scale_row(driver: &str) -> String {
+        with_applicable(GOOD_ROW, true)
+            .replace(
+                "\"driver\": \"simnet\"",
+                &format!("\"driver\": \"{driver}\""),
+            )
+            .replace("barrier-only", "rum-general")
+            .replace("\"false_acks\": 8", "\"false_acks\": 0")
+            .replace("\"false_ack_rate\": 1.0", "\"false_ack_rate\": 0.0")
+            .replace("\"planned\":", "\"switches\": 1000, \"planned\":")
+    }
+
+    /// A clean TCP soak row at 1,000 switches.
+    fn scale_soak_row() -> String {
+        soak_tcp_row().replace("\"sessions\":", "\"switches\": 1000, \"sessions\":")
+    }
+
+    fn full_schema8() -> String {
+        schema8(
+            &format!("{}, {}", scale_row("simnet"), scale_row("tcp")),
+            &scale_soak_row(),
+        )
+    }
+
+    #[test]
+    fn schema_8_with_scale_and_wire_rows_accepted() {
+        // No floors: the shape alone validates.
+        assert_eq!(
+            validate(&doc(&full_schema8()), None, 3.0, 1, None, 0),
+            Ok((1, 3, 7, 3))
+        );
+        // With every scale gate armed: wire speedup floor, 1,000-switch
+        // matrix + soak floors.
+        assert_eq!(
+            validate(&doc(&full_schema8()), None, 3.0, 1, Some(5.0), 1000),
+            Ok((1, 3, 7, 3))
+        );
+    }
+
+    #[test]
+    fn schema_8_rows_must_carry_switches() {
+        // A matrix row that lost its fleet size.
+        let missing = full_schema8().replacen("\"switches\": 3, \"planned\":", "\"planned\":", 1);
+        let err = validate(&doc(&missing), None, 3.0, 1, None, 0).unwrap_err();
+        assert!(err.contains("switches"), "{err}");
+        // A soak row that lost its fleet size.
+        let missing = full_schema8().replacen("\"switches\": 3, \"sessions\":", "\"sessions\":", 1);
+        let err = validate(&doc(&missing), None, 3.0, 1, None, 0).unwrap_err();
+        assert!(err.contains("switches"), "{err}");
+    }
+
+    #[test]
+    fn switches_fields_require_schema_8() {
+        // Drop the wire row too, so the first schema-8 artefact the
+        // validator trips over is the smuggled switches field itself.
+        let smuggled = full_schema8()
+            .replace("\"schema\": 8", "\"schema\": 7")
+            .replace(&format!(", {WIRE_ROW}"), "");
+        let err = validate(&doc(&smuggled), None, 3.0, 1, None, 0).unwrap_err();
+        assert!(err.contains("\"switches\" requires schema 8"), "{err}");
+    }
+
+    #[test]
+    fn schema_8_requires_a_wire_row() {
+        let missing = full_schema8().replace("wire_e2e/flow_mods_64sw", "codec/encode_64");
+        let err = validate(&doc(&missing), None, 3.0, 1, None, 0).unwrap_err();
+        assert!(err.contains("wire_e2e"), "{err}");
+        // And wire rows cannot be smuggled into older schemas.
+        let old = schema7(&format!("{}, {}", resync_row("simnet"), resync_row("tcp"))).replace(
+            "\"overhead_pct\": 1.2}",
+            &format!("\"overhead_pct\": 1.2}}, {WIRE_ROW}"),
+        );
+        let err = validate(&doc(&old), None, 3.0, 1, None, 0).unwrap_err();
+        assert!(err.contains("require schema 8"), "{err}");
+    }
+
+    #[test]
+    fn wire_speedup_below_the_floor_is_rejected() {
+        let err = validate(&doc(&full_schema8()), None, 3.0, 1, Some(10.0), 0).unwrap_err();
+        assert!(err.contains("below the required 10"), "{err}");
+        // A floor against a pre-wire schema is unprovable, not vacuously
+        // satisfied.
+        let old = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
+        let err = validate(&doc(&schema7(&old)), None, 3.0, 1, Some(5.0), 0).unwrap_err();
+        assert!(err.contains("needs schema 8"), "{err}");
+    }
+
+    #[test]
+    fn matrix_switch_floor_demands_both_drivers_at_scale() {
+        // Only the simnet scale row present: the tcp gate trips.
+        let partial = schema8(&scale_row("simnet"), &scale_soak_row());
+        let err = validate(&doc(&partial), None, 3.0, 1, None, 1000).unwrap_err();
+        assert!(err.contains("switches >= 1000"), "{err}");
+        assert!(err.contains("tcp"), "{err}");
+        // A scale row with a false ack does not count as coverage.
+        let lying = full_schema8().replacen(
+            "\"switches\": 1000, \"planned\": 8, \"confirmed\": 8, \"false_acks\": 0",
+            "\"switches\": 1000, \"planned\": 8, \"confirmed\": 8, \"false_acks\": 1",
+            1,
+        );
+        let err = validate(&doc(&lying), None, 3.0, 1, None, 1000).unwrap_err();
+        assert!(err.contains("switches >= 1000"), "{err}");
+        // A floor against a pre-scale schema is unprovable.
+        let old = format!("{}, {}", resync_row("simnet"), resync_row("tcp"));
+        let err = validate(&doc(&schema7(&old)), None, 3.0, 1, None, 1000).unwrap_err();
+        assert!(err.contains("needs schema 8"), "{err}");
+    }
+
+    #[test]
+    fn soak_switch_floor_demands_a_tcp_fleet_run() {
+        // Scale matrix rows present but the soak stayed at 3 switches.
+        let no_scale_soak = schema8(
+            &format!("{}, {}", scale_row("simnet"), scale_row("tcp")),
+            "",
+        );
+        let err = validate(&doc(&no_scale_soak), None, 3.0, 1, None, 1000).unwrap_err();
+        assert!(err.contains("no tcp session_soak row"), "{err}");
     }
 }

@@ -21,9 +21,11 @@
 pub mod experiments;
 pub mod observer;
 pub mod report;
+pub mod scale;
 pub mod scenario_matrix;
 pub mod session_soak;
 pub mod throughput;
+pub mod wire;
 
 pub use experiments::{
     ActivationSample, EndToEndResult, EndToEndTechnique, PktIoResult, UpdateRateResult,
@@ -31,3 +33,4 @@ pub use experiments::{
 pub use report::{ExperimentRecord, SessionSoakRecord, ThroughputRecord};
 pub use scenario_matrix::{MatrixCell, MatrixTechnique};
 pub use session_soak::{SoakConfig, SoakOutcome};
+pub use wire::WireConfig;

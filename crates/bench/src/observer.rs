@@ -18,6 +18,9 @@
 //!   mods, re-requests, the convergence verdict and time-to-convergence
 //!   quantiles, shown only when a reconciler is attached;
 //! * `proxy.*` — transport counters of the TCP proxy, one line;
+//! * `proxy.shard{k}.*` — one row per engine shard of the sharded proxy
+//!   (drain batches, messages emitted, live outbox depth), shown only when
+//!   the event-loop proxy is attached;
 //! * `matrix.*` — scenario-matrix verdict counters, one line per cell,
 //!   shown only when present (live sweeps).
 
@@ -194,6 +197,8 @@ pub fn render(snapshot: &Snapshot) -> String {
         );
     }
 
+    render_shards(snapshot, &mut out);
+
     let matrix: Vec<(&String, &u64)> = snapshot
         .counters
         .iter()
@@ -206,6 +211,55 @@ pub fn render(snapshot: &Snapshot) -> String {
         }
     }
     out
+}
+
+/// Splits a `proxy.shard{k}.{field}` metric name into its shard index and
+/// field; `None` for names outside the per-shard namespace (including the
+/// per-slot `proxy.sw{i}.*` depth gauges).
+fn shard_field(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("proxy.shard")?;
+    let dot = rest.find('.')?;
+    let index: usize = rest[..dot].parse().ok()?;
+    Some((index, &rest[dot + 1..]))
+}
+
+/// The sharded-proxy section: one row per engine shard with its drain
+/// batches, messages emitted and live outbox depth.  Silent when the
+/// legacy thread-per-connection proxy (no shard metrics) is attached.
+fn render_shards(snapshot: &Snapshot, out: &mut String) {
+    #[derive(Default)]
+    struct ShardRow {
+        drains: u64,
+        msgs: u64,
+        outbox_depth: i64,
+    }
+    let mut shards: BTreeMap<usize, ShardRow> = BTreeMap::new();
+    for (name, &value) in &snapshot.counters {
+        match shard_field(name) {
+            Some((index, "drains")) => shards.entry(index).or_default().drains = value,
+            Some((index, "msgs")) => shards.entry(index).or_default().msgs = value,
+            _ => {}
+        }
+    }
+    for (name, &value) in &snapshot.gauges {
+        if let Some((index, "outbox_depth")) = shard_field(name) {
+            shards.entry(index).or_default().outbox_depth = value;
+        }
+    }
+    if shards.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "shards ({}):", shards.len());
+    for (index, row) in &shards {
+        let _ = writeln!(
+            out,
+            "  {:<8} drains {:<8} msgs {:<10} outbox {}",
+            format!("shard{index}"),
+            row.drains,
+            row.msgs,
+            row.outbox_depth,
+        );
+    }
 }
 
 /// The declarative-reconciler section: one line with the readback loop's
@@ -464,6 +518,35 @@ mod tests {
     fn resync_section_is_silent_without_a_reconciler() {
         let text = render(&populated_registry().snapshot());
         assert!(!text.contains("resync:"), "{text}");
+    }
+
+    #[test]
+    fn shard_section_renders_one_row_per_shard() {
+        let registry = populated_registry();
+        registry.counter("proxy.shard0.drains").add(40);
+        registry.counter("proxy.shard0.msgs").add(120);
+        registry.counter("proxy.shard1.drains").add(38);
+        registry.gauge("proxy.shard1.outbox_depth").set(7);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("shards (2):"), "{text}");
+        assert!(text.contains("shard0"), "{text}");
+        assert!(text.contains("drains 40"), "{text}");
+        assert!(text.contains("outbox 7"), "{text}");
+    }
+
+    #[test]
+    fn shard_section_is_silent_for_the_legacy_proxy() {
+        let text = render(&populated_registry().snapshot());
+        assert!(!text.contains("shards ("), "{text}");
+    }
+
+    #[test]
+    fn shard_names_are_parsed_strictly() {
+        assert_eq!(shard_field("proxy.shard2.drains"), Some((2, "drains")));
+        assert_eq!(shard_field("proxy.shard2.msgs"), Some((2, "msgs")));
+        assert_eq!(shard_field("proxy.sw0.switch_outbox_depth"), None);
+        assert_eq!(shard_field("proxy.shard2"), None);
+        assert_eq!(shard_field("rum.shard2.drains"), None);
     }
 
     #[test]

@@ -165,6 +165,9 @@ pub struct MatrixRecord {
     pub fault: String,
     /// Technique label (e.g. `barrier-only`, `rum-general`).
     pub technique: String,
+    /// Monitored switches in the run's topology (schema 8): 3 for the
+    /// classic bulk chain, 64/1,000 for the sharded scale rows.
+    pub switches: u64,
     /// Rules in the plan.
     pub planned: u64,
     /// Rules confirmed by the horizon.
@@ -193,6 +196,7 @@ impl From<&MatrixCell> for MatrixRecord {
             driver: c.driver.to_string(),
             fault: c.fault.clone(),
             technique: c.technique.clone(),
+            switches: c.switches as u64,
             planned: c.planned as u64,
             confirmed: c.confirmed as u64,
             false_acks: c.false_acks as u64,
@@ -216,6 +220,9 @@ pub struct SessionSoakRecord {
     pub driver: String,
     /// Fault-model name of the device under test (e.g. `early_reply`).
     pub fault: String,
+    /// Monitored switches behind the proxy (schema 8): 3 for the classic
+    /// chain, 1,000 for the sharded scale soak.
+    pub switches: u64,
     /// Concurrently admitted tenant sessions.
     pub sessions: u64,
     /// Sessions that confirmed their whole plan inside the budget.
@@ -262,12 +269,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// Renders the records as the `BENCH_results.json` document, schema 7
+/// Renders the records as the `BENCH_results.json` document, schema 8
 /// (handwritten JSON — the build environment has no serde):
 ///
 /// ```json
 /// {
-///   "schema": 7,
+///   "schema": 8,
 ///   "results": [
 ///     {"experiment": "...", "median_completion_ms": f, "p95_completion_ms": f,
 ///      "confirms": n, "runs": n}
@@ -281,6 +288,7 @@ fn json_num(v: f64) -> String {
 ///   "scenario_matrix": [
 ///     {"experiment": "scenario_matrix/<driver>/<fault>/<technique>",
 ///      "driver": "...", "fault": "...", "technique": "...",
+///      "switches": n,                                     // schema 8
 ///      "planned": n, "confirmed": n, "false_acks": n, "missed_acks": n,
 ///      "false_ack_rate": f, "missed_ack_rate": f, "completion_ms": f|null,
 ///      "applicable": true|false,
@@ -290,7 +298,8 @@ fn json_num(v: f64) -> String {
 ///   ],
 ///   "session_soak": [
 ///     {"experiment": "session_soak/<driver>/<fault>",
-///      "driver": "...", "fault": "...", "sessions": n, "completed": n,
+///      "driver": "...", "fault": "...", "switches": n,    // schema 8
+///      "sessions": n, "completed": n,
 ///      "aborted": n, "planned_mods": n, "confirmed_mods": n,
 ///      "false_acks": n, "missed_acks": n, "stray_acks": n,
 ///      "p50_confirm_ms": f, "p99_confirm_ms": f, "p999_confirm_ms": f,
@@ -304,7 +313,7 @@ pub fn results_json(
     matrix: &[MatrixRecord],
     soak: &[SessionSoakRecord],
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": 7,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 8,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"median_completion_ms\": {}, \
@@ -351,7 +360,8 @@ pub fn results_json(
             None => "null".into(),
         };
         let mut row = format!(
-            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {},              \"applicable\": {}",
+            "    {{\"experiment\": \"scenario_matrix/{d}/{f}/{t}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"technique\": \"{t}\", \"switches\": {},              \"planned\": {},              \"confirmed\": {}, \"false_acks\": {}, \"missed_acks\": {},              \"false_ack_rate\": {}, \"missed_ack_rate\": {}, \"completion_ms\": {},              \"applicable\": {}",
+            r.switches,
             r.planned,
             r.confirmed,
             r.false_acks,
@@ -379,7 +389,8 @@ pub fn results_json(
     out.push_str("  ],\n  \"session_soak\": [\n");
     for (i, r) in soak.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"experiment\": \"session_soak/{d}/{f}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"sessions\": {}, \"completed\": {},              \"aborted\": {}, \"planned_mods\": {}, \"confirmed_mods\": {},              \"false_acks\": {}, \"missed_acks\": {}, \"stray_acks\": {},              \"p50_confirm_ms\": {}, \"p99_confirm_ms\": {},              \"p999_confirm_ms\": {}, \"wall_ms\": {}}}{}\n",
+            "    {{\"experiment\": \"session_soak/{d}/{f}\", \"driver\": \"{d}\",              \"fault\": \"{f}\", \"switches\": {}, \"sessions\": {}, \"completed\": {},              \"aborted\": {}, \"planned_mods\": {}, \"confirmed_mods\": {},              \"false_acks\": {}, \"missed_acks\": {}, \"stray_acks\": {},              \"p50_confirm_ms\": {}, \"p99_confirm_ms\": {},              \"p999_confirm_ms\": {}, \"wall_ms\": {}}}{}\n",
+            r.switches,
             r.sessions,
             r.completed,
             r.aborted,
@@ -544,6 +555,7 @@ mod tests {
                 driver: "simnet".into(),
                 fault: "early_reply".into(),
                 technique: "barrier-only".into(),
+                switches: 3,
                 planned: 10,
                 confirmed: 10,
                 false_acks: 9,
@@ -558,6 +570,7 @@ mod tests {
                 driver: "tcp".into(),
                 fault: "silent_drop".into(),
                 technique: "rum-general".into(),
+                switches: 1000,
                 planned: 10,
                 confirmed: 7,
                 false_acks: 0,
@@ -572,6 +585,7 @@ mod tests {
                 driver: "simnet".into(),
                 fault: "restart_resync".into(),
                 technique: "barrier-only".into(),
+                switches: 3,
                 planned: 10,
                 confirmed: 10,
                 false_acks: 4,
@@ -593,6 +607,7 @@ mod tests {
             SessionSoakRecord {
                 driver: "simnet".into(),
                 fault: "early_reply".into(),
+                switches: 3,
                 sessions: 200,
                 completed: 200,
                 aborted: 0,
@@ -609,6 +624,7 @@ mod tests {
             SessionSoakRecord {
                 driver: "tcp".into(),
                 fault: "early_reply".into(),
+                switches: 1000,
                 sessions: 200,
                 completed: 199,
                 aborted: 0,
@@ -624,7 +640,11 @@ mod tests {
             },
         ];
         let json = results_json(&records, &throughput, &matrix, &soak);
-        assert!(json.contains("\"schema\": 7"));
+        assert!(json.contains("\"schema\": 8"));
+        assert!(
+            json.contains("\"switches\": 1000"),
+            "schema 8 rows carry the fleet size"
+        );
         assert!(json.contains("\"median_completion_ms\": 2.000"));
         assert!(json.contains("\\\"x\\\""), "quotes must be escaped");
         assert!(json.contains("\"median_completion_ms\": null"));

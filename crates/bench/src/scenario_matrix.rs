@@ -331,6 +331,9 @@ pub struct MatrixCell {
     pub fault: String,
     /// Technique label.
     pub technique: String,
+    /// Monitored switches in the run's topology: 3 for the classic bulk
+    /// chain, larger for the sharded scale rows (`crate::scale`).
+    pub switches: usize,
     /// Rules in the plan.
     pub planned: usize,
     /// Rules the controller considered confirmed by the horizon.
@@ -362,6 +365,7 @@ impl MatrixCell {
             driver,
             fault: fault.name.to_string(),
             technique: technique.label(),
+            switches: 3,
             planned: 0,
             confirmed: 0,
             false_acks: 0,
@@ -424,6 +428,9 @@ fn classify(
         driver,
         fault: fault.name.to_string(),
         technique: technique.label(),
+        // The classic cells all run the 3-switch bulk chain; the sharded
+        // scale cells (`crate::scale`) overwrite this with the fleet size.
+        switches: 3,
         planned: planned.len(),
         confirmed: planned.len() - missed_acks,
         false_acks,

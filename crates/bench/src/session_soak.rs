@@ -102,20 +102,33 @@ pub fn early_reply_fault(base: &SwitchModel, seed: u64) -> FaultModel {
 /// forwarding towards the downstream helper — the same rule shape the bulk
 /// scenario uses, so the probing fabric carries the probes.
 pub fn tenant_plan(tenant: usize, mods: usize) -> UpdatePlan {
+    tenant_plan_for(tenant, mods, 0, bulk_ports::B_TO_C)
+}
+
+/// Like [`tenant_plan`] but targeting an arbitrary switch reference with an
+/// explicit output port — the shape the sharded scale soak uses, where
+/// tenant `t` lands on switch `t % n` of the ring and forwards to its
+/// successor.
+pub fn tenant_plan_for(
+    tenant: usize,
+    mods: usize,
+    target: controller::plan::SwitchRef,
+    out_port: u16,
+) -> UpdatePlan {
     assert!(mods < 255, "per-tenant rule space is one /24");
     let mut plan = UpdatePlan::new();
     for r in 0..mods {
         let id = r as u64 + 1;
         plan.add(
             id,
-            0,
+            target,
             FlowMod::add(
                 OfMatch::ipv4_pair(
                     Ipv4Addr::new(10, (tenant >> 8) as u8, (tenant & 0xff) as u8, r as u8 + 1),
                     Ipv4Addr::new(10, 200, 0, 1),
                 ),
                 FLOW_RULE_PRIORITY,
-                vec![Action::output(bulk_ports::B_TO_C)],
+                vec![Action::output(out_port)],
             )
             // The wire cookie becomes `namespace base + id`, unique across
             // the whole fleet — the key the ground-truth join uses.
@@ -131,7 +144,7 @@ pub fn tenant_plan(tenant: usize, mods: usize) -> UpdatePlan {
 /// determined by the session's dispatch rule — the property the
 /// cross-driver equality check rests on.  Concurrency comes from the tenant
 /// population, not from within a session.
-fn mux_config(cfg: &SoakConfig) -> MuxConfig {
+pub(crate) fn mux_config(cfg: &SoakConfig) -> MuxConfig {
     MuxConfig {
         ack_mode: AckMode::RumAcks,
         session_window: 1,
@@ -144,7 +157,7 @@ fn mux_config(cfg: &SoakConfig) -> MuxConfig {
 /// General probing sized for the soak: the proxy must be able to probe the
 /// whole released window concurrently, or overflow mods would fall back to
 /// the delay heuristic and weaken the zero-false-acks claim.
-fn probing(model: &SwitchModel, window: usize) -> TechniqueConfig {
+pub(crate) fn probing(model: &SwitchModel, window: usize) -> TechniqueConfig {
     let lag = model.worst_case_dataplane_lag();
     TechniqueConfig::GeneralProbing {
         probe_interval: Duration::from_millis(10),
@@ -154,17 +167,17 @@ fn probing(model: &SwitchModel, window: usize) -> TechniqueConfig {
 }
 
 /// One tenant's run artefacts, read back from the mux after the run.
-struct TenantResult {
-    order: Vec<u64>,
+pub(crate) struct TenantResult {
+    pub(crate) order: Vec<u64>,
     /// Per planned mod: (wire cookie, send time, confirm time).
-    mods: Vec<(u64, Option<Duration>, Option<Duration>)>,
-    completed: bool,
-    aborted: bool,
+    pub(crate) mods: Vec<(u64, Option<Duration>, Option<Duration>)>,
+    pub(crate) completed: bool,
+    pub(crate) aborted: bool,
 }
 
 /// Reads every tenant's confirmations, send times and outcome out of the
 /// mux (both drivers expose the same `SessionMux` surface).
-fn collect(mux: &SessionMux, sids: &[SessionId], mods: usize) -> Vec<TenantResult> {
+pub(crate) fn collect(mux: &SessionMux, sids: &[SessionId], mods: usize) -> Vec<TenantResult> {
     sids.iter()
         .map(|&sid| {
             let s = mux.session(sid).expect("admitted session exists");
@@ -194,22 +207,25 @@ fn collect(mux: &SessionMux, sids: &[SessionId], mods: usize) -> Vec<TenantResul
 /// *through* the registry (`soak.{driver}.{fault}.*` counters, read back as
 /// deltas), the same pattern the scenario matrix uses, so live telemetry
 /// and the report can never disagree.
-fn summarise(
+#[allow(clippy::too_many_arguments)] // private join of a run's artefacts
+pub(crate) fn summarise(
     driver: &'static str,
     fault: &str,
+    switches: u64,
     tenants: &[TenantResult],
-    truth: &GroundTruth,
+    truths: &[&GroundTruth],
     stray_acks: u64,
     wall_ms: f64,
     registry: &Registry,
 ) -> SessionSoakRecord {
+    assert_eq!(truths.len(), tenants.len(), "one ground truth per tenant");
     let false_ctr = registry.counter(&format!("soak.{driver}.{fault}.false_acks"));
     let missed_ctr = registry.counter(&format!("soak.{driver}.{fault}.missed_acks"));
     let (false_before, missed_before) = (false_ctr.get(), missed_ctr.get());
     let mut latencies_ms = Vec::new();
     let mut planned = 0u64;
     let mut confirmed = 0u64;
-    for t in tenants {
+    for (t, truth) in tenants.iter().zip(truths) {
         for &(wire, send, confirm) in &t.mods {
             planned += 1;
             match confirm {
@@ -229,6 +245,7 @@ fn summarise(
     SessionSoakRecord {
         driver: driver.to_string(),
         fault: fault.to_string(),
+        switches,
         sessions: tenants.len() as u64,
         completed: tenants.iter().filter(|t| t.completed).count() as u64,
         aborted: tenants.iter().filter(|t| t.aborted).count() as u64,
@@ -317,8 +334,9 @@ pub fn run_simnet_soak(
     let record = summarise(
         "simnet",
         fault.name,
+        3,
         &tenants,
-        &truth,
+        &vec![&truth; tenants.len()],
         ctrl.mux().stray_acks(),
         wall_ms,
         registry,
@@ -425,8 +443,9 @@ pub fn run_tcp_soak(cfg: &SoakConfig, fault: &FaultModel, registry: &Arc<Registr
     let record = summarise(
         "tcp",
         fault.name,
+        3,
         &tenants,
-        &report.truth,
+        &vec![&report.truth; tenants.len()],
         strays,
         wall_ms,
         registry,

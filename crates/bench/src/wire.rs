@@ -1,0 +1,373 @@
+//! End-to-end wire throughput: flow-mods per second through a real TCP
+//! proxy, switch replies included.
+//!
+//! The micro throughput rows (`crate::throughput`) measure the sans-IO
+//! engine alone; this module measures the **whole wire path** — controller
+//! socket in, engine, switch socket out, barrier replies back — and runs it
+//! twice with the identical barrier-baseline engine configuration:
+//!
+//! * **sharded**: the readiness-driven event-loop proxy
+//!   ([`rum_tcp::RumTcpProxy`]) with 8 engine shards, and
+//! * **legacy**: the pre-shard thread-per-connection proxy
+//!   ([`rum_tcp::LegacyRumTcpProxy`]) whose single engine serialises every
+//!   connection behind one lock.
+//!
+//! The legacy run becomes the row's `baseline_ops_per_sec`, so the
+//! persisted `wire_e2e/*` record carries the sharding speedup and
+//! `validate_results` can gate on it (schema 8).
+
+use crate::report::ThroughputRecord;
+use openflow::messages::FlowMod;
+use openflow::{Action, OfCodec, OfMatch, OfMessage};
+use rum::{RumBuilder, TechniqueConfig};
+use rum_tcp::{LegacyRumTcpProxy, ProxyConfig, RumTcpProxy};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine shards of the sharded flavour (matches `crate::scale`).
+const WIRE_SHARDS: usize = 8;
+
+/// Xid base of the blast barriers — clear of the proxy's internal xid
+/// ranges (probe catches live at `0xF000_0000`, proxy-origin barriers at
+/// `PROXY_XID_BASE`), so every barrier round-trips as controller-origin.
+const BLAST_BARRIER_XID: u32 = 0x4000_0000;
+
+/// Shape of one wire-throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// Attached switch connections (one blast thread per switch).
+    pub switches: usize,
+    /// Flow-mods blasted per switch.
+    pub mods_per_switch: usize,
+    /// A barrier request is interleaved every this many flow-mods (plus one
+    /// final barrier that ends the run).
+    pub barrier_every: usize,
+}
+
+impl WireConfig {
+    /// The committed-results shape: the headline 1,000-switch fleet.  At
+    /// this connection count the pre-shard baseline runs ~4,000 threads,
+    /// so the measured speedup is the honest thread-collapse win of the
+    /// reactor (it *grows* with fleet size: ~1x at 64 switches, ~1.4x
+    /// median-of-3 here on a single-core host; multi-core hosts add
+    /// parallel shard drains on top).
+    pub fn full() -> Self {
+        WireConfig {
+            switches: 1_000,
+            mods_per_switch: 500,
+            barrier_every: 50,
+        }
+    }
+
+    /// The CI smoke shape: small enough for a shared one-core runner.
+    pub fn smoke() -> Self {
+        WireConfig {
+            switches: 8,
+            mods_per_switch: 250,
+            barrier_every: 25,
+        }
+    }
+
+    /// Total flow-mods pushed through the proxy in one run.
+    pub fn ops(&self) -> u64 {
+        (self.switches * self.mods_per_switch) as u64
+    }
+}
+
+/// A minimal in-process switch: answers every barrier and echo instantly,
+/// swallows flow-mods, exits on EOF.  Mirrors the fake switch of the proxy
+/// unit tests, with a longer read timeout so a fully loaded blast cannot
+/// starve it out early.
+fn spawn_fake_switch(proxy_addr: SocketAddr) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(proxy_addr).expect("connect to proxy");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut codec = OfCodec::new();
+        let mut buf = [0u8; 64 * 1024];
+        let mut replies = Vec::new();
+        loop {
+            let n = match stream.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => n,
+            };
+            codec.feed(&buf[..n]);
+            replies.clear();
+            while let Ok(Some(msg)) = codec.next_message() {
+                let reply = match msg {
+                    OfMessage::BarrierRequest { xid } => Some(OfMessage::BarrierReply { xid }),
+                    OfMessage::EchoRequest { xid, data } => {
+                        Some(OfMessage::EchoReply { xid, data })
+                    }
+                    OfMessage::Hello { xid } => Some(OfMessage::Hello { xid }),
+                    _ => None,
+                };
+                if let Some(r) = reply {
+                    r.encode_into(&mut replies).expect("encodable reply");
+                }
+            }
+            if !replies.is_empty() && stream.write_all(&replies).is_err() {
+                return;
+            }
+        }
+    })
+}
+
+/// Pre-encodes one switch's blast: hello, `mods_per_switch` flow-mods in a
+/// per-switch `10.x.y.z` match space with a barrier every `barrier_every`
+/// mods, and the final barrier whose xid the blaster waits for.
+fn encode_blast(cfg: &WireConfig, sw: usize) -> (Vec<u8>, u32) {
+    let mut wire = Vec::with_capacity(cfg.mods_per_switch * 96);
+    OfMessage::Hello { xid: 1 }
+        .encode_into(&mut wire)
+        .expect("encodable hello");
+    let mut barrier_xid = BLAST_BARRIER_XID;
+    for k in 0..cfg.mods_per_switch {
+        OfMessage::FlowMod {
+            xid: 2 + k as u32,
+            body: FlowMod::add(
+                OfMatch::ipv4_pair(
+                    Ipv4Addr::new(10, (k >> 8) as u8, (k & 0xff) as u8, 1),
+                    Ipv4Addr::new(10, 200, 0, 1),
+                ),
+                100,
+                vec![Action::output(1)],
+            )
+            .with_cookie(((sw as u64) << 32) | (k as u64 + 1)),
+        }
+        .encode_into(&mut wire)
+        .expect("encodable flow-mod");
+        if (k + 1) % cfg.barrier_every == 0 {
+            barrier_xid += 1;
+            OfMessage::BarrierRequest { xid: barrier_xid }
+                .encode_into(&mut wire)
+                .expect("encodable barrier");
+        }
+    }
+    let final_xid = barrier_xid + 1;
+    OfMessage::BarrierRequest { xid: final_xid }
+        .encode_into(&mut wire)
+        .expect("encodable barrier");
+    (wire, final_xid)
+}
+
+/// Writes one switch's blast down its controller-side connection and reads
+/// until the final barrier reply comes back.
+fn blast_one(mut stream: TcpStream, wire: Vec<u8>, final_xid: u32) {
+    stream.write_all(&wire).expect("blast writes");
+    let mut codec = OfCodec::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => panic!("proxy closed before the final barrier reply"),
+            Err(e) => panic!("blast read failed: {e}"),
+            Ok(n) => n,
+        };
+        codec.feed(&buf[..n]);
+        while let Ok(Some(msg)) = codec.next_message() {
+            if matches!(msg, OfMessage::BarrierReply { xid } if xid == final_xid) {
+                return;
+            }
+        }
+    }
+}
+
+/// The flavour under measurement.
+enum Flavour {
+    Sharded,
+    Legacy,
+}
+
+/// One full wire run: start the flavour's proxy, attach `switches` fake
+/// switches (slot `i` paired with accepted controller connection `i`),
+/// then blast every connection concurrently and stop the clock when the
+/// last final barrier reply lands.  Returns elapsed milliseconds of the
+/// blast phase only — attach cost is setup, not throughput.
+fn run_flavour(cfg: &WireConfig, flavour: Flavour) -> f64 {
+    let controller_listener = TcpListener::bind("127.0.0.1:0").expect("controller bind");
+    let controller_addr = controller_listener.local_addr().unwrap();
+
+    let builder = RumBuilder::new(cfg.switches)
+        .shards(match flavour {
+            Flavour::Sharded => WIRE_SHARDS,
+            Flavour::Legacy => 1,
+        })
+        .technique(TechniqueConfig::BarrierBaseline)
+        .fine_grained_acks(false);
+    let proxy_config = ProxyConfig {
+        listen_addr: "127.0.0.1:0".parse().unwrap(),
+        controller_addr,
+    };
+    // Both flavours expose the same three calls we need; a tiny closure trio
+    // erases the concrete handle type.
+    let (proxy_addr, shutdown): (SocketAddr, Box<dyn FnOnce()>) = match flavour {
+        Flavour::Sharded => {
+            let h = RumTcpProxy::new(proxy_config, builder)
+                .start()
+                .expect("sharded proxy starts");
+            (h.local_addr, Box::new(move || h.shutdown()))
+        }
+        Flavour::Legacy => {
+            let h = LegacyRumTcpProxy::new(proxy_config, builder)
+                .start()
+                .expect("legacy proxy starts");
+            (h.local_addr, Box::new(move || h.shutdown()))
+        }
+    };
+
+    // Attach sequentially so controller connection `i` belongs to switch `i`.
+    let mut switches = Vec::with_capacity(cfg.switches);
+    let mut ctrl_streams = Vec::with_capacity(cfg.switches);
+    for _ in 0..cfg.switches {
+        switches.push(spawn_fake_switch(proxy_addr));
+        let (ctrl, _) = controller_listener.accept().expect("proxy dialled us");
+        ctrl.set_nodelay(true).ok();
+        ctrl.set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        ctrl_streams.push(ctrl);
+    }
+
+    let blasts: Vec<(Vec<u8>, u32)> = (0..cfg.switches).map(|sw| encode_blast(cfg, sw)).collect();
+    let started = Instant::now();
+    let blasters: Vec<JoinHandle<()>> = ctrl_streams
+        .into_iter()
+        .zip(blasts)
+        .map(|(stream, (wire, final_xid))| {
+            std::thread::spawn(move || blast_one(stream, wire, final_xid))
+        })
+        .collect();
+    for b in blasters {
+        b.join().expect("blast completes");
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    shutdown();
+    for s in switches {
+        let _ = s.join();
+    }
+    elapsed_ms
+}
+
+/// Interleaved repetitions per flavour: a single 1,000-connection blast on
+/// a shared box is scheduler roulette (observed spread of a single shot is
+/// several-fold in either direction), so each flavour is measured
+/// [`WIRE_RUNS`] times with the flavours alternating — drift in machine
+/// load lands on both sides of the ratio — and the medians are compared.
+const WIRE_RUNS: usize = 3;
+
+/// Runs the legacy baseline and the sharded flavour interleaved,
+/// `WIRE_RUNS` times each, and returns the schema-8 `wire_e2e/*` record:
+/// median sharded throughput with the median legacy run as
+/// `baseline_ops_per_sec`, so `speedup()` is the sharding win on this very
+/// machine.
+pub fn run_wire_throughput(cfg: &WireConfig) -> ThroughputRecord {
+    let ops = cfg.ops();
+    let mut legacy = Vec::with_capacity(WIRE_RUNS);
+    let mut sharded = Vec::with_capacity(WIRE_RUNS);
+    for _ in 0..WIRE_RUNS {
+        legacy.push(run_flavour(cfg, Flavour::Legacy));
+        sharded.push(run_flavour(cfg, Flavour::Sharded));
+    }
+    legacy.sort_by(f64::total_cmp);
+    let legacy_ms = legacy[legacy.len() / 2];
+    let legacy_ops_per_sec = ops as f64 / (legacy_ms / 1e3);
+    ThroughputRecord::from_runs(
+        format!("wire_e2e/flow_mods_{}sw", cfg.switches),
+        ops,
+        &sharded,
+    )
+    .with_baseline(legacy_ops_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The blast encoding carries exactly the planned flow-mods and ends on
+    /// the final barrier whose xid the blaster waits for.
+    #[test]
+    fn blast_encoding_round_trips() {
+        let cfg = WireConfig {
+            switches: 2,
+            mods_per_switch: 7,
+            barrier_every: 3,
+        };
+        let (wire, final_xid) = encode_blast(&cfg, 1);
+        // 7 mods / barrier every 3 → two interleaved barriers + the final.
+        assert_eq!(final_xid, BLAST_BARRIER_XID + 3);
+        let mut codec = OfCodec::new();
+        codec.feed(&wire);
+        let mut mods = 0;
+        let mut barriers = 0;
+        let mut last = None;
+        while let Ok(Some(msg)) = codec.next_message() {
+            match msg {
+                OfMessage::FlowMod { body, .. } => {
+                    assert_eq!(body.cookie >> 32, 1, "cookie carries the switch");
+                    mods += 1;
+                }
+                OfMessage::BarrierRequest { xid } => {
+                    barriers += 1;
+                    last = Some(xid);
+                }
+                OfMessage::Hello { .. } => {}
+                other => panic!("unexpected message in blast: {other:?}"),
+            }
+        }
+        assert_eq!(mods, 7);
+        assert_eq!(barriers, 3);
+        assert_eq!(last, Some(final_xid));
+    }
+
+    /// Manual knob for sizing the committed run: `WIRE_SW`/`WIRE_MODS`
+    /// environment variables pick the shape; run with `--ignored
+    /// --nocapture` in release to see the measured speedup.
+    #[test]
+    #[ignore]
+    fn wire_throughput_exploration() {
+        let cfg = WireConfig {
+            switches: std::env::var("WIRE_SW")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64),
+            mods_per_switch: std::env::var("WIRE_MODS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2_000),
+            barrier_every: 50,
+        };
+        let record = run_wire_throughput(&cfg);
+        println!(
+            "{} ops {} sharded {:.0}/s baseline {:.0}/s speedup {:.2}x",
+            record.experiment,
+            record.ops,
+            record.ops_per_sec,
+            record.baseline_ops_per_sec.unwrap_or(f64::NAN),
+            record.speedup().unwrap_or(f64::NAN)
+        );
+    }
+
+    /// Both flavours complete a small blast end-to-end and the record
+    /// carries a comparable baseline: this is the correctness gate — the
+    /// committed speedup floor is enforced by `validate_results` on the
+    /// full-size run, not here.
+    #[test]
+    fn wire_throughput_measures_both_flavours() {
+        let cfg = WireConfig {
+            switches: 4,
+            mods_per_switch: 60,
+            barrier_every: 20,
+        };
+        let record = run_wire_throughput(&cfg);
+        assert_eq!(record.experiment, "wire_e2e/flow_mods_4sw");
+        assert_eq!(record.ops, 240);
+        assert!(record.ops_per_sec.is_finite() && record.ops_per_sec > 0.0);
+        let base = record.baseline_ops_per_sec.expect("baseline attached");
+        assert!(base.is_finite() && base > 0.0);
+        assert!(record.speedup().is_some());
+    }
+}

@@ -424,7 +424,7 @@ impl UpdateSession {
         self.failure_policy = policy;
     }
 
-    /// Controls whether [`abort`](Self::events) sends inverse modifications
+    /// Controls whether an abort sends inverse modifications
     /// for the failed mod and its sent ancestors (the default).  Disable for
     /// repair sessions whose mods *are* the desired state: rolling back a
     /// repair re-creates the damage it fixed, while an over-applied repair is

@@ -12,7 +12,7 @@
 //! acknowledgment modes, the failure policy — lives in the session, which is
 //! the exact state machine the simulator's `controller::Controller` drives.
 
-use crate::proxy::{reader_loop, writer_loop, Route};
+use crate::legacy::{reader_loop, writer_loop, Route};
 use crate::timer::TimerQueue;
 use controller::{
     is_resync_token, ConnId, Reconciler, ResyncConfig, ResyncEffect, ResyncInput, SessionEffect,

@@ -12,7 +12,7 @@
 //! policy) happens synchronously in `submit`, so a rejected plan surfaces as
 //! a typed [`AdmitError`] to the submitting thread, not as a late failure.
 
-use crate::proxy::{reader_loop, writer_loop, Route};
+use crate::legacy::{reader_loop, writer_loop, Route};
 use crate::timer::TimerQueue;
 use controller::{ConnId, UpdatePlan};
 use sessiond::{AdmitError, MuxConfig, MuxEffect, MuxInput, MuxTimerToken, SessionId, SessionMux};

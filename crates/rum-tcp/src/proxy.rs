@@ -1,36 +1,48 @@
-//! The socket half of the TCP deployment: listener, per-connection reader
-//! and writer threads, and a timer thread — all funnelling into the shared
-//! sans-IO [`EngineRelay`].
+//! The socket half of the TCP deployment: a readiness-driven event loop
+//! over nonblocking sockets, feeding per-shard sans-IO engines.
 //!
-//! Wiring (per accepted switch, mirroring the paper's proxy chain):
+//! Wiring (mirroring the paper's proxy chain, scaled to 1,000 switches):
 //!
 //! ```text
-//! switch ──reader──▶ EngineRelay ──▶ outbox ──writer──▶ controller
-//! switch ◀──writer── (one shared   ◀── outbox ◀──reader── controller
-//!                     RumEngine)
-//!            timer thread ──▶ TimerFired inputs
+//!            ┌── worker 0: poll([waker, conns…]) ──▶ ShardRouter ─▶ shard k
+//! switches ──┤                                              │ (EngineRelay
+//!            └── worker W: poll([waker, conns…])            │  under its
+//!                    ▲                                      ▼  own mutex)
+//!                 wakers ◀── timer thread / other workers  outboxes
 //! ```
 //!
-//! Reader threads decode OpenFlow frames and feed the relay; every effect the
-//! engine returns is routed to the right connection's outbox.  Messages for a
-//! switch that has not connected yet (e.g. probe-catch rules emitted at
-//! start-up) are buffered and flushed on accept.
+//! Compared to the pre-shard proxy (kept as [`crate::LegacyRumTcpProxy`]),
+//! which spent four threads and one global engine mutex per accepted
+//! switch, this implementation:
 //!
-//! The send path is batched and allocation-light: all messages one engine
-//! drain produces for an endpoint are encoded back-to-back into that
-//! endpoint's reusable buffer and handed to the writer thread as a single
-//! byte chunk; the writer additionally coalesces queued chunks so each
-//! socket sees one `write` per drain burst, not one per message.  No
-//! `encode_to_vec` (per-message allocation) remains on this path.
+//! * splits the engine by [`SwitchId`] into shards (see
+//!   [`rum::ShardedEngine`]), each behind its *own* mutex, so concurrent
+//!   reader input for different switches never contends on one lock;
+//! * replaces every reader/writer thread pair with a handful of workers,
+//!   each running `poll(2)` over its connections' nonblocking sockets (see
+//!   `crate::reactor`) — 1,000 switches cost 2,000 registered fds, not
+//!   4,000 threads;
+//! * writes through per-connection outboxes with partial-write offset
+//!   resume: a stalled or slow switch leaves residue behind `POLLOUT`
+//!   interest and cannot head-of-line-block any other connection's drain;
+//! * bounds per-connection reads per wakeup, so one chatty switch cannot
+//!   starve the rest of a worker's poll set.
+//!
+//! Routing follows the [`rum::ShardRouter`]: controller traffic and timer
+//! fires go to the owning shard, probe `PacketIn`s broadcast to every shard
+//! (each consumes only what it owns), so per-switch confirmation order is
+//! byte-identical to the single-engine proxy for the same scenario.
 
+use crate::reactor::{poll_fds, PollFd, Waker};
 use crate::relay::{Endpoint, EngineRelay, RelayEffects};
 use crate::timer::TimerQueue;
 use openflow::{OfCodec, OfMessage};
-use rum::{ProxyStats, RumBuilder, SwitchId};
+use rum::{Input, ProxyStats, Routing, RumBuilder, ShardRouter, SwitchId, TimerToken};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,17 +63,17 @@ pub struct ProxyConfig {
 /// [`ProxyHandle::stats`].
 #[derive(Debug)]
 pub struct ProxyCounters {
-    connections: Arc<Counter>,
-    to_switch: Arc<Counter>,
-    to_controller: Arc<Counter>,
-    to_switch_bytes: Arc<Counter>,
-    to_controller_bytes: Arc<Counter>,
-    drains: Arc<Counter>,
-    timers_fired: Arc<Counter>,
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) to_switch: Arc<Counter>,
+    pub(crate) to_controller: Arc<Counter>,
+    pub(crate) to_switch_bytes: Arc<Counter>,
+    pub(crate) to_controller_bytes: Arc<Counter>,
+    pub(crate) drains: Arc<Counter>,
+    pub(crate) timers_fired: Arc<Counter>,
 }
 
 impl ProxyCounters {
-    fn new(registry: &Registry) -> Self {
+    pub(crate) fn new(registry: &Registry) -> Self {
         ProxyCounters {
             connections: registry.counter("proxy.connections"),
             to_switch: registry.counter("proxy.to_switch_msgs"),
@@ -98,7 +110,7 @@ impl ProxyCounters {
         self.to_controller_bytes.get()
     }
 
-    /// Engine drains executed (lock acquisitions that fed the relay).
+    /// Engine drains executed (shard-lock acquisitions that fed a relay).
     pub fn drains(&self) -> u64 {
         self.drains.get()
     }
@@ -109,146 +121,278 @@ impl ProxyCounters {
     }
 }
 
-/// Where encoded bytes for one endpoint go: buffered until the connection
-/// exists, then straight into its writer thread's queue as whole batches.
-pub(crate) enum Route {
-    /// No connection yet; encoded bytes queue up and flush on attach.
-    Pending(Vec<u8>),
-    /// A live connection's writer-thread inbox (one chunk per drain batch).
-    Connected(Sender<Vec<u8>>),
+/// Per-connection read budget per wakeup: a firehosing peer yields the
+/// worker back to its poll set after this many bytes (level-triggered
+/// readiness re-fires immediately, so nothing is lost — only interleaved).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// One shard's engine relay plus its reusable effect buffers, all behind
+/// one mutex.  Different shards' locks are independent — that is the point.
+struct ShardState {
+    relay: EngineRelay,
+    fx: RelayEffects,
+    /// Reusable per-endpoint encode buffers for one drain; indexed
+    /// `2 * switch + {0: switch-bound, 1: controller-bound}`.  Only the
+    /// entries a drain touches are visited (tracked in `dirty`).
+    encode_bufs: Vec<Vec<u8>>,
+    dirty: Vec<usize>,
+    /// Drains of this shard (`proxy.shard{k}.drains`).
+    drains: Arc<Counter>,
+    /// Messages this shard emitted (`proxy.shard{k}.msgs`).
+    msgs: Arc<Counter>,
 }
 
-impl Route {
-    /// Hands one encoded batch to the endpoint.  Returns `true` when the
-    /// chunk was enqueued on a live connection's outbox (so callers can
-    /// track queue depth), `false` when it was buffered or dropped.
-    pub(crate) fn send_bytes(&mut self, bytes: Vec<u8>) -> bool {
-        if bytes.is_empty() {
-            return false;
-        }
-        match self {
-            Route::Pending(q) => {
-                q.extend_from_slice(&bytes);
-                false
-            }
-            Route::Connected(tx) => {
-                // A closed channel means the connection died; the engine's
-                // timers will cope, exactly as with a lossy control channel.
-                tx.send(bytes).is_ok()
-            }
+/// The write half of one proxied connection endpoint: queued encoded
+/// chunks, the partial-write offset into the front chunk, and the stream
+/// to flush into (absent while the connection is down — bytes then queue
+/// exactly like the legacy proxy's pending buffer and flush on attach).
+struct EndpointState {
+    stream: Option<TcpStream>,
+    queue: VecDeque<Vec<u8>>,
+    /// How much of `queue.front()` has already been written.
+    offset: usize,
+    /// Chunks queued on a live connection but not yet fully written
+    /// (`proxy.sw{i}.*_outbox_depth`, mirroring the legacy gauges).
+    depth: Arc<Gauge>,
+    /// Aggregate of the owning shard (`proxy.shard{k}.outbox_depth`).
+    shard_depth: Arc<Gauge>,
+}
+
+impl EndpointState {
+    fn new(depth: Arc<Gauge>, shard_depth: Arc<Gauge>) -> Self {
+        EndpointState {
+            stream: None,
+            queue: VecDeque::new(),
+            offset: 0,
+            depth,
+            shard_depth,
         }
     }
 
-    /// Returns `true` when buffered pending bytes were flushed onto the
-    /// fresh connection as one chunk.
-    pub(crate) fn connect(&mut self, tx: Sender<Vec<u8>>) -> bool {
-        if let Route::Pending(q) = std::mem::replace(self, Route::Connected(tx.clone())) {
-            if !q.is_empty() {
-                return tx.send(q).is_ok();
+    fn push_chunk(&mut self, chunk: Vec<u8>) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.queue.push_back(chunk);
+        if self.stream.is_some() {
+            self.depth.inc();
+            self.shard_depth.inc();
+        }
+    }
+
+    /// Marks queued-while-down chunks as live outbox depth on attach.
+    fn on_attach(&mut self, stream: TcpStream) {
+        self.stream = Some(stream);
+        let n = self.queue.len() as i64;
+        self.depth.add(n);
+        self.shard_depth.add(n);
+    }
+
+    /// Drops the stream and every queued chunk (the engine re-issues
+    /// unconfirmed modifications on reconnect, as with the legacy proxy).
+    fn on_detach(&mut self) {
+        if let Some(s) = self.stream.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let n = self.queue.len() as i64;
+        self.depth.add(-n);
+        self.shard_depth.add(-n);
+        self.queue.clear();
+        self.offset = 0;
+    }
+
+    /// True when residue needs `POLLOUT` interest.
+    fn wants_write(&self) -> bool {
+        self.stream.is_some() && !self.queue.is_empty()
+    }
+
+    /// Writes as much queued data as the socket accepts right now,
+    /// resuming mid-chunk at the recorded offset.  Returns `true` when
+    /// unflushed residue remains (register write interest).  A dead socket
+    /// is shut down so the read path observes it and detaches.
+    fn try_flush(&mut self) -> bool {
+        let Some(stream) = self.stream.as_mut() else {
+            return false;
+        };
+        while let Some(front) = self.queue.front() {
+            match stream.write(&front[self.offset..]) {
+                Ok(0) => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return false;
+                }
+                Ok(n) => {
+                    self.offset += n;
+                    if self.offset == front.len() {
+                        self.queue.pop_front();
+                        self.offset = 0;
+                        self.depth.add(-1);
+                        self.shard_depth.add(-1);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer went away mid-write: surface it to the poll loop
+                    // (read side reports the hangup) and let detach clean up.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return false;
+                }
             }
         }
         false
     }
 }
 
-struct SwitchRoutes {
-    to_switch: Route,
-    to_controller: Route,
-    /// Reusable encode buffers: one drain's messages for each endpoint are
-    /// laid out back-to-back and shipped as a single chunk.
-    switch_buf: Vec<u8>,
-    controller_buf: Vec<u8>,
-    /// Chunks queued on each writer's outbox but not yet written.
-    switch_outbox_depth: Arc<Gauge>,
-    controller_outbox_depth: Arc<Gauge>,
+/// One switch slot's connection state: both write halves plus the attach
+/// bookkeeping, behind a per-slot mutex (never held across a shard lock
+/// acquisition; shard → slot is the global lock order).
+struct SlotState {
+    attached: bool,
+    /// Per-slot attach generation; a worker detaching with a stale
+    /// generation (its connection lingered past a reconnect) is a no-op.
+    generation: u64,
+    to_switch: EndpointState,
+    to_controller: EndpointState,
 }
 
-impl SwitchRoutes {
-    fn new(registry: &Registry, index: usize) -> Self {
-        SwitchRoutes {
-            to_switch: Route::Pending(Vec::new()),
-            to_controller: Route::Pending(Vec::new()),
-            switch_buf: Vec::new(),
-            controller_buf: Vec::new(),
-            switch_outbox_depth: registry.gauge(&format!("proxy.sw{index}.switch_outbox_depth")),
-            controller_outbox_depth: registry
-                .gauge(&format!("proxy.sw{index}.controller_outbox_depth")),
-        }
-    }
+struct Slot {
+    state: Mutex<SlotState>,
 }
 
-struct RelayState {
-    relay: EngineRelay,
-    routes: Vec<SwitchRoutes>,
-    /// Which switch slots currently have a live connection pair.
-    attached: Vec<bool>,
-    /// Per-slot attach generation.  Each of a connection pair's four
-    /// threads detaches with the generation it was attached under, so a
-    /// thread outliving its connection (e.g. a writer waking up after the
-    /// switch already reconnected) cannot tear down the slot's *new*
-    /// connection.
-    generation: Vec<u64>,
-    /// Reusable effects buffer for [`Inner::apply`] drains.
-    fx: RelayEffects,
+/// A freshly accepted connection pair in transit to its worker.
+struct NewConn {
+    slot: usize,
+    generation: u64,
+    switch_stream: TcpStream,
+    controller_stream: TcpStream,
+}
+
+/// A worker's cross-thread surface: its waker and adoption inbox.
+struct WorkerShared {
+    waker: Waker,
+    inbox: Mutex<Vec<NewConn>>,
 }
 
 struct Inner {
-    state: Mutex<RelayState>,
+    shards: Vec<Mutex<ShardState>>,
+    router: ShardRouter,
+    n_switches: usize,
+    slots: Vec<Slot>,
+    workers: Vec<WorkerShared>,
     timers: TimerQueue,
     counters: ProxyCounters,
-    /// Telemetry registry shared with the engine: `rum.sw*.*` (engine) and
-    /// `proxy.*` (transport) metrics all land here.
+    /// Telemetry registry shared with the engine shards: `rum.sw*.*`
+    /// (engine), `proxy.*` (transport) and `proxy.shard*.*` (per-shard)
+    /// metrics all land here.
     registry: Arc<Registry>,
     stop: AtomicBool,
 }
 
 impl Inner {
-    /// Feeds the relay under the lock and executes the resulting effects:
-    /// every message of the drain is encoded into its endpoint's batch
-    /// buffer, and each non-empty batch is handed to its writer as one
-    /// chunk → one socket write.
-    fn apply(self: &Arc<Self>, f: impl FnOnce(&mut EngineRelay, &mut RelayEffects)) {
-        let mut timers: Vec<(Duration, rum::TimerToken)> = Vec::new();
-        self.counters.drains.inc();
+    fn worker_of(&self, slot: usize) -> usize {
+        slot % self.workers.len()
+    }
+
+    /// Routes a batch of inputs (one socket read's worth) shard by shard:
+    /// consecutive same-shard inputs are drained under a single shard-lock
+    /// acquisition and their output coalesces into one chunk per endpoint.
+    fn dispatch_batch(self: &Arc<Self>, inputs: &mut Vec<Input>) {
+        let mut run: Vec<Input> = Vec::new();
+        let mut run_shard: Option<usize> = None;
+        for input in inputs.drain(..) {
+            match self.router.route(&input) {
+                Routing::Shard(k) => {
+                    if run_shard != Some(k) {
+                        if let Some(prev) = run_shard.take() {
+                            self.feed_shard(prev, &mut run);
+                        }
+                        run_shard = Some(k);
+                    }
+                    run.push(input);
+                }
+                Routing::Broadcast => {
+                    if let Some(prev) = run_shard.take() {
+                        self.feed_shard(prev, &mut run);
+                    }
+                    let last = self.shards.len() - 1;
+                    for k in 0..last {
+                        run.push(input.clone());
+                        self.feed_shard(k, &mut run);
+                    }
+                    run.push(input);
+                    self.feed_shard(last, &mut run);
+                }
+            }
+        }
+        if let Some(k) = run_shard {
+            self.feed_shard(k, &mut run);
+        }
+    }
+
+    /// Convenience for single pre-routed inputs (timers, reconnects).
+    fn dispatch(self: &Arc<Self>, input: Input) {
+        let mut one = vec![input];
+        self.dispatch_batch(&mut one);
+    }
+
+    /// Drains `inputs` into shard `k` under its lock, encodes every
+    /// resulting message into its endpoint's chunk and pushes the chunks
+    /// onto the destination slots' outboxes — still under the shard lock,
+    /// so two batches fed to one shard can never interleave their bytes on
+    /// a socket out of engine order.  Timer arming and the nonblocking
+    /// flush of touched endpoints happen after the lock drops.
+    fn feed_shard(self: &Arc<Self>, k: usize, inputs: &mut Vec<Input>) {
+        let mut timers: Vec<(Duration, TimerToken)> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.shards[k].lock().unwrap();
             let st = &mut *st;
+            st.drains.inc();
+            self.counters.drains.inc();
             st.fx.clear();
-            f(&mut st.relay, &mut st.fx);
+            for input in inputs.drain(..) {
+                st.relay.handle_into(input, &mut st.fx);
+            }
             for (endpoint, message) in st.fx.messages.drain(..) {
-                let (counter, bytes_counter, buf) = match endpoint {
+                let (buf_idx, counter, bytes_counter) = match endpoint {
                     Endpoint::Switch(sw) => (
+                        2 * sw.index(),
                         &self.counters.to_switch,
                         &self.counters.to_switch_bytes,
-                        &mut st.routes[sw.index()].switch_buf,
                     ),
                     Endpoint::Controller(sw) => (
+                        2 * sw.index() + 1,
                         &self.counters.to_controller,
                         &self.counters.to_controller_bytes,
-                        &mut st.routes[sw.index()].controller_buf,
                     ),
                 };
+                let buf = &mut st.encode_bufs[buf_idx];
+                if buf.is_empty() {
+                    st.dirty.push(buf_idx);
+                }
                 let len_before = buf.len();
                 if message.encode_into(buf).is_ok() {
                     counter.inc();
+                    st.msgs.inc();
                     bytes_counter.add((buf.len() - len_before) as u64);
                 } else {
                     buf.truncate(len_before);
                 }
             }
-            for routes in st.routes.iter_mut() {
-                if !routes.switch_buf.is_empty() {
-                    let chunk = std::mem::take(&mut routes.switch_buf);
-                    if routes.to_switch.send_bytes(chunk) {
-                        routes.switch_outbox_depth.inc();
-                    }
+            for buf_idx in st.dirty.drain(..) {
+                let chunk = std::mem::take(&mut st.encode_bufs[buf_idx]);
+                if chunk.is_empty() {
+                    continue;
                 }
-                if !routes.controller_buf.is_empty() {
-                    let chunk = std::mem::take(&mut routes.controller_buf);
-                    if routes.to_controller.send_bytes(chunk) {
-                        routes.controller_outbox_depth.inc();
-                    }
-                }
+                let slot_idx = buf_idx / 2;
+                let mut slot = self.slots[slot_idx].state.lock().unwrap();
+                let ep = if buf_idx % 2 == 0 {
+                    &mut slot.to_switch
+                } else {
+                    &mut slot.to_controller
+                };
+                ep.push_chunk(chunk);
+                touched.push(slot_idx);
             }
             timers.append(&mut st.fx.timers);
         }
@@ -258,12 +402,46 @@ impl Inner {
                 self.timers.arm(now + delay, token.raw());
             }
         }
+        touched.sort_unstable();
+        touched.dedup();
+        for slot_idx in touched {
+            self.flush_slot(slot_idx);
+        }
+    }
+
+    /// Nonblocking flush of both endpoints of one slot; residue leaves the
+    /// bytes queued and wakes the owning worker so it registers `POLLOUT`.
+    fn flush_slot(&self, slot_idx: usize) {
+        let residue = {
+            let mut slot = self.slots[slot_idx].state.lock().unwrap();
+            let a = slot.to_switch.try_flush();
+            let b = slot.to_controller.try_flush();
+            a || b
+        };
+        if residue {
+            self.workers[self.worker_of(slot_idx)].waker.wake();
+        }
+    }
+
+    /// Frees a slot after its connection died.  Generation-guarded and
+    /// idempotent: a stale worker entry (from before a reconnect) cannot
+    /// tear down the slot's newer connection.
+    fn detach(&self, slot_idx: usize, generation: u64) {
+        let mut slot = self.slots[slot_idx].state.lock().unwrap();
+        if !slot.attached || slot.generation != generation {
+            return;
+        }
+        slot.attached = false;
+        slot.to_switch.on_detach();
+        slot.to_controller.on_detach();
     }
 
     fn timer_loop(self: Arc<Self>) {
         self.timers.run(&self.stop, |token| {
             self.counters.timers_fired.inc();
-            self.apply(|r, fx| r.on_timer_into(rum::TimerToken::from_raw(token), fx));
+            self.dispatch(Input::TimerFired {
+                token: TimerToken::from_raw(token),
+            });
         });
     }
 }
@@ -276,6 +454,7 @@ pub struct ProxyHandle {
     inner: Arc<Inner>,
     accept_thread: Option<JoinHandle<()>>,
     timer_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
 }
 
 impl ProxyHandle {
@@ -284,11 +463,12 @@ impl ProxyHandle {
         &self.inner.counters
     }
 
-    /// Engine statistics for one monitored switch — the same unified
-    /// [`ProxyStats`] surface the simulator deployment reports.
+    /// Engine statistics for one monitored switch, read from its owner
+    /// shard — the same unified [`ProxyStats`] surface the simulator
+    /// deployment reports.
     pub fn stats(&self, switch: SwitchId) -> ProxyStats {
-        self.inner
-            .state
+        let owner = self.inner.router.shard_of(switch);
+        self.inner.shards[owner]
             .lock()
             .unwrap()
             .relay
@@ -298,33 +478,58 @@ impl ProxyHandle {
 
     /// Number of switch slots the proxy was built for.
     pub fn n_switches(&self) -> usize {
-        self.inner.state.lock().unwrap().relay.engine().n_switches()
+        self.inner.n_switches
     }
 
-    /// Aggregated engine statistics across every switch — the same totals
-    /// the simulator deployment reports.
+    /// Number of engine shards serving those slots.
+    pub fn n_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Aggregated engine statistics across every switch, each read from
+    /// its owner shard.
     pub fn total_stats(&self) -> ProxyStats {
-        self.inner
-            .state
+        let mut total = ProxyStats::default();
+        for i in 0..self.inner.n_switches {
+            total += self.stats(SwitchId::new(i));
+        }
+        total
+    }
+
+    /// Per-switch confirmation cookie order recorded by the owner shard
+    /// (empty unless [`rum::RumBuilder::record_confirmations`] is on) —
+    /// the sequence the cross-driver conformance tests compare.
+    pub fn confirmed_order_for(&self, switch: SwitchId) -> Vec<u64> {
+        let owner = self.inner.router.shard_of(switch);
+        self.inner.shards[owner]
             .lock()
             .unwrap()
             .relay
             .engine()
-            .total_stats()
+            .confirmations()
+            .iter()
+            .filter(|r| r.switch == switch)
+            .map(|r| r.cookie)
+            .collect()
     }
 
     /// The telemetry registry backing this proxy: engine metrics
-    /// (`rum.sw*.*`) and transport metrics (`proxy.*`) in one place —
-    /// hand it to [`telemetry::serve`] to expose live snapshots.
+    /// (`rum.sw*.*`), transport metrics (`proxy.*`) and per-shard metrics
+    /// (`proxy.shard*.*`) in one place — hand it to [`telemetry::serve`]
+    /// to expose live snapshots.
     pub fn metrics(&self) -> Arc<Registry> {
         self.inner.registry.clone()
     }
 
-    /// Asks the accept and timer loops to stop and waits for them.
-    /// Established relay threads terminate when their sockets close.
+    /// Asks the accept, timer and worker loops to stop and waits for them.
+    /// Workers shut their connections down on exit, so attached peers see
+    /// EOF promptly.
     pub fn shutdown(mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.timers.wake();
+        for w in &self.inner.workers {
+            w.waker.wake();
+        }
         // Unblock the accept loop with a throw-away connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
@@ -333,16 +538,22 @@ impl ProxyHandle {
         if let Some(t) = self.timer_thread.take() {
             let _ = t.join();
         }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
 /// The RUM TCP proxy: accepts switch connections, connects onward to the
-/// real controller impersonating each switch, and drives every byte through
-/// the shared sans-IO [`rum::RumEngine`].
+/// real controller impersonating each switch, and drives every byte
+/// through the sharded sans-IO [`rum::ShardedEngine`] from a readiness
+/// event loop.
 ///
 /// Accepted connections are assigned [`SwitchId`]s in accept order; the
-/// engine must be built for the number of switches expected to connect, and
-/// surplus connections are refused.
+/// engine must be built for the number of switches expected to connect,
+/// and surplus connections are refused.  Shard count comes from
+/// [`rum::RumBuilder::shards`] (default 1 — single-engine behaviour,
+/// byte-identical to the legacy proxy's confirmation order).
 pub struct RumTcpProxy {
     config: ProxyConfig,
     builder: RumBuilder,
@@ -354,39 +565,138 @@ impl RumTcpProxy {
         RumTcpProxy { config, builder }
     }
 
-    /// Binds the listener, starts the engine and begins accepting
+    /// Binds the listener, starts the engine shards and begins accepting
     /// connections on background threads.
     pub fn start(self) -> std::io::Result<ProxyHandle> {
         let listener = TcpListener::bind(self.config.listen_addr)?;
         let local_addr = listener.local_addr()?;
-        let engine = self.builder.build();
-        let registry = engine.metrics().clone();
-        let n_switches = engine.n_switches();
-        let routes = (0..n_switches)
-            .map(|i| SwitchRoutes::new(&registry, i))
+        let sharded = self.builder.build_sharded();
+        let registry = sharded.metrics().clone();
+        let n_switches = sharded.n_switches();
+        let (engines, router) = sharded.into_parts();
+        let n_shards = engines.len();
+
+        // All shard relays share one epoch: one wall clock, many engines.
+        let epoch = Instant::now();
+        let shards: Vec<Mutex<ShardState>> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(k, engine)| {
+                Mutex::new(ShardState {
+                    relay: EngineRelay::with_epoch(engine, epoch),
+                    fx: RelayEffects::default(),
+                    encode_bufs: vec![Vec::new(); 2 * n_switches],
+                    dirty: Vec::new(),
+                    drains: registry.counter(&format!("proxy.shard{k}.drains")),
+                    msgs: registry.counter(&format!("proxy.shard{k}.msgs")),
+                })
+            })
             .collect();
+
+        let slots: Vec<Slot> = (0..n_switches)
+            .map(|i| {
+                let shard_depth =
+                    registry.gauge(&format!("proxy.shard{}.outbox_depth", i % n_shards));
+                Slot {
+                    state: Mutex::new(SlotState {
+                        attached: false,
+                        generation: 0,
+                        to_switch: EndpointState::new(
+                            registry.gauge(&format!("proxy.sw{i}.switch_outbox_depth")),
+                            shard_depth.clone(),
+                        ),
+                        to_controller: EndpointState::new(
+                            registry.gauge(&format!("proxy.sw{i}.controller_outbox_depth")),
+                            shard_depth,
+                        ),
+                    }),
+                }
+            })
+            .collect();
+
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        let workers: Vec<WorkerShared> = (0..n_workers)
+            .map(|_| {
+                Ok(WorkerShared {
+                    waker: Waker::new()?,
+                    inbox: Mutex::new(Vec::new()),
+                })
+            })
+            .collect::<std::io::Result<_>>()?;
+
         let inner = Arc::new(Inner {
-            state: Mutex::new(RelayState {
-                relay: EngineRelay::new(engine),
-                routes,
-                attached: vec![false; n_switches],
-                generation: vec![0; n_switches],
-                fx: RelayEffects::default(),
-            }),
+            shards,
+            router,
+            n_switches,
+            slots,
+            workers,
             timers: TimerQueue::new(),
             counters: ProxyCounters::new(&registry),
             registry,
             stop: AtomicBool::new(false),
         });
 
-        // Start-up effects (probe-catch rules, initial technique timers) are
-        // buffered per switch and flushed when that switch connects.
-        inner.apply(|r, fx| r.start_into(fx));
+        // Start-up effects (probe-catch rules, initial technique timers)
+        // queue per endpoint and flush when that switch connects.  Feed
+        // every shard its start through the relay.
+        {
+            let mut timers: Vec<(Duration, TimerToken)> = Vec::new();
+            for k in 0..inner.shards.len() {
+                let msgs: Vec<(Endpoint, OfMessage)> = {
+                    let mut guard = inner.shards[k].lock().unwrap();
+                    let st = &mut *guard;
+                    st.fx.clear();
+                    st.relay.start_into(&mut st.fx);
+                    timers.append(&mut st.fx.timers);
+                    st.fx.messages.drain(..).collect()
+                };
+                // Encode outside the drain path helper: start-up is once,
+                // clarity beats reuse here.
+                for (endpoint, message) in msgs {
+                    let (slot_idx, is_switch) = match endpoint {
+                        Endpoint::Switch(sw) => (sw.index(), true),
+                        Endpoint::Controller(sw) => (sw.index(), false),
+                    };
+                    let mut chunk = Vec::new();
+                    if message.encode_into(&mut chunk).is_err() {
+                        continue;
+                    }
+                    if is_switch {
+                        inner.counters.to_switch.inc();
+                        inner.counters.to_switch_bytes.add(chunk.len() as u64);
+                    } else {
+                        inner.counters.to_controller.inc();
+                        inner.counters.to_controller_bytes.add(chunk.len() as u64);
+                    }
+                    let mut slot = inner.slots[slot_idx].state.lock().unwrap();
+                    let ep = if is_switch {
+                        &mut slot.to_switch
+                    } else {
+                        &mut slot.to_controller
+                    };
+                    ep.push_chunk(chunk);
+                }
+            }
+            let now = Instant::now();
+            for (delay, token) in timers {
+                inner.timers.arm(now + delay, token.raw());
+            }
+        }
 
         let timer_thread = {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || inner.timer_loop())
         };
+
+        let worker_threads: Vec<JoinHandle<()>> = (0..n_workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, w))
+            })
+            .collect();
 
         let accept_inner = Arc::clone(&inner);
         let controller_addr = self.config.controller_addr;
@@ -399,45 +709,42 @@ impl RumTcpProxy {
                     continue;
                 };
                 // Claim the lowest free switch slot; a switch that
-                // disconnected frees its slot for the reconnect.
-                let (slot, generation) = {
-                    let mut st = accept_inner.state.lock().unwrap();
-                    match st.attached.iter().position(|a| !a) {
-                        Some(i) => {
-                            st.attached[i] = true;
-                            st.generation[i] += 1;
-                            (i, st.generation[i])
-                        }
-                        // More switches than the engine was built for.
-                        None => continue,
+                // disconnected frees its slot for the reconnect.  Only this
+                // thread claims, so the scan is race-free.
+                let claimed = (0..accept_inner.n_switches).find(|&i| {
+                    let mut slot = accept_inner.slots[i].state.lock().unwrap();
+                    if slot.attached {
+                        return false;
                     }
+                    slot.attached = true;
+                    slot.generation += 1;
+                    true
+                });
+                let Some(slot_idx) = claimed else {
+                    // More switches than the engine was built for.
+                    continue;
                 };
                 let Ok(controller_stream) = TcpStream::connect(controller_addr) else {
                     // Controller unavailable: free the slot and drop the
-                    // switch connection so it retries, like any proxy would.
-                    // Roll the generation back too — this claim never became
-                    // an attach, and a generation > 1 on the next successful
-                    // attach would be misread as a restart reconnect.
-                    let mut st = accept_inner.state.lock().unwrap();
-                    st.attached[slot] = false;
-                    st.generation[slot] -= 1;
+                    // switch connection so it retries.  Roll the generation
+                    // back too — this claim never became an attach, and a
+                    // generation > 1 on the next successful attach would be
+                    // misread as a restart reconnect.
+                    let mut slot = accept_inner.slots[slot_idx].state.lock().unwrap();
+                    slot.attached = false;
+                    slot.generation -= 1;
                     continue;
                 };
                 accept_inner.counters.connections.inc();
-                attach_connection(
-                    &accept_inner,
-                    SwitchId::new(slot),
-                    generation,
-                    switch_stream,
-                    controller_stream,
-                );
+                let generation = attach(&accept_inner, slot_idx, switch_stream, controller_stream);
                 if generation > 1 {
                     // The slot was attached before: this is a restarted
                     // switch reattaching.  Tell the engine so it re-installs
                     // its catch/probe rules and re-issues every unconfirmed
                     // controller modification on the fresh channel.
-                    let switch = SwitchId::new(slot);
-                    accept_inner.apply(|r, fx| r.on_switch_reconnected_into(switch, fx));
+                    accept_inner.dispatch(Input::SwitchReconnected {
+                        switch: SwitchId::new(slot_idx),
+                    });
                 }
             }
         });
@@ -447,179 +754,217 @@ impl RumTcpProxy {
             inner,
             accept_thread: Some(accept_thread),
             timer_thread: Some(timer_thread),
+            worker_threads,
         })
     }
 }
 
-/// Wires one switch/controller connection pair into the relay: two writer
-/// threads draining outboxes, two reader threads feeding the engine.
-fn attach_connection(
+/// Wires one accepted switch/controller pair into its slot and hands the
+/// read halves to the owning worker.  Returns the attach generation.
+fn attach(
     inner: &Arc<Inner>,
-    switch: SwitchId,
-    generation: u64,
+    slot_idx: usize,
     switch_stream: TcpStream,
     controller_stream: TcpStream,
-) {
+) -> u64 {
     let _ = switch_stream.set_nodelay(true);
     let _ = controller_stream.set_nodelay(true);
-    let switch_reader = switch_stream.try_clone().expect("clone switch stream");
-    let controller_reader = controller_stream
+    // O_NONBLOCK lives on the file description, so the write clones below
+    // share it: every read and write on this pair is nonblocking.
+    let _ = switch_stream.set_nonblocking(true);
+    let _ = controller_stream.set_nonblocking(true);
+    let switch_writer = switch_stream.try_clone().expect("clone switch stream");
+    let controller_writer = controller_stream
         .try_clone()
         .expect("clone controller stream");
 
-    let (switch_tx, switch_rx) = channel::<Vec<u8>>();
-    let (controller_tx, controller_rx) = channel::<Vec<u8>>();
-    let (switch_depth, controller_depth) = {
-        let mut st = inner.state.lock().unwrap();
-        let routes = &mut st.routes[switch.index()];
-        if routes.to_switch.connect(switch_tx) {
-            routes.switch_outbox_depth.inc();
-        }
-        if routes.to_controller.connect(controller_tx) {
-            routes.controller_outbox_depth.inc();
-        }
-        (
-            routes.switch_outbox_depth.clone(),
-            routes.controller_outbox_depth.clone(),
-        )
+    let generation = {
+        let mut slot = inner.slots[slot_idx].state.lock().unwrap();
+        slot.to_switch.on_attach(switch_writer);
+        slot.to_controller.on_attach(controller_writer);
+        slot.generation
     };
+    // Flush whatever queued while the slot was down (catch rules from
+    // start-up, messages engines emitted between detach and reattach).
+    inner.flush_slot(slot_idx);
 
-    // Writer failures (peer hung up mid-write) detach the connection pair
-    // just like reader EOFs do, freeing the slot for a reconnect and
-    // re-routing queued messages into the pending buffer.
-    {
-        let inner = Arc::clone(inner);
-        std::thread::spawn(move || {
-            writer_loop(switch_rx, switch_stream, Some(switch_depth));
-            detach_connection(&inner, switch, generation);
-        });
-    }
-    {
-        let inner = Arc::clone(inner);
-        std::thread::spawn(move || {
-            writer_loop(controller_rx, controller_stream, Some(controller_depth));
-            detach_connection(&inner, switch, generation);
-        });
-    }
-    {
-        let inner = Arc::clone(inner);
-        std::thread::spawn(move || {
-            reader_loop(switch_reader, |msgs| {
-                inner.apply(|r, fx| {
-                    for msg in msgs.drain(..) {
-                        r.on_switch_message_into(switch, msg, fx);
-                    }
-                });
-            });
-            detach_connection(&inner, switch, generation);
-        });
-    }
-    {
-        let inner = Arc::clone(inner);
-        std::thread::spawn(move || {
-            reader_loop(controller_reader, |msgs| {
-                inner.apply(|r, fx| {
-                    for msg in msgs.drain(..) {
-                        r.on_controller_message_into(switch, msg, fx);
-                    }
-                });
-            });
-            detach_connection(&inner, switch, generation);
-        });
-    }
+    let w = inner.worker_of(slot_idx);
+    inner.workers[w].inbox.lock().unwrap().push(NewConn {
+        slot: slot_idx,
+        generation,
+        switch_stream,
+        controller_stream,
+    });
+    inner.workers[w].waker.wake();
+    generation
 }
 
-/// Tears down one switch's connection pair: resets the routes — dropping
-/// the writer channels, which lets each writer thread drain what was
-/// already routed, shut its socket down (unblocking the peers' readers)
-/// and exit — and frees the slot so the switch can reconnect.  Idempotent —
-/// whichever of the pair's four threads exits first wins, and a thread from
-/// a previous attach (stale `generation`) is a no-op so it can never tear
-/// down a newer connection on the same slot.  Engine state (pending
-/// barriers, unconfirmed rules) survives the reconnect.
-fn detach_connection(inner: &Arc<Inner>, switch: SwitchId, generation: u64) {
-    let mut st = inner.state.lock().unwrap();
-    if !st.attached[switch.index()] || st.generation[switch.index()] != generation {
-        return;
-    }
-    st.attached[switch.index()] = false;
-    st.routes[switch.index()].to_switch = Route::Pending(Vec::new());
-    st.routes[switch.index()].to_controller = Route::Pending(Vec::new());
+/// The read half of one endpoint owned by a worker: the nonblocking stream
+/// plus its framing state.
+struct IoHalf {
+    stream: TcpStream,
+    codec: OfCodec,
 }
 
-/// Stop coalescing queued chunks into one write past this size; the
-/// remainder simply becomes the next write.
-const MAX_COALESCED_WRITE: usize = 256 * 1024;
+struct ConnIo {
+    slot: usize,
+    generation: u64,
+    switch: IoHalf,
+    controller: IoHalf,
+}
 
-/// Drains an outbox of encoded chunks into a socket until either side goes
-/// away.  Chunks that queued up while the previous write was in flight are
-/// coalesced into a single `write_all`, so a burst of engine drains costs
-/// one syscall, not one per drain.  A failed write ends the loop gracefully
-/// (the caller detaches the connection and the reconnect logic takes over).
-///
-/// On exit the socket is shut down in both directions.  This is
-/// load-bearing for reconnects: dropping the stream alone leaves the fd
-/// open through the reader's clone, so the *peer* would never see EOF and
-/// never free its slot.  And because an mpsc receiver keeps yielding queued
-/// messages after every sender is dropped, a detach (which drops the
-/// sender) lets the writer drain everything already routed — e.g. the acks
-/// for barrier replies a restarting switch flushed with its dying breath —
-/// before the FIN goes out.
-pub(crate) fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream, depth: Option<Arc<Gauge>>) {
-    let consumed = |n: i64| {
-        if let Some(g) = &depth {
-            g.add(-n);
+/// One worker's event loop: poll its waker plus both sockets of every
+/// connection it owns; drain readable sockets into the shard router,
+/// flush writable outbox residue, detach dead pairs.
+fn worker_loop(inner: &Arc<Inner>, w: usize) {
+    let mut conns: Vec<ConnIo> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    // fds[1 + j] belongs to fd_of[j] = (conn index, is_switch_side).
+    let mut fd_of: Vec<(usize, bool)> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let mut msgs: Vec<OfMessage> = Vec::new();
+    let mut inputs: Vec<Input> = Vec::new();
+    let mut dead: Vec<usize> = Vec::new();
+
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            for conn in &conns {
+                let _ = conn.switch.stream.shutdown(Shutdown::Both);
+                let _ = conn.controller.stream.shutdown(Shutdown::Both);
+            }
+            return;
         }
-    };
-    // `recv` keeps yielding queued chunks after the senders are dropped
-    // (detach), then errors — that is the drain.
-    while let Ok(mut pending) = rx.recv() {
-        let mut chunks = 1i64;
-        // The first chunk is written from its own allocation (no copy —
-        // the common keeping-up case); only chunks that queued up behind
-        // an in-flight write get appended to it.
-        while pending.len() < MAX_COALESCED_WRITE {
-            match rx.try_recv() {
-                Ok(chunk) => {
-                    pending.extend_from_slice(&chunk);
-                    chunks += 1;
-                }
-                Err(_) => break,
+        // Adopt connections the accept thread handed over.
+        {
+            let mut inbox = inner.workers[w].inbox.lock().unwrap();
+            for nc in inbox.drain(..) {
+                conns.push(ConnIo {
+                    slot: nc.slot,
+                    generation: nc.generation,
+                    switch: IoHalf {
+                        stream: nc.switch_stream,
+                        codec: OfCodec::new(),
+                    },
+                    controller: IoHalf {
+                        stream: nc.controller_stream,
+                        codec: OfCodec::new(),
+                    },
+                });
             }
         }
-        consumed(chunks);
-        if stream.write_all(&pending).is_err() {
-            break;
+
+        // Build the poll set: waker first, then each connection's sockets
+        // with write interest only where outbox residue exists.
+        fds.clear();
+        fd_of.clear();
+        fds.push(PollFd::new(inner.workers[w].waker.fd(), true, false));
+        for (ci, conn) in conns.iter().enumerate() {
+            let (sw_w, ct_w) = {
+                let slot = inner.slots[conn.slot].state.lock().unwrap();
+                (
+                    slot.to_switch.wants_write(),
+                    slot.to_controller.wants_write(),
+                )
+            };
+            fds.push(PollFd::new(conn.switch.stream.as_raw_fd(), true, sw_w));
+            fd_of.push((ci, true));
+            fds.push(PollFd::new(conn.controller.stream.as_raw_fd(), true, ct_w));
+            fd_of.push((ci, false));
+        }
+
+        // A finite timeout keeps the stop flag honoured even if a wake is
+        // lost; all real work arrives through readiness or the waker.
+        poll_fds(&mut fds, 500);
+        if fds[0].readable() {
+            inner.workers[w].waker.drain();
+        }
+
+        dead.clear();
+        for (j, &(ci, is_switch)) in fd_of.iter().enumerate() {
+            let pfd = fds[1 + j];
+            if pfd.writable() {
+                inner.flush_slot(conns[ci].slot);
+            }
+            if pfd.readable() || pfd.hangup() {
+                let alive = service_read(
+                    inner,
+                    &mut conns[ci],
+                    is_switch,
+                    &mut read_buf,
+                    &mut msgs,
+                    &mut inputs,
+                );
+                if !alive {
+                    dead.push(ci);
+                }
+            }
+        }
+        if !dead.is_empty() {
+            dead.sort_unstable();
+            dead.dedup();
+            // Highest index first so earlier removals don't shift later ones;
+            // swap_remove is safe because the moved element's index is > ci.
+            for &ci in dead.iter().rev() {
+                let conn = conns.swap_remove(ci);
+                let _ = conn.switch.stream.shutdown(Shutdown::Both);
+                let _ = conn.controller.stream.shutdown(Shutdown::Both);
+                inner.detach(conn.slot, conn.generation);
+            }
         }
     }
-    // Chunks abandoned by a failed write still count as consumed: the
-    // gauge tracks what a live connection has queued, not lost bytes.
-    while rx.try_recv().is_ok() {
-        consumed(1);
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// Reads OpenFlow frames off a socket and hands every batch decoded from
-/// one read to `sink` at once, so the receiver can drain the whole batch
-/// under a single engine lock and emit a single write per destination.
-pub(crate) fn reader_loop(mut stream: TcpStream, mut sink: impl FnMut(&mut Vec<OfMessage>)) {
-    let mut codec = OfCodec::new();
-    let mut buf = [0u8; 4096];
-    let mut msgs: Vec<OfMessage> = Vec::new();
+/// Drains one endpoint's socket (bounded per wakeup for fairness across
+/// the poll set), decodes frames and routes the batch into the shards.
+/// Returns `false` when the connection is dead (EOF, error, bad framing).
+fn service_read(
+    inner: &Arc<Inner>,
+    conn: &mut ConnIo,
+    is_switch: bool,
+    buf: &mut [u8],
+    msgs: &mut Vec<OfMessage>,
+    inputs: &mut Vec<Input>,
+) -> bool {
+    let switch = SwitchId::new(conn.slot);
+    let half = if is_switch {
+        &mut conn.switch
+    } else {
+        &mut conn.controller
+    };
+    let mut total = 0usize;
     loop {
-        let n = match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return,
+        let n = match half.stream.read(buf) {
+            Ok(0) => return false,
             Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         };
-        codec.feed(&buf[..n]);
+        half.codec.feed(&buf[..n]);
         msgs.clear();
-        let framing_ok = codec.drain_messages_into(&mut msgs).is_ok();
+        let framing_ok = half.codec.drain_messages_into(msgs).is_ok();
         if !msgs.is_empty() {
-            sink(&mut msgs);
+            inputs.clear();
+            inputs.extend(msgs.drain(..).map(|message| {
+                if is_switch {
+                    Input::FromSwitch { switch, message }
+                } else {
+                    Input::FromController { switch, message }
+                }
+            }));
+            inner.dispatch_batch(inputs);
         }
         if !framing_ok {
-            return; // framing error: give up on this connection
+            return false; // framing error: give up on this connection
+        }
+        total += n;
+        if total >= READ_BUDGET {
+            // Yield to the rest of the poll set; level-triggered readiness
+            // brings us straight back if more is pending.
+            return true;
+        }
+        if n < buf.len() {
+            return true; // drained the socket
         }
     }
 }
@@ -776,6 +1121,99 @@ mod tests {
         let _ = switch.join();
     }
 
+    /// The same hold-down flow with the engine split across 2 shards and 3
+    /// switches: per-switch behaviour is identical, and shard metrics show
+    /// both shards did work.
+    #[test]
+    fn sharded_proxy_serves_multiple_switches() {
+        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller_addr = controller_listener.local_addr().unwrap();
+
+        let delay = Duration::from_millis(60);
+        let proxy = RumTcpProxy::new(
+            ProxyConfig {
+                listen_addr: "127.0.0.1:0".parse().unwrap(),
+                controller_addr,
+            },
+            RumBuilder::new(3)
+                .shards(2)
+                .technique(TechniqueConfig::StaticTimeout { delay })
+                .fine_grained_acks(false),
+        );
+        let handle = proxy.start().expect("proxy starts");
+        assert_eq!(handle.n_switches(), 3);
+        assert_eq!(handle.n_shards(), 2);
+
+        let mut switches = Vec::new();
+        let mut ctrl_streams = Vec::new();
+        for i in 1..=3u64 {
+            switches.push(spawn_fake_switch(handle.local_addr));
+            let (ctrl, _) = controller_listener.accept().expect("proxy dialled us");
+            ctrl.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+            ctrl_streams.push(ctrl);
+            assert!(wait_for(
+                || handle.counters().connections() == i,
+                Duration::from_secs(2),
+            ));
+        }
+
+        // Push a flow-mod + barrier through every switch's channel.
+        for ctrl in ctrl_streams.iter_mut() {
+            let mut wire = Vec::new();
+            OfMessage::FlowMod {
+                xid: 2,
+                body: FlowMod::add(
+                    OfMatch::wildcard_all(),
+                    1,
+                    vec![openflow::Action::output(1)],
+                ),
+            }
+            .encode_into(&mut wire)
+            .unwrap();
+            OfMessage::BarrierRequest { xid: 3 }
+                .encode_into(&mut wire)
+                .unwrap();
+            ctrl.write_all(&wire).unwrap();
+        }
+        for ctrl in ctrl_streams.iter_mut() {
+            let mut codec = OfCodec::new();
+            let mut buf = [0u8; 2048];
+            let mut got = false;
+            while !got {
+                let n = match ctrl.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                codec.feed(&buf[..n]);
+                while let Ok(Some(msg)) = codec.next_message() {
+                    if matches!(msg, OfMessage::BarrierReply { xid: 3 }) {
+                        got = true;
+                    }
+                }
+            }
+            assert!(got, "each controller channel gets its barrier reply");
+        }
+        for i in 0..3 {
+            let stats = handle.stats(SwitchId::new(i));
+            assert_eq!(stats.controller_flow_mods, 1, "switch {i}");
+            assert_eq!(stats.barrier_replies_released, 1, "switch {i}");
+        }
+        let totals = handle.total_stats();
+        assert_eq!(totals.controller_flow_mods, 3);
+        // Both shards drained inputs (slots 0,2 → shard 0; slot 1 → shard 1).
+        let snapshot = handle.metrics().snapshot();
+        for k in 0..2 {
+            let name = format!("proxy.shard{k}.drains");
+            let drains = snapshot.counters.get(&name).copied().unwrap_or(0);
+            assert!(drains > 0, "shard {k} must have drained");
+        }
+        drop(ctrl_streams);
+        handle.shutdown();
+        for s in switches {
+            let _ = s.join();
+        }
+    }
+
     #[test]
     fn surplus_connections_are_refused() {
         let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -821,8 +1259,8 @@ mod tests {
             Duration::from_secs(2),
         ));
         drop(first);
-        // Detachment is asynchronous (the reader thread must observe EOF);
-        // keep re-dialling until the freed slot is claimed again.
+        // Detachment is asynchronous (the worker must observe EOF); keep
+        // re-dialling until the freed slot is claimed again.
         let mut second = None;
         assert!(wait_for(
             || {
@@ -842,116 +1280,5 @@ mod tests {
     fn wait_for_times_out() {
         assert!(!wait_for(|| false, Duration::from_millis(30)));
         assert!(wait_for(|| true, Duration::from_millis(30)));
-    }
-
-    /// A writer/reader thread from a *previous* attach that dies late (its
-    /// socket lingered past the reconnect) must not tear down the slot's
-    /// new connection: `detach_connection` is generation-guarded.
-    #[test]
-    fn stale_thread_death_cannot_detach_a_reconnected_slot() {
-        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let controller_addr = controller_listener.local_addr().unwrap();
-        let proxy = RumTcpProxy::new(
-            ProxyConfig {
-                listen_addr: "127.0.0.1:0".parse().unwrap(),
-                controller_addr,
-            },
-            RumBuilder::new(1).technique(TechniqueConfig::BarrierBaseline),
-        );
-        let handle = proxy.start().unwrap();
-        let sw = SwitchId::new(0);
-
-        let first = TcpStream::connect(handle.local_addr).unwrap();
-        assert!(wait_for(
-            || handle.counters().connections() == 1,
-            Duration::from_secs(2),
-        ));
-        drop(first);
-        let mut second = None;
-        assert!(wait_for(
-            || {
-                if handle.counters().connections() >= 2 {
-                    return true;
-                }
-                second = TcpStream::connect(handle.local_addr).ok();
-                false
-            },
-            Duration::from_secs(3),
-        ));
-        assert!(wait_for(
-            || handle.inner.state.lock().unwrap().attached[sw.index()],
-            Duration::from_secs(2),
-        ));
-        let gen_now = handle.inner.state.lock().unwrap().generation[sw.index()];
-        assert!(gen_now >= 2, "reconnect bumped the generation");
-
-        // A thread from the first attach (generation 1) reports its death
-        // only now: the newer connection must survive.
-        detach_connection(&handle.inner, sw, 1);
-        {
-            let st = handle.inner.state.lock().unwrap();
-            assert!(st.attached[sw.index()], "stale detach must be a no-op");
-            assert!(
-                matches!(st.routes[sw.index()].to_switch, Route::Connected(_)),
-                "the reconnected route must stay live"
-            );
-        }
-        // The *current* generation still detaches normally.
-        detach_connection(&handle.inner, sw, gen_now);
-        assert!(!handle.inner.state.lock().unwrap().attached[sw.index()]);
-        handle.shutdown();
-    }
-
-    /// A switch that restarts repeatedly reattaches to the same SwitchId
-    /// every time, and every reattach (generation > 1) re-feeds the engine —
-    /// visible as one SwitchReconnected per reconnect in the stats.
-    #[test]
-    fn duplicate_reconnects_from_the_same_switch_id() {
-        let controller_listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let controller_addr = controller_listener.local_addr().unwrap();
-        let proxy = RumTcpProxy::new(
-            ProxyConfig {
-                listen_addr: "127.0.0.1:0".parse().unwrap(),
-                controller_addr,
-            },
-            RumBuilder::new(1).technique(TechniqueConfig::BarrierBaseline),
-        );
-        let handle = proxy.start().unwrap();
-        let sw = SwitchId::new(0);
-
-        let mut conn = Some(TcpStream::connect(handle.local_addr).unwrap());
-        assert!(wait_for(
-            || handle.counters().connections() == 1,
-            Duration::from_secs(2),
-        ));
-        for round in 2..=3u64 {
-            drop(conn.take());
-            // Wait until the proxy noticed the death and freed the slot, so
-            // the next dial deterministically claims it.
-            assert!(
-                wait_for(
-                    || !handle.inner.state.lock().unwrap().attached[sw.index()],
-                    Duration::from_secs(3),
-                ),
-                "round {round}: the dead connection must free its slot"
-            );
-            conn = Some(TcpStream::connect(handle.local_addr).unwrap());
-            assert!(
-                wait_for(
-                    || handle.counters().connections() == round,
-                    Duration::from_secs(3),
-                ),
-                "reconnect {round} must be accepted"
-            );
-            assert!(wait_for(
-                || handle.stats(sw).reconnects == round - 1,
-                Duration::from_secs(2),
-            ));
-        }
-        assert_eq!(handle.counters().connections(), 3);
-        assert_eq!(handle.stats(sw).reconnects, 2);
-        // All three attaches used the single engine slot.
-        assert_eq!(handle.inner.state.lock().unwrap().generation[sw.index()], 3);
-        handle.shutdown();
     }
 }

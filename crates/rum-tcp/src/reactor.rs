@@ -1,0 +1,228 @@
+//! A minimal readiness reactor over `poll(2)` — the event-loop substrate of
+//! the sharded proxy and the fabric-wired switch hosts.
+//!
+//! The standard library exposes blocking sockets only, and the workspace
+//! deliberately carries no external event-loop dependency, so this module
+//! hand-rolls the two primitives a readiness-driven design needs:
+//!
+//! * [`poll_fds`] — a safe wrapper over the `poll(2)` syscall, taking a
+//!   reusable [`PollFd`] slice and a millisecond timeout;
+//! * [`Waker`] — a self-pipe (a nonblocking `UnixStream` pair) whose read
+//!   end joins a poll set, so any thread can interrupt a sleeping event
+//!   loop with a 1-byte write.
+//!
+//! All unsafety in the crate is confined to the tiny `sys` module below:
+//! one struct layout and one foreign function, matching the kernel ABI
+//! used by libc on every platform this workspace targets.
+
+use std::io::{Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+/// The `poll(2)` FFI surface.  Kept to the absolute minimum: the `pollfd`
+/// struct layout and the syscall wrapper, both straight from POSIX.
+#[allow(unsafe_code)]
+mod sys {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    #[repr(C)]
+    pub(super) struct PollFdRaw {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub(super) const POLLIN: c_short = 0x001;
+    pub(super) const POLLOUT: c_short = 0x004;
+    pub(super) const POLLERR: c_short = 0x008;
+    pub(super) const POLLHUP: c_short = 0x010;
+    pub(super) const POLLNVAL: c_short = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFdRaw, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Polls `fds` for up to `timeout_ms` (negative = forever).  Returns
+    /// the number of descriptors with events, 0 on timeout.
+    pub(super) fn poll_raw(fds: &mut [PollFdRaw], timeout_ms: c_int) -> std::io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd structs for the duration of the call, and the
+        // length is passed alongside; `poll` writes only `revents` fields.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// One entry of a poll set: a descriptor, the readiness to wait for, and
+/// (after [`poll_fds`] returns) the readiness observed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    fd: RawFd,
+    want_read: bool,
+    want_write: bool,
+    readable: bool,
+    writable: bool,
+    hangup: bool,
+}
+
+impl PollFd {
+    /// An entry waiting for the given readiness on `fd`.
+    pub(crate) fn new(fd: RawFd, want_read: bool, want_write: bool) -> Self {
+        PollFd {
+            fd,
+            want_read,
+            want_write,
+            readable: false,
+            writable: false,
+            hangup: false,
+        }
+    }
+
+    /// The descriptor became readable (or reached EOF — a read will tell).
+    pub(crate) fn readable(&self) -> bool {
+        self.readable
+    }
+
+    /// The descriptor became writable.
+    pub(crate) fn writable(&self) -> bool {
+        self.writable
+    }
+
+    /// The peer hung up or the descriptor is in an error state; the owner
+    /// should read/write to collect the actual error and tear down.
+    pub(crate) fn hangup(&self) -> bool {
+        self.hangup
+    }
+}
+
+/// Waits until at least one entry of `fds` is ready or `timeout_ms`
+/// elapses (negative = wait forever).  Readiness is reported through the
+/// entries' accessor methods; entries from a previous call are reset.
+/// `EINTR` is treated as a zero-ready timeout so callers simply loop.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> usize {
+    let mut raw: Vec<sys::PollFdRaw> = fds
+        .iter()
+        .map(|p| sys::PollFdRaw {
+            fd: p.fd,
+            events: (if p.want_read { sys::POLLIN } else { 0 })
+                | (if p.want_write { sys::POLLOUT } else { 0 }),
+            revents: 0,
+        })
+        .collect();
+    let n = match sys::poll_raw(&mut raw, timeout_ms) {
+        Ok(n) => n,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
+        Err(e) => panic!("poll(2) failed: {e}"),
+    };
+    for (p, r) in fds.iter_mut().zip(raw.iter()) {
+        p.readable = r.revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0;
+        p.writable = r.revents & (sys::POLLOUT | sys::POLLERR) != 0;
+        p.hangup = r.revents & (sys::POLLHUP | sys::POLLERR | sys::POLLNVAL) != 0;
+    }
+    n
+}
+
+/// A self-pipe waker: the read end sits in a poll set; [`Waker::wake`]
+/// from any thread makes that poll return immediately.  Writes and reads
+/// are nonblocking — a full pipe means a wake-up is already pending, which
+/// is all a level-triggered loop needs.
+#[derive(Debug)]
+pub(crate) struct Waker {
+    read_end: UnixStream,
+    write_end: UnixStream,
+}
+
+impl Waker {
+    pub(crate) fn new() -> std::io::Result<Self> {
+        let (read_end, write_end) = UnixStream::pair()?;
+        read_end.set_nonblocking(true)?;
+        write_end.set_nonblocking(true)?;
+        Ok(Waker {
+            read_end,
+            write_end,
+        })
+    }
+
+    /// The descriptor to include (read-interest) in a poll set.
+    pub(crate) fn fd(&self) -> RawFd {
+        self.read_end.as_raw_fd()
+    }
+
+    /// Interrupts the owning poll loop.  Callable from any thread through a
+    /// shared reference; a `WouldBlock` (pipe already full) means the loop
+    /// is guaranteed to wake anyway.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.write_end).write(&[1u8]);
+    }
+
+    /// Consumes pending wake-ups so the next poll sleeps again.  Call after
+    /// every poll return that reported the waker readable.
+    pub(crate) fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.read_end).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waker_interrupts_a_sleeping_poll() {
+        let waker = Arc::new(Waker::new().unwrap());
+        let remote = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut fds = [PollFd::new(waker.fd(), true, false)];
+        let start = Instant::now();
+        // Without the wake this would sleep the full 5 s.
+        let n = poll_fds(&mut fds, 5_000);
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(start.elapsed() < Duration::from_secs(2));
+        waker.drain();
+        // Drained: an immediate re-poll times out instead of spinning.
+        let n = poll_fds(&mut fds, 0);
+        assert_eq!(n, 0, "drained waker must not stay readable");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_wakes_coalesce() {
+        let waker = Waker::new().unwrap();
+        for _ in 0..10_000 {
+            waker.wake(); // must never block, even with no reader
+        }
+        let mut fds = [PollFd::new(waker.fd(), true, false)];
+        assert_eq!(poll_fds(&mut fds, 0), 1);
+        waker.drain();
+        assert_eq!(poll_fds(&mut fds, 0), 0);
+    }
+
+    #[test]
+    fn poll_reports_writability_and_timeout() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), true, true)];
+        let n = poll_fds(&mut fds, 100);
+        assert_eq!(n, 1);
+        assert!(fds[0].writable(), "fresh socket must be writable");
+        assert!(!fds[0].readable(), "nothing was sent");
+
+        let mut fds = [PollFd::new(a.as_raw_fd(), true, false)];
+        let start = Instant::now();
+        assert_eq!(poll_fds(&mut fds, 50), 0);
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+}

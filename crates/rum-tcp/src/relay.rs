@@ -64,9 +64,17 @@ pub struct EngineRelay {
 impl EngineRelay {
     /// Wraps an engine; `now` is measured from this call.
     pub fn new(engine: RumEngine) -> Self {
+        EngineRelay::with_epoch(engine, Instant::now())
+    }
+
+    /// Wraps an engine measuring `now` from an explicit epoch.  The sharded
+    /// proxy wraps each shard's engine in its own relay; sharing one epoch
+    /// across them keeps every shard's notion of model time identical, so
+    /// cross-shard timer deadlines and confirmation timestamps compare.
+    pub fn with_epoch(engine: RumEngine, epoch: Instant) -> Self {
         EngineRelay {
             engine,
-            epoch: Instant::now(),
+            epoch,
             scratch: Vec::new(),
         }
     }
@@ -85,6 +93,15 @@ impl EngineRelay {
         self.scratch.clear();
         self.engine.handle_into(now, input, &mut self.scratch);
         translate_into(&mut self.scratch, out);
+    }
+
+    /// Feeds one pre-routed [`Input`] to the engine, appending the effects
+    /// to `out`.  The sharded proxy routes inputs with a [`rum::ShardRouter`]
+    /// first and then drives whichever shard relay owns them through this
+    /// single entry point; the typed `on_*` methods below are equivalent
+    /// conveniences for drivers that construct inputs in place.
+    pub fn handle_into(&mut self, input: Input, out: &mut RelayEffects) {
+        self.dispatch(input, out);
     }
 
     /// Starts the engine (catch rules, initial timers).  Idempotent.

@@ -32,6 +32,13 @@ pub const PREPROBE_TOS: u8 = 0xFC;
 /// value and stay within the 64 DSCP codepoints.
 pub const CATCH_TOS_BASE: u8 = 0xF8;
 
+/// The largest fleet that can hold a globally unique catch codepoint per
+/// switch (`CATCH_TOS_BASE / 4` usable DSCP values).  Beyond this the
+/// deployment must share codepoints via vertex colouring over the monitored
+/// topology (paper §3.2.2) — [`RumBuilder`] derives that colouring from the
+/// port maps automatically when no explicit plan is given.
+pub const MAX_UNIQUE_CATCH_SWITCHES: usize = (CATCH_TOS_BASE / 4) as usize;
+
 /// Priority of the probe-catch rule RUM installs on every switch.
 pub const CATCH_RULE_PRIORITY: u16 = 65_535;
 /// Priority of the versioned sequential-probing rule.
@@ -236,12 +243,32 @@ pub struct RumConfig {
     /// either way; pass a shared registry to expose a deployment through
     /// `telemetry::serve` alongside other components.
     pub metrics: Option<std::sync::Arc<telemetry::Registry>>,
+    /// Which shard of a sharded deployment this engine instance is.  A
+    /// standalone (unsharded) engine is shard 0 of 1; the engine only acts
+    /// for switches it owns (see [`RumConfig::owns`]), so a
+    /// [`crate::ShardedEngine`] can run one engine per shard without any
+    /// cross-shard locking.
+    pub shard_index: usize,
+    /// Total number of shards in the deployment (1 = unsharded).
+    pub shard_count: usize,
 }
 
 impl RumConfig {
     /// Number of monitored switches.
     pub fn n_switches(&self) -> usize {
         self.port_maps.len()
+    }
+
+    /// True when this engine instance owns `switch`: switches are striped
+    /// across shards by index (`index % shard_count == shard_index`), so
+    /// consecutive switch ids land on different shards.
+    pub fn owns(&self, switch: SwitchId) -> bool {
+        self.owns_index(switch.index())
+    }
+
+    /// [`RumConfig::owns`] by raw switch index.
+    pub fn owns_index(&self, index: usize) -> bool {
+        self.shard_count <= 1 || index % self.shard_count == self.shard_index
     }
 
     /// Starts a fluent builder for `n_switches` monitored switches.
@@ -260,12 +287,36 @@ impl RumConfig {
 #[derive(Debug, Clone)]
 pub struct RumBuilder {
     config: RumConfig,
+    shards: usize,
+    /// True while the probe plan is still the placeholder of a fleet too
+    /// large for unique codepoints: the real plan is coloured from the
+    /// port-map adjacency when the deployment is built.
+    derive_probe_plan: bool,
 }
 
 impl RumBuilder {
     /// A builder for a deployment monitoring `n_switches` switches.
+    ///
+    /// Fleets up to [`MAX_UNIQUE_CATCH_SWITCHES`] default to one globally
+    /// unique probe-catch codepoint per switch.  Larger fleets cannot — the
+    /// DSCP space has 62 usable values — so their default plan is derived at
+    /// build time by colouring the adjacency the port maps describe
+    /// (adjacent switches always end up with distinct values, which is the
+    /// only property probing soundness needs).  An explicit
+    /// [`RumBuilder::probe_plan`] / [`RumBuilder::probe_links`] call always
+    /// wins over both defaults.
     pub fn new(n_switches: usize) -> Self {
+        let derive_probe_plan = n_switches > MAX_UNIQUE_CATCH_SWITCHES;
+        let probe_plan = if derive_probe_plan {
+            // Placeholder (every switch the same colour) — replaced by the
+            // topology-derived colouring in `finalise`.
+            ProbeFieldPlan::from_links(&[], n_switches)
+        } else {
+            ProbeFieldPlan::unique_per_switch(n_switches)
+        };
         RumBuilder {
+            shards: 1,
+            derive_probe_plan,
             config: RumConfig {
                 technique: TechniqueConfig::BarrierBaseline,
                 fine_grained_acks: true,
@@ -274,10 +325,27 @@ impl RumBuilder {
                 control_latency: Duration::from_micros(100),
                 record_confirmations: true,
                 port_maps: vec![SwitchPortMap::default(); n_switches],
-                probe_plan: ProbeFieldPlan::unique_per_switch(n_switches),
+                probe_plan,
                 metrics: None,
+                shard_index: 0,
+                shard_count: 1,
             },
         }
+    }
+
+    /// Splits the deployment into `n` shards for [`RumBuilder::build_sharded`]
+    /// (default 1: the classic single-engine path, kept as the conformance
+    /// oracle).  [`RumBuilder::build`] ignores this and always produces the
+    /// unsharded engine.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a deployment needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// The shard count configured via [`RumBuilder::shards`].
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// Selects the acknowledgment technique (default: barrier baseline).
@@ -335,6 +403,24 @@ impl RumBuilder {
         self
     }
 
+    /// Replaces only the port maps the caller left unspecified.  Drivers
+    /// that derive topology knowledge themselves (e.g. the simulator
+    /// deployment) use this before building, so the probe-plan colouring of
+    /// a large fleet sees the completed adjacency rather than the gaps.
+    pub fn fill_unspecified_port_maps(mut self, derived: Vec<SwitchPortMap>) -> Self {
+        assert_eq!(
+            derived.len(),
+            self.config.port_maps.len(),
+            "one derived port map per monitored switch"
+        );
+        for (slot, map) in self.config.port_maps.iter_mut().zip(derived) {
+            if slot.is_unspecified() {
+                *slot = map;
+            }
+        }
+        self
+    }
+
     /// Publishes engine statistics into `registry` (counters and the
     /// unconfirmed gauge under `rum.sw{i}.*`, confirm latency under
     /// `rum.sw{i}.confirm_latency_us`).  Without this the engine uses a
@@ -352,6 +438,7 @@ impl RumBuilder {
             "one catch value per monitored switch"
         );
         self.config.probe_plan = plan;
+        self.derive_probe_plan = false;
         self
     }
 
@@ -362,9 +449,34 @@ impl RumBuilder {
         self.probe_plan(ProbeFieldPlan::from_links(links, n))
     }
 
+    /// Resolves the deferred probe plan of a large fleet: colour the
+    /// adjacency the port maps describe so adjacent switches get distinct
+    /// catch codepoints.  Both directions of every port mapping and the
+    /// inject-via neighbour count as adjacency; links are collected in
+    /// sorted order (and the colouring itself is BTree-ordered), so the
+    /// derived plan is identical across drivers and runs for the same maps.
+    fn finalise(mut self) -> RumConfig {
+        if self.derive_probe_plan {
+            let n = self.config.port_maps.len();
+            let mut links: Vec<(usize, usize)> = Vec::new();
+            for (i, map) in self.config.port_maps.iter().enumerate() {
+                for &neighbour in map.port_to_switch.values() {
+                    links.push((i, neighbour.index()));
+                }
+                if let Some((neighbour, _)) = map.inject_via {
+                    links.push((i, neighbour.index()));
+                }
+            }
+            links.sort_unstable();
+            links.dedup();
+            self.config.probe_plan = ProbeFieldPlan::from_links(&links, n);
+        }
+        self.config
+    }
+
     /// Finishes the configuration.
     pub fn build_config(self) -> RumConfig {
-        self.config
+        self.finalise()
     }
 
     /// Builds a ready-to-drive [`RumEngine`].
@@ -374,7 +486,19 @@ impl RumBuilder {
     /// See [`RumEngine::new`]: sequential probing requires each port map to
     /// name at least one monitored neighbour.
     pub fn build(self) -> RumEngine {
-        RumEngine::new(self.config)
+        RumEngine::new(self.finalise())
+    }
+
+    /// Builds a [`crate::ShardedEngine`] with the shard count configured via
+    /// [`RumBuilder::shards`].  With one shard this is exactly the engine
+    /// [`RumBuilder::build`] produces, wrapped.
+    ///
+    /// # Panics
+    ///
+    /// See [`RumEngine::new`].
+    pub fn build_sharded(self) -> crate::ShardedEngine {
+        let shards = self.shards;
+        crate::ShardedEngine::new(self.finalise(), shards)
     }
 }
 
@@ -486,5 +610,72 @@ mod tests {
     #[should_panic(expected = "one port map per monitored switch")]
     fn builder_rejects_wrong_port_map_count() {
         RumBuilder::new(3).port_maps(vec![SwitchPortMap::default(); 2]);
+    }
+
+    fn ring_maps(n: usize) -> Vec<SwitchPortMap> {
+        (0..n)
+            .map(|i| {
+                let prev = SwitchId::new((i + n - 1) % n);
+                let next = SwitchId::new((i + 1) % n);
+                let mut m = SwitchPortMap::default();
+                m.port_to_switch.insert(1, prev);
+                m.port_to_switch.insert(2, next);
+                m.inject_via = Some((prev, 2));
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn large_fleets_derive_the_probe_plan_from_port_maps() {
+        // More switches than DSCP codepoints: the builder must not panic and
+        // must colour the catch values from the port-map adjacency so that
+        // neighbours never share one.
+        let n = MAX_UNIQUE_CATCH_SWITCHES + 938; // 1,000
+        let cfg = RumBuilder::new(n).port_maps(ring_maps(n)).build_config();
+        for i in 0..n {
+            let next = (i + 1) % n;
+            assert_ne!(
+                cfg.probe_plan.catch_tos(SwitchId::new(i)),
+                cfg.probe_plan.catch_tos(SwitchId::new(next)),
+                "ring neighbours {i} and {next} share a catch value"
+            );
+        }
+        // An even ring is 2-colourable.
+        let distinct: std::collections::BTreeSet<u8> =
+            cfg.probe_plan.catch_tos.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+        // Derivation is deterministic: an identical build yields an
+        // identical plan (the cross-driver equality tests depend on this).
+        let again = RumBuilder::new(n).port_maps(ring_maps(n)).build_config();
+        assert_eq!(cfg.probe_plan.catch_tos, again.probe_plan.catch_tos);
+    }
+
+    #[test]
+    fn explicit_probe_plan_suppresses_derivation() {
+        let n = MAX_UNIQUE_CATCH_SWITCHES + 2;
+        let plan = ProbeFieldPlan::from_links(&[(0, 1)], n);
+        let expected = plan.catch_tos.clone();
+        let cfg = RumBuilder::new(n)
+            .probe_plan(plan)
+            .port_maps(ring_maps(n))
+            .build_config();
+        assert_eq!(cfg.probe_plan.catch_tos, expected);
+    }
+
+    #[test]
+    fn fill_unspecified_port_maps_only_fills_gaps() {
+        let mut explicit = SwitchPortMap::default();
+        explicit.port_to_switch.insert(7, SwitchId::new(2));
+        let derived = ring_maps(3);
+        let cfg = RumBuilder::new(3)
+            .port_map(SwitchId::new(1), explicit)
+            .fill_unspecified_port_maps(derived.clone())
+            .build_config();
+        // Slot 1 keeps the caller's map; slots 0 and 2 take the derived ones.
+        assert_eq!(cfg.port_maps[1].next_hop(7), Some(SwitchId::new(2)));
+        assert_eq!(cfg.port_maps[1].next_hop(1), None);
+        assert_eq!(cfg.port_maps[0].next_hop(2), Some(SwitchId::new(1)));
+        assert_eq!(cfg.port_maps[2].next_hop(1), Some(SwitchId::new(1)));
     }
 }

@@ -49,6 +49,12 @@ use telemetry::{AtomicHistogram, Counter, Gauge, Registry};
 /// RUM's own machinery.
 pub const PROXY_XID_BASE: Xid = 0x8000_0000;
 
+/// The xid region for probe-catch rules: `CATCH_XID_BASE | (switch << 8) |
+/// generation`.  Above every per-switch technique xid stream (which start at
+/// `PROXY_XID_BASE + (index + 1) * 0x0001_0000`), and deliberately shard
+/// invariant — see `RumEngine::install_catch_rule`.
+const CATCH_XID_BASE: Xid = 0xF000_0000;
+
 /// Identifies one monitored switch within a RUM deployment.
 ///
 /// Deployments are free to map these to whatever they like (simulator node
@@ -341,6 +347,11 @@ struct SwitchState {
     /// Per-switch counter ordering unconfirmed insertions and barrier
     /// creations against each other.
     next_event_seq: u64,
+    /// How many catch rules were installed on this switch so far (one at
+    /// start, one per reconnect) — makes catch-rule xids a pure function of
+    /// (switch, generation) so sharded and unsharded engines emit identical
+    /// bytes.
+    catch_generation: u64,
     pending_barriers: VecDeque<PendingBarrier>,
     buffered: VecDeque<OfMessage>,
     metrics: SwitchMetrics,
@@ -352,6 +363,7 @@ impl SwitchState {
             technique,
             unconfirmed: HashMap::new(),
             next_event_seq: 0,
+            catch_generation: 0,
             pending_barriers: VecDeque::new(),
             buffered: VecDeque::new(),
             metrics,
@@ -386,7 +398,6 @@ pub struct RumEngine {
     /// through [`crate::RumBuilder::metrics`], or a private registry so the
     /// stats surface works identically with telemetry off.
     registry: Arc<Registry>,
-    next_xid: Xid,
     started: bool,
     confirm_log: Vec<ConfirmRecord>,
     /// Reusable buffer for technique outputs, so the per-message hot path
@@ -425,7 +436,6 @@ impl RumEngine {
             config,
             switches,
             registry,
-            next_xid: PROXY_XID_BASE + 0x0100_0000,
             started: false,
             confirm_log: Vec::new(),
             tech_out: Vec::new(),
@@ -502,18 +512,17 @@ impl RumEngine {
         }
         self.started = true;
         for i in 0..self.switches.len() {
+            // A sharded instance acts only for the switches it owns; its
+            // peers install the catch rules of theirs.
+            if !self.config.owns_index(i) {
+                continue;
+            }
             let switch = SwitchId::new(i);
             // Install the probe-catch rule on every switch when any probing
             // technique is active (general probing needs catch rules on
             // neighbours of the probed switch, so install everywhere).
             if self.config.technique.is_probing() {
-                let xid = self.fresh_xid();
-                let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
-                self.switches[i].metrics.proxy_flow_mods.inc();
-                effects.push(Effect::ToSwitch {
-                    switch,
-                    message: OfMessage::FlowMod { xid, body: fm },
-                });
+                self.install_catch_rule(switch, &mut effects);
             }
             let mut out = std::mem::take(&mut self.tech_out);
             self.switches[i].technique.start(now, &mut out);
@@ -578,10 +587,22 @@ impl RumEngine {
         }
     }
 
-    fn fresh_xid(&mut self) -> Xid {
-        let x = self.next_xid;
-        self.next_xid = self.next_xid.wrapping_add(1);
-        x
+    /// Installs the probe-catch rule on `switch`.  The xid (and thus the
+    /// rule's cookie, hashed by fault plans) is a pure function of the
+    /// switch and its catch generation — not of a shared counter — so a
+    /// sharded deployment emits byte-identical catch rules to the unsharded
+    /// oracle regardless of which shard owns the switch.
+    fn install_catch_rule(&mut self, switch: SwitchId, effects: &mut Vec<Effect>) {
+        let i = switch.index();
+        let generation = self.switches[i].catch_generation;
+        self.switches[i].catch_generation += 1;
+        let xid = CATCH_XID_BASE | ((i as Xid) << 8) | (generation as Xid & 0xFF);
+        let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
+        self.switches[i].metrics.proxy_flow_mods.inc();
+        effects.push(Effect::ToSwitch {
+            switch,
+            message: OfMessage::FlowMod { xid, body: fm },
+        });
     }
 
     // ------------------------------------------------------------------
@@ -755,11 +776,21 @@ impl RumEngine {
                         if body.reason != openflow::constants::packet_in_reason::ACTION {
                             return;
                         }
-                        self.switches[i].metrics.probes_consumed.inc();
+                        // Probe PacketIns are the one input a sharded driver
+                        // broadcasts (any switch's probe may return via any
+                        // neighbour); the arrival switch's owner alone
+                        // accounts for the consumption.
+                        if self.config.owns(switch) {
+                            self.switches[i].metrics.probes_consumed.inc();
+                        }
                         // Probes may belong to any monitored switch's
                         // technique; each technique ignores probes that are
-                        // not its own.
+                        // not its own, and each shard runs only the
+                        // techniques of switches it owns.
                         for s in 0..self.switches.len() {
+                            if !self.config.owns_index(s) {
+                                continue;
+                            }
                             let mut out = std::mem::take(&mut self.tech_out);
                             self.switches[s]
                                 .technique
@@ -853,13 +884,7 @@ impl RumEngine {
         }
         self.switches[i].metrics.reconnects.inc();
         if self.config.technique.is_probing() {
-            let xid = self.fresh_xid();
-            let fm = catch_rule(self.config.probe_plan.catch_tos(switch), u64::from(xid));
-            self.switches[i].metrics.proxy_flow_mods.inc();
-            effects.push(Effect::ToSwitch {
-                switch,
-                message: OfMessage::FlowMod { xid, body: fm },
-            });
+            self.install_catch_rule(switch, effects);
         }
         let mut pending: Vec<(u64, u64)> = self.switches[i]
             .unconfirmed

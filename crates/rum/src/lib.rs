@@ -53,6 +53,7 @@ pub mod general;
 pub mod probe;
 pub mod proxy;
 pub mod sequential;
+pub mod shard;
 pub mod technique;
 
 pub use config::{ProbeFieldPlan, RumBuilder, RumConfig, SwitchPortMap, TechniqueConfig};
@@ -60,3 +61,4 @@ pub use engine::{
     ConfirmRecord, Effect, Input, ProxyStats, RumEngine, SwitchId, TimerToken, PROXY_XID_BASE,
 };
 pub use proxy::{deploy, RumHandle, RumProxy};
+pub use shard::{Routing, ShardRouter, ShardedEngine};

@@ -1,11 +1,11 @@
-//! The simulator driver for the sans-IO [`RumEngine`]: per-switch proxy
+//! The simulator driver for the sans-IO [`crate::RumEngine`]: per-switch proxy
 //! nodes, topology-derived port maps, and one-call deployment.
 //!
 //! The paper's prototype is a chain of TCP proxies: every switch connects to
 //! RUM believing it is the controller, and RUM connects onward to the real
 //! controller impersonating the switches.  In the simulator the same
 //! structure appears as one [`RumProxy`] node per monitored switch, all
-//! sharing a single [`RumEngine`] (RUM is one logical process), exactly like
+//! sharing a single [`crate::RumEngine`] (RUM is one logical process), exactly like
 //! the prototype's proxy chain shares one POX process.
 //!
 //! All message-level logic lives in the engine; this module only translates
@@ -14,7 +14,8 @@
 //! real sockets.
 
 use crate::config::{RumBuilder, SwitchPortMap};
-use crate::engine::{Effect, Input, ProxyStats, RumEngine, SwitchId, TimerToken};
+use crate::engine::{Effect, Input, ProxyStats, SwitchId, TimerToken};
+use crate::shard::ShardedEngine;
 use simnet::{Context, EventPayload, Node, NodeId, SimTime, Topology};
 use std::any::Any;
 use std::cell::RefCell;
@@ -23,7 +24,7 @@ use std::rc::Rc;
 /// The shared state of one simulated RUM deployment: the engine plus the
 /// routing the driver needs to execute effects.
 struct SimRum {
-    engine: RumEngine,
+    engine: ShardedEngine,
     controller: NodeId,
     switch_nodes: Vec<NodeId>,
     control_latency: SimTime,
@@ -88,6 +89,17 @@ impl RumHandle {
         self.shared.borrow().engine.confirmed_order()
     }
 
+    /// The confirmation cookie sequence of one switch — the cross-driver /
+    /// cross-shard conformance invariant.
+    pub fn confirmed_order_for(&self, switch: SwitchId) -> Vec<u64> {
+        self.shared.borrow().engine.confirmed_order_for(switch)
+    }
+
+    /// Number of engine shards driving this deployment.
+    pub fn n_shards(&self) -> usize {
+        self.shared.borrow().engine.n_shards()
+    }
+
     /// Total statistics summed over all monitored switches.  Derived from
     /// the engine's telemetry registry, like every other stats surface.
     pub fn total_stats(&self) -> ProxyStats {
@@ -102,7 +114,7 @@ impl RumHandle {
 
 /// A per-switch proxy node: the switch's OpenFlow peer on one side, one of
 /// the controller's "switches" on the other.  A thin driver — every decision
-/// is made by the shared [`RumEngine`].
+/// is made by the shared [`crate::RumEngine`].
 pub struct RumProxy {
     shared: Rc<RefCell<SimRum>>,
     switch: SwitchId,
@@ -233,22 +245,19 @@ pub fn deploy(
     controller: NodeId,
     switches: &[NodeId],
 ) -> (Vec<NodeId>, RumHandle) {
-    let mut config = builder.build_config();
+    let shards = builder.shard_count();
+    // Fill in any port maps the caller left empty BEFORE building: a large
+    // fleet's probe-plan colouring is derived from this adjacency.
+    let derived = derive_port_maps(sim.topology(), switches);
+    let config = builder.fill_unspecified_port_maps(derived).build_config();
     assert_eq!(
         config.n_switches(),
         switches.len(),
         "the builder must be sized for exactly the monitored switches"
     );
-    // Fill in any port maps the caller left empty.
-    let derived = derive_port_maps(sim.topology(), switches);
-    for (slot, derived_map) in config.port_maps.iter_mut().zip(derived) {
-        if slot.is_unspecified() {
-            *slot = derived_map;
-        }
-    }
     let control_latency: SimTime = config.control_latency.into();
     let shared = Rc::new(RefCell::new(SimRum {
-        engine: RumEngine::new(config),
+        engine: ShardedEngine::new(config, shards),
         controller,
         switch_nodes: switches.to_vec(),
         control_latency,

@@ -1,0 +1,535 @@
+//! Sharding the RUM deployment by switch: [`ShardedEngine`] runs one
+//! [`RumEngine`] per shard so concurrent drivers (one lock per shard) never
+//! contend on a single engine mutex, while per-switch semantics stay
+//! byte-identical to the unsharded engine.
+//!
+//! # Shard → switch mapping
+//!
+//! Switches are striped: shard `k` of `n` owns every switch whose index
+//! satisfies `index % n == k`.  Each shard engine is built over the *full*
+//! switch set but acts only for the switches it owns (see
+//! [`RumConfig::owns`]); every input affecting a switch is routed to its
+//! owner shard, so all state transitions of one switch serialize through one
+//! engine in arrival order — exactly as in the unsharded engine.
+//!
+//! The one exception is probe PacketIns: a probe injected for switch A can
+//! surface at any neighbour, so a probe-marked PacketIn is broadcast to all
+//! shards ([`Routing::Broadcast`]) and each shard runs only the probe
+//! matching of switches it owns.  The arrival switch's owner alone does the
+//! consumption accounting and non-probe passthrough, so nothing is
+//! double-counted or double-sent.
+//!
+//! # Why confirm order is preserved
+//!
+//! A confirmation for switch `s` is emitted only by `s`'s owner shard, in
+//! response to inputs delivered in arrival order, and catch-rule xids are a
+//! pure function of `(switch, generation)` rather than a shared counter —
+//! so for any fixed input schedule the per-switch confirmation sequence (and
+//! every byte sent on `s`'s connections) is identical to the unsharded
+//! engine's.  Only the interleaving *across* switches may differ, which no
+//! per-switch invariant (and no connection byte stream) observes.
+
+use crate::config::{ProbeFieldPlan, RumConfig};
+use crate::engine::{ConfirmRecord, Effect, Input, ProxyStats, RumEngine, SwitchId};
+use openflow::OfMessage;
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::Registry;
+
+/// Where a sharded driver must deliver one [`Input`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Deliver to exactly this shard (the owner of the affected switch).
+    Shard(usize),
+    /// Deliver to every shard, in shard order (probe PacketIns and ticks).
+    Broadcast,
+}
+
+/// Pure input → shard routing, shared by [`ShardedEngine`] and the TCP
+/// driver (which wraps each shard in its own mutex and must route before
+/// locking).
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    n_shards: usize,
+    probe_plan: ProbeFieldPlan,
+}
+
+impl ShardRouter {
+    /// A router for `n_shards` shards over `config`'s deployment.
+    pub fn new(config: &RumConfig, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "a deployment needs at least one shard");
+        ShardRouter {
+            n_shards,
+            probe_plan: config.probe_plan.clone(),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning `switch`.
+    pub fn shard_of(&self, switch: SwitchId) -> usize {
+        switch.index() % self.n_shards
+    }
+
+    /// Routes one input.  Everything affecting a single switch goes to its
+    /// owner; probe PacketIns (which may confirm rules of switches on any
+    /// shard) and ticks are broadcast.
+    pub fn route(&self, input: &Input) -> Routing {
+        match input {
+            Input::FromController { switch, .. } | Input::SwitchReconnected { switch } => {
+                Routing::Shard(self.shard_of(*switch))
+            }
+            Input::FromSwitch { switch, message } => {
+                if self.n_shards > 1 && self.is_probe_packet_in(message) {
+                    Routing::Broadcast
+                } else {
+                    Routing::Shard(self.shard_of(*switch))
+                }
+            }
+            // Timer tokens encode the arming switch in the top 16 bits
+            // (see `RumEngine`'s token encoding).
+            Input::TimerFired { token } => {
+                Routing::Shard(((token.raw() >> 48) as usize) % self.n_shards)
+            }
+            Input::Tick => Routing::Broadcast,
+        }
+    }
+
+    /// True for a PacketIn punting one of RUM's own probe packets (reserved
+    /// ToS, explicit to-controller action) — the only switch-side input that
+    /// concerns techniques beyond the arrival switch's.
+    fn is_probe_packet_in(&self, message: &OfMessage) -> bool {
+        let OfMessage::PacketIn { body, .. } = message else {
+            return false;
+        };
+        if body.reason != openflow::constants::packet_in_reason::ACTION {
+            return false;
+        }
+        match openflow::PacketHeader::from_bytes(&body.data) {
+            Ok(header) => self.probe_plan.is_probe_tos(header.nw_tos),
+            Err(_) => false,
+        }
+    }
+}
+
+/// A set of per-shard [`RumEngine`]s behind the same input → effects
+/// interface as a single engine, routing each input to the shard(s) it
+/// concerns.  Built via [`crate::RumBuilder::build_sharded`]; with one shard
+/// this is exactly the unsharded engine, wrapped.
+///
+/// All shards publish statistics into one shared telemetry registry (the
+/// registry deduplicates handles by name, and only a switch's owner shard
+/// ever touches its counters), so the stats surface is identical to the
+/// unsharded engine's.
+pub struct ShardedEngine {
+    shards: Vec<RumEngine>,
+    router: ShardRouter,
+}
+
+impl ShardedEngine {
+    /// Builds `n_shards` engines over `config`.  Prefer
+    /// [`crate::RumBuilder::build_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// See [`RumEngine::new`]; additionally `n_shards` must be at least 1.
+    pub fn new(mut config: RumConfig, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "a deployment needs at least one shard");
+        // One registry across all shards, so every stats surface (owner or
+        // not) reads the same counters.
+        if config.metrics.is_none() {
+            config.metrics = Some(Arc::new(Registry::new()));
+        }
+        let router = ShardRouter::new(&config, n_shards);
+        let shards = (0..n_shards)
+            .map(|k| {
+                let mut shard_config = config.clone();
+                shard_config.shard_index = k;
+                shard_config.shard_count = n_shards;
+                RumEngine::new(shard_config)
+            })
+            .collect();
+        ShardedEngine { shards, router }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of monitored switches.
+    pub fn n_switches(&self) -> usize {
+        self.shards[0].n_switches()
+    }
+
+    /// All switch ids, in order.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.n_switches()).map(SwitchId::new)
+    }
+
+    /// The input router (shard → switch mapping).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard index owning `switch`.
+    pub fn owner_of(&self, switch: SwitchId) -> usize {
+        self.router.shard_of(switch)
+    }
+
+    /// Read access to one shard's engine.
+    pub fn shard(&self, index: usize) -> &RumEngine {
+        &self.shards[index]
+    }
+
+    /// The deployment configuration (shard 0's copy).
+    pub fn config(&self) -> &RumConfig {
+        self.shards[0].config()
+    }
+
+    /// The shared telemetry registry all shards publish into.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.shards[0].metrics()
+    }
+
+    /// The technique name running for `switch`.
+    pub fn technique_name(&self, switch: SwitchId) -> &'static str {
+        self.shards[self.owner_of(switch)].technique_name(switch)
+    }
+
+    /// Statistics for one monitored switch, read from its owner shard.
+    pub fn stats(&self, switch: SwitchId) -> ProxyStats {
+        self.shards[self.owner_of(switch)].stats(switch)
+    }
+
+    /// Total statistics summed over all monitored switches.
+    pub fn total_stats(&self) -> ProxyStats {
+        let mut total = ProxyStats::default();
+        for switch in self.switch_ids() {
+            total += self.stats(switch);
+        }
+        total
+    }
+
+    /// Starts every shard, in shard order, concatenating their start-up
+    /// effects.  Each switch's effects are emitted exactly once (by its
+    /// owner).
+    pub fn start(&mut self, now: Duration) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for shard in &mut self.shards {
+            effects.append(&mut shard.start(now));
+        }
+        effects
+    }
+
+    /// Routes one input to the shard(s) it concerns and returns the combined
+    /// effects.
+    pub fn handle(&mut self, now: Duration, input: Input) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        self.handle_into(now, input, &mut effects);
+        effects
+    }
+
+    /// Appending form of [`ShardedEngine::handle`].
+    pub fn handle_into(&mut self, now: Duration, input: Input, effects: &mut Vec<Effect>) {
+        match self.router.route(&input) {
+            Routing::Shard(k) => self.shards[k].handle_into(now, input, effects),
+            Routing::Broadcast => {
+                let last = self.shards.len() - 1;
+                for k in 0..last {
+                    self.shards[k].handle_into(now, input.clone(), effects);
+                }
+                self.shards[last].handle_into(now, input, effects);
+            }
+        }
+    }
+
+    /// Every confirmation across all shards, merged by emission time (ties
+    /// resolved in shard order).  Per-switch subsequences are exact; the
+    /// cross-switch interleaving of equal-time confirmations is the merge's
+    /// choice, as it is for any concurrent deployment.
+    pub fn confirmations(&self) -> Vec<ConfirmRecord> {
+        if self.shards.len() == 1 {
+            return self.shards[0].confirmations().to_vec();
+        }
+        // Each shard's log is already time-sorted (engines only move
+        // forward in time), so a k-way stable merge suffices.
+        let mut cursors: Vec<(usize, &[ConfirmRecord])> = self
+            .shards
+            .iter()
+            .map(|s| (0usize, s.confirmations()))
+            .collect();
+        let total: usize = cursors.iter().map(|(_, log)| log.len()).sum();
+        let mut merged = Vec::with_capacity(total);
+        while merged.len() < total {
+            let mut best: Option<usize> = None;
+            for (k, (pos, log)) in cursors.iter().enumerate() {
+                if *pos >= log.len() {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => log[*pos].at < cursors[b].1[cursors[b].0].at,
+                };
+                if better {
+                    best = Some(k);
+                }
+            }
+            let k = best.expect("an unfinished shard exists");
+            merged.push(cursors[k].1[cursors[k].0]);
+            cursors[k].0 += 1;
+        }
+        merged
+    }
+
+    /// Every confirmation `(switch, cookie)` in merged order — see
+    /// [`ShardedEngine::confirmations`].
+    pub fn confirmed_order(&self) -> Vec<(SwitchId, u64)> {
+        self.confirmations()
+            .iter()
+            .map(|r| (r.switch, r.cookie))
+            .collect()
+    }
+
+    /// The confirmation cookie sequence of one switch — the invariant that
+    /// must be byte-identical between sharded and unsharded runs.
+    pub fn confirmed_order_for(&self, switch: SwitchId) -> Vec<u64> {
+        self.shards[self.owner_of(switch)]
+            .confirmations()
+            .iter()
+            .filter(|r| r.switch == switch)
+            .map(|r| r.cookie)
+            .collect()
+    }
+
+    /// Decomposes into the per-shard engines plus the router — the TCP
+    /// driver wraps each engine in its own lock.
+    pub fn into_parts(self) -> (Vec<RumEngine>, ShardRouter) {
+        (self.shards, self.router)
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("n_shards", &self.shards.len())
+            .field("n_switches", &self.n_switches())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RumBuilder, TechniqueConfig};
+    use crate::engine::TimerToken;
+    use openflow::messages::FlowMod;
+    use openflow::{Action, OfMatch};
+    use std::net::Ipv4Addr;
+
+    fn flow_mod(xid: u32) -> OfMessage {
+        OfMessage::FlowMod {
+            xid,
+            body: FlowMod::add(
+                OfMatch::ipv4_pair(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 1, 0, 1)),
+                100,
+                vec![Action::output(2)],
+            ),
+        }
+    }
+
+    /// One shard is literally the unsharded engine: identical effects for an
+    /// identical input schedule.
+    #[test]
+    fn single_shard_matches_unsharded_engine() {
+        let mut single = RumBuilder::new(2)
+            .technique(TechniqueConfig::BarrierBaseline)
+            .build();
+        let mut sharded = RumBuilder::new(2)
+            .technique(TechniqueConfig::BarrierBaseline)
+            .build_sharded();
+        assert_eq!(sharded.n_shards(), 1);
+        assert_eq!(single.start(Duration::ZERO), sharded.start(Duration::ZERO));
+        for (t, input) in [
+            Input::FromController {
+                switch: SwitchId::new(0),
+                message: flow_mod(5),
+            },
+            Input::FromController {
+                switch: SwitchId::new(1),
+                message: flow_mod(6),
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let now = Duration::from_millis(t as u64);
+            assert_eq!(
+                single.handle(now, input.clone()),
+                sharded.handle(now, input)
+            );
+        }
+        assert_eq!(single.confirmed_order(), sharded.confirmed_order());
+    }
+
+    /// Striped ownership: each switch's inputs act only on its owner shard,
+    /// and per-switch confirm order matches the unsharded oracle.
+    #[test]
+    fn sharded_confirms_match_oracle_per_switch() {
+        let n = 5;
+        let build = || RumBuilder::new(n).technique(TechniqueConfig::BarrierBaseline);
+        let mut oracle = build().build();
+        let mut sharded = build().shards(3).build_sharded();
+        oracle.start(Duration::ZERO);
+        sharded.start(Duration::ZERO);
+
+        // Interleave flow-mods across switches, then confirm via the proxy
+        // barriers each engine injected.
+        let mut oracle_barriers = Vec::new();
+        let mut sharded_barriers = Vec::new();
+        for i in 0..n {
+            let sw = SwitchId::new(i);
+            let now = Duration::from_millis(i as u64);
+            let input = Input::FromController {
+                switch: sw,
+                message: flow_mod(100 + i as u32),
+            };
+            let barrier_of = |fx: &[Effect]| {
+                fx.iter()
+                    .find_map(|e| match e {
+                        Effect::ToSwitch {
+                            message: OfMessage::BarrierRequest { xid },
+                            ..
+                        } => Some(*xid),
+                        _ => None,
+                    })
+                    .expect("proxy barrier")
+            };
+            oracle_barriers.push((sw, barrier_of(&oracle.handle(now, input.clone()))));
+            sharded_barriers.push((sw, barrier_of(&sharded.handle(now, input))));
+        }
+        assert_eq!(
+            oracle_barriers, sharded_barriers,
+            "technique xid streams must be shard-invariant"
+        );
+        // Reply in reverse switch order so the global confirm order differs
+        // from the install order.
+        for &(sw, xid) in oracle_barriers.iter().rev() {
+            let now = Duration::from_millis(50);
+            let reply = Input::FromSwitch {
+                switch: sw,
+                message: OfMessage::BarrierReply { xid },
+            };
+            oracle.handle(now, reply.clone());
+            sharded.handle(now, reply);
+        }
+        for i in 0..n {
+            let sw = SwitchId::new(i);
+            let oracle_seq: Vec<u64> = oracle
+                .confirmations()
+                .iter()
+                .filter(|r| r.switch == sw)
+                .map(|r| r.cookie)
+                .collect();
+            assert_eq!(oracle_seq, sharded.confirmed_order_for(sw));
+            assert_eq!(oracle.stats(sw), sharded.stats(sw));
+        }
+        assert_eq!(oracle.total_stats(), sharded.total_stats());
+    }
+
+    /// Start-up emits each switch's catch rule exactly once across shards,
+    /// with the same xids the oracle uses.
+    #[test]
+    fn start_effects_partition_across_shards() {
+        let n = 6;
+        let build = || RumBuilder::new(n).technique(TechniqueConfig::default_general());
+        let catch_rules = |fx: &[Effect]| {
+            let mut seen: Vec<(usize, u32)> = fx
+                .iter()
+                .filter_map(|e| match e {
+                    Effect::ToSwitch {
+                        switch,
+                        message: OfMessage::FlowMod { xid, .. },
+                    } => Some((switch.index(), *xid)),
+                    _ => None,
+                })
+                .collect();
+            seen.sort_unstable();
+            seen
+        };
+        let oracle_fx = build().build().start(Duration::ZERO);
+        let sharded_fx = build().shards(4).build_sharded().start(Duration::ZERO);
+        let oracle_rules = catch_rules(&oracle_fx);
+        assert_eq!(oracle_rules.len(), n);
+        assert_eq!(oracle_rules, catch_rules(&sharded_fx));
+    }
+
+    /// The router sends per-switch inputs to the owner, broadcasts probe
+    /// PacketIns, and decodes timer tokens back to the arming switch's
+    /// shard.
+    #[test]
+    fn router_routes_by_ownership() {
+        let config = RumBuilder::new(7)
+            .technique(TechniqueConfig::default_general())
+            .build_config();
+        let plan = config.probe_plan.clone();
+        let router = ShardRouter::new(&config, 3);
+        assert_eq!(router.n_shards(), 3);
+        assert_eq!(
+            router.route(&Input::FromController {
+                switch: SwitchId::new(5),
+                message: flow_mod(1),
+            }),
+            Routing::Shard(2)
+        );
+        assert_eq!(
+            router.route(&Input::SwitchReconnected {
+                switch: SwitchId::new(4)
+            }),
+            Routing::Shard(1)
+        );
+        assert_eq!(router.route(&Input::Tick), Routing::Broadcast);
+        // Timer armed by switch 6's technique: token top bits carry the
+        // index.
+        assert_eq!(
+            router.route(&Input::TimerFired {
+                token: TimerToken::from_raw((6u64 << 48) | 7),
+            }),
+            Routing::Shard(0)
+        );
+        // A probe-marked PacketIn broadcasts; ordinary PacketIns go to the
+        // arrival switch's owner.
+        let probe = openflow::PacketHeader {
+            nw_tos: plan.catch_tos(SwitchId::new(0)),
+            ..Default::default()
+        };
+        let packet_in = |data: Vec<u8>| OfMessage::PacketIn {
+            xid: 0,
+            body: openflow::messages::PacketIn {
+                buffer_id: 0,
+                total_len: data.len() as u16,
+                in_port: 1,
+                reason: openflow::constants::packet_in_reason::ACTION,
+                data,
+            },
+        };
+        assert_eq!(
+            router.route(&Input::FromSwitch {
+                switch: SwitchId::new(1),
+                message: packet_in(probe.to_bytes()),
+            }),
+            Routing::Broadcast
+        );
+        let user = openflow::PacketHeader { nw_tos: 0, ..probe };
+        assert_eq!(
+            router.route(&Input::FromSwitch {
+                switch: SwitchId::new(1),
+                message: packet_in(user.to_bytes()),
+            }),
+            Routing::Shard(1)
+        );
+    }
+}

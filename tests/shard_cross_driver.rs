@@ -1,0 +1,174 @@
+//! Fleet-scale cross-driver conformance for the sharded engine.
+//!
+//! The sharding tentpole is only sound if the sans-IO boundary survives it:
+//! the simulator driver and the TCP driver must drive the *identical*
+//! sharded engine, and the sharded engine must behave byte-identically to
+//! the single-engine (pre-shard) oracle.  These property tests check both,
+//! over multiple seeds, at a 64-switch fleet:
+//!
+//! * **cross-driver**: per-switch confirm orders and matrix verdicts are
+//!   identical between the simnet run and the TCP run of the same seed;
+//! * **cross-engine**: per-switch confirm orders and verdicts are identical
+//!   between the 8-shard engine and the unsharded oracle (simnet), and
+//!   between the event-loop proxy and the pre-shard thread-per-connection
+//!   proxy (TCP);
+//! * **soundness**: every run has zero false acks and zero missed acks.
+//!
+//! The same invariants at 1,000 switches are covered twice: by the ignored
+//! [`full_fleet_cross_driver_soundness`] run below (too slow for the
+//! default suite; run it with `--ignored`), and continuously by the
+//! committed `BENCH_results.json`, whose 1,000-switch rows CI gates through
+//! `validate_results --min-matrix-switches 1000`.
+
+use rum_bench::scale::{
+    run_simnet_scale_cell_with, run_tcp_scale_cell_with, ScaleCellOutcome, ScaleProxy, SCALE_SHARDS,
+};
+use rum_bench::scenario_matrix::MatrixCell;
+use telemetry::Registry;
+
+/// Fleet width of the default-suite runs; big enough that every shard owns
+/// eight switches and the DSCP probe plan must reuse catch codepoints.
+const FLEET: usize = 64;
+const RULES_PER_SWITCH: usize = 2;
+const SEEDS: [u64; 2] = [7, 42];
+
+/// The verdict fields two conforming runs must agree on (completion time is
+/// timing, not behaviour, so it is excluded).
+fn verdict(cell: &MatrixCell) -> (usize, usize, usize, usize, usize) {
+    (
+        cell.switches,
+        cell.planned,
+        cell.confirmed,
+        cell.false_acks,
+        cell.missed_acks,
+    )
+}
+
+fn assert_sound(out: &ScaleCellOutcome, label: &str) {
+    assert_eq!(
+        out.cell.false_acks, 0,
+        "{label}: false acks\n{:?}",
+        out.cell
+    );
+    assert_eq!(
+        out.cell.missed_acks, 0,
+        "{label}: missed acks\n{:?}",
+        out.cell
+    );
+    assert_eq!(
+        out.per_switch_orders.iter().map(Vec::len).sum::<usize>(),
+        out.cell.planned,
+        "{label}: every planned rule confirms on exactly one switch"
+    );
+}
+
+/// (a) simnet vs TCP: the same seed produces the same per-switch confirm
+/// orders and the same matrix verdict on both drivers, because every
+/// ordering decision lives in the shared sharded engine, not the drivers.
+#[test]
+fn drivers_agree_on_per_switch_confirm_orders_at_fleet_scale() {
+    for seed in SEEDS {
+        let registry = Registry::new();
+        let sim =
+            run_simnet_scale_cell_with(FLEET, RULES_PER_SWITCH, seed, SCALE_SHARDS, &registry);
+        let tcp = run_tcp_scale_cell_with(
+            FLEET,
+            RULES_PER_SWITCH,
+            seed,
+            SCALE_SHARDS,
+            ScaleProxy::EventLoop,
+            &registry,
+        );
+        assert_sound(&sim, &format!("simnet seed {seed}"));
+        assert_sound(&tcp, &format!("tcp seed {seed}"));
+        assert_eq!(
+            verdict(&sim.cell),
+            verdict(&tcp.cell),
+            "seed {seed}: matrix verdicts diverged between drivers"
+        );
+        assert_eq!(
+            sim.per_switch_orders, tcp.per_switch_orders,
+            "seed {seed}: per-switch confirm orders diverged between drivers"
+        );
+    }
+}
+
+/// (b) sharded vs the single-engine oracle: on the simulator driver, the
+/// 8-shard engine and the unsharded (`shards = 1`) engine confirm every
+/// switch's rules in the same order with the same verdict.
+#[test]
+fn sharded_engine_matches_the_single_engine_oracle_on_simnet() {
+    for seed in SEEDS {
+        let registry = Registry::new();
+        let sharded =
+            run_simnet_scale_cell_with(FLEET, RULES_PER_SWITCH, seed, SCALE_SHARDS, &registry);
+        let oracle = run_simnet_scale_cell_with(FLEET, RULES_PER_SWITCH, seed, 1, &registry);
+        assert_sound(&sharded, &format!("sharded seed {seed}"));
+        assert_sound(&oracle, &format!("oracle seed {seed}"));
+        assert_eq!(verdict(&sharded.cell), verdict(&oracle.cell));
+        assert_eq!(
+            sharded.per_switch_orders, oracle.per_switch_orders,
+            "seed {seed}: sharding changed a per-switch confirm order"
+        );
+    }
+}
+
+/// (b) on the wire: the readiness-driven event-loop proxy and the pre-shard
+/// thread-per-connection proxy (the original wire path, kept as
+/// `LegacyRumTcpProxy`) produce identical per-switch confirm orders and
+/// verdicts for the same seed.
+#[test]
+fn event_loop_proxy_matches_the_pre_shard_proxy() {
+    let seed = SEEDS[0];
+    let registry = Registry::new();
+    let event_loop = run_tcp_scale_cell_with(
+        FLEET,
+        RULES_PER_SWITCH,
+        seed,
+        SCALE_SHARDS,
+        ScaleProxy::EventLoop,
+        &registry,
+    );
+    let legacy = run_tcp_scale_cell_with(
+        FLEET,
+        RULES_PER_SWITCH,
+        seed,
+        1,
+        ScaleProxy::Legacy,
+        &registry,
+    );
+    assert_sound(&event_loop, "event-loop");
+    assert_sound(&legacy, "legacy");
+    assert_eq!(verdict(&event_loop.cell), verdict(&legacy.cell));
+    assert_eq!(
+        event_loop.per_switch_orders, legacy.per_switch_orders,
+        "the event loop changed a per-switch confirm order vs the pre-shard wire path"
+    );
+}
+
+/// The full 1,000-switch conformance run — several minutes of wall clock,
+/// so it is ignored by default; CI covers the same scale through the
+/// committed BENCH gate.  `cargo test --release -- --ignored
+/// full_fleet_cross_driver_soundness` runs it directly.
+#[test]
+#[ignore]
+fn full_fleet_cross_driver_soundness() {
+    const FULL_FLEET: usize = 1_000;
+    let registry = Registry::new();
+    let sim = run_simnet_scale_cell_with(FULL_FLEET, RULES_PER_SWITCH, 42, SCALE_SHARDS, &registry);
+    let tcp = run_tcp_scale_cell_with(
+        FULL_FLEET,
+        RULES_PER_SWITCH,
+        42,
+        SCALE_SHARDS,
+        ScaleProxy::EventLoop,
+        &registry,
+    );
+    assert_sound(&sim, "simnet 1000");
+    assert_sound(&tcp, "tcp 1000");
+    assert_eq!(verdict(&sim.cell), verdict(&tcp.cell));
+    assert_eq!(
+        sim.per_switch_orders, tcp.per_switch_orders,
+        "per-switch confirm orders diverged between drivers at 1,000 switches"
+    );
+}
